@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the full two-phase pipeline (Eq. (16)
+//! end-to-end), across the three compared algorithm combinations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_core::JointOptimizer;
+use nfv_placement::{Bfdsu, Ffd, Nah};
+use nfv_scheduling::{Cga, Rckk};
+use nfv_topology::builders;
+use nfv_workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let topology = builders::random_connected()
+        .nodes(12)
+        .seed(5)
+        .capacity_range(1000.0, 5000.0, 6)
+        .build()
+        .unwrap();
+    let scenario = ScenarioBuilder::new()
+        .vnfs(15)
+        .requests(200)
+        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 })
+        .seed(5)
+        .build()
+        .unwrap();
+
+    let pipelines: Vec<(&str, JointOptimizer)> = vec![
+        (
+            "bfdsu+rckk",
+            JointOptimizer::new()
+                .with_placer(Box::new(Bfdsu::new()))
+                .with_scheduler(Box::new(Rckk::new())),
+        ),
+        (
+            "ffd+cga",
+            JointOptimizer::new()
+                .with_placer(Box::new(Ffd::new()))
+                .with_scheduler(Box::new(Cga::new())),
+        ),
+        (
+            "nah+cga",
+            JointOptimizer::new()
+                .with_placer(Box::new(Nah::new()))
+                .with_scheduler(Box::new(Cga::new())),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("pipeline");
+    for (name, optimizer) in &pipelines {
+        group.bench_with_input(
+            BenchmarkId::new(*name, "15f-200r-12n"),
+            &(&scenario, &topology),
+            |b, (scenario, topology)| {
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| {
+                    let solution = optimizer
+                        .optimize(scenario, topology, &mut rng)
+                        .expect("feasible fixture");
+                    solution.objective().expect("stable fixture").total_latency()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

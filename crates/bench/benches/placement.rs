@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the placement algorithms (runtime
+//! counterpart of the quality comparisons in Figs. 5–10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_bench::placement_problem;
+use nfv_placement::{Bfd, Bfdsu, Ffd, Nah, Placer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_placers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    for &(nodes, vnfs, requests) in &[(10usize, 15usize, 200usize), (20, 30, 500), (50, 30, 1000)] {
+        let problem = placement_problem(nodes, vnfs, requests, 7);
+        let placers: Vec<Box<dyn Placer>> = vec![
+            Box::new(Bfdsu::new()),
+            Box::new(Bfd::new()),
+            Box::new(Ffd::new()),
+            Box::new(Nah::new()),
+        ];
+        for placer in &placers {
+            group.bench_with_input(
+                BenchmarkId::new(placer.name(), format!("{nodes}n-{vnfs}f-{requests}r")),
+                &problem,
+                |b, problem| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    b.iter(|| placer.place(problem, &mut rng).expect("feasible fixture"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the scheduling algorithms (the §IV.D
+//! complexity claims: RCKK `O(n·m·log m)` vs CGA's search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_bench::arrival_rates;
+use nfv_scheduling::{Cga, Ckk, KkForward, Rckk, RoundRobin, Scheduler};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    for &(requests, instances) in &[(50usize, 5usize), (250, 5), (1000, 10), (250, 25)] {
+        let rates = arrival_rates(requests, 3);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Rckk::new()),
+            Box::new(KkForward::new()),
+            Box::new(Cga::new()),
+            Box::new(RoundRobin::new()),
+        ];
+        for scheduler in &schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.name(), format!("{requests}r-{instances}i")),
+                &rates,
+                |b, rates| {
+                    b.iter(|| scheduler.schedule(rates, instances).expect("valid fixture"));
+                },
+            );
+        }
+    }
+    // The complete searches only on a small instance, to document why the
+    // paper replaces them.
+    let small = arrival_rates(16, 4);
+    group.bench_function("ckk-search/16r-3i", |b| {
+        let ckk = Ckk::new().with_leaf_budget(10_000);
+        b.iter(|| ckk.schedule(&small, 3).expect("valid fixture"));
+    });
+    group.bench_function("cga-search/16r-3i", |b| {
+        let cga = Cga::new().with_leaf_budget(10_000);
+        b.iter(|| cga.schedule(&small, 3).expect("valid fixture"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the discrete-event simulator (events per
+//! second on M/M/1, chains and loss feedback).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfv_sim::{SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mm1(c: &mut Criterion) {
+    let config = SimConfig::builder()
+        .station(100.0)
+        .unwrap()
+        .request(70.0, 1.0, vec![0])
+        .unwrap()
+        .target_deliveries(20_000)
+        .warmup_deliveries(1_000)
+        .build()
+        .unwrap();
+    c.bench_function("sim/mm1-20k-deliveries", |b| {
+        let sim = Simulator::new(config.clone());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run(&mut StdRng::seed_from_u64(seed))
+        });
+    });
+}
+
+fn chain_with_loss(c: &mut Criterion) {
+    let config = SimConfig::builder()
+        .stations(100.0, 4)
+        .unwrap()
+        .request(40.0, 0.95, vec![0, 1, 2, 3])
+        .unwrap()
+        .target_deliveries(20_000)
+        .warmup_deliveries(1_000)
+        .build()
+        .unwrap();
+    c.bench_function("sim/4-chain-lossy-20k-deliveries", |b| {
+        let sim = Simulator::new(config.clone());
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run(&mut StdRng::seed_from_u64(seed))
+        });
+    });
+}
+
+fn many_requests(c: &mut Criterion) {
+    let mut builder = SimConfig::builder().stations(2000.0, 5).unwrap();
+    for r in 0..50 {
+        builder = builder.request(50.0, 0.98, vec![r % 5]).unwrap();
+    }
+    let config = builder
+        .target_deliveries(20_000)
+        .warmup_deliveries(1_000)
+        .build()
+        .unwrap();
+    c.bench_function("sim/50-requests-5-instances-20k-deliveries", |b| {
+        let sim = Simulator::new(config.clone());
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run(&mut StdRng::seed_from_u64(seed))
+        });
+    });
+}
+
+criterion_group!(benches, mm1, chain_with_loss, many_requests);
+criterion_main!(benches);

@@ -1,0 +1,398 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p nfv-bench --bin figures --release -- <command> [--reps N] [--seed S]
+//! ```
+//!
+//! Commands: `fig5` … `fig16`, `tail`, `joint`, `validate`, `ablation`,
+//! `all`. Each prints the series the corresponding paper figure plots,
+//! plus a shape-check summary (who wins, by how much) for comparison with
+//! `EXPERIMENTS.md`.
+
+use std::env;
+use std::process::ExitCode;
+
+use nfv_core::experiments::{joint, placement, scheduling, validation, Sweep};
+use nfv_core::CoreError;
+use nfv_metrics::{enhancement_ratio, Table};
+use nfv_placement::{Bfd, Bfdsu, Ffd, Placer};
+use nfv_scheduling::{Cga, KkForward, Rckk, RoundRobin, Scheduler};
+
+struct Options {
+    command: String,
+    reps_placement: u64,
+    reps_scheduling: u64,
+    seed: u64,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let mut options = Options {
+        command: args[0].clone(),
+        reps_placement: 10,
+        reps_scheduling: 200,
+        seed: 42,
+        csv_dir: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                let value: u64 = args
+                    .get(i + 1)
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --reps: {e}"))?;
+                options.reps_placement = value;
+                options.reps_scheduling = value;
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = args
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+                i += 2;
+            }
+            "--csv" => {
+                options.csv_dir =
+                    Some(args.get(i + 1).ok_or("--csv needs a directory")?.into());
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|validate|ablation|all> [--reps N] [--seed S] [--csv DIR]".to_owned()
+}
+
+/// Directory for CSV output, set once from the CLI before dispatch.
+static CSV_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &options.csv_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create csv directory {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let _ = CSV_DIR.set(dir.clone());
+    }
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(options: &Options) -> Result<(), CoreError> {
+    let commands: Vec<&str> = if options.command == "all" {
+        vec![
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "tail", "fig15", "fig16", "headline", "online", "quality", "joint", "validate", "ablation",
+        ]
+    } else {
+        vec![options.command.as_str()]
+    };
+    for command in commands {
+        dispatch(command, options)?;
+        println!();
+    }
+    Ok(())
+}
+
+fn dispatch(command: &str, options: &Options) -> Result<(), CoreError> {
+    let (rp, rs, seed) = (options.reps_placement, options.reps_scheduling, options.seed);
+    match command {
+        "fig5" => print_sweep(
+            "Fig. 5 - average resource utilization (%) of 10 nodes vs #requests",
+            &placement::fig5_utilization_vs_requests(rp, seed)?,
+            2,
+            Some(("bfdsu", "nah", "utilization")),
+        ),
+        "fig6" => print_sweep(
+            "Fig. 6 - average utilization (%) of used nodes, 1000 requests, scaling VNFs 6-30 with nodes 4-20",
+            &placement::fig6_utilization_vs_scale(rp, seed)?,
+            2,
+            Some(("bfdsu", "nah", "utilization")),
+        ),
+        "fig7" => print_sweep(
+            "Fig. 7 - average utilization (%) placing 15 VNFs vs #nodes",
+            &placement::fig7_utilization_vs_nodes(rp, seed)?,
+            2,
+            Some(("bfdsu", "nah", "utilization")),
+        ),
+        "fig8" => print_sweep(
+            "Fig. 8 - average number of nodes in service placing 15 VNFs",
+            &placement::fig8_nodes_in_service(rp, seed)?,
+            2,
+            None,
+        ),
+        "fig9" => print_sweep(
+            "Fig. 9 - average resource occupation (units) placing 15 VNFs",
+            &placement::fig9_resource_occupation(rp, seed)?,
+            0,
+            None,
+        ),
+        "fig10" => print_sweep(
+            "Fig. 10 - executions until first feasible solution (tight capacities)",
+            &placement::fig10_iterations_vs_requests(rp, seed)?,
+            2,
+            None,
+        ),
+        "fig11" => print_sweep(
+            "Fig. 11 - average response time W (s), 5 instances, P = 0.98",
+            &scheduling::fig11_12_response_vs_requests(0.98, rs, seed)?,
+            6,
+            None,
+        ),
+        "fig12" => print_sweep(
+            "Fig. 12 - average response time W (s), 5 instances, P = 1.00",
+            &scheduling::fig11_12_response_vs_requests(1.0, rs, seed)?,
+            6,
+            None,
+        ),
+        "fig13" => print_sweep(
+            "Fig. 13 - average response time W (s), 50 requests, instances 2-10, P = 0.98",
+            &scheduling::fig13_14_response_vs_instances(0.98, rs, seed)?,
+            6,
+            None,
+        ),
+        "fig14" => print_sweep(
+            "Fig. 14 - average response time W (s), 50 requests, instances 2-10, P = 1.00",
+            &scheduling::fig13_14_response_vs_instances(1.0, rs, seed)?,
+            6,
+            None,
+        ),
+        "tail" => print_sweep(
+            "Tail (Sec. V-C) - 99th-percentile of per-run W (s), 5 instances, P = 0.98",
+            &scheduling::tail_p99_vs_requests(rs, seed)?,
+            6,
+            None,
+        ),
+        "fig15" => print_sweep(
+            "Fig. 15 - average job rejection rate (%), P = 0.997",
+            &scheduling::fig15_16_rejection_vs_requests(0.997, rs, seed)?,
+            3,
+            None,
+        ),
+        "fig16" => print_sweep(
+            "Fig. 16 - average job rejection rate (%), P = 0.984",
+            &scheduling::fig15_16_rejection_vs_requests(0.984, rs, seed)?,
+            3,
+            None,
+        ),
+        "joint" => print_joint(rp, seed)?,
+        "headline" => print_headline(rs, seed)?,
+        "quality" => print_sweep(
+            "Quality extension - nodes used / optimal nodes (exact oracle, small instances)",
+            &placement::quality_vs_oracle(rp, seed)?,
+            3,
+            None,
+        ),
+        "online" => print_sweep(
+            "Online extension - price of one-at-a-time arrival vs offline RCKK (P = 0.98)",
+            &scheduling::online_price_vs_requests(rs, seed)?,
+            6,
+            None,
+        ),
+        "validate" => print_validation(seed)?,
+        "ablation" => print_ablation(rp, rs, seed)?,
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("{}", usage());
+        }
+    }
+    Ok(())
+}
+
+fn print_sweep(title: &str, sweep: &Sweep, precision: usize, gain: Option<(&str, &str, &str)>) {
+    println!("== {title} ==");
+    print!("{}", sweep.to_table(precision));
+    if let Some(dir) = CSV_DIR.get() {
+        let name: String = title
+            .split(" - ")
+            .next()
+            .unwrap_or("sweep")
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        let path = dir.join(format!("{name}.csv"));
+        match std::fs::write(&path, sweep.to_csv()) {
+            Ok(()) => println!("csv written to {}", path.display()),
+            Err(err) => eprintln!("csv write failed: {err}"),
+        }
+    }
+    if let Some((ours, baseline, metric)) = gain {
+        if let (Some(a), Some(b)) = (sweep.series_mean(ours), sweep.series_mean(baseline)) {
+            if b > 0.0 {
+                println!(
+                    "shape check: {ours} improves mean {metric} over {baseline} by {:.1}%",
+                    (a - b) / b * 100.0
+                );
+            }
+        }
+    }
+    if let (Some(rckk), Some(cga)) = (sweep.series_mean("rckk"), sweep.series_mean("cga")) {
+        if cga > 0.0 {
+            println!(
+                "shape check: rckk improves mean over cga by {:.1}%",
+                enhancement_ratio(cga, rckk) * 100.0
+            );
+        }
+    }
+}
+
+fn print_joint(reps: u64, seed: u64) -> Result<(), CoreError> {
+    println!("== Joint pipeline (Eq. 16) - avg total latency per request ==");
+    let stats = joint::run_comparison(&joint::JointConfig::base(), reps, seed)?;
+    let mut table = Table::new(vec![
+        "pipeline",
+        "total(s)",
+        "response(s)",
+        "link(s)",
+        "nodes",
+        "util%",
+        "failures",
+    ]);
+    for s in &stats {
+        table.row(vec![
+            s.name.clone(),
+            format!("{:.6}", s.avg_total_latency),
+            format!("{:.6}", s.avg_response_latency),
+            format!("{:.6}", s.avg_link_latency),
+            format!("{:.2}", s.avg_nodes_in_service),
+            format!("{:.2}", s.avg_utilization * 100.0),
+            s.failures.to_string(),
+        ]);
+    }
+    print!("{table}");
+    let ours = stats.iter().find(|s| s.name == "bfdsu+rckk");
+    let base = stats.iter().find(|s| s.name == "ffd+cga");
+    if let (Some(ours), Some(base)) = (ours, base) {
+        println!(
+            "shape check: bfdsu+rckk vs ffd+cga - total latency {:.1}% lower, link latency {:.1}% lower, {:.1} fewer nodes",
+            enhancement_ratio(base.avg_total_latency, ours.avg_total_latency) * 100.0,
+            enhancement_ratio(base.avg_link_latency, ours.avg_link_latency) * 100.0,
+            base.avg_nodes_in_service - ours.avg_nodes_in_service
+        );
+        println!(
+            "note: μ_f is scaled to each VNF's own load, so the response part is dominated by the\n\
+             shared base queueing delay; the paper's 19.9% headline is the per-instance scheduling\n\
+             improvement — see `figures headline`"
+        );
+    }
+    Ok(())
+}
+
+fn print_headline(reps: u64, seed: u64) -> Result<(), CoreError> {
+    println!("== Headline - RCKK's mean response-time enhancement over CGA (paper: 19.9%) ==");
+    // The paper's 19.9% averages RCKK's improvement across its W
+    // experiments; aggregate the same four sweeps.
+    let sweeps = [
+        ("fig11 (P=0.98, req sweep)", scheduling::fig11_12_response_vs_requests(0.98, reps, seed)?),
+        ("fig12 (P=1.00, req sweep)", scheduling::fig11_12_response_vs_requests(1.0, reps, seed)?),
+        ("fig13 (P=0.98, inst sweep)", scheduling::fig13_14_response_vs_instances(0.98, reps, seed)?),
+        ("fig14 (P=1.00, inst sweep)", scheduling::fig13_14_response_vs_instances(1.0, reps, seed)?),
+    ];
+    let mut table = Table::new(vec!["sweep", "mean enhancement%"]);
+    let mut overall = 0.0;
+    for (name, sweep) in &sweeps {
+        let mean = sweep.series_mean("enhancement%").unwrap_or(0.0);
+        overall += mean;
+        table.row(vec![(*name).to_owned(), format!("{mean:.1}")]);
+    }
+    print!("{table}");
+    println!("overall mean: {:.1}% (paper: 19.9%)", overall / sweeps.len() as f64);
+    Ok(())
+}
+
+fn print_validation(seed: u64) -> Result<(), CoreError> {
+    println!("== Validation - Jackson analytics vs discrete-event simulation ==");
+    let rows = validation::standard_suite(seed)?;
+    let mut table = Table::new(vec!["configuration", "analytic(s)", "simulated(s)", "rel.err%"]);
+    let mut worst = 0.0f64;
+    for row in &rows {
+        worst = worst.max(row.relative_error());
+        table.row(vec![
+            row.label.clone(),
+            format!("{:.6}", row.analytic),
+            format!("{:.6}", row.simulated),
+            format!("{:.2}", row.relative_error() * 100.0),
+        ]);
+    }
+    print!("{table}");
+    println!("shape check: worst relative error {:.2}% (expect < ~8%)", worst * 100.0);
+    Ok(())
+}
+
+fn print_ablation(rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
+    println!("== Ablation A - BFDSU's weighted-random choice vs deterministic best fit ==");
+    // Tight capacities so deterministic best fit dead-ends where BFDSU's
+    // restarts recover.
+    let point = placement::PlacementPoint {
+        fill: 0.93,
+        requests: 600,
+        ..placement::PlacementPoint::base()
+    };
+    let placers: Vec<Box<dyn Placer>> =
+        vec![Box::new(Bfdsu::new()), Box::new(Bfd::new()), Box::new(Ffd::new())];
+    let stats = placement::run_point(&point, &placers, rp, seed)?;
+    let mut table =
+        Table::new(vec!["placer", "util%", "nodes", "iterations", "failures"]);
+    for (name, s) in &stats {
+        table.row(vec![
+            name.clone(),
+            format!("{:.2}", s.utilization * 100.0),
+            format!("{:.2}", s.nodes_in_service),
+            format!("{:.2}", s.iterations),
+            s.failures.to_string(),
+        ]);
+    }
+    print!("{table}");
+
+    println!();
+    println!("== Ablation B - RCKK's reverse combination vs forward order and round-robin ==");
+    // Pairwise comparisons: μ is calibrated to the worst makespan of the
+    // compared pair, so each alternative is judged under its own
+    // near-saturation regime rather than under a μ inflated by the worst
+    // variant in the pool.
+    let sched_point = scheduling::SchedulingPoint::base();
+    let mut table = Table::new(vec!["pair", "rckk W(s)", "other W(s)", "rckk better by"]);
+    let alternatives: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(KkForward::new()),
+        Box::new(Cga::new()),
+        Box::new(RoundRobin::new()),
+    ];
+    for alt in alternatives {
+        let alt_name = alt.name();
+        let pair: Vec<Box<dyn Scheduler>> = vec![Box::new(Rckk::new()), alt];
+        let outcomes = scheduling::run_response_point(&sched_point, &pair, rs, seed)?;
+        let (rckk_w, other_w) = (outcomes[0].w.mean(), outcomes[1].w.mean());
+        table.row(vec![
+            format!("rckk vs {alt_name}"),
+            format!("{rckk_w:.6}"),
+            format!("{other_w:.6}"),
+            format!("{:.1}%", enhancement_ratio(other_w, rckk_w) * 100.0),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}

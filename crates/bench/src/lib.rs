@@ -1,0 +1,70 @@
+//! Shared fixtures for the criterion benchmarks and the `figures` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nfv_model::{ArrivalRate, ServiceChain};
+use nfv_placement::PlacementProblem;
+use nfv_topology::builders;
+use nfv_workload::{InstancePolicy, ScenarioBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a placement problem of the given size, mirroring the paper's
+/// parameter ranges (capacities 1000–5000 units, chains ≤ 6).
+///
+/// # Panics
+///
+/// Panics on structurally impossible sizes (zero nodes/VNFs); bench
+/// fixtures are meant to be valid by construction.
+#[must_use]
+pub fn placement_problem(nodes: usize, vnfs: usize, requests: usize, seed: u64) -> PlacementProblem {
+    let topology = builders::random_connected()
+        .nodes(nodes)
+        .seed(seed)
+        .capacity_range(1000.0, 5000.0, seed ^ 0xAA)
+        .build()
+        .expect("valid fixture topology");
+    let scenario = ScenarioBuilder::new()
+        .vnfs(vnfs)
+        .requests(requests)
+        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+        .seed(seed)
+        .build()
+        .expect("valid fixture scenario");
+    let chains: Vec<ServiceChain> =
+        scenario.requests().iter().map(|r| r.chain().clone()).collect();
+    PlacementProblem::with_chains(
+        topology.compute_nodes().to_vec(),
+        scenario.vnfs().to_vec(),
+        chains,
+    )
+    .expect("valid fixture problem")
+}
+
+/// Draws `n` arrival rates uniformly from the paper's `[1, 100]` pps range.
+#[must_use]
+pub fn arrival_rates(n: usize, seed: u64) -> Vec<ArrivalRate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).expect("positive range"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(placement_problem(8, 10, 50, 1), placement_problem(8, 10, 50, 1));
+        assert_eq!(arrival_rates(10, 2), arrival_rates(10, 2));
+    }
+
+    #[test]
+    fn rates_are_in_paper_range() {
+        assert!(arrival_rates(200, 3)
+            .iter()
+            .all(|r| (1.0..=100.0).contains(&r.value())));
+    }
+}

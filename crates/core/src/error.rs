@@ -1,0 +1,107 @@
+//! Error type for the joint pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use nfv_placement::PlacementError;
+use nfv_queueing::QueueingError;
+use nfv_scheduling::SchedulingError;
+use nfv_topology::TopologyError;
+use nfv_workload::WorkloadError;
+
+/// Error returned by the joint optimization pipeline; wraps the error of
+/// whichever phase failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Workload generation or validation failed.
+    Workload(WorkloadError),
+    /// Topology construction or a latency query failed.
+    Topology(TopologyError),
+    /// Phase one (placement) failed.
+    Placement(PlacementError),
+    /// Phase two (scheduling) failed.
+    Scheduling(SchedulingError),
+    /// Objective evaluation hit an unstable instance.
+    Queueing(QueueingError),
+    /// The scenario and topology disagree (e.g. a request chain references
+    /// a VNF with no schedule).
+    Inconsistent {
+        /// Description of the mismatch.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Workload(e) => write!(f, "workload: {e}"),
+            Self::Topology(e) => write!(f, "topology: {e}"),
+            Self::Placement(e) => write!(f, "placement: {e}"),
+            Self::Scheduling(e) => write!(f, "scheduling: {e}"),
+            Self::Queueing(e) => write!(f, "queueing: {e}"),
+            Self::Inconsistent { reason } => write!(f, "inconsistent inputs: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Workload(e) => Some(e),
+            Self::Topology(e) => Some(e),
+            Self::Placement(e) => Some(e),
+            Self::Scheduling(e) => Some(e),
+            Self::Queueing(e) => Some(e),
+            Self::Inconsistent { .. } => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        Self::Topology(e)
+    }
+}
+
+impl From<PlacementError> for CoreError {
+    fn from(e: PlacementError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+impl From<SchedulingError> for CoreError {
+    fn from(e: SchedulingError) -> Self {
+        Self::Scheduling(e)
+    }
+}
+
+impl From<QueueingError> for CoreError {
+    fn from(e: QueueingError) -> Self {
+        Self::Queueing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_chains_sources() {
+        let err: CoreError = SchedulingError::NoRequests.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("scheduling"));
+    }
+
+    #[test]
+    fn inconsistent_has_no_source() {
+        let err = CoreError::Inconsistent { reason: "x" };
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Joint pipeline experiments: the Eq. (16) total-latency comparison.
+//!
+//! The paper's headline claim is that the combined BFDSU + RCKK pipeline
+//! reduces the average total latency of all requests — response latency at
+//! the scheduled instances plus inter-node communication latency — by
+//! ~19.9% against the state-of-the-art combination. This module runs the
+//! full two-phase pipeline for several (placer, scheduler) pairs over
+//! identical scenarios/topologies and reports Eq. (16) and the placement
+//! quality metrics side by side.
+
+use nfv_metrics::OnlineStats;
+use nfv_placement::{Bfd, Bfdsu, ChainAffinity, Ffd, Nah, PlacementProblem};
+use nfv_placement::Placer as _;
+use nfv_scheduling::{Cga, Rckk};
+use nfv_topology::{builders, LinkDelay};
+use nfv_workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, JointOptimizer};
+
+/// Configuration of a joint-pipeline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointConfig {
+    /// Number of computing nodes.
+    pub nodes: usize,
+    /// Packing tightness: fraction of the total node capacity the workload
+    /// demands (capacities are sized from the workload, as in the
+    /// placement experiments).
+    pub fill: f64,
+    /// Number of VNFs.
+    pub vnfs: usize,
+    /// Number of requests.
+    pub requests: usize,
+    /// Requests per service instance.
+    pub requests_per_instance: u32,
+    /// Balanced per-instance target utilization used to scale `μ_f`.
+    pub target_utilization: f64,
+    /// Per-hop link delay in microseconds (the paper's `L`).
+    pub link_delay_micros: f64,
+}
+
+impl JointConfig {
+    /// A representative mid-size configuration: the same 75%-fill packing
+    /// regime as the placement experiments, instances loaded to 85% so the
+    /// scheduling phase matters, and a 1 ms per-hop `L` (propagation plus
+    /// the transmission of a flow's packet train between racks).
+    #[must_use]
+    pub fn base() -> Self {
+        Self {
+            nodes: 12,
+            fill: 0.75,
+            vnfs: 15,
+            requests: 200,
+            requests_per_instance: 10,
+            target_utilization: 0.93,
+            link_delay_micros: 1000.0,
+        }
+    }
+}
+
+/// Averaged metrics of one pipeline over all repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointStats {
+    /// Pipeline label, e.g. `"bfdsu+rckk"`.
+    pub name: String,
+    /// Mean of Eq. (16)'s average total latency per request, seconds.
+    pub avg_total_latency: f64,
+    /// Mean response-latency part, seconds.
+    pub avg_response_latency: f64,
+    /// Mean link-latency part, seconds.
+    pub avg_link_latency: f64,
+    /// Mean nodes in service.
+    pub avg_nodes_in_service: f64,
+    /// Mean average utilization (ratio).
+    pub avg_utilization: f64,
+    /// Repetitions where the pipeline failed (infeasible placement or
+    /// unstable schedule).
+    pub failures: u64,
+}
+
+/// The pipelines compared: the paper's proposal and the two baseline
+/// combinations.
+#[must_use]
+pub fn standard_pipelines() -> Vec<(String, JointOptimizer)> {
+    vec![
+        (
+            "bfdsu+rckk".to_owned(),
+            JointOptimizer::new()
+                .with_placer(Box::new(Bfdsu::new()))
+                .with_scheduler(Box::new(Rckk::new())),
+        ),
+        (
+            "affinity+rckk".to_owned(),
+            JointOptimizer::new()
+                .with_placer(Box::new(ChainAffinity::new()))
+                .with_scheduler(Box::new(Rckk::new())),
+        ),
+        (
+            "ffd+cga".to_owned(),
+            JointOptimizer::new()
+                .with_placer(Box::new(Ffd::new()))
+                .with_scheduler(Box::new(Cga::new())),
+        ),
+        (
+            "nah+cga".to_owned(),
+            JointOptimizer::new()
+                .with_placer(Box::new(Nah::new()))
+                .with_scheduler(Box::new(Cga::new())),
+        ),
+    ]
+}
+
+/// Runs every pipeline on `repetitions` seeded scenario/topology draws and
+/// averages the Eq. (16) metrics.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for structurally invalid configurations; per-seed
+/// pipeline failures are counted in [`JointStats::failures`].
+pub fn run_comparison(
+    config: &JointConfig,
+    repetitions: u64,
+    base_seed: u64,
+) -> Result<Vec<JointStats>, CoreError> {
+    let pipelines = standard_pipelines();
+    let mut total: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
+    let mut response: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
+    let mut link: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
+    let mut nodes: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
+    let mut utilization: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
+    let mut failures: Vec<u64> = vec![0; pipelines.len()];
+
+    for rep in 0..repetitions {
+        let seed = base_seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(rep);
+        let scenario = ScenarioBuilder::new()
+            .vnfs(config.vnfs)
+            .requests(config.requests)
+            .instance_policy(InstancePolicy::PerUsers {
+                requests_per_instance: config.requests_per_instance,
+            })
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                target_utilization: config.target_utilization,
+            })
+            .seed(seed)
+            .build()?;
+        let total_demand = scenario.total_demand().value();
+        let max_demand = scenario
+            .vnfs()
+            .iter()
+            .map(|v| v.total_demand().value())
+            .fold(0.0f64, f64::max);
+        let (lo, hi) = crate::experiments::capacity_bounds(
+            total_demand,
+            max_demand,
+            config.nodes,
+            config.fill,
+        );
+        // Redraw capacities until a deterministic strong packer certifies
+        // feasibility, as in the placement experiments.
+        let mut topology = None;
+        for redraw in 0..20u64 {
+            let candidate = builders::random_connected()
+                .nodes(config.nodes)
+                .seed(seed)
+                .capacity_range(lo, hi, seed ^ 0x5555 ^ (redraw << 48))
+                .link_delay(LinkDelay::from_micros(config.link_delay_micros))
+                .build()?;
+            let problem = PlacementProblem::new(
+                candidate.compute_nodes().to_vec(),
+                scenario.vnfs().to_vec(),
+            )?;
+            let mut probe_rng = StdRng::seed_from_u64(0);
+            let feasible =
+                Bfd::new().place(&problem, &mut probe_rng).is_ok();
+            topology = Some(candidate);
+            if feasible {
+                break;
+            }
+        }
+        let topology = topology.expect("at least one draw was made");
+
+        for (i, (_, optimizer)) in pipelines.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 24));
+            let objective = optimizer
+                .optimize(&scenario, &topology, &mut rng)
+                .and_then(|solution| {
+                    let placement_nodes = solution.placement().nodes_in_service() as f64;
+                    let placement_util = solution.placement().average_utilization().value();
+                    solution.objective().map(|o| (o, placement_nodes, placement_util))
+                });
+            match objective {
+                Ok((objective, n, u)) => {
+                    total[i].push(objective.average_total_latency());
+                    response[i].push(objective.average_response_latency());
+                    link[i].push(objective.average_link_latency());
+                    nodes[i].push(n);
+                    utilization[i].push(u);
+                }
+                Err(_) => failures[i] += 1,
+            }
+        }
+    }
+
+    Ok(pipelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| JointStats {
+            name: name.clone(),
+            avg_total_latency: total[i].mean(),
+            avg_response_latency: response[i].mean(),
+            avg_link_latency: link[i].mean(),
+            avg_nodes_in_service: nodes[i].mean(),
+            avg_utilization: utilization[i].mean(),
+            failures: failures[i],
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_four_pipelines() {
+        let stats = run_comparison(&JointConfig::base(), 3, 1).unwrap();
+        let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["bfdsu+rckk", "affinity+rckk", "ffd+cga", "nah+cga"]);
+        for s in &stats {
+            assert!(
+                s.failures < 3,
+                "{} failed every repetition",
+                s.name
+            );
+            assert!(s.avg_total_latency > 0.0);
+            assert!(
+                (s.avg_total_latency
+                    - (s.avg_response_latency + s.avg_link_latency))
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn paper_pipeline_wins_on_total_latency() {
+        let stats = run_comparison(&JointConfig::base(), 5, 11).unwrap();
+        let get = |name: &str| stats.iter().find(|s| s.name == name).unwrap();
+        let ours = get("bfdsu+rckk");
+        let nah = get("nah+cga");
+        assert!(
+            ours.avg_total_latency <= nah.avg_total_latency,
+            "bfdsu+rckk {} > nah+cga {}",
+            ours.avg_total_latency,
+            nah.avg_total_latency
+        );
+        assert!(ours.avg_utilization >= nah.avg_utilization);
+    }
+
+    #[test]
+    fn affinity_is_at_parity_with_bfdsu() {
+        // Measured negative result (documented on `ChainAffinity`): the
+        // co-location bonus neither helps nor hurts on this workload
+        // family — BFDSU's consolidation already co-locates what capacity
+        // allows. Guard the parity so a regression in either direction
+        // (broken packing or runaway bonus) is caught.
+        let config = JointConfig { nodes: 6, fill: 0.65, ..JointConfig::base() };
+        let stats = run_comparison(&config, 8, 21).unwrap();
+        let get = |name: &str| stats.iter().find(|s| s.name == name).unwrap();
+        let affinity = get("affinity+rckk");
+        let bfdsu = get("bfdsu+rckk");
+        assert!(
+            affinity.avg_link_latency <= bfdsu.avg_link_latency * 1.10,
+            "affinity link {} strayed from bfdsu link {}",
+            affinity.avg_link_latency,
+            bfdsu.avg_link_latency
+        );
+        assert!(
+            (affinity.avg_total_latency - bfdsu.avg_total_latency).abs()
+                <= bfdsu.avg_total_latency * 0.05
+        );
+        assert!(affinity.avg_nodes_in_service <= bfdsu.avg_nodes_in_service + 1.0);
+        assert_eq!(affinity.failures, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_comparison(&JointConfig::base(), 2, 5).unwrap();
+        let b = run_comparison(&JointConfig::base(), 2, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

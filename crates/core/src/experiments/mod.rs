@@ -1,0 +1,198 @@
+//! Parameterized experiment runners reproducing the paper's evaluation.
+//!
+//! Each submodule owns one family of experiments:
+//!
+//! * [`placement`] — Figs. 5–10: average resource utilization, nodes in
+//!   service, resource occupation and iteration counts for BFDSU vs FFD vs
+//!   NAH;
+//! * [`scheduling`] — Figs. 11–14 and the tail statistics: average and
+//!   99th-percentile response time for RCKK vs CGA; Figs. 15–16: job
+//!   rejection rates under admission control;
+//! * [`joint`] — the combined pipeline and the Eq. (16) total-latency
+//!   comparison (the paper's headline numbers);
+//! * [`validation`] — closed-form Jackson analytics vs the discrete-event
+//!   simulator.
+//!
+//! Runners return a [`Sweep`]: the x-axis points and one y-series per
+//! algorithm, convertible to a plain-text table — the same rows the paper
+//! plots. All runners take a base seed and a repetition count; results are
+//! deterministic for fixed inputs.
+
+pub mod joint;
+pub mod placement;
+pub mod scheduling;
+pub mod validation;
+
+use nfv_metrics::Table;
+use serde::{Deserialize, Serialize};
+
+/// Capacity bounds for workload-scaled node sizing: capacities are drawn
+/// uniformly from `0.4×..1.6×` the mean capacity `total_demand / (nodes ·
+/// fill)`, with the upper bound lifted so the largest VNF fits on the
+/// largest node. Shared by the placement and joint experiments so both
+/// sweep at constant packing tightness.
+pub(crate) fn capacity_bounds(
+    total_demand: f64,
+    max_demand: f64,
+    nodes: usize,
+    fill: f64,
+) -> (f64, f64) {
+    let mean_capacity = total_demand / (nodes as f64 * fill);
+    let lo = 0.4 * mean_capacity;
+    let hi = (1.6 * mean_capacity).max(max_demand * 1.1);
+    (lo, hi)
+}
+
+/// One figure's data: x-axis points against one value series per
+/// algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    x_label: String,
+    series: Vec<String>,
+    rows: Vec<SweepRow>,
+}
+
+/// One x-axis point of a [`Sweep`] with its per-series values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The x-axis value (number of requests, nodes, instances, …).
+    pub x: f64,
+    /// One value per series, in [`Sweep::series`] order.
+    pub values: Vec<f64>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep with the given x-axis label and series names.
+    #[must_use]
+    pub fn new(x_label: impl Into<String>, series: Vec<String>) -> Self {
+        Self { x_label: x_label.into(), series, rows: Vec::new() }
+    }
+
+    /// Appends one x-axis point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the series count.
+    pub fn push(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "one value per series required");
+        self.rows.push(SweepRow { x, values });
+    }
+
+    /// The x-axis label.
+    #[must_use]
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The series names (algorithms).
+    #[must_use]
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// The values of one series across all rows, by series name.
+    #[must_use]
+    pub fn series_values(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.series.iter().position(|s| s == name)?;
+        Some(self.rows.iter().map(|r| r.values[idx]).collect())
+    }
+
+    /// The mean of one series across all rows.
+    #[must_use]
+    pub fn series_mean(&self, name: &str) -> Option<f64> {
+        let values = self.series_values(name)?;
+        if values.is_empty() {
+            return Some(0.0);
+        }
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+
+    /// Renders the sweep as CSV (header row + one line per x point), for
+    /// downstream plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for name in &self.series {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{}", row.x));
+            for value in &row.values {
+                out.push_str(&format!(",{value}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the sweep as a plain-text table with `precision` decimals.
+    #[must_use]
+    pub fn to_table(&self, precision: usize) -> Table {
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().cloned());
+        let mut table = Table::new(headers);
+        for row in &self.rows {
+            let label = if row.x.fract() == 0.0 {
+                format!("{}", row.x as i64)
+            } else {
+                format!("{:.3}", row.x)
+            };
+            table.numeric_row(label, &row.values, precision);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_accumulates_rows_and_extracts_series() {
+        let mut sweep = Sweep::new("requests", vec!["bfdsu".into(), "ffd".into()]);
+        sweep.push(30.0, vec![0.9, 0.7]);
+        sweep.push(100.0, vec![0.92, 0.68]);
+        assert_eq!(sweep.rows().len(), 2);
+        assert_eq!(sweep.series_values("ffd"), Some(vec![0.7, 0.68]));
+        assert_eq!(sweep.series_values("nah"), None);
+        let mean = sweep.series_mean("bfdsu").unwrap();
+        assert!((mean - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn push_validates_arity() {
+        let mut sweep = Sweep::new("x", vec!["a".into()]);
+        sweep.push(1.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_rendering_round_trips_values() {
+        let mut sweep = Sweep::new("n", vec!["a".into(), "b".into()]);
+        sweep.push(10.0, vec![0.5, 1.25]);
+        sweep.push(20.0, vec![0.75, 2.5]);
+        let csv = sweep.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("n,a,b"));
+        assert_eq!(lines.next(), Some("10,0.5,1.25"));
+        assert_eq!(lines.next(), Some("20,0.75,2.5"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn table_rendering_includes_headers_and_values() {
+        let mut sweep = Sweep::new("n", vec!["algo".into()]);
+        sweep.push(10.0, vec![0.5]);
+        let text = sweep.to_table(2).to_string();
+        assert!(text.contains("n") && text.contains("algo") && text.contains("0.50"));
+    }
+}

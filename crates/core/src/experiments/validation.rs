@@ -1,0 +1,362 @@
+//! Validation: closed-form Jackson analytics vs the discrete-event
+//! simulator.
+//!
+//! The queueing model of §III.B is only as credible as its agreement with
+//! the system it abstracts. This module builds matched pairs — an analytic
+//! configuration evaluated by `nfv-queueing` and the identical stochastic
+//! system executed by `nfv-sim` — and reports relative errors. The
+//! `figures validate` command and the integration tests keep the two
+//! implementations honest against each other.
+
+use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+use nfv_queueing::InstanceLoad;
+use nfv_scheduling::{Rckk, Scheduler};
+use nfv_sim::{SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// One analytic-vs-simulated comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Human-readable description of the configuration.
+    pub label: String,
+    /// Mean end-to-end latency predicted by the Jackson model, seconds.
+    pub analytic: f64,
+    /// Mean end-to-end latency measured by the simulator, seconds.
+    pub simulated: f64,
+}
+
+impl ValidationRow {
+    /// Relative error `|sim − analytic| / analytic`.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.analytic == 0.0 {
+            0.0
+        } else {
+            (self.simulated - self.analytic).abs() / self.analytic
+        }
+    }
+}
+
+/// Deliveries simulated per validation row. High-utilization stations mix
+/// slowly (autocorrelated sojourns), so the suite errs toward more samples
+/// and a generous warmup.
+const DELIVERIES: u64 = 200_000;
+const WARMUP: u64 = 30_000;
+
+/// Validates a single M/M/1 instance with loss feedback: analytic
+/// `W = (1/P)/(μ − λ/P)` vs simulation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Queueing`] if the configuration is unstable.
+pub fn validate_single_station(
+    lambda: f64,
+    mu: f64,
+    p: f64,
+    seed: u64,
+) -> Result<ValidationRow, CoreError> {
+    let mut load = InstanceLoad::new(
+        ServiceRate::new(mu).map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?,
+    );
+    load.add_request(
+        ArrivalRate::new(lambda).map_err(|_| CoreError::Inconsistent { reason: "bad lambda" })?,
+        DeliveryProbability::new(p)
+            .map_err(|_| CoreError::Inconsistent { reason: "bad delivery" })?,
+    );
+    let analytic = load.mean_delivery_response_time()?;
+
+    let config = SimConfig::builder()
+        .station(mu)
+        .map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?
+        .request(lambda, p, vec![0])
+        .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?
+        .target_deliveries(DELIVERIES)
+        .warmup_deliveries(WARMUP)
+        .build()
+        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
+    Ok(ValidationRow {
+        label: format!("M/M/1 λ={lambda} μ={mu} P={p}"),
+        analytic,
+        simulated: report.mean_latency(),
+    })
+}
+
+/// Validates a full scheduling point: `n` random requests scheduled by
+/// RCKK onto `m` instances, compared on the packet-average latency
+/// `Σ_k E[N_k] / Σ_r λ_r` (global Little's law) against the simulator
+/// executing the identical assignment.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the point is invalid or unstable.
+pub fn validate_scheduled_instances(
+    requests: usize,
+    instances: usize,
+    p: f64,
+    seed: u64,
+) -> Result<ValidationRow, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rates: Vec<ArrivalRate> = (0..requests)
+        .map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).expect("positive range"))
+        .collect();
+    let schedule = Rckk::new().schedule(&rates, instances)?;
+    // μ such that the most loaded instance sits at 90% utilization.
+    let mu_value = schedule.makespan() / p / 0.9;
+    let mu = ServiceRate::new(mu_value)
+        .map_err(|_| CoreError::Inconsistent { reason: "degenerate service rate" })?;
+    let delivery = DeliveryProbability::new(p)
+        .map_err(|_| CoreError::Inconsistent { reason: "bad delivery" })?;
+
+    // Analytic packet-average latency over delivered packets.
+    let loads = schedule.instance_loads(mu, delivery);
+    let mut expected_packets = 0.0;
+    for load in &loads {
+        expected_packets += load.queue()?.mean_packets_in_system();
+    }
+    let total_external: f64 = rates.iter().map(|r| r.value()).sum();
+    let analytic = expected_packets / total_external;
+
+    // The identical system, simulated.
+    let mut builder = SimConfig::builder()
+        .stations(mu_value, instances)
+        .map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?;
+    for (r, rate) in rates.iter().enumerate() {
+        builder = builder
+            .request(rate.value(), p, vec![schedule.instance_of(r)])
+            .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?;
+    }
+    let config = builder
+        .target_deliveries(DELIVERIES)
+        .warmup_deliveries(WARMUP)
+        .build()
+        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xBEEF));
+    Ok(ValidationRow {
+        label: format!("{requests} requests on {instances} instances, P={p}"),
+        analytic,
+        simulated: report.mean_latency(),
+    })
+}
+
+/// Validates a tandem chain (each request visits several stations in
+/// series) with loss feedback.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the configuration is unstable.
+pub fn validate_chain(
+    lambda: f64,
+    mus: &[f64],
+    p: f64,
+    seed: u64,
+) -> Result<ValidationRow, CoreError> {
+    // Analytic: E[T] = (1/P) Σ 1/(μ_i − λ/P).
+    let effective = lambda / p;
+    let mut analytic = 0.0;
+    for &mu in mus {
+        if effective >= mu {
+            return Err(CoreError::Queueing(nfv_queueing::QueueingError::Unstable {
+                arrival: effective,
+                service: mu,
+            }));
+        }
+        analytic += 1.0 / (mu - effective);
+    }
+    analytic /= p;
+
+    let mut builder = SimConfig::builder();
+    for &mu in mus {
+        builder = builder
+            .station(mu)
+            .map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?;
+    }
+    let config = builder
+        .request(lambda, p, (0..mus.len()).collect())
+        .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?
+        .target_deliveries(DELIVERIES)
+        .warmup_deliveries(WARMUP)
+        .build()
+        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
+    Ok(ValidationRow {
+        label: format!("chain of {} stations, λ={lambda}, P={p}", mus.len()),
+        analytic,
+        simulated: report.mean_latency(),
+    })
+}
+
+/// Validates a complete joint solution end-to-end: a scenario is placed
+/// and scheduled by the default pipeline (BFDSU + RCKK), every service
+/// instance becomes a simulator station, every request's chain becomes a
+/// station path with its own delivery probability — and the simulator's
+/// packet-average latency is compared against the analytic prediction
+/// `Σ_r λ_r · E[T_r] / Σ_r λ_r` with
+/// `E[T_r] = (1/P_r) · Σ_hops 1/(μ − Λ)`.
+///
+/// This is the strongest cross-check in the suite: it exercises workload
+/// generation, placement, scheduling, the Kleinrock merge of heterogeneous
+/// per-request loss rates, and the simulator in one shot.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the pipeline fails or an instance is unstable.
+pub fn validate_joint_solution(
+    vnfs: usize,
+    requests: usize,
+    seed: u64,
+) -> Result<ValidationRow, CoreError> {
+    use nfv_queueing::ChainResponse;
+    use nfv_topology::builders;
+    use nfv_workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
+
+    let scenario = ScenarioBuilder::new()
+        .vnfs(vnfs)
+        .requests(requests)
+        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 8 })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.8 })
+        .seed(seed)
+        .build()?;
+    let per_host = scenario.total_demand().value() / 4.0;
+    let max_vnf = scenario
+        .vnfs()
+        .iter()
+        .map(|v| v.total_demand().value())
+        .fold(0.0f64, f64::max);
+    let topology = builders::star()
+        .hosts(8)
+        .uniform_capacity(per_host.max(1.1 * max_vnf))
+        .build()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let solution = crate::JointOptimizer::new().optimize(&scenario, &topology, &mut rng)?;
+    let loads = solution.instance_loads();
+
+    // Analytic packet-average end-to-end latency over delivered packets.
+    let mut weighted = 0.0;
+    let mut total_rate = 0.0;
+    for request in scenario.requests() {
+        let stations: Vec<&nfv_queueing::InstanceLoad> = request
+            .chain()
+            .iter()
+            .map(|vnf| {
+                let k = solution
+                    .instance_serving(request.id(), vnf)
+                    .expect("scheduled on every chain VNF");
+                &loads[vnf.as_usize()][k]
+            })
+            .collect();
+        let response = ChainResponse::compute(stations, request.delivery())?;
+        weighted += request.arrival_rate().value() * response.total();
+        total_rate += request.arrival_rate().value();
+    }
+    let analytic = weighted / total_rate;
+
+    // The identical system in the simulator: one station per (VNF,
+    // instance), indexed consecutively.
+    let mut station_index = Vec::with_capacity(scenario.vnfs().len());
+    let mut builder = SimConfig::builder();
+    let mut next = 0usize;
+    for vnf in scenario.vnfs() {
+        station_index.push(next);
+        for _ in 0..vnf.instances() {
+            builder = builder
+                .station(vnf.service_rate().value())
+                .map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?;
+            next += 1;
+        }
+    }
+    for request in scenario.requests() {
+        let path: Vec<usize> = request
+            .chain()
+            .iter()
+            .map(|vnf| {
+                station_index[vnf.as_usize()]
+                    + solution
+                        .instance_serving(request.id(), vnf)
+                        .expect("scheduled on every chain VNF")
+            })
+            .collect();
+        builder = builder
+            .request(request.arrival_rate().value(), request.delivery().value(), path)
+            .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?;
+    }
+    let config = builder
+        .target_deliveries(DELIVERIES)
+        .warmup_deliveries(WARMUP)
+        .build()
+        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xFACE));
+    Ok(ValidationRow {
+        label: format!("joint pipeline: {vnfs} VNFs, {requests} requests"),
+        analytic,
+        simulated: report.mean_latency(),
+    })
+}
+
+/// Runs the standard validation suite: single stations across loads, a
+/// lossy station, chains, and scheduled instance groups.
+///
+/// # Errors
+///
+/// Propagates instability errors, which indicate a bug in the suite's
+/// parameters.
+pub fn standard_suite(seed: u64) -> Result<Vec<ValidationRow>, CoreError> {
+    Ok(vec![
+        validate_single_station(30.0, 100.0, 1.0, seed)?,
+        validate_single_station(70.0, 100.0, 1.0, seed.wrapping_add(1))?,
+        validate_single_station(90.0, 100.0, 1.0, seed.wrapping_add(2))?,
+        validate_single_station(50.0, 100.0, 0.9, seed.wrapping_add(3))?,
+        validate_chain(40.0, &[100.0, 80.0, 120.0], 1.0, seed.wrapping_add(4))?,
+        validate_chain(40.0, &[100.0, 80.0, 120.0], 0.95, seed.wrapping_add(5))?,
+        validate_scheduled_instances(50, 5, 0.98, seed.wrapping_add(6))?,
+        validate_scheduled_instances(100, 8, 1.0, seed.wrapping_add(7))?,
+        validate_joint_solution(8, 80, seed.wrapping_add(8))?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_agrees_within_five_percent() {
+        let row = validate_single_station(50.0, 100.0, 1.0, 42).unwrap();
+        assert!(row.relative_error() < 0.05, "error {}", row.relative_error());
+    }
+
+    #[test]
+    fn lossy_station_agrees() {
+        let row = validate_single_station(40.0, 100.0, 0.85, 43).unwrap();
+        assert!(row.relative_error() < 0.06, "error {}", row.relative_error());
+    }
+
+    #[test]
+    fn chain_agrees() {
+        let row = validate_chain(30.0, &[100.0, 60.0], 1.0, 44).unwrap();
+        assert!(row.relative_error() < 0.05, "error {}", row.relative_error());
+    }
+
+    #[test]
+    fn scheduled_instances_agree() {
+        let row = validate_scheduled_instances(40, 4, 0.98, 45).unwrap();
+        assert!(row.relative_error() < 0.08, "error {}", row.relative_error());
+    }
+
+    #[test]
+    fn joint_solution_agrees_with_simulation() {
+        let row = validate_joint_solution(6, 60, 47).unwrap();
+        assert!(row.relative_error() < 0.08, "error {}", row.relative_error());
+    }
+
+    #[test]
+    fn unstable_chain_is_rejected() {
+        assert!(matches!(
+            validate_chain(90.0, &[100.0, 80.0], 0.8, 46),
+            Err(CoreError::Queueing(_))
+        ));
+    }
+}

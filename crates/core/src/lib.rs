@@ -1,0 +1,59 @@
+//! Joint optimization of VNF chain placement and request scheduling.
+//!
+//! This crate is the top of the workspace: it wires the substrates —
+//! workload generation ([`nfv_workload`]), topologies ([`nfv_topology`]),
+//! queueing analytics ([`nfv_queueing`]), placement ([`nfv_placement`]) and
+//! scheduling ([`nfv_scheduling`]) — into the two-phase pipeline of
+//! *"Joint Optimization of Chain Placement and Request Scheduling for
+//! Network Function Virtualization"* (ICDCS 2017):
+//!
+//! 1. **Placement** (default [`nfv_placement::Bfdsu`]): assign every VNF
+//!    with all its service instances to a computing node, maximizing the
+//!    average utilization of nodes in service (Eq. (13)/(14));
+//! 2. **Scheduling** (default [`nfv_scheduling::Rckk`]): for each VNF,
+//!    distribute its requests over its `M_f` instances, minimizing the
+//!    average M/M/1 response time (Eq. (15)).
+//!
+//! The combined [`JointSolution`] evaluates the paper's joint objective
+//! Eq. (16): per request, the sum of response times at its assigned
+//! instances plus `(#nodes traversed − 1) · L` of inter-node communication
+//! latency.
+//!
+//! The [`experiments`] module contains the parameterized runners that
+//! regenerate every figure of the paper's evaluation (see `EXPERIMENTS.md`
+//! at the workspace root and the `nfv-bench` crate's `figures` binary).
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_core::JointOptimizer;
+//! use nfv_topology::builders;
+//! use nfv_workload::ScenarioBuilder;
+//! use rand::SeedableRng;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = ScenarioBuilder::new().vnfs(6).requests(40).seed(1).build()?;
+//! let topology = builders::star()
+//!     .hosts(8)
+//!     .capacity_range(1000.0, 5000.0, 7)
+//!     .build()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng)?;
+//! println!("nodes in service: {}", solution.placement().nodes_in_service());
+//! println!("avg total latency: {:.6}s", solution.objective()?.average_total_latency());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+mod objective;
+mod optimizer;
+mod solution;
+
+pub use error::CoreError;
+pub use objective::JointObjective;
+pub use optimizer::JointOptimizer;
+pub use solution::JointSolution;

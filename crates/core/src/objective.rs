@@ -1,0 +1,133 @@
+//! The joint objective (Eq. (16)).
+
+use std::fmt;
+
+use nfv_queueing::InstanceLoad;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, JointSolution};
+
+/// The evaluated joint objective of Eq. (16): for every request the sum of
+/// the mean response times `W(f,k)` of its assigned instances, plus the
+/// communication latency `(Σ_v η_v^r − 1) · L` for crossing between the
+/// nodes its chain touches.
+///
+/// The response part uses the per-delivery `W(f,k)` of Eq. (11)/(12),
+/// which already accounts for loss-feedback retransmissions; the link part
+/// uses the topology's per-hop delay `L` exactly as the paper's constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointObjective {
+    response: Vec<f64>,
+    link: Vec<f64>,
+}
+
+impl JointObjective {
+    pub(crate) fn evaluate(solution: &JointSolution) -> Result<Self, CoreError> {
+        let loads = solution.instance_loads();
+        // Precompute W(f,k) for every instance.
+        let w: Vec<Vec<f64>> = loads
+            .iter()
+            .map(|per_vnf| {
+                per_vnf
+                    .iter()
+                    .map(InstanceLoad::mean_delivery_response_time)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+
+        let link_delay = solution.topology().link_delay().seconds();
+        let mut response = Vec::with_capacity(solution.scenario().requests().len());
+        let mut link = Vec::with_capacity(response.capacity());
+        for request in solution.scenario().requests() {
+            let mut resp = 0.0;
+            for vnf in request.chain() {
+                let k = solution
+                    .instance_serving(request.id(), *vnf)
+                    .ok_or(CoreError::Inconsistent { reason: "request not scheduled on its VNF" })?;
+                resp += w[vnf.as_usize()][k];
+            }
+            let nodes = solution.nodes_traversed(request.id()).len();
+            response.push(resp);
+            link.push(nodes.saturating_sub(1) as f64 * link_delay);
+        }
+        Ok(Self { response, link })
+    }
+
+    /// Number of requests evaluated.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.response.len()
+    }
+
+    /// Per-request response-time part (`Σ_f Σ_k z U W(f,k)`), seconds.
+    #[must_use]
+    pub fn response_latencies(&self) -> &[f64] {
+        &self.response
+    }
+
+    /// Per-request link part (`(Σ_v η_v^r − 1) · L`), seconds.
+    #[must_use]
+    pub fn link_latencies(&self) -> &[f64] {
+        &self.link
+    }
+
+    /// Total latency of one request (response + link), seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` is out of range.
+    #[must_use]
+    pub fn total_latency_of(&self, request: usize) -> f64 {
+        self.response[request] + self.link[request]
+    }
+
+    /// The objective value: total latency summed over all requests
+    /// (Eq. (16)), seconds.
+    #[must_use]
+    pub fn total_latency(&self) -> f64 {
+        self.response.iter().sum::<f64>() + self.link.iter().sum::<f64>()
+    }
+
+    /// Average total latency per request, seconds.
+    #[must_use]
+    pub fn average_total_latency(&self) -> f64 {
+        if self.response.is_empty() {
+            0.0
+        } else {
+            self.total_latency() / self.response.len() as f64
+        }
+    }
+
+    /// Average response part per request, seconds.
+    #[must_use]
+    pub fn average_response_latency(&self) -> f64 {
+        if self.response.is_empty() {
+            0.0
+        } else {
+            self.response.iter().sum::<f64>() / self.response.len() as f64
+        }
+    }
+
+    /// Average link part per request, seconds.
+    #[must_use]
+    pub fn average_link_latency(&self) -> f64 {
+        if self.link.is_empty() {
+            0.0
+        } else {
+            self.link.iter().sum::<f64>() / self.link.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for JointObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "objective: avg latency {:.6}s (response {:.6}s + link {:.6}s) over {} requests",
+            self.average_total_latency(),
+            self.average_response_latency(),
+            self.average_link_latency(),
+            self.requests()
+        )
+    }
+}

@@ -1,0 +1,302 @@
+//! The two-phase joint optimizer.
+
+use nfv_model::{ArrivalRate, Demand, RequestId, ServiceChain};
+use nfv_placement::{Bfdsu, Placer, PlacementProblem};
+use nfv_scheduling::{Rckk, Scheduler};
+use nfv_topology::Topology;
+use nfv_workload::replicate::{self, ReplicaMap};
+use nfv_workload::Scenario;
+use rand::RngCore;
+
+use crate::{CoreError, JointSolution};
+
+/// The paper's hierarchical two-phase solver: a [`Placer`] for VNF chain
+/// placement followed by a [`Scheduler`] applied independently to each
+/// VNF's requests.
+///
+/// Defaults to the paper's proposal (BFDSU + RCKK); swap either phase to
+/// reproduce the baselines:
+///
+/// ```
+/// use nfv_core::JointOptimizer;
+/// use nfv_placement::Ffd;
+/// use nfv_scheduling::Cga;
+/// let baseline = JointOptimizer::new()
+///     .with_placer(Box::new(Ffd::new()))
+///     .with_scheduler(Box::new(Cga::new()));
+/// ```
+pub struct JointOptimizer {
+    placer: Box<dyn Placer>,
+    scheduler: Box<dyn Scheduler>,
+}
+
+impl JointOptimizer {
+    /// Creates the optimizer with the paper's algorithms: [`Bfdsu`]
+    /// placement and [`Rckk`] scheduling.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { placer: Box::new(Bfdsu::new()), scheduler: Box::new(Rckk::new()) }
+    }
+
+    /// Replaces the placement algorithm.
+    #[must_use]
+    pub fn with_placer(mut self, placer: Box<dyn Placer>) -> Self {
+        self.placer = placer;
+        self
+    }
+
+    /// Replaces the scheduling algorithm.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The configured placer's name.
+    #[must_use]
+    pub fn placer_name(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    /// The configured scheduler's name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Runs both phases on a scenario over a topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, placement and scheduling failures as
+    /// [`CoreError`].
+    pub fn optimize(
+        &self,
+        scenario: &Scenario,
+        topology: &Topology,
+        rng: &mut dyn RngCore,
+    ) -> Result<JointSolution, CoreError> {
+        scenario.validate()?;
+
+        // Phase one: place every VNF (with all its instances) on a node.
+        let chains: Vec<ServiceChain> =
+            scenario.requests().iter().map(|r| r.chain().clone()).collect();
+        let problem = PlacementProblem::with_chains(
+            topology.compute_nodes().to_vec(),
+            scenario.vnfs().to_vec(),
+            chains,
+        )?;
+        let outcome = self.placer.place(&problem, rng)?;
+
+        // Phase two: schedule each VNF's requests over its instances.
+        let mut schedules = Vec::with_capacity(scenario.vnfs().len());
+        let mut users: Vec<Vec<RequestId>> = Vec::with_capacity(scenario.vnfs().len());
+        for vnf in scenario.vnfs() {
+            let vnf_users: Vec<RequestId> =
+                scenario.requests_using(vnf.id()).map(|r| r.id()).collect();
+            let rates: Vec<ArrivalRate> = vnf_users
+                .iter()
+                .map(|&id| scenario.request(id).expect("user ids are valid").arrival_rate())
+                .collect();
+            let schedule = self.scheduler.schedule(&rates, vnf.instances() as usize)?;
+            schedules.push(schedule);
+            users.push(vnf_users);
+        }
+
+        JointSolution::new(
+            scenario.clone(),
+            topology.clone(),
+            outcome.placement().clone(),
+            outcome.iterations(),
+            schedules,
+            users,
+        )
+    }
+
+    /// Like [`optimize`](Self::optimize), but first splits any VNF whose
+    /// total demand exceeds the largest node's capacity into replica VNFs
+    /// (the paper's replica rule, §III.A), then optimizes the rewritten
+    /// scenario. The returned solution is expressed in replica ids; the
+    /// [`ReplicaMap`] translates back to the original VNFs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replication failures (a single instance larger than
+    /// every node) and all [`optimize`](Self::optimize) errors.
+    pub fn optimize_with_replication(
+        &self,
+        scenario: &Scenario,
+        topology: &Topology,
+        rng: &mut dyn RngCore,
+    ) -> Result<(JointSolution, ReplicaMap), CoreError> {
+        let max_node = topology
+            .compute_nodes()
+            .iter()
+            .map(|n| n.capacity().value())
+            .fold(0.0f64, f64::max);
+        let budget = Demand::new(max_node)
+            .map_err(|_| CoreError::Inconsistent { reason: "topology has no usable capacity" })?;
+        let (rewritten, map) = replicate::split_oversized(scenario, budget)?;
+        let solution = self.optimize(&rewritten, topology, rng)?;
+        Ok((solution, map))
+    }
+}
+
+impl Default for JointOptimizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for JointOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JointOptimizer")
+            .field("placer", &self.placer.name())
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_topology::builders;
+    use nfv_workload::ScenarioBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::new().vnfs(6).requests(40).seed(5).build().unwrap()
+    }
+
+    fn topology() -> Topology {
+        builders::star().hosts(8).capacity_range(1000.0, 5000.0, 3).build().unwrap()
+    }
+
+    #[test]
+    fn default_pipeline_produces_consistent_solution() {
+        let scenario = scenario();
+        let topology = topology();
+        let mut rng = StdRng::seed_from_u64(0);
+        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+
+        // Every request is scheduled on every VNF of its chain, and the
+        // placement hosts every VNF.
+        for request in scenario.requests() {
+            for vnf in request.chain() {
+                assert!(solution.instance_serving(request.id(), *vnf).is_some());
+                assert!(solution.node_serving(request.id(), *vnf).is_some());
+            }
+        }
+        assert!(solution.placement().nodes_in_service() >= 1);
+        assert!(solution.placement_iterations() >= 1);
+    }
+
+    #[test]
+    fn objective_is_finite_and_decomposes() {
+        let scenario = scenario();
+        let topology = topology();
+        let mut rng = StdRng::seed_from_u64(1);
+        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+        let objective = solution.objective().unwrap();
+        assert_eq!(objective.requests(), scenario.requests().len());
+        assert!(objective.total_latency().is_finite());
+        let sum_parts = objective.average_response_latency() + objective.average_link_latency();
+        assert!((objective.average_total_latency() - sum_parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapping_algorithms_changes_names_not_contract() {
+        use nfv_placement::Ffd;
+        use nfv_scheduling::RoundRobin;
+        let optimizer = JointOptimizer::new()
+            .with_placer(Box::new(Ffd::new()))
+            .with_scheduler(Box::new(RoundRobin::new()));
+        assert_eq!(optimizer.placer_name(), "ffd");
+        assert_eq!(optimizer.scheduler_name(), "round-robin");
+        let mut rng = StdRng::seed_from_u64(2);
+        let solution = optimizer.optimize(&scenario(), &topology(), &mut rng).unwrap();
+        assert!(solution.objective().is_ok());
+    }
+
+    #[test]
+    fn infeasible_topology_surfaces_placement_error() {
+        let scenario = scenario();
+        let tiny = builders::star().hosts(2).uniform_capacity(1.0).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = JointOptimizer::new().optimize(&scenario, &tiny, &mut rng).unwrap_err();
+        assert!(matches!(err, CoreError::Placement(_)));
+    }
+
+    #[test]
+    fn solution_instance_loads_cover_all_requests() {
+        let scenario = scenario();
+        let mut rng = StdRng::seed_from_u64(4);
+        let solution = JointOptimizer::new().optimize(&scenario, &topology(), &mut rng).unwrap();
+        let loads = solution.instance_loads();
+        for vnf in scenario.vnfs() {
+            let total: usize =
+                loads[vnf.id().as_usize()].iter().map(|l| l.request_count()).sum();
+            assert_eq!(total, scenario.users_of(vnf.id()));
+        }
+    }
+
+    #[test]
+    fn replication_makes_oversized_scenarios_feasible() {
+        // Nodes far smaller than the biggest VNF: plain optimize fails,
+        // replication splits and succeeds.
+        let scenario = ScenarioBuilder::new()
+            .vnfs(4)
+            .requests(60)
+            .instance_policy(nfv_workload::InstancePolicy::PerUsers { requests_per_instance: 3 })
+            .seed(8)
+            .build()
+            .unwrap();
+        let max_vnf = scenario
+            .vnfs()
+            .iter()
+            .map(|v| v.total_demand().value())
+            .fold(0.0f64, f64::max);
+        let topology = builders::star()
+            .hosts(12)
+            .uniform_capacity(max_vnf * 0.6)
+            .build()
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            JointOptimizer::new().optimize(&scenario, &topology, &mut rng),
+            Err(CoreError::Placement(_))
+        ));
+
+        let (solution, map) = JointOptimizer::new()
+            .optimize_with_replication(&scenario, &topology, &mut rng)
+            .unwrap();
+        assert!(scenario.vnfs().iter().any(|v| map.was_split(v.id())));
+        // Every replica of every original VNF is placed.
+        for vnf in scenario.vnfs() {
+            for &replica in map.replicas_of(vnf.id()) {
+                assert!(solution.schedule_of(replica).is_some());
+            }
+        }
+        assert!(solution.objective().unwrap().total_latency().is_finite());
+    }
+
+    #[test]
+    fn replication_is_identity_when_everything_fits() {
+        let scenario = scenario();
+        let topology = topology();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (solution, map) = JointOptimizer::new()
+            .optimize_with_replication(&scenario, &topology, &mut rng)
+            .unwrap();
+        assert!(scenario.vnfs().iter().all(|v| !map.was_split(v.id())));
+        assert_eq!(solution.scenario().vnfs().len(), scenario.vnfs().len());
+    }
+
+    #[test]
+    fn debug_format_names_phases() {
+        let dbg = format!("{:?}", JointOptimizer::new());
+        assert!(dbg.contains("bfdsu") && dbg.contains("rckk"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The combined placement + scheduling solution.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nfv_model::{NodeId, RequestId, VnfId};
+use nfv_placement::Placement;
+use nfv_queueing::InstanceLoad;
+use nfv_scheduling::Schedule;
+use nfv_topology::Topology;
+use nfv_workload::Scenario;
+
+use crate::{CoreError, JointObjective};
+
+/// The output of the two-phase pipeline: a feasible [`Placement`] of every
+/// VNF plus, per VNF, a [`Schedule`] of its requests onto its `M_f` service
+/// instances.
+///
+/// The solution owns copies of the scenario and topology it was computed
+/// for, so it can evaluate the joint objective (Eq. (16)) and answer
+/// "where does request `r` go?" queries without the caller re-threading
+/// state.
+#[derive(Debug, Clone)]
+pub struct JointSolution {
+    scenario: Scenario,
+    topology: Topology,
+    placement: Placement,
+    placement_iterations: u64,
+    /// Per-VNF schedule, indexed by `VnfId`.
+    schedules: Vec<Schedule>,
+    /// Per-VNF users in schedule order, indexed by `VnfId`.
+    users: Vec<Vec<RequestId>>,
+    /// Per-VNF request -> instance lookup.
+    instance_of: Vec<HashMap<RequestId, usize>>,
+}
+
+impl JointSolution {
+    /// Assembles a solution after consistency checks; normally produced by
+    /// [`crate::JointOptimizer::optimize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Inconsistent`] if the schedules do not cover
+    /// exactly the scenario's VNFs and their users.
+    pub fn new(
+        scenario: Scenario,
+        topology: Topology,
+        placement: Placement,
+        placement_iterations: u64,
+        schedules: Vec<Schedule>,
+        users: Vec<Vec<RequestId>>,
+    ) -> Result<Self, CoreError> {
+        if schedules.len() != scenario.vnfs().len() || users.len() != schedules.len() {
+            return Err(CoreError::Inconsistent { reason: "one schedule required per VNF" });
+        }
+        let mut instance_of = Vec::with_capacity(schedules.len());
+        for ((vnf, schedule), vnf_users) in scenario.vnfs().iter().zip(&schedules).zip(&users) {
+            if schedule.requests() != vnf_users.len() {
+                return Err(CoreError::Inconsistent {
+                    reason: "schedule size differs from the VNF's user count",
+                });
+            }
+            if schedule.instances() != vnf.instances() as usize {
+                return Err(CoreError::Inconsistent {
+                    reason: "schedule instance count differs from M_f",
+                });
+            }
+            let lookup: HashMap<RequestId, usize> = vnf_users
+                .iter()
+                .enumerate()
+                .map(|(idx, &req)| (req, schedule.instance_of(idx)))
+                .collect();
+            if lookup.len() != vnf_users.len() {
+                return Err(CoreError::Inconsistent { reason: "duplicate request in schedule" });
+            }
+            instance_of.push(lookup);
+        }
+        Ok(Self {
+            scenario,
+            topology,
+            placement,
+            placement_iterations,
+            schedules,
+            users,
+            instance_of,
+        })
+    }
+
+    /// The scenario this solution was computed for.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The topology this solution was computed for.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The phase-one placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Iterations phase one needed (Fig. 10's metric).
+    #[must_use]
+    pub fn placement_iterations(&self) -> u64 {
+        self.placement_iterations
+    }
+
+    /// The phase-two schedule of one VNF.
+    #[must_use]
+    pub fn schedule_of(&self, vnf: VnfId) -> Option<&Schedule> {
+        self.schedules.get(vnf.as_usize())
+    }
+
+    /// The service instance of `vnf` serving `request`
+    /// (the paper's `z_{r,k}^f = 1`), if the request uses the VNF.
+    #[must_use]
+    pub fn instance_serving(&self, request: RequestId, vnf: VnfId) -> Option<usize> {
+        self.instance_of.get(vnf.as_usize())?.get(&request).copied()
+    }
+
+    /// The node a request visits for one of its chain's VNFs.
+    #[must_use]
+    pub fn node_serving(&self, request: RequestId, vnf: VnfId) -> Option<NodeId> {
+        self.instance_serving(request, vnf)?;
+        Some(self.placement.node_of(vnf))
+    }
+
+    /// Per-VNF per-instance queueing loads implied by the schedules, with
+    /// each request contributing its own `λ_r / P_r` (Eq. (7)).
+    #[must_use]
+    pub fn instance_loads(&self) -> Vec<Vec<InstanceLoad>> {
+        self.scenario
+            .vnfs()
+            .iter()
+            .map(|vnf| {
+                let f = vnf.id().as_usize();
+                let mut loads: Vec<InstanceLoad> = (0..vnf.instances() as usize)
+                    .map(|_| InstanceLoad::new(vnf.service_rate()))
+                    .collect();
+                for (idx, &req_id) in self.users[f].iter().enumerate() {
+                    let request = self
+                        .scenario
+                        .request(req_id)
+                        .expect("users reference scenario requests");
+                    let k = self.schedules[f].instance_of(idx);
+                    loads[k].add_request(request.arrival_rate(), request.delivery());
+                }
+                loads
+            })
+            .collect()
+    }
+
+    /// The distinct nodes a request's chain traverses (the paper's
+    /// `Σ_v η_v^r`).
+    #[must_use]
+    pub fn nodes_traversed(&self, request: RequestId) -> Vec<NodeId> {
+        let Some(req) = self.scenario.request(request) else {
+            return Vec::new();
+        };
+        let mut nodes: Vec<NodeId> =
+            req.chain().iter().map(|vnf| self.placement.node_of(vnf)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Evaluates the joint objective Eq. (16) for this solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Queueing`] if some instance is unstable under
+    /// the scheduled load.
+    pub fn objective(&self) -> Result<JointObjective, CoreError> {
+        JointObjective::evaluate(self)
+    }
+}
+
+impl fmt::Display for JointSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "joint solution: {} on {}, {} schedules",
+            self.placement,
+            self.topology,
+            self.schedules.len()
+        )
+    }
+}

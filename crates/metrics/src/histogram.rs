@@ -1,0 +1,216 @@
+//! Fixed-bin histograms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters, for visualizing latency distributions from the
+/// simulator or per-run metrics from the experiment harness.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_metrics::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+/// h.extend([0.05, 0.15, 0.15, 0.95, 2.0]);
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(1), 2); // the two 0.15s
+/// assert_eq!(h.overflow(), 1);   // the 2.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// Returns `None` unless `lo < hi` (both finite) and `bins ≥ 1`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        (lo.is_finite() && hi.is_finite() && lo < hi && bins >= 1).then(|| Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Creates a histogram sized to cover the given samples (min..max,
+    /// with the top sample landing in the last bin).
+    ///
+    /// Returns `None` for empty/degenerate samples or `bins = 0`.
+    #[must_use]
+    pub fn fitted(samples: &[f64], bins: usize) -> Option<Self> {
+        let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return None;
+        }
+        // Nudge the top edge so max lands inside the last bin.
+        let mut h = Self::new(lo, hi + (hi - lo) * 1e-9, bins)?;
+        h.extend(finite);
+        Some(h)
+    }
+
+    /// Records one observation (NaN is ignored).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The half-open range `[lo, hi)` covered by bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the top of the range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Renders an ASCII bar chart, one line per bin, bars scaled to
+    /// `width` characters.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>10.4}, {hi:>10.4})  {count:>8}  {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow: {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram: {} samples over [{}, {}) in {} bins", self.count(), self.lo, self.hi, self.bins())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.push(x);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.bin_range(1), (2.0, 4.0));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([-0.1, 0.5, 1.0, 3.0, f64::NAN]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2); // 1.0 is exclusive at the top
+        assert_eq!(h.count(), 4); // NaN ignored
+    }
+
+    #[test]
+    fn fitted_covers_all_samples() {
+        let samples = [3.0, 7.0, 5.0, 4.2];
+        let h = Histogram::fitted(&samples, 4).unwrap();
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.count(), 4);
+        assert!(Histogram::fitted(&[], 4).is_none());
+        assert!(Histogram::fitted(&[1.0, 1.0], 4).is_none());
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.5, 0.5, 0.5, 1.5]);
+        let art = h.render(8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].ends_with("########"));
+        assert!(lines[1].contains('#'));
+        assert!(lines[1].matches('#').count() < 8);
+    }
+}

@@ -1,0 +1,246 @@
+//! Streaming moment estimation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count / mean / variance / extrema using Welford's numerically
+/// stable online algorithm; O(1) memory regardless of stream length.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_metrics::OnlineStats;
+/// let mut stats = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.mean(), 5.0);
+/// assert_eq!(stats.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (and not
+    /// counted), so a single diverged run cannot poison a whole sweep.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of (finite) observations.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observation has been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); 0 with fewer than 2 samples.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); 0 with fewer than 2 samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval for
+    /// the mean (`1.96 · s/√n`). For the 1000-repetition experiments of the
+    /// paper the normal approximation is accurate.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest observation; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = Self::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "no samples")
+        } else {
+            write!(f, "n={} mean={:.6} sd={:.6}", self.count, self.mean(), self.std_dev())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_harmless() {
+        let stats = OnlineStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.std_dev(), 0.0);
+        assert_eq!(stats.min(), None);
+        assert_eq!(stats.max(), None);
+        assert_eq!(stats.to_string(), "no samples");
+    }
+
+    #[test]
+    fn single_sample() {
+        let stats: OnlineStats = [42.0].into_iter().collect();
+        assert_eq!(stats.count(), 1);
+        assert_eq!(stats.mean(), 42.0);
+        assert_eq!(stats.sample_variance(), 0.0);
+        assert_eq!(stats.min(), Some(42.0));
+        assert_eq!(stats.max(), Some(42.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let stats: OnlineStats = [1.0, f64::NAN, 3.0, f64::INFINITY].into_iter().collect();
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.mean(), 2.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let stats: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(stats.population_variance(), 4.0);
+        assert!((stats.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_empty_sides() {
+        let full: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let mut a = OnlineStats::new();
+        a.merge(&full);
+        assert_eq!(a, full);
+        let mut b = full;
+        b.merge(&OnlineStats::new());
+        assert_eq!(b, full);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in prop::collection::vec(-1e6..1e6f64, 0..60), split in 0usize..60) {
+            let split = split.min(xs.len());
+            let seq: OnlineStats = xs.iter().copied().collect();
+            let mut left: OnlineStats = xs[..split].iter().copied().collect();
+            let right: OnlineStats = xs[split..].iter().copied().collect();
+            left.merge(&right);
+            prop_assert_eq!(left.count(), seq.count());
+            prop_assert!((left.mean() - seq.mean()).abs() < 1e-6);
+            prop_assert!((left.sample_variance() - seq.sample_variance()).abs() < 1e-3);
+        }
+
+        #[test]
+        fn mean_within_extrema(xs in prop::collection::vec(-1e9..1e9f64, 1..50)) {
+            let stats: OnlineStats = xs.iter().copied().collect();
+            let (min, max) = (stats.min().unwrap(), stats.max().unwrap());
+            prop_assert!(stats.mean() >= min - 1e-9 && stats.mean() <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A fixed-width plain-text table, used by the figure-regeneration binaries
+/// to print the same series the paper plots.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_metrics::Table;
+/// let mut t = Table::new(vec!["requests", "BFDSU", "FFD"]);
+/// t.row(vec!["30".into(), "91.8".into(), "68.6".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("BFDSU"));
+/// assert!(text.contains("91.8"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept and
+    /// widen the table.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of formatted floats with `precision` decimals, prefixed
+    /// by a label cell.
+    pub fn numeric_row(&mut self, label: impl Into<String>, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{cell:>width$}")?;
+            }
+            writeln!(f)
+        };
+
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["100".into(), "2".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows share the same width.
+        assert!(lines.iter().skip(2).all(|l| l.len() == lines[2].len()));
+    }
+
+    #[test]
+    fn numeric_row_formats_with_precision() {
+        let mut t = Table::new(vec!["algo", "w"]);
+        t.numeric_row("rckk", &[0.123456], 3);
+        assert!(t.to_string().contains("0.123"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_render_empty_cells() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let out = t.to_string();
+        assert!(out.lines().count() >= 3);
+    }
+
+    #[test]
+    fn extra_cells_widen_table() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let out = t.to_string();
+        assert!(out.contains('2'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Ordered service chains of VNFs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, VnfId};
+
+/// An ordered chain of VNFs that a request must traverse, e.g.
+/// `NAT → FW → LB`.
+///
+/// The paper's indicator `U_r^f` (whether request `r` uses VNF `f`) is
+/// derivable from the chain via [`ServiceChain::uses`]. A chain is non-empty
+/// and visits each VNF at most once: the paper models additional copies of a
+/// VNF as replica VNFs with fresh identifiers (Eq. (2)), so a single id never
+/// appears twice on one path.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ServiceChain, VnfId};
+/// # fn main() -> Result<(), nfv_model::ModelError> {
+/// let chain = ServiceChain::new(vec![VnfId::new(0), VnfId::new(2)])?;
+/// assert_eq!(chain.len(), 2);
+/// assert!(chain.uses(VnfId::new(2)));
+/// assert!(!chain.uses(VnfId::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceChain {
+    vnfs: Vec<VnfId>,
+}
+
+impl ServiceChain {
+    /// Creates a chain from the ordered list of VNFs to traverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyChain`] for an empty list and
+    /// [`ModelError::DuplicateVnfInChain`] if any VNF id repeats.
+    pub fn new(vnfs: Vec<VnfId>) -> Result<Self, ModelError> {
+        if vnfs.is_empty() {
+            return Err(ModelError::EmptyChain);
+        }
+        let mut seen = vnfs.clone();
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ModelError::DuplicateVnfInChain { vnf: pair[0] });
+            }
+        }
+        Ok(Self { vnfs })
+    }
+
+    /// Creates a single-VNF chain.
+    #[must_use]
+    pub fn single(vnf: VnfId) -> Self {
+        Self { vnfs: vec![vnf] }
+    }
+
+    /// Number of VNFs on the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vnfs.len()
+    }
+
+    /// Whether the chain is empty. Always `false` for a constructed chain;
+    /// provided for API completeness alongside [`len`](Self::len).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vnfs.is_empty()
+    }
+
+    /// Whether the chain traverses `vnf` — the paper's `U_r^f`.
+    #[must_use]
+    pub fn uses(&self, vnf: VnfId) -> bool {
+        self.vnfs.contains(&vnf)
+    }
+
+    /// Position of `vnf` on the chain, if present.
+    #[must_use]
+    pub fn position(&self, vnf: VnfId) -> Option<usize> {
+        self.vnfs.iter().position(|&v| v == vnf)
+    }
+
+    /// The VNF at zero-based `hop`, if within the chain.
+    #[must_use]
+    pub fn hop(&self, hop: usize) -> Option<VnfId> {
+        self.vnfs.get(hop).copied()
+    }
+
+    /// Iterator over the VNFs in traversal order.
+    pub fn iter(&self) -> impl Iterator<Item = VnfId> + '_ {
+        self.vnfs.iter().copied()
+    }
+
+    /// The chain as a slice in traversal order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[VnfId] {
+        &self.vnfs
+    }
+
+    /// First VNF on the chain.
+    #[must_use]
+    pub fn first(&self) -> VnfId {
+        self.vnfs[0]
+    }
+
+    /// Last VNF on the chain.
+    #[must_use]
+    pub fn last(&self) -> VnfId {
+        *self.vnfs.last().expect("chains are non-empty")
+    }
+}
+
+impl fmt::Display for ServiceChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, vnf) in self.vnfs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{vnf}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a ServiceChain {
+    type Item = &'a VnfId;
+    type IntoIter = std::slice::Iter<'a, VnfId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vnfs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<VnfId> {
+        raw.iter().map(|&i| VnfId::new(i)).collect()
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        assert_eq!(ServiceChain::new(vec![]), Err(ModelError::EmptyChain));
+    }
+
+    #[test]
+    fn rejects_duplicate_vnfs() {
+        let err = ServiceChain::new(ids(&[0, 1, 0])).unwrap_err();
+        assert_eq!(err, ModelError::DuplicateVnfInChain { vnf: VnfId::new(0) });
+    }
+
+    #[test]
+    fn preserves_traversal_order() {
+        let chain = ServiceChain::new(ids(&[2, 0, 1])).unwrap();
+        assert_eq!(chain.hop(0), Some(VnfId::new(2)));
+        assert_eq!(chain.hop(1), Some(VnfId::new(0)));
+        assert_eq!(chain.hop(2), Some(VnfId::new(1)));
+        assert_eq!(chain.hop(3), None);
+        assert_eq!(chain.first(), VnfId::new(2));
+        assert_eq!(chain.last(), VnfId::new(1));
+    }
+
+    #[test]
+    fn uses_and_position_agree() {
+        let chain = ServiceChain::new(ids(&[3, 5])).unwrap();
+        assert!(chain.uses(VnfId::new(5)));
+        assert_eq!(chain.position(VnfId::new(5)), Some(1));
+        assert!(!chain.uses(VnfId::new(4)));
+        assert_eq!(chain.position(VnfId::new(4)), None);
+    }
+
+    #[test]
+    fn single_builds_length_one_chain() {
+        let chain = ServiceChain::single(VnfId::new(7));
+        assert_eq!(chain.len(), 1);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.first(), chain.last());
+    }
+
+    #[test]
+    fn display_shows_arrows() {
+        let chain = ServiceChain::new(ids(&[0, 1])).unwrap();
+        assert_eq!(chain.to_string(), "vnf0 -> vnf1");
+    }
+
+    #[test]
+    fn iterates_in_order() {
+        let chain = ServiceChain::new(ids(&[4, 2, 9])).unwrap();
+        let collected: Vec<_> = chain.iter().collect();
+        assert_eq!(collected, ids(&[4, 2, 9]));
+        let borrowed: Vec<_> = (&chain).into_iter().copied().collect();
+        assert_eq!(borrowed, ids(&[4, 2, 9]));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for model construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VnfId;
+
+/// Error returned when a model object cannot be constructed from the given
+/// inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A scalar quantity was out of its valid domain (negative rate, NaN
+    /// capacity, probability outside `(0, 1]`, …).
+    InvalidQuantity {
+        /// Human-readable name of the quantity (e.g. `"arrival rate"`).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A VNF was declared with zero service instances; the paper requires
+    /// `M_f ≥ 1`.
+    NoInstances {
+        /// The offending VNF.
+        vnf: VnfId,
+    },
+    /// A service chain was empty; every request must traverse at least one
+    /// VNF.
+    EmptyChain,
+    /// A service chain listed the same VNF more than once. The paper treats
+    /// replicas of a VNF as distinct VNFs (Eq. (2)), so a chain visits each
+    /// VNF id at most once.
+    DuplicateVnfInChain {
+        /// The VNF that appears multiple times.
+        vnf: VnfId,
+    },
+    /// A required builder field was missing.
+    MissingField {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+}
+
+impl ModelError {
+    pub(crate) fn invalid_quantity(quantity: &'static str, value: f64) -> Self {
+        Self::InvalidQuantity { quantity, value }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidQuantity { quantity, value } => {
+                write!(f, "invalid {quantity}: {value}")
+            }
+            Self::NoInstances { vnf } => {
+                write!(f, "{vnf} declared with zero service instances")
+            }
+            Self::EmptyChain => write!(f, "service chain contains no VNFs"),
+            Self::DuplicateVnfInChain { vnf } => {
+                write!(f, "{vnf} appears more than once in a service chain")
+            }
+            Self::MissingField { field } => write!(f, "missing required field `{field}`"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            ModelError::invalid_quantity("arrival rate", -1.0).to_string(),
+            ModelError::NoInstances { vnf: VnfId::new(1) }.to_string(),
+            ModelError::EmptyChain.to_string(),
+            ModelError::DuplicateVnfInChain { vnf: VnfId::new(2) }.to_string(),
+            ModelError::MissingField { field: "demand" }.to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("vnf"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

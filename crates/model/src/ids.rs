@@ -1,0 +1,167 @@
+//! Typed identifiers for the entities of the NFV model.
+//!
+//! Each identifier is a thin newtype over `u32` (`usize` would waste space in
+//! the large assignment tables kept by the placement and scheduling crates).
+//! The types are deliberately distinct so that, e.g., a [`NodeId`] can never
+//! be used to index a request table.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use nfv_model::", stringify!($name), ";")]
+            #[doc = concat!("let id = ", stringify!($name), "::new(3);")]
+            /// assert_eq!(id.index(), 3);
+            /// ```
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize`, convenient for slice indexing.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> Self {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a computing node `v ∈ V`.
+    NodeId,
+    "node"
+);
+define_id!(
+    /// Identifier of a VNF `f ∈ F`.
+    VnfId,
+    "vnf"
+);
+define_id!(
+    /// Identifier of a request `r ∈ R`.
+    RequestId,
+    "req"
+);
+
+/// Identifier of the `k`-th service instance of a VNF, i.e. the pair `(f, k)`.
+///
+/// The paper indexes service instances as `k = 1, …, M_f`; we use zero-based
+/// `k` internally and render it one-based in [`fmt::Display`] to match the
+/// paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{InstanceId, VnfId};
+/// let inst = InstanceId::new(VnfId::new(2), 0);
+/// assert_eq!(inst.vnf(), VnfId::new(2));
+/// assert_eq!(inst.slot(), 0);
+/// assert_eq!(inst.to_string(), "vnf2/inst1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    vnf: VnfId,
+    slot: u32,
+}
+
+impl InstanceId {
+    /// Creates the identifier of the zero-based `slot`-th instance of `vnf`.
+    #[must_use]
+    pub const fn new(vnf: VnfId, slot: u32) -> Self {
+        Self { vnf, slot }
+    }
+
+    /// The VNF this instance belongs to.
+    #[must_use]
+    pub const fn vnf(self) -> VnfId {
+        self.vnf
+    }
+
+    /// Zero-based instance slot `k` within the VNF.
+    #[must_use]
+    pub const fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/inst{}", self.vnf, self.slot + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_u32() {
+        assert_eq!(NodeId::from(7u32).index(), 7);
+        assert_eq!(u32::from(VnfId::new(9)), 9);
+        assert_eq!(RequestId::new(11).as_usize(), 11);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(RequestId::new(0) < RequestId::new(10));
+    }
+
+    #[test]
+    fn display_uses_domain_prefixes() {
+        assert_eq!(NodeId::new(4).to_string(), "node4");
+        assert_eq!(VnfId::new(0).to_string(), "vnf0");
+        assert_eq!(RequestId::new(2).to_string(), "req2");
+    }
+
+    #[test]
+    fn instance_id_orders_by_vnf_then_slot() {
+        let a = InstanceId::new(VnfId::new(0), 5);
+        let b = InstanceId::new(VnfId::new(1), 0);
+        let c = InstanceId::new(VnfId::new(1), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn instance_id_display_is_one_based() {
+        assert_eq!(InstanceId::new(VnfId::new(3), 2).to_string(), "vnf3/inst3");
+    }
+}

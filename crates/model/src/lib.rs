@@ -1,0 +1,63 @@
+//! Core model types for the NFV joint placement/scheduling library.
+//!
+//! This crate defines the shared vocabulary used by every other crate in the
+//! workspace, mirroring the notation of *"Joint Optimization of Chain
+//! Placement and Request Scheduling for Network Function Virtualization"*
+//! (ICDCS 2017):
+//!
+//! * typed identifiers ([`NodeId`], [`VnfId`], [`RequestId`], [`InstanceId`])
+//!   so that indices into different collections can never be confused,
+//! * validated scalar quantities ([`Capacity`] `A_v`, [`Demand`] `D_f`,
+//!   [`ArrivalRate`] `λ_r`, [`ServiceRate`] `μ_f`,
+//!   [`DeliveryProbability`] `P_r`),
+//! * the domain objects themselves: [`Vnf`] (with its `M_f` service
+//!   instances), [`ComputeNode`], [`ServiceChain`] and [`Request`].
+//!
+//! # Examples
+//!
+//! Build a tiny two-VNF scenario:
+//!
+//! ```
+//! use nfv_model::{
+//!     ArrivalRate, Capacity, ComputeNode, Demand, DeliveryProbability, NodeId, Request,
+//!     RequestId, ServiceChain, ServiceRate, Vnf, VnfId, VnfKind,
+//! };
+//!
+//! # fn main() -> Result<(), nfv_model::ModelError> {
+//! let firewall = Vnf::builder(VnfId::new(0), VnfKind::Firewall)
+//!     .demand_per_instance(Demand::new(40.0)?)
+//!     .instances(2)
+//!     .service_rate(ServiceRate::new(120.0)?)
+//!     .build()?;
+//! let node = ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?);
+//! let chain = ServiceChain::new(vec![firewall.id()])?;
+//! let request = Request::new(
+//!     RequestId::new(0),
+//!     chain,
+//!     ArrivalRate::new(10.0)?,
+//!     DeliveryProbability::new(0.98)?,
+//! );
+//! assert!(node.capacity().fits(firewall.total_demand()));
+//! assert!(request.effective_rate().value() > request.arrival_rate().value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod error;
+mod ids;
+mod node;
+mod quantity;
+mod request;
+mod vnf;
+
+pub use chain::ServiceChain;
+pub use error::ModelError;
+pub use ids::{InstanceId, NodeId, RequestId, VnfId};
+pub use node::ComputeNode;
+pub use quantity::{ArrivalRate, Capacity, Demand, DeliveryProbability, ServiceRate, Utilization};
+pub use request::Request;
+pub use vnf::{Vnf, VnfBuilder, VnfKind};

@@ -1,0 +1,89 @@
+//! Computing nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Capacity, NodeId};
+
+/// A computing node `v ∈ V` (a commodity server) with a CPU-bounded resource
+/// capacity `A_v`.
+///
+/// Following the paper's model (§III.A), CPU is the bottleneck resource;
+/// memory and bandwidth are assumed sufficient and are not modeled as
+/// first-class fields. One capacity unit corresponds to handling one workload
+/// unit per second (64-byte packets at 10 kpps in the paper's calibration;
+/// one physical core ≈ 150 units).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Capacity, ComputeNode, NodeId};
+/// # fn main() -> Result<(), nfv_model::ModelError> {
+/// let node = ComputeNode::new(NodeId::new(0), Capacity::new(5000.0)?);
+/// // 5000 units ≈ 34 CPU cores at 150 units/core.
+/// assert!((node.approx_cpu_cores() - 33.33).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeNode {
+    id: NodeId,
+    capacity: Capacity,
+}
+
+/// Resource units provided by one physical CPU core (paper §V.A.2: one core
+/// handles 64-byte packets at 1.5 Mpps = 150 × 10 kpps).
+pub const UNITS_PER_CORE: f64 = 150.0;
+
+impl ComputeNode {
+    /// Creates a node with the given identity and capacity.
+    #[must_use]
+    pub const fn new(id: NodeId, capacity: Capacity) -> Self {
+        Self { id, capacity }
+    }
+
+    /// The node's identifier.
+    #[must_use]
+    pub const fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's resource capacity `A_v`.
+    #[must_use]
+    pub const fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Approximate number of physical CPU cores this capacity corresponds to
+    /// under the paper's calibration (150 units per core).
+    #[must_use]
+    pub fn approx_cpu_cores(&self) -> f64 {
+        self.capacity.value() / UNITS_PER_CORE
+    }
+}
+
+impl fmt::Display for ComputeNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_exposes_identity_and_capacity() {
+        let node = ComputeNode::new(NodeId::new(3), Capacity::new(150.0).unwrap());
+        assert_eq!(node.id(), NodeId::new(3));
+        assert_eq!(node.capacity().value(), 150.0);
+        assert!((node.approx_cpu_cores() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_id_and_units() {
+        let node = ComputeNode::new(NodeId::new(1), Capacity::new(42.0).unwrap());
+        assert_eq!(node.to_string(), "node1 (42 units)");
+    }
+}

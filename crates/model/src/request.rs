@@ -1,0 +1,140 @@
+//! Requests and their traffic parameters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrivalRate, DeliveryProbability, RequestId, ServiceChain, VnfId};
+
+/// A request `r ∈ R`: a packet stream that must traverse a [`ServiceChain`]
+/// in order.
+///
+/// Packets arrive as a Poisson stream at rate `λ_r`; each packet is received
+/// correctly by the destination with probability `P_r`, and lost packets are
+/// retransmitted end-to-end (NACK feedback). In steady state the effective
+/// arrival rate seen by every instance on the chain is `λ_r / P_r`
+/// ([`Request::effective_rate`], Eq. (7) of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ArrivalRate, DeliveryProbability, Request, RequestId, ServiceChain, VnfId};
+/// # fn main() -> Result<(), nfv_model::ModelError> {
+/// let req = Request::new(
+///     RequestId::new(0),
+///     ServiceChain::new(vec![VnfId::new(0), VnfId::new(1)])?,
+///     ArrivalRate::new(49.0)?,
+///     DeliveryProbability::new(0.98)?,
+/// );
+/// assert!((req.effective_rate().value() - 50.0).abs() < 1e-9);
+/// assert!(req.uses(VnfId::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    id: RequestId,
+    chain: ServiceChain,
+    arrival_rate: ArrivalRate,
+    delivery: DeliveryProbability,
+}
+
+impl Request {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(
+        id: RequestId,
+        chain: ServiceChain,
+        arrival_rate: ArrivalRate,
+        delivery: DeliveryProbability,
+    ) -> Self {
+        Self { id, chain, arrival_rate, delivery }
+    }
+
+    /// The request's identifier.
+    #[must_use]
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The service chain the request traverses.
+    #[must_use]
+    pub fn chain(&self) -> &ServiceChain {
+        &self.chain
+    }
+
+    /// External Poisson arrival rate `λ_r`.
+    #[must_use]
+    pub fn arrival_rate(&self) -> ArrivalRate {
+        self.arrival_rate
+    }
+
+    /// Probability `P_r` of correct end-to-end delivery.
+    #[must_use]
+    pub fn delivery(&self) -> DeliveryProbability {
+        self.delivery
+    }
+
+    /// Steady-state effective arrival rate `λ_r / P_r` including
+    /// retransmissions of lost packets (Eq. (7)).
+    #[must_use]
+    pub fn effective_rate(&self) -> ArrivalRate {
+        self.arrival_rate.inflated_by_loss(self.delivery)
+    }
+
+    /// Whether the request uses VNF `f` — the paper's `U_r^f`.
+    #[must_use]
+    pub fn uses(&self, vnf: VnfId) -> bool {
+        self.chain.uses(vnf)
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, {})",
+            self.id, self.arrival_rate, self.delivery, self.chain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(rate: f64, p: f64, chain: &[u32]) -> Request {
+        Request::new(
+            RequestId::new(0),
+            ServiceChain::new(chain.iter().map(|&i| VnfId::new(i)).collect()).unwrap(),
+            ArrivalRate::new(rate).unwrap(),
+            DeliveryProbability::new(p).unwrap(),
+        )
+    }
+
+    #[test]
+    fn effective_rate_inflates_by_loss() {
+        let req = request(10.0, 0.5, &[0]);
+        assert!((req.effective_rate().value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_delivery_means_no_inflation() {
+        let req = request(10.0, 1.0, &[0]);
+        assert_eq!(req.effective_rate(), req.arrival_rate());
+    }
+
+    #[test]
+    fn uses_delegates_to_chain() {
+        let req = request(1.0, 0.99, &[2, 4]);
+        assert!(req.uses(VnfId::new(4)));
+        assert!(!req.uses(VnfId::new(3)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let req = request(5.0, 0.98, &[1]);
+        let s = req.to_string();
+        assert!(s.contains("req0") && s.contains("5 pps") && s.contains("vnf1"));
+    }
+}

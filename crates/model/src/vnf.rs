@@ -1,0 +1,321 @@
+//! Virtual network functions and their service instances.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Demand, InstanceId, ModelError, ServiceRate, VnfId};
+
+/// The functional category of a VNF.
+///
+/// The catalog follows the survey cited by the paper (Li & Chen, 2015), which
+/// the evaluation draws its "at least six commonly-deployed VNFs" from. The
+/// [`VnfKind::Custom`] variant lets workload generators scale past the named
+/// kinds (the paper sweeps 6–30 VNFs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VnfKind {
+    /// Network address translator.
+    Nat,
+    /// Stateful firewall.
+    Firewall,
+    /// Intrusion detection system.
+    Ids,
+    /// Layer-4/7 load balancer.
+    LoadBalancer,
+    /// WAN optimizer / accelerator.
+    WanOptimizer,
+    /// Passive flow monitor.
+    FlowMonitor,
+    /// Intrusion prevention system.
+    Ips,
+    /// Deep packet inspection engine.
+    Dpi,
+    /// Forward/reverse proxy cache.
+    ProxyCache,
+    /// An unnamed VNF kind, used when scaling the catalog synthetically.
+    Custom(u16),
+}
+
+impl VnfKind {
+    /// The nine named kinds, in a fixed order convenient for round-robin
+    /// catalog generation.
+    pub const NAMED: [VnfKind; 9] = [
+        VnfKind::Nat,
+        VnfKind::Firewall,
+        VnfKind::Ids,
+        VnfKind::LoadBalancer,
+        VnfKind::WanOptimizer,
+        VnfKind::FlowMonitor,
+        VnfKind::Ips,
+        VnfKind::Dpi,
+        VnfKind::ProxyCache,
+    ];
+
+    /// A short human-readable name for the kind.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Self::Nat => "NAT".to_owned(),
+            Self::Firewall => "FW".to_owned(),
+            Self::Ids => "IDS".to_owned(),
+            Self::LoadBalancer => "LB".to_owned(),
+            Self::WanOptimizer => "WANopt".to_owned(),
+            Self::FlowMonitor => "FM".to_owned(),
+            Self::Ips => "IPS".to_owned(),
+            Self::Dpi => "DPI".to_owned(),
+            Self::ProxyCache => "Proxy".to_owned(),
+            Self::Custom(n) => format!("VNF#{n}"),
+        }
+    }
+}
+
+impl fmt::Display for VnfKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A virtual network function `f ∈ F` with its deployment parameters.
+///
+/// A VNF deploys `M_f ≥ 1` identical service instances, each demanding
+/// [`demand_per_instance`](Vnf::demand_per_instance) resource units and
+/// serving packets at an exponential rate
+/// [`service_rate`](Vnf::service_rate). Following Eq. (2) of the paper, all
+/// instances of one VNF are co-located on a single computing node; scaling
+/// beyond that is modeled by declaring replica VNFs with fresh ids.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Demand, ServiceRate, Vnf, VnfId, VnfKind};
+/// # fn main() -> Result<(), nfv_model::ModelError> {
+/// let ids = Vnf::builder(VnfId::new(3), VnfKind::Ids)
+///     .demand_per_instance(Demand::new(25.0)?)
+///     .instances(4)
+///     .service_rate(ServiceRate::new(90.0)?)
+///     .build()?;
+/// assert_eq!(ids.total_demand().value(), 100.0);
+/// assert_eq!(ids.instance_ids().count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vnf {
+    id: VnfId,
+    kind: VnfKind,
+    demand_per_instance: Demand,
+    instances: u32,
+    service_rate: ServiceRate,
+}
+
+impl Vnf {
+    /// Starts building a VNF with the given identity.
+    #[must_use]
+    pub fn builder(id: VnfId, kind: VnfKind) -> VnfBuilder {
+        VnfBuilder {
+            id,
+            kind,
+            demand_per_instance: None,
+            instances: 1,
+            service_rate: None,
+        }
+    }
+
+    /// The VNF's identifier.
+    #[must_use]
+    pub fn id(&self) -> VnfId {
+        self.id
+    }
+
+    /// The VNF's functional category.
+    #[must_use]
+    pub fn kind(&self) -> VnfKind {
+        self.kind
+    }
+
+    /// Resource demand `D_f` of one service instance.
+    #[must_use]
+    pub fn demand_per_instance(&self) -> Demand {
+        self.demand_per_instance
+    }
+
+    /// Number of service instances `M_f` this VNF deploys.
+    #[must_use]
+    pub fn instances(&self) -> u32 {
+        self.instances
+    }
+
+    /// Exponential service rate `μ_f` of each instance.
+    #[must_use]
+    pub fn service_rate(&self) -> ServiceRate {
+        self.service_rate
+    }
+
+    /// Total resource demand `D_f^sum = M_f · D_f`, the quantity the
+    /// placement algorithms pack.
+    #[must_use]
+    pub fn total_demand(&self) -> Demand {
+        self.demand_per_instance.scaled(self.instances)
+    }
+
+    /// Iterator over the identifiers of this VNF's service instances.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        let id = self.id;
+        (0..self.instances).map(move |slot| InstanceId::new(id, slot))
+    }
+}
+
+impl fmt::Display for Vnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} × {})",
+            self.id, self.kind, self.instances, self.demand_per_instance
+        )
+    }
+}
+
+/// Builder for [`Vnf`]; see [`Vnf::builder`].
+#[derive(Debug, Clone)]
+pub struct VnfBuilder {
+    id: VnfId,
+    kind: VnfKind,
+    demand_per_instance: Option<Demand>,
+    instances: u32,
+    service_rate: Option<ServiceRate>,
+}
+
+impl VnfBuilder {
+    /// Sets the per-instance resource demand `D_f` (required).
+    #[must_use]
+    pub fn demand_per_instance(mut self, demand: Demand) -> Self {
+        self.demand_per_instance = Some(demand);
+        self
+    }
+
+    /// Sets the number of service instances `M_f` (default 1).
+    #[must_use]
+    pub fn instances(mut self, instances: u32) -> Self {
+        self.instances = instances;
+        self
+    }
+
+    /// Sets the per-instance service rate `μ_f` (required).
+    #[must_use]
+    pub fn service_rate(mut self, rate: ServiceRate) -> Self {
+        self.service_rate = Some(rate);
+        self
+    }
+
+    /// Finishes building the VNF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoInstances`] if the instance count is zero, or
+    /// [`ModelError::MissingField`] if a required field was not set.
+    pub fn build(self) -> Result<Vnf, ModelError> {
+        if self.instances == 0 {
+            return Err(ModelError::NoInstances { vnf: self.id });
+        }
+        let demand_per_instance = self
+            .demand_per_instance
+            .ok_or(ModelError::MissingField { field: "demand_per_instance" })?;
+        let service_rate = self
+            .service_rate
+            .ok_or(ModelError::MissingField { field: "service_rate" })?;
+        Ok(Vnf {
+            id: self.id,
+            kind: self.kind,
+            demand_per_instance,
+            instances: self.instances,
+            service_rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(v: f64) -> Demand {
+        Demand::new(v).unwrap()
+    }
+
+    fn rate(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    #[test]
+    fn builder_requires_all_fields() {
+        let err = Vnf::builder(VnfId::new(0), VnfKind::Nat).build().unwrap_err();
+        assert!(matches!(err, ModelError::MissingField { .. }));
+
+        let err = Vnf::builder(VnfId::new(0), VnfKind::Nat)
+            .demand_per_instance(demand(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::MissingField { field: "service_rate" }));
+    }
+
+    #[test]
+    fn builder_rejects_zero_instances() {
+        let err = Vnf::builder(VnfId::new(5), VnfKind::Dpi)
+            .demand_per_instance(demand(1.0))
+            .service_rate(rate(10.0))
+            .instances(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::NoInstances { vnf: VnfId::new(5) });
+    }
+
+    #[test]
+    fn total_demand_is_m_times_d() {
+        let vnf = Vnf::builder(VnfId::new(1), VnfKind::Firewall)
+            .demand_per_instance(demand(7.5))
+            .instances(3)
+            .service_rate(rate(10.0))
+            .build()
+            .unwrap();
+        assert_eq!(vnf.total_demand().value(), 22.5);
+    }
+
+    #[test]
+    fn instance_ids_enumerate_slots() {
+        let vnf = Vnf::builder(VnfId::new(2), VnfKind::Ids)
+            .demand_per_instance(demand(1.0))
+            .instances(3)
+            .service_rate(rate(10.0))
+            .build()
+            .unwrap();
+        let ids: Vec<_> = vnf.instance_ids().collect();
+        assert_eq!(
+            ids,
+            vec![
+                InstanceId::new(VnfId::new(2), 0),
+                InstanceId::new(VnfId::new(2), 1),
+                InstanceId::new(VnfId::new(2), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let mut names: Vec<_> = VnfKind::NAMED.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), VnfKind::NAMED.len());
+        assert_eq!(VnfKind::Custom(12).name(), "VNF#12");
+    }
+
+    #[test]
+    fn display_mentions_id_and_kind() {
+        let vnf = Vnf::builder(VnfId::new(9), VnfKind::LoadBalancer)
+            .demand_per_instance(demand(2.0))
+            .service_rate(rate(5.0))
+            .build()
+            .unwrap();
+        let s = vnf.to_string();
+        assert!(s.contains("vnf9") && s.contains("LB"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for placement.
+
+use std::error::Error;
+use std::fmt;
+
+use nfv_model::{NodeId, VnfId};
+
+/// Error returned when a placement cannot be constructed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The problem admits no feasible placement: total demand exceeds total
+    /// capacity, or some VNF exceeds every node's capacity.
+    Infeasible {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The algorithm exhausted its restart budget without finding a
+    /// feasible placement. The instance may still be feasible; raise
+    /// the attempt limit or use a deterministic algorithm.
+    AttemptsExhausted {
+        /// How many full executions were tried.
+        attempts: u64,
+    },
+    /// A placement assignment referenced a VNF unknown to the problem.
+    UnknownVnf {
+        /// The offending VNF.
+        vnf: VnfId,
+    },
+    /// A placement assignment referenced a node unknown to the problem.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A hand-built placement overflows a node's capacity.
+    CapacityExceeded {
+        /// The overloaded node.
+        node: NodeId,
+        /// Total demand placed on the node.
+        demand: f64,
+        /// The node's capacity.
+        capacity: f64,
+    },
+    /// A hand-built placement misses an assignment for some VNF (Eq. (2)
+    /// requires every VNF to be placed exactly once).
+    MissingVnf {
+        /// The unplaced VNF.
+        vnf: VnfId,
+    },
+    /// The problem definition itself is inconsistent (duplicate ids,
+    /// out-of-order ids, …).
+    InvalidProblem {
+        /// Description of the inconsistency.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { reason } => write!(f, "infeasible placement problem: {reason}"),
+            Self::AttemptsExhausted { attempts } => {
+                write!(f, "no feasible placement found in {attempts} attempts")
+            }
+            Self::UnknownVnf { vnf } => write!(f, "unknown {vnf}"),
+            Self::UnknownNode { node } => write!(f, "unknown {node}"),
+            Self::CapacityExceeded { node, demand, capacity } => {
+                write!(f, "{node} overloaded: demand {demand} exceeds capacity {capacity}")
+            }
+            Self::MissingVnf { vnf } => write!(f, "{vnf} was not placed"),
+            Self::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let err = PlacementError::CapacityExceeded {
+            node: NodeId::new(1),
+            demand: 120.0,
+            capacity: 100.0,
+        };
+        let s = err.to_string();
+        assert!(s.contains("node1") && s.contains("120") && s.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacementError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact branch-and-bound oracle for small placement instances.
+//!
+//! Used by tests and benches to verify BFDSU's factor-2 worst-case bound
+//! (Theorem 2) and to measure how close the heuristics get to optimal.
+//! Runtime is exponential in `|F|`; intended for instances with at most
+//! roughly a dozen VNFs and nodes.
+
+use nfv_model::VnfId;
+
+use crate::support::vnfs_by_decreasing_demand;
+use crate::PlacementProblem;
+
+/// The minimal number of nodes in service over all feasible placements, or
+/// `None` if the instance is infeasible.
+///
+/// Branch-and-bound over VNFs in decreasing-demand order: each VNF tries
+/// every node with room plus at most one currently-empty node (empty nodes
+/// of equal capacity are interchangeable, deduplicated by capacity), pruning
+/// branches that already use at least as many nodes as the incumbent.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+/// use nfv_placement::{exact, PlacementProblem};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nodes = vec![
+///     ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?),
+///     ComputeNode::new(NodeId::new(1), Capacity::new(100.0)?),
+/// ];
+/// let vnfs = vec![
+///     Vnf::builder(VnfId::new(0), VnfKind::Nat)
+///         .demand_per_instance(Demand::new(60.0)?)
+///         .service_rate(ServiceRate::new(1.0)?)
+///         .build()?,
+///     Vnf::builder(VnfId::new(1), VnfKind::Firewall)
+///         .demand_per_instance(Demand::new(60.0)?)
+///         .service_rate(ServiceRate::new(1.0)?)
+///         .build()?,
+/// ];
+/// let problem = PlacementProblem::new(nodes, vnfs)?;
+/// assert_eq!(exact::optimal_node_count(&problem), Some(2));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn optimal_node_count(problem: &PlacementProblem) -> Option<usize> {
+    if problem.check_necessary_feasibility().is_err() {
+        return None;
+    }
+    let order = vnfs_by_decreasing_demand(problem);
+    let demands: Vec<f64> = order.iter().map(|&v| problem.demand_of(v).value()).collect();
+    let mut remaining: Vec<f64> = problem.nodes().iter().map(|n| n.capacity().value()).collect();
+    let mut best = usize::MAX;
+    let lower = problem.lower_bound_nodes();
+    search(&demands, 0, &mut remaining, problem, 0, &mut best, lower);
+    (best != usize::MAX).then_some(best)
+}
+
+fn search(
+    demands: &[f64],
+    idx: usize,
+    remaining: &mut Vec<f64>,
+    problem: &PlacementProblem,
+    used: usize,
+    best: &mut usize,
+    lower: usize,
+) {
+    if used >= *best {
+        return; // cannot improve
+    }
+    if idx == demands.len() {
+        *best = used;
+        return;
+    }
+    if *best == lower {
+        return; // already optimal
+    }
+    let demand = demands[idx];
+    let capacities: Vec<f64> = problem.nodes().iter().map(|n| n.capacity().value()).collect();
+    let mut tried_empty_caps: Vec<f64> = Vec::new();
+    for i in 0..remaining.len() {
+        if demand > remaining[i] * (1.0 + 1e-12) + 1e-12 {
+            continue;
+        }
+        let is_empty = remaining[i] == capacities[i];
+        if is_empty {
+            // Empty nodes of equal capacity are interchangeable.
+            if tried_empty_caps.iter().any(|&c| c == capacities[i]) {
+                continue;
+            }
+            tried_empty_caps.push(capacities[i]);
+        }
+        let saved = remaining[i];
+        remaining[i] -= demand;
+        search(
+            demands,
+            idx + 1,
+            remaining,
+            problem,
+            used + usize::from(is_empty),
+            best,
+            lower,
+        );
+        remaining[i] = saved;
+    }
+}
+
+/// Exhaustively checks feasibility of a small instance (equivalent to
+/// `optimal_node_count(problem).is_some()`).
+#[must_use]
+pub fn is_feasible(problem: &PlacementProblem) -> bool {
+    optimal_node_count(problem).is_some()
+}
+
+/// The ids of the VNFs in the order the oracle branches on them
+/// (decreasing demand); exposed so tests can correlate oracle traces.
+#[must_use]
+pub fn branching_order(problem: &PlacementProblem) -> Vec<VnfId> {
+    vnfs_by_decreasing_demand(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfKind};
+
+    fn problem(caps: &[f64], demands: &[f64]) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .service_rate(ServiceRate::new(1.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(nodes, vnfs).unwrap()
+    }
+
+    #[test]
+    fn packs_perfect_partition() {
+        // 60+40 | 60+40 on two nodes of 100.
+        let p = problem(&[100.0, 100.0], &[60.0, 60.0, 40.0, 40.0]);
+        assert_eq!(optimal_node_count(&p), Some(2));
+    }
+
+    #[test]
+    fn single_node_when_everything_fits() {
+        let p = problem(&[100.0, 100.0], &[30.0, 30.0, 30.0]);
+        assert_eq!(optimal_node_count(&p), Some(1));
+    }
+
+    #[test]
+    fn detects_infeasible_instances() {
+        assert_eq!(optimal_node_count(&problem(&[10.0], &[20.0])), None);
+        // Necessary conditions pass but packing is impossible:
+        // 60, 40, 40 into 75 + 75.
+        assert_eq!(optimal_node_count(&problem(&[75.0, 75.0], &[60.0, 40.0, 40.0])), None);
+        assert!(!is_feasible(&problem(&[75.0, 75.0], &[60.0, 40.0, 40.0])));
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        // 90 must go on the 100-node; 50+10 fit on the 60-node.
+        let p = problem(&[100.0, 60.0], &[90.0, 50.0, 10.0]);
+        assert_eq!(optimal_node_count(&p), Some(2));
+        // But 90 + 10 on node0 and 50 on node1 also works; both use 2.
+    }
+
+    #[test]
+    fn oracle_matches_lower_bound_when_tight() {
+        let p = problem(&[100.0, 100.0, 100.0], &[50.0, 50.0, 50.0, 50.0]);
+        assert_eq!(optimal_node_count(&p), Some(2));
+        assert_eq!(p.lower_bound_nodes(), 2);
+    }
+
+    #[test]
+    fn branching_order_is_decreasing() {
+        let p = problem(&[100.0], &[10.0, 30.0, 20.0]);
+        let order = branching_order(&p);
+        let d: Vec<f64> = order.iter().map(|&v| p.demand_of(v).value()).collect();
+        assert!(d.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,233 @@
+//! FFD: first-fit decreasing.
+
+use nfv_model::NodeId;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::support::{vnfs_by_decreasing_demand, Remaining};
+use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+
+/// The order FFD scans candidate nodes in; the *first* node (in this
+/// order) with enough remaining capacity wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ScanOrder {
+    /// Largest remaining capacity first. This is the paper's FFD baseline:
+    /// with no used/spare distinction the scan effectively behaves like
+    /// worst-fit, spreading load across the big nodes — which is why FFD's
+    /// average utilization clusters with NAH's (68.6% vs 66.9%) in the
+    /// paper's Figs. 5–7 rather than approaching BFDSU's.
+    #[default]
+    DescendingCapacity,
+    /// Smallest remaining capacity first (≈ best-fit; strong ablation
+    /// variant).
+    AscendingCapacity,
+    /// Node-id order — the textbook FFD with a fixed bin order.
+    ById,
+}
+
+/// First-Fit Decreasing: VNFs in decreasing demand order, each placed on
+/// the first node (in the configured [`ScanOrder`]) with enough remaining
+/// capacity.
+///
+/// Keeps no used/spare distinction — a VNF may open a fresh node even when
+/// an already-used node would fit — which is exactly the behaviour that
+/// costs it utilization relative to BFDSU. Deterministic: a single pass,
+/// so [`PlacementOutcome::iterations`] is always 1 (matching the constant
+/// iteration count in the paper's Fig. 10).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_placement::{Ffd, Placer, PlacementProblem};
+/// # use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let nodes = vec![ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?)];
+/// # let vnfs = vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+/// #     .demand_per_instance(Demand::new(30.0)?)
+/// #     .service_rate(ServiceRate::new(100.0)?)
+/// #     .build()?];
+/// let problem = PlacementProblem::new(nodes, vnfs)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let outcome = Ffd::new().place(&problem, &mut rng)?;
+/// assert_eq!(outcome.iterations(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ffd {
+    order: ScanOrder,
+}
+
+impl Ffd {
+    /// Creates the paper's FFD baseline (descending-capacity scan).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { order: ScanOrder::DescendingCapacity }
+    }
+
+    /// Creates FFD with an explicit scan order (ablation variants).
+    #[must_use]
+    pub fn with_scan_order(order: ScanOrder) -> Self {
+        Self { order }
+    }
+
+    /// The configured scan order.
+    #[must_use]
+    pub fn scan_order(&self) -> ScanOrder {
+        self.order
+    }
+}
+
+impl Placer for Ffd {
+    fn name(&self) -> &'static str {
+        match self.order {
+            ScanOrder::DescendingCapacity => "ffd",
+            ScanOrder::AscendingCapacity => "ffd-asc",
+            ScanOrder::ById => "ffd-id",
+        }
+    }
+
+    fn place(
+        &self,
+        problem: &PlacementProblem,
+        _rng: &mut dyn RngCore,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        problem.check_necessary_feasibility()?;
+        let order = vnfs_by_decreasing_demand(problem);
+        let mut remaining = Remaining::new(problem);
+        let mut assignment = vec![NodeId::new(0); problem.vnfs().len()];
+        for vnf in order {
+            let demand = problem.demand_of(vnf).value();
+            let mut candidates: Vec<NodeId> = problem.nodes().iter().map(|n| n.id()).collect();
+            match self.order {
+                ScanOrder::ById => {}
+                ScanOrder::AscendingCapacity => candidates.sort_by(|&a, &b| {
+                    remaining
+                        .of(a)
+                        .partial_cmp(&remaining.of(b))
+                        .expect("capacities are finite")
+                        .then(a.cmp(&b))
+                }),
+                ScanOrder::DescendingCapacity => candidates.sort_by(|&a, &b| {
+                    remaining
+                        .of(b)
+                        .partial_cmp(&remaining.of(a))
+                        .expect("capacities are finite")
+                        .then(a.cmp(&b))
+                }),
+            }
+            let node = candidates
+                .into_iter()
+                .find(|&n| remaining.fits(n, demand))
+                .ok_or(PlacementError::AttemptsExhausted { attempts: 1 })?;
+            assignment[vnf.as_usize()] = node;
+            remaining.consume(node, demand);
+        }
+        let placement = Placement::new(problem, assignment)?;
+        Ok(PlacementOutcome::new(placement, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, ServiceRate, Vnf, VnfId, VnfKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(caps: &[f64], demands: &[f64]) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .instances(1)
+                    .service_rate(ServiceRate::new(1.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(nodes, vnfs).unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn default_scan_spreads_over_large_nodes() {
+        // Two VNFs of 30 on nodes 100 and 90: descending scan puts the
+        // first on node0 (100 -> 70) and the second again on node0 (70 <
+        // 90? no - after consuming, node1 has 90 > 70, so the second VNF
+        // goes to node1): load spreads, unlike best-fit.
+        let p = problem(&[100.0, 90.0], &[30.0, 30.0]);
+        let outcome = Ffd::new().place(&p, &mut rng()).unwrap();
+        let pl = outcome.placement();
+        assert_eq!(pl.node_of(VnfId::new(0)), NodeId::new(0));
+        assert_eq!(pl.node_of(VnfId::new(1)), NodeId::new(1));
+        assert_eq!(pl.nodes_in_service(), 2);
+    }
+
+    #[test]
+    fn ascending_scan_packs_tightly() {
+        let p = problem(&[100.0, 90.0], &[30.0, 30.0]);
+        let outcome = Ffd::with_scan_order(ScanOrder::AscendingCapacity)
+            .place(&p, &mut rng())
+            .unwrap();
+        assert_eq!(outcome.placement().nodes_in_service(), 1);
+        assert_eq!(
+            outcome.placement().node_of(VnfId::new(0)),
+            NodeId::new(1),
+            "ascending scan starts at the smaller node"
+        );
+    }
+
+    #[test]
+    fn id_scan_is_classic_ffd() {
+        // Demands sorted: 50, 40, 30. Node0 (cap 100) takes 50+40; 30 goes
+        // to node1.
+        let p = problem(&[100.0, 100.0], &[30.0, 50.0, 40.0]);
+        let outcome =
+            Ffd::with_scan_order(ScanOrder::ById).place(&p, &mut rng()).unwrap();
+        let pl = outcome.placement();
+        assert_eq!(pl.node_of(VnfId::new(1)), NodeId::new(0));
+        assert_eq!(pl.node_of(VnfId::new(2)), NodeId::new(0));
+        assert_eq!(pl.node_of(VnfId::new(0)), NodeId::new(1));
+        assert_eq!(outcome.iterations(), 1);
+    }
+
+    #[test]
+    fn fails_after_single_pass_on_unpackable_input() {
+        // 60, 40, 40 into 75 + 75 is impossible.
+        let p = problem(&[75.0, 75.0], &[60.0, 40.0, 40.0]);
+        for order in [ScanOrder::DescendingCapacity, ScanOrder::AscendingCapacity, ScanOrder::ById]
+        {
+            let err = Ffd::with_scan_order(order).place(&p, &mut rng()).unwrap_err();
+            assert!(matches!(err, PlacementError::AttemptsExhausted { .. }));
+        }
+    }
+
+    #[test]
+    fn is_deterministic_and_rng_independent() {
+        let p = problem(&[100.0, 80.0, 60.0], &[50.0, 30.0, 30.0, 20.0]);
+        let a = Ffd::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let b = Ffd::new().place(&p, &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Ffd::new().name(), "ffd");
+        assert_eq!(Ffd::with_scan_order(ScanOrder::AscendingCapacity).name(), "ffd-asc");
+        assert_eq!(Ffd::with_scan_order(ScanOrder::ById).name(), "ffd-id");
+        assert_eq!(Ffd::new().scan_order(), ScanOrder::DescendingCapacity);
+    }
+}

@@ -1,0 +1,75 @@
+//! VNF chain placement algorithms (phase one of the paper's pipeline).
+//!
+//! The VNF chain placement (VNF-CP) problem asks for an assignment of every
+//! VNF — with all `M_f` of its service instances, hence a total demand
+//! `D_f^sum = M_f · D_f` — to exactly one computing node, without exceeding
+//! any node's capacity `A_v`, while maximizing the average resource
+//! utilization of the nodes in service (Eq. (13)), or equivalently
+//! minimizing the number of nodes in service (Eq. (14)). The paper proves
+//! the problem NP-hard by reduction from bin packing (Theorem 1).
+//!
+//! Implemented algorithms, all behind the [`Placer`] trait:
+//!
+//! * [`Bfdsu`] — the paper's contribution: Best-Fit-Decreasing using
+//!   Smallest Used nodes with the largest probability (Algorithm 1), a
+//!   weighted-random best-fit with restart-on-failure and a proved
+//!   asymptotic worst-case bound of 2 (Theorem 2);
+//! * [`Ffd`] — first-fit decreasing (classic baseline);
+//! * [`Bfd`] — deterministic best-fit decreasing (the ablation of BFDSU's
+//!   weighted-random choice);
+//! * [`Nah`] — the node assignment heuristic of Xia et al. (2015), which
+//!   packs whole chains onto the node with the largest remaining capacity;
+//! * [`exact::optimal_node_count`] — a branch-and-bound oracle for small
+//!   instances, used to verify the factor-2 bound in tests;
+//! * [`ChainAffinity`] — our extension: BFDSU with a co-location bonus for
+//!   chain neighbors, optimizing the inter-node hop term of the joint
+//!   objective (Eq. (16)) alongside the packing.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_placement::{Bfdsu, Placer, PlacementProblem};
+//! use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+//! use rand::SeedableRng;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nodes = vec![
+//!     ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?),
+//!     ComputeNode::new(NodeId::new(1), Capacity::new(100.0)?),
+//! ];
+//! let vnfs = vec![Vnf::builder(VnfId::new(0), VnfKind::Firewall)
+//!     .demand_per_instance(Demand::new(30.0)?)
+//!     .instances(2)
+//!     .service_rate(ServiceRate::new(100.0)?)
+//!     .build()?];
+//! let problem = PlacementProblem::new(nodes, vnfs)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let outcome = Bfdsu::new().place(&problem, &mut rng)?;
+//! assert_eq!(outcome.placement().nodes_in_service(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affinity;
+mod bfd;
+mod bfdsu;
+mod error;
+pub mod exact;
+mod ffd;
+mod nah;
+mod placement;
+mod placer;
+mod problem;
+mod support;
+
+pub use affinity::ChainAffinity;
+pub use bfd::Bfd;
+pub use bfdsu::Bfdsu;
+pub use error::PlacementError;
+pub use ffd::{Ffd, ScanOrder};
+pub use nah::Nah;
+pub use placement::Placement;
+pub use placer::{Placer, PlacementOutcome};
+pub use problem::PlacementProblem;

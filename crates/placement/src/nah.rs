@@ -1,0 +1,293 @@
+//! NAH: the node assignment heuristic baseline (Xia et al., 2015).
+
+use nfv_model::{NodeId, VnfId};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::placer::run_with_restarts;
+use crate::support::Remaining;
+use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+
+/// The Node Assignment Heuristic for NFV chaining in packet/optical
+/// datacenters (Xia et al., JLT 2015), reimplemented from its published
+/// description as the paper's second baseline.
+///
+/// For each service chain, NAH places the most resource-demanding VNF of
+/// the chain on the node with the *largest* remaining capacity, then packs
+/// as many of the chain's remaining VNFs as fit onto that same node;
+/// leftovers repeat the procedure on the next largest-capacity node. VNFs
+/// shared with already-processed chains are skipped; VNFs on no chain are
+/// placed individually, largest-node first.
+///
+/// Because NAH always opens the biggest node, it fragments capacity and
+/// keeps no used/spare priority — the behaviour responsible for its low
+/// average utilization in the paper's Figs. 5–9. Chain processing order is
+/// shuffled per attempt, and the algorithm restarts on failure like BFDSU;
+/// on tight instances it needs notably more attempts (Fig. 10's ~3×
+/// BFDSU).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_placement::{Nah, Placer, PlacementProblem};
+/// # use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceChain, ServiceRate, Vnf, VnfId, VnfKind};
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let nodes = vec![ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?)];
+/// # let vnfs = vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+/// #     .demand_per_instance(Demand::new(30.0)?)
+/// #     .service_rate(ServiceRate::new(100.0)?)
+/// #     .build()?];
+/// # let chains = vec![ServiceChain::single(VnfId::new(0))];
+/// let problem = PlacementProblem::with_chains(nodes, vnfs, chains)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let outcome = Nah::new().place(&problem, &mut rng)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nah {
+    max_attempts: u64,
+}
+
+impl Nah {
+    /// Creates NAH with the default restart budget (1000 attempts).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { max_attempts: 1000 }
+    }
+
+    /// Sets the restart budget.
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u64) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    fn attempt(&self, problem: &PlacementProblem, rng: &mut dyn RngCore) -> Option<Placement> {
+        let mut remaining = Remaining::new(problem);
+        let mut placed: Vec<Option<NodeId>> = vec![None; problem.vnfs().len()];
+
+        let mut chain_order: Vec<usize> = (0..problem.chains().len()).collect();
+        chain_order.shuffle(rng);
+
+        for &c in &chain_order {
+            let members: Vec<VnfId> = problem.chains()[c]
+                .iter()
+                .filter(|v| placed[v.as_usize()].is_none())
+                .collect();
+            place_group(problem, &members, &mut remaining, &mut placed)?;
+        }
+        // VNFs on no chain are placed individually.
+        let loose: Vec<VnfId> = problem
+            .vnfs()
+            .iter()
+            .map(|v| v.id())
+            .filter(|v| placed[v.as_usize()].is_none())
+            .collect();
+        for vnf in loose {
+            place_group(problem, &[vnf], &mut remaining, &mut placed)?;
+        }
+
+        let assignment: Vec<NodeId> = placed.into_iter().collect::<Option<_>>()?;
+        Some(Placement::new(problem, assignment).expect("capacity tracked during construction"))
+    }
+}
+
+impl Default for Nah {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Placer for Nah {
+    fn name(&self) -> &'static str {
+        "nah"
+    }
+
+    fn place(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut dyn RngCore,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        run_with_restarts(problem, self.max_attempts, || self.attempt(problem, rng))
+    }
+}
+
+/// Places one chain's unplaced VNFs: most demanding first onto the node
+/// with the largest remaining capacity, co-locating the rest while it
+/// fits; leftovers recurse onto the next largest node. `None` if some VNF
+/// fits nowhere.
+fn place_group(
+    problem: &PlacementProblem,
+    members: &[VnfId],
+    remaining: &mut Remaining,
+    placed: &mut [Option<NodeId>],
+) -> Option<()> {
+    let mut pending: Vec<VnfId> = members.to_vec();
+    // Most resource-demanding first.
+    pending.sort_by(|&a, &b| {
+        problem
+            .demand_of(b)
+            .value()
+            .partial_cmp(&problem.demand_of(a).value())
+            .expect("demands are finite")
+            .then(a.cmp(&b))
+    });
+    while let Some(&head) = pending.first() {
+        let head_demand = problem.demand_of(head).value();
+        // The node with the largest remaining capacity.
+        let node = problem
+            .nodes()
+            .iter()
+            .map(|n| n.id())
+            .max_by(|&a, &b| {
+                remaining
+                    .of(a)
+                    .partial_cmp(&remaining.of(b))
+                    .expect("capacities are finite")
+                    .then(b.cmp(&a))
+            })
+            .expect("problems have nodes");
+        if !remaining.fits(node, head_demand) {
+            return None;
+        }
+        // Pack as many of the chain's VNFs as fit onto this node.
+        let mut leftovers = Vec::new();
+        for vnf in pending.drain(..) {
+            let demand = problem.demand_of(vnf).value();
+            if remaining.fits(node, demand) {
+                remaining.consume(node, demand);
+                placed[vnf.as_usize()] = Some(node);
+            } else {
+                leftovers.push(vnf);
+            }
+        }
+        pending = leftovers;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, ServiceChain, ServiceRate, Vnf, VnfKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem_with_chains(
+        caps: &[f64],
+        demands: &[f64],
+        chains: &[&[u32]],
+    ) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .service_rate(ServiceRate::new(1.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let chains = chains
+            .iter()
+            .map(|ids| ServiceChain::new(ids.iter().map(|&i| VnfId::new(i)).collect()).unwrap())
+            .collect();
+        PlacementProblem::with_chains(nodes, vnfs, chains).unwrap()
+    }
+
+    #[test]
+    fn chain_members_colocate_when_they_fit() {
+        let p = problem_with_chains(&[100.0, 100.0], &[30.0, 20.0, 10.0], &[&[0, 1, 2]]);
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let pl = outcome.placement();
+        assert!(pl.colocated(VnfId::new(0), VnfId::new(1)));
+        assert!(pl.colocated(VnfId::new(1), VnfId::new(2)));
+    }
+
+    #[test]
+    fn always_opens_largest_node() {
+        // A tiny chain lands on the 1000-capacity node even though the
+        // 50-capacity node would suffice — the fragmentation NAH is known
+        // for.
+        let p = problem_with_chains(&[50.0, 1000.0], &[30.0], &[&[0]]);
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(outcome.placement().node_of(VnfId::new(0)), NodeId::new(1));
+    }
+
+    #[test]
+    fn overflowing_chain_spills_to_next_largest() {
+        let p = problem_with_chains(&[100.0, 80.0], &[60.0, 50.0, 30.0], &[&[0, 1, 2]]);
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let pl = outcome.placement();
+        // 60 -> node0 (largest); 50 does not fit node0 (rst 40) but 30 does;
+        // 50 then goes to node1.
+        assert_eq!(pl.node_of(VnfId::new(0)), NodeId::new(0));
+        assert_eq!(pl.node_of(VnfId::new(2)), NodeId::new(0));
+        assert_eq!(pl.node_of(VnfId::new(1)), NodeId::new(1));
+    }
+
+    #[test]
+    fn shared_vnfs_are_placed_once() {
+        let p = problem_with_chains(
+            &[100.0, 100.0],
+            &[40.0, 30.0, 20.0],
+            &[&[0, 1], &[1, 2]],
+        );
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(1)).unwrap();
+        // Just feasibility plus the Eq. (2) invariant, which Placement::new
+        // enforces: each VNF appears exactly once.
+        assert_eq!(outcome.placement().assignment().len(), 3);
+    }
+
+    #[test]
+    fn vnfs_outside_all_chains_are_still_placed() {
+        let p = problem_with_chains(&[100.0], &[40.0, 30.0], &[&[0]]);
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(outcome.placement().nodes_in_service(), 1);
+    }
+
+    #[test]
+    fn works_without_any_chains() {
+        let p = problem_with_chains(&[100.0], &[40.0, 30.0], &[]);
+        let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(outcome.placement().nodes_in_service(), 1);
+    }
+
+    #[test]
+    fn infeasible_fails_fast() {
+        let p = problem_with_chains(&[10.0], &[20.0], &[&[0]]);
+        assert!(matches!(
+            Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap_err(),
+            PlacementError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn uses_more_nodes_than_bfdsu_on_fragmenting_input() {
+        use crate::Bfdsu;
+        // Four chains of one mid-size VNF each, nodes big enough for all
+        // four: BFDSU packs one node; NAH spreads across the largest nodes.
+        let p = problem_with_chains(
+            &[200.0, 200.0, 200.0, 200.0],
+            &[50.0, 50.0, 50.0, 50.0],
+            &[&[0], &[1], &[2], &[3]],
+        );
+        let nah = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let bfdsu = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(bfdsu.placement().nodes_in_service(), 1);
+        assert!(nah.placement().nodes_in_service() >= bfdsu.placement().nodes_in_service());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Nah::new().name(), "nah");
+    }
+}

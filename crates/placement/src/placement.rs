@@ -1,0 +1,286 @@
+//! The placement result and its quality metrics.
+
+use std::fmt;
+
+use nfv_model::{NodeId, Utilization, VnfId};
+use serde::{Deserialize, Serialize};
+
+use crate::{PlacementError, PlacementProblem};
+
+/// A feasible assignment of every VNF to exactly one computing node
+/// (the paper's `x_v^f` with Eq. (2) and the capacity constraint Eq. (6)
+/// enforced), plus the quality metrics of the evaluation section.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+/// use nfv_placement::{Placement, PlacementProblem};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nodes = vec![
+///     ComputeNode::new(NodeId::new(0), Capacity::new(100.0)?),
+///     ComputeNode::new(NodeId::new(1), Capacity::new(100.0)?),
+/// ];
+/// let vnfs = vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+///     .demand_per_instance(Demand::new(60.0)?)
+///     .service_rate(ServiceRate::new(100.0)?)
+///     .build()?];
+/// let problem = PlacementProblem::new(nodes, vnfs)?;
+/// let placement = Placement::new(&problem, vec![NodeId::new(0)])?;
+/// assert_eq!(placement.nodes_in_service(), 1);
+/// assert!((placement.average_utilization().value() - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Node hosting each VNF, indexed by `VnfId`.
+    assignment: Vec<NodeId>,
+    /// Demand placed on each node, indexed by `NodeId`.
+    node_demand: Vec<f64>,
+    /// Capacity of each node, indexed by `NodeId`.
+    node_capacity: Vec<f64>,
+}
+
+impl Placement {
+    /// Validates and wraps an assignment (`assignment[f]` = node of VNF
+    /// `f`).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::MissingVnf`] if the assignment length differs
+    ///   from the VNF count (Eq. (2) violated),
+    /// * [`PlacementError::UnknownNode`] for an out-of-range node,
+    /// * [`PlacementError::CapacityExceeded`] if a node's demand exceeds its
+    ///   capacity (Eq. (6) violated).
+    pub fn new(problem: &PlacementProblem, assignment: Vec<NodeId>) -> Result<Self, PlacementError> {
+        if assignment.len() != problem.vnfs().len() {
+            let missing = assignment.len().min(problem.vnfs().len());
+            return Err(PlacementError::MissingVnf { vnf: VnfId::new(missing as u32) });
+        }
+        let mut node_demand = vec![0.0; problem.nodes().len()];
+        for (f, node) in assignment.iter().enumerate() {
+            if node.as_usize() >= problem.nodes().len() {
+                return Err(PlacementError::UnknownNode { node: *node });
+            }
+            node_demand[node.as_usize()] += problem.demand_of(VnfId::new(f as u32)).value();
+        }
+        let node_capacity: Vec<f64> =
+            problem.nodes().iter().map(|n| n.capacity().value()).collect();
+        for (i, (&demand, &capacity)) in node_demand.iter().zip(&node_capacity).enumerate() {
+            // Tolerate floating-point round-off from repeated accumulation.
+            if demand > capacity * (1.0 + 1e-9) + 1e-9 {
+                return Err(PlacementError::CapacityExceeded {
+                    node: NodeId::new(i as u32),
+                    demand,
+                    capacity,
+                });
+            }
+        }
+        Ok(Self { assignment, node_demand, node_capacity })
+    }
+
+    /// The node hosting `vnf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnf` is outside the problem this placement was built for.
+    #[must_use]
+    pub fn node_of(&self, vnf: VnfId) -> NodeId {
+        self.assignment[vnf.as_usize()]
+    }
+
+    /// The VNFs hosted on `node`.
+    pub fn vnfs_on(&self, node: NodeId) -> impl Iterator<Item = VnfId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, &n)| n == node)
+            .map(|(f, _)| VnfId::new(f as u32))
+    }
+
+    /// Whether two VNFs share a node (intra-server processing, Fig. 1(b)).
+    #[must_use]
+    pub fn colocated(&self, a: VnfId, b: VnfId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Nodes in service (`y_v = 1`), i.e. hosting at least one VNF.
+    pub fn used_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_demand
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Number of nodes in service, `Σ_v y_v` (Eq. (14)).
+    #[must_use]
+    pub fn nodes_in_service(&self) -> usize {
+        self.node_demand.iter().filter(|&&d| d > 0.0).count()
+    }
+
+    /// The demand placed on `node`.
+    #[must_use]
+    pub fn demand_on(&self, node: NodeId) -> f64 {
+        self.node_demand[node.as_usize()]
+    }
+
+    /// Utilization of one node, `Σ_f x_v^f M_f D_f / A_v`.
+    #[must_use]
+    pub fn utilization_of(&self, node: NodeId) -> Utilization {
+        let i = node.as_usize();
+        if self.node_capacity[i] == 0.0 {
+            Utilization::ZERO
+        } else {
+            Utilization::from_ratio(self.node_demand[i] / self.node_capacity[i])
+        }
+    }
+
+    /// Average resource utilization over the nodes in service — the paper's
+    /// objective Eq. (13). Zero if no node is in service.
+    #[must_use]
+    pub fn average_utilization(&self) -> Utilization {
+        let used: Vec<usize> = self
+            .node_demand
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if used.is_empty() {
+            return Utilization::ZERO;
+        }
+        let sum: f64 = used
+            .iter()
+            .map(|&i| self.node_demand[i] / self.node_capacity[i])
+            .sum();
+        Utilization::from_ratio(sum / used.len() as f64)
+    }
+
+    /// Total resource occupation: the combined capacity `Σ A_v` of the
+    /// nodes in service (Fig. 9's metric). Lower is better — capacity on a
+    /// powered-on node is paid for whether used or not.
+    #[must_use]
+    pub fn resource_occupation(&self) -> f64 {
+        self.node_demand
+            .iter()
+            .zip(&self.node_capacity)
+            .filter(|(&d, _)| d > 0.0)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// The raw assignment table, indexed by VNF id.
+    #[must_use]
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "placement: {} VNFs on {} nodes, avg utilization {}",
+            self.assignment.len(),
+            self.nodes_in_service(),
+            self.average_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, ServiceRate, Vnf, VnfKind};
+
+    fn problem(caps: &[f64], demands: &[f64]) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .service_rate(ServiceRate::new(100.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(nodes, vnfs).unwrap()
+    }
+
+    fn nid(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn validates_capacity() {
+        let p = problem(&[100.0], &[60.0, 50.0]);
+        let err = Placement::new(&p, vec![nid(0), nid(0)]).unwrap_err();
+        assert!(matches!(err, PlacementError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn validates_completeness_and_node_range() {
+        let p = problem(&[100.0], &[10.0, 10.0]);
+        assert!(matches!(
+            Placement::new(&p, vec![nid(0)]).unwrap_err(),
+            PlacementError::MissingVnf { .. }
+        ));
+        assert!(matches!(
+            Placement::new(&p, vec![nid(0), nid(7)]).unwrap_err(),
+            PlacementError::UnknownNode { .. }
+        ));
+    }
+
+    #[test]
+    fn eq13_average_utilization() {
+        let p = problem(&[100.0, 200.0, 50.0], &[80.0, 100.0]);
+        let placement = Placement::new(&p, vec![nid(0), nid(1)]).unwrap();
+        // Utilizations: 0.8 and 0.5 over two used nodes; node2 unused.
+        assert!((placement.average_utilization().value() - 0.65).abs() < 1e-12);
+        assert_eq!(placement.nodes_in_service(), 2);
+        assert_eq!(placement.resource_occupation(), 300.0);
+    }
+
+    #[test]
+    fn lookup_and_colocation() {
+        let p = problem(&[100.0, 100.0], &[30.0, 30.0, 30.0]);
+        let placement = Placement::new(&p, vec![nid(0), nid(0), nid(1)]).unwrap();
+        assert_eq!(placement.node_of(VnfId::new(2)), nid(1));
+        assert!(placement.colocated(VnfId::new(0), VnfId::new(1)));
+        assert!(!placement.colocated(VnfId::new(0), VnfId::new(2)));
+        let on0: Vec<_> = placement.vnfs_on(nid(0)).collect();
+        assert_eq!(on0, vec![VnfId::new(0), VnfId::new(1)]);
+        assert_eq!(placement.demand_on(nid(0)), 60.0);
+        assert!((placement.utilization_of(nid(1)).value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn used_nodes_excludes_idle() {
+        let p = problem(&[10.0, 10.0, 10.0], &[5.0]);
+        let placement = Placement::new(&p, vec![nid(1)]).unwrap();
+        let used: Vec<_> = placement.used_nodes().collect();
+        assert_eq!(used, vec![nid(1)]);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let p = problem(&[100.0], &[60.0, 40.0]);
+        let placement = Placement::new(&p, vec![nid(0), nid(0)]).unwrap();
+        assert_eq!(placement.average_utilization(), Utilization::FULL);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = problem(&[100.0], &[50.0]);
+        let placement = Placement::new(&p, vec![nid(0)]).unwrap();
+        assert!(placement.to_string().contains("1 VNFs on 1 nodes"));
+    }
+}

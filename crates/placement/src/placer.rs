@@ -1,0 +1,155 @@
+//! The [`Placer`] trait and shared execution helpers.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::{Placement, PlacementError, PlacementProblem};
+
+/// A placement algorithm for the VNF-CP problem.
+///
+/// Implementations receive the problem and a random-number generator (used
+/// by the randomized algorithms; deterministic ones ignore it) and return a
+/// feasible [`Placement`] plus the number of full executions it took — the
+/// paper's *iterations* metric (Fig. 10). Deterministic single-pass
+/// algorithms report 1 iteration; randomized algorithms restart on failure
+/// and report how many attempts the first feasible solution needed.
+pub trait Placer {
+    /// A short stable name for reports ("bfdsu", "ffd", …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::Infeasible`] when a necessary feasibility
+    ///   condition fails,
+    /// * [`PlacementError::AttemptsExhausted`] when the restart budget runs
+    ///   out without a feasible placement.
+    fn place(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut dyn RngCore,
+    ) -> Result<PlacementOutcome, PlacementError>;
+}
+
+/// A successful placement run: the placement found and the execution cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOutcome {
+    placement: Placement,
+    iterations: u64,
+}
+
+impl PlacementOutcome {
+    /// Creates an outcome (used by [`Placer`] implementations).
+    #[must_use]
+    pub fn new(placement: Placement, iterations: u64) -> Self {
+        Self { placement, iterations }
+    }
+
+    /// The feasible placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Number of full algorithm executions until the first feasible
+    /// solution (the paper's Fig. 10 metric).
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Consumes the outcome, returning the placement.
+    #[must_use]
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+}
+
+impl fmt::Display for PlacementOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (in {} iterations)", self.placement, self.iterations)
+    }
+}
+
+/// Runs `attempt` up to `max_attempts` times, returning the first feasible
+/// placement together with the attempt count. Shared by the randomized
+/// algorithms ([`crate::Bfdsu`], [`crate::Nah`]), implementing the paper's
+/// "go back to Begin" restart (Algorithm 1, line 9).
+pub(crate) fn run_with_restarts(
+    problem: &PlacementProblem,
+    max_attempts: u64,
+    mut attempt: impl FnMut() -> Option<Placement>,
+) -> Result<PlacementOutcome, PlacementError> {
+    problem.check_necessary_feasibility()?;
+    for iteration in 1..=max_attempts {
+        if let Some(placement) = attempt() {
+            return Ok(PlacementOutcome::new(placement, iteration));
+        }
+    }
+    Err(PlacementError::AttemptsExhausted { attempts: max_attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+
+    fn tiny_problem() -> PlacementProblem {
+        PlacementProblem::new(
+            vec![ComputeNode::new(NodeId::new(0), Capacity::new(10.0).unwrap())],
+            vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+                .demand_per_instance(Demand::new(5.0).unwrap())
+                .service_rate(ServiceRate::new(1.0).unwrap())
+                .build()
+                .unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn restarts_count_attempts() {
+        let problem = tiny_problem();
+        let mut calls = 0;
+        let outcome = run_with_restarts(&problem, 10, || {
+            calls += 1;
+            if calls < 3 {
+                None
+            } else {
+                Some(Placement::new(&problem, vec![NodeId::new(0)]).unwrap())
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.iterations(), 3);
+    }
+
+    #[test]
+    fn exhausted_budget_is_an_error() {
+        let problem = tiny_problem();
+        let err = run_with_restarts(&problem, 5, || None).unwrap_err();
+        assert_eq!(err, PlacementError::AttemptsExhausted { attempts: 5 });
+    }
+
+    #[test]
+    fn infeasible_problems_fail_fast() {
+        let problem = PlacementProblem::new(
+            vec![ComputeNode::new(NodeId::new(0), Capacity::new(1.0).unwrap())],
+            vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+                .demand_per_instance(Demand::new(5.0).unwrap())
+                .service_rate(ServiceRate::new(1.0).unwrap())
+                .build()
+                .unwrap()],
+        )
+        .unwrap();
+        let mut calls = 0;
+        let err = run_with_restarts(&problem, 5, || {
+            calls += 1;
+            None
+        })
+        .unwrap_err();
+        assert!(matches!(err, PlacementError::Infeasible { .. }));
+        assert_eq!(calls, 0, "attempts must not run for provably infeasible input");
+    }
+}

@@ -1,0 +1,256 @@
+//! The placement problem instance.
+
+use nfv_model::{ComputeNode, Demand, ServiceChain, Vnf, VnfId};
+use serde::{Deserialize, Serialize};
+
+use crate::PlacementError;
+
+/// An instance of the VNF chain placement problem: the computing nodes with
+/// their capacities, the VNFs with their total demands `D_f^sum`, and
+/// (optionally) the service chains of the requests, which chain-aware
+/// algorithms such as [`crate::Nah`] exploit.
+///
+/// Node ids must be `0..|V|` and VNF ids `0..|F|`, each in order — the ids
+/// double as indices into the problem's tables.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+/// use nfv_placement::PlacementProblem;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nodes = vec![ComputeNode::new(NodeId::new(0), Capacity::new(50.0)?)];
+/// let vnfs = vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
+///     .demand_per_instance(Demand::new(10.0)?)
+///     .instances(3)
+///     .service_rate(ServiceRate::new(100.0)?)
+///     .build()?];
+/// let problem = PlacementProblem::new(nodes, vnfs)?;
+/// assert_eq!(problem.total_demand().value(), 30.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementProblem {
+    nodes: Vec<ComputeNode>,
+    vnfs: Vec<Vnf>,
+    chains: Vec<ServiceChain>,
+}
+
+impl PlacementProblem {
+    /// Creates a problem without chain information.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::InvalidProblem`] if either set is empty or
+    /// ids are not `0..n` in order.
+    pub fn new(nodes: Vec<ComputeNode>, vnfs: Vec<Vnf>) -> Result<Self, PlacementError> {
+        Self::with_chains(nodes, vnfs, Vec::new())
+    }
+
+    /// Creates a problem with the service chains of the request set
+    /// (needed by chain-aware algorithms like [`crate::Nah`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::InvalidProblem`] for empty node/VNF sets or
+    /// out-of-order ids, and [`PlacementError::UnknownVnf`] if a chain
+    /// references a VNF outside the problem.
+    pub fn with_chains(
+        nodes: Vec<ComputeNode>,
+        vnfs: Vec<Vnf>,
+        chains: Vec<ServiceChain>,
+    ) -> Result<Self, PlacementError> {
+        if nodes.is_empty() {
+            return Err(PlacementError::InvalidProblem { reason: "no computing nodes" });
+        }
+        if vnfs.is_empty() {
+            return Err(PlacementError::InvalidProblem { reason: "no VNFs to place" });
+        }
+        if nodes.iter().enumerate().any(|(i, n)| n.id().as_usize() != i) {
+            return Err(PlacementError::InvalidProblem {
+                reason: "node ids must be 0..|V| in order",
+            });
+        }
+        if vnfs.iter().enumerate().any(|(i, v)| v.id().as_usize() != i) {
+            return Err(PlacementError::InvalidProblem {
+                reason: "VNF ids must be 0..|F| in order",
+            });
+        }
+        for chain in &chains {
+            for vnf in chain.iter() {
+                if vnf.as_usize() >= vnfs.len() {
+                    return Err(PlacementError::UnknownVnf { vnf });
+                }
+            }
+        }
+        Ok(Self { nodes, vnfs, chains })
+    }
+
+    /// The computing nodes, ordered by id.
+    #[must_use]
+    pub fn nodes(&self) -> &[ComputeNode] {
+        &self.nodes
+    }
+
+    /// The VNFs, ordered by id.
+    #[must_use]
+    pub fn vnfs(&self) -> &[Vnf] {
+        &self.vnfs
+    }
+
+    /// The request chains (possibly empty).
+    #[must_use]
+    pub fn chains(&self) -> &[ServiceChain] {
+        &self.chains
+    }
+
+    /// The total demand `D_f^sum` of one VNF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnf` is not part of the problem.
+    #[must_use]
+    pub fn demand_of(&self, vnf: VnfId) -> Demand {
+        self.vnfs[vnf.as_usize()].total_demand()
+    }
+
+    /// Sum of all VNF total demands.
+    #[must_use]
+    pub fn total_demand(&self) -> Demand {
+        self.vnfs.iter().map(Vnf::total_demand).sum()
+    }
+
+    /// Cheap necessary feasibility conditions: total demand fits total
+    /// capacity and every single VNF fits on the largest node. Passing this
+    /// check does not guarantee feasibility (bin packing may still fail),
+    /// but failing it proves infeasibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Infeasible`] when a necessary condition is
+    /// violated.
+    pub fn check_necessary_feasibility(&self) -> Result<(), PlacementError> {
+        let total_capacity: f64 = self.nodes.iter().map(|n| n.capacity().value()).sum();
+        if self.total_demand().value() > total_capacity {
+            return Err(PlacementError::Infeasible {
+                reason: "total demand exceeds total capacity",
+            });
+        }
+        let max_capacity = self
+            .nodes
+            .iter()
+            .map(|n| n.capacity().value())
+            .fold(0.0f64, f64::max);
+        if self.vnfs.iter().any(|v| v.total_demand().value() > max_capacity) {
+            return Err(PlacementError::Infeasible {
+                reason: "a VNF exceeds every node capacity",
+            });
+        }
+        Ok(())
+    }
+
+    /// A simple lower bound on the optimal number of nodes in service: the
+    /// length of the shortest prefix of nodes (sorted by decreasing
+    /// capacity) whose combined capacity covers the total demand. Any
+    /// feasible placement uses at least this many nodes.
+    #[must_use]
+    pub fn lower_bound_nodes(&self) -> usize {
+        let mut caps: Vec<f64> = self.nodes.iter().map(|n| n.capacity().value()).collect();
+        caps.sort_unstable_by(|a, b| b.partial_cmp(a).expect("capacities are finite"));
+        let total = self.total_demand().value();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, c) in caps.iter().enumerate() {
+            acc += c;
+            if acc >= total {
+                return i + 1;
+            }
+        }
+        caps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, NodeId, ServiceRate, VnfKind};
+
+    fn node(id: u32, cap: f64) -> ComputeNode {
+        ComputeNode::new(NodeId::new(id), Capacity::new(cap).unwrap())
+    }
+
+    fn vnf(id: u32, demand: f64, instances: u32) -> Vnf {
+        Vnf::builder(VnfId::new(id), VnfKind::Custom(id as u16))
+            .demand_per_instance(Demand::new(demand).unwrap())
+            .instances(instances)
+            .service_rate(ServiceRate::new(100.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_order_sets() {
+        assert!(PlacementProblem::new(vec![], vec![vnf(0, 1.0, 1)]).is_err());
+        assert!(PlacementProblem::new(vec![node(0, 1.0)], vec![]).is_err());
+        assert!(PlacementProblem::new(vec![node(1, 1.0)], vec![vnf(0, 1.0, 1)]).is_err());
+        assert!(PlacementProblem::new(vec![node(0, 1.0)], vec![vnf(1, 1.0, 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_chain_referencing_unknown_vnf() {
+        let chain = ServiceChain::new(vec![VnfId::new(5)]).unwrap();
+        let err = PlacementProblem::with_chains(
+            vec![node(0, 10.0)],
+            vec![vnf(0, 1.0, 1)],
+            vec![chain],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlacementError::UnknownVnf { vnf: VnfId::new(5) });
+    }
+
+    #[test]
+    fn demand_accounting() {
+        let problem =
+            PlacementProblem::new(vec![node(0, 100.0)], vec![vnf(0, 10.0, 3), vnf(1, 5.0, 2)])
+                .unwrap();
+        assert_eq!(problem.demand_of(VnfId::new(0)).value(), 30.0);
+        assert_eq!(problem.total_demand().value(), 40.0);
+    }
+
+    #[test]
+    fn necessary_feasibility_checks() {
+        let ok = PlacementProblem::new(vec![node(0, 50.0)], vec![vnf(0, 10.0, 3)]).unwrap();
+        ok.check_necessary_feasibility().unwrap();
+
+        let too_much_total =
+            PlacementProblem::new(vec![node(0, 50.0)], vec![vnf(0, 30.0, 2)]).unwrap();
+        assert!(too_much_total.check_necessary_feasibility().is_err());
+
+        let monster = PlacementProblem::new(
+            vec![node(0, 50.0), node(1, 60.0)],
+            vec![vnf(0, 70.0, 1), vnf(1, 10.0, 1)],
+        )
+        .unwrap();
+        assert!(monster.check_necessary_feasibility().is_err());
+    }
+
+    #[test]
+    fn lower_bound_uses_largest_nodes_first() {
+        let problem = PlacementProblem::new(
+            vec![node(0, 10.0), node(1, 100.0), node(2, 50.0)],
+            vec![vnf(0, 60.0, 2)], // total demand 120
+        )
+        .unwrap();
+        // 100 + 50 >= 120 -> at least 2 nodes.
+        assert_eq!(problem.lower_bound_nodes(), 2);
+    }
+
+    #[test]
+    fn lower_bound_of_zero_demand_is_zero() {
+        let problem = PlacementProblem::new(vec![node(0, 10.0)], vec![vnf(0, 0.0, 1)]).unwrap();
+        assert_eq!(problem.lower_bound_nodes(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Internal helpers shared by the placement algorithms.
+
+use nfv_model::{NodeId, VnfId};
+
+use crate::PlacementProblem;
+
+/// Mutable remaining-capacity tracker, the paper's `RST(v)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Remaining {
+    rst: Vec<f64>,
+}
+
+impl Remaining {
+    pub(crate) fn new(problem: &PlacementProblem) -> Self {
+        Self { rst: problem.nodes().iter().map(|n| n.capacity().value()).collect() }
+    }
+
+    /// Remaining capacity of `node`.
+    pub(crate) fn of(&self, node: NodeId) -> f64 {
+        self.rst[node.as_usize()]
+    }
+
+    /// Whether `node` can still host `demand` (with a relative epsilon so
+    /// exact fits survive floating-point accumulation).
+    pub(crate) fn fits(&self, node: NodeId, demand: f64) -> bool {
+        demand <= self.rst[node.as_usize()] * (1.0 + 1e-12) + 1e-12
+    }
+
+    /// Consumes `demand` on `node`.
+    pub(crate) fn consume(&mut self, node: NodeId, demand: f64) {
+        let slot = &mut self.rst[node.as_usize()];
+        *slot = (*slot - demand).max(0.0);
+    }
+}
+
+/// VNF ids sorted by decreasing total demand `D_f^sum` (ties broken by id
+/// for determinism) — the "decreasing" order every algorithm here shares.
+pub(crate) fn vnfs_by_decreasing_demand(problem: &PlacementProblem) -> Vec<VnfId> {
+    let mut order: Vec<VnfId> = problem.vnfs().iter().map(|v| v.id()).collect();
+    order.sort_by(|&a, &b| {
+        let da = problem.demand_of(a).value();
+        let db = problem.demand_of(b).value();
+        db.partial_cmp(&da)
+            .expect("demands are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, ServiceRate, Vnf, VnfKind};
+
+    fn problem(caps: &[f64], demands: &[f64]) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .service_rate(ServiceRate::new(1.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(nodes, vnfs).unwrap()
+    }
+
+    #[test]
+    fn remaining_tracks_consumption() {
+        let p = problem(&[100.0], &[10.0]);
+        let mut rem = Remaining::new(&p);
+        let n = NodeId::new(0);
+        assert_eq!(rem.of(n), 100.0);
+        assert!(rem.fits(n, 100.0));
+        rem.consume(n, 60.0);
+        assert_eq!(rem.of(n), 40.0);
+        assert!(!rem.fits(n, 40.1));
+        assert!(rem.fits(n, 40.0));
+    }
+
+    #[test]
+    fn decreasing_order_with_stable_ties() {
+        let p = problem(&[100.0], &[10.0, 30.0, 10.0, 20.0]);
+        let order = vnfs_by_decreasing_demand(&p);
+        let ids: Vec<u32> = order.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2]);
+    }
+}

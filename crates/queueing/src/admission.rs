@@ -1,0 +1,214 @@
+//! Admission control and the job rejection rate.
+//!
+//! When the offered arrival rate at a service instance would reach its
+//! service rate, the admission-control mechanism drops whole requests to
+//! keep the instance stable (paper §I and §III.B). The fraction of requests
+//! dropped among all requests is the *job rejection rate*, one of the
+//! paper's headline metrics (Figs. 15–16).
+
+use std::fmt;
+
+use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+use serde::{Deserialize, Serialize};
+
+use crate::InstanceLoad;
+
+/// Admission controller for the `M_f` service instances of a single VNF.
+///
+/// Requests are offered in order with a target instance (as chosen by a
+/// scheduling algorithm); a request is admitted only if its loss-inflated
+/// rate keeps the target instance strictly stable, otherwise it is rejected
+/// and the instance's load is left unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+/// use nfv_queueing::admission::AdmissionController;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctrl = AdmissionController::new(ServiceRate::new(100.0)?, 2);
+/// let p = DeliveryProbability::PERFECT;
+/// assert!(ctrl.offer(0, ArrivalRate::new(60.0)?, p));
+/// assert!(!ctrl.offer(0, ArrivalRate::new(60.0)?, p)); // would saturate inst 0
+/// assert!(ctrl.offer(1, ArrivalRate::new(60.0)?, p));
+/// assert!((ctrl.report().rejection_rate() - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    instances: Vec<InstanceLoad>,
+    offered: usize,
+    rejected: usize,
+}
+
+impl AdmissionController {
+    /// Creates a controller over `instances` idle instances, each with
+    /// service rate `service`.
+    #[must_use]
+    pub fn new(service: ServiceRate, instances: usize) -> Self {
+        Self {
+            instances: (0..instances).map(|_| InstanceLoad::new(service)).collect(),
+            offered: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Offers a request to instance `instance`; returns whether it was
+    /// admitted. Rejected requests leave the instance untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn offer(&mut self, instance: usize, rate: ArrivalRate, delivery: DeliveryProbability) -> bool {
+        self.offered += 1;
+        let load = &mut self.instances[instance];
+        if load.can_accept(rate, delivery) {
+            load.add_request(rate, delivery);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// The per-instance loads accumulated so far.
+    #[must_use]
+    pub fn instances(&self) -> &[InstanceLoad] {
+        &self.instances
+    }
+
+    /// The admission statistics so far.
+    #[must_use]
+    pub fn report(&self) -> AdmissionReport {
+        AdmissionReport { offered: self.offered, rejected: self.rejected }
+    }
+
+    /// Consumes the controller, returning the final instance loads and the
+    /// admission report.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<InstanceLoad>, AdmissionReport) {
+        let report = AdmissionReport { offered: self.offered, rejected: self.rejected };
+        (self.instances, report)
+    }
+}
+
+/// Outcome of an admission-control run: how many requests were offered and
+/// how many were rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    offered: usize,
+    rejected: usize,
+}
+
+impl AdmissionReport {
+    /// Total number of requests offered.
+    #[must_use]
+    pub const fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Number of requests rejected by admission control.
+    #[must_use]
+    pub const fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of requests admitted.
+    #[must_use]
+    pub const fn admitted(&self) -> usize {
+        self.offered - self.rejected
+    }
+
+    /// The job rejection rate: `rejected / offered`, or 0 when nothing was
+    /// offered.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+}
+
+impl fmt::Display for AdmissionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} rejected ({:.2}%)",
+            self.rejected,
+            self.offered,
+            self.rejection_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mu(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    fn lam(v: f64) -> ArrivalRate {
+        ArrivalRate::new(v).unwrap()
+    }
+
+    #[test]
+    fn admits_until_saturation_per_instance() {
+        let mut ctrl = AdmissionController::new(mu(100.0), 1);
+        let p = DeliveryProbability::PERFECT;
+        assert!(ctrl.offer(0, lam(50.0), p));
+        assert!(ctrl.offer(0, lam(49.0), p));
+        // 99 + 1 == 100 == μ is NOT strictly stable.
+        assert!(!ctrl.offer(0, lam(1.0), p));
+        // A smaller request still fits.
+        assert!(ctrl.offer(0, lam(0.5), p));
+        let report = ctrl.report();
+        assert_eq!(report.offered(), 4);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.admitted(), 3);
+    }
+
+    #[test]
+    fn loss_inflation_counts_against_capacity() {
+        let mut ctrl = AdmissionController::new(mu(100.0), 1);
+        // 60 pps at P = 0.6 is 100 pps effective: rejected.
+        assert!(!ctrl.offer(0, lam(60.0), DeliveryProbability::new(0.6).unwrap()));
+        // Same 60 pps at P = 1.0 fits.
+        assert!(ctrl.offer(0, lam(60.0), DeliveryProbability::PERFECT));
+    }
+
+    #[test]
+    fn rejection_leaves_load_unchanged() {
+        let mut ctrl = AdmissionController::new(mu(10.0), 1);
+        assert!(!ctrl.offer(0, lam(50.0), DeliveryProbability::PERFECT));
+        assert_eq!(ctrl.instances()[0].equivalent_arrival_rate(), 0.0);
+        assert_eq!(ctrl.instances()[0].request_count(), 0);
+    }
+
+    #[test]
+    fn empty_report_has_zero_rate() {
+        let ctrl = AdmissionController::new(mu(10.0), 3);
+        assert_eq!(ctrl.report().rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn into_parts_preserves_state() {
+        let mut ctrl = AdmissionController::new(mu(100.0), 2);
+        ctrl.offer(1, lam(10.0), DeliveryProbability::PERFECT);
+        let (loads, report) = ctrl.into_parts();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[1].request_count(), 1);
+        assert_eq!(report.offered(), 1);
+    }
+
+    #[test]
+    fn report_display_shows_percentage() {
+        let mut ctrl = AdmissionController::new(mu(10.0), 1);
+        ctrl.offer(0, lam(50.0), DeliveryProbability::PERFECT);
+        assert_eq!(ctrl.report().to_string(), "1/1 rejected (100.00%)");
+    }
+}

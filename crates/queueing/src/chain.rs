@@ -1,0 +1,179 @@
+//! End-to-end response time of a request traversing a chain of stations.
+
+use std::fmt;
+
+use nfv_model::DeliveryProbability;
+use serde::{Deserialize, Serialize};
+
+use crate::{InstanceLoad, QueueingError};
+
+/// The expected end-to-end response time of one request's open Jackson
+/// network: the chain of M/M/1 stations it traverses plus the end-to-end
+/// loss feedback loop.
+///
+/// Reproduces the paper's worked example (§III.B, Fig. 3): a packet stream
+/// with external rate `λ₀` and delivery probability `P` traversing stations
+/// with service rates `μ_i` has per-station response `E[T_i] = 1/(Pμ_i − λ₀)`
+/// and total `E[T] = Σ_i E[T_i]`. Equivalently, each *visit* costs
+/// `1/(μ_i − Λ)` and the expected number of end-to-end transmission rounds is
+/// `1/P`, so the total is `(1/P) · Σ_i 1/(μ_i − Λ_i)` — the form implemented
+/// here, which also covers stations shared with other requests (each station
+/// brings its own merged `Λ_i`).
+///
+/// Intermediate results (per-stage visit times, expected rounds) are exposed
+/// so callers can attribute latency to stages.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+/// use nfv_queueing::{ChainResponse, InstanceLoad};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = DeliveryProbability::new(0.98)?;
+/// let mut fw = InstanceLoad::new(ServiceRate::new(100.0)?);
+/// let mut lb = InstanceLoad::new(ServiceRate::new(150.0)?);
+/// fw.add_request(ArrivalRate::new(49.0)?, p);
+/// lb.add_request(ArrivalRate::new(49.0)?, p);
+/// let resp = ChainResponse::compute([&fw, &lb], p)?;
+/// assert_eq!(resp.stage_visit_times().len(), 2);
+/// assert!(resp.total() > resp.total_per_round());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainResponse {
+    stage_visit_times: Vec<f64>,
+    expected_rounds: f64,
+}
+
+impl ChainResponse {
+    /// Computes the response of a request that traverses `stations` in order
+    /// and is delivered end-to-end with probability `delivery`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if any station is at or beyond
+    /// its capacity, or [`QueueingError::MissingAssignment`] for an empty
+    /// chain.
+    pub fn compute<'a, I>(stations: I, delivery: DeliveryProbability) -> Result<Self, QueueingError>
+    where
+        I: IntoIterator<Item = &'a InstanceLoad>,
+    {
+        let stage_visit_times = stations
+            .into_iter()
+            .map(InstanceLoad::mean_visit_response_time)
+            .collect::<Result<Vec<_>, _>>()?;
+        if stage_visit_times.is_empty() {
+            return Err(QueueingError::MissingAssignment);
+        }
+        Ok(Self { stage_visit_times, expected_rounds: 1.0 / delivery.value() })
+    }
+
+    /// Per-station mean visit response times `1/(μ_i − Λ_i)`, in chain order.
+    #[must_use]
+    pub fn stage_visit_times(&self) -> &[f64] {
+        &self.stage_visit_times
+    }
+
+    /// Expected number of end-to-end transmission rounds, `1/P`.
+    #[must_use]
+    pub fn expected_rounds(&self) -> f64 {
+        self.expected_rounds
+    }
+
+    /// Response time of a single end-to-end round, `Σ_i 1/(μ_i − Λ_i)`.
+    #[must_use]
+    pub fn total_per_round(&self) -> f64 {
+        self.stage_visit_times.iter().sum()
+    }
+
+    /// Total expected response time including retransmissions,
+    /// `(1/P) · Σ_i 1/(μ_i − Λ_i)` seconds.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.expected_rounds * self.total_per_round()
+    }
+}
+
+impl fmt::Display for ChainResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain response: {} stages, {:.3} rounds, E[T]={:.6}s",
+            self.stage_visit_times.len(),
+            self.expected_rounds,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{ArrivalRate, ServiceRate};
+
+    fn p(v: f64) -> DeliveryProbability {
+        DeliveryProbability::new(v).unwrap()
+    }
+
+    fn loaded(mu: f64, lambda: f64, pv: f64) -> InstanceLoad {
+        let mut load = InstanceLoad::new(ServiceRate::new(mu).unwrap());
+        if lambda > 0.0 {
+            load.add_request(ArrivalRate::new(lambda).unwrap(), p(pv));
+        }
+        load
+    }
+
+    #[test]
+    fn reproduces_paper_two_vnf_example() {
+        // Fig. 3: E[T] = 1/(Pμ1 − λ0) + 1/(Pμ2 − λ0).
+        let (lambda0, pv, mu1, mu2) = (30.0, 0.95, 80.0, 120.0);
+        let fw = loaded(mu1, lambda0, pv);
+        let lb = loaded(mu2, lambda0, pv);
+        let resp = ChainResponse::compute([&fw, &lb], p(pv)).unwrap();
+        let expected = 1.0 / (pv * mu1 - lambda0) + 1.0 / (pv * mu2 - lambda0);
+        assert!((resp.total() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_chain_is_an_error() {
+        let err = ChainResponse::compute([], p(1.0)).unwrap_err();
+        assert_eq!(err, QueueingError::MissingAssignment);
+    }
+
+    #[test]
+    fn unstable_station_propagates() {
+        let sat = loaded(10.0, 20.0, 1.0);
+        assert!(matches!(
+            ChainResponse::compute([&sat], p(1.0)),
+            Err(QueueingError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn perfect_delivery_means_single_round() {
+        let s = loaded(100.0, 40.0, 1.0);
+        let resp = ChainResponse::compute([&s], p(1.0)).unwrap();
+        assert_eq!(resp.expected_rounds(), 1.0);
+        assert_eq!(resp.total(), resp.total_per_round());
+    }
+
+    #[test]
+    fn stages_add_up() {
+        let a = loaded(100.0, 10.0, 1.0);
+        let b = loaded(200.0, 10.0, 1.0);
+        let c = loaded(300.0, 10.0, 1.0);
+        let resp = ChainResponse::compute([&a, &b, &c], p(1.0)).unwrap();
+        assert_eq!(resp.stage_visit_times().len(), 3);
+        let sum: f64 = resp.stage_visit_times().iter().sum();
+        assert!((resp.total_per_round() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn loss_multiplies_total_by_expected_rounds() {
+        let s = loaded(100.0, 10.0, 0.8);
+        let resp = ChainResponse::compute([&s], p(0.8)).unwrap();
+        assert!((resp.expected_rounds() - 1.25).abs() < 1e-12);
+        assert!((resp.total() - 1.25 * resp.total_per_round()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for queueing analytics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a queueing quantity is undefined for the given load.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// The station is not strictly stable: the equivalent total arrival rate
+    /// reaches or exceeds the service rate (`ρ ≥ 1`), so steady-state
+    /// quantities like `E[N]` and `E[T]` diverge. The admission-control
+    /// mechanism (paper §I, §III.B) exists precisely to prevent this state.
+    Unstable {
+        /// Equivalent total arrival rate `Λ` at the station (pps).
+        arrival: f64,
+        /// Service rate `μ` of the station (pps).
+        service: f64,
+    },
+    /// A chain response was requested for a VNF with no assigned instance.
+    MissingAssignment,
+    /// An open Jackson network definition was malformed (dimension
+    /// mismatch, invalid probabilities, or a routing structure under which
+    /// packets never leave, making the traffic equations singular).
+    InvalidNetwork {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unstable { arrival, service } => write!(
+                f,
+                "station unstable: arrival rate {arrival} pps >= service rate {service} pps"
+            ),
+            Self::MissingAssignment => {
+                write!(f, "request traverses a VNF with no assigned service instance")
+            }
+            Self::InvalidNetwork { reason } => write!(f, "invalid jackson network: {reason}"),
+        }
+    }
+}
+
+impl Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_rates() {
+        let err = QueueingError::Unstable { arrival: 120.0, service: 100.0 };
+        let s = err.to_string();
+        assert!(s.contains("120") && s.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueueingError>();
+    }
+}

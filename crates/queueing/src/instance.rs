@@ -1,0 +1,273 @@
+//! Load accounting for a single service instance.
+
+use std::fmt;
+
+use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate, Utilization};
+use serde::{Deserialize, Serialize};
+
+use crate::{Mm1Queue, QueueingError};
+
+/// The traffic load offered to one service instance of a VNF.
+///
+/// Implements the Kleinrock flow-merging approximation: the flows of all
+/// requests assigned to the instance merge into one equivalent Poisson
+/// stream whose rate is the sum of the *loss-inflated* per-request rates,
+/// `Λ_k^f = Σ_r (λ_r / P_r) · z_{r,k}^f` (Eq. (7)).
+///
+/// The paper's response-latency objective distinguishes two closely related
+/// quantities, both provided here:
+///
+/// * [`mean_visit_response_time`](InstanceLoad::mean_visit_response_time) —
+///   per *visit* latency `1/(μ − Λ)` of the underlying M/M/1 station;
+/// * [`mean_delivery_response_time`](InstanceLoad::mean_delivery_response_time)
+///   — per successfully *delivered* packet (Eqs. (11)–(12)), which counts the
+///   expected `1/P` retransmission rounds: `W(f,k) = E[N]/Σ λ_r z_{r,k}`.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+/// use nfv_queueing::InstanceLoad;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut load = InstanceLoad::new(ServiceRate::new(100.0)?);
+/// load.add_request(ArrivalRate::new(49.0)?, DeliveryProbability::new(0.98)?);
+/// assert!((load.equivalent_arrival_rate() - 50.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceLoad {
+    service: ServiceRate,
+    /// Sum of loss-inflated rates `Σ λ_r / P_r` (the paper's `Λ_k^f`).
+    equivalent_arrival: f64,
+    /// Sum of external rates `Σ λ_r` (the denominator of Eq. (11)).
+    external_arrival: f64,
+    requests: usize,
+}
+
+impl InstanceLoad {
+    /// Creates an idle instance with service rate `μ_f`.
+    #[must_use]
+    pub fn new(service: ServiceRate) -> Self {
+        Self { service, equivalent_arrival: 0.0, external_arrival: 0.0, requests: 0 }
+    }
+
+    /// The instance's service rate `μ_f`.
+    #[must_use]
+    pub fn service_rate(&self) -> ServiceRate {
+        self.service
+    }
+
+    /// Merges one request's flow into the instance (Kleinrock
+    /// approximation): the equivalent rate grows by `λ/P`.
+    pub fn add_request(&mut self, rate: ArrivalRate, delivery: DeliveryProbability) {
+        self.equivalent_arrival += rate.inflated_by_loss(delivery).value();
+        self.external_arrival += rate.value();
+        self.requests += 1;
+    }
+
+    /// Whether adding a request with the given traffic would keep the
+    /// instance strictly stable (`Λ < μ`). Used by admission control.
+    #[must_use]
+    pub fn can_accept(&self, rate: ArrivalRate, delivery: DeliveryProbability) -> bool {
+        self.equivalent_arrival + rate.inflated_by_loss(delivery).value() < self.service.value()
+    }
+
+    /// Number of requests merged into this instance.
+    #[must_use]
+    pub fn request_count(&self) -> usize {
+        self.requests
+    }
+
+    /// Equivalent total arrival rate `Λ_k^f = Σ λ_r / P_r` (Eq. (7)), pps.
+    #[must_use]
+    pub fn equivalent_arrival_rate(&self) -> f64 {
+        self.equivalent_arrival
+    }
+
+    /// Sum of external (pre-retransmission) rates `Σ λ_r`, pps.
+    #[must_use]
+    pub fn external_arrival_rate(&self) -> f64 {
+        self.external_arrival
+    }
+
+    /// Utilization `ρ = Λ/μ` (Eq. (9)); may reach or exceed 1 for an
+    /// oversubscribed instance.
+    #[must_use]
+    pub fn utilization(&self) -> Utilization {
+        Utilization::from_ratio(self.equivalent_arrival / self.service.value())
+    }
+
+    /// Whether the instance is strictly stable (`ρ < 1`).
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.equivalent_arrival < self.service.value()
+    }
+
+    /// The underlying M/M/1 station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if the merged load reaches the
+    /// service rate.
+    pub fn queue(&self) -> Result<Mm1Queue, QueueingError> {
+        Mm1Queue::new(self.equivalent_arrival, self.service)
+    }
+
+    /// Mean per-visit response time `1/(μ − Λ)` seconds (§IV.B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if the instance is not stable.
+    pub fn mean_visit_response_time(&self) -> Result<f64, QueueingError> {
+        Ok(self.queue()?.mean_response_time())
+    }
+
+    /// Mean response time per successfully delivered packet,
+    /// `W(f,k) = E[N] / Σ λ_r z_{r,k}` (Eq. (11)); equals
+    /// `1/(P μ − Σ λ_r)` when every request shares the same `P` (Eq. (12)).
+    ///
+    /// An idle instance has no delivered packets; its `W` is defined as the
+    /// bare service time `1/μ` (the latency the first arriving packet would
+    /// see), which keeps per-instance averages over `M_f` instances
+    /// well-defined as in Eq. (15).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if the instance is not stable.
+    pub fn mean_delivery_response_time(&self) -> Result<f64, QueueingError> {
+        let queue = self.queue()?;
+        if self.external_arrival == 0.0 {
+            return Ok(self.service.mean_service_time());
+        }
+        Ok(queue.mean_packets_in_system() / self.external_arrival)
+    }
+}
+
+impl fmt::Display for InstanceLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instance load ({} requests, Λ={:.3} pps, μ={}, ρ={})",
+            self.requests,
+            self.equivalent_arrival,
+            self.service,
+            self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mu(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    fn lam(v: f64) -> ArrivalRate {
+        ArrivalRate::new(v).unwrap()
+    }
+
+    fn p(v: f64) -> DeliveryProbability {
+        DeliveryProbability::new(v).unwrap()
+    }
+
+    #[test]
+    fn merging_sums_inflated_rates() {
+        let mut load = InstanceLoad::new(mu(1000.0));
+        load.add_request(lam(49.0), p(0.98)); // 50 effective
+        load.add_request(lam(30.0), p(1.0)); // 30 effective
+        assert!((load.equivalent_arrival_rate() - 80.0).abs() < 1e-9);
+        assert!((load.external_arrival_rate() - 79.0).abs() < 1e-9);
+        assert_eq!(load.request_count(), 2);
+    }
+
+    #[test]
+    fn stability_boundary() {
+        let mut load = InstanceLoad::new(mu(100.0));
+        load.add_request(lam(99.9), p(1.0));
+        assert!(load.is_stable());
+        assert!(!load.can_accept(lam(0.2), p(1.0)));
+        load.add_request(lam(0.2), p(1.0));
+        assert!(!load.is_stable());
+        assert!(load.queue().is_err());
+        assert!(load.mean_visit_response_time().is_err());
+        assert!(load.mean_delivery_response_time().is_err());
+    }
+
+    #[test]
+    fn eq12_form_matches_eq11_form_for_uniform_p() {
+        // W = 1/(Pμ − Σλ) when all requests share P.
+        let (mu_v, p_v) = (200.0, 0.98);
+        let mut load = InstanceLoad::new(mu(mu_v));
+        for rate in [10.0, 20.0, 15.0] {
+            load.add_request(lam(rate), p(p_v));
+        }
+        let sum_lambda = 45.0;
+        let expected = 1.0 / (p_v * mu_v - sum_lambda);
+        let w = load.mean_delivery_response_time().unwrap();
+        assert!((w - expected).abs() < 1e-12, "w={w}, expected={expected}");
+    }
+
+    #[test]
+    fn delivery_time_exceeds_visit_time_under_loss() {
+        let mut load = InstanceLoad::new(mu(100.0));
+        load.add_request(lam(50.0), p(0.9));
+        let visit = load.mean_visit_response_time().unwrap();
+        let delivery = load.mean_delivery_response_time().unwrap();
+        assert!(delivery > visit);
+        // Exactly the 1/P retransmission factor.
+        assert!((delivery - visit / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_delivery_makes_both_times_equal() {
+        let mut load = InstanceLoad::new(mu(100.0));
+        load.add_request(lam(40.0), p(1.0));
+        let visit = load.mean_visit_response_time().unwrap();
+        let delivery = load.mean_delivery_response_time().unwrap();
+        assert!((visit - delivery).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_instance_reports_bare_service_time() {
+        let load = InstanceLoad::new(mu(250.0));
+        assert_eq!(load.mean_delivery_response_time().unwrap(), 1.0 / 250.0);
+        assert_eq!(load.utilization(), Utilization::ZERO);
+        assert!(load.is_stable());
+    }
+
+    proptest! {
+        #[test]
+        fn can_accept_is_consistent_with_add(
+            existing in 0.0..80.0f64,
+            incoming in 0.1..40.0f64,
+            pv in 0.5..1.0f64,
+        ) {
+            let mut load = InstanceLoad::new(mu(100.0));
+            if existing > 0.0 {
+                load.add_request(lam(existing), p(1.0));
+            }
+            let accept = load.can_accept(lam(incoming), p(pv));
+            load.add_request(lam(incoming), p(pv));
+            prop_assert_eq!(accept, load.is_stable());
+        }
+
+        #[test]
+        fn response_time_monotone_in_added_load(
+            base in 1.0..50.0f64,
+            extra in 0.1..40.0f64,
+        ) {
+            let mut light = InstanceLoad::new(mu(100.0));
+            light.add_request(lam(base), p(1.0));
+            let mut heavy = light.clone();
+            heavy.add_request(lam(extra), p(1.0));
+            prop_assume!(heavy.is_stable());
+            let wl = light.mean_delivery_response_time().unwrap();
+            let wh = heavy.mean_delivery_response_time().unwrap();
+            prop_assert!(wh >= wl - 1e-12);
+        }
+    }
+}

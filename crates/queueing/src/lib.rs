@@ -1,0 +1,52 @@
+//! Open Jackson network analytics for NFV service chains.
+//!
+//! This crate implements §III.B of *"Joint Optimization of Chain Placement
+//! and Request Scheduling for NFV"* (ICDCS 2017). Each service instance of a
+//! VNF is an M/M/1 station ([`Mm1Queue`]); flows of multiple requests merging
+//! at a shared instance sum their rates (Kleinrock approximation,
+//! [`InstanceLoad`]); packets lost end-to-end with probability `1 − P_r` are
+//! retransmitted, inflating every per-request rate from `λ_r` to `λ_r / P_r`
+//! (Burke's theorem applied to the loss feedback loop, Eq. (7)); and a
+//! request's expected response time is the sum of the per-visit M/M/1
+//! response times along its chain, scaled by the expected number of
+//! end-to-end transmission rounds `1 / P_r` ([`ChainResponse`], Eqs.
+//! (11)–(12)).
+//!
+//! Instances that would be pushed to `ρ ≥ 1` are handled by the
+//! [`admission`] module: an admission controller drops whole requests to
+//! keep every station strictly stable, yielding the paper's *job rejection
+//! rate* metric.
+//!
+//! # Examples
+//!
+//! Analytics for two requests sharing one instance:
+//!
+//! ```
+//! use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+//! use nfv_queueing::InstanceLoad;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut load = InstanceLoad::new(ServiceRate::new(100.0)?);
+//! load.add_request(ArrivalRate::new(20.0)?, DeliveryProbability::new(0.98)?);
+//! load.add_request(ArrivalRate::new(30.0)?, DeliveryProbability::new(1.0)?);
+//! let q = load.queue()?; // stable M/M/1 with Λ = 20/0.98 + 30
+//! assert!(q.utilization().value() < 1.0);
+//! assert!(q.mean_response_time() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod chain;
+mod error;
+mod instance;
+mod mm1;
+mod network;
+
+pub use chain::ChainResponse;
+pub use error::QueueingError;
+pub use instance::InstanceLoad;
+pub use mm1::Mm1Queue;
+pub use network::{JacksonNetwork, SolvedNetwork};

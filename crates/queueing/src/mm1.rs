@@ -1,0 +1,218 @@
+//! The M/M/1 station.
+
+use std::fmt;
+
+use nfv_model::{ServiceRate, Utilization};
+use serde::{Deserialize, Serialize};
+
+use crate::QueueingError;
+
+/// A stable M/M/1 queue: Poisson arrivals at equivalent total rate `Λ`,
+/// exponential service at rate `μ`, one server, FCFS, infinite buffer.
+///
+/// By Jackson's theorem each service instance of a VNF behaves as an
+/// independent M/M/1 station once merged flows are treated as Poisson
+/// (Kleinrock approximation), which is exactly how the paper models service
+/// instances (§III.B). Construction enforces strict stability `Λ < μ`, so
+/// all steady-state quantities below are finite.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::ServiceRate;
+/// use nfv_queueing::Mm1Queue;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Mm1Queue::new(80.0, ServiceRate::new(100.0)?)?;
+/// assert!((q.utilization().value() - 0.8).abs() < 1e-12);
+/// assert!((q.mean_packets_in_system() - 4.0).abs() < 1e-9); // ρ/(1−ρ)
+/// assert!((q.mean_response_time() - 0.05).abs() < 1e-9); // 1/(μ−Λ)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1Queue {
+    arrival: f64,
+    service: ServiceRate,
+}
+
+impl Mm1Queue {
+    /// Creates a stable M/M/1 station with equivalent total arrival rate
+    /// `arrival` (pps) and service rate `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] unless `0 ≤ arrival < μ` (an idle
+    /// station with `Λ = 0` is permitted).
+    pub fn new(arrival: f64, service: ServiceRate) -> Result<Self, QueueingError> {
+        if arrival.is_finite() && arrival >= 0.0 && arrival < service.value() {
+            Ok(Self { arrival, service })
+        } else {
+            Err(QueueingError::Unstable { arrival, service: service.value() })
+        }
+    }
+
+    /// Equivalent total arrival rate `Λ` (pps).
+    #[must_use]
+    pub const fn arrival_rate(&self) -> f64 {
+        self.arrival
+    }
+
+    /// Service rate `μ`.
+    #[must_use]
+    pub const fn service_rate(&self) -> ServiceRate {
+        self.service
+    }
+
+    /// Server utilization `ρ = Λ/μ` (Eq. (9)); strictly below 1.
+    #[must_use]
+    pub fn utilization(&self) -> Utilization {
+        Utilization::from_ratio(self.arrival / self.service.value())
+    }
+
+    /// Steady-state probability of exactly `n` packets in the system,
+    /// `π(n) = (1 − ρ) ρⁿ` (Eq. (8)).
+    #[must_use]
+    pub fn prob_packets(&self, n: u32) -> f64 {
+        let rho = self.arrival / self.service.value();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// Mean number of packets in the system, `E[N] = ρ/(1 − ρ)` (Eq. (10)).
+    #[must_use]
+    pub fn mean_packets_in_system(&self) -> f64 {
+        let rho = self.arrival / self.service.value();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean per-visit response time (queueing + service),
+    /// `E[T] = 1/(μ − Λ)` seconds.
+    #[must_use]
+    pub fn mean_response_time(&self) -> f64 {
+        1.0 / (self.service.value() - self.arrival)
+    }
+
+    /// Mean waiting time in the buffer before service begins,
+    /// `E[W_q] = ρ/(μ − Λ)` seconds.
+    #[must_use]
+    pub fn mean_waiting_time(&self) -> f64 {
+        let rho = self.arrival / self.service.value();
+        rho / (self.service.value() - self.arrival)
+    }
+
+    /// The `p`-quantile of the response-time distribution. For a stable
+    /// M/M/1 the sojourn time is exponential with rate `μ − Λ`, so the
+    /// quantile is `−ln(1 − p)/(μ − Λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1)`.
+    #[must_use]
+    pub fn response_time_quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile probability must lie in [0, 1)");
+        -(1.0 - p).ln() / (self.service.value() - self.arrival)
+    }
+}
+
+impl fmt::Display for Mm1Queue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M/M/1 (Λ={} pps, μ={}, ρ={})",
+            self.arrival,
+            self.service,
+            self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mu(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    #[test]
+    fn rejects_unstable_and_invalid_loads() {
+        assert!(Mm1Queue::new(100.0, mu(100.0)).is_err());
+        assert!(Mm1Queue::new(101.0, mu(100.0)).is_err());
+        assert!(Mm1Queue::new(-1.0, mu(100.0)).is_err());
+        assert!(Mm1Queue::new(f64::NAN, mu(100.0)).is_err());
+        assert!(Mm1Queue::new(0.0, mu(100.0)).is_ok());
+    }
+
+    #[test]
+    fn idle_station_has_pure_service_latency() {
+        let q = Mm1Queue::new(0.0, mu(50.0)).unwrap();
+        assert_eq!(q.utilization(), Utilization::ZERO);
+        assert_eq!(q.mean_packets_in_system(), 0.0);
+        assert!((q.mean_response_time() - 0.02).abs() < 1e-12);
+        assert_eq!(q.mean_waiting_time(), 0.0);
+        assert_eq!(q.prob_packets(0), 1.0);
+    }
+
+    #[test]
+    fn textbook_values_at_rho_half() {
+        let q = Mm1Queue::new(50.0, mu(100.0)).unwrap();
+        assert!((q.mean_packets_in_system() - 1.0).abs() < 1e-12);
+        assert!((q.mean_response_time() - 0.02).abs() < 1e-12);
+        assert!((q.mean_waiting_time() - 0.01).abs() < 1e-12);
+        assert!((q.prob_packets(0) - 0.5).abs() < 1e-12);
+        assert!((q.prob_packets(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        // E[N] = Λ · E[T].
+        let q = Mm1Queue::new(73.0, mu(91.0)).unwrap();
+        assert!((q.mean_packets_in_system() - 73.0 * q.mean_response_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_quantile_matches_exponential() {
+        let q = Mm1Queue::new(0.0, mu(1.0)).unwrap();
+        assert!((q.response_time_quantile(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(q.response_time_quantile(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile probability")]
+    fn quantile_rejects_one() {
+        let q = Mm1Queue::new(0.0, mu(1.0)).unwrap();
+        let _ = q.response_time_quantile(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pi_sums_to_one_and_latency_grows_with_load(
+            lam in 0.0..99.0f64,
+            extra in 0.1..50.0f64,
+        ) {
+            let service = mu(100.0 + extra);
+            let q = Mm1Queue::new(lam, service).unwrap();
+            // π is a geometric distribution; partial sums approach 1.
+            let partial: f64 = (0..200).map(|n| q.prob_packets(n)).sum();
+            prop_assert!(partial <= 1.0 + 1e-9);
+            prop_assert!(partial > 0.9 || q.utilization().value() > 0.95);
+            // Monotonicity: heavier load means longer response.
+            let lighter = Mm1Queue::new(lam * 0.5, service).unwrap();
+            prop_assert!(lighter.mean_response_time() <= q.mean_response_time() + 1e-12);
+        }
+
+        #[test]
+        fn waiting_plus_service_equals_response(lam in 0.0..90.0f64) {
+            let q = Mm1Queue::new(lam, mu(100.0)).unwrap();
+            let expected = q.mean_waiting_time() + 0.01;
+            prop_assert!((q.mean_response_time() - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn quantiles_are_monotone(lam in 0.0..90.0f64, p1 in 0.0..0.98f64) {
+            let q = Mm1Queue::new(lam, mu(100.0)).unwrap();
+            let p2 = p1 + 0.01;
+            prop_assert!(q.response_time_quantile(p1) <= q.response_time_quantile(p2));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! General open Jackson networks with probabilistic routing.
+//!
+//! The paper applies Jackson's theorem to the special topology of NFV
+//! chains (serial visits plus an end-to-end loss feedback). This module
+//! implements the general machinery those results are instances of: a
+//! network of M/M/1 stations with external Poisson arrivals `λ⁰_i` and a
+//! substochastic routing matrix `P` (`P[i][j]` = probability a packet
+//! leaving station `i` proceeds to station `j`; the deficit
+//! `1 − Σ_j P[i][j]` is the probability of leaving the network). The
+//! *traffic equations* `λ = λ⁰ + Pᵀλ` (Kleinrock's flow conservation)
+//! determine each station's equivalent total arrival rate; by Jackson's
+//! theorem the stationary distribution is then the product of independent
+//! M/M/1 marginals.
+
+use std::fmt;
+
+use nfv_model::ServiceRate;
+use serde::{Deserialize, Serialize};
+
+use crate::{Mm1Queue, QueueingError};
+
+/// An open Jackson network: stations, external arrivals and routing.
+///
+/// # Examples
+///
+/// The paper's Fig. 3 — two VNFs in series with end-to-end loss feedback
+/// `1 − P` routed back to the first station — recovers the closed form
+/// `λ = λ₀ / P`:
+///
+/// ```
+/// use nfv_model::ServiceRate;
+/// use nfv_queueing::JacksonNetwork;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (lambda0, p) = (30.0, 0.9);
+/// let network = JacksonNetwork::new(
+///     vec![ServiceRate::new(80.0)?, ServiceRate::new(120.0)?],
+///     vec![lambda0, 0.0],
+///     vec![
+///         vec![0.0, 1.0],       // station 0 always forwards to station 1
+///         vec![1.0 - p, 0.0],   // station 1 feeds back on loss, else departs
+///     ],
+/// )?;
+/// let solved = network.solve()?;
+/// assert!((solved.arrival_rates()[0] - lambda0 / p).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JacksonNetwork {
+    service: Vec<ServiceRate>,
+    external: Vec<f64>,
+    routing: Vec<Vec<f64>>,
+}
+
+impl JacksonNetwork {
+    /// Creates a network from per-station service rates, external arrival
+    /// rates and a routing matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidNetwork`] if the dimensions
+    /// disagree, any rate or probability is negative/non-finite, or some
+    /// routing row sums to more than 1.
+    pub fn new(
+        service: Vec<ServiceRate>,
+        external: Vec<f64>,
+        routing: Vec<Vec<f64>>,
+    ) -> Result<Self, QueueingError> {
+        let n = service.len();
+        if n == 0 {
+            return Err(QueueingError::InvalidNetwork { reason: "network has no stations" });
+        }
+        if external.len() != n || routing.len() != n {
+            return Err(QueueingError::InvalidNetwork {
+                reason: "external arrivals and routing must have one entry per station",
+            });
+        }
+        if external.iter().any(|&x| !x.is_finite() || x < 0.0) {
+            return Err(QueueingError::InvalidNetwork {
+                reason: "external arrival rates must be finite and non-negative",
+            });
+        }
+        for row in &routing {
+            if row.len() != n {
+                return Err(QueueingError::InvalidNetwork {
+                    reason: "routing matrix must be square",
+                });
+            }
+            if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
+                return Err(QueueingError::InvalidNetwork {
+                    reason: "routing probabilities must be finite and non-negative",
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if sum > 1.0 + 1e-12 {
+                return Err(QueueingError::InvalidNetwork {
+                    reason: "a routing row sums to more than 1",
+                });
+            }
+        }
+        Ok(Self { service, external, routing })
+    }
+
+    /// Number of stations.
+    #[must_use]
+    pub fn stations(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Solves the traffic equations `λ = λ⁰ + Pᵀ λ`, i.e.
+    /// `(I − Pᵀ) λ = λ⁰`, by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidNetwork`] if the system is singular
+    /// (packets can be trapped forever — the network is not *open*), or if
+    /// the solution contains a negative rate (numerically inconsistent
+    /// routing).
+    pub fn traffic_rates(&self) -> Result<Vec<f64>, QueueingError> {
+        let n = self.stations();
+        // Build the augmented matrix [I - P^T | λ⁰].
+        let mut a = vec![vec![0.0f64; n + 1]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().take(n).enumerate() {
+                let identity = if i == j { 1.0 } else { 0.0 };
+                *cell = identity - self.routing[j][i];
+            }
+            row[n] = self.external[i];
+        }
+
+        for col in 0..n {
+            // Partial pivot.
+            let pivot = (col..n)
+                .max_by(|&x, &y| {
+                    a[x][col]
+                        .abs()
+                        .partial_cmp(&a[y][col].abs())
+                        .expect("finite matrix entries")
+                })
+                .expect("non-empty column");
+            if a[pivot][col].abs() < 1e-12 {
+                return Err(QueueingError::InvalidNetwork {
+                    reason: "traffic equations are singular: the network is not open",
+                });
+            }
+            a.swap(col, pivot);
+            for row in (col + 1)..n {
+                let factor = a[row][col] / a[col][col];
+                let (pivot_row, rest) = a.split_at_mut(col + 1);
+                let pivot_row = &pivot_row[col];
+                let target = &mut rest[row - col - 1];
+                for (t, &p) in target[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                    *t -= factor * p;
+                }
+            }
+        }
+        // Back substitution.
+        let mut lambda = vec![0.0f64; n];
+        for row in (0..n).rev() {
+            let mut acc = a[row][n];
+            for col in (row + 1)..n {
+                acc -= a[row][col] * lambda[col];
+            }
+            lambda[row] = acc / a[row][row];
+        }
+        if lambda.iter().any(|&l| l < -1e-9) {
+            return Err(QueueingError::InvalidNetwork {
+                reason: "traffic equations produced a negative rate",
+            });
+        }
+        Ok(lambda.into_iter().map(|l| l.max(0.0)).collect())
+    }
+
+    /// Solves the network: traffic equations plus per-station M/M/1
+    /// steady states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueueingError::InvalidNetwork`] from
+    /// [`traffic_rates`](Self::traffic_rates) and
+    /// [`QueueingError::Unstable`] if some station's equivalent arrival
+    /// rate reaches its service rate.
+    pub fn solve(&self) -> Result<SolvedNetwork, QueueingError> {
+        let arrivals = self.traffic_rates()?;
+        let queues = arrivals
+            .iter()
+            .zip(&self.service)
+            .map(|(&lambda, &mu)| Mm1Queue::new(lambda, mu))
+            .collect::<Result<Vec<_>, _>>()?;
+        let total_external: f64 = self.external.iter().sum();
+        Ok(SolvedNetwork { arrivals, queues, total_external })
+    }
+}
+
+impl fmt::Display for JacksonNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "open Jackson network: {} stations, total external rate {:.3} pps",
+            self.stations(),
+            self.external.iter().sum::<f64>()
+        )
+    }
+}
+
+/// A solved open Jackson network: equivalent arrival rates and per-station
+/// M/M/1 steady states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolvedNetwork {
+    arrivals: Vec<f64>,
+    queues: Vec<Mm1Queue>,
+    total_external: f64,
+}
+
+impl SolvedNetwork {
+    /// The equivalent total arrival rate `λ_i` at each station.
+    #[must_use]
+    pub fn arrival_rates(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// The per-station M/M/1 steady states.
+    #[must_use]
+    pub fn queues(&self) -> &[Mm1Queue] {
+        &self.queues
+    }
+
+    /// Expected total number of packets in the network,
+    /// `E[N] = Σ_i ρ_i/(1 − ρ_i)` (Jackson's product form).
+    #[must_use]
+    pub fn mean_packets_in_network(&self) -> f64 {
+        self.queues.iter().map(Mm1Queue::mean_packets_in_system).sum()
+    }
+
+    /// Expected end-to-end sojourn time of a packet admitted to the
+    /// network, by Little's law over the whole network:
+    /// `E[T] = E[N] / Σ_i λ⁰_i`. Zero if there is no external traffic.
+    #[must_use]
+    pub fn mean_sojourn_time(&self) -> f64 {
+        if self.total_external == 0.0 {
+            0.0
+        } else {
+            self.mean_packets_in_network() / self.total_external
+        }
+    }
+
+    /// The bottleneck: the station with the highest utilization.
+    #[must_use]
+    pub fn bottleneck(&self) -> usize {
+        self.queues
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.utilization()
+                    .value()
+                    .partial_cmp(&b.utilization().value())
+                    .expect("utilizations are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("networks have stations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mu(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    #[test]
+    fn tandem_chain_carries_full_rate_everywhere() {
+        let network = JacksonNetwork::new(
+            vec![mu(100.0), mu(100.0), mu(100.0)],
+            vec![40.0, 0.0, 0.0],
+            vec![
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 0.0],
+            ],
+        )
+        .unwrap();
+        let solved = network.solve().unwrap();
+        for &l in solved.arrival_rates() {
+            assert!((l - 40.0).abs() < 1e-9);
+        }
+        // E[T] = 3 / (100 - 40).
+        assert!((solved.mean_sojourn_time() - 3.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig3_feedback_matches_burke_closed_form() {
+        let (lambda0, p) = (30.0, 0.9);
+        let network = JacksonNetwork::new(
+            vec![mu(80.0), mu(120.0)],
+            vec![lambda0, 0.0],
+            vec![vec![0.0, 1.0], vec![1.0 - p, 0.0]],
+        )
+        .unwrap();
+        let solved = network.solve().unwrap();
+        let lambda = lambda0 / p;
+        assert!((solved.arrival_rates()[0] - lambda).abs() < 1e-9);
+        assert!((solved.arrival_rates()[1] - lambda).abs() < 1e-9);
+        // E[T_i] = 1/(Pμ_i − λ0) per the paper's derivation; total sojourn
+        // by network-wide Little's law matches the sum.
+        let expected = 1.0 / (p * 80.0 - lambda0) + 1.0 / (p * 120.0 - lambda0);
+        assert!((solved.mean_sojourn_time() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_flows_sum_at_shared_station() {
+        // Two sources feed one shared backend.
+        let network = JacksonNetwork::new(
+            vec![mu(100.0), mu(100.0), mu(200.0)],
+            vec![30.0, 50.0, 0.0],
+            vec![
+                vec![0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 0.0],
+            ],
+        )
+        .unwrap();
+        let solved = network.solve().unwrap();
+        assert!((solved.arrival_rates()[2] - 80.0).abs() < 1e-9);
+        assert_eq!(solved.bottleneck(), 1); // 50/100 beats 30/100 and 80/200
+    }
+
+    #[test]
+    fn probabilistic_split_divides_traffic() {
+        let network = JacksonNetwork::new(
+            vec![mu(100.0), mu(50.0), mu(50.0)],
+            vec![60.0, 0.0, 0.0],
+            vec![
+                vec![0.0, 0.7, 0.3],
+                vec![0.0, 0.0, 0.0],
+                vec![0.0, 0.0, 0.0],
+            ],
+        )
+        .unwrap();
+        let solved = network.solve().unwrap();
+        assert!((solved.arrival_rates()[1] - 42.0).abs() < 1e-9);
+        assert!((solved.arrival_rates()[2] - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_networks() {
+        assert!(JacksonNetwork::new(vec![], vec![], vec![]).is_err());
+        assert!(JacksonNetwork::new(vec![mu(1.0)], vec![1.0, 2.0], vec![vec![0.0]]).is_err());
+        assert!(JacksonNetwork::new(vec![mu(1.0)], vec![-1.0], vec![vec![0.0]]).is_err());
+        assert!(JacksonNetwork::new(vec![mu(1.0)], vec![1.0], vec![vec![1.5]]).is_err());
+        assert!(JacksonNetwork::new(vec![mu(1.0)], vec![1.0], vec![vec![0.5, 0.5]]).is_err());
+    }
+
+    #[test]
+    fn closed_loop_is_not_an_open_network() {
+        // Station 0 -> 1 -> 0 with probability 1 and external input:
+        // packets never leave, the traffic equations are singular.
+        let network = JacksonNetwork::new(
+            vec![mu(10.0), mu(10.0)],
+            vec![1.0, 0.0],
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        )
+        .unwrap();
+        assert!(matches!(
+            network.traffic_rates(),
+            Err(QueueingError::InvalidNetwork { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_surfaces_as_unstable() {
+        let network = JacksonNetwork::new(
+            vec![mu(10.0)],
+            vec![20.0],
+            vec![vec![0.0]],
+        )
+        .unwrap();
+        assert!(matches!(network.solve(), Err(QueueingError::Unstable { .. })));
+    }
+
+    #[test]
+    fn no_external_traffic_means_empty_network() {
+        let network =
+            JacksonNetwork::new(vec![mu(10.0)], vec![0.0], vec![vec![0.0]]).unwrap();
+        let solved = network.solve().unwrap();
+        assert_eq!(solved.mean_packets_in_network(), 0.0);
+        assert_eq!(solved.mean_sojourn_time(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! CGA: Korf's Complete Greedy Algorithm.
+
+use nfv_model::ArrivalRate;
+
+use crate::scheduler::check_inputs;
+use crate::{Schedule, Scheduler, SchedulingError};
+
+/// The Complete Greedy Algorithm for multi-way number partitioning (Korf,
+/// IJCAI'09) — the paper's scheduling baseline.
+///
+/// CGA sorts the numbers in decreasing order and explores the tree whose
+/// branches assign each number to each instance in order of increasing
+/// current sum. Its very first leaf is the classic LPT greedy schedule
+/// ("largest processing time first"), and that first solution is what the
+/// paper benchmarks RCKK against — CGA's full search "does not scale well
+/// as the number of instances increases" (§IV.B). The search is
+/// budget-limited and anytime:
+///
+/// * the default budget of 1 leaf returns exactly the LPT schedule,
+///   computed iteratively (no recursion, any input size);
+/// * [`Cga::with_leaf_budget`] explores further leaves (branch-and-bound on
+///   the makespan), converging to the optimal partition given enough
+///   budget — handy as a small-instance oracle in tests. The search
+///   recurses once per request, so budgets above 1 are intended for the
+///   small instances where a complete search is meaningful (hundreds of
+///   requests at most), not for bulk scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::ArrivalRate;
+/// use nfv_scheduling::{Cga, Scheduler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rates: Vec<ArrivalRate> =
+///     [8.0, 6.0, 5.0].iter().map(|&v| ArrivalRate::new(v)).collect::<Result<_, _>>()?;
+/// let schedule = Cga::new().schedule(&rates, 2)?;
+/// // LPT: 8 opens one instance, 6 the other, 5 joins the lighter (6+5).
+/// assert_eq!(schedule.makespan(), 11.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cga {
+    leaf_budget: u64,
+}
+
+impl Cga {
+    /// Creates CGA in first-solution (LPT greedy) mode, the paper's
+    /// baseline configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { leaf_budget: 1 }
+    }
+
+    /// Allows the search to visit up to `leaves` complete assignments,
+    /// keeping the best (smallest makespan). Exponential in the worst case;
+    /// use generous budgets only on small instances.
+    #[must_use]
+    pub fn with_leaf_budget(mut self, leaves: u64) -> Self {
+        self.leaf_budget = leaves.max(1);
+        self
+    }
+}
+
+impl Default for Cga {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Cga {
+    fn name(&self) -> &'static str {
+        "cga"
+    }
+
+    fn schedule(
+        &self,
+        rates: &[ArrivalRate],
+        instances: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        check_inputs(rates, instances)?;
+        // Decreasing order of rates; remember original indices.
+        let mut order: Vec<usize> = (0..rates.len()).collect();
+        order.sort_by(|&a, &b| {
+            rates[b]
+                .value()
+                .partial_cmp(&rates[a].value())
+                .expect("rates are finite")
+                .then(a.cmp(&b))
+        });
+
+        if self.leaf_budget == 1 {
+            // The first DFS leaf is exactly LPT; compute it iteratively so
+            // arbitrarily large request sets cannot overflow the stack.
+            let mut sums = vec![0.0f64; instances];
+            let mut assignment = vec![0usize; rates.len()];
+            for &request in &order {
+                let k = sums
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sums are finite"))
+                    .map(|(k, _)| k)
+                    .expect("at least one instance");
+                sums[k] += rates[request].value();
+                assignment[request] = k;
+            }
+            return Schedule::new(rates.to_vec(), assignment, instances);
+        }
+
+        let mut search = Search {
+            rates,
+            order: &order,
+            instances,
+            sums: vec![0.0; instances],
+            current: vec![0usize; rates.len()],
+            best: None,
+            best_makespan: f64::INFINITY,
+            leaves_left: self.leaf_budget,
+        };
+        search.descend(0);
+        let assignment = search.best.expect("budget >= 1 visits at least one leaf");
+        Schedule::new(rates.to_vec(), assignment, instances)
+    }
+}
+
+struct Search<'a> {
+    rates: &'a [ArrivalRate],
+    order: &'a [usize],
+    instances: usize,
+    sums: Vec<f64>,
+    current: Vec<usize>,
+    best: Option<Vec<usize>>,
+    best_makespan: f64,
+    leaves_left: u64,
+}
+
+impl Search<'_> {
+    fn descend(&mut self, depth: usize) {
+        if self.leaves_left == 0 {
+            return;
+        }
+        if depth == self.order.len() {
+            let makespan = self.sums.iter().copied().fold(0.0, f64::max);
+            if makespan < self.best_makespan {
+                self.best_makespan = makespan;
+                self.best = Some(self.current.clone());
+            }
+            self.leaves_left -= 1;
+            return;
+        }
+        let request = self.order[depth];
+        let rate = self.rates[request].value();
+        // Instances in increasing-sum order; skip duplicate sums (symmetric
+        // branches) beyond the first.
+        let mut candidates: Vec<usize> = (0..self.instances).collect();
+        candidates.sort_by(|&a, &b| {
+            self.sums[a]
+                .partial_cmp(&self.sums[b])
+                .expect("sums are finite")
+                .then(a.cmp(&b))
+        });
+        let mut last_sum = f64::NAN;
+        for k in candidates {
+            if self.sums[k] == last_sum {
+                continue; // symmetric to the previous branch
+            }
+            last_sum = self.sums[k];
+            if self.sums[k] + rate >= self.best_makespan {
+                continue; // bound: cannot improve
+            }
+            self.sums[k] += rate;
+            self.current[request] = k;
+            self.descend(depth + 1);
+            self.sums[k] -= rate;
+            if self.leaves_left == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(values: &[f64]) -> Vec<ArrivalRate> {
+        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn first_solution_is_lpt() {
+        // LPT on {7,6,5,4} over 2: 7|6, 5->6 (11), 4->7 (11). Makespan 11.
+        let schedule = Cga::new().schedule(&rates(&[5.0, 7.0, 4.0, 6.0]), 2).unwrap();
+        let mut sums = schedule.instance_rate_sums();
+        sums.sort_by(f64::total_cmp);
+        assert_eq!(sums, vec![11.0, 11.0]);
+    }
+
+    #[test]
+    fn lpt_suboptimal_case_improves_with_budget() {
+        // Classic LPT trap for 2-way: {3,3,2,2,2}. LPT builds sums
+        // 3|3 -> 5|3 -> 5|5 -> 7|5, makespan 7; optimal is {3,3}|{2,2,2}
+        // at 6/6.
+        let input = rates(&[3.0, 3.0, 2.0, 2.0, 2.0]);
+        let greedy = Cga::new().schedule(&input, 2).unwrap();
+        assert_eq!(greedy.makespan(), 7.0);
+        let exact = Cga::new().with_leaf_budget(10_000).schedule(&input, 2).unwrap();
+        assert_eq!(exact.makespan(), 6.0);
+    }
+
+    #[test]
+    fn exact_mode_matches_brute_force_small() {
+        let input = rates(&[9.0, 7.0, 6.0, 5.0, 4.0, 2.0]);
+        let exact = Cga::new().with_leaf_budget(1_000_000).schedule(&input, 3).unwrap();
+        // Brute force over 3^6 assignments.
+        let values = [9.0, 7.0, 6.0, 5.0, 4.0, 2.0];
+        let mut best = f64::INFINITY;
+        for code in 0..3usize.pow(6) {
+            let mut sums = [0.0f64; 3];
+            let mut c = code;
+            for &v in &values {
+                sums[c % 3] += v;
+                c /= 3;
+            }
+            best = best.min(sums.iter().copied().fold(0.0, f64::max));
+        }
+        assert_eq!(exact.makespan(), best);
+    }
+
+    #[test]
+    fn iterative_lpt_matches_first_dfs_leaf() {
+        // The budget-1 fast path and the DFS's first leaf must agree; use a
+        // budget-2 run whose first recorded leaf is LPT and compare
+        // makespans on inputs where the second leaf cannot improve.
+        let input = rates(&[10.0, 9.0, 8.0, 3.0, 2.0, 1.0]);
+        let fast = Cga::new().schedule(&input, 3).unwrap();
+        // Emulate LPT by hand.
+        let mut sums = [0.0f64; 3];
+        let mut order: Vec<usize> = (0..input.len()).collect();
+        order.sort_by(|&a, &b| input[b].value().partial_cmp(&input[a].value()).unwrap());
+        for &r in &order {
+            let k = (0..3).min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).unwrap()).unwrap();
+            sums[k] += input[r].value();
+        }
+        let expected = sums.iter().copied().fold(0.0, f64::max);
+        assert_eq!(fast.makespan(), expected);
+    }
+
+    #[test]
+    fn large_inputs_do_not_overflow_the_stack() {
+        // Regression: the DFS recursed once per request; 20k requests at
+        // budget 1 must run iteratively.
+        let values: Vec<f64> = (0..20_000).map(|i| 1.0 + (i % 100) as f64).collect();
+        let input = rates(&values);
+        let schedule = Cga::new().schedule(&input, 25).unwrap();
+        assert_eq!(schedule.requests(), 20_000);
+    }
+
+    #[test]
+    fn handles_single_instance() {
+        let schedule = Cga::new().schedule(&rates(&[2.0, 3.0]), 1).unwrap();
+        assert_eq!(schedule.makespan(), 5.0);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(Cga::new().schedule(&[], 2).is_err());
+        assert!(Cga::new().schedule(&rates(&[1.0]), 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let input = rates(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let a = Cga::new().schedule(&input, 2).unwrap();
+        let b = Cga::new().schedule(&input, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Cga::new().name(), "cga");
+    }
+}

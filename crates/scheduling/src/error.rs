@@ -1,0 +1,72 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use nfv_queueing::QueueingError;
+
+/// Error returned when a schedule cannot be constructed or evaluated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedulingError {
+    /// No service instances to schedule onto (`M_f = 0`).
+    NoInstances,
+    /// No requests to schedule (`R_f = ∅`).
+    NoRequests,
+    /// An assignment referenced an instance index `≥ M_f`.
+    InstanceOutOfRange {
+        /// The offending instance index.
+        instance: usize,
+        /// The number of instances `M_f`.
+        instances: usize,
+    },
+    /// A schedule evaluation hit an unstable instance (`ρ ≥ 1`); admission
+    /// control (see [`nfv_queueing::admission`]) is the intended remedy.
+    Queueing(QueueingError),
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoInstances => write!(f, "no service instances to schedule onto"),
+            Self::NoRequests => write!(f, "no requests to schedule"),
+            Self::InstanceOutOfRange { instance, instances } => {
+                write!(f, "instance index {instance} out of range for {instances} instances")
+            }
+            Self::Queueing(err) => write!(f, "queueing evaluation failed: {err}"),
+        }
+    }
+}
+
+impl Error for SchedulingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Queueing(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueueingError> for SchedulingError {
+    fn from(err: QueueingError) -> Self {
+        Self::Queueing(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queueing_errors_chain() {
+        let err: SchedulingError =
+            QueueingError::Unstable { arrival: 10.0, service: 5.0 }.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("unstable"));
+    }
+
+    #[test]
+    fn display_is_concise() {
+        assert_eq!(SchedulingError::NoRequests.to_string(), "no requests to schedule");
+    }
+}

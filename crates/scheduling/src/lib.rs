@@ -1,0 +1,70 @@
+//! Request scheduling algorithms (phase two of the paper's pipeline).
+//!
+//! Once a VNF `f` is placed, its `n = |R_f|` requests must be distributed
+//! over its `m = M_f` service instances. Since each instance is an M/M/1
+//! station whose response time `W(f,k) = 1/(Pμ_f − Σ_r λ_r z_{r,k})`
+//! grows with its total assigned rate (Eq. (12)), minimizing the average
+//! response time over instances (Eq. (15)) amounts to balancing the
+//! per-instance rate sums — the NP-hard Multi-Way Number Partitioning
+//! problem (§IV.B).
+//!
+//! Implemented algorithms, all behind the [`Scheduler`] trait:
+//!
+//! * [`Rckk`] — the paper's contribution (Algorithm 2): a one-pass
+//!   Karmarkar–Karp differencing scheme that repeatedly combines the two
+//!   partitions with the largest leading values *in reverse order*
+//!   (largest against smallest), resorts and normalizes;
+//! * [`KkForward`] — the ablation that combines in forward order,
+//!   quantifying what the reverse combination buys;
+//! * [`Cga`] — Korf's Complete Greedy Algorithm; its first solution (the
+//!   default) is the classic LPT greedy the paper benchmarks against, and a
+//!   node budget turns it into an anytime exact search for use as a test
+//!   oracle;
+//! * [`Ckk`] — budget-limited Complete Karmarkar–Karp search over pairing
+//!   orders (small-instance oracle);
+//! * [`RoundRobin`] — the naive baseline.
+//!
+//! The resulting [`Schedule`] evaluates itself against the Jackson-network
+//! model: average/maximum response times, per-instance utilizations and the
+//! job rejection rate under admission control.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+//! use nfv_scheduling::{Rckk, Scheduler};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rates: Vec<ArrivalRate> = [8.0, 7.0, 6.0, 5.0, 4.0]
+//!     .iter()
+//!     .map(|&v| ArrivalRate::new(v))
+//!     .collect::<Result<_, _>>()?;
+//! let schedule = Rckk::new().schedule(&rates, 2)?;
+//! // KK differencing splits the total of 30 into 16 / 14.
+//! assert!(schedule.imbalance() <= 2.0);
+//! let w = schedule.average_response_time(ServiceRate::new(20.0)?, DeliveryProbability::PERFECT)?;
+//! assert!(w > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cga;
+mod ckk;
+mod error;
+mod online;
+mod partition;
+mod rckk;
+mod round_robin;
+mod schedule;
+mod scheduler;
+
+pub use cga::Cga;
+pub use ckk::Ckk;
+pub use error::SchedulingError;
+pub use online::{OnlineDispatcher, OnlineLeastLoaded};
+pub use rckk::{KkForward, Rckk};
+pub use round_robin::RoundRobin;
+pub use schedule::Schedule;
+pub use scheduler::Scheduler;

@@ -1,0 +1,241 @@
+//! Online scheduling: requests arrive one at a time.
+//!
+//! The paper schedules a known request set offline and leaves dynamic
+//! arrivals to future work (§IV.A discusses why VMs should not be added or
+//! removed on the fly). This module supplies the standard online
+//! counterpart so the offline algorithms can be priced against it: the
+//! greedy *least-loaded* dispatcher, which irrevocably assigns each
+//! arriving request to the instance with the smallest current rate sum —
+//! the classic `(2 − 1/m)`-competitive List Scheduling algorithm (Graham).
+
+use nfv_model::ArrivalRate;
+
+use crate::scheduler::check_inputs;
+use crate::{Schedule, Scheduler, SchedulingError};
+
+/// Incremental least-loaded dispatcher for streaming use: feed arrivals
+/// one at a time, read the assignment immediately.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::ArrivalRate;
+/// use nfv_scheduling::OnlineDispatcher;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dispatcher = OnlineDispatcher::new(2)?;
+/// assert_eq!(dispatcher.dispatch(ArrivalRate::new(10.0)?), 0);
+/// assert_eq!(dispatcher.dispatch(ArrivalRate::new(4.0)?), 1);
+/// assert_eq!(dispatcher.dispatch(ArrivalRate::new(3.0)?), 1); // 7 < 10
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineDispatcher {
+    sums: Vec<f64>,
+    assignment: Vec<usize>,
+    rates: Vec<ArrivalRate>,
+}
+
+impl OnlineDispatcher {
+    /// Creates a dispatcher over `instances` idle instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulingError::NoInstances`] for zero instances.
+    pub fn new(instances: usize) -> Result<Self, SchedulingError> {
+        if instances == 0 {
+            return Err(SchedulingError::NoInstances);
+        }
+        Ok(Self { sums: vec![0.0; instances], assignment: Vec::new(), rates: Vec::new() })
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Number of requests dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Irrevocably assigns the arriving request to the least-loaded
+    /// instance (lowest index on ties) and returns that instance.
+    pub fn dispatch(&mut self, rate: ArrivalRate) -> usize {
+        let k = self
+            .sums
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sums are finite"))
+            .map(|(k, _)| k)
+            .expect("at least one instance");
+        self.sums[k] += rate.value();
+        self.assignment.push(k);
+        self.rates.push(rate);
+        k
+    }
+
+    /// The per-instance rate sums so far.
+    #[must_use]
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Finalizes the dispatch history into a [`Schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulingError::NoRequests`] if nothing was dispatched.
+    pub fn into_schedule(self) -> Result<Schedule, SchedulingError> {
+        let instances = self.sums.len();
+        Schedule::new(self.rates, self.assignment, instances)
+    }
+}
+
+/// The online least-loaded scheduler as a [`Scheduler`]: processes the
+/// requests in arrival (index) order with no lookahead or sorting. The
+/// comparison floor for the offline algorithms — the "price of not
+/// knowing the future".
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::ArrivalRate;
+/// use nfv_scheduling::{OnlineLeastLoaded, Rckk, Scheduler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rates: Vec<ArrivalRate> =
+///     [9.0, 1.0, 8.0, 2.0].iter().map(|&v| ArrivalRate::new(v)).collect::<Result<_, _>>()?;
+/// let online = OnlineLeastLoaded::new().schedule(&rates, 2)?;
+/// let offline = Rckk::new().schedule(&rates, 2)?;
+/// assert!(offline.makespan() <= online.makespan());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineLeastLoaded;
+
+impl OnlineLeastLoaded {
+    /// Creates the online least-loaded scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for OnlineLeastLoaded {
+    fn name(&self) -> &'static str {
+        "online-least-loaded"
+    }
+
+    fn schedule(
+        &self,
+        rates: &[ArrivalRate],
+        instances: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        check_inputs(rates, instances)?;
+        let mut dispatcher = OnlineDispatcher::new(instances)?;
+        for &rate in rates {
+            dispatcher.dispatch(rate);
+        }
+        dispatcher.into_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rckk;
+    use proptest::prelude::*;
+
+    fn rates(values: &[f64]) -> Vec<ArrivalRate> {
+        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn dispatches_to_least_loaded_with_low_index_ties() {
+        let mut d = OnlineDispatcher::new(3).unwrap();
+        assert_eq!(d.dispatch(ArrivalRate::new(5.0).unwrap()), 0);
+        assert_eq!(d.dispatch(ArrivalRate::new(5.0).unwrap()), 1);
+        assert_eq!(d.dispatch(ArrivalRate::new(5.0).unwrap()), 2);
+        assert_eq!(d.dispatch(ArrivalRate::new(1.0).unwrap()), 0);
+        assert_eq!(d.sums(), &[6.0, 5.0, 5.0]);
+        assert_eq!(d.dispatched(), 4);
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let schedule = OnlineLeastLoaded::new().schedule(&rates(&[4.0, 3.0, 2.0]), 2).unwrap();
+        assert_eq!(schedule.assignment(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(OnlineDispatcher::new(0).is_err());
+        assert!(OnlineDispatcher::new(1).unwrap().into_schedule().is_err());
+        assert!(OnlineLeastLoaded::new().schedule(&[], 2).is_err());
+    }
+
+    #[test]
+    fn adversarial_order_hurts_online_but_not_offline() {
+        // Small items first, then two big ones: online stacks the bigs on
+        // top of half the smalls; RCKK (offline) pairs them apart.
+        let input = rates(&[10.0, 10.0, 50.0, 50.0]);
+        let online = OnlineLeastLoaded::new().schedule(&input, 2).unwrap();
+        let offline = Rckk::new().schedule(&input, 2).unwrap();
+        assert_eq!(offline.makespan(), 60.0);
+        assert_eq!(online.makespan(), 60.0); // 10,10 split; 50 each — equal here
+        // A truly adversarial order: equal smalls then one giant.
+        let input = rates(&[30.0, 30.0, 60.0]);
+        let online = OnlineLeastLoaded::new().schedule(&input, 2).unwrap();
+        let offline = Rckk::new().schedule(&input, 2).unwrap();
+        assert_eq!(offline.makespan(), 60.0);
+        assert_eq!(online.makespan(), 90.0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(OnlineLeastLoaded::new().name(), "online-least-loaded");
+    }
+
+    proptest! {
+        /// Graham's bound: online list scheduling is (2 − 1/m)-competitive
+        /// against the fractional lower bound max(total/m, max item).
+        #[test]
+        fn graham_competitive_ratio_holds(
+            values in prop::collection::vec(1.0..100.0f64, 1..50),
+            m in 1usize..8,
+        ) {
+            let input = rates(&values);
+            let schedule = OnlineLeastLoaded::new().schedule(&input, m).unwrap();
+            let total: f64 = values.iter().sum();
+            let max_item = values.iter().copied().fold(0.0, f64::max);
+            let lower = (total / m as f64).max(max_item);
+            let bound = (2.0 - 1.0 / m as f64) * lower;
+            prop_assert!(
+                schedule.makespan() <= bound + 1e-9,
+                "makespan {} above Graham bound {}",
+                schedule.makespan(),
+                bound
+            );
+        }
+
+        /// Offline *complete search* never loses to the online greedy —
+        /// unlike RCKK, whose one-pass differencing can occasionally lose
+        /// to greedy on adversarial inputs (e.g. {56.6, 55.8, 48.0, 46.2,
+        /// 42.7} two ways: KK commits the big pair apart early and pays
+        /// for it).
+        #[test]
+        fn offline_exact_never_loses_to_online(
+            values in prop::collection::vec(1.0..100.0f64, 2..11),
+            m in 2usize..4,
+        ) {
+            use crate::Cga;
+            let input = rates(&values);
+            let online = OnlineLeastLoaded::new().schedule(&input, m).unwrap();
+            let exact = Cga::new().with_leaf_budget(500_000).schedule(&input, m).unwrap();
+            prop_assert!(exact.makespan() <= online.makespan() + 1e-9);
+        }
+    }
+}

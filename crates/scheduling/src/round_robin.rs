@@ -1,0 +1,90 @@
+//! Round-robin: the naive scheduling baseline.
+
+use nfv_model::ArrivalRate;
+
+use crate::scheduler::check_inputs;
+use crate::{Schedule, Scheduler, SchedulingError};
+
+/// Round-robin scheduling: request `r` goes to instance `r mod m`,
+/// regardless of rates.
+///
+/// Rate-oblivious and therefore the weakest balancer here; included as the
+/// sanity floor for the scheduling benchmarks (any rate-aware algorithm
+/// should beat it on heterogeneous traffic) and as the behaviour of a
+/// stateless hardware load balancer.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::ArrivalRate;
+/// use nfv_scheduling::{RoundRobin, Scheduler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rates: Vec<ArrivalRate> =
+///     [1.0, 2.0, 3.0].iter().map(|&v| ArrivalRate::new(v)).collect::<Result<_, _>>()?;
+/// let schedule = RoundRobin::new().schedule(&rates, 2)?;
+/// assert_eq!(schedule.assignment(), &[0, 1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the round-robin scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn schedule(
+        &self,
+        rates: &[ArrivalRate],
+        instances: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        check_inputs(rates, instances)?;
+        let assignment: Vec<usize> = (0..rates.len()).map(|r| r % instances).collect();
+        Schedule::new(rates.to_vec(), assignment, instances)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rckk;
+
+    fn rates(values: &[f64]) -> Vec<ArrivalRate> {
+        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn cycles_through_instances() {
+        let schedule = RoundRobin::new().schedule(&rates(&[1.0; 7]), 3).unwrap();
+        assert_eq!(schedule.assignment(), &[0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn rate_oblivious_and_beaten_by_rckk_on_skewed_input() {
+        // Heavy rates all land on instance 0 under round-robin order.
+        let input = rates(&[100.0, 1.0, 100.0, 1.0, 100.0, 1.0]);
+        let rr = RoundRobin::new().schedule(&input, 2).unwrap();
+        let kk = Rckk::new().schedule(&input, 2).unwrap();
+        assert!(kk.imbalance() < rr.imbalance());
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(RoundRobin::new().schedule(&[], 1).is_err());
+        assert!(RoundRobin::new().schedule(&rates(&[1.0]), 0).is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+    }
+}

@@ -1,0 +1,304 @@
+//! The schedule result and its Jackson-network evaluation.
+
+use std::fmt;
+
+use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+use nfv_queueing::admission::{AdmissionController, AdmissionReport};
+use nfv_queueing::InstanceLoad;
+use serde::{Deserialize, Serialize};
+
+use crate::SchedulingError;
+
+/// An assignment of `n` requests to `m` service instances of one VNF — the
+/// paper's `z_{r,k}^f` in dense form (`assignment[r] = k`) — together with
+/// the request rates, so the schedule can evaluate its own queueing
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+/// use nfv_scheduling::Schedule;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rates = vec![ArrivalRate::new(10.0)?, ArrivalRate::new(20.0)?];
+/// let schedule = Schedule::new(rates, vec![0, 1], 2)?;
+/// assert_eq!(schedule.instance_rate_sums(), vec![10.0, 20.0]);
+/// assert!((schedule.makespan() - 20.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    rates: Vec<ArrivalRate>,
+    assignment: Vec<usize>,
+    instances: usize,
+}
+
+impl Schedule {
+    /// Wraps an assignment after validating it.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedulingError::NoRequests`] / [`SchedulingError::NoInstances`]
+    ///   for empty inputs,
+    /// * [`SchedulingError::InstanceOutOfRange`] if any entry is `≥
+    ///   instances`.
+    pub fn new(
+        rates: Vec<ArrivalRate>,
+        assignment: Vec<usize>,
+        instances: usize,
+    ) -> Result<Self, SchedulingError> {
+        if rates.is_empty() || assignment.len() != rates.len() {
+            return Err(SchedulingError::NoRequests);
+        }
+        if instances == 0 {
+            return Err(SchedulingError::NoInstances);
+        }
+        if let Some(&bad) = assignment.iter().find(|&&k| k >= instances) {
+            return Err(SchedulingError::InstanceOutOfRange { instance: bad, instances });
+        }
+        Ok(Self { rates, assignment, instances })
+    }
+
+    /// Number of requests `n`.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of service instances `m`.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// The instance assigned to request `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` is out of range.
+    #[must_use]
+    pub fn instance_of(&self, request: usize) -> usize {
+        self.assignment[request]
+    }
+
+    /// The dense assignment table (`assignment[r] = k`).
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The request arrival rates this schedule was built for.
+    #[must_use]
+    pub fn rates(&self) -> &[ArrivalRate] {
+        &self.rates
+    }
+
+    /// Per-instance sums of *external* rates `Σ_r λ_r z_{r,k}` — the
+    /// quantity the partitioning algorithms balance.
+    #[must_use]
+    pub fn instance_rate_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.instances];
+        for (r, &k) in self.assignment.iter().enumerate() {
+            sums[k] += self.rates[r].value();
+        }
+        sums
+    }
+
+    /// The largest per-instance rate sum (partitioning makespan).
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.instance_rate_sums()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// The difference between the largest and smallest per-instance sums;
+    /// 0 for a perfectly balanced schedule.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let sums = self.instance_rate_sums();
+        let max = sums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = sums.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// The per-instance queueing loads under delivery probability `p`
+    /// (every request shares `p`, the paper's Fig. 11–16 setting).
+    #[must_use]
+    pub fn instance_loads(&self, mu: ServiceRate, p: DeliveryProbability) -> Vec<InstanceLoad> {
+        let mut loads: Vec<InstanceLoad> =
+            (0..self.instances).map(|_| InstanceLoad::new(mu)).collect();
+        for (r, &k) in self.assignment.iter().enumerate() {
+            loads[k].add_request(self.rates[r], p);
+        }
+        loads
+    }
+
+    /// Average response time over the `M_f` instances — the paper's
+    /// objective Eq. (15) with `W(f,k)` from Eq. (12).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulingError::Queueing`] if any instance is unstable
+    /// (`ρ ≥ 1`); use [`Schedule::rejection_report`] to evaluate such
+    /// schedules under admission control instead.
+    pub fn average_response_time(
+        &self,
+        mu: ServiceRate,
+        p: DeliveryProbability,
+    ) -> Result<f64, SchedulingError> {
+        let loads = self.instance_loads(mu, p);
+        let total: f64 = loads
+            .iter()
+            .map(InstanceLoad::mean_delivery_response_time)
+            .sum::<Result<f64, _>>()?;
+        Ok(total / self.instances as f64)
+    }
+
+    /// The worst per-instance response time under this schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulingError::Queueing`] if any instance is unstable.
+    pub fn max_response_time(
+        &self,
+        mu: ServiceRate,
+        p: DeliveryProbability,
+    ) -> Result<f64, SchedulingError> {
+        let loads = self.instance_loads(mu, p);
+        let mut worst = 0.0f64;
+        for load in &loads {
+            worst = worst.max(load.mean_delivery_response_time()?);
+        }
+        Ok(worst)
+    }
+
+    /// Replays the schedule through admission control: requests are offered
+    /// to their assigned instances in request order, and those that would
+    /// destabilize their instance are dropped. Returns the admission report
+    /// (whose [`AdmissionReport::rejection_rate`] is the paper's job
+    /// rejection rate, Figs. 15–16) and the loads of the surviving traffic.
+    #[must_use]
+    pub fn rejection_report(
+        &self,
+        mu: ServiceRate,
+        p: DeliveryProbability,
+    ) -> (AdmissionReport, Vec<InstanceLoad>) {
+        let mut ctrl = AdmissionController::new(mu, self.instances);
+        for (r, &k) in self.assignment.iter().enumerate() {
+            ctrl.offer(k, self.rates[r], p);
+        }
+        let (loads, report) = ctrl.into_parts();
+        (report, loads)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} requests on {} instances, makespan {:.3} pps, imbalance {:.3} pps",
+            self.requests(),
+            self.instances,
+            self.makespan(),
+            self.imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(values: &[f64]) -> Vec<ArrivalRate> {
+        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+    }
+
+    fn mu(v: f64) -> ServiceRate {
+        ServiceRate::new(v).unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Schedule::new(vec![], vec![], 1).is_err());
+        assert!(Schedule::new(rates(&[1.0]), vec![0], 0).is_err());
+        assert!(Schedule::new(rates(&[1.0]), vec![], 1).is_err());
+        assert!(matches!(
+            Schedule::new(rates(&[1.0]), vec![3], 2).unwrap_err(),
+            SchedulingError::InstanceOutOfRange { instance: 3, instances: 2 }
+        ));
+    }
+
+    #[test]
+    fn sums_makespan_imbalance() {
+        let s = Schedule::new(rates(&[5.0, 3.0, 2.0]), vec![0, 1, 1], 2).unwrap();
+        assert_eq!(s.instance_rate_sums(), vec![5.0, 5.0]);
+        assert_eq!(s.makespan(), 5.0);
+        assert_eq!(s.imbalance(), 0.0);
+
+        let t = Schedule::new(rates(&[5.0, 3.0, 2.0]), vec![0, 0, 1], 2).unwrap();
+        assert_eq!(t.makespan(), 8.0);
+        assert_eq!(t.imbalance(), 6.0);
+    }
+
+    #[test]
+    fn empty_instances_count_in_metrics() {
+        let s = Schedule::new(rates(&[5.0]), vec![0], 3).unwrap();
+        assert_eq!(s.instance_rate_sums(), vec![5.0, 0.0, 0.0]);
+        assert_eq!(s.imbalance(), 5.0);
+    }
+
+    #[test]
+    fn eq15_average_matches_hand_computation() {
+        // Two instances, P = 1: W_k = 1/(μ − Σλ_k).
+        let s = Schedule::new(rates(&[10.0, 20.0]), vec![0, 1], 2).unwrap();
+        let w = s
+            .average_response_time(mu(50.0), DeliveryProbability::PERFECT)
+            .unwrap();
+        let expected = (1.0 / 40.0 + 1.0 / 30.0) / 2.0;
+        assert!((w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_raises_response_time() {
+        let s = Schedule::new(rates(&[10.0, 20.0]), vec![0, 1], 2).unwrap();
+        let w1 = s
+            .average_response_time(mu(50.0), DeliveryProbability::PERFECT)
+            .unwrap();
+        let w2 = s
+            .average_response_time(mu(50.0), DeliveryProbability::new(0.98).unwrap())
+            .unwrap();
+        assert!(w2 > w1);
+    }
+
+    #[test]
+    fn unstable_schedule_errors_but_rejection_report_copes() {
+        let s = Schedule::new(rates(&[60.0, 60.0]), vec![0, 0], 1).unwrap();
+        assert!(matches!(
+            s.average_response_time(mu(100.0), DeliveryProbability::PERFECT),
+            Err(SchedulingError::Queueing(_))
+        ));
+        let (report, loads) = s.rejection_report(mu(100.0), DeliveryProbability::PERFECT);
+        assert_eq!(report.rejected(), 1);
+        assert!(loads[0].is_stable());
+    }
+
+    #[test]
+    fn max_response_time_bounds_average() {
+        let s = Schedule::new(rates(&[10.0, 30.0]), vec![0, 1], 2).unwrap();
+        let avg = s
+            .average_response_time(mu(50.0), DeliveryProbability::PERFECT)
+            .unwrap();
+        let max = s
+            .max_response_time(mu(50.0), DeliveryProbability::PERFECT)
+            .unwrap();
+        assert!(max >= avg);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let s = Schedule::new(rates(&[1.0]), vec![0], 1).unwrap();
+        assert!(s.to_string().contains("1 requests on 1 instances"));
+    }
+}

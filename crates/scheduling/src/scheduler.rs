@@ -1,0 +1,50 @@
+//! The [`Scheduler`] trait.
+
+use nfv_model::ArrivalRate;
+
+use crate::{Schedule, SchedulingError};
+
+/// A request-scheduling algorithm for one VNF: distributes `n` requests
+/// (given by their arrival rates `λ_r`) over `m` service instances.
+///
+/// Implementations are deterministic functions of their input — the paper's
+/// schedulers have no internal randomness — which keeps experiment sweeps
+/// reproducible without threading RNGs through this phase.
+pub trait Scheduler {
+    /// A short stable name for reports ("rckk", "cga", …).
+    fn name(&self) -> &'static str;
+
+    /// Schedules the requests `0..rates.len()` onto instances
+    /// `0..instances`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedulingError::NoRequests`] if `rates` is empty,
+    /// * [`SchedulingError::NoInstances`] if `instances` is zero.
+    fn schedule(&self, rates: &[ArrivalRate], instances: usize)
+        -> Result<Schedule, SchedulingError>;
+}
+
+/// Validates the common preconditions shared by every scheduler.
+pub(crate) fn check_inputs(rates: &[ArrivalRate], instances: usize) -> Result<(), SchedulingError> {
+    if rates.is_empty() {
+        return Err(SchedulingError::NoRequests);
+    }
+    if instances == 0 {
+        return Err(SchedulingError::NoInstances);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_checks() {
+        let rate = ArrivalRate::new(1.0).unwrap();
+        assert_eq!(check_inputs(&[], 1), Err(SchedulingError::NoRequests));
+        assert_eq!(check_inputs(&[rate], 0), Err(SchedulingError::NoInstances));
+        assert_eq!(check_inputs(&[rate], 1), Ok(()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Scheduling quality against complete searches on small instances, and
+//! cross-algorithm invariants on larger ones.
+
+use nfv_model::ArrivalRate;
+use nfv_scheduling::{Cga, Ckk, KkForward, OnlineLeastLoaded, Rckk, RoundRobin, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rates(values: &[f64]) -> Vec<ArrivalRate> {
+    values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+}
+
+fn random_rates(n: usize, seed: u64) -> Vec<ArrivalRate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).unwrap()).collect()
+}
+
+#[test]
+fn rckk_approximation_ratio_vs_exact_on_small_instances() {
+    // Exhaustive CGA is the optimum oracle for n <= 12.
+    let mut worst_ratio = 1.0f64;
+    for seed in 0..25u64 {
+        let n = 6 + (seed % 7) as usize;
+        let m = 2 + (seed % 3) as usize;
+        let input = random_rates(n, seed);
+        let exact = Cga::new()
+            .with_leaf_budget(5_000_000)
+            .schedule(&input, m)
+            .unwrap();
+        let rckk = Rckk::new().schedule(&input, m).unwrap();
+        assert!(rckk.makespan() >= exact.makespan() - 1e-9, "oracle beaten?!");
+        worst_ratio = worst_ratio.max(rckk.makespan() / exact.makespan());
+    }
+    // KK differencing stays close to optimal on uniform random inputs.
+    assert!(worst_ratio < 1.35, "worst RCKK/OPT ratio {worst_ratio}");
+}
+
+#[test]
+fn ckk_search_converges_to_cga_search() {
+    // Two different complete searches must agree on the optimal makespan.
+    for seed in 0..10u64 {
+        let input = random_rates(8, seed ^ 0xA5);
+        let m = 3;
+        let via_cga = Cga::new().with_leaf_budget(5_000_000).schedule(&input, m).unwrap();
+        let via_ckk = Ckk::new().with_leaf_budget(5_000_000).schedule(&input, m).unwrap();
+        assert!(
+            (via_cga.makespan() - via_ckk.makespan()).abs() < 1e-9,
+            "seed {seed}: cga {} vs ckk {}",
+            via_cga.makespan(),
+            via_ckk.makespan()
+        );
+    }
+}
+
+#[test]
+fn algorithm_quality_ordering_on_random_inputs() {
+    // Mean imbalance over many draws must order: RCKK <= CGA(greedy)
+    // <= round-robin, with the forward-KK ablation clearly worst-of-the-
+    // informed and online between CGA and round-robin.
+    let m = 5;
+    let mut sums = [0.0f64; 5];
+    for seed in 0..40u64 {
+        let input = random_rates(50, seed ^ 0x77);
+        let algos: [&dyn Scheduler; 5] = [
+            &Rckk::new(),
+            &Cga::new(),
+            &OnlineLeastLoaded::new(),
+            &RoundRobin::new(),
+            &KkForward::new(),
+        ];
+        for (i, algo) in algos.iter().enumerate() {
+            sums[i] += algo.schedule(&input, m).unwrap().imbalance();
+        }
+    }
+    let [rckk, cga, online, rr, forward] = sums;
+    assert!(rckk <= cga, "rckk {rckk} vs cga {cga}");
+    assert!(cga <= online, "cga {cga} vs online {online}");
+    assert!(online <= rr, "online {online} vs round-robin {rr}");
+    assert!(forward > 5.0 * rckk, "forward combination not clearly worse");
+}
+
+#[test]
+fn identical_rates_are_perfectly_balanced_by_everyone_informed() {
+    let input = rates(&[10.0; 20]);
+    for algo in [&Rckk::new() as &dyn Scheduler, &Cga::new(), &OnlineLeastLoaded::new()] {
+        let schedule = algo.schedule(&input, 5).unwrap();
+        assert_eq!(schedule.imbalance(), 0.0, "{}", algo.name());
+        assert_eq!(schedule.makespan(), 40.0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn one_giant_request_dominates_every_makespan() {
+    let mut values = vec![1.0; 10];
+    values.push(500.0);
+    let input = rates(&values);
+    for algo in [
+        &Rckk::new() as &dyn Scheduler,
+        &Cga::new(),
+        &OnlineLeastLoaded::new(),
+        &KkForward::new(),
+    ] {
+        let schedule = algo.schedule(&input, 4).unwrap();
+        assert!(
+            schedule.makespan() >= 500.0,
+            "{} beat the single-item lower bound",
+            algo.name()
+        );
+        assert!(schedule.makespan() <= 510.0 + 1e-9, "{} stacked onto the giant", algo.name());
+    }
+}
+
+#[test]
+fn scaling_rates_scales_makespan_linearly() {
+    let input = random_rates(30, 3);
+    let doubled: Vec<ArrivalRate> = input
+        .iter()
+        .map(|r| ArrivalRate::new(r.value() * 2.0).unwrap())
+        .collect();
+    let a = Rckk::new().schedule(&input, 4).unwrap();
+    let b = Rckk::new().schedule(&doubled, 4).unwrap();
+    assert!((b.makespan() - 2.0 * a.makespan()).abs() < 1e-9);
+    assert_eq!(a.assignment(), b.assignment(), "scaling must not change the partition");
+}

@@ -1,0 +1,275 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// One service instance: a single-server FCFS station with exponential
+/// service at the given rate and an optionally bounded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StationSpec {
+    /// Exponential service rate `μ` in packets per second.
+    pub service_rate: f64,
+    /// Maximum number of *waiting* packets; `None` models the paper's
+    /// unbounded M/M/1 buffer, `Some(k)` an M/M/1/(k+1) station that drops
+    /// arrivals on overflow (congestion loss).
+    pub buffer: Option<usize>,
+}
+
+/// One request: a Poisson packet source traversing a path of stations with
+/// end-to-end delivery probability `P`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Poisson arrival rate `λ` in packets per second.
+    pub arrival_rate: f64,
+    /// Probability that the destination delivers a packet; failures are
+    /// retransmitted from the source.
+    pub delivery_probability: f64,
+    /// Station indices visited in order (the request's chain, after
+    /// scheduling has mapped each VNF to a concrete instance).
+    pub path: Vec<usize>,
+}
+
+/// A validated simulation configuration; build with [`SimConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub(crate) stations: Vec<StationSpec>,
+    pub(crate) requests: Vec<RequestSpec>,
+    pub(crate) target_deliveries: u64,
+    pub(crate) warmup_deliveries: u64,
+    pub(crate) max_events: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            stations: Vec::new(),
+            requests: Vec::new(),
+            target_deliveries: 100_000,
+            warmup_deliveries: 10_000,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// The configured stations.
+    #[must_use]
+    pub fn stations(&self) -> &[StationSpec] {
+        &self.stations
+    }
+
+    /// The configured requests.
+    #[must_use]
+    pub fn requests(&self) -> &[RequestSpec] {
+        &self.requests
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    stations: Vec<StationSpec>,
+    requests: Vec<RequestSpec>,
+    target_deliveries: u64,
+    warmup_deliveries: u64,
+    max_events: u64,
+}
+
+impl SimConfigBuilder {
+    /// Adds a station with service rate `mu` (pps) and returns the builder;
+    /// stations are indexed in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] unless `mu` is finite and
+    /// positive.
+    pub fn station(mut self, mu: f64) -> Result<Self, SimError> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(SimError::InvalidParameter { reason: "service rate must be positive" });
+        }
+        self.stations.push(StationSpec { service_rate: mu, buffer: None });
+        Ok(self)
+    }
+
+    /// Adds a station with service rate `mu` (pps) and a finite buffer of
+    /// `buffer` waiting slots (an M/M/1/(buffer+1) station): arrivals that
+    /// find the buffer full are dropped and counted as congestion losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] unless `mu` is finite and
+    /// positive.
+    pub fn station_with_buffer(mut self, mu: f64, buffer: usize) -> Result<Self, SimError> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(SimError::InvalidParameter { reason: "service rate must be positive" });
+        }
+        self.stations.push(StationSpec { service_rate: mu, buffer: Some(buffer) });
+        Ok(self)
+    }
+
+    /// Adds `count` identical stations at rate `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive rate.
+    pub fn stations(mut self, mu: f64, count: usize) -> Result<Self, SimError> {
+        for _ in 0..count {
+            self = self.station(mu)?;
+        }
+        Ok(self)
+    }
+
+    /// Adds a request with arrival rate `lambda` (pps), delivery
+    /// probability `p` and the given station path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive rate, a
+    /// probability outside `(0, 1]` or an empty path.
+    pub fn request(mut self, lambda: f64, p: f64, path: Vec<usize>) -> Result<Self, SimError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(SimError::InvalidParameter { reason: "arrival rate must be positive" });
+        }
+        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+            return Err(SimError::InvalidParameter {
+                reason: "delivery probability must lie in (0, 1]",
+            });
+        }
+        if path.is_empty() {
+            return Err(SimError::InvalidParameter { reason: "request path must be non-empty" });
+        }
+        self.requests.push(RequestSpec { arrival_rate: lambda, delivery_probability: p, path });
+        Ok(self)
+    }
+
+    /// Number of *measured* deliveries to simulate after warmup
+    /// (default 100 000).
+    #[must_use]
+    pub fn target_deliveries(mut self, count: u64) -> Self {
+        self.target_deliveries = count;
+        self
+    }
+
+    /// Number of initial deliveries discarded as warmup (default 10 000).
+    #[must_use]
+    pub fn warmup_deliveries(mut self, count: u64) -> Self {
+        self.warmup_deliveries = count;
+        self
+    }
+
+    /// Hard cap on processed events, a safety net against accidentally
+    /// unstable configurations whose queues grow without bound
+    /// (default 50 000 000).
+    #[must_use]
+    pub fn max_events(mut self, count: u64) -> Self {
+        self.max_events = count;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyConfig`] without stations or requests,
+    /// * [`SimError::UnknownStation`] if a path references a missing
+    ///   station,
+    /// * [`SimError::InvalidParameter`] for a zero delivery target.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        if self.stations.is_empty() || self.requests.is_empty() {
+            return Err(SimError::EmptyConfig);
+        }
+        if self.target_deliveries == 0 {
+            return Err(SimError::InvalidParameter {
+                reason: "target deliveries must be positive",
+            });
+        }
+        for request in &self.requests {
+            if let Some(&bad) = request.path.iter().find(|&&s| s >= self.stations.len()) {
+                return Err(SimError::UnknownStation { station: bad });
+            }
+        }
+        Ok(SimConfig {
+            stations: self.stations,
+            requests: self.requests,
+            target_deliveries: self.target_deliveries,
+            warmup_deliveries: self.warmup_deliveries,
+            max_events: self.max_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minimal_config() {
+        let config = SimConfig::builder()
+            .station(10.0)
+            .unwrap()
+            .request(5.0, 1.0, vec![0])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(config.stations().len(), 1);
+        assert_eq!(config.requests().len(), 1);
+    }
+
+    #[test]
+    fn stations_helper_adds_count() {
+        let builder = SimConfig::builder().stations(10.0, 3).unwrap();
+        let config = builder.request(1.0, 1.0, vec![2]).unwrap().build().unwrap();
+        assert_eq!(config.stations().len(), 3);
+    }
+
+    #[test]
+    fn finite_buffer_station_builds() {
+        let config = SimConfig::builder()
+            .station_with_buffer(10.0, 3)
+            .unwrap()
+            .request(5.0, 1.0, vec![0])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(config.stations()[0].buffer, Some(3));
+        assert!(SimConfig::builder().station_with_buffer(0.0, 3).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_station_and_request() {
+        assert!(SimConfig::builder().station(0.0).is_err());
+        assert!(SimConfig::builder().station(f64::NAN).is_err());
+        let b = SimConfig::builder().station(10.0).unwrap();
+        assert!(b.clone().request(0.0, 1.0, vec![0]).is_err());
+        assert!(b.clone().request(1.0, 0.0, vec![0]).is_err());
+        assert!(b.clone().request(1.0, 1.1, vec![0]).is_err());
+        assert!(b.request(1.0, 1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_dangling_configs() {
+        assert_eq!(SimConfig::builder().build().unwrap_err(), SimError::EmptyConfig);
+        let err = SimConfig::builder()
+            .station(10.0)
+            .unwrap()
+            .request(1.0, 1.0, vec![3])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::UnknownStation { station: 3 });
+    }
+
+    #[test]
+    fn rejects_zero_target() {
+        let err = SimConfig::builder()
+            .station(10.0)
+            .unwrap()
+            .request(1.0, 1.0, vec![0])
+            .unwrap()
+            .target_deliveries(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+}

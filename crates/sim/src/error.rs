@@ -1,0 +1,47 @@
+//! Error type for simulator configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulation cannot be configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A rate or probability was outside its valid domain.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
+    /// A request's path referenced a station that does not exist.
+    UnknownStation {
+        /// The offending station index.
+        station: usize,
+    },
+    /// The configuration has no stations or no requests.
+    EmptyConfig,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            Self::UnknownStation { station } => {
+                write!(f, "request path references unknown station {station}")
+            }
+            Self::EmptyConfig => write!(f, "simulation needs at least one station and one request"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_concise() {
+        assert!(SimError::EmptyConfig.to_string().contains("at least one"));
+        assert!(SimError::UnknownStation { station: 3 }.to_string().contains('3'));
+    }
+}

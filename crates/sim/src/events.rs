@@ -1,0 +1,122 @@
+//! The future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// A fresh packet of `request` enters the system.
+    ExternalArrival {
+        /// Index of the emitting request.
+        request: usize,
+    },
+    /// The packet in service at `station` finishes.
+    ServiceComplete {
+        /// Index of the station.
+        station: usize,
+    },
+}
+
+/// Time-ordered future-event list with deterministic FIFO tie-breaking
+/// (events scheduled earlier pop first at equal timestamps), so simulations
+/// are reproducible bit-for-bit given a seeded RNG.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first,
+        // and the lowest sequence number on ties.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute `time`.
+    pub(crate) fn schedule(&mut self, time: f64, event: Event) {
+        debug_assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the next event, earliest first.
+    pub(crate) fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, Event::ExternalArrival { request: 0 });
+        q.schedule(1.0, Event::ServiceComplete { station: 1 });
+        q.schedule(2.0, Event::ExternalArrival { request: 2 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, Event::ExternalArrival { request: 10 });
+        q.schedule(1.0, Event::ExternalArrival { request: 20 });
+        let (_, first) = q.pop().unwrap();
+        let (_, second) = q.pop().unwrap();
+        assert_eq!(first, Event::ExternalArrival { request: 10 });
+        assert_eq!(second, Event::ExternalArrival { request: 20 });
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(1.0, Event::ServiceComplete { station: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+}

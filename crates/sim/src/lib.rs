@@ -1,0 +1,57 @@
+//! Discrete-event simulation of NFV service chains.
+//!
+//! The paper's evaluation is simulation-driven; this crate is the
+//! simulator. It executes the same stochastic system the Jackson-network
+//! analytics of `nfv-queueing` model in closed form:
+//!
+//! * each request emits packets as a Poisson process at rate `λ_r`;
+//! * packets traverse the request's chain of service instances in order;
+//!   every instance is a single-server FCFS station with exponentially
+//!   distributed service times at rate `μ`;
+//! * after the last hop the destination delivers the packet with
+//!   probability `P_r`; otherwise the packet is retransmitted from the
+//!   source (NACK feedback) and re-enters the first station immediately.
+//!
+//! Because the simulated system satisfies the assumptions of Jackson's
+//! theorem exactly, simulated mean latencies converge to the analytic
+//! `E[T] = (1/P)·Σ 1/(μ_i − Λ_i)` — the integration tests assert this, and
+//! the `validation` benches quantify it. What simulation adds over the
+//! closed form is the *distribution*: tail percentiles (the paper's p99
+//! statistics) and transient behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_sim::{SimConfig, Simulator};
+//! use rand::SeedableRng;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SimConfig::builder()
+//!     .station(100.0)? // one M/M/1 station at μ = 100 pps
+//!     .request(50.0, 1.0, vec![0])? // λ = 50, no loss, visits station 0
+//!     .target_deliveries(20_000)
+//!     .warmup_deliveries(2_000)
+//!     .build()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let report = Simulator::new(config).run(&mut rng);
+//! // M/M/1 at rho = 0.5: E[T] = 1/(100-50) = 20 ms.
+//! assert!((report.mean_latency() - 0.02).abs() < 0.002);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod events;
+mod report;
+mod sampler;
+mod simulator;
+mod station;
+
+pub use config::{RequestSpec, SimConfig, SimConfigBuilder, StationSpec};
+pub use error::SimError;
+pub use report::SimReport;
+pub use sampler::Exponential;
+pub use simulator::Simulator;

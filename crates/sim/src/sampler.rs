@@ -1,0 +1,101 @@
+//! Exponential variate sampling.
+
+use rand::Rng;
+
+/// An exponential distribution with rate `λ`, sampled by inversion:
+/// `−ln(U)/λ` for `U ~ Uniform(0, 1]`.
+///
+/// Used for both Poisson inter-arrival times and exponential service times;
+/// implemented here (rather than pulling in `rand_distr`) because inversion
+/// is all the simulator needs and keeps the dependency set minimal.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_sim::Exponential;
+/// use rand::SeedableRng;
+/// let exp = Exponential::new(4.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let x = exp.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// Returns `None` unless the rate is finite and strictly positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Option<Self> {
+        (rate.is_finite() && rate > 0.0).then_some(Self { rate })
+    }
+
+    /// The distribution's rate parameter.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The distribution's mean, `1/λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() yields [0, 1); use 1 − u to avoid ln(0).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_rates() {
+        assert!(Exponential::new(0.0).is_none());
+        assert!(Exponential::new(-1.0).is_none());
+        assert!(Exponential::new(f64::NAN).is_none());
+        assert!(Exponential::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn samples_are_positive_and_finite() {
+        let exp = Exponential::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = exp.sample(&mut rng);
+            assert!(x.is_finite() && x > 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_reciprocal_rate() {
+        let exp = Exponential::new(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.2).abs() < 0.005, "empirical mean {mean}");
+        assert_eq!(exp.mean(), 0.2);
+        assert_eq!(exp.rate(), 5.0);
+    }
+
+    #[test]
+    fn memoryless_tail_fraction() {
+        // P(X > mean) = e^{-1} ≈ 0.368.
+        let exp = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let above = (0..n).filter(|_| exp.sample(&mut rng) > 1.0).count();
+        let frac = above as f64 / f64::from(n);
+        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail fraction {frac}");
+    }
+}

@@ -1,0 +1,368 @@
+//! The discrete-event simulation engine.
+
+use nfv_metrics::Summary;
+use rand::Rng;
+
+use crate::events::{Event, EventQueue};
+use crate::sampler::Exponential;
+use crate::station::{Offer, Packet, Station};
+use crate::{SimConfig, SimReport};
+
+/// Discrete-event simulator executing a [`SimConfig`]; see the crate-level
+/// documentation for the model.
+///
+/// The simulator is a plain state machine over a future-event list; given
+/// the same config and a seeded RNG its output is deterministic.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The simulator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to its delivery target (or event cap) and
+    /// reports the measured statistics.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> SimReport {
+        let cfg = &self.config;
+        let arrivals: Vec<Exponential> = cfg
+            .requests
+            .iter()
+            .map(|r| Exponential::new(r.arrival_rate).expect("config validated"))
+            .collect();
+        let services: Vec<Exponential> = cfg
+            .stations
+            .iter()
+            .map(|s| Exponential::new(s.service_rate).expect("config validated"))
+            .collect();
+
+        let mut stations: Vec<Station> =
+            cfg.stations.iter().map(|s| Station::new(s.buffer)).collect();
+        let mut queue = EventQueue::new();
+        let mut now = 0.0f64;
+
+        // Seed one external arrival per request.
+        for (r, exp) in arrivals.iter().enumerate() {
+            queue.schedule(exp.sample(rng), Event::ExternalArrival { request: r });
+        }
+
+        let mut overall = Summary::new();
+        let mut per_request: Vec<Summary> =
+            cfg.requests.iter().map(|_| Summary::new()).collect();
+        let mut delivered_total: u64 = 0;
+        let mut delivered_measured: u64 = 0;
+        let mut retransmissions: u64 = 0;
+        let mut events_processed: u64 = 0;
+        let mut truncated = false;
+        // Arrival-visit counts before warmup end are excluded from the rate
+        // estimate by remembering the offset.
+        let mut warmup_time = 0.0f64;
+        let mut warmup_visits: Vec<u64> = vec![0; cfg.stations.len()];
+
+        while delivered_measured < cfg.target_deliveries {
+            if events_processed >= cfg.max_events {
+                truncated = true;
+                break;
+            }
+            let Some((time, event)) = queue.pop() else {
+                unreachable!("external arrivals are perpetually rescheduled");
+            };
+            now = time;
+            events_processed += 1;
+
+            match event {
+                Event::ExternalArrival { request } => {
+                    // Next external arrival of this request.
+                    queue.schedule(
+                        now + arrivals[request].sample(rng),
+                        Event::ExternalArrival { request },
+                    );
+                    let packet = Packet { request, first_arrival: now, hop: 0 };
+                    let station = cfg.requests[request].path[0];
+                    if stations[station].arrive(packet, now) == Offer::StartService {
+                        queue.schedule(
+                            now + services[station].sample(rng),
+                            Event::ServiceComplete { station },
+                        );
+                    }
+                }
+                Event::ServiceComplete { station } => {
+                    let (mut packet, start_next) = stations[station].complete(now);
+                    if start_next {
+                        queue.schedule(
+                            now + services[station].sample(rng),
+                            Event::ServiceComplete { station },
+                        );
+                    }
+                    let spec = &cfg.requests[packet.request];
+                    packet.hop += 1;
+                    if packet.hop < spec.path.len() {
+                        // Forward to the next station on the chain.
+                        let next = spec.path[packet.hop];
+                        if stations[next].arrive(packet, now) == Offer::StartService {
+                            queue.schedule(
+                                now + services[next].sample(rng),
+                                Event::ServiceComplete { station: next },
+                            );
+                        }
+                    } else if rng.gen_bool(spec.delivery_probability) {
+                        // Delivered end-to-end.
+                        delivered_total += 1;
+                        if delivered_total > cfg.warmup_deliveries {
+                            if delivered_measured == 0 {
+                                warmup_time = now;
+                                for (w, s) in warmup_visits.iter_mut().zip(&stations) {
+                                    *w = s.arrivals();
+                                }
+                            }
+                            delivered_measured += 1;
+                            let latency = now - packet.first_arrival;
+                            overall.push(latency);
+                            per_request[packet.request].push(latency);
+                        }
+                    } else {
+                        // NACK: retransmit from the source immediately,
+                        // keeping the original arrival timestamp.
+                        retransmissions += 1;
+                        packet.hop = 0;
+                        let first = spec.path[0];
+                        if stations[first].arrive(packet, now) == Offer::StartService {
+                            queue.schedule(
+                                now + services[first].sample(rng),
+                                Event::ServiceComplete { station: first },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let measured_span = (now - warmup_time).max(f64::MIN_POSITIVE);
+        let station_utilization: Vec<f64> = stations
+            .iter()
+            .map(|s| (s.busy_time(now) / now.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0))
+            .collect();
+        let station_arrival_rate: Vec<f64> = stations
+            .iter()
+            .zip(&warmup_visits)
+            .map(|(s, &w)| (s.arrivals().saturating_sub(w)) as f64 / measured_span)
+            .collect();
+        let station_mean_packets: Vec<f64> =
+            stations.iter().map(|s| s.mean_packets(now)).collect();
+        let station_dropped: Vec<u64> = stations.iter().map(Station::dropped).collect();
+
+        SimReport {
+            overall_latency: overall,
+            per_request_latency: per_request,
+            station_utilization,
+            station_arrival_rate,
+            station_mean_packets,
+            station_dropped,
+            delivered: delivered_measured,
+            retransmissions,
+            events_processed,
+            sim_time: now,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(config: SimConfig, seed: u64) -> SimReport {
+        Simulator::new(config).run(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn mm1_config(lambda: f64, mu: f64, p: f64) -> SimConfig {
+        SimConfig::builder()
+            .station(mu)
+            .unwrap()
+            .request(lambda, p, vec![0])
+            .unwrap()
+            .target_deliveries(60_000)
+            .warmup_deliveries(6_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mm1_mean_latency_matches_theory() {
+        // rho = 0.7: E[T] = 1/(100-70) = 33.3 ms.
+        let report = run(mm1_config(70.0, 100.0, 1.0), 1);
+        let expected = 1.0 / 30.0;
+        let rel = (report.mean_latency() - expected).abs() / expected;
+        assert!(rel < 0.05, "mean {} vs expected {}", report.mean_latency(), expected);
+        assert!(!report.truncated());
+    }
+
+    #[test]
+    fn mm1_utilization_matches_rho() {
+        let report = run(mm1_config(50.0, 100.0, 1.0), 2);
+        assert!((report.station_utilization()[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn loss_feedback_inflates_arrival_rate_and_latency() {
+        // lambda = 50, P = 0.8: effective rate 62.5; W per delivery
+        // = (1/P)/(mu - 62.5) = 1.25/37.5.
+        let report = run(mm1_config(50.0, 100.0, 0.8), 3);
+        assert!(
+            (report.station_arrival_rate()[0] - 62.5).abs() < 2.0,
+            "arrival rate {}",
+            report.station_arrival_rate()[0]
+        );
+        let expected = 1.25 / 37.5;
+        let rel = (report.mean_latency() - expected).abs() / expected;
+        assert!(rel < 0.06, "mean {} vs expected {}", report.mean_latency(), expected);
+        assert!(report.retransmissions() > 0);
+    }
+
+    #[test]
+    fn tandem_chain_matches_jackson_sum() {
+        // Two stations in series, lambda = 40: E[T] = 1/(100-40) + 1/(80-40).
+        let config = SimConfig::builder()
+            .station(100.0)
+            .unwrap()
+            .station(80.0)
+            .unwrap()
+            .request(40.0, 1.0, vec![0, 1])
+            .unwrap()
+            .target_deliveries(60_000)
+            .warmup_deliveries(6_000)
+            .build()
+            .unwrap();
+        let report = run(config, 4);
+        let expected = 1.0 / 60.0 + 1.0 / 40.0;
+        let rel = (report.mean_latency() - expected).abs() / expected;
+        assert!(rel < 0.05, "mean {} vs expected {}", report.mean_latency(), expected);
+    }
+
+    #[test]
+    fn merged_flows_load_shared_station() {
+        // Two requests share station 0; utilization ~ (30+40)/100.
+        let config = SimConfig::builder()
+            .station(100.0)
+            .unwrap()
+            .request(30.0, 1.0, vec![0])
+            .unwrap()
+            .request(40.0, 1.0, vec![0])
+            .unwrap()
+            .target_deliveries(60_000)
+            .warmup_deliveries(6_000)
+            .build()
+            .unwrap();
+        let report = run(config, 5);
+        assert!((report.station_utilization()[0] - 0.7).abs() < 0.02);
+        // Both requests see the same shared queue, so similar latency.
+        let l0 = report.per_request_latency()[0].mean();
+        let l1 = report.per_request_latency()[1].mean();
+        assert!((l0 - l1).abs() / l0 < 0.1);
+    }
+
+    #[test]
+    fn unstable_config_truncates_instead_of_hanging() {
+        let config = SimConfig::builder()
+            .station(10.0)
+            .unwrap()
+            .request(20.0, 1.0, vec![0])
+            .unwrap()
+            .target_deliveries(1_000_000)
+            .max_events(100_000)
+            .build()
+            .unwrap();
+        let report = run(config, 6);
+        assert!(report.truncated());
+        assert!(report.events_processed() <= 100_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(mm1_config(50.0, 100.0, 0.95), 7);
+        let b = run(mm1_config(50.0, 100.0, 0.95), 7);
+        assert_eq!(a, b);
+        let c = run(mm1_config(50.0, 100.0, 0.95), 8);
+        assert_ne!(a.mean_latency(), c.mean_latency());
+    }
+
+    #[test]
+    fn mean_packets_matches_eq10() {
+        // rho = 0.6: E[N] = 0.6/0.4 = 1.5 (paper Eq. (10)).
+        let report = run(mm1_config(60.0, 100.0, 1.0), 11);
+        assert!(
+            (report.station_mean_packets()[0] - 1.5).abs() < 0.1,
+            "E[N] = {}",
+            report.station_mean_packets()[0]
+        );
+        assert_eq!(report.congestion_drops(), 0);
+    }
+
+    #[test]
+    fn finite_buffer_blocking_matches_mm1k() {
+        // M/M/1/K with K = 3 total places (buffer 2): blocking probability
+        // pi_K = (1 - rho) rho^K / (1 - rho^{K+1}); rho = 0.8 -> ~0.1734.
+        let config = SimConfig::builder()
+            .station_with_buffer(100.0, 2)
+            .unwrap()
+            .request(80.0, 1.0, vec![0])
+            .unwrap()
+            .target_deliveries(80_000)
+            .warmup_deliveries(8_000)
+            .build()
+            .unwrap();
+        let report = run(config, 12);
+        let offered = report.station_dropped()[0] + report.delivered() + 8_000;
+        let blocking = report.station_dropped()[0] as f64 / offered as f64;
+        let rho: f64 = 0.8;
+        let expected = (1.0 - rho) * rho.powi(3) / (1.0 - rho.powi(4));
+        assert!(
+            (blocking - expected).abs() < 0.02,
+            "blocking {blocking} vs expected {expected}"
+        );
+        assert!(report.congestion_drops() > 0);
+    }
+
+    #[test]
+    fn finite_buffer_keeps_overloaded_station_bounded() {
+        // Heavily overloaded but with a finite buffer: the simulation
+        // terminates by deliveries (the server is always busy) instead of
+        // building an unbounded queue.
+        let config = SimConfig::builder()
+            .station_with_buffer(50.0, 10)
+            .unwrap()
+            .request(500.0, 1.0, vec![0])
+            .unwrap()
+            .target_deliveries(20_000)
+            .warmup_deliveries(1_000)
+            .build()
+            .unwrap();
+        let report = run(config, 13);
+        assert!(!report.truncated());
+        assert!(report.station_utilization()[0] > 0.98);
+        assert!(report.station_mean_packets()[0] <= 11.5);
+        assert!(report.congestion_drops() > 50_000);
+    }
+
+    #[test]
+    fn p99_exceeds_mean() {
+        let mut report = run(mm1_config(70.0, 100.0, 1.0), 9);
+        let mean = report.mean_latency();
+        assert!(report.latency_percentile(0.99) > mean);
+        // For M/M/1 the sojourn is exponential: p99 ~ ln(100) * mean ≈ 4.6x.
+        let ratio = report.latency_percentile(0.99) / mean;
+        assert!((3.5..6.0).contains(&ratio), "p99/mean ratio {ratio}");
+    }
+}

@@ -1,0 +1,249 @@
+//! FCFS single-server stations.
+
+use std::collections::VecDeque;
+
+/// A packet in flight: which request it belongs to, when its *original*
+/// transmission entered the system (retransmissions keep this timestamp, so
+/// measured latency includes all retransmission rounds, matching Eq. (11)'s
+/// per-delivered-packet accounting), and the current hop on its path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Packet {
+    pub(crate) request: usize,
+    pub(crate) first_arrival: f64,
+    pub(crate) hop: usize,
+}
+
+/// Result of offering a packet to a station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Offer {
+    /// The server was idle; service starts now.
+    StartService,
+    /// The packet joined the buffer.
+    Queued,
+    /// The buffer was full; the packet was dropped (congestion loss).
+    Dropped,
+}
+
+/// A single-server FCFS station with an optionally bounded buffer,
+/// tracking the busy-time and packets-in-system integrals for utilization
+/// and mean-queue-length estimates.
+#[derive(Debug)]
+pub(crate) struct Station {
+    /// Waiting packets (excluding the one in service).
+    queue: VecDeque<Packet>,
+    /// The packet currently in service, if any.
+    in_service: Option<Packet>,
+    /// Maximum number of *waiting* packets; `None` = unbounded (M/M/1),
+    /// `Some(k)` = M/M/1/(k+1) with drops on overflow.
+    buffer_limit: Option<usize>,
+    /// Accumulated busy time.
+    busy_time: f64,
+    /// When the current service began (valid while `in_service.is_some()`).
+    service_started: f64,
+    /// Time integral of the number of packets in the system.
+    area: f64,
+    /// When `area` was last advanced.
+    last_event: f64,
+    /// Total packets that entered this station (visits, not unique packets).
+    arrivals: u64,
+    /// Packets dropped due to a full buffer.
+    dropped: u64,
+}
+
+impl Station {
+    pub(crate) fn new(buffer_limit: Option<usize>) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            in_service: None,
+            buffer_limit,
+            busy_time: 0.0,
+            service_started: 0.0,
+            area: 0.0,
+            last_event: 0.0,
+            arrivals: 0,
+            dropped: 0,
+        }
+    }
+
+    fn packets_in_system(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    fn advance(&mut self, now: f64) {
+        self.area += self.packets_in_system() as f64 * (now - self.last_event);
+        self.last_event = now;
+    }
+
+    /// Offers a packet.
+    pub(crate) fn arrive(&mut self, packet: Packet, now: f64) -> Offer {
+        self.advance(now);
+        self.arrivals += 1;
+        if self.in_service.is_none() {
+            self.in_service = Some(packet);
+            self.service_started = now;
+            Offer::StartService
+        } else if self
+            .buffer_limit
+            .is_some_and(|limit| self.queue.len() >= limit)
+        {
+            self.dropped += 1;
+            Offer::Dropped
+        } else {
+            self.queue.push_back(packet);
+            Offer::Queued
+        }
+    }
+
+    /// Completes the packet in service; returns it plus whether another
+    /// service should start immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packet is in service (a scheduling bug).
+    pub(crate) fn complete(&mut self, now: f64) -> (Packet, bool) {
+        self.advance(now);
+        let done = self.in_service.take().expect("completion without packet in service");
+        self.busy_time += now - self.service_started;
+        if let Some(next) = self.queue.pop_front() {
+            self.in_service = Some(next);
+            self.service_started = now;
+            (done, true)
+        } else {
+            (done, false)
+        }
+    }
+
+    /// Packets currently waiting (excluding in service).
+    #[cfg(test)]
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a packet is in service.
+    #[cfg(test)]
+    pub(crate) fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Busy time accumulated up to the last completion, plus the in-flight
+    /// service up to `now`.
+    pub(crate) fn busy_time(&self, now: f64) -> f64 {
+        if self.in_service.is_some() {
+            self.busy_time + (now - self.service_started)
+        } else {
+            self.busy_time
+        }
+    }
+
+    /// Time-averaged number of packets in the system up to `now`
+    /// (converges to `ρ/(1 − ρ)` for a stable unbounded station).
+    pub(crate) fn mean_packets(&self, now: f64) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        let area = self.area + self.packets_in_system() as f64 * (now - self.last_event);
+        area / now
+    }
+
+    /// Total visits to this station.
+    pub(crate) fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Packets dropped because the buffer was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(request: usize) -> Packet {
+        Packet { request, first_arrival: 0.0, hop: 0 }
+    }
+
+    #[test]
+    fn idle_arrival_starts_service() {
+        let mut s = Station::new(None);
+        assert_eq!(s.arrive(packet(0), 1.0), Offer::StartService);
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_arrival_queues_fcfs() {
+        let mut s = Station::new(None);
+        s.arrive(packet(0), 0.0);
+        assert_eq!(s.arrive(packet(1), 0.5), Offer::Queued);
+        assert_eq!(s.arrive(packet(2), 0.6), Offer::Queued);
+        assert_eq!(s.queue_len(), 2);
+        let (done, more) = s.complete(1.0);
+        assert_eq!(done.request, 0);
+        assert!(more);
+        let (done, more) = s.complete(1.5);
+        assert_eq!(done.request, 1, "FCFS order violated");
+        assert!(more);
+        let (done, more) = s.complete(2.0);
+        assert_eq!(done.request, 2);
+        assert!(!more);
+    }
+
+    #[test]
+    fn finite_buffer_drops_overflow() {
+        let mut s = Station::new(Some(1));
+        assert_eq!(s.arrive(packet(0), 0.0), Offer::StartService);
+        assert_eq!(s.arrive(packet(1), 0.1), Offer::Queued);
+        assert_eq!(s.arrive(packet(2), 0.2), Offer::Dropped);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.queue_len(), 1);
+        // After a completion there is room again.
+        s.complete(0.5);
+        assert_eq!(s.arrive(packet(3), 0.6), Offer::Queued);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_buffer_is_pure_loss_system() {
+        let mut s = Station::new(Some(0));
+        assert_eq!(s.arrive(packet(0), 0.0), Offer::StartService);
+        assert_eq!(s.arrive(packet(1), 0.1), Offer::Dropped);
+        s.complete(0.2);
+        assert_eq!(s.arrive(packet(2), 0.3), Offer::StartService);
+    }
+
+    #[test]
+    fn busy_time_accounts_in_flight_service() {
+        let mut s = Station::new(None);
+        s.arrive(packet(0), 1.0);
+        assert_eq!(s.busy_time(3.0), 2.0);
+        s.complete(4.0);
+        assert_eq!(s.busy_time(10.0), 3.0);
+    }
+
+    #[test]
+    fn mean_packets_integrates_over_time() {
+        let mut s = Station::new(None);
+        // Empty until t=1 (N=0), one packet until t=3 (N=1), two until t=4.
+        s.arrive(packet(0), 1.0);
+        s.arrive(packet(1), 3.0);
+        // area at t=4: 0*1 + 1*2 + 2*1 = 4; mean = 1.0.
+        assert!((s.mean_packets(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrivals_count_visits_including_dropped() {
+        let mut s = Station::new(Some(0));
+        s.arrive(packet(0), 0.0);
+        s.arrive(packet(0), 0.1); // dropped
+        assert_eq!(s.arrivals(), 2);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without packet")]
+    fn completing_idle_station_panics() {
+        Station::new(None).complete(1.0);
+    }
+}

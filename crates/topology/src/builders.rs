@@ -1,0 +1,658 @@
+//! Parametric topology generators.
+//!
+//! The paper's evaluation (§V.A.2) models the datacenter as a connected
+//! graph of 4–50 computing nodes with per-node capacities up to 5000 units,
+//! based on SNDlib-style libraries. We substitute parametric generators for
+//! the standard datacenter fabrics; placement and scheduling consume only
+//! node capacities and pairwise hop distances, both of which these fabrics
+//! provide at the same scale:
+//!
+//! * [`line()`] — a path of compute nodes (worst-case diameter),
+//! * [`star`] — all hosts behind a single switch (uniform 2-hop distance),
+//! * [`leaf_spine`] — two-tier Clos fabric,
+//! * [`fat_tree`] — canonical `k`-ary fat-tree with `k³/4` hosts,
+//! * [`three_tier`] — classic core/aggregation/edge tree,
+//! * [`random_connected`] — random spanning tree plus extra random edges.
+//!
+//! Every generator shares the same option surface: a capacity plan for the
+//! compute nodes and a per-hop [`LinkDelay`].
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_topology::builders;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = builders::fat_tree().arity(4).uniform_capacity(500.0).build()?;
+//! assert_eq!(topo.compute_nodes().len(), 16); // k^3/4 hosts
+//! # Ok(())
+//! # }
+//! ```
+
+use nfv_model::{Capacity, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{LinkDelay, Topology, TopologyError, Vertex};
+
+/// How compute-node capacities are assigned by a generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum CapacityPlan {
+    /// All nodes share one capacity.
+    Uniform(f64),
+    /// Explicit per-node capacities; the count must match the host count.
+    PerNode(Vec<f64>),
+    /// Capacities drawn uniformly from `[lo, hi]` with a fixed seed.
+    Range { lo: f64, hi: f64, seed: u64 },
+}
+
+impl Default for CapacityPlan {
+    fn default() -> Self {
+        Self::Uniform(1000.0)
+    }
+}
+
+impl CapacityPlan {
+    fn materialize(&self, hosts: usize) -> Result<Vec<Capacity>, TopologyError> {
+        let raw: Vec<f64> = match self {
+            Self::Uniform(c) => vec![*c; hosts],
+            Self::PerNode(caps) => {
+                if caps.len() != hosts {
+                    return Err(TopologyError::InvalidParameter {
+                        reason: "per-node capacity count must match host count",
+                    });
+                }
+                caps.clone()
+            }
+            Self::Range { lo, hi, seed } => {
+                if !(lo.is_finite() && hi.is_finite() && *lo >= 0.0 && hi >= lo) {
+                    return Err(TopologyError::InvalidParameter {
+                        reason: "capacity range requires 0 <= lo <= hi",
+                    });
+                }
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..hosts).map(|_| rng.gen_range(*lo..=*hi)).collect()
+            }
+        };
+        raw.into_iter()
+            .map(|c| {
+                Capacity::new(c).map_err(|_| TopologyError::InvalidParameter {
+                    reason: "capacities must be finite and non-negative",
+                })
+            })
+            .collect()
+    }
+}
+
+/// Shared generator options (capacity plan + link delay).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct FabricOptions {
+    capacity: CapacityPlan,
+    delay: LinkDelay,
+}
+
+macro_rules! fabric_options_methods {
+    () => {
+        /// Gives every compute node the same capacity `A_v = units`
+        /// (default 1000).
+        #[must_use]
+        pub fn uniform_capacity(mut self, units: f64) -> Self {
+            self.options.capacity = CapacityPlan::Uniform(units);
+            self
+        }
+
+        /// Assigns explicit per-node capacities; the length must equal the
+        /// generated host count or [`build`](Self::build) fails.
+        #[must_use]
+        pub fn capacities(mut self, units: Vec<f64>) -> Self {
+            self.options.capacity = CapacityPlan::PerNode(units);
+            self
+        }
+
+        /// Draws each node's capacity uniformly from `[lo, hi]` using a
+        /// deterministic seed, matching the paper's 1–5000 unit sweep.
+        #[must_use]
+        pub fn capacity_range(mut self, lo: f64, hi: f64, seed: u64) -> Self {
+            self.options.capacity = CapacityPlan::Range { lo, hi, seed };
+            self
+        }
+
+        /// Sets the per-hop link delay `L` (default zero).
+        #[must_use]
+        pub fn link_delay(mut self, delay: LinkDelay) -> Self {
+            self.options.delay = delay;
+            self
+        }
+    };
+}
+
+/// Starts building a path topology `node0 — node1 — … — node(n−1)`.
+#[must_use]
+pub fn line() -> LineBuilder {
+    LineBuilder { nodes: 4, options: FabricOptions::default() }
+}
+
+/// Builder for a path (line) topology; see [`line()`].
+#[derive(Debug, Clone)]
+pub struct LineBuilder {
+    nodes: usize,
+    options: FabricOptions,
+}
+
+impl LineBuilder {
+    /// Sets the number of compute nodes (default 4).
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] for zero nodes or a
+    /// mismatched capacity plan.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.nodes == 0 {
+            return Err(TopologyError::InvalidParameter { reason: "line needs >= 1 node" });
+        }
+        let vertices: Vec<Vertex> =
+            (0..self.nodes).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let edges: Vec<(usize, usize)> = (1..self.nodes).map(|i| (i - 1, i)).collect();
+        let caps = self.options.capacity.materialize(self.nodes)?;
+        Topology::from_parts(vertices, edges, caps, self.options.delay)
+    }
+}
+
+/// Starts building a star topology: `hosts` compute nodes, each linked to a
+/// single central switch.
+#[must_use]
+pub fn star() -> StarBuilder {
+    StarBuilder { hosts: 4, options: FabricOptions::default() }
+}
+
+/// Builder for a single-switch star topology; see [`star`].
+#[derive(Debug, Clone)]
+pub struct StarBuilder {
+    hosts: usize,
+    options: FabricOptions,
+}
+
+impl StarBuilder {
+    /// Sets the number of compute nodes (default 4).
+    #[must_use]
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] for zero hosts or a
+    /// mismatched capacity plan.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.hosts == 0 {
+            return Err(TopologyError::InvalidParameter { reason: "star needs >= 1 host" });
+        }
+        let mut vertices: Vec<Vertex> =
+            (0..self.hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let hub = vertices.len();
+        vertices.push(Vertex::switch());
+        let edges: Vec<(usize, usize)> = (0..self.hosts).map(|i| (i, hub)).collect();
+        let caps = self.options.capacity.materialize(self.hosts)?;
+        Topology::from_parts(vertices, edges, caps, self.options.delay)
+    }
+}
+
+/// Starts building a two-tier leaf–spine Clos fabric.
+#[must_use]
+pub fn leaf_spine() -> LeafSpineBuilder {
+    LeafSpineBuilder { leaves: 2, spines: 2, hosts_per_leaf: 2, options: FabricOptions::default() }
+}
+
+/// Builder for a leaf–spine fabric; see [`leaf_spine`].
+#[derive(Debug, Clone)]
+pub struct LeafSpineBuilder {
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    options: FabricOptions,
+}
+
+impl LeafSpineBuilder {
+    /// Sets the number of leaf switches (default 2).
+    #[must_use]
+    pub fn leaves(mut self, leaves: usize) -> Self {
+        self.leaves = leaves;
+        self
+    }
+
+    /// Sets the number of spine switches (default 2).
+    #[must_use]
+    pub fn spines(mut self, spines: usize) -> Self {
+        self.spines = spines;
+        self
+    }
+
+    /// Sets the number of compute nodes per leaf (default 2).
+    #[must_use]
+    pub fn hosts_per_leaf(mut self, hosts: usize) -> Self {
+        self.hosts_per_leaf = hosts;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if any tier is empty or
+    /// the capacity plan mismatches.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.leaves == 0 || self.spines == 0 || self.hosts_per_leaf == 0 {
+            return Err(TopologyError::InvalidParameter {
+                reason: "leaf-spine needs >= 1 leaf, spine and host per leaf",
+            });
+        }
+        let hosts = self.leaves * self.hosts_per_leaf;
+        let mut vertices: Vec<Vertex> =
+            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let leaf_base = vertices.len();
+        vertices.extend((0..self.leaves).map(|_| Vertex::switch()));
+        let spine_base = vertices.len();
+        vertices.extend((0..self.spines).map(|_| Vertex::switch()));
+
+        let mut edges = Vec::new();
+        for leaf in 0..self.leaves {
+            for h in 0..self.hosts_per_leaf {
+                edges.push((leaf * self.hosts_per_leaf + h, leaf_base + leaf));
+            }
+            for spine in 0..self.spines {
+                edges.push((leaf_base + leaf, spine_base + spine));
+            }
+        }
+        let caps = self.options.capacity.materialize(hosts)?;
+        Topology::from_parts(vertices, edges, caps, self.options.delay)
+    }
+}
+
+/// Starts building a canonical `k`-ary fat-tree (`k` pods, `k²/4` core
+/// switches, `k³/4` hosts).
+#[must_use]
+pub fn fat_tree() -> FatTreeBuilder {
+    FatTreeBuilder { arity: 4, options: FabricOptions::default() }
+}
+
+/// Builder for a fat-tree fabric; see [`fat_tree`].
+#[derive(Debug, Clone)]
+pub struct FatTreeBuilder {
+    arity: usize,
+    options: FabricOptions,
+}
+
+impl FatTreeBuilder {
+    /// Sets the fat-tree arity `k` (must be even and ≥ 2; default 4).
+    #[must_use]
+    pub fn arity(mut self, k: usize) -> Self {
+        self.arity = k;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if `k` is odd or < 2, or
+    /// the capacity plan mismatches.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let k = self.arity;
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(TopologyError::InvalidParameter {
+                reason: "fat-tree arity must be even and >= 2",
+            });
+        }
+        let half = k / 2;
+        let hosts = k * half * half; // k^3/4
+        let mut vertices: Vec<Vertex> =
+            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+
+        // Per pod: k/2 edge switches, k/2 aggregation switches.
+        let edge_base = vertices.len();
+        vertices.extend((0..k * half).map(|_| Vertex::switch()));
+        let agg_base = vertices.len();
+        vertices.extend((0..k * half).map(|_| Vertex::switch()));
+        let core_base = vertices.len();
+        vertices.extend((0..half * half).map(|_| Vertex::switch()));
+
+        let mut edges = Vec::new();
+        for pod in 0..k {
+            for e in 0..half {
+                let edge_sw = edge_base + pod * half + e;
+                // Hosts under this edge switch.
+                for h in 0..half {
+                    edges.push((pod * half * half + e * half + h, edge_sw));
+                }
+                // Full mesh edge <-> aggregation within the pod.
+                for a in 0..half {
+                    edges.push((edge_sw, agg_base + pod * half + a));
+                }
+            }
+            // Aggregation a connects to core switches a*half .. a*half+half-1.
+            for a in 0..half {
+                for c in 0..half {
+                    edges.push((agg_base + pod * half + a, core_base + a * half + c));
+                }
+            }
+        }
+        let caps = self.options.capacity.materialize(hosts)?;
+        Topology::from_parts(vertices, edges, caps, self.options.delay)
+    }
+}
+
+/// Starts building a classic three-tier tree: a core switch, `agg`
+/// aggregation switches, `edge_per_agg` edge switches under each, and
+/// `hosts_per_edge` compute nodes under each edge switch.
+#[must_use]
+pub fn three_tier() -> ThreeTierBuilder {
+    ThreeTierBuilder { agg: 2, edge_per_agg: 2, hosts_per_edge: 2, options: FabricOptions::default() }
+}
+
+/// Builder for a three-tier tree fabric; see [`three_tier`].
+#[derive(Debug, Clone)]
+pub struct ThreeTierBuilder {
+    agg: usize,
+    edge_per_agg: usize,
+    hosts_per_edge: usize,
+    options: FabricOptions,
+}
+
+impl ThreeTierBuilder {
+    /// Sets the number of aggregation switches (default 2).
+    #[must_use]
+    pub fn aggregation(mut self, agg: usize) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Sets the number of edge switches per aggregation switch (default 2).
+    #[must_use]
+    pub fn edges_per_aggregation(mut self, edge: usize) -> Self {
+        self.edge_per_agg = edge;
+        self
+    }
+
+    /// Sets the number of compute nodes per edge switch (default 2).
+    #[must_use]
+    pub fn hosts_per_edge(mut self, hosts: usize) -> Self {
+        self.hosts_per_edge = hosts;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if any tier is empty or
+    /// the capacity plan mismatches.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.agg == 0 || self.edge_per_agg == 0 || self.hosts_per_edge == 0 {
+            return Err(TopologyError::InvalidParameter {
+                reason: "three-tier tree needs >= 1 switch and host per tier",
+            });
+        }
+        let edges_total = self.agg * self.edge_per_agg;
+        let hosts = edges_total * self.hosts_per_edge;
+        let mut vertices: Vec<Vertex> =
+            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let edge_base = vertices.len();
+        vertices.extend((0..edges_total).map(|_| Vertex::switch()));
+        let agg_base = vertices.len();
+        vertices.extend((0..self.agg).map(|_| Vertex::switch()));
+        let core = vertices.len();
+        vertices.push(Vertex::switch());
+
+        let mut links = Vec::new();
+        for a in 0..self.agg {
+            links.push((agg_base + a, core));
+            for e in 0..self.edge_per_agg {
+                let edge_sw = edge_base + a * self.edge_per_agg + e;
+                links.push((edge_sw, agg_base + a));
+                for h in 0..self.hosts_per_edge {
+                    links.push((
+                        (a * self.edge_per_agg + e) * self.hosts_per_edge + h,
+                        edge_sw,
+                    ));
+                }
+            }
+        }
+        let caps = self.options.capacity.materialize(hosts)?;
+        Topology::from_parts(vertices, links, caps, self.options.delay)
+    }
+}
+
+/// Starts building a random connected graph over compute nodes: a random
+/// spanning tree plus independently sampled extra edges.
+#[must_use]
+pub fn random_connected() -> RandomBuilder {
+    RandomBuilder {
+        nodes: 8,
+        extra_edge_probability: 0.2,
+        seed: 0,
+        options: FabricOptions::default(),
+    }
+}
+
+/// Builder for a random connected topology; see [`random_connected`].
+#[derive(Debug, Clone)]
+pub struct RandomBuilder {
+    nodes: usize,
+    extra_edge_probability: f64,
+    seed: u64,
+    options: FabricOptions,
+}
+
+impl RandomBuilder {
+    /// Sets the number of compute nodes (default 8).
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Probability of each non-tree edge being present (default 0.2).
+    #[must_use]
+    pub fn extra_edge_probability(mut self, p: f64) -> Self {
+        self.extra_edge_probability = p;
+        self
+    }
+
+    /// Seed for the deterministic edge/capacity sampling (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fabric_options_methods!();
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] for zero nodes, an edge
+    /// probability outside `[0, 1]` or a mismatched capacity plan.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.nodes == 0 {
+            return Err(TopologyError::InvalidParameter { reason: "random graph needs >= 1 node" });
+        }
+        if !(0.0..=1.0).contains(&self.extra_edge_probability) {
+            return Err(TopologyError::InvalidParameter {
+                reason: "edge probability must lie in [0, 1]",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let vertices: Vec<Vertex> =
+            (0..self.nodes).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+
+        // Random spanning tree: connect each new vertex to a uniformly chosen
+        // earlier one, then sprinkle extra edges.
+        let mut edges = Vec::new();
+        for i in 1..self.nodes {
+            edges.push((rng.gen_range(0..i), i));
+        }
+        for a in 0..self.nodes {
+            for b in (a + 1)..self.nodes {
+                let is_tree_edge = edges.contains(&(a, b));
+                if !is_tree_edge && rng.gen_bool(self.extra_edge_probability) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let caps = self.options.capacity.materialize(self.nodes)?;
+        Topology::from_parts(vertices, edges, caps, self.options.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_has_expected_shape() {
+        let topo = line().nodes(5).uniform_capacity(10.0).build().unwrap();
+        assert_eq!(topo.compute_nodes().len(), 5);
+        assert_eq!(topo.edge_count(), 4);
+        assert_eq!(topo.diameter_hops(), 4);
+    }
+
+    #[test]
+    fn line_rejects_zero_nodes() {
+        assert!(line().nodes(0).build().is_err());
+    }
+
+    #[test]
+    fn star_distance_is_uniform_two_hops() {
+        let topo = star().hosts(6).build().unwrap();
+        assert_eq!(topo.switch_count(), 1);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let hops = topo.hop_count(NodeId::new(a), NodeId::new(b)).unwrap();
+                assert_eq!(hops, if a == b { 0 } else { 2 });
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_spine_intra_and_inter_leaf_distances() {
+        let topo = leaf_spine().leaves(3).spines(2).hosts_per_leaf(2).build().unwrap();
+        assert_eq!(topo.compute_nodes().len(), 6);
+        assert_eq!(topo.switch_count(), 5);
+        // Same leaf: host - leaf - host.
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1)).unwrap(), 2);
+        // Different leaves: host - leaf - spine - leaf - host.
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(2)).unwrap(), 4);
+    }
+
+    #[test]
+    fn fat_tree_k4_has_canonical_counts() {
+        let topo = fat_tree().arity(4).build().unwrap();
+        assert_eq!(topo.compute_nodes().len(), 16);
+        // 8 edge + 8 aggregation + 4 core switches.
+        assert_eq!(topo.switch_count(), 20);
+        assert!(topo.is_connected());
+        // Same-edge-switch hosts are 2 hops apart; cross-pod pairs 6 hops.
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1)).unwrap(), 2);
+        assert_eq!(topo.diameter_hops(), 6);
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_arity() {
+        assert!(fat_tree().arity(3).build().is_err());
+        assert!(fat_tree().arity(0).build().is_err());
+    }
+
+    #[test]
+    fn three_tier_distances_by_tier() {
+        let topo = three_tier()
+            .aggregation(2)
+            .edges_per_aggregation(2)
+            .hosts_per_edge(2)
+            .build()
+            .unwrap();
+        assert_eq!(topo.compute_nodes().len(), 8);
+        assert_eq!(topo.switch_count(), 7); // 4 edge + 2 agg + 1 core
+        // Same edge switch: 2 hops; same agg: 4; across core: 6.
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1)).unwrap(), 2);
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(2)).unwrap(), 4);
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(4)).unwrap(), 6);
+        assert_eq!(topo.diameter_hops(), 6);
+    }
+
+    #[test]
+    fn three_tier_rejects_empty_tiers() {
+        assert!(three_tier().aggregation(0).build().is_err());
+        assert!(three_tier().hosts_per_edge(0).build().is_err());
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_deterministic() {
+        let a = random_connected().nodes(20).seed(42).build().unwrap();
+        let b = random_connected().nodes(20).seed(42).build().unwrap();
+        assert!(a.is_connected());
+        assert_eq!(a, b);
+        let c = random_connected().nodes(20).seed(43).build().unwrap();
+        // Different seed gives a different graph with overwhelming probability.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_graph_rejects_bad_probability() {
+        assert!(random_connected().extra_edge_probability(1.5).build().is_err());
+    }
+
+    #[test]
+    fn capacity_plans_apply() {
+        let topo = line().nodes(3).capacities(vec![1.0, 2.0, 3.0]).build().unwrap();
+        let caps: Vec<f64> = topo.compute_nodes().iter().map(|n| n.capacity().value()).collect();
+        assert_eq!(caps, vec![1.0, 2.0, 3.0]);
+
+        assert!(line().nodes(3).capacities(vec![1.0]).build().is_err());
+
+        let ranged = line().nodes(10).capacity_range(1.0, 5000.0, 7).build().unwrap();
+        assert!(ranged
+            .compute_nodes()
+            .iter()
+            .all(|n| (1.0..=5000.0).contains(&n.capacity().value())));
+        let ranged2 = line().nodes(10).capacity_range(1.0, 5000.0, 7).build().unwrap();
+        assert_eq!(ranged, ranged2);
+    }
+
+    #[test]
+    fn capacity_range_rejects_inverted_bounds() {
+        assert!(line().nodes(2).capacity_range(10.0, 1.0, 0).build().is_err());
+        assert!(line().nodes(2).capacity_range(-1.0, 1.0, 0).build().is_err());
+    }
+
+    #[test]
+    fn link_delay_propagates_to_queries() {
+        let topo = star()
+            .hosts(2)
+            .link_delay(LinkDelay::from_micros(25.0))
+            .build()
+            .unwrap();
+        let l = topo.latency_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!((l.micros() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Link delay model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// One-hop communication latency `L` between adjacent vertices: the sum of
+/// average propagation delay and transmission delay on a link (paper,
+/// Eq. (16)).
+///
+/// Stored in seconds. Delays are finite and non-negative; the default is
+/// zero, which degenerates Eq. (16) to the pure response-latency objective.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_topology::LinkDelay;
+/// let l = LinkDelay::from_micros(50.0);
+/// assert!((l.seconds() - 5.0e-5).abs() < 1e-18);
+/// let two_hops = l + l;
+/// assert!((two_hops.micros() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LinkDelay(f64);
+
+impl LinkDelay {
+    /// Zero delay.
+    pub const ZERO: LinkDelay = LinkDelay(0.0);
+
+    /// Creates a delay of `seconds` seconds, clamping negatives/NaN to zero.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        if seconds.is_finite() && seconds > 0.0 {
+            Self(seconds)
+        } else {
+            Self(0.0)
+        }
+    }
+
+    /// Creates a delay of `micros` microseconds.
+    #[must_use]
+    pub fn from_micros(micros: f64) -> Self {
+        Self::from_seconds(micros * 1e-6)
+    }
+
+    /// Creates a delay of `millis` milliseconds.
+    #[must_use]
+    pub fn from_millis(millis: f64) -> Self {
+        Self::from_seconds(millis * 1e-3)
+    }
+
+    /// The delay in seconds.
+    #[must_use]
+    pub const fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The delay in microseconds.
+    #[must_use]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The delay accumulated over `hops` consecutive links.
+    #[must_use]
+    pub fn over_hops(self, hops: usize) -> Self {
+        // hops is small (network diameter); the cast cannot lose precision.
+        Self(self.0 * hops as f64)
+    }
+}
+
+impl Add for LinkDelay {
+    type Output = LinkDelay;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sum for LinkDelay {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for LinkDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}us", self.micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let l = LinkDelay::from_millis(1.5);
+        assert!((l.seconds() - 0.0015).abs() < 1e-15);
+        assert!((l.micros() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negatives_and_nan_clamp_to_zero() {
+        assert_eq!(LinkDelay::from_seconds(-1.0), LinkDelay::ZERO);
+        assert_eq!(LinkDelay::from_seconds(f64::NAN), LinkDelay::ZERO);
+        assert_eq!(LinkDelay::from_seconds(f64::INFINITY), LinkDelay::ZERO);
+    }
+
+    #[test]
+    fn over_hops_scales_linearly() {
+        let l = LinkDelay::from_micros(10.0);
+        assert_eq!(l.over_hops(0), LinkDelay::ZERO);
+        assert!((l.over_hops(3).micros() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: LinkDelay = (0..4).map(|_| LinkDelay::from_micros(5.0)).sum();
+        assert!((total.micros() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_in_micros() {
+        assert_eq!(LinkDelay::from_micros(50.0).to_string(), "50.0us");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for topology construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use nfv_model::NodeId;
+
+/// Error returned when a topology cannot be built or a query is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The requested topology would contain no computing nodes.
+    NoComputeNodes,
+    /// The constructed graph is not connected; the paper assumes a connected
+    /// datacenter network.
+    Disconnected,
+    /// An edge referenced a vertex that does not exist.
+    UnknownVertex {
+        /// Raw vertex index used in the invalid reference.
+        index: usize,
+    },
+    /// A query referenced a compute node not present in this topology.
+    UnknownNode {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// A generator parameter was invalid (zero leaves, odd fat-tree arity, …).
+    InvalidParameter {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoComputeNodes => write!(f, "topology contains no computing nodes"),
+            Self::Disconnected => write!(f, "topology is not connected"),
+            Self::UnknownVertex { index } => write!(f, "edge references unknown vertex {index}"),
+            Self::UnknownNode { node } => write!(f, "unknown compute node {node}"),
+            Self::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_concise() {
+        assert_eq!(
+            TopologyError::NoComputeNodes.to_string(),
+            "topology contains no computing nodes"
+        );
+        assert_eq!(
+            TopologyError::UnknownNode { node: NodeId::new(3) }.to_string(),
+            "unknown compute node node3"
+        );
+    }
+}

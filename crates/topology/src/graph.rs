@@ -1,0 +1,470 @@
+//! The topology graph and its queries.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use nfv_model::{Capacity, ComputeNode, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::{LinkDelay, TopologyError};
+
+/// What a vertex of the topology graph represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// A computing node that can host VNFs, identified by its [`NodeId`].
+    Compute(NodeId),
+    /// A switch; switches forward traffic but never host VNFs (the paper
+    /// assumes ample switch capacity and excludes them from `V`).
+    Switch,
+}
+
+/// A vertex of the topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vertex {
+    kind: VertexKind,
+}
+
+impl Vertex {
+    /// Creates a compute vertex for `node`.
+    #[must_use]
+    pub const fn compute(node: NodeId) -> Self {
+        Self { kind: VertexKind::Compute(node) }
+    }
+
+    /// Creates a switch vertex.
+    #[must_use]
+    pub const fn switch() -> Self {
+        Self { kind: VertexKind::Switch }
+    }
+
+    /// The vertex's kind.
+    #[must_use]
+    pub const fn kind(&self) -> VertexKind {
+        self.kind
+    }
+
+    /// The compute node id, if this is a compute vertex.
+    #[must_use]
+    pub const fn as_compute(&self) -> Option<NodeId> {
+        match self.kind {
+            VertexKind::Compute(id) => Some(id),
+            VertexKind::Switch => None,
+        }
+    }
+}
+
+/// A connected datacenter network `G = (V, E)` of compute and switch
+/// vertices with a uniform per-hop link delay.
+///
+/// Constructed via [`Topology::from_parts`] or, more conveniently, the
+/// parametric generators in [`crate::builders`]. Construction validates that
+/// the graph is connected and precomputes the all-pairs hop matrix between
+/// compute nodes, so [`Topology::hop_count`] and
+/// [`Topology::latency_between`] are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{Capacity, NodeId};
+/// use nfv_topology::{LinkDelay, Topology, Vertex};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // node0 - switch - node1
+/// let topo = Topology::from_parts(
+///     vec![
+///         Vertex::compute(NodeId::new(0)),
+///         Vertex::switch(),
+///         Vertex::compute(NodeId::new(1)),
+///     ],
+///     vec![(0, 1), (1, 2)],
+///     vec![Capacity::new(100.0)?, Capacity::new(200.0)?],
+///     LinkDelay::from_micros(10.0),
+/// )?;
+/// assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1))?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    vertices: Vec<Vertex>,
+    adjacency: Vec<Vec<usize>>,
+    edge_count: usize,
+    compute_nodes: Vec<ComputeNode>,
+    /// Vertex index of each compute node, indexed by `NodeId`.
+    compute_vertex: Vec<usize>,
+    link_delay: LinkDelay,
+    /// Flattened `n × n` matrix of hop counts between compute nodes.
+    hops: Vec<u32>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit vertices and undirected edges.
+    ///
+    /// Compute vertices must carry node ids `0..k` in order of appearance,
+    /// and `capacities` supplies `A_v` for each of them in the same order.
+    /// Self-loops and duplicate edges are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::NoComputeNodes`] if no vertex is a compute node.
+    /// * [`TopologyError::UnknownVertex`] if an edge endpoint is out of range.
+    /// * [`TopologyError::InvalidParameter`] for self-loops, duplicate edges,
+    ///   out-of-order compute ids or a capacity count mismatch.
+    /// * [`TopologyError::Disconnected`] if the graph is not connected.
+    pub fn from_parts(
+        vertices: Vec<Vertex>,
+        edges: Vec<(usize, usize)>,
+        capacities: Vec<Capacity>,
+        link_delay: LinkDelay,
+    ) -> Result<Self, TopologyError> {
+        let mut compute_vertex = Vec::new();
+        for (idx, vertex) in vertices.iter().enumerate() {
+            if let Some(node) = vertex.as_compute() {
+                if node.as_usize() != compute_vertex.len() {
+                    return Err(TopologyError::InvalidParameter {
+                        reason: "compute node ids must be 0..k in order of appearance",
+                    });
+                }
+                compute_vertex.push(idx);
+            }
+        }
+        if compute_vertex.is_empty() {
+            return Err(TopologyError::NoComputeNodes);
+        }
+        if capacities.len() != compute_vertex.len() {
+            return Err(TopologyError::InvalidParameter {
+                reason: "one capacity required per compute node",
+            });
+        }
+
+        let n = vertices.len();
+        let mut adjacency = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &edges {
+            if a >= n {
+                return Err(TopologyError::UnknownVertex { index: a });
+            }
+            if b >= n {
+                return Err(TopologyError::UnknownVertex { index: b });
+            }
+            if a == b {
+                return Err(TopologyError::InvalidParameter { reason: "self-loop edge" });
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(TopologyError::InvalidParameter { reason: "duplicate edge" });
+            }
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+
+        let compute_nodes: Vec<ComputeNode> = capacities
+            .into_iter()
+            .enumerate()
+            .map(|(i, cap)| ComputeNode::new(NodeId::new(i as u32), cap))
+            .collect();
+
+        let topo = Self {
+            vertices,
+            adjacency,
+            edge_count: edges.len(),
+            compute_nodes,
+            compute_vertex,
+            link_delay,
+            hops: Vec::new(),
+        };
+        if !topo.is_connected() {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(topo.with_hop_matrix())
+    }
+
+    fn with_hop_matrix(mut self) -> Self {
+        let k = self.compute_nodes.len();
+        let mut hops = vec![0u32; k * k];
+        for (i, &start) in self.compute_vertex.iter().enumerate() {
+            let dist = self.bfs_distances(start);
+            for (j, &target) in self.compute_vertex.iter().enumerate() {
+                hops[i * k + j] = dist[target].expect("graph is connected");
+            }
+        }
+        self.hops = hops;
+        self
+    }
+
+    fn bfs_distances(&self, start: usize) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.vertices.len()];
+        dist[start] = Some(0);
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v].expect("queued vertices have distances");
+            for &next in &self.adjacency[v] {
+                if dist[next].is_none() {
+                    dist[next] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The computing nodes of the topology, ordered by [`NodeId`].
+    #[must_use]
+    pub fn compute_nodes(&self) -> &[ComputeNode] {
+        &self.compute_nodes
+    }
+
+    /// Looks up a compute node by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&ComputeNode> {
+        self.compute_nodes.get(id.as_usize())
+    }
+
+    /// Total number of vertices (compute + switch).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of switch vertices.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.vertices.len() - self.compute_nodes.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The uniform per-hop link delay `L` of this fabric.
+    #[must_use]
+    pub fn link_delay(&self) -> LinkDelay {
+        self.link_delay
+    }
+
+    /// Whether every vertex is reachable from every other. Construction
+    /// guarantees this; exposed for diagnostics on hand-built graphs.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.vertices.is_empty() {
+            return false;
+        }
+        self.bfs_distances(0).iter().all(Option::is_some)
+    }
+
+    /// Number of links on a shortest path between two compute nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if either node is not in this
+    /// topology.
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> Result<usize, TopologyError> {
+        let k = self.compute_nodes.len();
+        let (i, j) = (a.as_usize(), b.as_usize());
+        if i >= k {
+            return Err(TopologyError::UnknownNode { node: a });
+        }
+        if j >= k {
+            return Err(TopologyError::UnknownNode { node: b });
+        }
+        Ok(self.hops[i * k + j] as usize)
+    }
+
+    /// Communication latency between two compute nodes: the per-hop delay
+    /// accumulated over a shortest path. Zero when `a == b`
+    /// (intra-server processing, Fig. 1(b) of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if either node is unknown.
+    pub fn latency_between(&self, a: NodeId, b: NodeId) -> Result<LinkDelay, TopologyError> {
+        Ok(self.link_delay.over_hops(self.hop_count(a, b)?))
+    }
+
+    /// Largest shortest-path hop count between any pair of compute nodes.
+    #[must_use]
+    pub fn diameter_hops(&self) -> usize {
+        self.hops.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Total capacity over all compute nodes.
+    #[must_use]
+    pub fn total_capacity(&self) -> Capacity {
+        self.compute_nodes.iter().map(|n| n.capacity()).sum()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology: {} compute + {} switch vertices, {} edges, L={}",
+            self.compute_nodes.len(),
+            self.switch_count(),
+            self.edge_count,
+            self.link_delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(v: f64) -> Capacity {
+        Capacity::new(v).unwrap()
+    }
+
+    fn line3() -> Topology {
+        Topology::from_parts(
+            vec![
+                Vertex::compute(NodeId::new(0)),
+                Vertex::compute(NodeId::new(1)),
+                Vertex::compute(NodeId::new(2)),
+            ],
+            vec![(0, 1), (1, 2)],
+            vec![cap(10.0), cap(20.0), cap(30.0)],
+            LinkDelay::from_micros(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_pure_switch_graphs() {
+        let err = Topology::from_parts(vec![], vec![], vec![], LinkDelay::ZERO).unwrap_err();
+        assert_eq!(err, TopologyError::NoComputeNodes);
+        let err = Topology::from_parts(
+            vec![Vertex::switch()],
+            vec![],
+            vec![],
+            LinkDelay::ZERO,
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::NoComputeNodes);
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let err = Topology::from_parts(
+            vec![Vertex::compute(NodeId::new(0)), Vertex::compute(NodeId::new(1))],
+            vec![],
+            vec![cap(1.0), cap(1.0)],
+            LinkDelay::ZERO,
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let verts = vec![Vertex::compute(NodeId::new(0)), Vertex::compute(NodeId::new(1))];
+        let caps = vec![cap(1.0), cap(1.0)];
+        assert_eq!(
+            Topology::from_parts(verts.clone(), vec![(0, 5)], caps.clone(), LinkDelay::ZERO)
+                .unwrap_err(),
+            TopologyError::UnknownVertex { index: 5 }
+        );
+        assert!(matches!(
+            Topology::from_parts(verts.clone(), vec![(0, 0)], caps.clone(), LinkDelay::ZERO)
+                .unwrap_err(),
+            TopologyError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            Topology::from_parts(verts, vec![(0, 1), (1, 0)], caps, LinkDelay::ZERO).unwrap_err(),
+            TopologyError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_order_node_ids() {
+        let err = Topology::from_parts(
+            vec![Vertex::compute(NodeId::new(1)), Vertex::compute(NodeId::new(0))],
+            vec![(0, 1)],
+            vec![cap(1.0), cap(1.0)],
+            LinkDelay::ZERO,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_capacity_count_mismatch() {
+        let err = Topology::from_parts(
+            vec![Vertex::compute(NodeId::new(0))],
+            vec![],
+            vec![cap(1.0), cap(2.0)],
+            LinkDelay::ZERO,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn hop_counts_on_a_line() {
+        let topo = line3();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert_eq!(topo.hop_count(a, a).unwrap(), 0);
+        assert_eq!(topo.hop_count(a, b).unwrap(), 1);
+        assert_eq!(topo.hop_count(a, c).unwrap(), 2);
+        assert_eq!(topo.hop_count(c, a).unwrap(), 2);
+        assert_eq!(topo.diameter_hops(), 2);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let topo = line3();
+        let l = topo
+            .latency_between(NodeId::new(0), NodeId::new(2))
+            .unwrap();
+        assert!((l.micros() - 20.0).abs() < 1e-9);
+        assert_eq!(
+            topo.latency_between(NodeId::new(1), NodeId::new(1)).unwrap(),
+            LinkDelay::ZERO
+        );
+    }
+
+    #[test]
+    fn unknown_node_queries_error() {
+        let topo = line3();
+        assert_eq!(
+            topo.hop_count(NodeId::new(0), NodeId::new(9)).unwrap_err(),
+            TopologyError::UnknownNode { node: NodeId::new(9) }
+        );
+        assert!(topo.node(NodeId::new(9)).is_none());
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let topo = line3();
+        assert_eq!(topo.vertex_count(), 3);
+        assert_eq!(topo.switch_count(), 0);
+        assert_eq!(topo.edge_count(), 2);
+        assert_eq!(topo.total_capacity().value(), 60.0);
+    }
+
+    #[test]
+    fn switches_route_but_do_not_host() {
+        // node0 - switch - node1
+        let topo = Topology::from_parts(
+            vec![
+                Vertex::compute(NodeId::new(0)),
+                Vertex::switch(),
+                Vertex::compute(NodeId::new(1)),
+            ],
+            vec![(0, 1), (1, 2)],
+            vec![cap(1.0), cap(1.0)],
+            LinkDelay::from_micros(5.0),
+        )
+        .unwrap();
+        assert_eq!(topo.compute_nodes().len(), 2);
+        assert_eq!(topo.switch_count(), 1);
+        assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn display_summarizes_shape() {
+        let s = line3().to_string();
+        assert!(s.contains("3 compute") && s.contains("2 edges"));
+    }
+}

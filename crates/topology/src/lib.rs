@@ -1,0 +1,46 @@
+//! Datacenter network topology substrate.
+//!
+//! The paper models the datacenter as a connected graph `G = (V, E)` where
+//! `V` is the set of computing nodes and edges connect them through switch
+//! nodes with ample capacity (§III.A). Placement and scheduling consume only
+//! two things from the topology:
+//!
+//! * the computing nodes with their capacities `A_v`, and
+//! * the communication latency `L` (propagation + transmission) between two
+//!   computing nodes, which prices inter-node chain hops in the joint
+//!   objective (Eq. (16)).
+//!
+//! This crate provides a [`Topology`] graph over compute and switch vertices,
+//! parametric generators for the standard datacenter fabrics
+//! ([`builders`]) covering the paper's 4–50 node sweep, and shortest-path /
+//! latency queries ([`Topology::hop_count`], [`Topology::latency_between`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_topology::{builders, LinkDelay};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = builders::leaf_spine()
+//!     .leaves(2)
+//!     .spines(2)
+//!     .hosts_per_leaf(4)
+//!     .uniform_capacity(1000.0)
+//!     .link_delay(LinkDelay::from_micros(50.0))
+//!     .build()?;
+//! assert_eq!(topo.compute_nodes().len(), 8);
+//! assert!(topo.is_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+mod delay;
+mod error;
+mod graph;
+
+pub use delay::LinkDelay;
+pub use error::TopologyError;
+pub use graph::{Topology, Vertex, VertexKind};

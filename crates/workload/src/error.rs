@@ -1,0 +1,95 @@
+//! Error type for workload generation and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use nfv_model::{ModelError, RequestId, VnfId};
+
+/// Error returned when a workload cannot be generated or fails validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generator parameter was invalid.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
+    /// A request's chain references a VNF not present in the scenario.
+    UnknownVnf {
+        /// The request whose chain is dangling.
+        request: RequestId,
+        /// The missing VNF.
+        vnf: VnfId,
+    },
+    /// A VNF deploys more instances than it has requests, violating the
+    /// paper's Eq. (3) (`M_f ≤ Σ_r U_r^f`).
+    TooManyInstances {
+        /// The offending VNF.
+        vnf: VnfId,
+        /// Deployed instance count `M_f`.
+        instances: u32,
+        /// Number of requests using the VNF.
+        users: usize,
+    },
+    /// A VNF is not used by any request; the scenario would carry dead
+    /// weight that the paper's model excludes.
+    UnusedVnf {
+        /// The unused VNF.
+        vnf: VnfId,
+    },
+    /// A model-level constructor rejected generated values (should not occur
+    /// for in-range parameters; surfaced rather than panicking).
+    Model(ModelError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            Self::UnknownVnf { request, vnf } => {
+                write!(f, "{request} references unknown {vnf}")
+            }
+            Self::TooManyInstances { vnf, instances, users } => write!(
+                f,
+                "{vnf} deploys {instances} instances but only {users} requests use it"
+            ),
+            Self::UnusedVnf { vnf } => write!(f, "{vnf} is not used by any request"),
+            Self::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for WorkloadError {
+    fn from(err: ModelError) -> Self {
+        Self::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let err = WorkloadError::TooManyInstances { vnf: VnfId::new(2), instances: 5, users: 3 };
+        let s = err.to_string();
+        assert!(s.contains("vnf2") && s.contains('5') && s.contains('3'));
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let model_err = ModelError::EmptyChain;
+        let err: WorkloadError = model_err.clone().into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("model error"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Workload and trace generation for NFV experiments.
+//!
+//! The paper's evaluation (§V.A) is *trace-driven*: parameter ranges are
+//! calibrated from datacenter measurements (Benson et al., IMC'10) and a VNF
+//! survey (Li & Chen, 2015). This crate substitutes seeded synthetic
+//! generators that reproduce exactly the published ranges:
+//!
+//! * 6–30 VNFs drawn from a nine-kind catalog ([`VnfCatalog`]), each
+//!   deploying `M_f` service instances;
+//! * 30–1000 requests, each traversing a chain of at most 6 VNFs
+//!   ([`ChainGenerator`]);
+//! * Poisson arrivals with `λ ∈ [1, 100]` pps and delivery probability
+//!   `P ∈ [0.98, 1]`;
+//! * per-node capacities of 1–5000 units (handled by `nfv-topology`).
+//!
+//! Everything is driven by an explicit seed, so a [`Scenario`] is
+//! reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_workload::ScenarioBuilder;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = ScenarioBuilder::new()
+//!     .vnfs(15)
+//!     .requests(200)
+//!     .max_chain_len(6)
+//!     .seed(7)
+//!     .build()?;
+//! assert_eq!(scenario.vnfs().len(), 15);
+//! assert_eq!(scenario.requests().len(), 200);
+//! scenario.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod chains;
+mod error;
+mod requests;
+pub mod replicate;
+mod scenario;
+mod templates;
+
+pub use catalog::{VnfCatalog, VnfProfile};
+pub use chains::ChainGenerator;
+pub use error::WorkloadError;
+pub use requests::RequestGenerator;
+pub use scenario::{InstancePolicy, Scenario, ScenarioBuilder, ServiceRatePolicy};
+pub use templates::ChainTemplate;

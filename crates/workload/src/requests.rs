@@ -1,0 +1,167 @@
+//! Random request generation.
+
+use nfv_model::{ArrivalRate, DeliveryProbability, Request, RequestId, ServiceChain};
+use rand::Rng;
+
+use crate::WorkloadError;
+
+/// Generates requests with arrival rates and delivery probabilities drawn
+/// uniformly from configurable ranges.
+///
+/// Defaults follow the paper's setup (§V.A.3): `λ ∈ [1, 100]` pps and
+/// `P ∈ [0.98, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_model::{ServiceChain, VnfId};
+/// use nfv_workload::RequestGenerator;
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gen = RequestGenerator::new().arrival_range(1.0, 100.0)?.delivery(0.98)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let req = gen.generate(0, ServiceChain::single(VnfId::new(0)), &mut rng);
+/// assert!((1.0..=100.0).contains(&req.arrival_rate().value()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestGenerator {
+    arrival_lo: f64,
+    arrival_hi: f64,
+    delivery_lo: f64,
+    delivery_hi: f64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the paper's default ranges
+    /// (`λ ∈ [1, 100]` pps, `P ∈ [0.98, 1]`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { arrival_lo: 1.0, arrival_hi: 100.0, delivery_lo: 0.98, delivery_hi: 1.0 }
+    }
+
+    /// Sets the arrival-rate range `[lo, hi]` in pps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] unless `0 < lo ≤ hi` and
+    /// both are finite.
+    pub fn arrival_range(mut self, lo: f64, hi: f64) -> Result<Self, WorkloadError> {
+        if lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi {
+            self.arrival_lo = lo;
+            self.arrival_hi = hi;
+            Ok(self)
+        } else {
+            Err(WorkloadError::InvalidParameter { reason: "arrival range requires 0 < lo <= hi" })
+        }
+    }
+
+    /// Fixes the delivery probability of every request to `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] unless `0 < p ≤ 1`.
+    pub fn delivery(self, p: f64) -> Result<Self, WorkloadError> {
+        self.delivery_range(p, p)
+    }
+
+    /// Sets the delivery-probability range `[lo, hi] ⊆ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for an invalid range.
+    pub fn delivery_range(mut self, lo: f64, hi: f64) -> Result<Self, WorkloadError> {
+        if lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && hi <= 1.0 {
+            self.delivery_lo = lo;
+            self.delivery_hi = hi;
+            Ok(self)
+        } else {
+            Err(WorkloadError::InvalidParameter {
+                reason: "delivery range requires 0 < lo <= hi <= 1",
+            })
+        }
+    }
+
+    /// Generates one request with the given id and chain.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        id: u32,
+        chain: ServiceChain,
+        rng: &mut R,
+    ) -> Request {
+        let lambda = if self.arrival_lo == self.arrival_hi {
+            self.arrival_lo
+        } else {
+            rng.gen_range(self.arrival_lo..=self.arrival_hi)
+        };
+        let p = if self.delivery_lo == self.delivery_hi {
+            self.delivery_lo
+        } else {
+            rng.gen_range(self.delivery_lo..=self.delivery_hi)
+        };
+        Request::new(
+            RequestId::new(id),
+            chain,
+            ArrivalRate::new(lambda).expect("validated range yields positive rate"),
+            DeliveryProbability::new(p).expect("validated range yields probability"),
+        )
+    }
+}
+
+impl Default for RequestGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::VnfId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> ServiceChain {
+        ServiceChain::single(VnfId::new(0))
+    }
+
+    #[test]
+    fn defaults_match_paper_ranges() {
+        let gen = RequestGenerator::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..300 {
+            let req = gen.generate(i, chain(), &mut rng);
+            assert!((1.0..=100.0).contains(&req.arrival_rate().value()));
+            assert!((0.98..=1.0).contains(&req.delivery().value()));
+        }
+    }
+
+    #[test]
+    fn fixed_ranges_produce_constants() {
+        let gen = RequestGenerator::new()
+            .arrival_range(5.0, 5.0)
+            .unwrap()
+            .delivery(0.99)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let req = gen.generate(0, chain(), &mut rng);
+        assert_eq!(req.arrival_rate().value(), 5.0);
+        assert_eq!(req.delivery().value(), 0.99);
+    }
+
+    #[test]
+    fn rejects_invalid_ranges() {
+        assert!(RequestGenerator::new().arrival_range(0.0, 10.0).is_err());
+        assert!(RequestGenerator::new().arrival_range(10.0, 1.0).is_err());
+        assert!(RequestGenerator::new().delivery(0.0).is_err());
+        assert!(RequestGenerator::new().delivery_range(0.5, 1.1).is_err());
+    }
+
+    #[test]
+    fn ids_are_assigned_verbatim() {
+        let gen = RequestGenerator::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(gen.generate(17, chain(), &mut rng).id().index(), 17);
+    }
+}

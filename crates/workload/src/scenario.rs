@@ -1,0 +1,621 @@
+//! Reproducible experiment scenarios.
+
+use std::fmt;
+
+use nfv_model::{Demand, Request, RequestId, ServiceChain, ServiceRate, Vnf, VnfId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{ChainGenerator, ChainTemplate, RequestGenerator, VnfCatalog, WorkloadError};
+
+/// How many service instances `M_f` each VNF deploys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InstancePolicy {
+    /// Every VNF deploys exactly `k` instances (capped at its user count to
+    /// respect Eq. (3)).
+    Fixed(u32),
+    /// `M_f = ceil(users_f / requests_per_instance)`: one instance per so
+    /// many requests, the paper's "1 to 200 requests per instance" knob.
+    PerUsers {
+        /// Target number of requests sharing one instance.
+        requests_per_instance: u32,
+    },
+}
+
+impl InstancePolicy {
+    fn instances_for(&self, users: usize) -> u32 {
+        let users32 = users as u32;
+        match *self {
+            Self::Fixed(k) => k.clamp(1, users32.max(1)),
+            Self::PerUsers { requests_per_instance } => {
+                let rpi = requests_per_instance.max(1);
+                users32.div_ceil(rpi).max(1)
+            }
+        }
+    }
+}
+
+/// How each VNF's per-instance service rate `μ_f` is chosen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServiceRatePolicy {
+    /// Use the catalog profile's rate unchanged.
+    CatalogDefault,
+    /// Every instance serves at the same fixed rate (pps).
+    Fixed(f64),
+    /// Scale `μ_f` with the offered load so that a perfectly balanced
+    /// schedule would run each instance at `target_utilization`:
+    /// `μ_f = Λ_f / (M_f · target)`. This is the paper's "we scale μ_f with
+    /// the number of requests to eliminate its dominant influence" (§V.C).
+    ScaledToLoad {
+        /// Desired balanced per-instance utilization in `(0, 1)`.
+        target_utilization: f64,
+    },
+}
+
+/// A complete generated workload: the VNF set `F` and the request set `R`.
+///
+/// Scenarios are produced by [`ScenarioBuilder`] and satisfy the paper's
+/// structural constraints: every chain references existing VNFs, every VNF
+/// is used by at least one request, and `M_f ≤ Σ_r U_r^f` (Eq. (3)).
+///
+/// # Examples
+///
+/// ```
+/// use nfv_workload::ScenarioBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = ScenarioBuilder::new().vnfs(6).requests(30).seed(1).build()?;
+/// let vnf = s.vnfs()[0].id();
+/// assert!(s.users_of(vnf) >= s.vnf(vnf).unwrap().instances() as usize);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    vnfs: Vec<Vnf>,
+    requests: Vec<Request>,
+}
+
+impl Scenario {
+    /// Creates a scenario from explicit parts and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint; see
+    /// [`Scenario::validate`].
+    pub fn from_parts(vnfs: Vec<Vnf>, requests: Vec<Request>) -> Result<Self, WorkloadError> {
+        let scenario = Self { vnfs, requests };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// The VNF set `F`, ordered by [`VnfId`].
+    #[must_use]
+    pub fn vnfs(&self) -> &[Vnf] {
+        &self.vnfs
+    }
+
+    /// The request set `R`, ordered by [`RequestId`].
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Looks up a VNF by id.
+    #[must_use]
+    pub fn vnf(&self, id: VnfId) -> Option<&Vnf> {
+        self.vnfs.get(id.as_usize())
+    }
+
+    /// Looks up a request by id.
+    #[must_use]
+    pub fn request(&self, id: RequestId) -> Option<&Request> {
+        self.requests.get(id.as_usize())
+    }
+
+    /// Iterator over the requests whose chains traverse `vnf`
+    /// (the paper's `R_f`).
+    pub fn requests_using(&self, vnf: VnfId) -> impl Iterator<Item = &Request> + '_ {
+        self.requests.iter().filter(move |r| r.uses(vnf))
+    }
+
+    /// Number of requests using `vnf` (`Σ_r U_r^f`).
+    #[must_use]
+    pub fn users_of(&self, vnf: VnfId) -> usize {
+        self.requests_using(vnf).count()
+    }
+
+    /// Total resource demand `Σ_f M_f · D_f` of all VNFs.
+    #[must_use]
+    pub fn total_demand(&self) -> Demand {
+        self.vnfs.iter().map(Vnf::total_demand).sum()
+    }
+
+    /// Checks the paper's structural constraints:
+    ///
+    /// * every chain references VNFs present in the scenario,
+    /// * every VNF is used by at least one request,
+    /// * `M_f ≤ Σ_r U_r^f` for every VNF (Eq. (3)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        for request in &self.requests {
+            for vnf in request.chain() {
+                if self.vnf(*vnf).is_none() {
+                    return Err(WorkloadError::UnknownVnf { request: request.id(), vnf: *vnf });
+                }
+            }
+        }
+        for vnf in &self.vnfs {
+            let users = self.users_of(vnf.id());
+            if users == 0 {
+                return Err(WorkloadError::UnusedVnf { vnf: vnf.id() });
+            }
+            if vnf.instances() as usize > users {
+                return Err(WorkloadError::TooManyInstances {
+                    vnf: vnf.id(),
+                    instances: vnf.instances(),
+                    users,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario: {} VNFs, {} requests, total demand {}",
+            self.vnfs.len(),
+            self.requests.len(),
+            self.total_demand()
+        )
+    }
+}
+
+/// Builder producing a reproducible [`Scenario`] from a seed and the paper's
+/// parameter ranges.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = ScenarioBuilder::new()
+///     .vnfs(15)
+///     .requests(100)
+///     .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+///     .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 })
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(s.vnfs().len(), 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    vnfs: usize,
+    requests: usize,
+    min_chain_len: usize,
+    max_chain_len: usize,
+    request_gen: RequestGenerator,
+    instance_policy: InstancePolicy,
+    service_rate_policy: ServiceRatePolicy,
+    catalog: VnfCatalog,
+    template_fraction: f64,
+    templates: Vec<ChainTemplate>,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with the paper's defaults: 6 VNFs, 30 requests,
+    /// chains of 1–6 VNFs, `λ ∈ [1, 100]`, `P ∈ [0.98, 1]`, one instance
+    /// per 10 requests, load-scaled service rates at 70% target utilization.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            seed: 0,
+            vnfs: 6,
+            requests: 30,
+            min_chain_len: 1,
+            max_chain_len: 6,
+            request_gen: RequestGenerator::new(),
+            instance_policy: InstancePolicy::PerUsers { requests_per_instance: 10 },
+            service_rate_policy: ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 },
+            catalog: VnfCatalog::standard(),
+            template_fraction: 0.0,
+            templates: ChainTemplate::standard(),
+        }
+    }
+
+    /// Sets the RNG seed; identical builders with identical seeds produce
+    /// identical scenarios.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of VNFs `|F|` (paper sweeps 6–30).
+    #[must_use]
+    pub fn vnfs(mut self, count: usize) -> Self {
+        self.vnfs = count;
+        self
+    }
+
+    /// Sets the number of requests `|R|` (paper sweeps 30–1000).
+    #[must_use]
+    pub fn requests(mut self, count: usize) -> Self {
+        self.requests = count;
+        self
+    }
+
+    /// Sets the maximum chain length (paper: at most 6).
+    #[must_use]
+    pub fn max_chain_len(mut self, len: usize) -> Self {
+        self.max_chain_len = len;
+        self
+    }
+
+    /// Sets the minimum chain length (default 1).
+    #[must_use]
+    pub fn min_chain_len(mut self, len: usize) -> Self {
+        self.min_chain_len = len;
+        self
+    }
+
+    /// Sets the request traffic generator (arrival/delivery ranges).
+    #[must_use]
+    pub fn request_generator(mut self, gen: RequestGenerator) -> Self {
+        self.request_gen = gen;
+        self
+    }
+
+    /// Sets the instance-count policy.
+    #[must_use]
+    pub fn instance_policy(mut self, policy: InstancePolicy) -> Self {
+        self.instance_policy = policy;
+        self
+    }
+
+    /// Sets the service-rate policy.
+    #[must_use]
+    pub fn service_rate_policy(mut self, policy: ServiceRatePolicy) -> Self {
+        self.service_rate_policy = policy;
+        self
+    }
+
+    /// Sets the VNF catalog to draw profiles from.
+    #[must_use]
+    pub fn catalog(mut self, catalog: VnfCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Fraction of requests whose chain comes from a named
+    /// [`ChainTemplate`] (resolved against the catalog's kinds) instead of
+    /// a random draw; the rest stay random. Default 0.
+    #[must_use]
+    pub fn template_fraction(mut self, fraction: f64) -> Self {
+        self.template_fraction = fraction;
+        self
+    }
+
+    /// Replaces the template pool used by
+    /// [`template_fraction`](Self::template_fraction).
+    #[must_use]
+    pub fn templates(mut self, templates: Vec<ChainTemplate>) -> Self {
+        self.templates = templates;
+        self
+    }
+
+    /// Generates the scenario.
+    ///
+    /// Chains are drawn first; any VNF left unused is repaired into a random
+    /// request's chain so the scenario satisfies the model's "no dead VNF"
+    /// assumption — this requires `requests · max_chain_len ≥ vnfs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for inconsistent sizes or
+    /// policies, and propagates validation failures.
+    pub fn build(&self) -> Result<Scenario, WorkloadError> {
+        if self.vnfs == 0 || self.requests == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "scenario needs >= 1 VNF and >= 1 request",
+            });
+        }
+        if self.requests * self.max_chain_len < self.vnfs {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "too few requests to use every VNF",
+            });
+        }
+        if let ServiceRatePolicy::ScaledToLoad { target_utilization } = self.service_rate_policy {
+            if !(target_utilization > 0.0 && target_utilization < 1.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    reason: "target utilization must lie in (0, 1)",
+                });
+            }
+        }
+        if let ServiceRatePolicy::Fixed(rate) = self.service_rate_policy {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    reason: "fixed service rate must be positive",
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.template_fraction) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "template fraction must lie in [0, 1]",
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max_len = self.max_chain_len.min(self.vnfs);
+        let min_len = self.min_chain_len.clamp(1, max_len);
+        let chain_gen = ChainGenerator::new(self.vnfs, min_len, max_len)?;
+
+        // 1. Draw chains — from the template pool for a configured
+        //    fraction, randomly otherwise — then repair unused VNFs into
+        //    under-full chains.
+        let kinds_by_id: Vec<_> = (0..self.vnfs).map(|i| self.catalog.kind_at(i).0).collect();
+        let resolved_templates: Vec<ServiceChain> = self
+            .templates
+            .iter()
+            .filter_map(|t| t.resolve(&kinds_by_id))
+            .collect();
+        let mut chains = Vec::with_capacity(self.requests);
+        for _ in 0..self.requests {
+            let use_template = self.template_fraction > 0.0
+                && !resolved_templates.is_empty()
+                && rng.gen_bool(self.template_fraction);
+            if use_template {
+                let pick = rng.gen_range(0..resolved_templates.len());
+                chains.push(resolved_templates[pick].clone());
+            } else {
+                chains.push(chain_gen.generate(&mut rng)?);
+            }
+        }
+        let mut used = vec![false; self.vnfs];
+        for chain in &chains {
+            for vnf in chain.iter() {
+                used[vnf.as_usize()] = true;
+            }
+        }
+        for (idx, _) in used.iter().enumerate().filter(|(_, &u)| !u) {
+            let vnf = VnfId::new(idx as u32);
+            let start = rng.gen_range(0..chains.len());
+            let slot = (0..chains.len())
+                .map(|o| (start + o) % chains.len())
+                .find(|&i| chains[i].len() < max_len && !chains[i].uses(vnf))
+                .or_else(|| {
+                    (0..chains.len())
+                        .map(|o| (start + o) % chains.len())
+                        .find(|&i| !chains[i].uses(vnf))
+                })
+                .ok_or(WorkloadError::InvalidParameter {
+                    reason: "cannot repair chains to cover every VNF",
+                })?;
+            let mut vnfs: Vec<VnfId> = chains[slot].iter().collect();
+            vnfs.insert(rng.gen_range(0..=vnfs.len()), vnf);
+            chains[slot] = ServiceChain::new(vnfs)?;
+        }
+
+        // 2. Attach traffic to each chain.
+        let requests: Vec<Request> = chains
+            .into_iter()
+            .enumerate()
+            .map(|(i, chain)| self.request_gen.generate(i as u32, chain, &mut rng))
+            .collect();
+
+        // 3. Decide M_f from the realized user counts.
+        let users: Vec<usize> = (0..self.vnfs)
+            .map(|i| requests.iter().filter(|r| r.uses(VnfId::new(i as u32))).count())
+            .collect();
+        let instance_counts: Vec<u32> =
+            users.iter().map(|&u| self.instance_policy.instances_for(u)).collect();
+
+        // 4. Materialize the VNFs with demands from the catalog and rates
+        //    from the policy.
+        let vnfs: Vec<Vnf> = (0..self.vnfs)
+            .map(|i| {
+                let (kind, profile) = self.catalog.kind_at(i);
+                let vnf_id = VnfId::new(i as u32);
+                let m = instance_counts[i];
+                let rate = match self.service_rate_policy {
+                    ServiceRatePolicy::CatalogDefault => profile.service_rate_pps,
+                    ServiceRatePolicy::Fixed(rate) => rate,
+                    ServiceRatePolicy::ScaledToLoad { target_utilization } => {
+                        let offered: f64 = requests
+                            .iter()
+                            .filter(|r| r.uses(vnf_id))
+                            .map(|r| r.effective_rate().value())
+                            .sum();
+                        (offered / f64::from(m) / target_utilization).max(f64::MIN_POSITIVE)
+                    }
+                };
+                Ok(Vnf::builder(vnf_id, kind)
+                    .demand_per_instance(Demand::new(profile.demand_units)?)
+                    .instances(m)
+                    .service_rate(ServiceRate::new(rate)?)
+                    .build()?)
+            })
+            .collect::<Result<_, WorkloadError>>()?;
+
+        Scenario::from_parts(vnfs, requests)
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let b = ScenarioBuilder::new().vnfs(10).requests(100);
+        let a = b.clone().seed(5).build().unwrap();
+        let a2 = b.clone().seed(5).build().unwrap();
+        let c = b.seed(6).build().unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_vnf_is_used_even_when_requests_are_scarce() {
+        // 30 VNFs, 30 requests: random chains would leave gaps; repair fills them.
+        let s = ScenarioBuilder::new().vnfs(30).requests(30).seed(3).build().unwrap();
+        for vnf in s.vnfs() {
+            assert!(s.users_of(vnf.id()) > 0, "{} unused", vnf.id());
+        }
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn eq3_instances_bounded_by_users() {
+        let s = ScenarioBuilder::new()
+            .vnfs(8)
+            .requests(40)
+            .instance_policy(InstancePolicy::Fixed(100))
+            .seed(1)
+            .build()
+            .unwrap();
+        for vnf in s.vnfs() {
+            assert!(vnf.instances() as usize <= s.users_of(vnf.id()));
+        }
+    }
+
+    #[test]
+    fn per_users_policy_matches_ceiling() {
+        let s = ScenarioBuilder::new()
+            .vnfs(5)
+            .requests(50)
+            .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 7 })
+            .seed(2)
+            .build()
+            .unwrap();
+        for vnf in s.vnfs() {
+            let users = s.users_of(vnf.id());
+            assert_eq!(vnf.instances(), (users as u32).div_ceil(7).max(1));
+        }
+    }
+
+    #[test]
+    fn scaled_service_rates_hit_target_utilization() {
+        let target = 0.6;
+        let s = ScenarioBuilder::new()
+            .vnfs(4)
+            .requests(60)
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: target })
+            .seed(9)
+            .build()
+            .unwrap();
+        for vnf in s.vnfs() {
+            let offered: f64 = s
+                .requests_using(vnf.id())
+                .map(|r| r.effective_rate().value())
+                .sum();
+            let balanced_rho = offered / (f64::from(vnf.instances()) * vnf.service_rate().value());
+            assert!((balanced_rho - target).abs() < 1e-9, "rho={balanced_rho}");
+        }
+    }
+
+    #[test]
+    fn rejects_impossible_configurations() {
+        assert!(ScenarioBuilder::new().vnfs(0).build().is_err());
+        assert!(ScenarioBuilder::new().requests(0).build().is_err());
+        // 100 VNFs cannot all be used by 2 requests of length <= 6.
+        assert!(ScenarioBuilder::new().vnfs(100).requests(2).build().is_err());
+        assert!(ScenarioBuilder::new()
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 1.5 })
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new()
+            .service_rate_policy(ServiceRatePolicy::Fixed(-3.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let s = ScenarioBuilder::new().vnfs(3).requests(10).seed(0).build().unwrap();
+        // Dropping all requests of some VNF must fail validation.
+        let vnf0 = s.vnfs()[0].id();
+        let filtered: Vec<Request> =
+            s.requests().iter().filter(|r| !r.uses(vnf0)).cloned().collect();
+        let err = Scenario::from_parts(s.vnfs().to_vec(), filtered).unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::UnusedVnf { .. } | WorkloadError::TooManyInstances { .. }
+        ));
+    }
+
+    #[test]
+    fn chain_lengths_respect_bounds_modulo_repair() {
+        let s = ScenarioBuilder::new()
+            .vnfs(6)
+            .requests(200)
+            .min_chain_len(2)
+            .max_chain_len(4)
+            .seed(11)
+            .build()
+            .unwrap();
+        // With plenty of requests no repair is needed, so bounds hold exactly.
+        for r in s.requests() {
+            assert!((2..=4).contains(&r.chain().len()));
+        }
+    }
+
+    #[test]
+    fn template_fraction_draws_named_chains() {
+        use crate::ChainTemplate;
+        let s = ScenarioBuilder::new()
+            .vnfs(9)
+            .requests(200)
+            .template_fraction(1.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        // Every chain must match one of the standard templates (modulo
+        // unused-VNF repair insertions, which only lengthen chains; with 9
+        // VNFs and 200 template requests every kind is covered, so repair
+        // does not trigger for template-covered ids but may for others).
+        let kinds: Vec<_> = (0..9).map(|i| crate::VnfCatalog::standard().kind_at(i).0).collect();
+        let template_chains: Vec<_> = ChainTemplate::standard()
+            .iter()
+            .filter_map(|t| t.resolve(&kinds))
+            .collect();
+        let matching = s
+            .requests()
+            .iter()
+            .filter(|r| template_chains.contains(r.chain()))
+            .count();
+        // Repair may touch a few chains; the overwhelming majority must be
+        // verbatim templates.
+        assert!(matching > 180, "only {matching}/200 template chains");
+    }
+
+    #[test]
+    fn template_fraction_is_validated() {
+        assert!(ScenarioBuilder::new().template_fraction(1.5).build().is_err());
+        assert!(ScenarioBuilder::new().template_fraction(-0.1).build().is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = ScenarioBuilder::new().seed(0).build().unwrap();
+        let text = s.to_string();
+        assert!(text.contains("VNFs") && text.contains("requests"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Named service-chain templates.
+//!
+//! The paper's introduction motivates chaining with concrete policies:
+//! "some flows need to traverse a firewall function and a load balancer
+//! function, while other flows need only to traverse the firewall
+//! function". This module captures the common middlebox policies as named
+//! templates over [`VnfKind`]s, resolvable against any VNF universe; the
+//! [`crate::ScenarioBuilder`] can mix them with random chains via
+//! [`crate::ScenarioBuilder::template_fraction`].
+
+use nfv_model::{ServiceChain, VnfId, VnfKind};
+
+/// A named chain of VNF kinds, e.g. `NAT → FW → LB`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainTemplate {
+    name: &'static str,
+    kinds: &'static [VnfKind],
+}
+
+impl ChainTemplate {
+    /// North–south web traffic: `NAT → Firewall → Load balancer`.
+    pub const WEB_SERVICE: ChainTemplate = ChainTemplate {
+        name: "web-service",
+        kinds: &[VnfKind::Nat, VnfKind::Firewall, VnfKind::LoadBalancer],
+    };
+
+    /// Security inspection: `Firewall → IDS → IPS`.
+    pub const SECURITY: ChainTemplate = ChainTemplate {
+        name: "security",
+        kinds: &[VnfKind::Firewall, VnfKind::Ids, VnfKind::Ips],
+    };
+
+    /// Branch-office WAN access: `NAT → WAN optimizer → Flow monitor`.
+    pub const WAN_ACCESS: ChainTemplate = ChainTemplate {
+        name: "wan-access",
+        kinds: &[VnfKind::Nat, VnfKind::WanOptimizer, VnfKind::FlowMonitor],
+    };
+
+    /// Content delivery: `Load balancer → Proxy cache`.
+    pub const CONTENT_DELIVERY: ChainTemplate = ChainTemplate {
+        name: "content-delivery",
+        kinds: &[VnfKind::LoadBalancer, VnfKind::ProxyCache],
+    };
+
+    /// Compliance monitoring: `Firewall → DPI → Flow monitor`.
+    pub const COMPLIANCE: ChainTemplate = ChainTemplate {
+        name: "compliance",
+        kinds: &[VnfKind::Firewall, VnfKind::Dpi, VnfKind::FlowMonitor],
+    };
+
+    /// Minimal firewall-only policy (the paper's "other flows need only to
+    /// traverse the firewall function").
+    pub const FIREWALL_ONLY: ChainTemplate =
+        ChainTemplate { name: "firewall-only", kinds: &[VnfKind::Firewall] };
+
+    /// The standard template mix, in rough order of real-world frequency.
+    #[must_use]
+    pub fn standard() -> Vec<ChainTemplate> {
+        vec![
+            Self::WEB_SERVICE,
+            Self::SECURITY,
+            Self::WAN_ACCESS,
+            Self::CONTENT_DELIVERY,
+            Self::COMPLIANCE,
+            Self::FIREWALL_ONLY,
+        ]
+    }
+
+    /// The template's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The VNF kinds in traversal order.
+    #[must_use]
+    pub fn kinds(&self) -> &'static [VnfKind] {
+        self.kinds
+    }
+
+    /// Resolves the template against a VNF universe described by the kind
+    /// at each id (as produced by [`crate::VnfCatalog::kind_at`]): each
+    /// template kind maps to the first id of that kind. Returns `None` if
+    /// any kind is absent.
+    #[must_use]
+    pub fn resolve(&self, kinds_by_id: &[VnfKind]) -> Option<ServiceChain> {
+        let ids: Vec<VnfId> = self
+            .kinds
+            .iter()
+            .map(|kind| {
+                kinds_by_id
+                    .iter()
+                    .position(|k| k == kind)
+                    .map(|i| VnfId::new(i as u32))
+            })
+            .collect::<Option<_>>()?;
+        ServiceChain::new(ids).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VnfCatalog;
+
+    fn kinds(universe: usize) -> Vec<VnfKind> {
+        let catalog = VnfCatalog::standard();
+        (0..universe).map(|i| catalog.kind_at(i).0).collect()
+    }
+
+    #[test]
+    fn resolves_against_full_catalog() {
+        let kinds = kinds(9);
+        for template in ChainTemplate::standard() {
+            let chain = template.resolve(&kinds).unwrap_or_else(|| {
+                panic!("template {} should resolve against the full catalog", template.name())
+            });
+            assert_eq!(chain.len(), template.kinds().len());
+        }
+    }
+
+    #[test]
+    fn fails_when_kind_missing() {
+        // Only NAT and Firewall in the universe: templates needing more
+        // cannot resolve.
+        let kinds = kinds(2);
+        assert!(ChainTemplate::WEB_SERVICE.resolve(&kinds).is_none());
+        assert!(ChainTemplate::FIREWALL_ONLY.resolve(&kinds).is_some());
+    }
+
+    #[test]
+    fn resolution_preserves_order() {
+        let kinds = kinds(9);
+        let chain = ChainTemplate::WEB_SERVICE.resolve(&kinds).unwrap();
+        let resolved_kinds: Vec<VnfKind> =
+            chain.iter().map(|id| kinds[id.as_usize()]).collect();
+        assert_eq!(resolved_kinds, ChainTemplate::WEB_SERVICE.kinds());
+    }
+
+    #[test]
+    fn templates_have_distinct_names() {
+        let mut names: Vec<&str> =
+            ChainTemplate::standard().iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ChainTemplate::standard().len());
+    }
+}

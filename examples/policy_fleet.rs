@@ -1,0 +1,114 @@
+//! Policy fleet: templates, replicas and online arrivals together.
+//!
+//! An operator runs the named middlebox policies (web-service, security,
+//! WAN-access, …) for most tenants, on servers *smaller* than the biggest
+//! VNF — so the optimizer must split it into replicas. After the offline
+//! pipeline runs, new tenants keep arriving and are dispatched *online* to
+//! the busiest VNF's instances under admission control.
+//!
+//! Exercises three extensions beyond the paper's core evaluation:
+//! [`nfv::workload::ChainTemplate`], VNF replication and
+//! [`nfv::scheduling::OnlineDispatcher`].
+//!
+//! ```text
+//! cargo run --example policy_fleet
+//! ```
+
+use nfv::metrics::Table;
+use nfv::model::{ArrivalRate, VnfId};
+use nfv::queueing::admission::AdmissionController;
+use nfv::scheduling::OnlineDispatcher;
+use nfv::topology::builders;
+use nfv::workload::ScenarioBuilder;
+use nfv::JointOptimizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A template-heavy workload: 70% of tenants use a named policy.
+    let scenario = ScenarioBuilder::new()
+        .vnfs(9)
+        .requests(150)
+        .template_fraction(0.7)
+        .seed(12)
+        .build()?;
+    println!("{scenario}");
+
+    // 2. Servers deliberately smaller than the biggest VNF: replication
+    //    required.
+    let max_vnf = scenario
+        .vnfs()
+        .iter()
+        .map(|v| v.total_demand().value())
+        .fold(0.0f64, f64::max);
+    let fabric = builders::three_tier()
+        .aggregation(2)
+        .edges_per_aggregation(2)
+        .hosts_per_edge(3)
+        .uniform_capacity(max_vnf * 0.7)
+        .build()?;
+    println!("{fabric}\nbiggest VNF: {max_vnf:.0} units vs {:.0}-unit hosts", max_vnf * 0.7);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let (solution, replicas) =
+        JointOptimizer::new().optimize_with_replication(&scenario, &fabric, &mut rng)?;
+    let split: Vec<String> = scenario
+        .vnfs()
+        .iter()
+        .filter(|v| replicas.was_split(v.id()))
+        .map(|v| format!("{} x{}", v.kind(), replicas.replicas_of(v.id()).len()))
+        .collect();
+    println!(
+        "\nreplicated VNFs: {}; {} nodes in service at {}",
+        if split.is_empty() { "none".to_owned() } else { split.join(", ") },
+        solution.placement().nodes_in_service(),
+        solution.placement().average_utilization()
+    );
+
+    // 3. Online arrivals: new tenants hit the busiest rewritten VNF one at
+    //    a time; least-loaded dispatch + admission control.
+    let rewritten = solution.scenario();
+    let busiest: VnfId = rewritten
+        .vnfs()
+        .iter()
+        .map(|v| v.id())
+        .max_by_key(|&id| rewritten.users_of(id))
+        .expect("non-empty scenario");
+    let vnf = rewritten.vnf(busiest).expect("known vnf");
+    println!(
+        "\nonline phase: new tenants arriving at {} ({} instances at {:.0} pps each)",
+        vnf.kind(),
+        vnf.instances(),
+        vnf.service_rate().value()
+    );
+
+    // Seed admission control with the offline traffic already scheduled on
+    // each instance; the dispatcher then balances only the *new* arrivals.
+    let offline_loads = &solution.instance_loads()[busiest.as_usize()];
+    let mut dispatcher = OnlineDispatcher::new(vnf.instances() as usize)?;
+    let mut admission = AdmissionController::new(vnf.service_rate(), vnf.instances() as usize);
+    for (k, load) in offline_loads.iter().enumerate() {
+        if load.external_arrival_rate() > 0.0 {
+            let rate = ArrivalRate::new(load.external_arrival_rate())?;
+            admission.offer(k, rate, nfv::model::DeliveryProbability::PERFECT);
+        }
+    }
+
+    let mut table = Table::new(vec!["tenant", "rate(pps)", "instance", "admitted"]);
+    let mut arrivals_rng = StdRng::seed_from_u64(77);
+    for t in 0..12 {
+        let rate = ArrivalRate::new(arrivals_rng.gen_range(5.0..60.0))?;
+        let k = dispatcher.dispatch(rate);
+        let admitted =
+            admission.offer(k, rate, nfv::model::DeliveryProbability::new(0.99)?);
+        table.row(vec![
+            format!("tenant-{t}"),
+            format!("{:.1}", rate.value()),
+            format!("#{}", k + 1),
+            if admitted { "yes".into() } else { "REJECTED".into() },
+        ]);
+    }
+    print!("{table}");
+    println!("\nadmission report: {}", admission.report());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # nfv — joint VNF chain placement and request scheduling
+//!
+//! Facade crate for the workspace reproducing *"Joint Optimization of
+//! Chain Placement and Request Scheduling for Network Function
+//! Virtualization"* (ICDCS 2017). It re-exports every subsystem under one
+//! roof and hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`).
+//!
+//! The pipeline in one line: generate a [`workload`] scenario, build a
+//! [`topology`], run the [`JointOptimizer`] (BFDSU placement + RCKK
+//! scheduling by default) and evaluate the Eq. (16) objective.
+//!
+//! ```
+//! use nfv::{topology::builders, workload::ScenarioBuilder, JointOptimizer};
+//! use rand::SeedableRng;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = ScenarioBuilder::new().vnfs(6).requests(40).seed(1).build()?;
+//! let fabric = builders::leaf_spine()
+//!     .leaves(2)
+//!     .spines(2)
+//!     .hosts_per_leaf(4)
+//!     .capacity_range(1000.0, 5000.0, 7)
+//!     .build()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let solution = JointOptimizer::new().optimize(&scenario, &fabric, &mut rng)?;
+//! assert!(solution.objective()?.total_latency().is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nfv_core::{experiments, CoreError, JointObjective, JointOptimizer, JointSolution};
+
+/// Shared model vocabulary: ids, quantities, VNFs, nodes, requests, chains.
+pub use nfv_model as model;
+
+/// Datacenter topology substrate and fabric generators.
+pub use nfv_topology as topology;
+
+/// Open Jackson network analytics (M/M/1, loss feedback, admission).
+pub use nfv_queueing as queueing;
+
+/// Statistics utilities (online moments, percentiles, tables).
+pub use nfv_metrics as metrics;
+
+/// Workload and trace generation.
+pub use nfv_workload as workload;
+
+/// VNF chain placement algorithms (BFDSU, FFD, BFD, NAH, exact oracle).
+pub use nfv_placement as placement;
+
+/// Request scheduling algorithms (RCKK, CGA, CKK, LPT-by-CGA, round-robin).
+pub use nfv_scheduling as scheduling;
+
+/// Discrete-event simulator for chains of service instances.
+pub use nfv_sim as sim;

@@ -1,0 +1,64 @@
+//! Cross-validation: the Jackson-network closed forms of `nfv-queueing`
+//! against the discrete-event simulator of `nfv-sim`, through the public
+//! experiment API.
+
+use nfv::experiments::validation;
+
+#[test]
+fn standard_validation_suite_agrees_within_tolerance() {
+    let rows = validation::standard_suite(2024).unwrap();
+    assert_eq!(rows.len(), 9);
+    for row in &rows {
+        assert!(
+            row.relative_error() < 0.08,
+            "{}: analytic {} vs simulated {} ({:.2}% off)",
+            row.label,
+            row.analytic,
+            row.simulated,
+            row.relative_error() * 100.0
+        );
+    }
+}
+
+#[test]
+fn heavy_load_raises_simulated_latency_like_the_model_predicts() {
+    // M/M/1 mean latency is 1/(mu - lambda): going from rho = 0.3 to
+    // rho = 0.9 takes it from 1/70 to 1/10 — a 7x increase.
+    let light = validation::validate_single_station(30.0, 100.0, 1.0, 7).unwrap();
+    let heavy = validation::validate_single_station(90.0, 100.0, 1.0, 8).unwrap();
+    let ratio = heavy.simulated / light.simulated;
+    assert!(
+        (5.0..9.5).contains(&ratio),
+        "expected ~7x latency growth, measured {ratio:.2}x"
+    );
+}
+
+#[test]
+fn loss_feedback_costs_what_burke_predicts() {
+    // lambda = 40, mu = 100: P = 1.0 gives 1/60; P = 0.8 gives
+    // 1.25/(100 - 50) = 1/40 — exactly 1.5x.
+    let clean = validation::validate_single_station(40.0, 100.0, 1.0, 9).unwrap();
+    let lossy = validation::validate_single_station(40.0, 100.0, 0.8, 10).unwrap();
+    let analytic_ratio = lossy.analytic / clean.analytic;
+    let simulated_ratio = lossy.simulated / clean.simulated;
+    assert!((analytic_ratio - 1.5).abs() < 1e-9);
+    assert!(
+        (simulated_ratio - 1.5).abs() < 0.1,
+        "simulated ratio {simulated_ratio} far from 1.5"
+    );
+}
+
+#[test]
+fn chain_latency_is_additive_across_stations() {
+    let single = validation::validate_chain(30.0, &[100.0], 1.0, 11).unwrap();
+    let tandem = validation::validate_chain(30.0, &[100.0, 100.0], 1.0, 12).unwrap();
+    assert!((tandem.analytic - 2.0 * single.analytic).abs() < 1e-9);
+    let ratio = tandem.simulated / single.simulated;
+    assert!((ratio - 2.0).abs() < 0.15, "tandem/single = {ratio}");
+}
+
+#[test]
+fn unstable_validation_points_are_rejected_not_simulated() {
+    assert!(validation::validate_chain(120.0, &[100.0], 1.0, 13).is_err());
+    assert!(validation::validate_single_station(95.0, 100.0, 0.9, 14).is_err());
+}

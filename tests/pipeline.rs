@@ -1,0 +1,220 @@
+//! End-to-end integration tests of the two-phase pipeline across every
+//! algorithm combination.
+
+use nfv::model::VnfId;
+use nfv::placement::{Bfd, Bfdsu, Ffd, Nah, Placer};
+use nfv::scheduling::{Cga, KkForward, Rckk, RoundRobin, Scheduler};
+use nfv::topology::{builders, LinkDelay, Topology};
+use nfv::workload::{Scenario, ScenarioBuilder};
+use nfv::JointOptimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new().vnfs(10).requests(80).seed(seed).build().unwrap()
+}
+
+fn fabric(scenario: &Scenario, seed: u64) -> Topology {
+    let per_host = scenario.total_demand().value() / 4.0;
+    builders::leaf_spine()
+        .leaves(2)
+        .spines(2)
+        .hosts_per_leaf(4)
+        .capacity_range(0.7 * per_host, 1.5 * per_host, seed)
+        .link_delay(LinkDelay::from_micros(100.0))
+        .build()
+        .unwrap()
+}
+
+fn placers() -> Vec<Box<dyn Placer>> {
+    vec![
+        Box::new(Bfdsu::new()),
+        Box::new(Bfd::new()),
+        Box::new(Ffd::new()),
+        Box::new(Nah::new()),
+    ]
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Rckk::new()),
+        Box::new(KkForward::new()),
+        Box::new(Cga::new()),
+        Box::new(RoundRobin::new()),
+    ]
+}
+
+#[test]
+fn every_algorithm_combination_produces_a_consistent_solution() {
+    let scenario = scenario(1);
+    let topology = fabric(&scenario, 1);
+    for placer_proto in placers() {
+        for scheduler_proto in schedulers() {
+            let name = format!("{}+{}", placer_proto.name(), scheduler_proto.name());
+            let optimizer = JointOptimizer::new()
+                .with_placer(clone_placer(placer_proto.name()))
+                .with_scheduler(clone_scheduler(scheduler_proto.name()));
+            let mut rng = StdRng::seed_from_u64(7);
+            let solution = optimizer
+                .optimize(&scenario, &topology, &mut rng)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+
+            // Eq. (2): every VNF placed exactly once; capacity (Eq. (6))
+            // was validated by Placement::new already.
+            assert_eq!(solution.placement().assignment().len(), scenario.vnfs().len());
+
+            // Eq. (5): every request mapped to exactly one instance of
+            // every VNF on its chain, and no instance outside M_f.
+            for request in scenario.requests() {
+                for vnf in request.chain() {
+                    let k = solution
+                        .instance_serving(request.id(), *vnf)
+                        .unwrap_or_else(|| panic!("{name}: {} unscheduled on {vnf}", request.id()));
+                    let m = scenario.vnf(*vnf).unwrap().instances() as usize;
+                    assert!(k < m, "{name}: instance {k} out of range {m}");
+                }
+                // And never scheduled on a VNF outside the chain.
+                for vnf in scenario.vnfs() {
+                    if !request.uses(vnf.id()) {
+                        assert!(solution.instance_serving(request.id(), vnf.id()).is_none());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Boxed trait objects are not Clone; rebuild by name instead.
+fn clone_placer(name: &str) -> Box<dyn Placer> {
+    match name {
+        "bfdsu" => Box::new(Bfdsu::new()),
+        "bfd" => Box::new(Bfd::new()),
+        "ffd" => Box::new(Ffd::new()),
+        "nah" => Box::new(Nah::new()),
+        other => panic!("unknown placer {other}"),
+    }
+}
+
+fn clone_scheduler(name: &str) -> Box<dyn Scheduler> {
+    match name {
+        "rckk" => Box::new(Rckk::new()),
+        "kk-forward" => Box::new(KkForward::new()),
+        "cga" => Box::new(Cga::new()),
+        "round-robin" => Box::new(RoundRobin::new()),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+#[test]
+fn flow_conservation_across_the_pipeline() {
+    // The total effective arrival rate over all instances of a VNF equals
+    // the sum over its users of λ_r / P_r (Eq. (7) aggregated).
+    let scenario = scenario(2);
+    let topology = fabric(&scenario, 2);
+    let mut rng = StdRng::seed_from_u64(0);
+    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let loads = solution.instance_loads();
+    for vnf in scenario.vnfs() {
+        let expected: f64 = scenario
+            .requests_using(vnf.id())
+            .map(|r| r.effective_rate().value())
+            .sum();
+        let actual: f64 = loads[vnf.id().as_usize()]
+            .iter()
+            .map(|l| l.equivalent_arrival_rate())
+            .sum();
+        assert!(
+            (expected - actual).abs() < 1e-6,
+            "{}: expected {expected}, got {actual}",
+            vnf.id()
+        );
+    }
+}
+
+#[test]
+fn objective_decomposes_and_is_reproducible() {
+    let scenario = scenario(3);
+    let topology = fabric(&scenario, 3);
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+        solution.objective().unwrap()
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a, b, "same seed must reproduce the identical objective");
+
+    let per_request: f64 = (0..a.requests()).map(|r| a.total_latency_of(r)).sum();
+    assert!((per_request - a.total_latency()).abs() < 1e-9);
+    assert!(a.response_latencies().iter().all(|&w| w > 0.0 && w.is_finite()));
+    assert!(a.link_latencies().iter().all(|&l| l >= 0.0));
+}
+
+#[test]
+fn colocated_chains_pay_no_link_latency() {
+    // A scenario small enough to fit on one node: every chain is
+    // intra-server (Fig. 1(b)), so the link part of Eq. (16) is zero.
+    let scenario = ScenarioBuilder::new().vnfs(5).requests(30).seed(4).build().unwrap();
+    let big = scenario.total_demand().value() * 2.0;
+    let topology = builders::star()
+        .hosts(4)
+        .capacities(vec![big, 1.0, 1.0, 1.0])
+        .link_delay(LinkDelay::from_micros(500.0))
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    assert_eq!(solution.placement().nodes_in_service(), 1);
+    let objective = solution.objective().unwrap();
+    assert!(objective.link_latencies().iter().all(|&l| l == 0.0));
+    assert_eq!(objective.average_link_latency(), 0.0);
+}
+
+#[test]
+fn tighter_packing_reduces_link_latency_against_spreading() {
+    // BFDSU's consolidation should never traverse more nodes on average
+    // than NAH's spreading on the same inputs.
+    let scenario = scenario(6);
+    let topology = fabric(&scenario, 6);
+    let avg_nodes = |placer: Box<dyn Placer>| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let solution = JointOptimizer::new()
+            .with_placer(placer)
+            .optimize(&scenario, &topology, &mut rng)
+            .unwrap();
+        let total: usize = scenario
+            .requests()
+            .iter()
+            .map(|r| solution.nodes_traversed(r.id()).len())
+            .sum();
+        total as f64 / scenario.requests().len() as f64
+    };
+    let bfdsu = avg_nodes(Box::new(Bfdsu::new()));
+    let nah = avg_nodes(Box::new(Nah::new()));
+    assert!(bfdsu <= nah + 1e-9, "bfdsu {bfdsu} > nah {nah}");
+}
+
+#[test]
+fn instance_loads_match_schedule_assignments() {
+    let scenario = scenario(7);
+    let topology = fabric(&scenario, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let loads = solution.instance_loads();
+    for vnf in scenario.vnfs() {
+        let schedule = solution.schedule_of(vnf.id()).unwrap();
+        let sums = schedule.instance_rate_sums();
+        for (k, load) in loads[vnf.id().as_usize()].iter().enumerate() {
+            assert!(
+                (load.external_arrival_rate() - sums[k]).abs() < 1e-9,
+                "{} instance {k}",
+                vnf.id()
+            );
+        }
+    }
+    // Spot-check the reverse lookup.
+    let request = &scenario.requests()[0];
+    let vnf: VnfId = request.chain().first();
+    let k = solution.instance_serving(request.id(), vnf).unwrap();
+    assert!(loads[vnf.as_usize()][k].request_count() >= 1);
+}

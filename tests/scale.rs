@@ -1,0 +1,82 @@
+//! Scale tests: the paper's largest configurations through the full
+//! pipeline.
+
+use nfv::topology::{builders, LinkDelay};
+use nfv::workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
+use nfv::JointOptimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[test]
+fn paper_maximum_scale_runs_end_to_end() {
+    // §V.A upper bounds: 30 VNFs, 1000 requests, 50 nodes.
+    let scenario = ScenarioBuilder::new()
+        .vnfs(30)
+        .requests(1000)
+        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 })
+        .seed(2017)
+        .build()
+        .unwrap();
+    let max_vnf = scenario
+        .vnfs()
+        .iter()
+        .map(|v| v.total_demand().value())
+        .fold(0.0f64, f64::max);
+    let per_host = (scenario.total_demand().value() / (50.0 * 0.7)).max(1.1 * max_vnf);
+    let topology = builders::random_connected()
+        .nodes(50)
+        .seed(9)
+        .capacity_range(0.8 * per_host, 1.6 * per_host, 4)
+        .link_delay(LinkDelay::from_micros(100.0))
+        .build()
+        .unwrap();
+
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(0);
+    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let objective = solution.objective().unwrap();
+    let elapsed = start.elapsed();
+
+    assert_eq!(objective.requests(), 1000);
+    assert!(objective.total_latency().is_finite());
+    assert!(solution.placement().nodes_in_service() <= 50);
+    // Both phases are near-linear; even the paper's maximum must be
+    // interactive. Generous bound to stay robust on slow CI machines.
+    assert!(elapsed.as_secs() < 30, "pipeline took {elapsed:?}");
+}
+
+#[test]
+fn scheduling_scales_to_thousands_of_requests() {
+    use nfv::model::ArrivalRate;
+    use nfv::scheduling::{Cga, Rckk, Scheduler};
+    use rand::Rng;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let rates: Vec<ArrivalRate> = (0..5000)
+        .map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).unwrap())
+        .collect();
+    let start = Instant::now();
+    let rckk = Rckk::new().schedule(&rates, 25).unwrap();
+    let rckk_time = start.elapsed();
+    let start = Instant::now();
+    let cga = Cga::new().schedule(&rates, 25).unwrap();
+    let cga_time = start.elapsed();
+    // §IV.D complexity: both are fast; RCKK within an order of magnitude
+    // of greedy even at 5000 requests.
+    assert!(rckk_time.as_millis() < 2_000, "rckk took {rckk_time:?}");
+    assert!(cga_time.as_millis() < 2_000, "cga took {cga_time:?}");
+    assert!(rckk.imbalance() <= cga.imbalance() * 1.5 + 1e-9);
+}
+
+#[test]
+fn fat_tree_at_datacenter_scale_builds_quickly() {
+    // k = 12 fat-tree: 432 hosts, 468 switches (well past the paper's 50).
+    let start = Instant::now();
+    let topo = builders::fat_tree().arity(12).uniform_capacity(1000.0).build().unwrap();
+    assert_eq!(topo.compute_nodes().len(), 432);
+    assert!(topo.is_connected());
+    assert_eq!(topo.diameter_hops(), 6);
+    assert!(start.elapsed().as_secs() < 10, "took {:?}", start.elapsed());
+}

@@ -1,0 +1,64 @@
+//! Serde contracts for the data-structure types (C-SERDE).
+//!
+//! The workspace deliberately carries no serialization *format* crate, so
+//! these tests lock in the contract at the type level: every artifact an
+//! experiment might persist must be `Serialize + DeserializeOwned` (the
+//! `assert_serde` bounds fail to compile if an impl is dropped), and the
+//! aggregate types must agree with their derived `Clone`/`PartialEq`
+//! structure.
+
+use nfv::model::{
+    ArrivalRate, Capacity, ComputeNode, Demand, DeliveryProbability, NodeId, Request, RequestId,
+    ServiceChain, ServiceRate, Vnf, VnfId, VnfKind,
+};
+use nfv::workload::{Scenario, ScenarioBuilder};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn assert_serde<T: Serialize + DeserializeOwned>() {}
+
+#[test]
+fn model_types_implement_serde() {
+    assert_serde::<NodeId>();
+    assert_serde::<VnfId>();
+    assert_serde::<RequestId>();
+    assert_serde::<Capacity>();
+    assert_serde::<Demand>();
+    assert_serde::<ArrivalRate>();
+    assert_serde::<ServiceRate>();
+    assert_serde::<DeliveryProbability>();
+    assert_serde::<VnfKind>();
+    assert_serde::<Vnf>();
+    assert_serde::<ComputeNode>();
+    assert_serde::<ServiceChain>();
+    assert_serde::<Request>();
+    assert_serde::<Scenario>();
+}
+
+#[test]
+fn pipeline_artifact_types_implement_serde() {
+    assert_serde::<nfv::topology::Topology>();
+    assert_serde::<nfv::topology::LinkDelay>();
+    assert_serde::<nfv::queueing::Mm1Queue>();
+    assert_serde::<nfv::queueing::InstanceLoad>();
+    assert_serde::<nfv::queueing::JacksonNetwork>();
+    assert_serde::<nfv::placement::Placement>();
+    assert_serde::<nfv::placement::PlacementProblem>();
+    assert_serde::<nfv::scheduling::Schedule>();
+    assert_serde::<nfv::sim::SimConfig>();
+    assert_serde::<nfv::sim::SimReport>();
+    assert_serde::<nfv::metrics::Summary>();
+    assert_serde::<nfv::metrics::Histogram>();
+    assert_serde::<nfv::experiments::Sweep>();
+}
+
+#[test]
+fn scenario_clone_preserves_everything() {
+    let scenario = ScenarioBuilder::new().vnfs(7).requests(50).seed(13).build().unwrap();
+    let copy = scenario.clone();
+    assert_eq!(scenario, copy);
+    assert_eq!(scenario.total_demand(), copy.total_demand());
+    for (a, b) in scenario.requests().iter().zip(copy.requests()) {
+        assert_eq!(a.chain().as_slice(), b.chain().as_slice());
+    }
+}
