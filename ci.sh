@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full test suite.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (facade + workspace) =="
+cargo test -q
+cargo test -q --workspace
+
+echo "ci: all green"

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the online control plane: full churn-trace
+//! replays per policy, and the single-event hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_controller::{Controller, ControllerConfig};
+use nfv_core::experiments::churn::{setup, ChurnPoint};
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    let (scenario, trace) = setup(&ChurnPoint::base(), 42).expect("valid fixture");
+    let policies = [
+        ("online-only", ControllerConfig::online_only()),
+        ("periodic-reopt", ControllerConfig::periodic_reopt()),
+        ("offline-oracle", ControllerConfig::offline_oracle()),
+    ];
+    for (name, config) in policies {
+        group.bench_with_input(BenchmarkId::new("replay", name), &config, |b, config| {
+            b.iter(|| {
+                let mut controller = Controller::new(&scenario, *config);
+                black_box(controller.run_trace(&trace))
+            });
+        });
+    }
+    // The per-event hot path in isolation: dispatch of the base
+    // population, no churn events at all.
+    let quiet = setup(
+        &ChurnPoint {
+            arrival_rate: 0.0,
+            outage_rate: 0.0,
+            ..ChurnPoint::base()
+        },
+        42,
+    )
+    .expect("valid fixture");
+    group.bench_function("dispatch-base-population", |b| {
+        b.iter(|| {
+            let mut controller = Controller::new(&quiet.0, ControllerConfig::online_only());
+            black_box(controller.run_trace(&quiet.1))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -20,8 +20,12 @@ fn bench_pipelines(c: &mut Criterion) {
     let scenario = ScenarioBuilder::new()
         .vnfs(15)
         .requests(200)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
-        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 10,
+        })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: 0.7,
+        })
         .seed(5)
         .build()
         .unwrap();
@@ -50,7 +54,7 @@ fn bench_pipelines(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     for (name, optimizer) in &pipelines {
         group.bench_with_input(
-            BenchmarkId::new(*name, "15f-200r-12n"),
+            BenchmarkId::new(name, "15f-200r-12n"),
             &(&scenario, &topology),
             |b, (scenario, topology)| {
                 let mut rng = StdRng::seed_from_u64(9);
@@ -58,7 +62,10 @@ fn bench_pipelines(c: &mut Criterion) {
                     let solution = optimizer
                         .optimize(scenario, topology, &mut rng)
                         .expect("feasible fixture");
-                    solution.objective().expect("stable fixture").total_latency()
+                    solution
+                        .objective()
+                        .expect("stable fixture")
+                        .total_latency()
                 });
             },
         );

@@ -4,15 +4,16 @@
 //! cargo run -p nfv-bench --bin figures --release -- <command> [--reps N] [--seed S]
 //! ```
 //!
-//! Commands: `fig5` … `fig16`, `tail`, `joint`, `validate`, `ablation`,
-//! `all`. Each prints the series the corresponding paper figure plots,
+//! Commands: `fig5` … `fig16`, `tail`, `joint`, `churn`, `validate`,
+//! `ablation`, `all`. Each prints the series the corresponding paper
+//! figure plots (`churn` prints the online control-plane comparison),
 //! plus a shape-check summary (who wins, by how much) for comparison with
 //! `EXPERIMENTS.md`.
 
 use std::env;
 use std::process::ExitCode;
 
-use nfv_core::experiments::{joint, placement, scheduling, validation, Sweep};
+use nfv_core::experiments::{churn, joint, placement, scheduling, validation, Sweep};
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
 use nfv_placement::{Bfd, Bfdsu, Ffd, Placer};
@@ -60,8 +61,7 @@ fn parse_args() -> Result<Options, String> {
                 i += 2;
             }
             "--csv" => {
-                options.csv_dir =
-                    Some(args.get(i + 1).ok_or("--csv needs a directory")?.into());
+                options.csv_dir = Some(args.get(i + 1).ok_or("--csv needs a directory")?.into());
                 i += 2;
             }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -71,7 +71,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|validate|ablation|all> [--reps N] [--seed S] [--csv DIR]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|validate|ablation|all> [--reps N] [--seed S] [--csv DIR]".to_owned()
 }
 
 /// Directory for CSV output, set once from the CLI before dispatch.
@@ -104,8 +104,9 @@ fn main() -> ExitCode {
 fn run(options: &Options) -> Result<(), CoreError> {
     let commands: Vec<&str> = if options.command == "all" {
         vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "tail", "fig15", "fig16", "headline", "online", "quality", "joint", "validate", "ablation",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "tail", "fig15", "fig16", "headline", "online", "quality", "joint", "churn",
+            "validate", "ablation",
         ]
     } else {
         vec![options.command.as_str()]
@@ -118,7 +119,11 @@ fn run(options: &Options) -> Result<(), CoreError> {
 }
 
 fn dispatch(command: &str, options: &Options) -> Result<(), CoreError> {
-    let (rp, rs, seed) = (options.reps_placement, options.reps_scheduling, options.seed);
+    let (rp, rs, seed) = (
+        options.reps_placement,
+        options.reps_scheduling,
+        options.seed,
+    );
     match command {
         "fig5" => print_sweep(
             "Fig. 5 - average resource utilization (%) of 10 nodes vs #requests",
@@ -212,6 +217,7 @@ fn dispatch(command: &str, options: &Options) -> Result<(), CoreError> {
             6,
             None,
         ),
+        "churn" => print_churn(seed)?,
         "validate" => print_validation(seed)?,
         "ablation" => print_ablation(rp, rs, seed)?,
         other => {
@@ -307,10 +313,22 @@ fn print_headline(reps: u64, seed: u64) -> Result<(), CoreError> {
     // The paper's 19.9% averages RCKK's improvement across its W
     // experiments; aggregate the same four sweeps.
     let sweeps = [
-        ("fig11 (P=0.98, req sweep)", scheduling::fig11_12_response_vs_requests(0.98, reps, seed)?),
-        ("fig12 (P=1.00, req sweep)", scheduling::fig11_12_response_vs_requests(1.0, reps, seed)?),
-        ("fig13 (P=0.98, inst sweep)", scheduling::fig13_14_response_vs_instances(0.98, reps, seed)?),
-        ("fig14 (P=1.00, inst sweep)", scheduling::fig13_14_response_vs_instances(1.0, reps, seed)?),
+        (
+            "fig11 (P=0.98, req sweep)",
+            scheduling::fig11_12_response_vs_requests(0.98, reps, seed)?,
+        ),
+        (
+            "fig12 (P=1.00, req sweep)",
+            scheduling::fig11_12_response_vs_requests(1.0, reps, seed)?,
+        ),
+        (
+            "fig13 (P=0.98, inst sweep)",
+            scheduling::fig13_14_response_vs_instances(0.98, reps, seed)?,
+        ),
+        (
+            "fig14 (P=1.00, inst sweep)",
+            scheduling::fig13_14_response_vs_instances(1.0, reps, seed)?,
+        ),
     ];
     let mut table = Table::new(vec!["sweep", "mean enhancement%"]);
     let mut overall = 0.0;
@@ -320,14 +338,52 @@ fn print_headline(reps: u64, seed: u64) -> Result<(), CoreError> {
         table.row(vec![(*name).to_owned(), format!("{mean:.1}")]);
     }
     print!("{table}");
-    println!("overall mean: {:.1}% (paper: 19.9%)", overall / sweeps.len() as f64);
+    println!(
+        "overall mean: {:.1}% (paper: 19.9%)",
+        overall / sweeps.len() as f64
+    );
+    Ok(())
+}
+
+fn print_churn(seed: u64) -> Result<(), CoreError> {
+    let point = churn::ChurnPoint::base();
+    println!(
+        "== Churn - online control plane over a {:.0}s trace ({} base requests, \
+         {:.1}/s churn arrivals, ticks every {:.0}s) ==",
+        point.horizon, point.base_requests, point.arrival_rate, point.tick_period
+    );
+    let comparison = churn::run(&point, seed)?;
+    print!("{}", comparison.to_table());
+    let online = &comparison
+        .outcome("online-only")
+        .expect("policy ran")
+        .report;
+    let reopt = &comparison
+        .outcome("periodic-reopt")
+        .expect("policy ran")
+        .report;
+    let oracle = &comparison
+        .outcome("offline-oracle")
+        .expect("policy ran")
+        .report;
+    println!(
+        "shape check: periodic-reopt cuts mean W by {:.1}% vs online-only \
+         with {:.1}% of the oracle's migrations",
+        (online.mean_latency - reopt.mean_latency) / online.mean_latency * 100.0,
+        reopt.migrated() as f64 / oracle.migrated() as f64 * 100.0,
+    );
     Ok(())
 }
 
 fn print_validation(seed: u64) -> Result<(), CoreError> {
     println!("== Validation - Jackson analytics vs discrete-event simulation ==");
     let rows = validation::standard_suite(seed)?;
-    let mut table = Table::new(vec!["configuration", "analytic(s)", "simulated(s)", "rel.err%"]);
+    let mut table = Table::new(vec![
+        "configuration",
+        "analytic(s)",
+        "simulated(s)",
+        "rel.err%",
+    ]);
     let mut worst = 0.0f64;
     for row in &rows {
         worst = worst.max(row.relative_error());
@@ -339,7 +395,10 @@ fn print_validation(seed: u64) -> Result<(), CoreError> {
         ]);
     }
     print!("{table}");
-    println!("shape check: worst relative error {:.2}% (expect < ~8%)", worst * 100.0);
+    println!(
+        "shape check: worst relative error {:.2}% (expect < ~8%)",
+        worst * 100.0
+    );
     Ok(())
 }
 
@@ -352,11 +411,13 @@ fn print_ablation(rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
         requests: 600,
         ..placement::PlacementPoint::base()
     };
-    let placers: Vec<Box<dyn Placer>> =
-        vec![Box::new(Bfdsu::new()), Box::new(Bfd::new()), Box::new(Ffd::new())];
+    let placers: Vec<Box<dyn Placer>> = vec![
+        Box::new(Bfdsu::new()),
+        Box::new(Bfd::new()),
+        Box::new(Ffd::new()),
+    ];
     let stats = placement::run_point(&point, &placers, rp, seed)?;
-    let mut table =
-        Table::new(vec!["placer", "util%", "nodes", "iterations", "failures"]);
+    let mut table = Table::new(vec!["placer", "util%", "nodes", "iterations", "failures"]);
     for (name, s) in &stats {
         table.row(vec![
             name.clone(),

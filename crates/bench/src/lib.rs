@@ -18,7 +18,12 @@ use rand::{Rng, SeedableRng};
 /// Panics on structurally impossible sizes (zero nodes/VNFs); bench
 /// fixtures are meant to be valid by construction.
 #[must_use]
-pub fn placement_problem(nodes: usize, vnfs: usize, requests: usize, seed: u64) -> PlacementProblem {
+pub fn placement_problem(
+    nodes: usize,
+    vnfs: usize,
+    requests: usize,
+    seed: u64,
+) -> PlacementProblem {
     let topology = builders::random_connected()
         .nodes(nodes)
         .seed(seed)
@@ -28,12 +33,17 @@ pub fn placement_problem(nodes: usize, vnfs: usize, requests: usize, seed: u64) 
     let scenario = ScenarioBuilder::new()
         .vnfs(vnfs)
         .requests(requests)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 10,
+        })
         .seed(seed)
         .build()
         .expect("valid fixture scenario");
-    let chains: Vec<ServiceChain> =
-        scenario.requests().iter().map(|r| r.chain().clone()).collect();
+    let chains: Vec<ServiceChain> = scenario
+        .requests()
+        .iter()
+        .map(|r| r.chain().clone())
+        .collect();
     PlacementProblem::with_chains(
         topology.compute_nodes().to_vec(),
         scenario.vnfs().to_vec(),
@@ -57,7 +67,10 @@ mod tests {
 
     #[test]
     fn fixtures_are_deterministic() {
-        assert_eq!(placement_problem(8, 10, 50, 1), placement_problem(8, 10, 50, 1));
+        assert_eq!(
+            placement_problem(8, 10, 50, 1),
+            placement_problem(8, 10, 50, 1)
+        );
         assert_eq!(arrival_rates(10, 2), arrival_rates(10, 2));
     }
 

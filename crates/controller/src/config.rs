@@ -1,0 +1,146 @@
+//! Controller policies and tuning knobs.
+
+use nfv_model::VnfId;
+
+/// What to do when an arrival cannot be admitted without driving some
+/// instance of its chain to `ρ ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ShedPolicy {
+    /// Refuse the arriving request (classic admission control); the
+    /// default.
+    #[default]
+    RejectArrival,
+    /// Try once per saturated hop to evict the largest-rate request from
+    /// the chosen instance, admitting the newcomer if the eviction frees
+    /// enough headroom *and* strictly lowers the instance's merged rate;
+    /// otherwise fall back to rejecting the arrival. Evicted requests
+    /// leave the whole system and are counted as shed.
+    EvictLargest,
+}
+
+/// Bounds on a periodic re-optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReoptConfig {
+    /// Hysteresis: the relative predicted-latency gain
+    /// `(L_now − L_target) / L_now` a full re-balance must promise before
+    /// any migration is performed. `0.0` re-balances on every tick.
+    pub min_gain: f64,
+    /// Maximum number of request migrations applied per tick. When the
+    /// RCKK plan exceeds the budget, the moves with the greatest marginal
+    /// predicted-latency reduction are chosen greedily. A budget covering
+    /// the whole plan (e.g. `usize::MAX`) adopts the full RCKK assignment
+    /// (the "offline oracle").
+    pub max_migrations: usize,
+}
+
+impl ReoptConfig {
+    /// A bounded default: re-balance on a predicted gain of at least 1%,
+    /// moving at most 8 requests per tick.
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self {
+            min_gain: 0.01,
+            max_migrations: 8,
+        }
+    }
+
+    /// The unbounded oracle: adopt the freshly computed RCKK assignment
+    /// wholesale on every tick.
+    #[must_use]
+    pub fn oracle() -> Self {
+        Self {
+            min_gain: 0.0,
+            max_migrations: usize::MAX,
+        }
+    }
+}
+
+/// Complete controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControllerConfig {
+    /// Load-shedding behaviour on saturated arrivals.
+    pub shed: ShedPolicy,
+    /// Re-optimization policy; `None` ignores [`ReoptimizeTick`] events
+    /// (pure online dispatch).
+    ///
+    /// [`ReoptimizeTick`]: nfv_workload::churn::ChurnEvent::ReoptimizeTick
+    pub reopt: Option<ReoptConfig>,
+}
+
+impl ControllerConfig {
+    /// Pure online least-loaded dispatch: no re-optimization, strict
+    /// admission control.
+    #[must_use]
+    pub fn online_only() -> Self {
+        Self {
+            shed: ShedPolicy::RejectArrival,
+            reopt: None,
+        }
+    }
+
+    /// Online dispatch plus bounded periodic re-optimization
+    /// ([`ReoptConfig::bounded`]).
+    #[must_use]
+    pub fn periodic_reopt() -> Self {
+        Self {
+            shed: ShedPolicy::RejectArrival,
+            reopt: Some(ReoptConfig::bounded()),
+        }
+    }
+
+    /// Online dispatch plus full re-balancing on every tick
+    /// ([`ReoptConfig::oracle`]).
+    #[must_use]
+    pub fn offline_oracle() -> Self {
+        Self {
+            shed: ShedPolicy::RejectArrival,
+            reopt: Some(ReoptConfig::oracle()),
+        }
+    }
+}
+
+/// Why an arrival was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// Admitting the request would have driven an instance of this VNF to
+    /// `ρ ≥ 1` and the shed policy could not make room.
+    WouldOverload {
+        /// The saturated hop of the request's chain.
+        vnf: VnfId,
+    },
+    /// Every instance of this VNF is currently down.
+    NoInstanceUp {
+        /// The unavailable hop of the request's chain.
+        vnf: VnfId,
+    },
+    /// The request's chain references a VNF the controller doesn't manage.
+    UnknownVnf {
+        /// The unknown hop.
+        vnf: VnfId,
+    },
+    /// A request with the same id is already active.
+    DuplicateId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_reopt() {
+        assert_eq!(ControllerConfig::online_only().reopt, None);
+        let bounded = ControllerConfig::periodic_reopt().reopt.unwrap();
+        assert!(bounded.min_gain > 0.0);
+        assert!(bounded.max_migrations < usize::MAX);
+        let oracle = ControllerConfig::offline_oracle().reopt.unwrap();
+        assert_eq!(oracle.min_gain, 0.0);
+        assert_eq!(oracle.max_migrations, usize::MAX);
+    }
+
+    #[test]
+    fn default_is_online_only() {
+        assert_eq!(ControllerConfig::default(), ControllerConfig::online_only());
+    }
+}

@@ -1,0 +1,739 @@
+//! The event-driven control loop.
+
+use std::collections::BTreeMap;
+
+use nfv_metrics::{Histogram, SampleSet};
+use nfv_model::{Request, RequestId, VnfId};
+use nfv_scheduling::{Rckk, Scheduler};
+use nfv_workload::churn::{ChurnEvent, ChurnTrace, TimedEvent};
+use nfv_workload::Scenario;
+
+use crate::{ControllerConfig, ControllerReport, ControllerState, RejectReason, ShedPolicy};
+
+/// What the controller did with one event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventOutcome {
+    /// The arrival was admitted onto one instance per chain hop.
+    Admitted {
+        /// `(vnf, instance)` placement for each hop, in chain order.
+        placements: Vec<(VnfId, usize)>,
+    },
+    /// The arrival was refused.
+    Rejected(RejectReason),
+    /// An active request departed normally.
+    Departed,
+    /// A departure for a request the controller no longer holds (already
+    /// evicted or shed); ignored.
+    StaleDeparture,
+    /// An instance went down; its requests were failed over or shed.
+    InstanceDownHandled {
+        /// Requests moved to surviving instances.
+        migrated: u64,
+        /// Requests dropped because no surviving instance could hold them.
+        shed: u64,
+    },
+    /// An instance came (back) up.
+    InstanceUpHandled,
+    /// A re-optimization pass ran and applied its (bounded) plan.
+    Reoptimized {
+        /// Requests actually moved.
+        migrations: u64,
+    },
+    /// A tick was observed but hysteresis found too little predicted gain.
+    TickSkipped,
+    /// A tick was observed but re-optimization is disabled.
+    TickIgnored,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Counters {
+    admitted: u64,
+    rejected: u64,
+    departed: u64,
+    shed: u64,
+    migrated_failover: u64,
+    migrated_reopt: u64,
+    ticks: u64,
+    reopts_applied: u64,
+    reopts_skipped: u64,
+}
+
+/// An online NFV control plane over one scenario.
+///
+/// Consumes a [`ChurnTrace`] event by event, maintaining a live
+/// [`ControllerState`] ledger under admission control (every instance stays
+/// strictly stable, `ρ < 1`), failing over around instance outages, and —
+/// when configured — periodically re-balancing the live request set with
+/// the paper's RCKK scheduler under a bounded migration budget.
+///
+/// Everything is driven by the trace's virtual clock; the controller never
+/// reads wall-clock time, so same-seed runs are bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_controller::{Controller, ControllerConfig};
+/// use nfv_workload::churn::ChurnTraceBuilder;
+/// use nfv_workload::ScenarioBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = ScenarioBuilder::new().vnfs(4).requests(20).seed(1).build()?;
+/// let trace = ChurnTraceBuilder::new()
+///     .horizon(60.0)
+///     .arrival_rate(0.4)
+///     .mean_holding(20.0)
+///     .tick_period(15.0)
+///     .seed(2)
+///     .build(&scenario)?;
+/// let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
+/// let report = controller.run_trace(&trace);
+/// assert_eq!(report.admitted + report.rejected, 20 + trace.events().iter()
+///     .filter(|e| e.time() > 0.0
+///         && matches!(e.event(), nfv_workload::churn::ChurnEvent::Arrival(_)))
+///     .count() as u64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Controller {
+    state: ControllerState,
+    active: BTreeMap<RequestId, Request>,
+    config: ControllerConfig,
+    counters: Counters,
+    clock: f64,
+    /// `∫ L(t) dt` over the run so far, for the time-weighted mean latency.
+    latency_integral: f64,
+    /// Predicted latency after the last handled event.
+    current_latency: f64,
+    latency_samples: SampleSet,
+    utilization_samples: SampleSet,
+    snapshots: Vec<ControllerReport>,
+}
+
+impl Controller {
+    /// Creates an idle controller for a scenario's VNF fleet.
+    #[must_use]
+    pub fn new(scenario: &Scenario, config: ControllerConfig) -> Self {
+        Self {
+            state: ControllerState::new(scenario),
+            active: BTreeMap::new(),
+            config,
+            counters: Counters::default(),
+            clock: 0.0,
+            latency_integral: 0.0,
+            current_latency: 0.0,
+            latency_samples: SampleSet::new(),
+            utilization_samples: SampleSet::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The live ledger.
+    #[must_use]
+    pub fn state(&self) -> &ControllerState {
+        &self.state
+    }
+
+    /// Number of currently active requests.
+    #[must_use]
+    pub fn active_requests(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Applies one timed event.
+    pub fn handle(&mut self, event: &TimedEvent) -> EventOutcome {
+        // Accumulate the latency integral over the interval the system
+        // spent in its previous configuration.
+        let dt = event.time() - self.clock;
+        if dt > 0.0 {
+            self.latency_integral += self.current_latency * dt;
+            self.clock = event.time();
+        }
+
+        let outcome = match event.event() {
+            ChurnEvent::Arrival(request) => self.admit(request),
+            ChurnEvent::Departure(id) => self.depart(*id),
+            ChurnEvent::InstanceDown { vnf, instance } => self.instance_down(*vnf, *instance),
+            ChurnEvent::InstanceUp { vnf, instance } => {
+                self.state.set_up(*vnf, *instance, true);
+                EventOutcome::InstanceUpHandled
+            }
+            ChurnEvent::ReoptimizeTick => self.tick(),
+        };
+
+        self.current_latency = self.state.predicted_latency();
+        self.latency_samples.push(self.current_latency);
+        self.utilization_samples.push(self.peak_utilization());
+        if matches!(event.event(), ChurnEvent::ReoptimizeTick) {
+            let snapshot = self.report();
+            self.snapshots.push(snapshot);
+        }
+        outcome
+    }
+
+    /// Runs a whole trace and returns the final report.
+    pub fn run_trace(&mut self, trace: &ChurnTrace) -> ControllerReport {
+        for event in trace {
+            self.handle(event);
+        }
+        // Account for the quiet tail between the last event and the
+        // horizon, so the time-weighted mean covers the whole run.
+        if trace.horizon() > self.clock {
+            self.latency_integral += self.current_latency * (trace.horizon() - self.clock);
+            self.clock = trace.horizon();
+        }
+        self.report()
+    }
+
+    /// The per-tick report snapshots collected so far.
+    #[must_use]
+    pub fn snapshots(&self) -> &[ControllerReport] {
+        &self.snapshots
+    }
+
+    /// Histogram of the predicted latency observed after each event.
+    #[must_use]
+    pub fn latency_histogram(&self, bins: usize) -> Option<Histogram> {
+        Histogram::fitted(self.latency_samples.as_slice(), bins)
+    }
+
+    /// Histogram of the peak instance utilization after each event.
+    #[must_use]
+    pub fn utilization_histogram(&self, bins: usize) -> Option<Histogram> {
+        Histogram::fitted(self.utilization_samples.as_slice(), bins)
+    }
+
+    /// Snapshot of counters and derived statistics at the current clock.
+    #[must_use]
+    pub fn report(&self) -> ControllerReport {
+        ControllerReport {
+            time: self.clock,
+            admitted: self.counters.admitted,
+            rejected: self.counters.rejected,
+            departed: self.counters.departed,
+            shed: self.counters.shed,
+            migrated_failover: self.counters.migrated_failover,
+            migrated_reopt: self.counters.migrated_reopt,
+            ticks: self.counters.ticks,
+            reopts_applied: self.counters.reopts_applied,
+            reopts_skipped: self.counters.reopts_skipped,
+            active: self.active.len() as u64,
+            mean_latency: if self.clock > 0.0 {
+                self.latency_integral / self.clock
+            } else {
+                self.current_latency
+            },
+            current_latency: self.current_latency,
+            peak_utilization: self.peak_utilization(),
+        }
+    }
+
+    fn peak_utilization(&self) -> f64 {
+        let mut peak = 0.0f64;
+        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+            for k in 0..self.state.instances(vnf) {
+                peak = peak.max(self.state.utilization(vnf, k));
+            }
+        }
+        peak
+    }
+
+    /// Admission: pick the least-loaded up instance per chain hop; refuse
+    /// the arrival (or, under [`ShedPolicy::EvictLargest`], make room once
+    /// per hop) if any hop would be driven to `ρ ≥ 1`. Evictions are
+    /// applied eagerly as hops are scanned and are *not* rolled back if a
+    /// later hop still fails — the shed requests are gone either way.
+    fn admit(&mut self, request: &Request) -> EventOutcome {
+        if self.active.contains_key(&request.id()) {
+            self.counters.rejected += 1;
+            return EventOutcome::Rejected(RejectReason::DuplicateId);
+        }
+        let mut placements = Vec::with_capacity(request.chain().len());
+        for &vnf in request.chain() {
+            if self.state.instances(vnf) == 0 {
+                self.counters.rejected += 1;
+                return EventOutcome::Rejected(RejectReason::UnknownVnf { vnf });
+            }
+            let Some(k) = self.state.least_loaded_up(vnf) else {
+                self.counters.rejected += 1;
+                return EventOutcome::Rejected(RejectReason::NoInstanceUp { vnf });
+            };
+            if self
+                .state
+                .can_accept(vnf, k, request.arrival_rate(), request.delivery())
+            {
+                placements.push((vnf, k));
+                continue;
+            }
+            if self.config.shed == ShedPolicy::EvictLargest
+                && self.evict_largest_for(vnf, k, request)
+            {
+                placements.push((vnf, k));
+                continue;
+            }
+            self.counters.rejected += 1;
+            return EventOutcome::Rejected(RejectReason::WouldOverload { vnf });
+        }
+        for &(vnf, k) in &placements {
+            self.state
+                .add_request(
+                    vnf,
+                    k,
+                    request.id(),
+                    request.arrival_rate(),
+                    request.delivery(),
+                )
+                .expect("placement was validated against the ledger");
+        }
+        self.active.insert(request.id(), request.clone());
+        self.counters.admitted += 1;
+        EventOutcome::Admitted { placements }
+    }
+
+    /// Tries to shed the largest-rate request of `(vnf, k)` to make room
+    /// for `incoming`. The eviction must both free enough headroom and
+    /// strictly shrink the instance's merged rate (evicting a smaller
+    /// request for a bigger one would be a net loss). Returns whether the
+    /// instance can now accept the newcomer.
+    fn evict_largest_for(&mut self, vnf: VnfId, k: usize, incoming: &Request) -> bool {
+        let incoming_inflated = incoming.effective_rate().value();
+        let victim = self
+            .state
+            .members_of(vnf, k)
+            .into_iter()
+            .filter_map(|id| self.active.get(&id))
+            .map(|r| (r.effective_rate().value(), r.id()))
+            // Largest inflated rate wins; id order breaks exact ties
+            // deterministically (first max kept).
+            .fold(None::<(f64, RequestId)>, |best, cand| match best {
+                Some((rate, _)) if rate >= cand.0 => best,
+                _ => Some(cand),
+            });
+        let Some((victim_rate, victim_id)) = victim else {
+            return false;
+        };
+        let sum = self.state.instance_sum(vnf, k);
+        let mu = self.state.service_rate(vnf).expect("vnf exists").value();
+        if victim_rate <= incoming_inflated || sum - victim_rate + incoming_inflated >= mu {
+            return false;
+        }
+        self.drop_request(victim_id);
+        self.counters.shed += 1;
+        true
+    }
+
+    /// Removes a request from every hop it occupies and from the active
+    /// set (an eviction or a failed failover, not a normal departure).
+    fn drop_request(&mut self, id: RequestId) {
+        if let Some(request) = self.active.remove(&id) {
+            for &vnf in request.chain() {
+                self.state.remove_request(vnf, id);
+            }
+        }
+    }
+
+    fn depart(&mut self, id: RequestId) -> EventOutcome {
+        let Some(request) = self.active.remove(&id) else {
+            return EventOutcome::StaleDeparture;
+        };
+        for &vnf in request.chain() {
+            self.state.remove_request(vnf, id);
+        }
+        self.counters.departed += 1;
+        EventOutcome::Departed
+    }
+
+    /// Marks the instance down and re-dispatches its requests (id order)
+    /// to surviving instances with headroom; requests that fit nowhere are
+    /// shed entirely.
+    fn instance_down(&mut self, vnf: VnfId, instance: usize) -> EventOutcome {
+        self.state.set_up(vnf, instance, false);
+        let displaced = self.state.members_of(vnf, instance);
+        let (mut migrated, mut shed) = (0u64, 0u64);
+        for id in displaced {
+            let request = self
+                .active
+                .get(&id)
+                .expect("ledger member is active")
+                .clone();
+            self.state.remove_request(vnf, id);
+            let target = self.state.least_loaded_up(vnf).filter(|&k| {
+                self.state
+                    .can_accept(vnf, k, request.arrival_rate(), request.delivery())
+            });
+            match target {
+                Some(k) => {
+                    self.state
+                        .add_request(vnf, k, id, request.arrival_rate(), request.delivery())
+                        .expect("target was validated");
+                    migrated += 1;
+                }
+                None => {
+                    self.drop_request(id);
+                    shed += 1;
+                }
+            }
+        }
+        self.counters.migrated_failover += migrated;
+        self.counters.shed += shed;
+        EventOutcome::InstanceDownHandled { migrated, shed }
+    }
+
+    /// Bounded plan selection: repeatedly applies, out of the remaining
+    /// candidate moves, the one reducing predicted latency the most, until
+    /// the budget is exhausted or no candidate improves. Candidate
+    /// evaluation try-applies each move on a preview ledger and undoes it,
+    /// relying on `add_request`/`remove_request` restoring the ledger
+    /// bit-for-bit. Returns the selected moves (in selection order) and
+    /// the predicted latency with all of them applied.
+    fn select_moves_greedily(
+        &self,
+        mut remaining: Vec<(RequestId, VnfId, usize)>,
+        budget: usize,
+        now: f64,
+    ) -> (Vec<(RequestId, VnfId, usize)>, f64) {
+        let mut preview = self.state.clone();
+        let mut selected = Vec::with_capacity(budget.min(remaining.len()));
+        let mut current = now;
+        while selected.len() < budget && !remaining.is_empty() {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &(id, vnf, target)) in remaining.iter().enumerate() {
+                let request = self.active.get(&id).expect("ledger member is active");
+                let (rate, delivery) = (request.arrival_rate(), request.delivery());
+                let origin = preview.remove_request(vnf, id).expect("mover is assigned");
+                preview
+                    .add_request(vnf, target, id, rate, delivery)
+                    .expect("target index comes from a valid schedule");
+                let after = preview.predicted_latency();
+                preview.remove_request(vnf, id);
+                preview
+                    .add_request(vnf, origin, id, rate, delivery)
+                    .expect("origin was just vacated");
+                // Strict improvement required; first-best wins ties so the
+                // selection is deterministic.
+                if after < current && best.is_none_or(|(_, b)| after < b) {
+                    best = Some((i, after));
+                }
+            }
+            let Some((i, after)) = best else { break };
+            let (id, vnf, target) = remaining.remove(i);
+            let request = self.active.get(&id).expect("ledger member is active");
+            preview.remove_request(vnf, id);
+            preview
+                .add_request(vnf, target, id, request.arrival_rate(), request.delivery())
+                .expect("target index comes from a valid schedule");
+            selected.push((id, vnf, target));
+            current = after;
+        }
+        (selected, current)
+    }
+
+    fn tick(&mut self) -> EventOutcome {
+        self.counters.ticks += 1;
+        let Some(reopt) = self.config.reopt else {
+            return EventOutcome::TickIgnored;
+        };
+
+        // Re-run RCKK per VNF on the live request set (raw external rates,
+        // exactly as the offline pipeline feeds its scheduler) and collect
+        // the requests whose current instance differs from the target, in
+        // (VNF, id) order for determinism.
+        let mut moves: Vec<(RequestId, VnfId, usize)> = Vec::new();
+        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+            let ids = self.state.active_ids(vnf);
+            if ids.is_empty() {
+                continue;
+            }
+            let rates: Vec<_> = ids
+                .iter()
+                .map(|id| {
+                    self.active
+                        .get(id)
+                        .expect("ledger member is active")
+                        .arrival_rate()
+                })
+                .collect();
+            // Plan only over the instances that are actually up; the
+            // schedule's indices are mapped back to real instance numbers.
+            let ups: Vec<usize> = (0..self.state.instances(vnf))
+                .filter(|&k| self.state.is_up(vnf, k))
+                .collect();
+            if ups.is_empty() {
+                continue;
+            }
+            let Ok(schedule) = Rckk::new().schedule(&rates, ups.len()) else {
+                // Cannot happen for a non-empty live set; treat as "no
+                // plan" rather than aborting the run.
+                continue;
+            };
+            for (i, &id) in ids.iter().enumerate() {
+                let target = ups[schedule.instance_of(i)];
+                if self.state.home_of(vnf, id) != Some(target) {
+                    moves.push((id, vnf, target));
+                }
+            }
+        }
+        if moves.is_empty() {
+            self.counters.reopts_skipped += 1;
+            return EventOutcome::TickSkipped;
+        }
+
+        // Bound the plan. When the budget covers the whole plan, adopt it
+        // verbatim (the oracle path: the live assignment becomes exactly
+        // the fresh RCKK schedule). Otherwise pick the moves greedily by
+        // marginal predicted-latency gain — an arbitrary prefix of a full
+        // rebalance is often infeasible or even harmful, because each
+        // move's target only has room once *other* movers have left.
+        let now = self.state.predicted_latency();
+        let (moves, after) = if moves.len() <= reopt.max_migrations {
+            let mut preview = self.state.clone();
+            for &(id, vnf, target) in &moves {
+                let request = self.active.get(&id).expect("ledger member is active");
+                preview.remove_request(vnf, id);
+                preview
+                    .add_request(vnf, target, id, request.arrival_rate(), request.delivery())
+                    .expect("target index comes from a valid schedule");
+            }
+            let after = preview.predicted_latency();
+            (moves, after)
+        } else {
+            self.select_moves_greedily(moves, reopt.max_migrations, now)
+        };
+        if moves.is_empty() {
+            self.counters.reopts_skipped += 1;
+            return EventOutcome::TickSkipped;
+        }
+
+        // Hysteresis: the selected moves must promise a relative
+        // predicted-latency gain of at least `min_gain`. (An infeasible
+        // full plan previews as infinite latency and is skipped here.)
+        let gain = if now > 0.0 { (now - after) / now } else { 0.0 };
+        if gain < reopt.min_gain {
+            self.counters.reopts_skipped += 1;
+            return EventOutcome::TickSkipped;
+        }
+
+        // Apply the plan verbatim. The previewed end state is exactly what
+        // hysteresis accepted (finite latency, every instance stable), so
+        // no per-move capacity fallback is needed — and none is taken,
+        // keeping the live state equal to the preview bit-for-bit.
+        for &(id, vnf, target) in &moves {
+            let request = self.active.get(&id).expect("ledger member is active");
+            let (rate, delivery) = (request.arrival_rate(), request.delivery());
+            self.state.remove_request(vnf, id);
+            self.state
+                .add_request(vnf, target, id, rate, delivery)
+                .expect("move comes from a validated plan");
+        }
+        let migrations = moves.len() as u64;
+        self.counters.migrated_reopt += migrations;
+        self.counters.reopts_applied += 1;
+        EventOutcome::Reoptimized { migrations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{ArrivalRate, DeliveryProbability, ServiceChain};
+    use nfv_workload::churn::ChurnTraceBuilder;
+    use nfv_workload::{ScenarioBuilder, ServiceRatePolicy};
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .vnfs(4)
+            .requests(30)
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                target_utilization: 0.6,
+            })
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    fn base_trace(s: &Scenario) -> ChurnTrace {
+        ChurnTraceBuilder::new().horizon(50.0).build(s).unwrap()
+    }
+
+    #[test]
+    fn base_population_is_admitted_without_rejections() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        let report = controller.run_trace(&base_trace(&s));
+        assert_eq!(report.admitted, s.requests().len() as u64);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.active, s.requests().len() as u64);
+        assert!(report.peak_utilization < 1.0, "admission keeps rho < 1");
+        assert!(report.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn departures_empty_the_system() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        controller.run_trace(&base_trace(&s));
+        let mut t = 1.0;
+        for request in s.requests() {
+            let event = TimedEvent::new(t, ChurnEvent::Departure(request.id()));
+            assert_eq!(controller.handle(&event), EventOutcome::Departed);
+            t += 0.1;
+        }
+        assert_eq!(controller.active_requests(), 0);
+        assert_eq!(controller.report().departed, s.requests().len() as u64);
+        assert_eq!(controller.state().predicted_latency(), 0.0);
+        // A second departure of the same id is stale, not an error.
+        let event = TimedEvent::new(t, ChurnEvent::Departure(s.requests()[0].id()));
+        assert_eq!(controller.handle(&event), EventOutcome::StaleDeparture);
+    }
+
+    #[test]
+    fn saturating_arrivals_are_rejected_with_typed_reason() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        controller.run_trace(&base_trace(&s));
+        // A single request bigger than any instance's total capacity.
+        let vnf = &s.vnfs()[0];
+        let monster = Request::new(
+            RequestId::new(90_000),
+            ServiceChain::single(vnf.id()),
+            ArrivalRate::new(vnf.service_rate().value() * 2.0).unwrap(),
+            DeliveryProbability::PERFECT,
+        );
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::Arrival(monster)));
+        assert_eq!(
+            outcome,
+            EventOutcome::Rejected(RejectReason::WouldOverload { vnf: vnf.id() })
+        );
+        assert_eq!(controller.report().rejected, 1);
+    }
+
+    #[test]
+    fn instance_down_fails_over_and_up_restores_dispatch() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        controller.run_trace(&base_trace(&s));
+        let vnf = s
+            .vnfs()
+            .iter()
+            .find(|v| v.instances() >= 2)
+            .expect("multi-instance vnf");
+        let on_zero = controller.state().member_count(vnf.id(), 0);
+        let outcome = controller.handle(&TimedEvent::new(
+            1.0,
+            ChurnEvent::InstanceDown {
+                vnf: vnf.id(),
+                instance: 0,
+            },
+        ));
+        match outcome {
+            EventOutcome::InstanceDownHandled { migrated, shed } => {
+                assert_eq!(migrated + shed, on_zero as u64);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(controller.state().member_count(vnf.id(), 0), 0);
+        assert!(!controller.state().is_up(vnf.id(), 0));
+        controller.handle(&TimedEvent::new(
+            2.0,
+            ChurnEvent::InstanceUp {
+                vnf: vnf.id(),
+                instance: 0,
+            },
+        ));
+        assert!(controller.state().is_up(vnf.id(), 0));
+    }
+
+    #[test]
+    fn ticks_are_ignored_without_reopt_config() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        controller.run_trace(&base_trace(&s));
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::ReoptimizeTick));
+        assert_eq!(outcome, EventOutcome::TickIgnored);
+        assert_eq!(controller.report().ticks, 1);
+        assert_eq!(controller.report().reopts_applied, 0);
+    }
+
+    #[test]
+    fn oracle_tick_rebalances_to_rckk() {
+        let s = scenario();
+        let mut controller = Controller::new(&s, ControllerConfig::offline_oracle());
+        controller.run_trace(&base_trace(&s));
+        let before = controller.state().predicted_latency();
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::ReoptimizeTick));
+        match outcome {
+            EventOutcome::Reoptimized { .. } | EventOutcome::TickSkipped => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let after = controller.state().predicted_latency();
+        assert!(
+            after <= before + 1e-12,
+            "rebalancing must not hurt: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn eviction_policy_sheds_big_victim_for_smaller_arrival() {
+        // One VNF, one instance: load it near capacity with one big and
+        // admit a small one that only fits if the big one is evicted.
+        let s = scenario();
+        let vnf = &s.vnfs()[0];
+        let mu = vnf.service_rate().value();
+        let mut controller = Controller::new(
+            &s,
+            ControllerConfig {
+                shed: ShedPolicy::EvictLargest,
+                reopt: None,
+            },
+        );
+        let m = vnf.instances() as usize;
+        // Fill every instance of the VNF close to capacity.
+        for i in 0..m {
+            let big = Request::new(
+                RequestId::new(80_000 + i as u32),
+                ServiceChain::single(vnf.id()),
+                ArrivalRate::new(mu * 0.93).unwrap(),
+                DeliveryProbability::PERFECT,
+            );
+            let outcome = controller.handle(&TimedEvent::new(0.0, ChurnEvent::Arrival(big)));
+            assert!(matches!(outcome, EventOutcome::Admitted { .. }));
+        }
+        let small = Request::new(
+            RequestId::new(81_000),
+            ServiceChain::single(vnf.id()),
+            ArrivalRate::new(mu * 0.5).unwrap(),
+            DeliveryProbability::PERFECT,
+        );
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::Arrival(small.clone())));
+        assert!(matches!(outcome, EventOutcome::Admitted { .. }));
+        let report = controller.report();
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.admitted, m as u64 + 1);
+        assert!(controller.state().home_of(vnf.id(), small.id()).is_some());
+    }
+
+    #[test]
+    fn histograms_cover_the_run() {
+        let s = scenario();
+        let trace = ChurnTraceBuilder::new()
+            .horizon(80.0)
+            .arrival_rate(0.5)
+            .mean_holding(30.0)
+            .tick_period(20.0)
+            .seed(9)
+            .build(&s)
+            .unwrap();
+        let mut controller = Controller::new(&s, ControllerConfig::periodic_reopt());
+        controller.run_trace(&trace);
+        let latency = controller.latency_histogram(8).unwrap();
+        assert_eq!(latency.count() as usize, trace.len());
+        assert!(controller.utilization_histogram(8).is_some());
+        assert_eq!(controller.snapshots().len(), 3); // ticks at 20/40/60
+    }
+}

@@ -1,0 +1,491 @@
+//! The live load ledger: who is assigned where, at what rate.
+
+use std::collections::BTreeMap;
+
+use nfv_model::{ArrivalRate, DeliveryProbability, RequestId, ServiceRate, VnfId};
+use nfv_queueing::InstanceLoad;
+use nfv_workload::Scenario;
+
+use crate::ControllerError;
+
+/// Per-VNF slice of the ledger.
+#[derive(Debug, Clone, PartialEq)]
+struct VnfLedger {
+    service: ServiceRate,
+    /// Availability flag per instance (`InstanceDown` clears it).
+    up: Vec<bool>,
+    /// Members of each instance, keyed by request id. The map (not a
+    /// running sum) is the source of truth: sums are recomputed from it in
+    /// id order on every mutation, so an `add` followed by a `remove`
+    /// restores the previous sums *bit for bit* — a running `+= / -=`
+    /// would not, because float subtraction does not undo addition.
+    members: Vec<BTreeMap<RequestId, (ArrivalRate, DeliveryProbability)>>,
+    /// Cached Kleinrock-merged loss-inflated rate `Λ_k = Σ λ_r/P_r` per
+    /// instance, recomputed from `members` after each mutation.
+    sums: Vec<f64>,
+    /// Which instance each active request of this VNF sits on.
+    home: BTreeMap<RequestId, usize>,
+}
+
+impl VnfLedger {
+    fn recompute_sum(&mut self, k: usize) {
+        self.sums[k] = self.members[k]
+            .values()
+            .map(|(rate, delivery)| rate.inflated_by_loss(*delivery).value())
+            .sum();
+    }
+}
+
+/// Load ledger over every VNF of a scenario: tracks, per service instance,
+/// the set of assigned requests and their Kleinrock-merged loss-inflated
+/// arrival rate `Λ_k^f = Σ λ_r / P_r` (Eq. (7) of the paper), supporting
+/// incremental assignment and removal under churn.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_controller::ControllerState;
+/// use nfv_workload::ScenarioBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = ScenarioBuilder::new().vnfs(4).requests(20).seed(1).build()?;
+/// let mut state = ControllerState::new(&scenario);
+/// let request = &scenario.requests()[0];
+/// let vnf = request.chain().as_slice()[0];
+/// let k = state.least_loaded_up(vnf).unwrap();
+/// state.add_request(vnf, k, request.id(), request.arrival_rate(), request.delivery())?;
+/// assert_eq!(state.home_of(vnf, request.id()), Some(k));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    vnfs: BTreeMap<VnfId, VnfLedger>,
+}
+
+impl ControllerState {
+    /// Creates an all-idle, all-up ledger matching a scenario's VNF fleet.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        let vnfs = scenario
+            .vnfs()
+            .iter()
+            .map(|vnf| {
+                let m = vnf.instances() as usize;
+                (
+                    vnf.id(),
+                    VnfLedger {
+                        service: vnf.service_rate(),
+                        up: vec![true; m],
+                        members: vec![BTreeMap::new(); m],
+                        sums: vec![0.0; m],
+                        home: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        Self { vnfs }
+    }
+
+    fn ledger(&self, vnf: VnfId) -> Option<&VnfLedger> {
+        self.vnfs.get(&vnf)
+    }
+
+    fn ledger_mut(&mut self, vnf: VnfId) -> Result<&mut VnfLedger, ControllerError> {
+        self.vnfs
+            .get_mut(&vnf)
+            .ok_or(ControllerError::UnknownVnf { vnf })
+    }
+
+    /// Number of instances of a VNF (0 for an unknown VNF).
+    #[must_use]
+    pub fn instances(&self, vnf: VnfId) -> usize {
+        self.ledger(vnf).map_or(0, |l| l.sums.len())
+    }
+
+    /// The VNF's service rate `μ_f`, if the VNF exists.
+    #[must_use]
+    pub fn service_rate(&self, vnf: VnfId) -> Option<ServiceRate> {
+        self.ledger(vnf).map(|l| l.service)
+    }
+
+    /// Whether an instance is currently up.
+    #[must_use]
+    pub fn is_up(&self, vnf: VnfId, instance: usize) -> bool {
+        self.ledger(vnf)
+            .and_then(|l| l.up.get(instance))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Marks an instance up or down. Idempotent; out-of-range indices are
+    /// ignored (a trace may name an instance the scenario doesn't have).
+    pub fn set_up(&mut self, vnf: VnfId, instance: usize, up: bool) {
+        if let Some(ledger) = self.vnfs.get_mut(&vnf) {
+            if let Some(flag) = ledger.up.get_mut(instance) {
+                *flag = up;
+            }
+        }
+    }
+
+    /// Merged loss-inflated rate `Λ_k^f` of one instance.
+    #[must_use]
+    pub fn instance_sum(&self, vnf: VnfId, instance: usize) -> f64 {
+        self.ledger(vnf)
+            .and_then(|l| l.sums.get(instance))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// All per-instance merged rates of one VNF.
+    #[must_use]
+    pub fn sums(&self, vnf: VnfId) -> &[f64] {
+        self.ledger(vnf).map_or(&[], |l| &l.sums)
+    }
+
+    /// The *up* instance with the smallest merged rate (lowest index on
+    /// ties — the same rule as the offline crate's `OnlineDispatcher`), or
+    /// `None` if every instance is down or the VNF is unknown.
+    #[must_use]
+    pub fn least_loaded_up(&self, vnf: VnfId) -> Option<usize> {
+        let ledger = self.ledger(vnf)?;
+        ledger
+            .sums
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| ledger.up[k])
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sums are finite"))
+            .map(|(k, _)| k)
+    }
+
+    /// Whether an instance is up and would stay strictly stable
+    /// (`Λ + λ/P < μ`, Eq. (9)) after admitting the given traffic.
+    #[must_use]
+    pub fn can_accept(
+        &self,
+        vnf: VnfId,
+        instance: usize,
+        rate: ArrivalRate,
+        delivery: DeliveryProbability,
+    ) -> bool {
+        let Some(ledger) = self.ledger(vnf) else {
+            return false;
+        };
+        if !ledger.up.get(instance).copied().unwrap_or(false) {
+            return false;
+        }
+        ledger.sums[instance] + rate.inflated_by_loss(delivery).value() < ledger.service.value()
+    }
+
+    /// Assigns a request to an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::UnknownVnf`] / [`ControllerError::NoSuchInstance`]
+    /// for bad coordinates, [`ControllerError::DuplicateAssignment`] if the
+    /// request already sits on some instance of this VNF.
+    pub fn add_request(
+        &mut self,
+        vnf: VnfId,
+        instance: usize,
+        id: RequestId,
+        rate: ArrivalRate,
+        delivery: DeliveryProbability,
+    ) -> Result<(), ControllerError> {
+        let ledger = self.ledger_mut(vnf)?;
+        if instance >= ledger.members.len() {
+            return Err(ControllerError::NoSuchInstance { vnf, instance });
+        }
+        if ledger.home.contains_key(&id) {
+            return Err(ControllerError::DuplicateAssignment { vnf, request: id });
+        }
+        ledger.members[instance].insert(id, (rate, delivery));
+        ledger.home.insert(id, instance);
+        ledger.recompute_sum(instance);
+        Ok(())
+    }
+
+    /// Removes a request from whatever instance of `vnf` holds it,
+    /// returning that instance, or `None` if the request is not assigned.
+    pub fn remove_request(&mut self, vnf: VnfId, id: RequestId) -> Option<usize> {
+        let ledger = self.vnfs.get_mut(&vnf)?;
+        let instance = ledger.home.remove(&id)?;
+        ledger.members[instance].remove(&id);
+        ledger.recompute_sum(instance);
+        Some(instance)
+    }
+
+    /// The instance of `vnf` currently serving `id`.
+    #[must_use]
+    pub fn home_of(&self, vnf: VnfId, id: RequestId) -> Option<usize> {
+        self.ledger(vnf).and_then(|l| l.home.get(&id)).copied()
+    }
+
+    /// Ids of every request assigned to any instance of `vnf`, ascending.
+    #[must_use]
+    pub fn active_ids(&self, vnf: VnfId) -> Vec<RequestId> {
+        self.ledger(vnf)
+            .map_or_else(Vec::new, |l| l.home.keys().copied().collect())
+    }
+
+    /// Ids of the requests on one instance, ascending.
+    #[must_use]
+    pub fn members_of(&self, vnf: VnfId, instance: usize) -> Vec<RequestId> {
+        self.ledger(vnf)
+            .and_then(|l| l.members.get(instance))
+            .map_or_else(Vec::new, |m| m.keys().copied().collect())
+    }
+
+    /// Number of requests on one instance.
+    #[must_use]
+    pub fn member_count(&self, vnf: VnfId, instance: usize) -> usize {
+        self.ledger(vnf)
+            .and_then(|l| l.members.get(instance))
+            .map_or(0, BTreeMap::len)
+    }
+
+    /// Reconstructs the queueing-theoretic [`InstanceLoad`] of an instance
+    /// by merging its members in id order.
+    #[must_use]
+    pub fn instance_load(&self, vnf: VnfId, instance: usize) -> Option<InstanceLoad> {
+        let ledger = self.ledger(vnf)?;
+        let members = ledger.members.get(instance)?;
+        let mut load = InstanceLoad::new(ledger.service);
+        for (rate, delivery) in members.values() {
+            load.add_request(*rate, *delivery);
+        }
+        Some(load)
+    }
+
+    /// Utilization `ρ = Λ/μ` of one instance.
+    #[must_use]
+    pub fn utilization(&self, vnf: VnfId, instance: usize) -> f64 {
+        self.ledger(vnf)
+            .map_or(0.0, |l| l.sums[instance] / l.service.value())
+    }
+
+    /// Iterates over the VNF ids in ascending order.
+    pub fn vnf_ids(&self) -> impl Iterator<Item = VnfId> + '_ {
+        self.vnfs.keys().copied()
+    }
+
+    /// The system-wide predicted average delivery response time: every
+    /// instance's `W(f,k)` (Eq. (11)) weighted by its external arrival
+    /// rate, divided by the total external rate — i.e. the expected
+    /// per-hop-summed latency of a random in-flight packet. Idle systems
+    /// report 0; an unstable instance (impossible under strict admission)
+    /// reports infinity.
+    #[must_use]
+    pub fn predicted_latency(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total_external = 0.0;
+        for (&vnf, ledger) in &self.vnfs {
+            for k in 0..ledger.sums.len() {
+                let load = self.instance_load(vnf, k).expect("instance exists");
+                if load.request_count() == 0 {
+                    continue;
+                }
+                match load.mean_delivery_response_time() {
+                    Ok(w) => {
+                        weighted += load.external_arrival_rate() * w;
+                        total_external += load.external_arrival_rate();
+                    }
+                    Err(_) => return f64::INFINITY,
+                }
+            }
+        }
+        if total_external == 0.0 {
+            0.0
+        } else {
+            weighted / total_external
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_workload::ScenarioBuilder;
+
+    fn state() -> (Scenario, ControllerState) {
+        let scenario = ScenarioBuilder::new()
+            .vnfs(4)
+            .requests(24)
+            .seed(2)
+            .build()
+            .unwrap();
+        let state = ControllerState::new(&scenario);
+        (scenario, state)
+    }
+
+    #[test]
+    fn fresh_ledger_is_idle_and_up() {
+        let (scenario, state) = state();
+        for vnf in scenario.vnfs() {
+            assert_eq!(state.instances(vnf.id()), vnf.instances() as usize);
+            for k in 0..state.instances(vnf.id()) {
+                assert!(state.is_up(vnf.id(), k));
+                assert_eq!(state.instance_sum(vnf.id(), k), 0.0);
+                assert_eq!(state.member_count(vnf.id(), k), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_restores_sums_bit_for_bit() {
+        let (scenario, mut state) = state();
+        // Pre-load a few requests so the removal lands on non-trivial sums.
+        for request in &scenario.requests()[..6] {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(
+                        vnf,
+                        k,
+                        request.id(),
+                        request.arrival_rate(),
+                        request.delivery(),
+                    )
+                    .unwrap();
+            }
+        }
+        let snapshot = state.clone();
+        let extra = &scenario.requests()[10];
+        for &vnf in extra.chain() {
+            let k = state.least_loaded_up(vnf).unwrap();
+            state
+                .add_request(vnf, k, extra.id(), extra.arrival_rate(), extra.delivery())
+                .unwrap();
+        }
+        assert_ne!(state, snapshot);
+        for &vnf in extra.chain() {
+            assert!(state.remove_request(vnf, extra.id()).is_some());
+        }
+        assert_eq!(state, snapshot); // PartialEq compares f64 sums exactly
+    }
+
+    #[test]
+    fn least_loaded_skips_down_instances() {
+        let (scenario, mut state) = state();
+        let vnf = scenario
+            .vnfs()
+            .iter()
+            .find(|v| v.instances() >= 2)
+            .unwrap()
+            .id();
+        state.set_up(vnf, 0, false);
+        assert_ne!(state.least_loaded_up(vnf), Some(0));
+        for k in 0..state.instances(vnf) {
+            state.set_up(vnf, k, false);
+        }
+        assert_eq!(state.least_loaded_up(vnf), None);
+    }
+
+    #[test]
+    fn can_accept_enforces_strict_stability_and_up() {
+        let (scenario, mut state) = state();
+        let vnf = &scenario.vnfs()[0];
+        let mu = vnf.service_rate().value();
+        let id = vnf.id();
+        let exact = ArrivalRate::new(mu).unwrap();
+        let below = ArrivalRate::new(mu * 0.999).unwrap();
+        assert!(!state.can_accept(id, 0, exact, DeliveryProbability::PERFECT));
+        assert!(state.can_accept(id, 0, below, DeliveryProbability::PERFECT));
+        state.set_up(id, 0, false);
+        assert!(!state.can_accept(id, 0, below, DeliveryProbability::PERFECT));
+    }
+
+    #[test]
+    fn duplicate_and_bad_coordinates_error() {
+        let (scenario, mut state) = state();
+        let request = &scenario.requests()[0];
+        let vnf = request.chain().as_slice()[0];
+        state
+            .add_request(
+                vnf,
+                0,
+                request.id(),
+                request.arrival_rate(),
+                request.delivery(),
+            )
+            .unwrap();
+        assert!(matches!(
+            state.add_request(
+                vnf,
+                0,
+                request.id(),
+                request.arrival_rate(),
+                request.delivery()
+            ),
+            Err(ControllerError::DuplicateAssignment { .. })
+        ));
+        assert!(matches!(
+            state.add_request(
+                vnf,
+                999,
+                RequestId::new(9999),
+                request.arrival_rate(),
+                request.delivery()
+            ),
+            Err(ControllerError::NoSuchInstance { .. })
+        ));
+        assert!(matches!(
+            state.add_request(
+                VnfId::new(999),
+                0,
+                RequestId::new(9999),
+                request.arrival_rate(),
+                request.delivery()
+            ),
+            Err(ControllerError::UnknownVnf { .. })
+        ));
+        assert_eq!(state.remove_request(vnf, RequestId::new(4242)), None);
+    }
+
+    #[test]
+    fn instance_load_matches_sums() {
+        let (scenario, mut state) = state();
+        for request in &scenario.requests()[..8] {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(
+                        vnf,
+                        k,
+                        request.id(),
+                        request.arrival_rate(),
+                        request.delivery(),
+                    )
+                    .unwrap();
+            }
+        }
+        for vnf in scenario.vnfs() {
+            for k in 0..state.instances(vnf.id()) {
+                let load = state.instance_load(vnf.id(), k).unwrap();
+                assert!(
+                    (load.equivalent_arrival_rate() - state.instance_sum(vnf.id(), k)).abs()
+                        < 1e-12
+                );
+                assert_eq!(load.request_count(), state.member_count(vnf.id(), k));
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_latency_is_zero_when_idle_and_positive_under_load() {
+        let (scenario, mut state) = state();
+        assert_eq!(state.predicted_latency(), 0.0);
+        let request = &scenario.requests()[0];
+        for &vnf in request.chain() {
+            state
+                .add_request(
+                    vnf,
+                    0,
+                    request.id(),
+                    request.arrival_rate(),
+                    request.delivery(),
+                )
+                .unwrap();
+        }
+        assert!(state.predicted_latency() > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! An online NFV control plane: churn-driven dispatch, admission control,
+//! and bounded re-optimization.
+//!
+//! The offline pipeline (`nfv-placement` + `nfv-scheduling`) answers "given
+//! this request set, what is the best placement and schedule?". This crate
+//! answers the operational question that follows: how to *keep* a good
+//! assignment while requests arrive and depart and instances fail, without
+//! ever overloading an instance and without re-shuffling the whole data
+//! plane on every event.
+//!
+//! The moving parts:
+//!
+//! - [`ControllerState`] — a load ledger tracking, per VNF instance, the
+//!   Kleinrock-merged loss-inflated arrival rate (Eq. (7) of the paper)
+//!   with incremental `add_request` / `remove_request` updates that restore
+//!   sums bit-for-bit.
+//! - [`Controller`] — the event loop. Arrivals are dispatched to the
+//!   least-loaded *up* instance of each chain hop, refused (with a typed
+//!   [`RejectReason`]) if any hop would be driven to `ρ ≥ 1`; a
+//!   configurable [`ShedPolicy`] can instead evict a larger request to
+//!   make room. Instance outages trigger failover; periodic
+//!   [`ReoptimizeTick`](nfv_workload::churn::ChurnEvent::ReoptimizeTick)
+//!   events re-run the paper's RCKK scheduler on the live request set and
+//!   apply a migration plan bounded by [`ReoptConfig`] (hysteresis on the
+//!   predicted latency gain, per-tick migration budget).
+//! - [`ControllerReport`] — counters and derived statistics snapshotted in
+//!   virtual time for observability.
+//!
+//! Everything is deterministic: the controller is driven purely by the
+//! trace's virtual clock and never consults wall-clock time or ambient
+//! randomness, so two same-seed runs produce identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod controller;
+mod error;
+mod ledger;
+mod report;
+
+pub use config::{ControllerConfig, RejectReason, ReoptConfig, ShedPolicy};
+pub use controller::{Controller, EventOutcome};
+pub use error::ControllerError;
+pub use ledger::ControllerState;
+pub use report::ControllerReport;

@@ -1,0 +1,126 @@
+//! Observability: counters and periodic snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the controller's counters and derived statistics, taken
+/// at a point in virtual time. Snapshots of two same-seed runs are
+/// identical field-for-field (see the determinism tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerReport {
+    /// Virtual time of the snapshot, seconds.
+    pub time: f64,
+    /// Requests admitted (base population + churn arrivals).
+    pub admitted: u64,
+    /// Arrivals refused by admission control.
+    pub rejected: u64,
+    /// Requests that departed normally.
+    pub departed: u64,
+    /// Requests dropped by load shedding (evictions and failed failovers).
+    pub shed: u64,
+    /// Requests moved between instances while failing over a down
+    /// instance.
+    pub migrated_failover: u64,
+    /// Requests moved between instances by re-optimization passes.
+    pub migrated_reopt: u64,
+    /// Re-optimization ticks observed (whether or not acted upon).
+    pub ticks: u64,
+    /// Ticks whose migration plan was applied.
+    pub reopts_applied: u64,
+    /// Ticks skipped by the hysteresis threshold.
+    pub reopts_skipped: u64,
+    /// Requests active at snapshot time.
+    pub active: u64,
+    /// Time-weighted mean of the predicted average delivery response time
+    /// (Eq. (11) aggregated system-wide), seconds.
+    pub mean_latency: f64,
+    /// Predicted average delivery response time at snapshot time, seconds.
+    pub current_latency: f64,
+    /// Highest per-instance utilization `ρ` at snapshot time.
+    pub peak_utilization: f64,
+}
+
+impl ControllerReport {
+    /// Total migrations from both causes.
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.migrated_failover + self.migrated_reopt
+    }
+
+    /// Fraction of arrivals refused, in `[0, 1]`; 0 when nothing arrived.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.admitted + self.rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+
+    /// A fixed-precision one-line rendering, stable across runs.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "t={:.3}s active={} admitted={} rejected={} ({:.2}%) departed={} shed={} \
+             migrated={}+{} ticks={} (applied {}, skipped {}) W={:.6}s mean W={:.6}s rho_max={:.4}",
+            self.time,
+            self.active,
+            self.admitted,
+            self.rejected,
+            self.rejection_rate() * 100.0,
+            self.departed,
+            self.shed,
+            self.migrated_failover,
+            self.migrated_reopt,
+            self.ticks,
+            self.reopts_applied,
+            self.reopts_skipped,
+            self.current_latency,
+            self.mean_latency,
+            self.peak_utilization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ControllerReport {
+        ControllerReport {
+            time: 10.0,
+            admitted: 30,
+            rejected: 10,
+            departed: 5,
+            shed: 1,
+            migrated_failover: 2,
+            migrated_reopt: 3,
+            ticks: 4,
+            reopts_applied: 2,
+            reopts_skipped: 2,
+            active: 24,
+            mean_latency: 0.01,
+            current_latency: 0.012,
+            peak_utilization: 0.9,
+        }
+    }
+
+    #[test]
+    fn rejection_rate_and_migrations() {
+        let r = report();
+        assert!((r.rejection_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(r.migrated(), 5);
+        let empty = ControllerReport {
+            admitted: 0,
+            rejected: 0,
+            ..report()
+        };
+        assert_eq!(empty.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(report().render(), report().render());
+        assert!(report().render().contains("rejected=10 (25.00%)"));
+    }
+}

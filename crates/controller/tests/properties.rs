@@ -1,0 +1,165 @@
+//! Cross-crate invariants tying the controller to the offline pipeline.
+
+use nfv_controller::{Controller, ControllerConfig, ControllerState, ReoptConfig, ShedPolicy};
+use nfv_model::{ArrivalRate, DeliveryProbability, RequestId};
+use nfv_scheduling::{OnlineDispatcher, Rckk, Scheduler};
+use nfv_workload::churn::ChurnTraceBuilder;
+use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
+use proptest::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .vnfs(5)
+        .requests(40)
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: 0.6,
+        })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// With no churn and re-optimization disabled, the controller is exactly
+/// an online least-loaded dispatcher per VNF: replaying each VNF's
+/// requests (arrival = id order) through [`OnlineDispatcher`] with their
+/// loss-inflated rates reproduces the controller's assignment.
+#[test]
+fn pure_arrival_run_matches_online_least_loaded() {
+    for seed in [11u64, 12, 13] {
+        let s = scenario(seed);
+        let trace = ChurnTraceBuilder::new().horizon(10.0).build(&s).unwrap();
+        let mut controller = Controller::new(&s, ControllerConfig::online_only());
+        let report = controller.run_trace(&trace);
+        assert_eq!(report.rejected, 0, "scenario must have admission headroom");
+
+        for vnf in s.vnfs() {
+            let mut dispatcher = OnlineDispatcher::new(vnf.instances() as usize).unwrap();
+            for request in s.requests().iter().filter(|r| r.uses(vnf.id())) {
+                let expected = dispatcher.dispatch(request.effective_rate());
+                assert_eq!(
+                    controller.state().home_of(vnf.id(), request.id()),
+                    Some(expected),
+                    "seed {seed}, {} on {}",
+                    request.id(),
+                    vnf.id(),
+                );
+            }
+        }
+    }
+}
+
+/// Zero churn plus a single (forced) re-optimization tick lands every VNF
+/// on exactly the assignment the offline RCKK scheduler computes from the
+/// same raw rates.
+#[test]
+fn zero_churn_single_tick_matches_offline_rckk() {
+    for seed in [21u64, 22, 23] {
+        let s = scenario(seed);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(10.0)
+            .tick_period(5.0)
+            .build(&s)
+            .unwrap();
+        // Force the plan through regardless of predicted gain so the test
+        // checks the *assignment*, not the hysteresis.
+        let config = ControllerConfig {
+            shed: ShedPolicy::RejectArrival,
+            reopt: Some(ReoptConfig {
+                min_gain: f64::NEG_INFINITY,
+                max_migrations: usize::MAX,
+            }),
+        };
+        let mut controller = Controller::new(&s, config);
+        let report = controller.run_trace(&trace);
+        assert_eq!(report.rejected, 0);
+        assert!(report.reopts_applied >= 1 || report.reopts_skipped >= 1);
+
+        for vnf in s.vnfs() {
+            let requests: Vec<_> = s.requests().iter().filter(|r| r.uses(vnf.id())).collect();
+            if requests.is_empty() {
+                continue;
+            }
+            let rates: Vec<_> = requests.iter().map(|r| r.arrival_rate()).collect();
+            let schedule = Rckk::new()
+                .schedule(&rates, vnf.instances() as usize)
+                .unwrap();
+            for (i, request) in requests.iter().enumerate() {
+                assert_eq!(
+                    controller.state().home_of(vnf.id(), request.id()),
+                    Some(schedule.instance_of(i)),
+                    "seed {seed}, {} on {}",
+                    request.id(),
+                    vnf.id(),
+                );
+            }
+        }
+    }
+}
+
+/// Two controller runs over traces built from the same seed produce
+/// identical reports, snapshot for snapshot and byte for byte.
+#[test]
+fn same_seed_runs_are_identical() {
+    let run = || {
+        let s = scenario(31);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(120.0)
+            .arrival_rate(0.6)
+            .mean_holding(25.0)
+            .tick_period(30.0)
+            .outage_rate(0.02)
+            .mean_outage(8.0)
+            .seed(7)
+            .build(&s)
+            .unwrap();
+        let mut controller = Controller::new(&s, ControllerConfig::periodic_reopt());
+        let report = controller.run_trace(&trace);
+        (report, controller.snapshots().to_vec())
+    };
+    let (report_a, snaps_a) = run();
+    let (report_b, snaps_b) = run();
+    assert_eq!(report_a, report_b);
+    assert_eq!(snaps_a, snaps_b);
+    assert_eq!(report_a.render(), report_b.render());
+}
+
+proptest! {
+    /// `add_request` followed by `remove_request` restores the ledger
+    /// bit-for-bit, including the cached f64 sums, even on top of a
+    /// populated state.
+    #[test]
+    fn add_then_remove_restores_ledger(
+        rate in 0.01f64..5.0,
+        delivery in 0.5f64..1.0,
+        vnf_pick in 0usize..64,
+        instance_pick in 0usize..64,
+    ) {
+        let s = scenario(41);
+        let mut state = ControllerState::new(&s);
+        for request in s.requests() {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(vnf, k, request.id(), request.arrival_rate(), request.delivery())
+                    .unwrap();
+            }
+        }
+        let before = state.clone();
+
+        let vnf = s.vnfs()[vnf_pick % s.vnfs().len()].id();
+        let k = instance_pick % state.instances(vnf);
+        let id = RequestId::new(55_555);
+        state
+            .add_request(
+                vnf,
+                k,
+                id,
+                ArrivalRate::new(rate).unwrap(),
+                DeliveryProbability::new(delivery).unwrap(),
+            )
+            .unwrap();
+        prop_assert_eq!(state.home_of(vnf, id), Some(k));
+        prop_assert_eq!(state.remove_request(vnf, id), Some(k));
+        prop_assert_eq!(state, before);
+    }
+}

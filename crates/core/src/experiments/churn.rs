@@ -1,0 +1,228 @@
+//! Churn experiment: online control-plane policies under a streaming
+//! trace.
+//!
+//! The offline experiments ask how good an assignment the pipeline finds
+//! for a frozen request set; this one asks how well it can be *kept* while
+//! the set churns. One scenario and one seeded [`ChurnTrace`] are replayed
+//! through three controller policies:
+//!
+//! * **online-only** — least-loaded dispatch with strict admission
+//!   control, never migrating;
+//! * **periodic-reopt** — the same dispatch, plus a bounded RCKK re-balance
+//!   on every tick ([`ReoptConfig::bounded`]: hysteresis on the predicted
+//!   latency gain, a per-tick migration budget);
+//! * **offline-oracle** — adopts the full fresh RCKK assignment on every
+//!   tick, an upper bound on re-balancing aggressiveness (and migration
+//!   churn).
+//!
+//! The interesting ordering, which the `figures churn` subcommand asserts
+//! by printing it: periodic-reopt recovers most of the oracle's latency
+//! advantage over pure online dispatch while migrating far less.
+
+use nfv_controller::{Controller, ControllerConfig, ControllerReport};
+use nfv_metrics::Table;
+use nfv_workload::churn::{ChurnTrace, ChurnTraceBuilder};
+use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Parameters of one churn run (scenario shape + trace dynamics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// Number of VNF types in the scenario.
+    pub vnfs: usize,
+    /// Base request population present at `t = 0`.
+    pub base_requests: usize,
+    /// Utilization a perfectly balanced base population would induce.
+    pub target_utilization: f64,
+    /// Virtual-time horizon of the trace, seconds.
+    pub horizon: f64,
+    /// Poisson rate of churn arrivals, requests per second.
+    pub arrival_rate: f64,
+    /// Mean exponential holding time of every request, seconds.
+    pub mean_holding: f64,
+    /// Re-optimization tick period, seconds.
+    pub tick_period: f64,
+    /// Poisson rate of instance outages, outages per second.
+    pub outage_rate: f64,
+    /// Mean exponential outage duration, seconds.
+    pub mean_outage: f64,
+}
+
+impl ChurnPoint {
+    /// The default configuration: a moderately loaded fleet under heavy
+    /// request churn with occasional instance outages.
+    #[must_use]
+    pub fn base() -> Self {
+        Self {
+            vnfs: 6,
+            base_requests: 60,
+            target_utilization: 0.85,
+            horizon: 300.0,
+            arrival_rate: 2.0,
+            mean_holding: 30.0,
+            tick_period: 25.0,
+            outage_rate: 0.01,
+            mean_outage: 10.0,
+        }
+    }
+}
+
+/// One policy's end-of-run result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnOutcome {
+    /// Policy name (`online-only`, `periodic-reopt`, `offline-oracle`).
+    pub policy: String,
+    /// The controller's final report at the horizon.
+    pub report: ControllerReport,
+}
+
+/// The three policies' results over the same scenario and trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnComparison {
+    /// The run parameters.
+    pub point: ChurnPoint,
+    /// Base seed used for scenario and trace generation.
+    pub seed: u64,
+    /// One outcome per policy, in `[online-only, periodic-reopt,
+    /// offline-oracle]` order.
+    pub outcomes: Vec<ChurnOutcome>,
+}
+
+impl ChurnComparison {
+    /// The outcome of one policy by name.
+    #[must_use]
+    pub fn outcome(&self, policy: &str) -> Option<&ChurnOutcome> {
+        self.outcomes.iter().find(|o| o.policy == policy)
+    }
+
+    /// Renders the comparison as a plain-text table: one row per policy
+    /// with time-weighted mean response time, migrations by cause,
+    /// rejection rate and shed count.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "policy",
+            "mean W (ms)",
+            "migrations",
+            "  failover",
+            "  reopt",
+            "rejected (%)",
+            "shed",
+            "reopts applied/skipped",
+        ]);
+        for outcome in &self.outcomes {
+            let r = &outcome.report;
+            table.row(vec![
+                outcome.policy.clone(),
+                format!("{:.4}", r.mean_latency * 1e3),
+                format!("{}", r.migrated()),
+                format!("{}", r.migrated_failover),
+                format!("{}", r.migrated_reopt),
+                format!("{:.2}", r.rejection_rate() * 100.0),
+                format!("{}", r.shed),
+                format!("{}/{}", r.reopts_applied, r.reopts_skipped),
+            ]);
+        }
+        table
+    }
+}
+
+/// Builds the scenario and trace for a point. Exposed so benches and
+/// examples replay exactly the experiment's inputs.
+pub fn setup(point: &ChurnPoint, seed: u64) -> Result<(Scenario, ChurnTrace), CoreError> {
+    let scenario = ScenarioBuilder::new()
+        .vnfs(point.vnfs)
+        .requests(point.base_requests)
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: point.target_utilization,
+        })
+        .seed(seed)
+        .build()?;
+    let trace = ChurnTraceBuilder::new()
+        .horizon(point.horizon)
+        .arrival_rate(point.arrival_rate)
+        .mean_holding(point.mean_holding)
+        .tick_period(point.tick_period)
+        .outage_rate(point.outage_rate)
+        .mean_outage(point.mean_outage)
+        .seed(seed.wrapping_add(1))
+        .build(&scenario)?;
+    Ok((scenario, trace))
+}
+
+/// Replays one seeded trace through the three policies.
+pub fn run(point: &ChurnPoint, seed: u64) -> Result<ChurnComparison, CoreError> {
+    let (scenario, trace) = setup(point, seed)?;
+    let policies = [
+        ("online-only", ControllerConfig::online_only()),
+        ("periodic-reopt", ControllerConfig::periodic_reopt()),
+        ("offline-oracle", ControllerConfig::offline_oracle()),
+    ];
+    let mut outcomes = Vec::with_capacity(policies.len());
+    for (name, config) in policies {
+        let mut controller = Controller::new(&scenario, config);
+        let report = controller.run_trace(&trace);
+        outcomes.push(ChurnOutcome {
+            policy: name.to_string(),
+            report,
+        });
+    }
+    Ok(ChurnComparison {
+        point: *point,
+        seed,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_policies_share_the_trace() {
+        let comparison = run(&ChurnPoint::base(), 1).unwrap();
+        assert_eq!(comparison.outcomes.len(), 3);
+        let online = &comparison.outcome("online-only").unwrap().report;
+        let oracle = &comparison.outcome("offline-oracle").unwrap().report;
+        // Same trace: every policy sees the same offered load.
+        for outcome in &comparison.outcomes {
+            assert_eq!(
+                outcome.report.admitted + outcome.report.rejected,
+                online.admitted + online.rejected
+            );
+            assert!(outcome.report.peak_utilization < 1.0);
+        }
+        assert_eq!(online.migrated_reopt, 0);
+        assert!(oracle.reopts_applied > 0);
+    }
+
+    #[test]
+    fn reopt_recovers_latency_with_bounded_migrations() {
+        let comparison = run(&ChurnPoint::base(), 1).unwrap();
+        let online = &comparison.outcome("online-only").unwrap().report;
+        let reopt = &comparison.outcome("periodic-reopt").unwrap().report;
+        let oracle = &comparison.outcome("offline-oracle").unwrap().report;
+        assert!(
+            reopt.mean_latency < online.mean_latency,
+            "periodic reopt must beat pure online dispatch: {} vs {}",
+            reopt.mean_latency,
+            online.mean_latency
+        );
+        assert!(
+            reopt.migrated() < oracle.migrated(),
+            "bounded reopt must migrate less than the oracle: {} vs {}",
+            reopt.migrated(),
+            oracle.migrated()
+        );
+    }
+
+    #[test]
+    fn same_seed_comparisons_are_identical() {
+        let a = run(&ChurnPoint::base(), 3).unwrap();
+        let b = run(&ChurnPoint::base(), 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_table().to_string(), b.to_table().to_string());
+    }
+}

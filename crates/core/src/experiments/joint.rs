@@ -9,8 +9,8 @@
 //! quality metrics side by side.
 
 use nfv_metrics::OnlineStats;
-use nfv_placement::{Bfd, Bfdsu, ChainAffinity, Ffd, Nah, PlacementProblem};
 use nfv_placement::Placer as _;
+use nfv_placement::{Bfd, Bfdsu, ChainAffinity, Ffd, Nah, PlacementProblem};
 use nfv_scheduling::{Cga, Rckk};
 use nfv_topology::{builders, LinkDelay};
 use nfv_workload::{InstancePolicy, ScenarioBuilder, ServiceRatePolicy};
@@ -133,7 +133,9 @@ pub fn run_comparison(
     let mut failures: Vec<u64> = vec![0; pipelines.len()];
 
     for rep in 0..repetitions {
-        let seed = base_seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(rep);
+        let seed = base_seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(rep);
         let scenario = ScenarioBuilder::new()
             .vnfs(config.vnfs)
             .requests(config.requests)
@@ -172,8 +174,7 @@ pub fn run_comparison(
                 scenario.vnfs().to_vec(),
             )?;
             let mut probe_rng = StdRng::seed_from_u64(0);
-            let feasible =
-                Bfd::new().place(&problem, &mut probe_rng).is_ok();
+            let feasible = Bfd::new().place(&problem, &mut probe_rng).is_ok();
             topology = Some(candidate);
             if feasible {
                 break;
@@ -183,13 +184,16 @@ pub fn run_comparison(
 
         for (i, (_, optimizer)) in pipelines.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 24));
-            let objective = optimizer
-                .optimize(&scenario, &topology, &mut rng)
-                .and_then(|solution| {
-                    let placement_nodes = solution.placement().nodes_in_service() as f64;
-                    let placement_util = solution.placement().average_utilization().value();
-                    solution.objective().map(|o| (o, placement_nodes, placement_util))
-                });
+            let objective =
+                optimizer
+                    .optimize(&scenario, &topology, &mut rng)
+                    .and_then(|solution| {
+                        let placement_nodes = solution.placement().nodes_in_service() as f64;
+                        let placement_util = solution.placement().average_utilization().value();
+                        solution
+                            .objective()
+                            .map(|o| (o, placement_nodes, placement_util))
+                    });
             match objective {
                 Ok((objective, n, u)) => {
                     total[i].push(objective.average_total_latency());
@@ -226,19 +230,15 @@ mod tests {
     fn comparison_covers_four_pipelines() {
         let stats = run_comparison(&JointConfig::base(), 3, 1).unwrap();
         let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["bfdsu+rckk", "affinity+rckk", "ffd+cga", "nah+cga"]);
+        assert_eq!(
+            names,
+            vec!["bfdsu+rckk", "affinity+rckk", "ffd+cga", "nah+cga"]
+        );
         for s in &stats {
-            assert!(
-                s.failures < 3,
-                "{} failed every repetition",
-                s.name
-            );
+            assert!(s.failures < 3, "{} failed every repetition", s.name);
             assert!(s.avg_total_latency > 0.0);
             assert!(
-                (s.avg_total_latency
-                    - (s.avg_response_latency + s.avg_link_latency))
-                    .abs()
-                    < 1e-9
+                (s.avg_total_latency - (s.avg_response_latency + s.avg_link_latency)).abs() < 1e-9
             );
         }
     }
@@ -265,7 +265,11 @@ mod tests {
         // family — BFDSU's consolidation already co-locates what capacity
         // allows. Guard the parity so a regression in either direction
         // (broken packing or runaway bonus) is caught.
-        let config = JointConfig { nodes: 6, fill: 0.65, ..JointConfig::base() };
+        let config = JointConfig {
+            nodes: 6,
+            fill: 0.65,
+            ..JointConfig::base()
+        };
         let stats = run_comparison(&config, 8, 21).unwrap();
         let get = |name: &str| stats.iter().find(|s| s.name == name).unwrap();
         let affinity = get("affinity+rckk");

@@ -11,13 +11,17 @@
 //! * [`joint`] — the combined pipeline and the Eq. (16) total-latency
 //!   comparison (the paper's headline numbers);
 //! * [`validation`] — closed-form Jackson analytics vs the discrete-event
-//!   simulator.
+//!   simulator;
+//! * [`churn`] — the online control plane under a streaming churn trace:
+//!   pure online dispatch vs bounded periodic re-optimization vs the
+//!   full-rebalance oracle.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
 //! plots. All runners take a base seed and a repetition count; results are
 //! deterministic for fixed inputs.
 
+pub mod churn;
 pub mod joint;
 pub mod placement;
 pub mod scheduling;
@@ -65,7 +69,11 @@ impl Sweep {
     /// Creates an empty sweep with the given x-axis label and series names.
     #[must_use]
     pub fn new(x_label: impl Into<String>, series: Vec<String>) -> Self {
-        Self { x_label: x_label.into(), series, rows: Vec::new() }
+        Self {
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one x-axis point.
@@ -74,7 +82,11 @@ impl Sweep {
     ///
     /// Panics if `values` does not match the series count.
     pub fn push(&mut self, x: f64, values: Vec<f64>) {
-        assert_eq!(values.len(), self.series.len(), "one value per series required");
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "one value per series required"
+        );
         self.rows.push(SweepRow { x, values });
     }
 

@@ -10,7 +10,7 @@
 
 use nfv_metrics::OnlineStats;
 use nfv_model::ServiceChain;
-use nfv_placement::{Bfdsu, Ffd, Nah, Placer, PlacementProblem};
+use nfv_placement::{Bfdsu, Ffd, Nah, PlacementProblem, Placer};
 use nfv_topology::builders;
 use nfv_workload::{InstancePolicy, ScenarioBuilder};
 use rand::rngs::StdRng;
@@ -48,7 +48,13 @@ impl PlacementPoint {
     /// requests, one instance per 10 requests.
     #[must_use]
     pub fn base() -> Self {
-        Self { nodes: 10, fill: 0.75, vnfs: 15, requests: 200, requests_per_instance: 10 }
+        Self {
+            nodes: 10,
+            fill: 0.75,
+            vnfs: 15,
+            requests: 200,
+            requests_per_instance: 10,
+        }
     }
 }
 
@@ -71,7 +77,11 @@ pub struct PlacementStats {
 /// The three placers the paper compares, in presentation order.
 #[must_use]
 pub fn standard_placers() -> Vec<Box<dyn Placer>> {
-    vec![Box::new(Bfdsu::new()), Box::new(Ffd::new()), Box::new(Nah::new())]
+    vec![
+        Box::new(Bfdsu::new()),
+        Box::new(Ffd::new()),
+        Box::new(Nah::new()),
+    ]
 }
 
 /// Runs every placer on one point, averaging over `repetitions` seeds
@@ -154,8 +164,11 @@ fn build_problem(point: &PlacementPoint, seed: u64) -> Result<PlacementProblem, 
         .fold(0.0f64, f64::max);
     let (lo, hi) =
         crate::experiments::capacity_bounds(total_demand, max_demand, point.nodes, point.fill);
-    let chains: Vec<ServiceChain> =
-        scenario.requests().iter().map(|r| r.chain().clone()).collect();
+    let chains: Vec<ServiceChain> = scenario
+        .requests()
+        .iter()
+        .map(|r| r.chain().clone())
+        .collect();
 
     // Random capacity draws occasionally produce genuinely infeasible
     // packings; the paper's setup is implicitly always feasible, so redraw
@@ -173,7 +186,10 @@ fn build_problem(point: &PlacementPoint, seed: u64) -> Result<PlacementProblem, 
             chains.clone(),
         )?;
         let mut probe_rng = StdRng::seed_from_u64(0);
-        if nfv_placement::Bfd::new().place(&problem, &mut probe_rng).is_ok() {
+        if nfv_placement::Bfd::new()
+            .place(&problem, &mut probe_rng)
+            .is_ok()
+        {
             return Ok(problem);
         }
         fallback = Some(problem);
@@ -211,10 +227,19 @@ where
 /// Propagates structural configuration errors.
 pub fn fig5_utilization_vs_requests(repetitions: u64, base_seed: u64) -> Result<Sweep, CoreError> {
     let points = [30, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000].map(|requests| {
-        let point = PlacementPoint { requests, ..PlacementPoint::base() };
+        let point = PlacementPoint {
+            requests,
+            ..PlacementPoint::base()
+        };
         (requests as f64, point)
     });
-    sweep_over("requests", points, |s| s.utilization * 100.0, repetitions, base_seed)
+    sweep_over(
+        "requests",
+        points,
+        |s| s.utilization * 100.0,
+        repetitions,
+        base_seed,
+    )
 }
 
 /// Fig. 6: average utilization of used nodes handling 1000 requests as the
@@ -226,16 +251,29 @@ pub fn fig5_utilization_vs_requests(repetitions: u64, base_seed: u64) -> Result<
 pub fn fig6_utilization_vs_scale(repetitions: u64, base_seed: u64) -> Result<Sweep, CoreError> {
     let scales = [(6, 4), (12, 8), (18, 12), (24, 16), (30, 20)];
     let points = scales.map(|(vnfs, nodes)| {
-        let point =
-            PlacementPoint { vnfs, nodes, requests: 1000, ..PlacementPoint::base() };
+        let point = PlacementPoint {
+            vnfs,
+            nodes,
+            requests: 1000,
+            ..PlacementPoint::base()
+        };
         (vnfs as f64, point)
     });
-    sweep_over("vnfs", points, |s| s.utilization * 100.0, repetitions, base_seed)
+    sweep_over(
+        "vnfs",
+        points,
+        |s| s.utilization * 100.0,
+        repetitions,
+        base_seed,
+    )
 }
 
 fn node_sweep_points() -> impl Iterator<Item = (f64, PlacementPoint)> {
     [6, 10, 14, 18, 22, 26, 30].into_iter().map(|nodes| {
-        let point = PlacementPoint { nodes, ..PlacementPoint::base() };
+        let point = PlacementPoint {
+            nodes,
+            ..PlacementPoint::base()
+        };
         (nodes as f64, point)
     })
 }
@@ -332,7 +370,9 @@ pub fn quality_vs_oracle(repetitions: u64, base_seed: u64) -> Result<Sweep, Core
         };
         let mut ratios: Vec<OnlineStats> = vec![OnlineStats::new(); placers.len()];
         for rep in 0..repetitions {
-            let seed = base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(rep);
+            let seed = base_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(rep);
             let problem = build_problem(&point, seed)?;
             let Some(opt) = nfv_placement::exact::optimal_node_count(&problem) else {
                 continue;
@@ -340,9 +380,8 @@ pub fn quality_vs_oracle(repetitions: u64, base_seed: u64) -> Result<Sweep, Core
             for (i, placer) in placers.iter().enumerate() {
                 let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 32);
                 if let Ok(outcome) = placer.place(&problem, &mut rng) {
-                    ratios[i].push(
-                        outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64,
-                    );
+                    ratios[i]
+                        .push(outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64);
                 }
             }
         }

@@ -105,8 +105,10 @@ pub fn run_response_point(
     repetitions: u64,
     base_seed: u64,
 ) -> Result<Vec<ResponseOutcome>, CoreError> {
-    let delivery = DeliveryProbability::new(point.delivery)
-        .map_err(|_| CoreError::Inconsistent { reason: "invalid delivery probability" })?;
+    let delivery =
+        DeliveryProbability::new(point.delivery).map_err(|_| CoreError::Inconsistent {
+            reason: "invalid delivery probability",
+        })?;
     if !(point.saturation_gap < 1.0 && point.saturation_gap > 1.0 - point.delivery.sqrt()) {
         return Err(CoreError::Inconsistent {
             reason: "saturation gap must exceed 1 - sqrt(P) for stability and stay below 1",
@@ -114,7 +116,10 @@ pub fn run_response_point(
     }
     let mut outcomes: Vec<ResponseOutcome> = schedulers
         .iter()
-        .map(|s| ResponseOutcome { name: s.name().to_owned(), w: Summary::new() })
+        .map(|s| ResponseOutcome {
+            name: s.name().to_owned(),
+            w: Summary::new(),
+        })
         .collect();
 
     for rep in 0..repetitions {
@@ -131,11 +136,16 @@ pub fn run_response_point(
         // capacity, where the M/M/1 delay growth the model captures
         // actually bites, and retransmissions (the 1/P factor) make the
         // lossy setting strictly slower.
-        let worst_makespan = schedules.iter().map(|s| s.makespan()).fold(0.0f64, f64::max);
+        let worst_makespan = schedules
+            .iter()
+            .map(|s| s.makespan())
+            .fold(0.0f64, f64::max);
         let mu = ServiceRate::new(
             worst_makespan / (point.delivery.sqrt() * (1.0 - point.saturation_gap)),
         )
-            .map_err(|_| CoreError::Inconsistent { reason: "degenerate service rate" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "degenerate service rate",
+        })?;
         for (outcome, schedule) in outcomes.iter_mut().zip(&schedules) {
             let w = schedule.average_response_time(mu, delivery)?;
             outcome.w.push(w);
@@ -157,8 +167,10 @@ pub fn run_rejection_point(
     repetitions: u64,
     base_seed: u64,
 ) -> Result<Vec<(String, f64)>, CoreError> {
-    let delivery = DeliveryProbability::new(point.delivery)
-        .map_err(|_| CoreError::Inconsistent { reason: "invalid delivery probability" })?;
+    let delivery =
+        DeliveryProbability::new(point.delivery).map_err(|_| CoreError::Inconsistent {
+            reason: "invalid delivery probability",
+        })?;
     let mut rejection: Vec<Summary> = schedulers.iter().map(|_| Summary::new()).collect();
 
     for rep in 0..repetitions {
@@ -177,7 +189,9 @@ pub fn run_rejection_point(
                 / point.instances as f64
                 / point.balanced_utilization,
         )
-        .map_err(|_| CoreError::Inconsistent { reason: "degenerate service rate" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "degenerate service rate",
+        })?;
         for (summary, scheduler) in rejection.iter_mut().zip(schedulers) {
             let schedule = scheduler.schedule(&rates, point.instances)?;
             let (report, _) = schedule.rejection_report(mu, delivery);
@@ -209,7 +223,11 @@ pub fn fig11_12_response_vs_requests(
         vec!["rckk".into(), "cga".into(), "enhancement%".into()],
     );
     for requests in [15, 25, 50, 75, 100, 150, 200, 250] {
-        let point = SchedulingPoint { requests, delivery, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests,
+            delivery,
+            ..SchedulingPoint::base()
+        };
         let outcomes = run_response_point(&point, &schedulers, repetitions, base_seed)?;
         let rckk = outcomes[0].w.mean();
         let cga = outcomes[1].w.mean();
@@ -238,7 +256,11 @@ pub fn fig13_14_response_vs_instances(
         vec!["rckk".into(), "cga".into(), "enhancement%".into()],
     );
     for instances in [2, 3, 4, 5, 6, 7, 8, 9, 10] {
-        let point = SchedulingPoint { instances, delivery, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            instances,
+            delivery,
+            ..SchedulingPoint::base()
+        };
         let outcomes = run_response_point(&point, &schedulers, repetitions, base_seed)?;
         let rckk = outcomes[0].w.mean();
         let cga = outcomes[1].w.mean();
@@ -263,7 +285,10 @@ pub fn tail_p99_vs_requests(repetitions: u64, base_seed: u64) -> Result<Sweep, C
         vec!["rckk_p99".into(), "cga_p99".into(), "enhancement%".into()],
     );
     for requests in [10, 25, 50, 100, 150, 200] {
-        let point = SchedulingPoint { requests, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests,
+            ..SchedulingPoint::base()
+        };
         let mut outcomes = run_response_point(&point, &schedulers, repetitions, base_seed)?;
         let rckk = outcomes[0].w.p99();
         let cga = outcomes[1].w.p99();
@@ -286,14 +311,19 @@ pub fn tail_p99_vs_requests(repetitions: u64, base_seed: u64) -> Result<Sweep, C
 ///
 /// Propagates invalid-point errors.
 pub fn online_price_vs_requests(repetitions: u64, base_seed: u64) -> Result<Sweep, CoreError> {
-    let schedulers: Vec<Box<dyn Scheduler>> =
-        vec![Box::new(Rckk::new()), Box::new(nfv_scheduling::OnlineLeastLoaded::new())];
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Rckk::new()),
+        Box::new(nfv_scheduling::OnlineLeastLoaded::new()),
+    ];
     let mut sweep = Sweep::new(
         "requests",
         vec!["rckk".into(), "online".into(), "price%".into()],
     );
     for requests in [15, 25, 50, 75, 100, 150, 200, 250] {
-        let point = SchedulingPoint { requests, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests,
+            ..SchedulingPoint::base()
+        };
         let outcomes = run_response_point(&point, &schedulers, repetitions, base_seed)?;
         let rckk = outcomes[0].w.mean();
         let online = outcomes[1].w.mean();
@@ -319,9 +349,16 @@ pub fn fig15_16_rejection_vs_requests(
     let schedulers = standard_schedulers();
     let mut sweep = Sweep::new("requests", vec!["rckk".into(), "cga".into()]);
     for requests in [15, 25, 50, 75, 100, 150, 200, 250] {
-        let point = SchedulingPoint { requests, delivery, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests,
+            delivery,
+            ..SchedulingPoint::base()
+        };
         let rates = run_rejection_point(&point, &schedulers, repetitions, base_seed)?;
-        sweep.push(requests as f64, rates.iter().map(|(_, r)| r * 100.0).collect());
+        sweep.push(
+            requests as f64,
+            rates.iter().map(|(_, r)| r * 100.0).collect(),
+        );
     }
     Ok(sweep)
 }
@@ -332,7 +369,10 @@ mod tests {
 
     #[test]
     fn rckk_beats_cga_on_response_time() {
-        let point = SchedulingPoint { requests: 25, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests: 25,
+            ..SchedulingPoint::base()
+        };
         let outcomes = run_response_point(&point, &standard_schedulers(), 50, 3).unwrap();
         let rckk = outcomes.iter().find(|o| o.name == "rckk").unwrap().w.mean();
         let cga = outcomes.iter().find(|o| o.name == "cga").unwrap().w.mean();
@@ -349,7 +389,11 @@ mod tests {
 
     #[test]
     fn rckk_rejects_less_than_cga() {
-        let point = SchedulingPoint { requests: 50, delivery: 0.984, ..SchedulingPoint::base() };
+        let point = SchedulingPoint {
+            requests: 50,
+            delivery: 0.984,
+            ..SchedulingPoint::base()
+        };
         let rates = run_rejection_point(&point, &standard_schedulers(), 50, 5).unwrap();
         let rckk = rates.iter().find(|(n, _)| n == "rckk").unwrap().1;
         let cga = rates.iter().find(|(n, _)| n == "cga").unwrap().1;
@@ -359,12 +403,20 @@ mod tests {
     #[test]
     fn lower_delivery_probability_raises_latency() {
         let schedulers = standard_schedulers();
-        let lossy = SchedulingPoint { delivery: 0.98, ..SchedulingPoint::base() };
-        let clean = SchedulingPoint { delivery: 1.0, ..SchedulingPoint::base() };
-        let w_lossy =
-            run_response_point(&lossy, &schedulers, 20, 1).unwrap()[0].w.mean();
-        let w_clean =
-            run_response_point(&clean, &schedulers, 20, 1).unwrap()[0].w.mean();
+        let lossy = SchedulingPoint {
+            delivery: 0.98,
+            ..SchedulingPoint::base()
+        };
+        let clean = SchedulingPoint {
+            delivery: 1.0,
+            ..SchedulingPoint::base()
+        };
+        let w_lossy = run_response_point(&lossy, &schedulers, 20, 1).unwrap()[0]
+            .w
+            .mean();
+        let w_clean = run_response_point(&clean, &schedulers, 20, 1).unwrap()[0]
+            .w
+            .mean();
         assert!(w_lossy > w_clean, "lossy {w_lossy} <= clean {w_clean}");
     }
 

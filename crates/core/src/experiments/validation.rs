@@ -63,9 +63,12 @@ pub fn validate_single_station(
         ServiceRate::new(mu).map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?,
     );
     load.add_request(
-        ArrivalRate::new(lambda).map_err(|_| CoreError::Inconsistent { reason: "bad lambda" })?,
-        DeliveryProbability::new(p)
-            .map_err(|_| CoreError::Inconsistent { reason: "bad delivery" })?,
+        ArrivalRate::new(lambda).map_err(|_| CoreError::Inconsistent {
+            reason: "bad lambda",
+        })?,
+        DeliveryProbability::new(p).map_err(|_| CoreError::Inconsistent {
+            reason: "bad delivery",
+        })?,
     );
     let analytic = load.mean_delivery_response_time()?;
 
@@ -73,11 +76,15 @@ pub fn validate_single_station(
         .station(mu)
         .map_err(|_| CoreError::Inconsistent { reason: "bad mu" })?
         .request(lambda, p, vec![0])
-        .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad request",
+        })?
         .target_deliveries(DELIVERIES)
         .warmup_deliveries(WARMUP)
         .build()
-        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad sim config",
+        })?;
     let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
     Ok(ValidationRow {
         label: format!("M/M/1 λ={lambda} μ={mu} P={p}"),
@@ -107,10 +114,12 @@ pub fn validate_scheduled_instances(
     let schedule = Rckk::new().schedule(&rates, instances)?;
     // μ such that the most loaded instance sits at 90% utilization.
     let mu_value = schedule.makespan() / p / 0.9;
-    let mu = ServiceRate::new(mu_value)
-        .map_err(|_| CoreError::Inconsistent { reason: "degenerate service rate" })?;
-    let delivery = DeliveryProbability::new(p)
-        .map_err(|_| CoreError::Inconsistent { reason: "bad delivery" })?;
+    let mu = ServiceRate::new(mu_value).map_err(|_| CoreError::Inconsistent {
+        reason: "degenerate service rate",
+    })?;
+    let delivery = DeliveryProbability::new(p).map_err(|_| CoreError::Inconsistent {
+        reason: "bad delivery",
+    })?;
 
     // Analytic packet-average latency over delivered packets.
     let loads = schedule.instance_loads(mu, delivery);
@@ -128,13 +137,17 @@ pub fn validate_scheduled_instances(
     for (r, rate) in rates.iter().enumerate() {
         builder = builder
             .request(rate.value(), p, vec![schedule.instance_of(r)])
-            .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?;
+            .map_err(|_| CoreError::Inconsistent {
+                reason: "bad request",
+            })?;
     }
     let config = builder
         .target_deliveries(DELIVERIES)
         .warmup_deliveries(WARMUP)
         .build()
-        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad sim config",
+        })?;
     let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xBEEF));
     Ok(ValidationRow {
         label: format!("{requests} requests on {instances} instances, P={p}"),
@@ -177,11 +190,15 @@ pub fn validate_chain(
     }
     let config = builder
         .request(lambda, p, (0..mus.len()).collect())
-        .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad request",
+        })?
         .target_deliveries(DELIVERIES)
         .warmup_deliveries(WARMUP)
         .build()
-        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad sim config",
+        })?;
     let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
     Ok(ValidationRow {
         label: format!("chain of {} stations, λ={lambda}, P={p}", mus.len()),
@@ -217,8 +234,12 @@ pub fn validate_joint_solution(
     let scenario = ScenarioBuilder::new()
         .vnfs(vnfs)
         .requests(requests)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 8 })
-        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.8 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 8,
+        })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: 0.8,
+        })
         .seed(seed)
         .build()?;
     let per_host = scenario.total_demand().value() / 4.0;
@@ -281,14 +302,22 @@ pub fn validate_joint_solution(
             })
             .collect();
         builder = builder
-            .request(request.arrival_rate().value(), request.delivery().value(), path)
-            .map_err(|_| CoreError::Inconsistent { reason: "bad request" })?;
+            .request(
+                request.arrival_rate().value(),
+                request.delivery().value(),
+                path,
+            )
+            .map_err(|_| CoreError::Inconsistent {
+                reason: "bad request",
+            })?;
     }
     let config = builder
         .target_deliveries(DELIVERIES)
         .warmup_deliveries(WARMUP)
         .build()
-        .map_err(|_| CoreError::Inconsistent { reason: "bad sim config" })?;
+        .map_err(|_| CoreError::Inconsistent {
+            reason: "bad sim config",
+        })?;
     let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xFACE));
     Ok(ValidationRow {
         label: format!("joint pipeline: {vnfs} VNFs, {requests} requests"),
@@ -325,31 +354,51 @@ mod tests {
     #[test]
     fn single_station_agrees_within_five_percent() {
         let row = validate_single_station(50.0, 100.0, 1.0, 42).unwrap();
-        assert!(row.relative_error() < 0.05, "error {}", row.relative_error());
+        assert!(
+            row.relative_error() < 0.05,
+            "error {}",
+            row.relative_error()
+        );
     }
 
     #[test]
     fn lossy_station_agrees() {
         let row = validate_single_station(40.0, 100.0, 0.85, 43).unwrap();
-        assert!(row.relative_error() < 0.06, "error {}", row.relative_error());
+        assert!(
+            row.relative_error() < 0.06,
+            "error {}",
+            row.relative_error()
+        );
     }
 
     #[test]
     fn chain_agrees() {
         let row = validate_chain(30.0, &[100.0, 60.0], 1.0, 44).unwrap();
-        assert!(row.relative_error() < 0.05, "error {}", row.relative_error());
+        assert!(
+            row.relative_error() < 0.05,
+            "error {}",
+            row.relative_error()
+        );
     }
 
     #[test]
     fn scheduled_instances_agree() {
         let row = validate_scheduled_instances(40, 4, 0.98, 45).unwrap();
-        assert!(row.relative_error() < 0.08, "error {}", row.relative_error());
+        assert!(
+            row.relative_error() < 0.08,
+            "error {}",
+            row.relative_error()
+        );
     }
 
     #[test]
     fn joint_solution_agrees_with_simulation() {
         let row = validate_joint_solution(6, 60, 47).unwrap();
-        assert!(row.relative_error() < 0.08, "error {}", row.relative_error());
+        assert!(
+            row.relative_error() < 0.08,
+            "error {}",
+            row.relative_error()
+        );
     }
 
     #[test]

@@ -41,9 +41,11 @@ impl JointObjective {
         for request in solution.scenario().requests() {
             let mut resp = 0.0;
             for vnf in request.chain() {
-                let k = solution
-                    .instance_serving(request.id(), *vnf)
-                    .ok_or(CoreError::Inconsistent { reason: "request not scheduled on its VNF" })?;
+                let k = solution.instance_serving(request.id(), *vnf).ok_or(
+                    CoreError::Inconsistent {
+                        reason: "request not scheduled on its VNF",
+                    },
+                )?;
                 resp += w[vnf.as_usize()][k];
             }
             let nodes = solution.nodes_traversed(request.id()).len();

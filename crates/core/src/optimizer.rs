@@ -1,7 +1,7 @@
 //! The two-phase joint optimizer.
 
 use nfv_model::{ArrivalRate, Demand, RequestId, ServiceChain};
-use nfv_placement::{Bfdsu, Placer, PlacementProblem};
+use nfv_placement::{Bfdsu, PlacementProblem, Placer};
 use nfv_scheduling::{Rckk, Scheduler};
 use nfv_topology::Topology;
 use nfv_workload::replicate::{self, ReplicaMap};
@@ -35,7 +35,10 @@ impl JointOptimizer {
     /// placement and [`Rckk`] scheduling.
     #[must_use]
     pub fn new() -> Self {
-        Self { placer: Box::new(Bfdsu::new()), scheduler: Box::new(Rckk::new()) }
+        Self {
+            placer: Box::new(Bfdsu::new()),
+            scheduler: Box::new(Rckk::new()),
+        }
     }
 
     /// Replaces the placement algorithm.
@@ -79,8 +82,11 @@ impl JointOptimizer {
         scenario.validate()?;
 
         // Phase one: place every VNF (with all its instances) on a node.
-        let chains: Vec<ServiceChain> =
-            scenario.requests().iter().map(|r| r.chain().clone()).collect();
+        let chains: Vec<ServiceChain> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.chain().clone())
+            .collect();
         let problem = PlacementProblem::with_chains(
             topology.compute_nodes().to_vec(),
             scenario.vnfs().to_vec(),
@@ -96,7 +102,12 @@ impl JointOptimizer {
                 scenario.requests_using(vnf.id()).map(|r| r.id()).collect();
             let rates: Vec<ArrivalRate> = vnf_users
                 .iter()
-                .map(|&id| scenario.request(id).expect("user ids are valid").arrival_rate())
+                .map(|&id| {
+                    scenario
+                        .request(id)
+                        .expect("user ids are valid")
+                        .arrival_rate()
+                })
                 .collect();
             let schedule = self.scheduler.schedule(&rates, vnf.instances() as usize)?;
             schedules.push(schedule);
@@ -134,8 +145,9 @@ impl JointOptimizer {
             .iter()
             .map(|n| n.capacity().value())
             .fold(0.0f64, f64::max);
-        let budget = Demand::new(max_node)
-            .map_err(|_| CoreError::Inconsistent { reason: "topology has no usable capacity" })?;
+        let budget = Demand::new(max_node).map_err(|_| CoreError::Inconsistent {
+            reason: "topology has no usable capacity",
+        })?;
         let (rewritten, map) = replicate::split_oversized(scenario, budget)?;
         let solution = self.optimize(&rewritten, topology, rng)?;
         Ok((solution, map))
@@ -166,11 +178,20 @@ mod tests {
     use rand::SeedableRng;
 
     fn scenario() -> Scenario {
-        ScenarioBuilder::new().vnfs(6).requests(40).seed(5).build().unwrap()
+        ScenarioBuilder::new()
+            .vnfs(6)
+            .requests(40)
+            .seed(5)
+            .build()
+            .unwrap()
     }
 
     fn topology() -> Topology {
-        builders::star().hosts(8).capacity_range(1000.0, 5000.0, 3).build().unwrap()
+        builders::star()
+            .hosts(8)
+            .capacity_range(1000.0, 5000.0, 3)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -178,7 +199,9 @@ mod tests {
         let scenario = scenario();
         let topology = topology();
         let mut rng = StdRng::seed_from_u64(0);
-        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+        let solution = JointOptimizer::new()
+            .optimize(&scenario, &topology, &mut rng)
+            .unwrap();
 
         // Every request is scheduled on every VNF of its chain, and the
         // placement hosts every VNF.
@@ -197,7 +220,9 @@ mod tests {
         let scenario = scenario();
         let topology = topology();
         let mut rng = StdRng::seed_from_u64(1);
-        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+        let solution = JointOptimizer::new()
+            .optimize(&scenario, &topology, &mut rng)
+            .unwrap();
         let objective = solution.objective().unwrap();
         assert_eq!(objective.requests(), scenario.requests().len());
         assert!(objective.total_latency().is_finite());
@@ -215,16 +240,24 @@ mod tests {
         assert_eq!(optimizer.placer_name(), "ffd");
         assert_eq!(optimizer.scheduler_name(), "round-robin");
         let mut rng = StdRng::seed_from_u64(2);
-        let solution = optimizer.optimize(&scenario(), &topology(), &mut rng).unwrap();
+        let solution = optimizer
+            .optimize(&scenario(), &topology(), &mut rng)
+            .unwrap();
         assert!(solution.objective().is_ok());
     }
 
     #[test]
     fn infeasible_topology_surfaces_placement_error() {
         let scenario = scenario();
-        let tiny = builders::star().hosts(2).uniform_capacity(1.0).build().unwrap();
+        let tiny = builders::star()
+            .hosts(2)
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let err = JointOptimizer::new().optimize(&scenario, &tiny, &mut rng).unwrap_err();
+        let err = JointOptimizer::new()
+            .optimize(&scenario, &tiny, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, CoreError::Placement(_)));
     }
 
@@ -232,11 +265,15 @@ mod tests {
     fn solution_instance_loads_cover_all_requests() {
         let scenario = scenario();
         let mut rng = StdRng::seed_from_u64(4);
-        let solution = JointOptimizer::new().optimize(&scenario, &topology(), &mut rng).unwrap();
+        let solution = JointOptimizer::new()
+            .optimize(&scenario, &topology(), &mut rng)
+            .unwrap();
         let loads = solution.instance_loads();
         for vnf in scenario.vnfs() {
-            let total: usize =
-                loads[vnf.id().as_usize()].iter().map(|l| l.request_count()).sum();
+            let total: usize = loads[vnf.id().as_usize()]
+                .iter()
+                .map(|l| l.request_count())
+                .sum();
             assert_eq!(total, scenario.users_of(vnf.id()));
         }
     }
@@ -248,7 +285,9 @@ mod tests {
         let scenario = ScenarioBuilder::new()
             .vnfs(4)
             .requests(60)
-            .instance_policy(nfv_workload::InstancePolicy::PerUsers { requests_per_instance: 3 })
+            .instance_policy(nfv_workload::InstancePolicy::PerUsers {
+                requests_per_instance: 3,
+            })
             .seed(8)
             .build()
             .unwrap();

@@ -51,7 +51,9 @@ impl JointSolution {
         users: Vec<Vec<RequestId>>,
     ) -> Result<Self, CoreError> {
         if schedules.len() != scenario.vnfs().len() || users.len() != schedules.len() {
-            return Err(CoreError::Inconsistent { reason: "one schedule required per VNF" });
+            return Err(CoreError::Inconsistent {
+                reason: "one schedule required per VNF",
+            });
         }
         let mut instance_of = Vec::with_capacity(schedules.len());
         for ((vnf, schedule), vnf_users) in scenario.vnfs().iter().zip(&schedules).zip(&users) {
@@ -71,7 +73,9 @@ impl JointSolution {
                 .map(|(idx, &req)| (req, schedule.instance_of(idx)))
                 .collect();
             if lookup.len() != vnf_users.len() {
-                return Err(CoreError::Inconsistent { reason: "duplicate request in schedule" });
+                return Err(CoreError::Inconsistent {
+                    reason: "duplicate request in schedule",
+                });
             }
             instance_of.push(lookup);
         }
@@ -162,8 +166,11 @@ impl JointSolution {
         let Some(req) = self.scenario.request(request) else {
             return Vec::new();
         };
-        let mut nodes: Vec<NodeId> =
-            req.chain().iter().map(|vnf| self.placement.node_of(vnf)).collect();
+        let mut nodes: Vec<NodeId> = req
+            .chain()
+            .iter()
+            .map(|vnf| self.placement.node_of(vnf))
+            .collect();
         nodes.sort_unstable();
         nodes.dedup();
         nodes

@@ -153,7 +153,14 @@ impl Extend<f64> for Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "histogram: {} samples over [{}, {}) in {} bins", self.count(), self.lo, self.hi, self.bins())
+        write!(
+            f,
+            "histogram: {} samples over [{}, {}) in {} bins",
+            self.count(),
+            self.lo,
+            self.hi,
+            self.bins()
+        )
     }
 }
 

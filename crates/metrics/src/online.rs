@@ -31,7 +31,13 @@ impl OnlineStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation. Non-finite values are ignored (and not
@@ -137,8 +143,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -167,7 +173,13 @@ impl fmt::Display for OnlineStats {
         if self.count == 0 {
             write!(f, "no samples")
         } else {
-            write!(f, "n={} mean={:.6} sd={:.6}", self.count, self.mean(), self.std_dev())
+            write!(
+                f,
+                "n={} mean={:.6} sd={:.6}",
+                self.count,
+                self.mean(),
+                self.std_dev()
+            )
         }
     }
 }
@@ -207,7 +219,9 @@ mod tests {
 
     #[test]
     fn known_variance() {
-        let stats: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let stats: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(stats.population_variance(), 4.0);
         assert!((stats.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
     }

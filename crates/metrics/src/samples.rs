@@ -34,13 +34,19 @@ impl SampleSet {
     /// Creates an empty sample set.
     #[must_use]
     pub fn new() -> Self {
-        Self { samples: Vec::new(), sorted: None }
+        Self {
+            samples: Vec::new(),
+            sorted: None,
+        }
     }
 
     /// Creates an empty sample set with reserved capacity.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { samples: Vec::with_capacity(capacity), sorted: None }
+        Self {
+            samples: Vec::with_capacity(capacity),
+            sorted: None,
+        }
     }
 
     /// Adds one sample; non-finite values are ignored.
@@ -142,8 +148,7 @@ impl SampleSet {
             })
             .collect();
         let grand = means.iter().sum::<f64>() / batches as f64;
-        let var = means.iter().map(|m| (m - grand).powi(2)).sum::<f64>()
-            / (batches - 1) as f64;
+        let var = means.iter().map(|m| (m - grand).powi(2)).sum::<f64>() / (batches - 1) as f64;
         // Student-t 97.5% quantiles for small batch counts, converging to
         // the normal 1.96.
         let t = match batches {
@@ -268,7 +273,10 @@ mod tests {
         assert_eq!(s.as_slice(), before.as_slice());
         let ci_before_sorting_would_differ = s.batch_means_ci(2).unwrap();
         let fresh: SampleSet = [5.0, 1.0, 9.0, 3.0].into_iter().collect();
-        assert_eq!(fresh.batch_means_ci(2).unwrap(), ci_before_sorting_would_differ);
+        assert_eq!(
+            fresh.batch_means_ci(2).unwrap(),
+            ci_before_sorting_would_differ
+        );
     }
 
     #[test]
@@ -278,8 +286,7 @@ mod tests {
         // shuffle of the same values.
         let drifting: SampleSet = (0..400).map(|i| f64::from(i / 100)).collect();
         let (_, wide) = drifting.batch_means_ci(8).unwrap();
-        let interleaved: SampleSet =
-            (0..400).map(|i| f64::from(i % 4) / 4.0 * 3.0).collect();
+        let interleaved: SampleSet = (0..400).map(|i| f64::from(i % 4) / 4.0 * 3.0).collect();
         let (_, narrow) = interleaved.batch_means_ci(8).unwrap();
         assert!(
             wide > 10.0 * narrow,

@@ -30,7 +30,10 @@ impl Summary {
     /// Creates an empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Self { stats: OnlineStats::new(), samples: SampleSet::new() }
+        Self {
+            stats: OnlineStats::new(),
+            samples: SampleSet::new(),
+        }
     }
 
     /// Adds one observation (non-finite values are ignored).

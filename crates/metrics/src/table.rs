@@ -25,7 +25,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extra cells are kept and
@@ -37,7 +40,12 @@ impl Table {
 
     /// Appends a row of formatted floats with `precision` decimals, prefixed
     /// by a label cell.
-    pub fn numeric_row(&mut self, label: impl Into<String>, values: &[f64], precision: usize) -> &mut Self {
+    pub fn numeric_row(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        precision: usize,
+    ) -> &mut Self {
         let mut cells = vec![label.into()];
         cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
         self.row(cells)

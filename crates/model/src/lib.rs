@@ -58,6 +58,6 @@ pub use chain::ServiceChain;
 pub use error::ModelError;
 pub use ids::{InstanceId, NodeId, RequestId, VnfId};
 pub use node::ComputeNode;
-pub use quantity::{ArrivalRate, Capacity, Demand, DeliveryProbability, ServiceRate, Utilization};
+pub use quantity::{ArrivalRate, Capacity, DeliveryProbability, Demand, ServiceRate, Utilization};
 pub use request::Request;
 pub use vnf::{Vnf, VnfBuilder, VnfKind};

@@ -383,7 +383,10 @@ mod tests {
     #[test]
     fn capacity_utilization_handles_zero_capacity() {
         let zero = Capacity::new(0.0).unwrap();
-        assert_eq!(zero.utilization_of(Demand::new(5.0).unwrap()), Utilization::ZERO);
+        assert_eq!(
+            zero.utilization_of(Demand::new(5.0).unwrap()),
+            Utilization::ZERO
+        );
     }
 
     #[test]

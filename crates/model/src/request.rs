@@ -48,7 +48,12 @@ impl Request {
         arrival_rate: ArrivalRate,
         delivery: DeliveryProbability,
     ) -> Self {
-        Self { id, chain, arrival_rate, delivery }
+        Self {
+            id,
+            chain,
+            arrival_rate,
+            delivery,
+        }
     }
 
     /// The request's identifier.

@@ -218,12 +218,12 @@ impl VnfBuilder {
         if self.instances == 0 {
             return Err(ModelError::NoInstances { vnf: self.id });
         }
-        let demand_per_instance = self
-            .demand_per_instance
-            .ok_or(ModelError::MissingField { field: "demand_per_instance" })?;
-        let service_rate = self
-            .service_rate
-            .ok_or(ModelError::MissingField { field: "service_rate" })?;
+        let demand_per_instance = self.demand_per_instance.ok_or(ModelError::MissingField {
+            field: "demand_per_instance",
+        })?;
+        let service_rate = self.service_rate.ok_or(ModelError::MissingField {
+            field: "service_rate",
+        })?;
         Ok(Vnf {
             id: self.id,
             kind: self.kind,
@@ -248,14 +248,21 @@ mod tests {
 
     #[test]
     fn builder_requires_all_fields() {
-        let err = Vnf::builder(VnfId::new(0), VnfKind::Nat).build().unwrap_err();
+        let err = Vnf::builder(VnfId::new(0), VnfKind::Nat)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModelError::MissingField { .. }));
 
         let err = Vnf::builder(VnfId::new(0), VnfKind::Nat)
             .demand_per_instance(demand(1.0))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::MissingField { field: "service_rate" }));
+        assert!(matches!(
+            err,
+            ModelError::MissingField {
+                field: "service_rate"
+            }
+        ));
     }
 
     #[test]

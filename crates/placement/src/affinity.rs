@@ -7,7 +7,7 @@ use rand::{Rng, RngCore};
 
 use crate::placer::run_with_restarts;
 use crate::support::{vnfs_by_decreasing_demand, Remaining};
-use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
 
 /// BFDSU with chain affinity — our extension toward the joint objective
 /// of Eq. (16).
@@ -66,14 +66,21 @@ impl ChainAffinity {
     /// restart budget (1000).
     #[must_use]
     pub fn new() -> Self {
-        Self { bonus: 4.0, max_attempts: 1000 }
+        Self {
+            bonus: 4.0,
+            max_attempts: 1000,
+        }
     }
 
     /// Sets the affinity bonus per co-located chain neighbor (0 = plain
     /// BFDSU behaviour; clamped to be non-negative and finite).
     #[must_use]
     pub fn with_bonus(mut self, bonus: f64) -> Self {
-        self.bonus = if bonus.is_finite() { bonus.max(0.0) } else { 0.0 };
+        self.bonus = if bonus.is_finite() {
+            bonus.max(0.0)
+        } else {
+            0.0
+        };
         self
     }
 
@@ -179,8 +186,7 @@ impl Placer for ChainAffinity {
     ) -> Result<PlacementOutcome, PlacementError> {
         // Co-occurrence weights: for each unordered VNF pair, how many
         // chains contain both (normalized so the heaviest pair weighs 1).
-        let mut affinity: Vec<HashMap<VnfId, f64>> =
-            vec![HashMap::new(); problem.vnfs().len()];
+        let mut affinity: Vec<HashMap<VnfId, f64>> = vec![HashMap::new(); problem.vnfs().len()];
         for chain in problem.chains() {
             let members: Vec<VnfId> = chain.iter().collect();
             for (i, &a) in members.iter().enumerate() {
@@ -267,7 +273,11 @@ mod tests {
     #[test]
     fn zero_bonus_behaves_like_bfdsu_statistically() {
         use crate::Bfdsu;
-        let p = problem(&[100.0, 100.0, 100.0], &[40.0, 40.0, 40.0, 40.0], &[&[0, 1, 2, 3]]);
+        let p = problem(
+            &[100.0, 100.0, 100.0],
+            &[40.0, 40.0, 40.0, 40.0],
+            &[&[0, 1, 2, 3]],
+        );
         // Same seed stream: identical sampling structure means identical
         // placements when the bonus is zero.
         for seed in 0..10 {
@@ -275,8 +285,14 @@ mod tests {
                 .with_bonus(0.0)
                 .place(&p, &mut StdRng::seed_from_u64(seed))
                 .unwrap();
-            let b = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(seed)).unwrap();
-            assert_eq!(a.placement().assignment(), b.placement().assignment(), "seed {seed}");
+            let b = Bfdsu::new()
+                .place(&p, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(
+                a.placement().assignment(),
+                b.placement().assignment(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -298,7 +314,10 @@ mod tests {
             ChainAffinity::new().place(&p, &mut rng).unwrap_err(),
             PlacementError::Infeasible { .. }
         ));
-        assert_eq!(ChainAffinity::new().with_bonus(-3.0), ChainAffinity::new().with_bonus(0.0));
+        assert_eq!(
+            ChainAffinity::new().with_bonus(-3.0),
+            ChainAffinity::new().with_bonus(0.0)
+        );
         assert_eq!(
             ChainAffinity::new().with_bonus(f64::NAN),
             ChainAffinity::new().with_bonus(0.0)

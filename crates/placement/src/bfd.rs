@@ -4,7 +4,7 @@ use nfv_model::NodeId;
 use rand::RngCore;
 
 use crate::support::{vnfs_by_decreasing_demand, Remaining};
-use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
 
 /// Deterministic Best-Fit Decreasing with BFDSU's used-node priority but
 /// *without* its weighted-random choice: each VNF goes to the candidate
@@ -142,10 +142,14 @@ mod tests {
         // nodes 100, 60; VNFs 50, 50, 30, 30. BFD: 50->60(rst10),
         // 50->100(rst50), 30->100(rst20), 30 -> nowhere (10, 20). Dead end.
         let p = problem(&[100.0, 60.0], &[50.0, 50.0, 30.0, 30.0]);
-        let err = Bfd::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap_err();
+        let err = Bfd::new()
+            .place(&p, &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
         assert!(matches!(err, PlacementError::AttemptsExhausted { .. }));
         // BFDSU's randomized restarts find the packing (50+50 | 30+30).
-        let outcome = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let outcome = Bfdsu::new()
+            .place(&p, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(outcome.placement().nodes_in_service(), 2);
     }
 

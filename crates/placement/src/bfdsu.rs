@@ -5,7 +5,7 @@ use rand::{Rng, RngCore};
 
 use crate::placer::run_with_restarts;
 use crate::support::{vnfs_by_decreasing_demand, Remaining};
-use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
 
 /// **B**est **F**it **D**ecreasing using **S**mallest **U**sed nodes with
 /// the largest probability — Algorithm 1 of the paper.
@@ -265,19 +265,24 @@ mod tests {
         let candidates = [NodeId::new(0), NodeId::new(1)];
         let mut rng = StdRng::seed_from_u64(42);
         let picks_tight = (0..2000)
-            .filter(|_| {
-                weighted_pick(&candidates, &remaining, 10.0, &mut rng) == NodeId::new(1)
-            })
+            .filter(|_| weighted_pick(&candidates, &remaining, 10.0, &mut rng) == NodeId::new(1))
             .count();
         // Weight of node1 = 1/2, node0 = 1/91 -> node1 expected ~97.8%.
-        assert!(picks_tight > 1800, "tight node picked only {picks_tight}/2000");
+        assert!(
+            picks_tight > 1800,
+            "tight node picked only {picks_tight}/2000"
+        );
     }
 
     #[test]
     fn placement_is_deterministic_given_seed() {
         let p = problem(&[100.0, 100.0, 50.0], &[40.0, 40.0, 30.0, 20.0]);
-        let a = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(3)).unwrap();
-        let b = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(3)).unwrap();
+        let a = Bfdsu::new()
+            .place(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let b = Bfdsu::new()
+            .place(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap();
         assert_eq!(a, b);
     }
 

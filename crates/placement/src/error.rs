@@ -64,8 +64,15 @@ impl fmt::Display for PlacementError {
             }
             Self::UnknownVnf { vnf } => write!(f, "unknown {vnf}"),
             Self::UnknownNode { node } => write!(f, "unknown {node}"),
-            Self::CapacityExceeded { node, demand, capacity } => {
-                write!(f, "{node} overloaded: demand {demand} exceeds capacity {capacity}")
+            Self::CapacityExceeded {
+                node,
+                demand,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{node} overloaded: demand {demand} exceeds capacity {capacity}"
+                )
             }
             Self::MissingVnf { vnf } => write!(f, "{vnf} was not placed"),
             Self::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),

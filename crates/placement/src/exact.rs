@@ -49,8 +49,15 @@ pub fn optimal_node_count(problem: &PlacementProblem) -> Option<usize> {
         return None;
     }
     let order = vnfs_by_decreasing_demand(problem);
-    let demands: Vec<f64> = order.iter().map(|&v| problem.demand_of(v).value()).collect();
-    let mut remaining: Vec<f64> = problem.nodes().iter().map(|n| n.capacity().value()).collect();
+    let demands: Vec<f64> = order
+        .iter()
+        .map(|&v| problem.demand_of(v).value())
+        .collect();
+    let mut remaining: Vec<f64> = problem
+        .nodes()
+        .iter()
+        .map(|n| n.capacity().value())
+        .collect();
     let mut best = usize::MAX;
     let lower = problem.lower_bound_nodes();
     search(&demands, 0, &mut remaining, problem, 0, &mut best, lower);
@@ -77,7 +84,11 @@ fn search(
         return; // already optimal
     }
     let demand = demands[idx];
-    let capacities: Vec<f64> = problem.nodes().iter().map(|n| n.capacity().value()).collect();
+    let capacities: Vec<f64> = problem
+        .nodes()
+        .iter()
+        .map(|n| n.capacity().value())
+        .collect();
     let mut tried_empty_caps: Vec<f64> = Vec::new();
     for i in 0..remaining.len() {
         if demand > remaining[i] * (1.0 + 1e-12) + 1e-12 {
@@ -163,7 +174,10 @@ mod tests {
         assert_eq!(optimal_node_count(&problem(&[10.0], &[20.0])), None);
         // Necessary conditions pass but packing is impossible:
         // 60, 40, 40 into 75 + 75.
-        assert_eq!(optimal_node_count(&problem(&[75.0, 75.0], &[60.0, 40.0, 40.0])), None);
+        assert_eq!(
+            optimal_node_count(&problem(&[75.0, 75.0], &[60.0, 40.0, 40.0])),
+            None
+        );
         assert!(!is_feasible(&problem(&[75.0, 75.0], &[60.0, 40.0, 40.0])));
     }
 

@@ -5,7 +5,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use crate::support::{vnfs_by_decreasing_demand, Remaining};
-use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
 
 /// The order FFD scans candidate nodes in; the *first* node (in this
 /// order) with enough remaining capacity wins.
@@ -64,7 +64,9 @@ impl Ffd {
     /// Creates the paper's FFD baseline (descending-capacity scan).
     #[must_use]
     pub fn new() -> Self {
-        Self { order: ScanOrder::DescendingCapacity }
+        Self {
+            order: ScanOrder::DescendingCapacity,
+        }
     }
 
     /// Creates FFD with an explicit scan order (ablation variants).
@@ -195,8 +197,9 @@ mod tests {
         // Demands sorted: 50, 40, 30. Node0 (cap 100) takes 50+40; 30 goes
         // to node1.
         let p = problem(&[100.0, 100.0], &[30.0, 50.0, 40.0]);
-        let outcome =
-            Ffd::with_scan_order(ScanOrder::ById).place(&p, &mut rng()).unwrap();
+        let outcome = Ffd::with_scan_order(ScanOrder::ById)
+            .place(&p, &mut rng())
+            .unwrap();
         let pl = outcome.placement();
         assert_eq!(pl.node_of(VnfId::new(1)), NodeId::new(0));
         assert_eq!(pl.node_of(VnfId::new(2)), NodeId::new(0));
@@ -208,9 +211,14 @@ mod tests {
     fn fails_after_single_pass_on_unpackable_input() {
         // 60, 40, 40 into 75 + 75 is impossible.
         let p = problem(&[75.0, 75.0], &[60.0, 40.0, 40.0]);
-        for order in [ScanOrder::DescendingCapacity, ScanOrder::AscendingCapacity, ScanOrder::ById]
-        {
-            let err = Ffd::with_scan_order(order).place(&p, &mut rng()).unwrap_err();
+        for order in [
+            ScanOrder::DescendingCapacity,
+            ScanOrder::AscendingCapacity,
+            ScanOrder::ById,
+        ] {
+            let err = Ffd::with_scan_order(order)
+                .place(&p, &mut rng())
+                .unwrap_err();
             assert!(matches!(err, PlacementError::AttemptsExhausted { .. }));
         }
     }
@@ -219,14 +227,19 @@ mod tests {
     fn is_deterministic_and_rng_independent() {
         let p = problem(&[100.0, 80.0, 60.0], &[50.0, 30.0, 30.0, 20.0]);
         let a = Ffd::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
-        let b = Ffd::new().place(&p, &mut StdRng::seed_from_u64(99)).unwrap();
+        let b = Ffd::new()
+            .place(&p, &mut StdRng::seed_from_u64(99))
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn names_distinguish_variants() {
         assert_eq!(Ffd::new().name(), "ffd");
-        assert_eq!(Ffd::with_scan_order(ScanOrder::AscendingCapacity).name(), "ffd-asc");
+        assert_eq!(
+            Ffd::with_scan_order(ScanOrder::AscendingCapacity).name(),
+            "ffd-asc"
+        );
         assert_eq!(Ffd::with_scan_order(ScanOrder::ById).name(), "ffd-id");
         assert_eq!(Ffd::new().scan_order(), ScanOrder::DescendingCapacity);
     }

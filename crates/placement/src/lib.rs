@@ -71,5 +71,5 @@ pub use error::PlacementError;
 pub use ffd::{Ffd, ScanOrder};
 pub use nah::Nah;
 pub use placement::Placement;
-pub use placer::{Placer, PlacementOutcome};
+pub use placer::{PlacementOutcome, Placer};
 pub use problem::PlacementProblem;

@@ -6,7 +6,7 @@ use rand::RngCore;
 
 use crate::placer::run_with_restarts;
 use crate::support::Remaining;
-use crate::{Placement, PlacementError, PlacementOutcome, Placer, PlacementProblem};
+use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
 
 /// The Node Assignment Heuristic for NFV chaining in packet/optical
 /// datacenters (Xia et al., JLT 2015), reimplemented from its published
@@ -175,11 +175,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn problem_with_chains(
-        caps: &[f64],
-        demands: &[f64],
-        chains: &[&[u32]],
-    ) -> PlacementProblem {
+    fn problem_with_chains(caps: &[f64], demands: &[f64], chains: &[&[u32]]) -> PlacementProblem {
         let nodes = caps
             .iter()
             .enumerate()
@@ -236,11 +232,7 @@ mod tests {
 
     #[test]
     fn shared_vnfs_are_placed_once() {
-        let p = problem_with_chains(
-            &[100.0, 100.0],
-            &[40.0, 30.0, 20.0],
-            &[&[0, 1], &[1, 2]],
-        );
+        let p = problem_with_chains(&[100.0, 100.0], &[40.0, 30.0, 20.0], &[&[0, 1], &[1, 2]]);
         let outcome = Nah::new().place(&p, &mut StdRng::seed_from_u64(1)).unwrap();
         // Just feasibility plus the Eq. (2) invariant, which Placement::new
         // enforces: each VNF appears exactly once.
@@ -265,7 +257,9 @@ mod tests {
     fn infeasible_fails_fast() {
         let p = problem_with_chains(&[10.0], &[20.0], &[&[0]]);
         assert!(matches!(
-            Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap_err(),
+            Nah::new()
+                .place(&p, &mut StdRng::seed_from_u64(0))
+                .unwrap_err(),
             PlacementError::Infeasible { .. }
         ));
     }
@@ -281,7 +275,9 @@ mod tests {
             &[&[0], &[1], &[2], &[3]],
         );
         let nah = Nah::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
-        let bfdsu = Bfdsu::new().place(&p, &mut StdRng::seed_from_u64(0)).unwrap();
+        let bfdsu = Bfdsu::new()
+            .place(&p, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(bfdsu.placement().nodes_in_service(), 1);
         assert!(nah.placement().nodes_in_service() >= bfdsu.placement().nodes_in_service());
     }

@@ -53,10 +53,15 @@ impl Placement {
     /// * [`PlacementError::UnknownNode`] for an out-of-range node,
     /// * [`PlacementError::CapacityExceeded`] if a node's demand exceeds its
     ///   capacity (Eq. (6) violated).
-    pub fn new(problem: &PlacementProblem, assignment: Vec<NodeId>) -> Result<Self, PlacementError> {
+    pub fn new(
+        problem: &PlacementProblem,
+        assignment: Vec<NodeId>,
+    ) -> Result<Self, PlacementError> {
         if assignment.len() != problem.vnfs().len() {
             let missing = assignment.len().min(problem.vnfs().len());
-            return Err(PlacementError::MissingVnf { vnf: VnfId::new(missing as u32) });
+            return Err(PlacementError::MissingVnf {
+                vnf: VnfId::new(missing as u32),
+            });
         }
         let mut node_demand = vec![0.0; problem.nodes().len()];
         for (f, node) in assignment.iter().enumerate() {
@@ -65,8 +70,11 @@ impl Placement {
             }
             node_demand[node.as_usize()] += problem.demand_of(VnfId::new(f as u32)).value();
         }
-        let node_capacity: Vec<f64> =
-            problem.nodes().iter().map(|n| n.capacity().value()).collect();
+        let node_capacity: Vec<f64> = problem
+            .nodes()
+            .iter()
+            .map(|n| n.capacity().value())
+            .collect();
         for (i, (&demand, &capacity)) in node_demand.iter().zip(&node_capacity).enumerate() {
             // Tolerate floating-point round-off from repeated accumulation.
             if demand > capacity * (1.0 + 1e-9) + 1e-9 {
@@ -77,7 +85,11 @@ impl Placement {
                 });
             }
         }
-        Ok(Self { assignment, node_demand, node_capacity })
+        Ok(Self {
+            assignment,
+            node_demand,
+            node_capacity,
+        })
     }
 
     /// The node hosting `vnf`.

@@ -45,7 +45,10 @@ impl PlacementOutcome {
     /// Creates an outcome (used by [`Placer`] implementations).
     #[must_use]
     pub fn new(placement: Placement, iterations: u64) -> Self {
-        Self { placement, iterations }
+        Self {
+            placement,
+            iterations,
+        }
     }
 
     /// The feasible placement.
@@ -89,7 +92,9 @@ pub(crate) fn run_with_restarts(
             return Ok(PlacementOutcome::new(placement, iteration));
         }
     }
-    Err(PlacementError::AttemptsExhausted { attempts: max_attempts })
+    Err(PlacementError::AttemptsExhausted {
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +104,10 @@ mod tests {
 
     fn tiny_problem() -> PlacementProblem {
         PlacementProblem::new(
-            vec![ComputeNode::new(NodeId::new(0), Capacity::new(10.0).unwrap())],
+            vec![ComputeNode::new(
+                NodeId::new(0),
+                Capacity::new(10.0).unwrap(),
+            )],
             vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
                 .demand_per_instance(Demand::new(5.0).unwrap())
                 .service_rate(ServiceRate::new(1.0).unwrap())
@@ -135,7 +143,10 @@ mod tests {
     #[test]
     fn infeasible_problems_fail_fast() {
         let problem = PlacementProblem::new(
-            vec![ComputeNode::new(NodeId::new(0), Capacity::new(1.0).unwrap())],
+            vec![ComputeNode::new(
+                NodeId::new(0),
+                Capacity::new(1.0).unwrap(),
+            )],
             vec![Vnf::builder(VnfId::new(0), VnfKind::Nat)
                 .demand_per_instance(Demand::new(5.0).unwrap())
                 .service_rate(ServiceRate::new(1.0).unwrap())
@@ -150,6 +161,9 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PlacementError::Infeasible { .. }));
-        assert_eq!(calls, 0, "attempts must not run for provably infeasible input");
+        assert_eq!(
+            calls, 0,
+            "attempts must not run for provably infeasible input"
+        );
     }
 }

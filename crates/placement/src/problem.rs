@@ -62,12 +62,20 @@ impl PlacementProblem {
         chains: Vec<ServiceChain>,
     ) -> Result<Self, PlacementError> {
         if nodes.is_empty() {
-            return Err(PlacementError::InvalidProblem { reason: "no computing nodes" });
+            return Err(PlacementError::InvalidProblem {
+                reason: "no computing nodes",
+            });
         }
         if vnfs.is_empty() {
-            return Err(PlacementError::InvalidProblem { reason: "no VNFs to place" });
+            return Err(PlacementError::InvalidProblem {
+                reason: "no VNFs to place",
+            });
         }
-        if nodes.iter().enumerate().any(|(i, n)| n.id().as_usize() != i) {
+        if nodes
+            .iter()
+            .enumerate()
+            .any(|(i, n)| n.id().as_usize() != i)
+        {
             return Err(PlacementError::InvalidProblem {
                 reason: "node ids must be 0..|V| in order",
             });
@@ -84,7 +92,11 @@ impl PlacementProblem {
                 }
             }
         }
-        Ok(Self { nodes, vnfs, chains })
+        Ok(Self {
+            nodes,
+            vnfs,
+            chains,
+        })
     }
 
     /// The computing nodes, ordered by id.
@@ -142,7 +154,11 @@ impl PlacementProblem {
             .iter()
             .map(|n| n.capacity().value())
             .fold(0.0f64, f64::max);
-        if self.vnfs.iter().any(|v| v.total_demand().value() > max_capacity) {
+        if self
+            .vnfs
+            .iter()
+            .any(|v| v.total_demand().value() > max_capacity)
+        {
             return Err(PlacementError::Infeasible {
                 reason: "a VNF exceeds every node capacity",
             });
@@ -202,12 +218,9 @@ mod tests {
     #[test]
     fn rejects_chain_referencing_unknown_vnf() {
         let chain = ServiceChain::new(vec![VnfId::new(5)]).unwrap();
-        let err = PlacementProblem::with_chains(
-            vec![node(0, 10.0)],
-            vec![vnf(0, 1.0, 1)],
-            vec![chain],
-        )
-        .unwrap_err();
+        let err =
+            PlacementProblem::with_chains(vec![node(0, 10.0)], vec![vnf(0, 1.0, 1)], vec![chain])
+                .unwrap_err();
         assert_eq!(err, PlacementError::UnknownVnf { vnf: VnfId::new(5) });
     }
 

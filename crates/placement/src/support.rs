@@ -12,7 +12,13 @@ pub(crate) struct Remaining {
 
 impl Remaining {
     pub(crate) fn new(problem: &PlacementProblem) -> Self {
-        Self { rst: problem.nodes().iter().map(|n| n.capacity().value()).collect() }
+        Self {
+            rst: problem
+                .nodes()
+                .iter()
+                .map(|n| n.capacity().value())
+                .collect(),
+        }
     }
 
     /// Remaining capacity of `node`.

@@ -2,7 +2,7 @@
 //! instance families.
 
 use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
-use nfv_placement::{exact, Bfd, Bfdsu, Ffd, Nah, Placer, PlacementProblem, ScanOrder};
+use nfv_placement::{exact, Bfd, Bfdsu, Ffd, Nah, PlacementProblem, Placer, ScanOrder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -99,8 +99,7 @@ fn random_small_instances_heuristic_vs_oracle_statistics() {
         // count those separately instead of failing.
         match Bfdsu::new().place(&p, &mut algo_rng) {
             Ok(outcome) => {
-                total_ratio +=
-                    outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64;
+                total_ratio += outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64;
                 solved += 1;
             }
             Err(_) => unsolved += 1,
@@ -146,8 +145,16 @@ fn nah_oracle_gap_grows_with_chain_fragmentation() {
     // one, the sixth elsewhere).
     assert_eq!(exact::optimal_node_count(&p), Some(2));
     let mut rng = StdRng::seed_from_u64(1);
-    let nah_used = Nah::new().place(&p, &mut rng).unwrap().placement().nodes_in_service();
-    let bfdsu_used = Bfdsu::new().place(&p, &mut rng).unwrap().placement().nodes_in_service();
+    let nah_used = Nah::new()
+        .place(&p, &mut rng)
+        .unwrap()
+        .placement()
+        .nodes_in_service();
+    let bfdsu_used = Bfdsu::new()
+        .place(&p, &mut rng)
+        .unwrap()
+        .placement()
+        .nodes_in_service();
     assert!(nah_used >= bfdsu_used);
     assert_eq!(bfdsu_used, 2, "BFDSU should match the oracle here");
 }

@@ -60,7 +60,12 @@ impl AdmissionController {
     /// # Panics
     ///
     /// Panics if `instance` is out of range.
-    pub fn offer(&mut self, instance: usize, rate: ArrivalRate, delivery: DeliveryProbability) -> bool {
+    pub fn offer(
+        &mut self,
+        instance: usize,
+        rate: ArrivalRate,
+        delivery: DeliveryProbability,
+    ) -> bool {
         self.offered += 1;
         let load = &mut self.instances[instance];
         if load.can_accept(rate, delivery) {
@@ -81,14 +86,20 @@ impl AdmissionController {
     /// The admission statistics so far.
     #[must_use]
     pub fn report(&self) -> AdmissionReport {
-        AdmissionReport { offered: self.offered, rejected: self.rejected }
+        AdmissionReport {
+            offered: self.offered,
+            rejected: self.rejected,
+        }
     }
 
     /// Consumes the controller, returning the final instance loads and the
     /// admission report.
     #[must_use]
     pub fn into_parts(self) -> (Vec<InstanceLoad>, AdmissionReport) {
-        let report = AdmissionReport { offered: self.offered, rejected: self.rejected };
+        let report = AdmissionReport {
+            offered: self.offered,
+            rejected: self.rejected,
+        };
         (self.instances, report)
     }
 }

@@ -66,7 +66,10 @@ impl ChainResponse {
         if stage_visit_times.is_empty() {
             return Err(QueueingError::MissingAssignment);
         }
-        Ok(Self { stage_visit_times, expected_rounds: 1.0 / delivery.value() })
+        Ok(Self {
+            stage_visit_times,
+            expected_rounds: 1.0 / delivery.value(),
+        })
     }
 
     /// Per-station mean visit response times `1/(μ_i − Λ_i)`, in chain order.

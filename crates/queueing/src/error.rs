@@ -36,7 +36,10 @@ impl fmt::Display for QueueingError {
                 "station unstable: arrival rate {arrival} pps >= service rate {service} pps"
             ),
             Self::MissingAssignment => {
-                write!(f, "request traverses a VNF with no assigned service instance")
+                write!(
+                    f,
+                    "request traverses a VNF with no assigned service instance"
+                )
             }
             Self::InvalidNetwork { reason } => write!(f, "invalid jackson network: {reason}"),
         }
@@ -51,7 +54,10 @@ mod tests {
 
     #[test]
     fn display_reports_rates() {
-        let err = QueueingError::Unstable { arrival: 120.0, service: 100.0 };
+        let err = QueueingError::Unstable {
+            arrival: 120.0,
+            service: 100.0,
+        };
         let s = err.to_string();
         assert!(s.contains("120") && s.contains("100"));
     }

@@ -49,7 +49,12 @@ impl InstanceLoad {
     /// Creates an idle instance with service rate `μ_f`.
     #[must_use]
     pub fn new(service: ServiceRate) -> Self {
-        Self { service, equivalent_arrival: 0.0, external_arrival: 0.0, requests: 0 }
+        Self {
+            service,
+            equivalent_arrival: 0.0,
+            external_arrival: 0.0,
+            requests: 0,
+        }
     }
 
     /// The instance's service rate `μ_f`.

@@ -47,7 +47,10 @@ impl Mm1Queue {
         if arrival.is_finite() && arrival >= 0.0 && arrival < service.value() {
             Ok(Self { arrival, service })
         } else {
-            Err(QueueingError::Unstable { arrival, service: service.value() })
+            Err(QueueingError::Unstable {
+                arrival,
+                service: service.value(),
+            })
         }
     }
 
@@ -108,7 +111,10 @@ impl Mm1Queue {
     /// Panics if `p` is not within `[0, 1)`.
     #[must_use]
     pub fn response_time_quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile probability must lie in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile probability must lie in [0, 1)"
+        );
         -(1.0 - p).ln() / (self.service.value() - self.arrival)
     }
 }

@@ -68,7 +68,9 @@ impl JacksonNetwork {
     ) -> Result<Self, QueueingError> {
         let n = service.len();
         if n == 0 {
-            return Err(QueueingError::InvalidNetwork { reason: "network has no stations" });
+            return Err(QueueingError::InvalidNetwork {
+                reason: "network has no stations",
+            });
         }
         if external.len() != n || routing.len() != n {
             return Err(QueueingError::InvalidNetwork {
@@ -98,7 +100,11 @@ impl JacksonNetwork {
                 });
             }
         }
-        Ok(Self { service, external, routing })
+        Ok(Self {
+            service,
+            external,
+            routing,
+        })
     }
 
     /// Number of stations.
@@ -188,7 +194,11 @@ impl JacksonNetwork {
             .map(|(&lambda, &mu)| Mm1Queue::new(lambda, mu))
             .collect::<Result<Vec<_>, _>>()?;
         let total_external: f64 = self.external.iter().sum();
-        Ok(SolvedNetwork { arrivals, queues, total_external })
+        Ok(SolvedNetwork {
+            arrivals,
+            queues,
+            total_external,
+        })
     }
 }
 
@@ -229,7 +239,10 @@ impl SolvedNetwork {
     /// `E[N] = Σ_i ρ_i/(1 − ρ_i)` (Jackson's product form).
     #[must_use]
     pub fn mean_packets_in_network(&self) -> f64 {
-        self.queues.iter().map(Mm1Queue::mean_packets_in_system).sum()
+        self.queues
+            .iter()
+            .map(Mm1Queue::mean_packets_in_system)
+            .sum()
     }
 
     /// Expected end-to-end sojourn time of a packet admitted to the
@@ -370,19 +383,16 @@ mod tests {
 
     #[test]
     fn overload_surfaces_as_unstable() {
-        let network = JacksonNetwork::new(
-            vec![mu(10.0)],
-            vec![20.0],
-            vec![vec![0.0]],
-        )
-        .unwrap();
-        assert!(matches!(network.solve(), Err(QueueingError::Unstable { .. })));
+        let network = JacksonNetwork::new(vec![mu(10.0)], vec![20.0], vec![vec![0.0]]).unwrap();
+        assert!(matches!(
+            network.solve(),
+            Err(QueueingError::Unstable { .. })
+        ));
     }
 
     #[test]
     fn no_external_traffic_means_empty_network() {
-        let network =
-            JacksonNetwork::new(vec![mu(10.0)], vec![0.0], vec![vec![0.0]]).unwrap();
+        let network = JacksonNetwork::new(vec![mu(10.0)], vec![0.0], vec![vec![0.0]]).unwrap();
         let solved = network.solve().unwrap();
         assert_eq!(solved.mean_packets_in_network(), 0.0);
         assert_eq!(solved.mean_sojourn_time(), 0.0);

@@ -28,16 +28,14 @@ fn single_station_three_ways() {
     let w_instance = load.mean_delivery_response_time().unwrap();
 
     // View 2: ChainResponse over a one-station chain.
-    let w_chain = ChainResponse::compute([&load], p(delivery)).unwrap().total();
+    let w_chain = ChainResponse::compute([&load], p(delivery))
+        .unwrap()
+        .total();
 
     // View 3: the general Jackson network with an explicit feedback loop
     // returning lost packets to the single station.
-    let network = JacksonNetwork::new(
-        vec![mu(service)],
-        vec![lambda],
-        vec![vec![1.0 - delivery]],
-    )
-    .unwrap();
+    let network =
+        JacksonNetwork::new(vec![mu(service)], vec![lambda], vec![vec![1.0 - delivery]]).unwrap();
     let solved = network.solve().unwrap();
     let w_network = solved.mean_sojourn_time();
 
@@ -61,7 +59,9 @@ fn serial_chain_three_ways() {
             load
         })
         .collect();
-    let w_chain = ChainResponse::compute(loads.iter(), p(delivery)).unwrap().total();
+    let w_chain = ChainResponse::compute(loads.iter(), p(delivery))
+        .unwrap()
+        .total();
 
     // Jackson network: serial routing, last station feeds back (1 − P) to
     // the first (the paper's NACK loop).
@@ -105,13 +105,10 @@ fn merged_flows_match_kleinrock_summation() {
     )
     .unwrap();
     let solved = network.solve().unwrap();
-    assert!(
-        (solved.arrival_rates()[0] - load.equivalent_arrival_rate()).abs() < 1e-9
-    );
+    assert!((solved.arrival_rates()[0] - load.equivalent_arrival_rate()).abs() < 1e-9);
     let q = load.queue().unwrap();
     assert!(
-        (solved.queues()[0].mean_packets_in_system() - q.mean_packets_in_system()).abs()
-            < 1e-12
+        (solved.queues()[0].mean_packets_in_system() - q.mean_packets_in_system()).abs() < 1e-12
     );
 }
 
@@ -135,8 +132,7 @@ fn bottleneck_identification_matches_utilizations() {
 #[test]
 fn network_queue_matches_direct_mm1() {
     let direct = Mm1Queue::new(60.0, mu(100.0)).unwrap();
-    let network =
-        JacksonNetwork::new(vec![mu(100.0)], vec![60.0], vec![vec![0.0]]).unwrap();
+    let network = JacksonNetwork::new(vec![mu(100.0)], vec![60.0], vec![vec![0.0]]).unwrap();
     let solved = network.solve().unwrap();
     assert_eq!(solved.queues()[0], direct);
     assert!((solved.mean_sojourn_time() - direct.mean_response_time()).abs() < 1e-12);

@@ -184,13 +184,18 @@ mod tests {
     use super::*;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     #[test]
     fn first_solution_is_lpt() {
         // LPT on {7,6,5,4} over 2: 7|6, 5->6 (11), 4->7 (11). Makespan 11.
-        let schedule = Cga::new().schedule(&rates(&[5.0, 7.0, 4.0, 6.0]), 2).unwrap();
+        let schedule = Cga::new()
+            .schedule(&rates(&[5.0, 7.0, 4.0, 6.0]), 2)
+            .unwrap();
         let mut sums = schedule.instance_rate_sums();
         sums.sort_by(f64::total_cmp);
         assert_eq!(sums, vec![11.0, 11.0]);
@@ -204,14 +209,20 @@ mod tests {
         let input = rates(&[3.0, 3.0, 2.0, 2.0, 2.0]);
         let greedy = Cga::new().schedule(&input, 2).unwrap();
         assert_eq!(greedy.makespan(), 7.0);
-        let exact = Cga::new().with_leaf_budget(10_000).schedule(&input, 2).unwrap();
+        let exact = Cga::new()
+            .with_leaf_budget(10_000)
+            .schedule(&input, 2)
+            .unwrap();
         assert_eq!(exact.makespan(), 6.0);
     }
 
     #[test]
     fn exact_mode_matches_brute_force_small() {
         let input = rates(&[9.0, 7.0, 6.0, 5.0, 4.0, 2.0]);
-        let exact = Cga::new().with_leaf_budget(1_000_000).schedule(&input, 3).unwrap();
+        let exact = Cga::new()
+            .with_leaf_budget(1_000_000)
+            .schedule(&input, 3)
+            .unwrap();
         // Brute force over 3^6 assignments.
         let values = [9.0, 7.0, 6.0, 5.0, 4.0, 2.0];
         let mut best = f64::INFINITY;
@@ -239,7 +250,9 @@ mod tests {
         let mut order: Vec<usize> = (0..input.len()).collect();
         order.sort_by(|&a, &b| input[b].value().partial_cmp(&input[a].value()).unwrap());
         for &r in &order {
-            let k = (0..3).min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).unwrap()).unwrap();
+            let k = (0..3)
+                .min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).unwrap())
+                .unwrap();
             sums[k] += input[r].value();
         }
         let expected = sums.iter().copied().fold(0.0, f64::max);

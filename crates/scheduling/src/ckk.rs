@@ -104,7 +104,10 @@ impl Search<'_> {
             return;
         }
         if partitions.len() == 1 {
-            let assignment = partitions.pop().expect("one left").into_assignment(self.rates.len());
+            let assignment = partitions
+                .pop()
+                .expect("one left")
+                .into_assignment(self.rates.len());
             let mut sums = vec![0.0; self.instances];
             for (r, &k) in assignment.iter().enumerate() {
                 sums[k] += self.rates[r].value();
@@ -185,7 +188,10 @@ mod tests {
     use crate::Rckk;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     #[test]
@@ -202,7 +208,10 @@ mod tests {
     fn search_reaches_perfect_partition() {
         // {4,5,6,7,8} splits 15/15.
         let input = rates(&[4.0, 5.0, 6.0, 7.0, 8.0]);
-        let schedule = Ckk::new().with_leaf_budget(100_000).schedule(&input, 2).unwrap();
+        let schedule = Ckk::new()
+            .with_leaf_budget(100_000)
+            .schedule(&input, 2)
+            .unwrap();
         assert_eq!(schedule.makespan(), 15.0);
     }
 
@@ -210,7 +219,10 @@ mod tests {
     fn search_never_worse_than_first_solution() {
         let input = rates(&[13.0, 11.0, 10.0, 8.0, 7.0, 5.0, 4.0]);
         let first = Ckk::new().schedule(&input, 3).unwrap();
-        let searched = Ckk::new().with_leaf_budget(50_000).schedule(&input, 3).unwrap();
+        let searched = Ckk::new()
+            .with_leaf_budget(50_000)
+            .schedule(&input, 3)
+            .unwrap();
         assert!(searched.makespan() <= first.makespan());
     }
 

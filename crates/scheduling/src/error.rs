@@ -30,8 +30,14 @@ impl fmt::Display for SchedulingError {
         match self {
             Self::NoInstances => write!(f, "no service instances to schedule onto"),
             Self::NoRequests => write!(f, "no requests to schedule"),
-            Self::InstanceOutOfRange { instance, instances } => {
-                write!(f, "instance index {instance} out of range for {instances} instances")
+            Self::InstanceOutOfRange {
+                instance,
+                instances,
+            } => {
+                write!(
+                    f,
+                    "instance index {instance} out of range for {instances} instances"
+                )
             }
             Self::Queueing(err) => write!(f, "queueing evaluation failed: {err}"),
         }
@@ -59,14 +65,20 @@ mod tests {
 
     #[test]
     fn queueing_errors_chain() {
-        let err: SchedulingError =
-            QueueingError::Unstable { arrival: 10.0, service: 5.0 }.into();
+        let err: SchedulingError = QueueingError::Unstable {
+            arrival: 10.0,
+            service: 5.0,
+        }
+        .into();
         assert!(err.source().is_some());
         assert!(err.to_string().contains("unstable"));
     }
 
     #[test]
     fn display_is_concise() {
-        assert_eq!(SchedulingError::NoRequests.to_string(), "no requests to schedule");
+        assert_eq!(
+            SchedulingError::NoRequests.to_string(),
+            "no requests to schedule"
+        );
     }
 }

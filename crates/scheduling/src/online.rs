@@ -8,7 +8,7 @@
 //! arriving request to the instance with the smallest current rate sum —
 //! the classic `(2 − 1/m)`-competitive List Scheduling algorithm (Graham).
 
-use nfv_model::ArrivalRate;
+use nfv_model::{ArrivalRate, ServiceRate};
 
 use crate::scheduler::check_inputs;
 use crate::{Schedule, Scheduler, SchedulingError};
@@ -34,6 +34,9 @@ pub struct OnlineDispatcher {
     sums: Vec<f64>,
     assignment: Vec<usize>,
     rates: Vec<ArrivalRate>,
+    /// Per-instance service rate `μ`; `None` keeps the classic Graham
+    /// dispatcher, which admits everything regardless of load.
+    capacity: Option<f64>,
 }
 
 impl OnlineDispatcher {
@@ -46,7 +49,25 @@ impl OnlineDispatcher {
         if instances == 0 {
             return Err(SchedulingError::NoInstances);
         }
-        Ok(Self { sums: vec![0.0; instances], assignment: Vec::new(), rates: Vec::new() })
+        Ok(Self {
+            sums: vec![0.0; instances],
+            assignment: Vec::new(),
+            rates: Vec::new(),
+            capacity: None,
+        })
+    }
+
+    /// Creates a capacity-aware dispatcher: every instance serves at rate
+    /// `μ`, and [`try_dispatch`](Self::try_dispatch) refuses any arrival
+    /// that would drive its target instance to `ρ ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulingError::NoInstances`] for zero instances.
+    pub fn with_capacity(instances: usize, service: ServiceRate) -> Result<Self, SchedulingError> {
+        let mut dispatcher = Self::new(instances)?;
+        dispatcher.capacity = Some(service.value());
+        Ok(dispatcher)
     }
 
     /// Number of instances.
@@ -75,6 +96,21 @@ impl OnlineDispatcher {
         self.assignment.push(k);
         self.rates.push(rate);
         k
+    }
+
+    /// Like [`dispatch`](Self::dispatch), but honors the capacity set by
+    /// [`with_capacity`](Self::with_capacity): if even the least-loaded
+    /// instance would reach `ρ ≥ 1` (`Λ + λ ≥ μ`, the strict admission
+    /// bound of Eq. (9)), the arrival is refused and the dispatcher is left
+    /// unchanged. Without a capacity this is exactly `dispatch`.
+    pub fn try_dispatch(&mut self, rate: ArrivalRate) -> Option<usize> {
+        if let Some(mu) = self.capacity {
+            let least = self.sums.iter().cloned().fold(f64::INFINITY, f64::min);
+            if least + rate.value() >= mu {
+                return None;
+            }
+        }
+        Some(self.dispatch(rate))
     }
 
     /// The per-instance rate sums so far.
@@ -150,7 +186,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     #[test]
@@ -166,7 +205,9 @@ mod tests {
 
     #[test]
     fn schedule_round_trip() {
-        let schedule = OnlineLeastLoaded::new().schedule(&rates(&[4.0, 3.0, 2.0]), 2).unwrap();
+        let schedule = OnlineLeastLoaded::new()
+            .schedule(&rates(&[4.0, 3.0, 2.0]), 2)
+            .unwrap();
         assert_eq!(schedule.assignment(), &[0, 1, 1]);
     }
 
@@ -186,7 +227,7 @@ mod tests {
         let offline = Rckk::new().schedule(&input, 2).unwrap();
         assert_eq!(offline.makespan(), 60.0);
         assert_eq!(online.makespan(), 60.0); // 10,10 split; 50 each — equal here
-        // A truly adversarial order: equal smalls then one giant.
+                                             // A truly adversarial order: equal smalls then one giant.
         let input = rates(&[30.0, 30.0, 60.0]);
         let online = OnlineLeastLoaded::new().schedule(&input, 2).unwrap();
         let offline = Rckk::new().schedule(&input, 2).unwrap();
@@ -197,6 +238,41 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(OnlineLeastLoaded::new().name(), "online-least-loaded");
+    }
+
+    #[test]
+    fn capacity_aware_refuses_overload_and_leaves_state_unchanged() {
+        let mu = ServiceRate::new(10.0).unwrap();
+        let mut d = OnlineDispatcher::with_capacity(2, mu).unwrap();
+        assert_eq!(d.try_dispatch(ArrivalRate::new(6.0).unwrap()), Some(0));
+        assert_eq!(d.try_dispatch(ArrivalRate::new(6.0).unwrap()), Some(1));
+        // Least-loaded instance holds 6; 6 + 5 >= 10, so refuse.
+        let before = d.clone();
+        assert_eq!(d.try_dispatch(ArrivalRate::new(5.0).unwrap()), None);
+        assert_eq!(d, before);
+        // A smaller arrival still fits strictly below mu.
+        assert_eq!(d.try_dispatch(ArrivalRate::new(3.9).unwrap()), Some(0));
+        assert_eq!(d.dispatched(), 3);
+    }
+
+    #[test]
+    fn capacity_bound_is_strict() {
+        let mu = ServiceRate::new(10.0).unwrap();
+        let mut d = OnlineDispatcher::with_capacity(1, mu).unwrap();
+        // Exactly mu is rejected: admission requires rho < 1 strictly.
+        assert_eq!(d.try_dispatch(ArrivalRate::new(10.0).unwrap()), None);
+        assert_eq!(d.try_dispatch(ArrivalRate::new(9.999).unwrap()), Some(0));
+    }
+
+    #[test]
+    fn without_capacity_try_dispatch_is_dispatch() {
+        let mut plain = OnlineDispatcher::new(2).unwrap();
+        let mut fallible = OnlineDispatcher::new(2).unwrap();
+        for &v in &[9.0, 1.0, 8.0, 2.0, 100.0] {
+            let rate = ArrivalRate::new(v).unwrap();
+            assert_eq!(fallible.try_dispatch(rate), Some(plain.dispatch(rate)));
+        }
+        assert_eq!(plain.sums(), fallible.sums());
     }
 
     proptest! {

@@ -157,7 +157,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     #[test]
@@ -165,7 +168,9 @@ mod tests {
         // {8,7,6,5,4}: classic KK differencing ends with difference 2,
         // i.e. subsets summing 16 and 14; the optimal 15/15 split needs
         // complete search (CKK).
-        let schedule = Rckk::new().schedule(&rates(&[8.0, 7.0, 6.0, 5.0, 4.0]), 2).unwrap();
+        let schedule = Rckk::new()
+            .schedule(&rates(&[8.0, 7.0, 6.0, 5.0, 4.0]), 2)
+            .unwrap();
         let mut sums = schedule.instance_rate_sums();
         sums.sort_by(f64::total_cmp);
         assert_eq!(sums, vec![14.0, 16.0]);
@@ -174,11 +179,16 @@ mod tests {
 
     #[test]
     fn three_way_balances_close_to_perfect() {
-        let schedule =
-            Rckk::new().schedule(&rates(&[9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0]), 3).unwrap();
+        let schedule = Rckk::new()
+            .schedule(&rates(&[9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0]), 3)
+            .unwrap();
         // Total 42, perfect would be 14 each; KK-style differencing should
         // come close (imbalance no more than the smallest element).
-        assert!(schedule.imbalance() <= 3.0, "imbalance {}", schedule.imbalance());
+        assert!(
+            schedule.imbalance() <= 3.0,
+            "imbalance {}",
+            schedule.imbalance()
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
     use crate::Rckk;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     #[test]

@@ -55,9 +55,16 @@ impl Schedule {
             return Err(SchedulingError::NoInstances);
         }
         if let Some(&bad) = assignment.iter().find(|&&k| k >= instances) {
-            return Err(SchedulingError::InstanceOutOfRange { instance: bad, instances });
+            return Err(SchedulingError::InstanceOutOfRange {
+                instance: bad,
+                instances,
+            });
         }
-        Ok(Self { rates, assignment, instances })
+        Ok(Self {
+            rates,
+            assignment,
+            instances,
+        })
     }
 
     /// Number of requests `n`.
@@ -108,9 +115,7 @@ impl Schedule {
     /// The largest per-instance rate sum (partitioning makespan).
     #[must_use]
     pub fn makespan(&self) -> f64 {
-        self.instance_rate_sums()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.instance_rate_sums().into_iter().fold(0.0, f64::max)
     }
 
     /// The difference between the largest and smallest per-instance sums;
@@ -212,7 +217,10 @@ mod tests {
     use super::*;
 
     fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-        values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+        values
+            .iter()
+            .map(|&v| ArrivalRate::new(v).unwrap())
+            .collect()
     }
 
     fn mu(v: f64) -> ServiceRate {
@@ -226,7 +234,10 @@ mod tests {
         assert!(Schedule::new(rates(&[1.0]), vec![], 1).is_err());
         assert!(matches!(
             Schedule::new(rates(&[1.0]), vec![3], 2).unwrap_err(),
-            SchedulingError::InstanceOutOfRange { instance: 3, instances: 2 }
+            SchedulingError::InstanceOutOfRange {
+                instance: 3,
+                instances: 2
+            }
         ));
     }
 

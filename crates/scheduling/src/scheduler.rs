@@ -21,8 +21,11 @@ pub trait Scheduler {
     ///
     /// * [`SchedulingError::NoRequests`] if `rates` is empty,
     /// * [`SchedulingError::NoInstances`] if `instances` is zero.
-    fn schedule(&self, rates: &[ArrivalRate], instances: usize)
-        -> Result<Schedule, SchedulingError>;
+    fn schedule(
+        &self,
+        rates: &[ArrivalRate],
+        instances: usize,
+    ) -> Result<Schedule, SchedulingError>;
 }
 
 /// Validates the common preconditions shared by every scheduler.

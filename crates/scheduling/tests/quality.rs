@@ -7,12 +7,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn rates(values: &[f64]) -> Vec<ArrivalRate> {
-    values.iter().map(|&v| ArrivalRate::new(v).unwrap()).collect()
+    values
+        .iter()
+        .map(|&v| ArrivalRate::new(v).unwrap())
+        .collect()
 }
 
 fn random_rates(n: usize, seed: u64) -> Vec<ArrivalRate> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).unwrap()).collect()
+    (0..n)
+        .map(|_| ArrivalRate::new(rng.gen_range(1.0..=100.0)).unwrap())
+        .collect()
 }
 
 #[test]
@@ -28,7 +33,10 @@ fn rckk_approximation_ratio_vs_exact_on_small_instances() {
             .schedule(&input, m)
             .unwrap();
         let rckk = Rckk::new().schedule(&input, m).unwrap();
-        assert!(rckk.makespan() >= exact.makespan() - 1e-9, "oracle beaten?!");
+        assert!(
+            rckk.makespan() >= exact.makespan() - 1e-9,
+            "oracle beaten?!"
+        );
         worst_ratio = worst_ratio.max(rckk.makespan() / exact.makespan());
     }
     // KK differencing stays close to optimal on uniform random inputs.
@@ -41,8 +49,14 @@ fn ckk_search_converges_to_cga_search() {
     for seed in 0..10u64 {
         let input = random_rates(8, seed ^ 0xA5);
         let m = 3;
-        let via_cga = Cga::new().with_leaf_budget(5_000_000).schedule(&input, m).unwrap();
-        let via_ckk = Ckk::new().with_leaf_budget(5_000_000).schedule(&input, m).unwrap();
+        let via_cga = Cga::new()
+            .with_leaf_budget(5_000_000)
+            .schedule(&input, m)
+            .unwrap();
+        let via_ckk = Ckk::new()
+            .with_leaf_budget(5_000_000)
+            .schedule(&input, m)
+            .unwrap();
         assert!(
             (via_cga.makespan() - via_ckk.makespan()).abs() < 1e-9,
             "seed {seed}: cga {} vs ckk {}",
@@ -76,13 +90,20 @@ fn algorithm_quality_ordering_on_random_inputs() {
     assert!(rckk <= cga, "rckk {rckk} vs cga {cga}");
     assert!(cga <= online, "cga {cga} vs online {online}");
     assert!(online <= rr, "online {online} vs round-robin {rr}");
-    assert!(forward > 5.0 * rckk, "forward combination not clearly worse");
+    assert!(
+        forward > 5.0 * rckk,
+        "forward combination not clearly worse"
+    );
 }
 
 #[test]
 fn identical_rates_are_perfectly_balanced_by_everyone_informed() {
     let input = rates(&[10.0; 20]);
-    for algo in [&Rckk::new() as &dyn Scheduler, &Cga::new(), &OnlineLeastLoaded::new()] {
+    for algo in [
+        &Rckk::new() as &dyn Scheduler,
+        &Cga::new(),
+        &OnlineLeastLoaded::new(),
+    ] {
         let schedule = algo.schedule(&input, 5).unwrap();
         assert_eq!(schedule.imbalance(), 0.0, "{}", algo.name());
         assert_eq!(schedule.makespan(), 40.0, "{}", algo.name());
@@ -106,7 +127,11 @@ fn one_giant_request_dominates_every_makespan() {
             "{} beat the single-item lower bound",
             algo.name()
         );
-        assert!(schedule.makespan() <= 510.0 + 1e-9, "{} stacked onto the giant", algo.name());
+        assert!(
+            schedule.makespan() <= 510.0 + 1e-9,
+            "{} stacked onto the giant",
+            algo.name()
+        );
     }
 }
 
@@ -120,5 +145,9 @@ fn scaling_rates_scales_makespan_linearly() {
     let a = Rckk::new().schedule(&input, 4).unwrap();
     let b = Rckk::new().schedule(&doubled, 4).unwrap();
     assert!((b.makespan() - 2.0 * a.makespan()).abs() < 1e-9);
-    assert_eq!(a.assignment(), b.assignment(), "scaling must not change the partition");
+    assert_eq!(
+        a.assignment(),
+        b.assignment(),
+        "scaling must not change the partition"
+    );
 }

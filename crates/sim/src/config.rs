@@ -86,9 +86,14 @@ impl SimConfigBuilder {
     /// positive.
     pub fn station(mut self, mu: f64) -> Result<Self, SimError> {
         if !(mu.is_finite() && mu > 0.0) {
-            return Err(SimError::InvalidParameter { reason: "service rate must be positive" });
+            return Err(SimError::InvalidParameter {
+                reason: "service rate must be positive",
+            });
         }
-        self.stations.push(StationSpec { service_rate: mu, buffer: None });
+        self.stations.push(StationSpec {
+            service_rate: mu,
+            buffer: None,
+        });
         Ok(self)
     }
 
@@ -102,9 +107,14 @@ impl SimConfigBuilder {
     /// positive.
     pub fn station_with_buffer(mut self, mu: f64, buffer: usize) -> Result<Self, SimError> {
         if !(mu.is_finite() && mu > 0.0) {
-            return Err(SimError::InvalidParameter { reason: "service rate must be positive" });
+            return Err(SimError::InvalidParameter {
+                reason: "service rate must be positive",
+            });
         }
-        self.stations.push(StationSpec { service_rate: mu, buffer: Some(buffer) });
+        self.stations.push(StationSpec {
+            service_rate: mu,
+            buffer: Some(buffer),
+        });
         Ok(self)
     }
 
@@ -129,7 +139,9 @@ impl SimConfigBuilder {
     /// probability outside `(0, 1]` or an empty path.
     pub fn request(mut self, lambda: f64, p: f64, path: Vec<usize>) -> Result<Self, SimError> {
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(SimError::InvalidParameter { reason: "arrival rate must be positive" });
+            return Err(SimError::InvalidParameter {
+                reason: "arrival rate must be positive",
+            });
         }
         if !(p.is_finite() && p > 0.0 && p <= 1.0) {
             return Err(SimError::InvalidParameter {
@@ -137,9 +149,15 @@ impl SimConfigBuilder {
             });
         }
         if path.is_empty() {
-            return Err(SimError::InvalidParameter { reason: "request path must be non-empty" });
+            return Err(SimError::InvalidParameter {
+                reason: "request path must be non-empty",
+            });
         }
-        self.requests.push(RequestSpec { arrival_rate: lambda, delivery_probability: p, path });
+        self.requests.push(RequestSpec {
+            arrival_rate: lambda,
+            delivery_probability: p,
+            path,
+        });
         Ok(self)
     }
 
@@ -249,7 +267,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_dangling_configs() {
-        assert_eq!(SimConfig::builder().build().unwrap_err(), SimError::EmptyConfig);
+        assert_eq!(
+            SimConfig::builder().build().unwrap_err(),
+            SimError::EmptyConfig
+        );
         let err = SimConfig::builder()
             .station(10.0)
             .unwrap()

@@ -42,6 +42,8 @@ mod tests {
     #[test]
     fn display_is_concise() {
         assert!(SimError::EmptyConfig.to_string().contains("at least one"));
-        assert!(SimError::UnknownStation { station: 3 }.to_string().contains('3'));
+        assert!(SimError::UnknownStation { station: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

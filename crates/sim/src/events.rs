@@ -68,7 +68,11 @@ impl EventQueue {
     /// Schedules `event` at absolute `time`.
     pub(crate) fn schedule(&mut self, time: f64, event: Event) {
         debug_assert!(time.is_finite(), "event time must be finite");
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

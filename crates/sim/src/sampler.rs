@@ -96,6 +96,9 @@ mod tests {
         let n = 100_000;
         let above = (0..n).filter(|_| exp.sample(&mut rng) > 1.0).count();
         let frac = above as f64 / f64::from(n);
-        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail fraction {frac}");
+        assert!(
+            (frac - (-1.0f64).exp()).abs() < 0.01,
+            "tail fraction {frac}"
+        );
     }
 }

@@ -46,8 +46,11 @@ impl Simulator {
             .map(|s| Exponential::new(s.service_rate).expect("config validated"))
             .collect();
 
-        let mut stations: Vec<Station> =
-            cfg.stations.iter().map(|s| Station::new(s.buffer)).collect();
+        let mut stations: Vec<Station> = cfg
+            .stations
+            .iter()
+            .map(|s| Station::new(s.buffer))
+            .collect();
         let mut queue = EventQueue::new();
         let mut now = 0.0f64;
 
@@ -57,8 +60,7 @@ impl Simulator {
         }
 
         let mut overall = Summary::new();
-        let mut per_request: Vec<Summary> =
-            cfg.requests.iter().map(|_| Summary::new()).collect();
+        let mut per_request: Vec<Summary> = cfg.requests.iter().map(|_| Summary::new()).collect();
         let mut delivered_total: u64 = 0;
         let mut delivered_measured: u64 = 0;
         let mut retransmissions: u64 = 0;
@@ -87,7 +89,11 @@ impl Simulator {
                         now + arrivals[request].sample(rng),
                         Event::ExternalArrival { request },
                     );
-                    let packet = Packet { request, first_arrival: now, hop: 0 };
+                    let packet = Packet {
+                        request,
+                        first_arrival: now,
+                        hop: 0,
+                    };
                     let station = cfg.requests[request].path[0];
                     if stations[station].arrive(packet, now) == Offer::StartService {
                         queue.schedule(
@@ -157,8 +163,7 @@ impl Simulator {
             .zip(&warmup_visits)
             .map(|(s, &w)| (s.arrivals().saturating_sub(w)) as f64 / measured_span)
             .collect();
-        let station_mean_packets: Vec<f64> =
-            stations.iter().map(|s| s.mean_packets(now)).collect();
+        let station_mean_packets: Vec<f64> = stations.iter().map(|s| s.mean_packets(now)).collect();
         let station_dropped: Vec<u64> = stations.iter().map(Station::dropped).collect();
 
         SimReport {
@@ -205,7 +210,12 @@ mod tests {
         let report = run(mm1_config(70.0, 100.0, 1.0), 1);
         let expected = 1.0 / 30.0;
         let rel = (report.mean_latency() - expected).abs() / expected;
-        assert!(rel < 0.05, "mean {} vs expected {}", report.mean_latency(), expected);
+        assert!(
+            rel < 0.05,
+            "mean {} vs expected {}",
+            report.mean_latency(),
+            expected
+        );
         assert!(!report.truncated());
     }
 
@@ -227,7 +237,12 @@ mod tests {
         );
         let expected = 1.25 / 37.5;
         let rel = (report.mean_latency() - expected).abs() / expected;
-        assert!(rel < 0.06, "mean {} vs expected {}", report.mean_latency(), expected);
+        assert!(
+            rel < 0.06,
+            "mean {} vs expected {}",
+            report.mean_latency(),
+            expected
+        );
         assert!(report.retransmissions() > 0);
     }
 
@@ -248,7 +263,12 @@ mod tests {
         let report = run(config, 4);
         let expected = 1.0 / 60.0 + 1.0 / 40.0;
         let rel = (report.mean_latency() - expected).abs() / expected;
-        assert!(rel < 0.05, "mean {} vs expected {}", report.mean_latency(), expected);
+        assert!(
+            rel < 0.05,
+            "mean {} vs expected {}",
+            report.mean_latency(),
+            expected
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl Station {
     /// Panics if no packet is in service (a scheduling bug).
     pub(crate) fn complete(&mut self, now: f64) -> (Packet, bool) {
         self.advance(now);
-        let done = self.in_service.take().expect("completion without packet in service");
+        let done = self
+            .in_service
+            .take()
+            .expect("completion without packet in service");
         self.busy_time += now - self.service_started;
         if let Some(next) = self.queue.pop_front() {
             self.in_service = Some(next);
@@ -161,7 +164,11 @@ mod tests {
     use super::*;
 
     fn packet(request: usize) -> Packet {
-        Packet { request, first_arrival: 0.0, hop: 0 }
+        Packet {
+            request,
+            first_arrival: 0.0,
+            hop: 0,
+        }
     }
 
     #[test]

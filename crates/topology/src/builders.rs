@@ -129,7 +129,10 @@ macro_rules! fabric_options_methods {
 /// Starts building a path topology `node0 — node1 — … — node(n−1)`.
 #[must_use]
 pub fn line() -> LineBuilder {
-    LineBuilder { nodes: 4, options: FabricOptions::default() }
+    LineBuilder {
+        nodes: 4,
+        options: FabricOptions::default(),
+    }
 }
 
 /// Builder for a path (line) topology; see [`line()`].
@@ -157,10 +160,13 @@ impl LineBuilder {
     /// mismatched capacity plan.
     pub fn build(self) -> Result<Topology, TopologyError> {
         if self.nodes == 0 {
-            return Err(TopologyError::InvalidParameter { reason: "line needs >= 1 node" });
+            return Err(TopologyError::InvalidParameter {
+                reason: "line needs >= 1 node",
+            });
         }
-        let vertices: Vec<Vertex> =
-            (0..self.nodes).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let vertices: Vec<Vertex> = (0..self.nodes)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
         let edges: Vec<(usize, usize)> = (1..self.nodes).map(|i| (i - 1, i)).collect();
         let caps = self.options.capacity.materialize(self.nodes)?;
         Topology::from_parts(vertices, edges, caps, self.options.delay)
@@ -171,7 +177,10 @@ impl LineBuilder {
 /// single central switch.
 #[must_use]
 pub fn star() -> StarBuilder {
-    StarBuilder { hosts: 4, options: FabricOptions::default() }
+    StarBuilder {
+        hosts: 4,
+        options: FabricOptions::default(),
+    }
 }
 
 /// Builder for a single-switch star topology; see [`star`].
@@ -199,10 +208,13 @@ impl StarBuilder {
     /// mismatched capacity plan.
     pub fn build(self) -> Result<Topology, TopologyError> {
         if self.hosts == 0 {
-            return Err(TopologyError::InvalidParameter { reason: "star needs >= 1 host" });
+            return Err(TopologyError::InvalidParameter {
+                reason: "star needs >= 1 host",
+            });
         }
-        let mut vertices: Vec<Vertex> =
-            (0..self.hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let mut vertices: Vec<Vertex> = (0..self.hosts)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
         let hub = vertices.len();
         vertices.push(Vertex::switch());
         let edges: Vec<(usize, usize)> = (0..self.hosts).map(|i| (i, hub)).collect();
@@ -214,7 +226,12 @@ impl StarBuilder {
 /// Starts building a two-tier leaf–spine Clos fabric.
 #[must_use]
 pub fn leaf_spine() -> LeafSpineBuilder {
-    LeafSpineBuilder { leaves: 2, spines: 2, hosts_per_leaf: 2, options: FabricOptions::default() }
+    LeafSpineBuilder {
+        leaves: 2,
+        spines: 2,
+        hosts_per_leaf: 2,
+        options: FabricOptions::default(),
+    }
 }
 
 /// Builder for a leaf–spine fabric; see [`leaf_spine`].
@@ -263,8 +280,9 @@ impl LeafSpineBuilder {
             });
         }
         let hosts = self.leaves * self.hosts_per_leaf;
-        let mut vertices: Vec<Vertex> =
-            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let mut vertices: Vec<Vertex> = (0..hosts)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
         let leaf_base = vertices.len();
         vertices.extend((0..self.leaves).map(|_| Vertex::switch()));
         let spine_base = vertices.len();
@@ -288,7 +306,10 @@ impl LeafSpineBuilder {
 /// switches, `k³/4` hosts).
 #[must_use]
 pub fn fat_tree() -> FatTreeBuilder {
-    FatTreeBuilder { arity: 4, options: FabricOptions::default() }
+    FatTreeBuilder {
+        arity: 4,
+        options: FabricOptions::default(),
+    }
 }
 
 /// Builder for a fat-tree fabric; see [`fat_tree`].
@@ -323,8 +344,9 @@ impl FatTreeBuilder {
         }
         let half = k / 2;
         let hosts = k * half * half; // k^3/4
-        let mut vertices: Vec<Vertex> =
-            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let mut vertices: Vec<Vertex> = (0..hosts)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
 
         // Per pod: k/2 edge switches, k/2 aggregation switches.
         let edge_base = vertices.len();
@@ -364,7 +386,12 @@ impl FatTreeBuilder {
 /// `hosts_per_edge` compute nodes under each edge switch.
 #[must_use]
 pub fn three_tier() -> ThreeTierBuilder {
-    ThreeTierBuilder { agg: 2, edge_per_agg: 2, hosts_per_edge: 2, options: FabricOptions::default() }
+    ThreeTierBuilder {
+        agg: 2,
+        edge_per_agg: 2,
+        hosts_per_edge: 2,
+        options: FabricOptions::default(),
+    }
 }
 
 /// Builder for a three-tier tree fabric; see [`three_tier`].
@@ -414,8 +441,9 @@ impl ThreeTierBuilder {
         }
         let edges_total = self.agg * self.edge_per_agg;
         let hosts = edges_total * self.hosts_per_edge;
-        let mut vertices: Vec<Vertex> =
-            (0..hosts).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let mut vertices: Vec<Vertex> = (0..hosts)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
         let edge_base = vertices.len();
         vertices.extend((0..edges_total).map(|_| Vertex::switch()));
         let agg_base = vertices.len();
@@ -495,7 +523,9 @@ impl RandomBuilder {
     /// probability outside `[0, 1]` or a mismatched capacity plan.
     pub fn build(self) -> Result<Topology, TopologyError> {
         if self.nodes == 0 {
-            return Err(TopologyError::InvalidParameter { reason: "random graph needs >= 1 node" });
+            return Err(TopologyError::InvalidParameter {
+                reason: "random graph needs >= 1 node",
+            });
         }
         if !(0.0..=1.0).contains(&self.extra_edge_probability) {
             return Err(TopologyError::InvalidParameter {
@@ -503,8 +533,9 @@ impl RandomBuilder {
             });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let vertices: Vec<Vertex> =
-            (0..self.nodes).map(|i| Vertex::compute(NodeId::new(i as u32))).collect();
+        let vertices: Vec<Vertex> = (0..self.nodes)
+            .map(|i| Vertex::compute(NodeId::new(i as u32)))
+            .collect();
 
         // Random spanning tree: connect each new vertex to a uniformly chosen
         // earlier one, then sprinkle extra edges.
@@ -556,7 +587,12 @@ mod tests {
 
     #[test]
     fn leaf_spine_intra_and_inter_leaf_distances() {
-        let topo = leaf_spine().leaves(3).spines(2).hosts_per_leaf(2).build().unwrap();
+        let topo = leaf_spine()
+            .leaves(3)
+            .spines(2)
+            .hosts_per_leaf(2)
+            .build()
+            .unwrap();
         assert_eq!(topo.compute_nodes().len(), 6);
         assert_eq!(topo.switch_count(), 5);
         // Same leaf: host - leaf - host.
@@ -593,7 +629,7 @@ mod tests {
             .unwrap();
         assert_eq!(topo.compute_nodes().len(), 8);
         assert_eq!(topo.switch_count(), 7); // 4 edge + 2 agg + 1 core
-        // Same edge switch: 2 hops; same agg: 4; across core: 6.
+                                            // Same edge switch: 2 hops; same agg: 4; across core: 6.
         assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(1)).unwrap(), 2);
         assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(2)).unwrap(), 4);
         assert_eq!(topo.hop_count(NodeId::new(0), NodeId::new(4)).unwrap(), 6);
@@ -619,30 +655,57 @@ mod tests {
 
     #[test]
     fn random_graph_rejects_bad_probability() {
-        assert!(random_connected().extra_edge_probability(1.5).build().is_err());
+        assert!(random_connected()
+            .extra_edge_probability(1.5)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn capacity_plans_apply() {
-        let topo = line().nodes(3).capacities(vec![1.0, 2.0, 3.0]).build().unwrap();
-        let caps: Vec<f64> = topo.compute_nodes().iter().map(|n| n.capacity().value()).collect();
+        let topo = line()
+            .nodes(3)
+            .capacities(vec![1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let caps: Vec<f64> = topo
+            .compute_nodes()
+            .iter()
+            .map(|n| n.capacity().value())
+            .collect();
         assert_eq!(caps, vec![1.0, 2.0, 3.0]);
 
         assert!(line().nodes(3).capacities(vec![1.0]).build().is_err());
 
-        let ranged = line().nodes(10).capacity_range(1.0, 5000.0, 7).build().unwrap();
+        let ranged = line()
+            .nodes(10)
+            .capacity_range(1.0, 5000.0, 7)
+            .build()
+            .unwrap();
         assert!(ranged
             .compute_nodes()
             .iter()
             .all(|n| (1.0..=5000.0).contains(&n.capacity().value())));
-        let ranged2 = line().nodes(10).capacity_range(1.0, 5000.0, 7).build().unwrap();
+        let ranged2 = line()
+            .nodes(10)
+            .capacity_range(1.0, 5000.0, 7)
+            .build()
+            .unwrap();
         assert_eq!(ranged, ranged2);
     }
 
     #[test]
     fn capacity_range_rejects_inverted_bounds() {
-        assert!(line().nodes(2).capacity_range(10.0, 1.0, 0).build().is_err());
-        assert!(line().nodes(2).capacity_range(-1.0, 1.0, 0).build().is_err());
+        assert!(line()
+            .nodes(2)
+            .capacity_range(10.0, 1.0, 0)
+            .build()
+            .is_err());
+        assert!(line()
+            .nodes(2)
+            .capacity_range(-1.0, 1.0, 0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -652,7 +715,9 @@ mod tests {
             .link_delay(LinkDelay::from_micros(25.0))
             .build()
             .unwrap();
-        let l = topo.latency_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        let l = topo
+            .latency_between(NodeId::new(0), NodeId::new(1))
+            .unwrap();
         assert!((l.micros() - 50.0).abs() < 1e-9);
     }
 }

@@ -56,7 +56,10 @@ mod tests {
             "topology contains no computing nodes"
         );
         assert_eq!(
-            TopologyError::UnknownNode { node: NodeId::new(3) }.to_string(),
+            TopologyError::UnknownNode {
+                node: NodeId::new(3)
+            }
+            .to_string(),
             "unknown compute node node3"
         );
     }

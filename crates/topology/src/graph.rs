@@ -28,13 +28,17 @@ impl Vertex {
     /// Creates a compute vertex for `node`.
     #[must_use]
     pub const fn compute(node: NodeId) -> Self {
-        Self { kind: VertexKind::Compute(node) }
+        Self {
+            kind: VertexKind::Compute(node),
+        }
     }
 
     /// Creates a switch vertex.
     #[must_use]
     pub const fn switch() -> Self {
-        Self { kind: VertexKind::Switch }
+        Self {
+            kind: VertexKind::Switch,
+        }
     }
 
     /// The vertex's kind.
@@ -147,11 +151,15 @@ impl Topology {
                 return Err(TopologyError::UnknownVertex { index: b });
             }
             if a == b {
-                return Err(TopologyError::InvalidParameter { reason: "self-loop edge" });
+                return Err(TopologyError::InvalidParameter {
+                    reason: "self-loop edge",
+                });
             }
             let key = (a.min(b), a.max(b));
             if !seen.insert(key) {
-                return Err(TopologyError::InvalidParameter { reason: "duplicate edge" });
+                return Err(TopologyError::InvalidParameter {
+                    reason: "duplicate edge",
+                });
             }
             adjacency[a].push(b);
             adjacency[b].push(a);
@@ -334,20 +342,18 @@ mod tests {
     fn rejects_empty_and_pure_switch_graphs() {
         let err = Topology::from_parts(vec![], vec![], vec![], LinkDelay::ZERO).unwrap_err();
         assert_eq!(err, TopologyError::NoComputeNodes);
-        let err = Topology::from_parts(
-            vec![Vertex::switch()],
-            vec![],
-            vec![],
-            LinkDelay::ZERO,
-        )
-        .unwrap_err();
+        let err = Topology::from_parts(vec![Vertex::switch()], vec![], vec![], LinkDelay::ZERO)
+            .unwrap_err();
         assert_eq!(err, TopologyError::NoComputeNodes);
     }
 
     #[test]
     fn rejects_disconnected_graph() {
         let err = Topology::from_parts(
-            vec![Vertex::compute(NodeId::new(0)), Vertex::compute(NodeId::new(1))],
+            vec![
+                Vertex::compute(NodeId::new(0)),
+                Vertex::compute(NodeId::new(1)),
+            ],
             vec![],
             vec![cap(1.0), cap(1.0)],
             LinkDelay::ZERO,
@@ -358,7 +364,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_edges() {
-        let verts = vec![Vertex::compute(NodeId::new(0)), Vertex::compute(NodeId::new(1))];
+        let verts = vec![
+            Vertex::compute(NodeId::new(0)),
+            Vertex::compute(NodeId::new(1)),
+        ];
         let caps = vec![cap(1.0), cap(1.0)];
         assert_eq!(
             Topology::from_parts(verts.clone(), vec![(0, 5)], caps.clone(), LinkDelay::ZERO)
@@ -379,7 +388,10 @@ mod tests {
     #[test]
     fn rejects_out_of_order_node_ids() {
         let err = Topology::from_parts(
-            vec![Vertex::compute(NodeId::new(1)), Vertex::compute(NodeId::new(0))],
+            vec![
+                Vertex::compute(NodeId::new(1)),
+                Vertex::compute(NodeId::new(0)),
+            ],
             vec![(0, 1)],
             vec![cap(1.0), cap(1.0)],
             LinkDelay::ZERO,
@@ -419,7 +431,8 @@ mod tests {
             .unwrap();
         assert!((l.micros() - 20.0).abs() < 1e-9);
         assert_eq!(
-            topo.latency_between(NodeId::new(1), NodeId::new(1)).unwrap(),
+            topo.latency_between(NodeId::new(1), NodeId::new(1))
+                .unwrap(),
             LinkDelay::ZERO
         );
     }
@@ -429,7 +442,9 @@ mod tests {
         let topo = line3();
         assert_eq!(
             topo.hop_count(NodeId::new(0), NodeId::new(9)).unwrap_err(),
-            TopologyError::UnknownNode { node: NodeId::new(9) }
+            TopologyError::UnknownNode {
+                node: NodeId::new(9)
+            }
         );
         assert!(topo.node(NodeId::new(9)).is_none());
     }

@@ -47,15 +47,69 @@ impl VnfCatalog {
     #[must_use]
     pub fn standard() -> Self {
         let profiles = vec![
-            (VnfKind::Nat, VnfProfile { demand_units: 15.0, service_rate_pps: 120.0 }),
-            (VnfKind::Firewall, VnfProfile { demand_units: 30.0, service_rate_pps: 100.0 }),
-            (VnfKind::Ids, VnfProfile { demand_units: 60.0, service_rate_pps: 80.0 }),
-            (VnfKind::LoadBalancer, VnfProfile { demand_units: 20.0, service_rate_pps: 110.0 }),
-            (VnfKind::WanOptimizer, VnfProfile { demand_units: 90.0, service_rate_pps: 60.0 }),
-            (VnfKind::FlowMonitor, VnfProfile { demand_units: 10.0, service_rate_pps: 140.0 }),
-            (VnfKind::Ips, VnfProfile { demand_units: 70.0, service_rate_pps: 75.0 }),
-            (VnfKind::Dpi, VnfProfile { demand_units: 120.0, service_rate_pps: 50.0 }),
-            (VnfKind::ProxyCache, VnfProfile { demand_units: 45.0, service_rate_pps: 95.0 }),
+            (
+                VnfKind::Nat,
+                VnfProfile {
+                    demand_units: 15.0,
+                    service_rate_pps: 120.0,
+                },
+            ),
+            (
+                VnfKind::Firewall,
+                VnfProfile {
+                    demand_units: 30.0,
+                    service_rate_pps: 100.0,
+                },
+            ),
+            (
+                VnfKind::Ids,
+                VnfProfile {
+                    demand_units: 60.0,
+                    service_rate_pps: 80.0,
+                },
+            ),
+            (
+                VnfKind::LoadBalancer,
+                VnfProfile {
+                    demand_units: 20.0,
+                    service_rate_pps: 110.0,
+                },
+            ),
+            (
+                VnfKind::WanOptimizer,
+                VnfProfile {
+                    demand_units: 90.0,
+                    service_rate_pps: 60.0,
+                },
+            ),
+            (
+                VnfKind::FlowMonitor,
+                VnfProfile {
+                    demand_units: 10.0,
+                    service_rate_pps: 140.0,
+                },
+            ),
+            (
+                VnfKind::Ips,
+                VnfProfile {
+                    demand_units: 70.0,
+                    service_rate_pps: 75.0,
+                },
+            ),
+            (
+                VnfKind::Dpi,
+                VnfProfile {
+                    demand_units: 120.0,
+                    service_rate_pps: 50.0,
+                },
+            ),
+            (
+                VnfKind::ProxyCache,
+                VnfProfile {
+                    demand_units: 45.0,
+                    service_rate_pps: 95.0,
+                },
+            ),
         ];
         Self { profiles }
     }
@@ -81,7 +135,10 @@ impl VnfCatalog {
     /// The profile for `kind`, if present.
     #[must_use]
     pub fn profile(&self, kind: VnfKind) -> Option<VnfProfile> {
-        self.profiles.iter().find(|(k, _)| *k == kind).map(|(_, p)| *p)
+        self.profiles
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
     }
 
     /// The kind and profile at catalog position `i` (cycling past the end,
@@ -103,9 +160,15 @@ impl VnfCatalog {
     ///
     /// Returns [`ModelError`] if `instance_counts` is empty or contains a
     /// zero (every VNF needs `M_f ≥ 1`).
-    pub fn instantiate(&self, count: usize, instance_counts: &[u32]) -> Result<Vec<Vnf>, ModelError> {
+    pub fn instantiate(
+        &self,
+        count: usize,
+        instance_counts: &[u32],
+    ) -> Result<Vec<Vnf>, ModelError> {
         if instance_counts.is_empty() {
-            return Err(ModelError::MissingField { field: "instance_counts" });
+            return Err(ModelError::MissingField {
+                field: "instance_counts",
+            });
         }
         (0..count)
             .map(|i| {
@@ -135,7 +198,10 @@ mod tests {
         let catalog = VnfCatalog::standard();
         assert_eq!(catalog.len(), 9);
         for kind in VnfKind::NAMED {
-            assert!(catalog.profile(kind).is_some(), "missing profile for {kind}");
+            assert!(
+                catalog.profile(kind).is_some(),
+                "missing profile for {kind}"
+            );
         }
     }
 
@@ -158,10 +224,7 @@ mod tests {
         // Beyond the ninth, kinds become Custom so names stay distinct.
         assert_eq!(vnfs[9].kind(), VnfKind::Custom(9));
         // But the demand profile still cycles.
-        assert_eq!(
-            vnfs[9].demand_per_instance(),
-            vnfs[0].demand_per_instance()
-        );
+        assert_eq!(vnfs[9].demand_per_instance(), vnfs[0].demand_per_instance());
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl ChainGenerator {
     /// universe (chains cannot repeat VNFs).
     pub fn new(universe: usize, min_len: usize, max_len: usize) -> Result<Self, WorkloadError> {
         if universe == 0 {
-            return Err(WorkloadError::InvalidParameter { reason: "empty VNF universe" });
+            return Err(WorkloadError::InvalidParameter {
+                reason: "empty VNF universe",
+            });
         }
         if min_len == 0 || min_len > max_len {
             return Err(WorkloadError::InvalidParameter {
@@ -56,7 +58,11 @@ impl ChainGenerator {
                 reason: "max chain length exceeds VNF universe",
             });
         }
-        Ok(Self { universe, min_len, max_len })
+        Ok(Self {
+            universe,
+            min_len,
+            max_len,
+        })
     }
 
     /// The VNF universe size.
@@ -127,10 +133,16 @@ mod tests {
     #[test]
     fn generation_is_seed_deterministic() {
         let gen = ChainGenerator::new(10, 1, 6).unwrap();
-        let a = gen.generate_many(50, &mut StdRng::seed_from_u64(9)).unwrap();
-        let b = gen.generate_many(50, &mut StdRng::seed_from_u64(9)).unwrap();
+        let a = gen
+            .generate_many(50, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = gen
+            .generate_many(50, &mut StdRng::seed_from_u64(9))
+            .unwrap();
         assert_eq!(a, b);
-        let c = gen.generate_many(50, &mut StdRng::seed_from_u64(10)).unwrap();
+        let c = gen
+            .generate_many(50, &mut StdRng::seed_from_u64(10))
+            .unwrap();
         assert_ne!(a, c);
     }
 

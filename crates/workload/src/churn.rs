@@ -1,0 +1,558 @@
+//! Seeded churn traces: timed event streams over a base [`Scenario`].
+//!
+//! The paper schedules a *static* request set; its §IV.A explicitly defers
+//! dynamic arrivals and departures to an online component. This module
+//! generates the input for such a component: a deterministic, virtual-time
+//! stream of [`ChurnEvent`]s — request arrivals and departures, instance
+//! outages and recoveries, and periodic re-optimization ticks — produced
+//! from an explicit seed so that every run over the same parameters yields
+//! the identical trace. There is no wall clock anywhere: event times are
+//! plain `f64` seconds of virtual time.
+//!
+//! The trace always begins with the base scenario's own requests arriving
+//! at `t = 0` in id order, which lets a consumer warm up to exactly the
+//! offline problem before churn starts.
+
+use nfv_model::{Request, RequestId, VnfId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Scenario, WorkloadError};
+
+/// One event in a churn trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// A new request enters the system and asks to be admitted.
+    Arrival(Request),
+    /// An active request leaves the system.
+    Departure(RequestId),
+    /// A service instance of a VNF fails or is drained.
+    InstanceDown {
+        /// The VNF whose instance went down.
+        vnf: VnfId,
+        /// Index of the instance within the VNF (`0..M_f`).
+        instance: usize,
+    },
+    /// A previously-down service instance returns.
+    InstanceUp {
+        /// The VNF whose instance recovered.
+        vnf: VnfId,
+        /// Index of the instance within the VNF (`0..M_f`).
+        instance: usize,
+    },
+    /// A periodic signal asking the control plane to re-optimize.
+    ReoptimizeTick,
+}
+
+/// A [`ChurnEvent`] stamped with its virtual-time occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    time: f64,
+    event: ChurnEvent,
+}
+
+impl TimedEvent {
+    /// Creates a timed event (times must be finite and non-negative).
+    #[must_use]
+    pub fn new(time: f64, event: ChurnEvent) -> Self {
+        debug_assert!(time.is_finite() && time >= 0.0);
+        Self { time, event }
+    }
+
+    /// Virtual occurrence time in seconds.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The event itself.
+    #[must_use]
+    pub fn event(&self) -> &ChurnEvent {
+        &self.event
+    }
+}
+
+/// A finite, time-sorted stream of churn events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrace {
+    events: Vec<TimedEvent>,
+    horizon: f64,
+}
+
+impl ChurnTrace {
+    /// The events in non-decreasing time order.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The virtual-time horizon the trace was generated for.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Iterates over the events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimedEvent> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ChurnTrace {
+    type Item = &'a TimedEvent;
+    type IntoIter = std::slice::Iter<'a, TimedEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Seeded generator of [`ChurnTrace`]s over a base [`Scenario`].
+///
+/// Churn arrivals form a Poisson process whose requests are cloned (with
+/// fresh ids) from uniformly drawn base-scenario requests, so the churned
+/// traffic matches the base workload's rate/chain/loss distribution.
+/// Holding times, when enabled, are exponential and apply to base and
+/// churned requests alike.
+///
+/// # Examples
+///
+/// ```
+/// use nfv_workload::churn::ChurnTraceBuilder;
+/// use nfv_workload::ScenarioBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = ScenarioBuilder::new().vnfs(4).requests(20).seed(1).build()?;
+/// let trace = ChurnTraceBuilder::new()
+///     .horizon(100.0)
+///     .arrival_rate(0.5)
+///     .mean_holding(40.0)
+///     .tick_period(25.0)
+///     .seed(7)
+///     .build(&scenario)?;
+/// assert!(trace.len() >= 20); // at least the base arrivals
+/// let again = ChurnTraceBuilder::new()
+///     .horizon(100.0)
+///     .arrival_rate(0.5)
+///     .mean_holding(40.0)
+///     .tick_period(25.0)
+///     .seed(7)
+///     .build(&scenario)?;
+/// assert_eq!(trace, again); // same seed, same trace
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTraceBuilder {
+    seed: u64,
+    horizon: f64,
+    arrival_rate: f64,
+    mean_holding: Option<f64>,
+    tick_period: Option<f64>,
+    outage_rate: f64,
+    mean_outage: f64,
+}
+
+impl ChurnTraceBuilder {
+    /// Starts a builder with no churn, no outages and no ticks over a
+    /// 100-second horizon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            seed: 0,
+            horizon: 100.0,
+            arrival_rate: 0.0,
+            mean_holding: None,
+            tick_period: None,
+            outage_rate: 0.0,
+            mean_outage: 10.0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the virtual-time horizon in seconds.
+    #[must_use]
+    pub fn horizon(mut self, seconds: f64) -> Self {
+        self.horizon = seconds;
+        self
+    }
+
+    /// Sets the Poisson rate of churn arrivals, in requests per virtual
+    /// second. Zero (the default) disables churn arrivals.
+    #[must_use]
+    pub fn arrival_rate(mut self, per_second: f64) -> Self {
+        self.arrival_rate = per_second;
+        self
+    }
+
+    /// Enables departures: every request (base and churned) holds for an
+    /// exponential time with this mean before departing.
+    #[must_use]
+    pub fn mean_holding(mut self, seconds: f64) -> Self {
+        self.mean_holding = Some(seconds);
+        self
+    }
+
+    /// Enables periodic [`ChurnEvent::ReoptimizeTick`]s with this period.
+    #[must_use]
+    pub fn tick_period(mut self, seconds: f64) -> Self {
+        self.tick_period = Some(seconds);
+        self
+    }
+
+    /// Sets the Poisson rate of instance outages (events per virtual
+    /// second, spread over all instances). Zero (default) disables them.
+    #[must_use]
+    pub fn outage_rate(mut self, per_second: f64) -> Self {
+        self.outage_rate = per_second;
+        self
+    }
+
+    /// Sets the mean exponential duration of an outage in seconds.
+    #[must_use]
+    pub fn mean_outage(mut self, seconds: f64) -> Self {
+        self.mean_outage = seconds;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if the horizon, rates,
+    /// or durations are not finite/positive where required.
+    pub fn build(&self, scenario: &Scenario) -> Result<ChurnTrace, WorkloadError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // (time, generation sequence, event): the sequence breaks time ties
+        // deterministically, keeping the sort total despite f64 times.
+        let mut events: Vec<(f64, usize, ChurnEvent)> = Vec::new();
+        let mut seq = 0usize;
+        let mut push = |events: &mut Vec<(f64, usize, ChurnEvent)>, t: f64, e: ChurnEvent| {
+            events.push((t, seq, e));
+            seq += 1;
+        };
+
+        // Base population: the scenario's own requests arrive at t = 0 in
+        // id order, then (optionally) hold and depart.
+        for request in scenario.requests() {
+            push(&mut events, 0.0, ChurnEvent::Arrival(request.clone()));
+            if let Some(mean) = self.mean_holding {
+                let holding = sample_exp(&mut rng, 1.0 / mean);
+                if holding < self.horizon {
+                    push(&mut events, holding, ChurnEvent::Departure(request.id()));
+                }
+            }
+        }
+
+        // Churn arrivals: Poisson process of fresh requests cloned from
+        // uniformly drawn base requests.
+        let mut next_id = scenario
+            .requests()
+            .iter()
+            .map(|r| r.id().as_usize())
+            .max()
+            .map_or(0, |m| m + 1) as u32;
+        if self.arrival_rate > 0.0 {
+            let mut t = sample_exp(&mut rng, self.arrival_rate);
+            while t < self.horizon {
+                let template = &scenario.requests()[rng.gen_range(0..scenario.requests().len())];
+                let request = Request::new(
+                    RequestId::new(next_id),
+                    template.chain().clone(),
+                    template.arrival_rate(),
+                    template.delivery(),
+                );
+                next_id += 1;
+                push(&mut events, t, ChurnEvent::Arrival(request.clone()));
+                if let Some(mean) = self.mean_holding {
+                    let departs = t + sample_exp(&mut rng, 1.0 / mean);
+                    if departs < self.horizon {
+                        push(&mut events, departs, ChurnEvent::Departure(request.id()));
+                    }
+                }
+                t += sample_exp(&mut rng, self.arrival_rate);
+            }
+        }
+
+        // Instance outages: each picks a uniform (VNF, instance) pair and
+        // stays down for an exponential duration. Overlapping outages of
+        // the same instance are allowed; consumers treat Down/Up as
+        // idempotent state flips.
+        if self.outage_rate > 0.0 {
+            let mut t = sample_exp(&mut rng, self.outage_rate);
+            while t < self.horizon {
+                let vnf = &scenario.vnfs()[rng.gen_range(0..scenario.vnfs().len())];
+                let instance = rng.gen_range(0..vnf.instances() as usize);
+                push(
+                    &mut events,
+                    t,
+                    ChurnEvent::InstanceDown {
+                        vnf: vnf.id(),
+                        instance,
+                    },
+                );
+                let back = t + sample_exp(&mut rng, 1.0 / self.mean_outage);
+                if back < self.horizon {
+                    push(
+                        &mut events,
+                        back,
+                        ChurnEvent::InstanceUp {
+                            vnf: vnf.id(),
+                            instance,
+                        },
+                    );
+                }
+                t += sample_exp(&mut rng, self.outage_rate);
+            }
+        }
+
+        // Re-optimization ticks on a fixed period.
+        if let Some(period) = self.tick_period {
+            let mut t = period;
+            while t < self.horizon {
+                push(&mut events, t, ChurnEvent::ReoptimizeTick);
+                t += period;
+            }
+        }
+
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("times are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        Ok(ChurnTrace {
+            events: events
+                .into_iter()
+                .map(|(t, _, e)| TimedEvent::new(t, e))
+                .collect(),
+            horizon: self.horizon,
+        })
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "churn horizon must be finite and positive",
+            });
+        }
+        if !(self.arrival_rate.is_finite() && self.arrival_rate >= 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "churn arrival rate must be finite and non-negative",
+            });
+        }
+        if let Some(mean) = self.mean_holding {
+            if !(mean.is_finite() && mean > 0.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    reason: "mean holding time must be finite and positive",
+                });
+            }
+        }
+        if let Some(period) = self.tick_period {
+            if !(period.is_finite() && period > 0.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    reason: "tick period must be finite and positive",
+                });
+            }
+        }
+        if !(self.outage_rate.is_finite() && self.outage_rate >= 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "outage rate must be finite and non-negative",
+            });
+        }
+        if !(self.mean_outage.is_finite() && self.mean_outage > 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "mean outage duration must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChurnTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Inverse-CDF exponential sample with the given rate.
+fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioBuilder;
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .vnfs(4)
+            .requests(25)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    fn full_builder() -> ChurnTraceBuilder {
+        ChurnTraceBuilder::new()
+            .horizon(200.0)
+            .arrival_rate(0.8)
+            .mean_holding(50.0)
+            .tick_period(40.0)
+            .outage_rate(0.05)
+            .mean_outage(15.0)
+            .seed(11)
+    }
+
+    #[test]
+    fn base_requests_arrive_first_in_id_order() {
+        let s = scenario();
+        let trace = ChurnTraceBuilder::new().build(&s).unwrap();
+        assert_eq!(trace.len(), s.requests().len());
+        for (event, request) in trace.iter().zip(s.requests()) {
+            assert_eq!(event.time(), 0.0);
+            match event.event() {
+                ChurnEvent::Arrival(r) => assert_eq!(r.id(), request.id()),
+                other => panic!("expected arrival, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_traces() {
+        let s = scenario();
+        let a = full_builder().build(&s).unwrap();
+        let b = full_builder().build(&s).unwrap();
+        assert_eq!(a, b);
+        let c = full_builder().seed(12).build(&s).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_time_sorted_within_horizon() {
+        let trace = full_builder().build(&scenario()).unwrap();
+        let mut last = 0.0;
+        for event in &trace {
+            assert!(event.time() >= last);
+            assert!(event.time() < trace.horizon());
+            last = event.time();
+        }
+    }
+
+    #[test]
+    fn churn_ids_never_collide_with_base_ids() {
+        let s = scenario();
+        let trace = full_builder().build(&s).unwrap();
+        let base_max = s
+            .requests()
+            .iter()
+            .map(|r| r.id().as_usize())
+            .max()
+            .unwrap();
+        let mut churn_arrivals = 0;
+        for event in &trace {
+            if let ChurnEvent::Arrival(r) = event.event() {
+                if event.time() > 0.0 {
+                    assert!(r.id().as_usize() > base_max);
+                    churn_arrivals += 1;
+                }
+            }
+        }
+        assert!(
+            churn_arrivals > 0,
+            "expected churn arrivals at rate 0.8 over 200s"
+        );
+    }
+
+    #[test]
+    fn departures_reference_known_arrivals() {
+        let trace = full_builder().build(&scenario()).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for event in &trace {
+            match event.event() {
+                ChurnEvent::Arrival(r) => {
+                    assert!(seen.insert(r.id()), "duplicate arrival id {:?}", r.id());
+                }
+                ChurnEvent::Departure(id) => {
+                    assert!(seen.contains(id), "departure of unseen {id:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ticks_land_on_the_period_grid() {
+        let trace = ChurnTraceBuilder::new()
+            .horizon(100.0)
+            .tick_period(30.0)
+            .build(&scenario())
+            .unwrap();
+        let ticks: Vec<f64> = trace
+            .iter()
+            .filter(|e| matches!(e.event(), ChurnEvent::ReoptimizeTick))
+            .map(TimedEvent::time)
+            .collect();
+        assert_eq!(ticks, vec![30.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn outages_address_real_instances() {
+        let s = scenario();
+        let trace = full_builder().outage_rate(0.5).build(&s).unwrap();
+        for event in &trace {
+            if let ChurnEvent::InstanceDown { vnf, instance }
+            | ChurnEvent::InstanceUp { vnf, instance } = event.event()
+            {
+                let v = s.vnf(*vnf).expect("outage names a scenario VNF");
+                assert!(*instance < v.instances() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let s = scenario();
+        assert!(ChurnTraceBuilder::new().horizon(0.0).build(&s).is_err());
+        assert!(ChurnTraceBuilder::new()
+            .horizon(f64::NAN)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new()
+            .arrival_rate(-1.0)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new()
+            .mean_holding(0.0)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new()
+            .tick_period(-2.0)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new()
+            .outage_rate(f64::INFINITY)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new().mean_outage(0.0).build(&s).is_err());
+    }
+}

@@ -49,7 +49,11 @@ impl fmt::Display for WorkloadError {
             Self::UnknownVnf { request, vnf } => {
                 write!(f, "{request} references unknown {vnf}")
             }
-            Self::TooManyInstances { vnf, instances, users } => write!(
+            Self::TooManyInstances {
+                vnf,
+                instances,
+                users,
+            } => write!(
                 f,
                 "{vnf} deploys {instances} instances but only {users} requests use it"
             ),
@@ -80,7 +84,11 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let err = WorkloadError::TooManyInstances { vnf: VnfId::new(2), instances: 5, users: 3 };
+        let err = WorkloadError::TooManyInstances {
+            vnf: VnfId::new(2),
+            instances: 5,
+            users: 3,
+        };
         let s = err.to_string();
         assert!(s.contains("vnf2") && s.contains('5') && s.contains('3'));
     }

@@ -39,9 +39,10 @@
 
 mod catalog;
 mod chains;
+pub mod churn;
 mod error;
-mod requests;
 pub mod replicate;
+mod requests;
 mod scenario;
 mod templates;
 

@@ -193,7 +193,9 @@ mod tests {
         ScenarioBuilder::new()
             .vnfs(6)
             .requests(120)
-            .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 5 })
+            .instance_policy(InstancePolicy::PerUsers {
+                requests_per_instance: 5,
+            })
             .seed(9)
             .build()
             .unwrap()

@@ -38,7 +38,12 @@ impl RequestGenerator {
     /// (`λ ∈ [1, 100]` pps, `P ∈ [0.98, 1]`).
     #[must_use]
     pub fn new() -> Self {
-        Self { arrival_lo: 1.0, arrival_hi: 100.0, delivery_lo: 0.98, delivery_hi: 1.0 }
+        Self {
+            arrival_lo: 1.0,
+            arrival_hi: 100.0,
+            delivery_lo: 0.98,
+            delivery_hi: 1.0,
+        }
     }
 
     /// Sets the arrival-rate range `[lo, hi]` in pps.
@@ -53,7 +58,9 @@ impl RequestGenerator {
             self.arrival_hi = hi;
             Ok(self)
         } else {
-            Err(WorkloadError::InvalidParameter { reason: "arrival range requires 0 < lo <= hi" })
+            Err(WorkloadError::InvalidParameter {
+                reason: "arrival range requires 0 < lo <= hi",
+            })
         }
     }
 
@@ -84,12 +91,7 @@ impl RequestGenerator {
     }
 
     /// Generates one request with the given id and chain.
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        id: u32,
-        chain: ServiceChain,
-        rng: &mut R,
-    ) -> Request {
+    pub fn generate<R: Rng + ?Sized>(&self, id: u32, chain: ServiceChain, rng: &mut R) -> Request {
         let lambda = if self.arrival_lo == self.arrival_hi {
             self.arrival_lo
         } else {

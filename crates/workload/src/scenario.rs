@@ -29,7 +29,9 @@ impl InstancePolicy {
         let users32 = users as u32;
         match *self {
             Self::Fixed(k) => k.clamp(1, users32.max(1)),
-            Self::PerUsers { requests_per_instance } => {
+            Self::PerUsers {
+                requests_per_instance,
+            } => {
                 let rpi = requests_per_instance.max(1);
                 users32.div_ceil(rpi).max(1)
             }
@@ -146,7 +148,10 @@ impl Scenario {
         for request in &self.requests {
             for vnf in request.chain() {
                 if self.vnf(*vnf).is_none() {
-                    return Err(WorkloadError::UnknownVnf { request: request.id(), vnf: *vnf });
+                    return Err(WorkloadError::UnknownVnf {
+                        request: request.id(),
+                        vnf: *vnf,
+                    });
                 }
             }
         }
@@ -226,8 +231,12 @@ impl ScenarioBuilder {
             min_chain_len: 1,
             max_chain_len: 6,
             request_gen: RequestGenerator::new(),
-            instance_policy: InstancePolicy::PerUsers { requests_per_instance: 10 },
-            service_rate_policy: ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 },
+            instance_policy: InstancePolicy::PerUsers {
+                requests_per_instance: 10,
+            },
+            service_rate_policy: ServiceRatePolicy::ScaledToLoad {
+                target_utilization: 0.7,
+            },
             catalog: VnfCatalog::standard(),
             template_fraction: 0.0,
             templates: ChainTemplate::standard(),
@@ -416,10 +425,17 @@ impl ScenarioBuilder {
 
         // 3. Decide M_f from the realized user counts.
         let users: Vec<usize> = (0..self.vnfs)
-            .map(|i| requests.iter().filter(|r| r.uses(VnfId::new(i as u32))).count())
+            .map(|i| {
+                requests
+                    .iter()
+                    .filter(|r| r.uses(VnfId::new(i as u32)))
+                    .count()
+            })
             .collect();
-        let instance_counts: Vec<u32> =
-            users.iter().map(|&u| self.instance_policy.instances_for(u)).collect();
+        let instance_counts: Vec<u32> = users
+            .iter()
+            .map(|&u| self.instance_policy.instances_for(u))
+            .collect();
 
         // 4. Materialize the VNFs with demands from the catalog and rates
         //    from the policy.
@@ -475,7 +491,12 @@ mod tests {
     #[test]
     fn every_vnf_is_used_even_when_requests_are_scarce() {
         // 30 VNFs, 30 requests: random chains would leave gaps; repair fills them.
-        let s = ScenarioBuilder::new().vnfs(30).requests(30).seed(3).build().unwrap();
+        let s = ScenarioBuilder::new()
+            .vnfs(30)
+            .requests(30)
+            .seed(3)
+            .build()
+            .unwrap();
         for vnf in s.vnfs() {
             assert!(s.users_of(vnf.id()) > 0, "{} unused", vnf.id());
         }
@@ -501,7 +522,9 @@ mod tests {
         let s = ScenarioBuilder::new()
             .vnfs(5)
             .requests(50)
-            .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 7 })
+            .instance_policy(InstancePolicy::PerUsers {
+                requests_per_instance: 7,
+            })
             .seed(2)
             .build()
             .unwrap();
@@ -517,7 +540,9 @@ mod tests {
         let s = ScenarioBuilder::new()
             .vnfs(4)
             .requests(60)
-            .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: target })
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                target_utilization: target,
+            })
             .seed(9)
             .build()
             .unwrap();
@@ -536,9 +561,15 @@ mod tests {
         assert!(ScenarioBuilder::new().vnfs(0).build().is_err());
         assert!(ScenarioBuilder::new().requests(0).build().is_err());
         // 100 VNFs cannot all be used by 2 requests of length <= 6.
-        assert!(ScenarioBuilder::new().vnfs(100).requests(2).build().is_err());
         assert!(ScenarioBuilder::new()
-            .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 1.5 })
+            .vnfs(100)
+            .requests(2)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new()
+            .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                target_utilization: 1.5
+            })
             .build()
             .is_err());
         assert!(ScenarioBuilder::new()
@@ -549,11 +580,20 @@ mod tests {
 
     #[test]
     fn from_parts_validates() {
-        let s = ScenarioBuilder::new().vnfs(3).requests(10).seed(0).build().unwrap();
+        let s = ScenarioBuilder::new()
+            .vnfs(3)
+            .requests(10)
+            .seed(0)
+            .build()
+            .unwrap();
         // Dropping all requests of some VNF must fail validation.
         let vnf0 = s.vnfs()[0].id();
-        let filtered: Vec<Request> =
-            s.requests().iter().filter(|r| !r.uses(vnf0)).cloned().collect();
+        let filtered: Vec<Request> = s
+            .requests()
+            .iter()
+            .filter(|r| !r.uses(vnf0))
+            .cloned()
+            .collect();
         let err = Scenario::from_parts(s.vnfs().to_vec(), filtered).unwrap_err();
         assert!(matches!(
             err,
@@ -591,7 +631,9 @@ mod tests {
         // unused-VNF repair insertions, which only lengthen chains; with 9
         // VNFs and 200 template requests every kind is covered, so repair
         // does not trigger for template-covered ids but may for others).
-        let kinds: Vec<_> = (0..9).map(|i| crate::VnfCatalog::standard().kind_at(i).0).collect();
+        let kinds: Vec<_> = (0..9)
+            .map(|i| crate::VnfCatalog::standard().kind_at(i).0)
+            .collect();
         let template_chains: Vec<_> = ChainTemplate::standard()
             .iter()
             .filter_map(|t| t.resolve(&kinds))
@@ -608,8 +650,14 @@ mod tests {
 
     #[test]
     fn template_fraction_is_validated() {
-        assert!(ScenarioBuilder::new().template_fraction(1.5).build().is_err());
-        assert!(ScenarioBuilder::new().template_fraction(-0.1).build().is_err());
+        assert!(ScenarioBuilder::new()
+            .template_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new()
+            .template_fraction(-0.1)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -50,8 +50,10 @@ impl ChainTemplate {
 
     /// Minimal firewall-only policy (the paper's "other flows need only to
     /// traverse the firewall function").
-    pub const FIREWALL_ONLY: ChainTemplate =
-        ChainTemplate { name: "firewall-only", kinds: &[VnfKind::Firewall] };
+    pub const FIREWALL_ONLY: ChainTemplate = ChainTemplate {
+        name: "firewall-only",
+        kinds: &[VnfKind::Firewall],
+    };
 
     /// The standard template mix, in rough order of real-world frequency.
     #[must_use]
@@ -113,7 +115,10 @@ mod tests {
         let kinds = kinds(9);
         for template in ChainTemplate::standard() {
             let chain = template.resolve(&kinds).unwrap_or_else(|| {
-                panic!("template {} should resolve against the full catalog", template.name())
+                panic!(
+                    "template {} should resolve against the full catalog",
+                    template.name()
+                )
             });
             assert_eq!(chain.len(), template.kinds().len());
         }
@@ -132,15 +137,13 @@ mod tests {
     fn resolution_preserves_order() {
         let kinds = kinds(9);
         let chain = ChainTemplate::WEB_SERVICE.resolve(&kinds).unwrap();
-        let resolved_kinds: Vec<VnfKind> =
-            chain.iter().map(|id| kinds[id.as_usize()]).collect();
+        let resolved_kinds: Vec<VnfKind> = chain.iter().map(|id| kinds[id.as_usize()]).collect();
         assert_eq!(resolved_kinds, ChainTemplate::WEB_SERVICE.kinds());
     }
 
     #[test]
     fn templates_have_distinct_names() {
-        let mut names: Vec<&str> =
-            ChainTemplate::standard().iter().map(|t| t.name()).collect();
+        let mut names: Vec<&str> = ChainTemplate::standard().iter().map(|t| t.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), ChainTemplate::standard().len());

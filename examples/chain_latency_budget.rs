@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .requests(120)
         .min_chain_len(3)
         .max_chain_len(6)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 8 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 8,
+        })
         .seed(31)
         .build()?;
 
@@ -60,13 +62,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage-by-stage budget.
     let mut table = Table::new(vec![
-        "stage", "instance", "node", "inst util", "queue+svc (ms)", "share%",
+        "stage",
+        "instance",
+        "node",
+        "inst util",
+        "queue+svc (ms)",
+        "share%",
     ]);
     let stage_loads: Vec<_> = tenant
         .chain()
         .iter()
         .map(|vnf| {
-            let k = solution.instance_serving(tenant.id(), vnf).expect("scheduled");
+            let k = solution
+                .instance_serving(tenant.id(), vnf)
+                .expect("scheduled");
             &loads[vnf.as_usize()][k]
         })
         .collect();
@@ -74,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total_response = response.total();
 
     for (hop, vnf) in tenant.chain().iter().enumerate() {
-        let k = solution.instance_serving(tenant.id(), vnf).expect("scheduled");
+        let k = solution
+            .instance_serving(tenant.id(), vnf)
+            .expect("scheduled");
         let node = solution.node_serving(tenant.id(), vnf).expect("placed");
         let stage_time = response.stage_visit_times()[hop] * response.expected_rounds();
         table.row(vec![
@@ -98,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         previous = Some(node);
     }
-    println!("\nresponse total: {:.3} ms over {:.2} expected transmission rounds", total_response * 1e3, response.expected_rounds());
+    println!(
+        "\nresponse total: {:.3} ms over {:.2} expected transmission rounds",
+        total_response * 1e3,
+        response.expected_rounds()
+    );
     println!("link total (path-accurate): {link_total}");
     println!(
         "link total (Eq. 16 approximation): {}",

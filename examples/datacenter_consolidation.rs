@@ -14,7 +14,7 @@
 
 use nfv::metrics::Table;
 use nfv::model::ServiceChain;
-use nfv::placement::{Bfdsu, Ffd, Nah, Placer, PlacementProblem};
+use nfv::placement::{Bfdsu, Ffd, Nah, PlacementProblem, Placer};
 use nfv::topology::builders;
 use nfv::workload::{InstancePolicy, ScenarioBuilder};
 use rand::rngs::StdRng;
@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = ScenarioBuilder::new()
         .vnfs(12)
         .requests(300)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 10,
+        })
         .seed(2026)
         .build()?;
 
@@ -45,8 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .capacity_range(0.5 * per_host, (1.5 * per_host).max(1.1 * max_vnf), 5)
         .build()?;
 
-    let chains: Vec<ServiceChain> =
-        scenario.requests().iter().map(|r| r.chain().clone()).collect();
+    let chains: Vec<ServiceChain> = scenario
+        .requests()
+        .iter()
+        .map(|r| r.chain().clone())
+        .collect();
     let problem = PlacementProblem::with_chains(
         fabric.compute_nodes().to_vec(),
         scenario.vnfs().to_vec(),
@@ -61,8 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_host
     );
 
-    let placers: Vec<Box<dyn Placer>> =
-        vec![Box::new(Bfdsu::new()), Box::new(Ffd::new()), Box::new(Nah::new())];
+    let placers: Vec<Box<dyn Placer>> = vec![
+        Box::new(Bfdsu::new()),
+        Box::new(Ffd::new()),
+        Box::new(Nah::new()),
+    ];
     let mut table = Table::new(vec![
         "algorithm",
         "servers",

@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut upgraded_mu = [100.0, 80.0, 90.0, 40.0];
     upgraded_mu[bottleneck] *= 2.0;
     let upgraded = build(upgraded_mu)?;
-    report(&format!("after doubling the {}", NAMES[bottleneck]), &upgraded)?;
+    report(
+        &format!("after doubling the {}", NAMES[bottleneck]),
+        &upgraded,
+    )?;
 
     Ok(())
 }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let schedulers: Vec<Box<dyn Scheduler>> = vec![Box::new(Rckk::new()), Box::new(Cga::new())];
     let mut table = Table::new(vec![
-        "loss%", "scheduler", "analytic W(s)", "simulated(s)", "rejection%",
+        "loss%",
+        "scheduler",
+        "analytic W(s)",
+        "simulated(s)",
+        "rejection%",
     ]);
 
     for loss in [0.0, 1.0, 2.0, 4.0, 8.0] {

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .hosts_per_edge(3)
         .uniform_capacity(max_vnf * 0.7)
         .build()?;
-    println!("{fabric}\nbiggest VNF: {max_vnf:.0} units vs {:.0}-unit hosts", max_vnf * 0.7);
+    println!(
+        "{fabric}\nbiggest VNF: {max_vnf:.0} units vs {:.0}-unit hosts",
+        max_vnf * 0.7
+    );
 
     let mut rng = StdRng::seed_from_u64(3);
     let (solution, replicas) =
@@ -60,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!(
         "\nreplicated VNFs: {}; {} nodes in service at {}",
-        if split.is_empty() { "none".to_owned() } else { split.join(", ") },
+        if split.is_empty() {
+            "none".to_owned()
+        } else {
+            split.join(", ")
+        },
         solution.placement().nodes_in_service(),
         solution.placement().average_utilization()
     );
@@ -99,13 +106,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in 0..12 {
         let rate = ArrivalRate::new(arrivals_rng.gen_range(5.0..60.0))?;
         let k = dispatcher.dispatch(rate);
-        let admitted =
-            admission.offer(k, rate, nfv::model::DeliveryProbability::new(0.99)?);
+        let admitted = admission.offer(k, rate, nfv::model::DeliveryProbability::new(0.99)?);
         table.row(vec![
             format!("tenant-{t}"),
             format!("{:.1}", rate.value()),
             format!("#{}", k + 1),
-            if admitted { "yes".into() } else { "REJECTED".into() },
+            if admitted {
+                "yes".into()
+            } else {
+                "REJECTED".into()
+            },
         ]);
     }
     print!("{table}");

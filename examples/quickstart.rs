@@ -17,7 +17,11 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A workload: 8 VNFs, 60 requests with chains of up to 6 VNFs,
     //    Poisson arrivals in [1, 100] pps and up to 2% packet loss.
-    let scenario = ScenarioBuilder::new().vnfs(8).requests(60).seed(7).build()?;
+    let scenario = ScenarioBuilder::new()
+        .vnfs(8)
+        .requests(60)
+        .seed(7)
+        .build()?;
     println!("{scenario}");
 
     // 2. A fabric: 2x2 leaf-spine with 4 hosts per leaf, heterogeneous
@@ -45,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for node in placement.used_nodes() {
         let vnfs: Vec<String> = placement.vnfs_on(node).map(|v| v.to_string()).collect();
-        println!("  {node}: {} ({})", vnfs.join(", "), placement.utilization_of(node));
+        println!(
+            "  {node}: {} ({})",
+            vnfs.join(", "),
+            placement.utilization_of(node)
+        );
     }
 
     // 4. Evaluate the joint objective of Eq. (16).

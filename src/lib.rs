@@ -56,3 +56,7 @@ pub use nfv_scheduling as scheduling;
 
 /// Discrete-event simulator for chains of service instances.
 pub use nfv_sim as sim;
+
+/// Online control plane: churn-driven dispatch, admission control and
+/// bounded re-optimization.
+pub use nfv_controller as controller;

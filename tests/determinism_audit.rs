@@ -1,0 +1,70 @@
+//! Determinism audit: no library code may consult wall-clock time or
+//! ambient randomness.
+//!
+//! Every result in this workspace — paper figures, controller reports,
+//! property tests — is keyed by explicit seeds and virtual clocks, so two
+//! runs with the same inputs must be bit-identical. Wall-clock reads and
+//! OS entropy are the two ways that breaks silently. This test walks all
+//! library source (`crates/*/src` and the facade's `src/`) and fails on
+//! any use of `std::time::Instant::now`, `SystemTime`, or `thread_rng`.
+//!
+//! Deliberately out of scope: `tests/` and `benches/` (timing *around* a
+//! deterministic computation is fine — `tests/scale.rs` and the criterion
+//! harness do exactly that) and the vendored shims under `vendor/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FORBIDDEN: &[&str] = &["Instant::now", "SystemTime", "thread_rng"];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("directory entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_code_never_reads_wall_clock_or_os_entropy() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&root.join("src"), &mut sources);
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ exists") {
+        let src = entry.expect("directory entry").path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 10,
+        "audit must actually find the workspace sources"
+    );
+
+    let mut violations = Vec::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).expect("source file is readable");
+        for (number, line) in text.lines().enumerate() {
+            for pattern in FORBIDDEN {
+                if line.contains(pattern) {
+                    violations.push(format!(
+                        "{}:{}: {}",
+                        path.strip_prefix(&root).unwrap_or(path).display(),
+                        number + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "wall-clock or entropy use in library code:\n{}",
+        violations.join("\n")
+    );
+}

@@ -11,7 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn scenario(seed: u64) -> Scenario {
-    ScenarioBuilder::new().vnfs(10).requests(80).seed(seed).build().unwrap()
+    ScenarioBuilder::new()
+        .vnfs(10)
+        .requests(80)
+        .seed(seed)
+        .build()
+        .unwrap()
 }
 
 fn fabric(scenario: &Scenario, seed: u64) -> Topology {
@@ -61,7 +66,10 @@ fn every_algorithm_combination_produces_a_consistent_solution() {
 
             // Eq. (2): every VNF placed exactly once; capacity (Eq. (6))
             // was validated by Placement::new already.
-            assert_eq!(solution.placement().assignment().len(), scenario.vnfs().len());
+            assert_eq!(
+                solution.placement().assignment().len(),
+                scenario.vnfs().len()
+            );
 
             // Eq. (5): every request mapped to exactly one instance of
             // every VNF on its chain, and no instance outside M_f.
@@ -112,7 +120,9 @@ fn flow_conservation_across_the_pipeline() {
     let scenario = scenario(2);
     let topology = fabric(&scenario, 2);
     let mut rng = StdRng::seed_from_u64(0);
-    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let solution = JointOptimizer::new()
+        .optimize(&scenario, &topology, &mut rng)
+        .unwrap();
     let loads = solution.instance_loads();
     for vnf in scenario.vnfs() {
         let expected: f64 = scenario
@@ -137,7 +147,9 @@ fn objective_decomposes_and_is_reproducible() {
     let topology = fabric(&scenario, 3);
     let run = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+        let solution = JointOptimizer::new()
+            .optimize(&scenario, &topology, &mut rng)
+            .unwrap();
         solution.objective().unwrap()
     };
     let a = run(11);
@@ -146,7 +158,10 @@ fn objective_decomposes_and_is_reproducible() {
 
     let per_request: f64 = (0..a.requests()).map(|r| a.total_latency_of(r)).sum();
     assert!((per_request - a.total_latency()).abs() < 1e-9);
-    assert!(a.response_latencies().iter().all(|&w| w > 0.0 && w.is_finite()));
+    assert!(a
+        .response_latencies()
+        .iter()
+        .all(|&w| w > 0.0 && w.is_finite()));
     assert!(a.link_latencies().iter().all(|&l| l >= 0.0));
 }
 
@@ -154,7 +169,12 @@ fn objective_decomposes_and_is_reproducible() {
 fn colocated_chains_pay_no_link_latency() {
     // A scenario small enough to fit on one node: every chain is
     // intra-server (Fig. 1(b)), so the link part of Eq. (16) is zero.
-    let scenario = ScenarioBuilder::new().vnfs(5).requests(30).seed(4).build().unwrap();
+    let scenario = ScenarioBuilder::new()
+        .vnfs(5)
+        .requests(30)
+        .seed(4)
+        .build()
+        .unwrap();
     let big = scenario.total_demand().value() * 2.0;
     let topology = builders::star()
         .hosts(4)
@@ -163,7 +183,9 @@ fn colocated_chains_pay_no_link_latency() {
         .build()
         .unwrap();
     let mut rng = StdRng::seed_from_u64(5);
-    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let solution = JointOptimizer::new()
+        .optimize(&scenario, &topology, &mut rng)
+        .unwrap();
     assert_eq!(solution.placement().nodes_in_service(), 1);
     let objective = solution.objective().unwrap();
     assert!(objective.link_latencies().iter().all(|&l| l == 0.0));
@@ -172,26 +194,40 @@ fn colocated_chains_pay_no_link_latency() {
 
 #[test]
 fn tighter_packing_reduces_link_latency_against_spreading() {
-    // BFDSU's consolidation should never traverse more nodes on average
-    // than NAH's spreading on the same inputs.
-    let scenario = scenario(6);
-    let topology = fabric(&scenario, 6);
-    let avg_nodes = |placer: Box<dyn Placer>| {
-        let mut rng = StdRng::seed_from_u64(9);
-        let solution = JointOptimizer::new()
-            .with_placer(placer)
-            .optimize(&scenario, &topology, &mut rng)
-            .unwrap();
-        let total: usize = scenario
-            .requests()
-            .iter()
-            .map(|r| solution.nodes_traversed(r.id()).len())
-            .sum();
-        total as f64 / scenario.requests().len() as f64
-    };
-    let bfdsu = avg_nodes(Box::new(Bfdsu::new()));
-    let nah = avg_nodes(Box::new(Nah::new()));
-    assert!(bfdsu <= nah + 1e-9, "bfdsu {bfdsu} > nah {nah}");
+    // BFDSU's consolidation should not traverse more nodes on average than
+    // NAH's spreading. On a single draw the two can land within a few
+    // hundredths of a node of each other with either sign (see
+    // EXPERIMENTS.md, "Shape test tolerances"), so compare means over a
+    // handful of scenario/RNG seeds.
+    let avg_nodes =
+        |placer: Box<dyn Placer>, scenario: &Scenario, topology: &Topology, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solution = JointOptimizer::new()
+                .with_placer(placer)
+                .optimize(scenario, topology, &mut rng)
+                .unwrap();
+            let total: usize = scenario
+                .requests()
+                .iter()
+                .map(|r| solution.nodes_traversed(r.id()).len())
+                .sum();
+            total as f64 / scenario.requests().len() as f64
+        };
+    let mut bfdsu_mean = 0.0;
+    let mut nah_mean = 0.0;
+    let seeds = [6u64, 7, 8, 9, 10];
+    for &s in &seeds {
+        let scenario = scenario(s);
+        let topology = fabric(&scenario, s);
+        bfdsu_mean += avg_nodes(Box::new(Bfdsu::new()), &scenario, &topology, s + 3);
+        nah_mean += avg_nodes(Box::new(Nah::new()), &scenario, &topology, s + 3);
+    }
+    bfdsu_mean /= seeds.len() as f64;
+    nah_mean /= seeds.len() as f64;
+    assert!(
+        bfdsu_mean <= nah_mean + 1e-9,
+        "bfdsu {bfdsu_mean} > nah {nah_mean}"
+    );
 }
 
 #[test]
@@ -199,7 +235,9 @@ fn instance_loads_match_schedule_assignments() {
     let scenario = scenario(7);
     let topology = fabric(&scenario, 7);
     let mut rng = StdRng::seed_from_u64(1);
-    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let solution = JointOptimizer::new()
+        .optimize(&scenario, &topology, &mut rng)
+        .unwrap();
     let loads = solution.instance_loads();
     for vnf in scenario.vnfs() {
         let schedule = solution.schedule_of(vnf.id()).unwrap();

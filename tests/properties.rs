@@ -1,8 +1,10 @@
 //! Cross-crate property tests: random scenarios and topologies through the
 //! full pipeline, and the heuristics against the exact oracle.
 
-use nfv::model::{ArrivalRate, Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
-use nfv::placement::{exact, Bfdsu, Ffd, Nah, Placer, PlacementProblem};
+use nfv::model::{
+    ArrivalRate, Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind,
+};
+use nfv::placement::{exact, Bfdsu, Ffd, Nah, PlacementProblem, Placer};
 use nfv::scheduling::{Cga, Rckk, Scheduler};
 use nfv::topology::builders;
 use nfv::workload::ScenarioBuilder;

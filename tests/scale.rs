@@ -14,8 +14,12 @@ fn paper_maximum_scale_runs_end_to_end() {
     let scenario = ScenarioBuilder::new()
         .vnfs(30)
         .requests(1000)
-        .instance_policy(InstancePolicy::PerUsers { requests_per_instance: 10 })
-        .service_rate_policy(ServiceRatePolicy::ScaledToLoad { target_utilization: 0.7 })
+        .instance_policy(InstancePolicy::PerUsers {
+            requests_per_instance: 10,
+        })
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: 0.7,
+        })
         .seed(2017)
         .build()
         .unwrap();
@@ -35,7 +39,9 @@ fn paper_maximum_scale_runs_end_to_end() {
 
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(0);
-    let solution = JointOptimizer::new().optimize(&scenario, &topology, &mut rng).unwrap();
+    let solution = JointOptimizer::new()
+        .optimize(&scenario, &topology, &mut rng)
+        .unwrap();
     let objective = solution.objective().unwrap();
     let elapsed = start.elapsed();
 
@@ -74,7 +80,11 @@ fn scheduling_scales_to_thousands_of_requests() {
 fn fat_tree_at_datacenter_scale_builds_quickly() {
     // k = 12 fat-tree: 432 hosts, 468 switches (well past the paper's 50).
     let start = Instant::now();
-    let topo = builders::fat_tree().arity(12).uniform_capacity(1000.0).build().unwrap();
+    let topo = builders::fat_tree()
+        .arity(12)
+        .uniform_capacity(1000.0)
+        .build()
+        .unwrap();
     assert_eq!(topo.compute_nodes().len(), 432);
     assert!(topo.is_connected());
     assert_eq!(topo.diameter_hops(), 6);

@@ -8,7 +8,7 @@
 //! structure.
 
 use nfv::model::{
-    ArrivalRate, Capacity, ComputeNode, Demand, DeliveryProbability, NodeId, Request, RequestId,
+    ArrivalRate, Capacity, ComputeNode, DeliveryProbability, Demand, NodeId, Request, RequestId,
     ServiceChain, ServiceRate, Vnf, VnfId, VnfKind,
 };
 use nfv::workload::{Scenario, ScenarioBuilder};
@@ -54,7 +54,12 @@ fn pipeline_artifact_types_implement_serde() {
 
 #[test]
 fn scenario_clone_preserves_everything() {
-    let scenario = ScenarioBuilder::new().vnfs(7).requests(50).seed(13).build().unwrap();
+    let scenario = ScenarioBuilder::new()
+        .vnfs(7)
+        .requests(50)
+        .seed(13)
+        .build()
+        .unwrap();
     let copy = scenario.clone();
     assert_eq!(scenario, copy);
     assert_eq!(scenario.total_demand(), copy.total_demand());

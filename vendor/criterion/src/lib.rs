@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of criterion's adaptive sampling and statistics, every benchmark
+//! runs a short warm-up followed by a fixed batch of timed iterations and
+//! prints the mean wall-clock time per iteration. That is enough to compare
+//! algorithms at an order-of-magnitude level and to keep the bench targets
+//! compiling and runnable without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Warm-up iterations before timing starts.
+const WARMUP_ITERS: u32 = 3;
+/// Timed iterations contributing to the reported mean.
+const TIMED_ITERS: u32 = 10;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark labelled by a plain string id.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs a benchmark labelled by a [`BenchmarkId`] over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark label: function name plus parameter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the label `{name}/{parameter}`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` under the fixed warm-up + timed iteration plan.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+        self.iters = TIMED_ITERS;
+    }
+}
+
+fn run_benchmark<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label:<48} (no iterations recorded)");
+        return;
+    }
+    let mean_nanos = bencher.total_nanos as f64 / f64::from(bencher.iters);
+    println!("bench {label:<48} {}", format_nanos(mean_nanos));
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:>10.1} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:>10.2} us/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:>10.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:>10.2} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum-small", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        let mut group = c.benchmark_group("group");
+        let input = vec![1.0f64; 16];
+        group.bench_with_input(BenchmarkId::new("mean", input.len()), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<f64>() / xs.len() as f64)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_label_includes_parameter() {
+        assert_eq!(BenchmarkId::new("rckk", "16r-3i").label, "rckk/16r-3i");
+    }
+
+    #[test]
+    fn nanos_format_scales() {
+        assert!(format_nanos(12.0).contains("ns/iter"));
+        assert!(format_nanos(12_000.0).contains("us/iter"));
+        assert!(format_nanos(12_000_000.0).contains("ms/iter"));
+    }
+}

@@ -1,0 +1,30 @@
+//! The derive macros emit `impl ::serde::...` paths, which only resolve
+//! from a crate that depends on serde — hence an integration test rather
+//! than a unit test inside the library.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Point {
+    x: f64,
+    #[serde(skip)]
+    y: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+enum Shape {
+    Dot,
+    Circle { radius: f64 },
+    Segment(Point, Point),
+}
+
+fn assert_serde<T: Serialize + DeserializeOwned>() {}
+
+#[test]
+fn derive_emits_marker_impls() {
+    assert_serde::<Point>();
+    assert_serde::<Shape>();
+    assert_serde::<Vec<Point>>();
+    assert_serde::<Option<Shape>>();
+}

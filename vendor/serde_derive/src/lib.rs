@@ -1,0 +1,55 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits (the workspace
+//! carries no serialization format crate), so the derives only need to name
+//! the deriving type and emit empty impls. Parsing is done by hand over the
+//! token stream — no `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit_marker_impl(input, "impl ::serde::Serialize for", "")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit_marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for", "")
+}
+
+/// Finds the name of the deriving `struct`/`enum` and emits
+/// `{head} Name {tail} {}`. Generic types are rejected — the workspace
+/// derives only on concrete types, and supporting generics would mean
+/// re-growing half of `syn`.
+fn emit_marker_impl(input: TokenStream, head: &str, tail: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(type_name)) = tokens.next() {
+                    name = Some(type_name.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return "compile_error!(\"serde shim derive: could not find type name\");"
+            .parse()
+            .expect("static error snippet parses");
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            return format!(
+                "compile_error!(\"serde shim derive does not support generic type `{name}`\");"
+            )
+            .parse()
+            .expect("static error snippet parses");
+        }
+    }
+    format!("{head} {name} {tail} {{}}").parse().expect("generated impl parses")
+}
