@@ -14,4 +14,10 @@ echo "== cargo test (facade + workspace) =="
 cargo test -q
 cargo test -q --workspace
 
+echo "== thread-count invariance (experiment results at 1/2/8 threads) =="
+cargo test -q -p nfv-core --test thread_invariance
+
+echo "== cargo build --release =="
+cargo build --release
+
 echo "ci: all green"

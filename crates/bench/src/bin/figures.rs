@@ -1,21 +1,32 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p nfv-bench --bin figures --release -- <command> [--reps N] [--seed S]
+//! cargo run -p nfv-bench --bin figures --release -- <command> [--reps N] [--seed S] [--threads T]
 //! ```
 //!
 //! Commands: `fig5` … `fig16`, `tail`, `joint`, `churn`, `validate`,
-//! `ablation`, `all`. Each prints the series the corresponding paper
-//! figure plots (`churn` prints the online control-plane comparison),
-//! plus a shape-check summary (who wins, by how much) for comparison with
-//! `EXPERIMENTS.md`.
+//! `ablation`, `all`, `bench`. Each prints the series the corresponding
+//! paper figure plots (`churn` prints the online control-plane
+//! comparison), plus a shape-check summary (who wins, by how much) for
+//! comparison with `EXPERIMENTS.md`.
+//!
+//! Every command runs on the deterministic worker pool of `nfv-parallel`:
+//! `--threads T` caps the pool (default: all available cores) and cannot
+//! change any number in the output, only how fast it appears. `all`
+//! additionally fans the figures themselves out across the pool and prints
+//! the buffered outputs in command order. `bench` times every figure at
+//! one thread and at the configured count and writes the wall-clock
+//! comparison to `BENCH_pipeline.json`.
 
 use std::env;
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use nfv_core::experiments::{churn, joint, placement, scheduling, validation, Sweep};
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
+use nfv_parallel::{available_threads, default_threads, par_map_indexed, set_default_threads};
 use nfv_placement::{Bfd, Bfdsu, Ffd, Placer};
 use nfv_scheduling::{Cga, KkForward, Rckk, RoundRobin, Scheduler};
 
@@ -25,6 +36,7 @@ struct Options {
     reps_scheduling: u64,
     seed: u64,
     csv_dir: Option<std::path::PathBuf>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         reps_scheduling: 200,
         seed: 42,
         csv_dir: None,
+        threads: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -64,6 +77,18 @@ fn parse_args() -> Result<Options, String> {
                 options.csv_dir = Some(args.get(i + 1).ok_or("--csv needs a directory")?.into());
                 i += 2;
             }
+            "--threads" => {
+                let value: usize = args
+                    .get(i + 1)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+                if value == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                options.threads = Some(value);
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
@@ -71,8 +96,14 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|validate|ablation|all> [--reps N] [--seed S] [--csv DIR]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
+
+/// The `all` command list, in paper order.
+const ALL_COMMANDS: [&str; 20] = [
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tail",
+    "fig15", "fig16", "headline", "online", "quality", "joint", "churn", "validate", "ablation",
+];
 
 /// Directory for CSV output, set once from the CLI before dispatch.
 static CSV_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
@@ -85,6 +116,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(threads) = options.threads {
+        set_default_threads(threads);
+    }
     if let Some(dir) = &options.csv_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create csv directory {}: {err}", dir.display());
@@ -102,135 +136,222 @@ fn main() -> ExitCode {
 }
 
 fn run(options: &Options) -> Result<(), CoreError> {
-    let commands: Vec<&str> = if options.command == "all" {
-        vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "tail", "fig15", "fig16", "headline", "online", "quality", "joint", "churn",
-            "validate", "ablation",
-        ]
-    } else {
-        vec![options.command.as_str()]
-    };
-    for command in commands {
-        dispatch(command, options)?;
+    if options.command == "bench" {
+        return run_bench(options);
+    }
+    if options.command != "all" {
+        let output = dispatch(&options.command, options)?;
+        print!("{output}");
+        println!();
+        return Ok(());
+    }
+    // `all`: fan the figures themselves out over the pool. Each figure's
+    // inner sweeps then run with `threads / outer` workers so the total
+    // stays at the configured count; outputs are buffered and printed in
+    // command order, so the rendering is identical to a serial run.
+    let threads = default_threads();
+    let outer = threads.min(ALL_COMMANDS.len()).max(1);
+    set_default_threads((threads / outer).max(1));
+    let outputs = par_map_indexed(outer, ALL_COMMANDS.to_vec(), |_, command| {
+        dispatch(command, options)
+    });
+    set_default_threads(threads);
+    for output in outputs.map_err(CoreError::from)? {
+        print!("{}", output?);
         println!();
     }
     Ok(())
 }
 
-fn dispatch(command: &str, options: &Options) -> Result<(), CoreError> {
+/// Times every figure once at one thread and once at the configured
+/// count and writes `BENCH_pipeline.json` with the wall-clock per figure.
+fn run_bench(options: &Options) -> Result<(), CoreError> {
+    let threads = options.threads.unwrap_or_else(available_threads);
+    let mut serial = Vec::with_capacity(ALL_COMMANDS.len());
+    let mut parallel = Vec::with_capacity(ALL_COMMANDS.len());
+    for (label, count, timings) in [
+        ("1 thread", 1usize, &mut serial),
+        ("threads", threads, &mut parallel),
+    ] {
+        set_default_threads(count);
+        for command in ALL_COMMANDS {
+            let started = Instant::now();
+            dispatch(command, options)?;
+            let seconds = started.elapsed().as_secs_f64();
+            println!("bench: {command} at {label}: {seconds:.3}s");
+            timings.push(seconds);
+        }
+    }
+    set_default_threads(0);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"host_threads\": {},", available_threads());
+    let _ = writeln!(json, "  \"bench_threads\": {threads},");
+    let _ = writeln!(json, "  \"reps_placement\": {},", options.reps_placement);
+    let _ = writeln!(json, "  \"reps_scheduling\": {},", options.reps_scheduling);
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"figures\": [");
+    for (i, command) in ALL_COMMANDS.iter().enumerate() {
+        let comma = if i + 1 < ALL_COMMANDS.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{command}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}}}{comma}",
+            serial[i], parallel[i]
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let total_serial: f64 = serial.iter().sum();
+    let total_parallel: f64 = parallel.iter().sum();
+    let _ = writeln!(json, "  \"total_serial_seconds\": {total_serial:.6},");
+    let _ = writeln!(json, "  \"total_parallel_seconds\": {total_parallel:.6}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_pipeline.json", &json).map_err(|_| CoreError::Inconsistent {
+        reason: "cannot write BENCH_pipeline.json",
+    })?;
+    println!(
+        "bench: total {total_serial:.3}s at 1 thread, {total_parallel:.3}s at {threads} \
+         threads ({} host cores); written to BENCH_pipeline.json",
+        available_threads()
+    );
+    Ok(())
+}
+
+fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
     let (rp, rs, seed) = (
         options.reps_placement,
         options.reps_scheduling,
         options.seed,
     );
+    let mut out = String::new();
     match command {
         "fig5" => print_sweep(
+            &mut out,
             "Fig. 5 - average resource utilization (%) of 10 nodes vs #requests",
             &placement::fig5_utilization_vs_requests(rp, seed)?,
             2,
             Some(("bfdsu", "nah", "utilization")),
         ),
         "fig6" => print_sweep(
+            &mut out,
             "Fig. 6 - average utilization (%) of used nodes, 1000 requests, scaling VNFs 6-30 with nodes 4-20",
             &placement::fig6_utilization_vs_scale(rp, seed)?,
             2,
             Some(("bfdsu", "nah", "utilization")),
         ),
         "fig7" => print_sweep(
+            &mut out,
             "Fig. 7 - average utilization (%) placing 15 VNFs vs #nodes",
             &placement::fig7_utilization_vs_nodes(rp, seed)?,
             2,
             Some(("bfdsu", "nah", "utilization")),
         ),
         "fig8" => print_sweep(
+            &mut out,
             "Fig. 8 - average number of nodes in service placing 15 VNFs",
             &placement::fig8_nodes_in_service(rp, seed)?,
             2,
             None,
         ),
         "fig9" => print_sweep(
+            &mut out,
             "Fig. 9 - average resource occupation (units) placing 15 VNFs",
             &placement::fig9_resource_occupation(rp, seed)?,
             0,
             None,
         ),
         "fig10" => print_sweep(
+            &mut out,
             "Fig. 10 - executions until first feasible solution (tight capacities)",
             &placement::fig10_iterations_vs_requests(rp, seed)?,
             2,
             None,
         ),
         "fig11" => print_sweep(
+            &mut out,
             "Fig. 11 - average response time W (s), 5 instances, P = 0.98",
             &scheduling::fig11_12_response_vs_requests(0.98, rs, seed)?,
             6,
             None,
         ),
         "fig12" => print_sweep(
+            &mut out,
             "Fig. 12 - average response time W (s), 5 instances, P = 1.00",
             &scheduling::fig11_12_response_vs_requests(1.0, rs, seed)?,
             6,
             None,
         ),
         "fig13" => print_sweep(
+            &mut out,
             "Fig. 13 - average response time W (s), 50 requests, instances 2-10, P = 0.98",
             &scheduling::fig13_14_response_vs_instances(0.98, rs, seed)?,
             6,
             None,
         ),
         "fig14" => print_sweep(
+            &mut out,
             "Fig. 14 - average response time W (s), 50 requests, instances 2-10, P = 1.00",
             &scheduling::fig13_14_response_vs_instances(1.0, rs, seed)?,
             6,
             None,
         ),
         "tail" => print_sweep(
+            &mut out,
             "Tail (Sec. V-C) - 99th-percentile of per-run W (s), 5 instances, P = 0.98",
             &scheduling::tail_p99_vs_requests(rs, seed)?,
             6,
             None,
         ),
         "fig15" => print_sweep(
+            &mut out,
             "Fig. 15 - average job rejection rate (%), P = 0.997",
             &scheduling::fig15_16_rejection_vs_requests(0.997, rs, seed)?,
             3,
             None,
         ),
         "fig16" => print_sweep(
+            &mut out,
             "Fig. 16 - average job rejection rate (%), P = 0.984",
             &scheduling::fig15_16_rejection_vs_requests(0.984, rs, seed)?,
             3,
             None,
         ),
-        "joint" => print_joint(rp, seed)?,
-        "headline" => print_headline(rs, seed)?,
+        "joint" => print_joint(&mut out, rp, seed)?,
+        "headline" => print_headline(&mut out, rs, seed)?,
         "quality" => print_sweep(
+            &mut out,
             "Quality extension - nodes used / optimal nodes (exact oracle, small instances)",
             &placement::quality_vs_oracle(rp, seed)?,
             3,
             None,
         ),
         "online" => print_sweep(
+            &mut out,
             "Online extension - price of one-at-a-time arrival vs offline RCKK (P = 0.98)",
             &scheduling::online_price_vs_requests(rs, seed)?,
             6,
             None,
         ),
-        "churn" => print_churn(seed)?,
-        "validate" => print_validation(seed)?,
-        "ablation" => print_ablation(rp, rs, seed)?,
+        "churn" => print_churn(&mut out, seed)?,
+        "validate" => print_validation(&mut out, seed)?,
+        "ablation" => print_ablation(&mut out, rp, rs, seed)?,
         other => {
-            eprintln!("unknown command `{other}`");
-            eprintln!("{}", usage());
+            let _ = writeln!(out, "unknown command `{other}`");
+            let _ = writeln!(out, "{}", usage());
         }
     }
-    Ok(())
+    Ok(out)
 }
 
-fn print_sweep(title: &str, sweep: &Sweep, precision: usize, gain: Option<(&str, &str, &str)>) {
-    println!("== {title} ==");
-    print!("{}", sweep.to_table(precision));
+fn print_sweep(
+    out: &mut String,
+    title: &str,
+    sweep: &Sweep,
+    precision: usize,
+    gain: Option<(&str, &str, &str)>,
+) {
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{}", sweep.to_table(precision));
     if let Some(dir) = CSV_DIR.get() {
         let name: String = title
             .split(" - ")
@@ -242,14 +363,17 @@ fn print_sweep(title: &str, sweep: &Sweep, precision: usize, gain: Option<(&str,
             .to_lowercase();
         let path = dir.join(format!("{name}.csv"));
         match std::fs::write(&path, sweep.to_csv()) {
-            Ok(()) => println!("csv written to {}", path.display()),
+            Ok(()) => {
+                let _ = writeln!(out, "csv written to {}", path.display());
+            }
             Err(err) => eprintln!("csv write failed: {err}"),
         }
     }
     if let Some((ours, baseline, metric)) = gain {
         if let (Some(a), Some(b)) = (sweep.series_mean(ours), sweep.series_mean(baseline)) {
             if b > 0.0 {
-                println!(
+                let _ = writeln!(
+                    out,
                     "shape check: {ours} improves mean {metric} over {baseline} by {:.1}%",
                     (a - b) / b * 100.0
                 );
@@ -258,7 +382,8 @@ fn print_sweep(title: &str, sweep: &Sweep, precision: usize, gain: Option<(&str,
     }
     if let (Some(rckk), Some(cga)) = (sweep.series_mean("rckk"), sweep.series_mean("cga")) {
         if cga > 0.0 {
-            println!(
+            let _ = writeln!(
+                out,
                 "shape check: rckk improves mean over cga by {:.1}%",
                 enhancement_ratio(cga, rckk) * 100.0
             );
@@ -266,8 +391,11 @@ fn print_sweep(title: &str, sweep: &Sweep, precision: usize, gain: Option<(&str,
     }
 }
 
-fn print_joint(reps: u64, seed: u64) -> Result<(), CoreError> {
-    println!("== Joint pipeline (Eq. 16) - avg total latency per request ==");
+fn print_joint(out: &mut String, reps: u64, seed: u64) -> Result<(), CoreError> {
+    let _ = writeln!(
+        out,
+        "== Joint pipeline (Eq. 16) - avg total latency per request =="
+    );
     let stats = joint::run_comparison(&joint::JointConfig::base(), reps, seed)?;
     let mut table = Table::new(vec![
         "pipeline",
@@ -289,17 +417,19 @@ fn print_joint(reps: u64, seed: u64) -> Result<(), CoreError> {
             s.failures.to_string(),
         ]);
     }
-    print!("{table}");
+    let _ = write!(out, "{table}");
     let ours = stats.iter().find(|s| s.name == "bfdsu+rckk");
     let base = stats.iter().find(|s| s.name == "ffd+cga");
     if let (Some(ours), Some(base)) = (ours, base) {
-        println!(
+        let _ = writeln!(
+            out,
             "shape check: bfdsu+rckk vs ffd+cga - total latency {:.1}% lower, link latency {:.1}% lower, {:.1} fewer nodes",
             enhancement_ratio(base.avg_total_latency, ours.avg_total_latency) * 100.0,
             enhancement_ratio(base.avg_link_latency, ours.avg_link_latency) * 100.0,
             base.avg_nodes_in_service - ours.avg_nodes_in_service
         );
-        println!(
+        let _ = writeln!(
+            out,
             "note: μ_f is scaled to each VNF's own load, so the response part is dominated by the\n\
              shared base queueing delay; the paper's 19.9% headline is the per-instance scheduling\n\
              improvement — see `figures headline`"
@@ -308,8 +438,11 @@ fn print_joint(reps: u64, seed: u64) -> Result<(), CoreError> {
     Ok(())
 }
 
-fn print_headline(reps: u64, seed: u64) -> Result<(), CoreError> {
-    println!("== Headline - RCKK's mean response-time enhancement over CGA (paper: 19.9%) ==");
+fn print_headline(out: &mut String, reps: u64, seed: u64) -> Result<(), CoreError> {
+    let _ = writeln!(
+        out,
+        "== Headline - RCKK's mean response-time enhancement over CGA (paper: 19.9%) =="
+    );
     // The paper's 19.9% averages RCKK's improvement across its W
     // experiments; aggregate the same four sweeps.
     let sweeps = [
@@ -337,23 +470,25 @@ fn print_headline(reps: u64, seed: u64) -> Result<(), CoreError> {
         overall += mean;
         table.row(vec![(*name).to_owned(), format!("{mean:.1}")]);
     }
-    print!("{table}");
-    println!(
+    let _ = write!(out, "{table}");
+    let _ = writeln!(
+        out,
         "overall mean: {:.1}% (paper: 19.9%)",
         overall / sweeps.len() as f64
     );
     Ok(())
 }
 
-fn print_churn(seed: u64) -> Result<(), CoreError> {
+fn print_churn(out: &mut String, seed: u64) -> Result<(), CoreError> {
     let point = churn::ChurnPoint::base();
-    println!(
+    let _ = writeln!(
+        out,
         "== Churn - online control plane over a {:.0}s trace ({} base requests, \
          {:.1}/s churn arrivals, ticks every {:.0}s) ==",
         point.horizon, point.base_requests, point.arrival_rate, point.tick_period
     );
     let comparison = churn::run(&point, seed)?;
-    print!("{}", comparison.to_table());
+    let _ = write!(out, "{}", comparison.to_table());
     let online = &comparison
         .outcome("online-only")
         .expect("policy ran")
@@ -366,7 +501,8 @@ fn print_churn(seed: u64) -> Result<(), CoreError> {
         .outcome("offline-oracle")
         .expect("policy ran")
         .report;
-    println!(
+    let _ = writeln!(
+        out,
         "shape check: periodic-reopt cuts mean W by {:.1}% vs online-only \
          with {:.1}% of the oracle's migrations",
         (online.mean_latency - reopt.mean_latency) / online.mean_latency * 100.0,
@@ -375,8 +511,11 @@ fn print_churn(seed: u64) -> Result<(), CoreError> {
     Ok(())
 }
 
-fn print_validation(seed: u64) -> Result<(), CoreError> {
-    println!("== Validation - Jackson analytics vs discrete-event simulation ==");
+fn print_validation(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let _ = writeln!(
+        out,
+        "== Validation - Jackson analytics vs discrete-event simulation =="
+    );
     let rows = validation::standard_suite(seed)?;
     let mut table = Table::new(vec![
         "configuration",
@@ -394,16 +533,20 @@ fn print_validation(seed: u64) -> Result<(), CoreError> {
             format!("{:.2}", row.relative_error() * 100.0),
         ]);
     }
-    print!("{table}");
-    println!(
+    let _ = write!(out, "{table}");
+    let _ = writeln!(
+        out,
         "shape check: worst relative error {:.2}% (expect < ~8%)",
         worst * 100.0
     );
     Ok(())
 }
 
-fn print_ablation(rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
-    println!("== Ablation A - BFDSU's weighted-random choice vs deterministic best fit ==");
+fn print_ablation(out: &mut String, rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
+    let _ = writeln!(
+        out,
+        "== Ablation A - BFDSU's weighted-random choice vs deterministic best fit =="
+    );
     // Tight capacities so deterministic best fit dead-ends where BFDSU's
     // restarts recover.
     let point = placement::PlacementPoint {
@@ -427,10 +570,13 @@ fn print_ablation(rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
             s.failures.to_string(),
         ]);
     }
-    print!("{table}");
+    let _ = write!(out, "{table}");
 
-    println!();
-    println!("== Ablation B - RCKK's reverse combination vs forward order and round-robin ==");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "== Ablation B - RCKK's reverse combination vs forward order and round-robin =="
+    );
     // Pairwise comparisons: μ is calibrated to the worst makespan of the
     // compared pair, so each alternative is judged under its own
     // near-saturation regime rather than under a μ inflated by the worst
@@ -454,6 +600,6 @@ fn print_ablation(rp: u64, rs: u64, seed: u64) -> Result<(), CoreError> {
             format!("{:.1}%", enhancement_ratio(other_w, rckk_w) * 100.0),
         ]);
     }
-    print!("{table}");
+    let _ = write!(out, "{table}");
     Ok(())
 }

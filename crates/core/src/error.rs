@@ -30,6 +30,23 @@ pub enum CoreError {
         /// Description of the mismatch.
         reason: &'static str,
     },
+    /// A parallel experiment trial panicked; the pool contained the panic
+    /// and reports the lowest-index failing trial.
+    TrialPanicked {
+        /// Input index of the panicking trial.
+        index: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl From<nfv_parallel::TaskPanic> for CoreError {
+    fn from(panic: nfv_parallel::TaskPanic) -> Self {
+        Self::TrialPanicked {
+            index: panic.index,
+            message: panic.message,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +58,9 @@ impl fmt::Display for CoreError {
             Self::Scheduling(e) => write!(f, "scheduling: {e}"),
             Self::Queueing(e) => write!(f, "queueing: {e}"),
             Self::Inconsistent { reason } => write!(f, "inconsistent inputs: {reason}"),
+            Self::TrialPanicked { index, message } => {
+                write!(f, "trial {index} panicked: {message}")
+            }
         }
     }
 }
@@ -53,7 +73,7 @@ impl Error for CoreError {
             Self::Placement(e) => Some(e),
             Self::Scheduling(e) => Some(e),
             Self::Queueing(e) => Some(e),
-            Self::Inconsistent { .. } => None,
+            Self::Inconsistent { .. } | Self::TrialPanicked { .. } => None,
         }
     }
 }

@@ -21,6 +21,7 @@
 
 use nfv_controller::{Controller, ControllerConfig, ControllerReport};
 use nfv_metrics::Table;
+use nfv_parallel::par_map;
 use nfv_workload::churn::{ChurnTrace, ChurnTraceBuilder};
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
 use serde::{Deserialize, Serialize};
@@ -155,20 +156,22 @@ pub fn setup(point: &ChurnPoint, seed: u64) -> Result<(Scenario, ChurnTrace), Co
 /// Replays one seeded trace through the three policies.
 pub fn run(point: &ChurnPoint, seed: u64) -> Result<ChurnComparison, CoreError> {
     let (scenario, trace) = setup(point, seed)?;
-    let policies = [
+    let policies = vec![
         ("online-only", ControllerConfig::online_only()),
         ("periodic-reopt", ControllerConfig::periodic_reopt()),
         ("offline-oracle", ControllerConfig::offline_oracle()),
     ];
-    let mut outcomes = Vec::with_capacity(policies.len());
-    for (name, config) in policies {
+    // The three policies replay the same borrowed trace independently, so
+    // they fan out on the worker pool; results come back in policy order.
+    let outcomes = par_map(policies, |_, (name, config)| {
         let mut controller = Controller::new(&scenario, config);
         let report = controller.run_trace(&trace);
-        outcomes.push(ChurnOutcome {
+        ChurnOutcome {
             policy: name.to_string(),
             report,
-        });
-    }
+        }
+    })
+    .map_err(CoreError::from)?;
     Ok(ChurnComparison {
         point: *point,
         seed,

@@ -8,7 +8,10 @@
 //! identical scenarios/topologies and reports Eq. (16) and the placement
 //! quality metrics side by side.
 
+use std::sync::Arc;
+
 use nfv_metrics::OnlineStats;
+use nfv_parallel::{derive_seed, par_map};
 use nfv_placement::Placer as _;
 use nfv_placement::{Bfd, Bfdsu, ChainAffinity, Ffd, Nah, PlacementProblem};
 use nfv_scheduling::{Cga, Rckk};
@@ -132,77 +135,104 @@ pub fn run_comparison(
     let mut utilization: Vec<OnlineStats> = vec![OnlineStats::new(); pipelines.len()];
     let mut failures: Vec<u64> = vec![0; pipelines.len()];
 
-    for rep in 0..repetitions {
-        let seed = base_seed
-            .wrapping_mul(0x2545_f491_4f6c_dd1d)
-            .wrapping_add(rep);
-        let scenario = ScenarioBuilder::new()
-            .vnfs(config.vnfs)
-            .requests(config.requests)
-            .instance_policy(InstancePolicy::PerUsers {
-                requests_per_instance: config.requests_per_instance,
-            })
-            .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
-                target_utilization: config.target_utilization,
-            })
-            .seed(seed)
-            .build()?;
-        let total_demand = scenario.total_demand().value();
-        let max_demand = scenario
-            .vnfs()
-            .iter()
-            .map(|v| v.total_demand().value())
-            .fold(0.0f64, f64::max);
-        let (lo, hi) = crate::experiments::capacity_bounds(
-            total_demand,
-            max_demand,
-            config.nodes,
-            config.fill,
-        );
-        // Redraw capacities until a deterministic strong packer certifies
-        // feasibility, as in the placement experiments.
-        let mut topology = None;
-        for redraw in 0..20u64 {
-            let candidate = builders::random_connected()
-                .nodes(config.nodes)
-                .seed(seed)
-                .capacity_range(lo, hi, seed ^ 0x5555 ^ (redraw << 48))
-                .link_delay(LinkDelay::from_micros(config.link_delay_micros))
-                .build()?;
-            let problem = PlacementProblem::new(
-                candidate.compute_nodes().to_vec(),
-                scenario.vnfs().to_vec(),
-            )?;
-            let mut probe_rng = StdRng::seed_from_u64(0);
-            let feasible = Bfd::new().place(&problem, &mut probe_rng).is_ok();
-            topology = Some(candidate);
-            if feasible {
-                break;
+    // Each repetition builds one scenario/topology pair, shares it across
+    // all pipelines via `Arc` (no per-pipeline deep copies), and runs on
+    // the deterministic worker pool. Per-repetition and per-pipeline seeds
+    // are pure functions of `(base_seed, rep, pipeline index)`, and results
+    // are folded in repetition order, so the averages are bit-identical at
+    // any thread count.
+    type PipelineRow = Option<(f64, f64, f64, f64, f64)>;
+    let trials = par_map(
+        (0..repetitions).collect(),
+        |_, rep| -> Result<Vec<PipelineRow>, CoreError> {
+            let seed = derive_seed(base_seed, rep);
+            let scenario = Arc::new(
+                ScenarioBuilder::new()
+                    .vnfs(config.vnfs)
+                    .requests(config.requests)
+                    .instance_policy(InstancePolicy::PerUsers {
+                        requests_per_instance: config.requests_per_instance,
+                    })
+                    .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                        target_utilization: config.target_utilization,
+                    })
+                    .seed(seed)
+                    .build()?,
+            );
+            let total_demand = scenario.total_demand().value();
+            let max_demand = scenario
+                .vnfs()
+                .iter()
+                .map(|v| v.total_demand().value())
+                .fold(0.0f64, f64::max);
+            let (lo, hi) = crate::experiments::capacity_bounds(
+                total_demand,
+                max_demand,
+                config.nodes,
+                config.fill,
+            );
+            // Redraw capacities until a deterministic strong packer certifies
+            // feasibility, as in the placement experiments.
+            let mut topology = None;
+            for redraw in 0..20u64 {
+                let candidate = builders::random_connected()
+                    .nodes(config.nodes)
+                    .seed(seed)
+                    .capacity_range(lo, hi, seed ^ 0x5555 ^ (redraw << 48))
+                    .link_delay(LinkDelay::from_micros(config.link_delay_micros))
+                    .build()?;
+                let problem = PlacementProblem::new(
+                    candidate.compute_nodes().to_vec(),
+                    scenario.vnfs().to_vec(),
+                )?;
+                let mut probe_rng = StdRng::seed_from_u64(0);
+                let feasible = Bfd::new().place(&problem, &mut probe_rng).is_ok();
+                topology = Some(candidate);
+                if feasible {
+                    break;
+                }
             }
-        }
-        let topology = topology.expect("at least one draw was made");
+            let topology = Arc::new(topology.expect("at least one draw was made"));
 
-        for (i, (_, optimizer)) in pipelines.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 24));
-            let objective =
-                optimizer
-                    .optimize(&scenario, &topology, &mut rng)
-                    .and_then(|solution| {
-                        let placement_nodes = solution.placement().nodes_in_service() as f64;
-                        let placement_util = solution.placement().average_utilization().value();
-                        solution
-                            .objective()
-                            .map(|o| (o, placement_nodes, placement_util))
-                    });
-            match objective {
-                Ok((objective, n, u)) => {
-                    total[i].push(objective.average_total_latency());
-                    response[i].push(objective.average_response_latency());
-                    link[i].push(objective.average_link_latency());
+            Ok(pipelines
+                .iter()
+                .enumerate()
+                .map(|(i, (_, optimizer))| {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                    optimizer
+                        .optimize_shared(&scenario, &topology, &mut rng)
+                        .and_then(|solution| {
+                            let placement_nodes = solution.placement().nodes_in_service() as f64;
+                            let placement_util = solution.placement().average_utilization().value();
+                            solution
+                                .objective()
+                                .map(|o| (o, placement_nodes, placement_util))
+                        })
+                        .ok()
+                        .map(|(objective, n, u)| {
+                            (
+                                objective.average_total_latency(),
+                                objective.average_response_latency(),
+                                objective.average_link_latency(),
+                                n,
+                                u,
+                            )
+                        })
+                })
+                .collect())
+        },
+    )?;
+    for trial in trials {
+        for (i, row) in trial?.into_iter().enumerate() {
+            match row {
+                Some((t, r, l, n, u)) => {
+                    total[i].push(t);
+                    response[i].push(r);
+                    link[i].push(l);
                     nodes[i].push(n);
                     utilization[i].push(u);
                 }
-                Err(_) => failures[i] += 1,
+                None => failures[i] += 1,
             }
         }
     }

@@ -10,6 +10,7 @@
 
 use nfv_metrics::OnlineStats;
 use nfv_model::ServiceChain;
+use nfv_parallel::{derive_seed, par_map};
 use nfv_placement::{Bfdsu, Ffd, Nah, PlacementProblem, Placer};
 use nfv_topology::builders;
 use nfv_workload::{InstancePolicy, ScenarioBuilder};
@@ -84,8 +85,17 @@ pub fn standard_placers() -> Vec<Box<dyn Placer>> {
     ]
 }
 
+/// One placer's raw measurements from one repetition:
+/// `[utilization, nodes in service, occupation, iterations]`.
+type TrialRow = Option<[f64; 4]>;
+
 /// Runs every placer on one point, averaging over `repetitions` seeds
 /// derived from `base_seed`.
+///
+/// Repetitions are fully independent, so they run on the deterministic
+/// worker pool (`nfv-parallel`): every trial's RNG is derived from
+/// `(base_seed, trial index)` and the per-trial rows are folded back in
+/// trial order, making the result bit-identical at any thread count.
 ///
 /// # Errors
 ///
@@ -104,22 +114,39 @@ pub fn run_point(
     let mut iterations: Vec<OnlineStats> = vec![OnlineStats::new(); placers.len()];
     let mut failures: Vec<u64> = vec![0; placers.len()];
 
-    for rep in 0..repetitions {
-        let seed = base_seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(rep);
-        let problem = build_problem(point, seed)?;
-        for (i, placer) in placers.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 32);
-            match placer.place(&problem, &mut rng) {
-                Ok(outcome) => {
-                    let placement = outcome.placement();
-                    utilization[i].push(placement.average_utilization().value());
-                    nodes_in_service[i].push(placement.nodes_in_service() as f64);
-                    occupation[i].push(placement.resource_occupation());
-                    iterations[i].push(outcome.iterations() as f64);
+    let trials = par_map(
+        (0..repetitions).collect(),
+        |_, rep| -> Result<Vec<TrialRow>, CoreError> {
+            let seed = derive_seed(base_seed, rep);
+            let problem = build_problem(point, seed)?;
+            Ok(placers
+                .iter()
+                .enumerate()
+                .map(|(i, placer)| {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                    placer.place(&problem, &mut rng).ok().map(|outcome| {
+                        let placement = outcome.placement();
+                        [
+                            placement.average_utilization().value(),
+                            placement.nodes_in_service() as f64,
+                            placement.resource_occupation(),
+                            outcome.iterations() as f64,
+                        ]
+                    })
+                })
+                .collect())
+        },
+    )?;
+    for trial in trials {
+        for (i, row) in trial?.into_iter().enumerate() {
+            match row {
+                Some([util, nodes, occ, iters]) => {
+                    utilization[i].push(util);
+                    nodes_in_service[i].push(nodes);
+                    occupation[i].push(occ);
+                    iterations[i].push(iters);
                 }
-                Err(_) => failures[i] += 1,
+                None => failures[i] += 1,
             }
         }
     }
@@ -369,19 +396,33 @@ pub fn quality_vs_oracle(repetitions: u64, base_seed: u64) -> Result<Sweep, Core
             fill: 0.7,
         };
         let mut ratios: Vec<OnlineStats> = vec![OnlineStats::new(); placers.len()];
-        for rep in 0..repetitions {
-            let seed = base_seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(rep);
-            let problem = build_problem(&point, seed)?;
-            let Some(opt) = nfv_placement::exact::optimal_node_count(&problem) else {
-                continue;
-            };
-            for (i, placer) in placers.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 32);
-                if let Ok(outcome) = placer.place(&problem, &mut rng) {
-                    ratios[i]
-                        .push(outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64);
+        let trials = par_map(
+            (0..repetitions).collect(),
+            |_, rep| -> Result<Option<Vec<Option<f64>>>, CoreError> {
+                let seed = derive_seed(base_seed, rep);
+                let problem = build_problem(&point, seed)?;
+                let Some(opt) = nfv_placement::exact::optimal_node_count(&problem) else {
+                    return Ok(None);
+                };
+                Ok(Some(
+                    placers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, placer)| {
+                            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                            placer.place(&problem, &mut rng).ok().map(|outcome| {
+                                outcome.placement().nodes_in_service() as f64 / opt.max(1) as f64
+                            })
+                        })
+                        .collect(),
+                ))
+            },
+        )?;
+        for trial in trials {
+            let Some(rows) = trial? else { continue };
+            for (i, ratio) in rows.into_iter().enumerate() {
+                if let Some(ratio) = ratio {
+                    ratios[i].push(ratio);
                 }
             }
         }

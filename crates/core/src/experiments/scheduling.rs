@@ -14,6 +14,7 @@
 
 use nfv_metrics::{enhancement_ratio, Summary};
 use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+use nfv_parallel::{derive_seed, par_map};
 use nfv_scheduling::{Cga, Rckk, Scheduler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,32 +123,44 @@ pub fn run_response_point(
         })
         .collect();
 
-    for rep in 0..repetitions {
-        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(rep));
-        let rates = draw_rates(point, &mut rng);
-        let schedules: Vec<_> = schedulers
-            .iter()
-            .map(|s| s.schedule(&rates, point.instances))
-            .collect::<Result<_, _>>()?;
-        // Calibrate μ so the most loaded instance across the compared
-        // schedules sits exactly `saturation_gap` below saturation after
-        // loss inflation. This is the paper's "scale μ_f ... to eliminate
-        // its dominant influence": every point runs equally close to
-        // capacity, where the M/M/1 delay growth the model captures
-        // actually bites, and retransmissions (the 1/P factor) make the
-        // lossy setting strictly slower.
-        let worst_makespan = schedules
-            .iter()
-            .map(|s| s.makespan())
-            .fold(0.0f64, f64::max);
-        let mu = ServiceRate::new(
-            worst_makespan / (point.delivery.sqrt() * (1.0 - point.saturation_gap)),
-        )
-        .map_err(|_| CoreError::Inconsistent {
-            reason: "degenerate service rate",
-        })?;
-        for (outcome, schedule) in outcomes.iter_mut().zip(&schedules) {
-            let w = schedule.average_response_time(mu, delivery)?;
+    // Repetitions are independent draws, so they run on the deterministic
+    // worker pool with per-trial derived seeds; per-trial `W` vectors are
+    // folded back in trial order, so the summaries are bit-identical at
+    // any thread count.
+    let trials = par_map(
+        (0..repetitions).collect(),
+        |_, rep| -> Result<Vec<f64>, CoreError> {
+            let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, rep));
+            let rates = draw_rates(point, &mut rng);
+            let schedules: Vec<_> = schedulers
+                .iter()
+                .map(|s| s.schedule(&rates, point.instances))
+                .collect::<Result<_, _>>()?;
+            // Calibrate μ so the most loaded instance across the compared
+            // schedules sits exactly `saturation_gap` below saturation after
+            // loss inflation. This is the paper's "scale μ_f ... to eliminate
+            // its dominant influence": every point runs equally close to
+            // capacity, where the M/M/1 delay growth the model captures
+            // actually bites, and retransmissions (the 1/P factor) make the
+            // lossy setting strictly slower.
+            let worst_makespan = schedules
+                .iter()
+                .map(|s| s.makespan())
+                .fold(0.0f64, f64::max);
+            let mu = ServiceRate::new(
+                worst_makespan / (point.delivery.sqrt() * (1.0 - point.saturation_gap)),
+            )
+            .map_err(|_| CoreError::Inconsistent {
+                reason: "degenerate service rate",
+            })?;
+            schedules
+                .iter()
+                .map(|schedule| Ok(schedule.average_response_time(mu, delivery)?))
+                .collect()
+        },
+    )?;
+    for trial in trials {
+        for (outcome, w) in outcomes.iter_mut().zip(trial?) {
             outcome.w.push(w);
         }
     }
@@ -173,29 +186,42 @@ pub fn run_rejection_point(
         })?;
     let mut rejection: Vec<Summary> = schedulers.iter().map(|_| Summary::new()).collect();
 
-    for rep in 0..repetitions {
-        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(rep));
-        let rates = draw_rates(point, &mut rng);
-        // The service capacity is *fixed*, sized from the expected load at
-        // `reference_requests`: a balanced schedule at the reference count
-        // sits at external utilization `balanced_utilization`, so sweeping
-        // the request count sweeps the offered load across (and past) the
-        // capacity — rejections grow with the request count, as in the
-        // paper's Figs. 15–16. Loss inflates the effective load by `1/P`,
-        // so a lossier network rejects more at every point (Fig. 15 vs 16).
-        let mean_rate = (point.arrival_range.0 + point.arrival_range.1) / 2.0;
-        let mu = ServiceRate::new(
-            mean_rate * point.reference_requests as f64
-                / point.instances as f64
-                / point.balanced_utilization,
-        )
-        .map_err(|_| CoreError::Inconsistent {
-            reason: "degenerate service rate",
-        })?;
-        for (summary, scheduler) in rejection.iter_mut().zip(schedulers) {
-            let schedule = scheduler.schedule(&rates, point.instances)?;
-            let (report, _) = schedule.rejection_report(mu, delivery);
-            summary.push(report.rejection_rate());
+    // Same parallel layout as `run_response_point`: per-trial derived seeds
+    // plus in-order folding keep the result independent of thread count.
+    let trials = par_map(
+        (0..repetitions).collect(),
+        |_, rep| -> Result<Vec<f64>, CoreError> {
+            let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, rep));
+            let rates = draw_rates(point, &mut rng);
+            // The service capacity is *fixed*, sized from the expected load at
+            // `reference_requests`: a balanced schedule at the reference count
+            // sits at external utilization `balanced_utilization`, so sweeping
+            // the request count sweeps the offered load across (and past) the
+            // capacity — rejections grow with the request count, as in the
+            // paper's Figs. 15–16. Loss inflates the effective load by `1/P`,
+            // so a lossier network rejects more at every point (Fig. 15 vs 16).
+            let mean_rate = (point.arrival_range.0 + point.arrival_range.1) / 2.0;
+            let mu = ServiceRate::new(
+                mean_rate * point.reference_requests as f64
+                    / point.instances as f64
+                    / point.balanced_utilization,
+            )
+            .map_err(|_| CoreError::Inconsistent {
+                reason: "degenerate service rate",
+            })?;
+            schedulers
+                .iter()
+                .map(|scheduler| {
+                    let schedule = scheduler.schedule(&rates, point.instances)?;
+                    let (report, _) = schedule.rejection_report(mu, delivery);
+                    Ok(report.rejection_rate())
+                })
+                .collect()
+        },
+    )?;
+    for trial in trials {
+        for (summary, rate) in rejection.iter_mut().zip(trial?) {
+            summary.push(rate);
         }
     }
     Ok(schedulers

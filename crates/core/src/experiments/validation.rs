@@ -9,6 +9,7 @@
 //! implementations honest against each other.
 
 use nfv_model::{ArrivalRate, DeliveryProbability, ServiceRate};
+use nfv_parallel::{derive_seed, par_map};
 use nfv_queueing::InstanceLoad;
 use nfv_scheduling::{Rckk, Scheduler};
 use nfv_sim::{SimConfig, Simulator};
@@ -41,11 +42,34 @@ impl ValidationRow {
     }
 }
 
-/// Deliveries simulated per validation row. High-utilization stations mix
+/// Deliveries simulated per validation row, split evenly over
+/// [`REPLICATIONS`] independent replications. High-utilization stations mix
 /// slowly (autocorrelated sojourns), so the suite errs toward more samples
 /// and a generous warmup.
 const DELIVERIES: u64 = 200_000;
 const WARMUP: u64 = 30_000;
+
+/// Independent simulator replications per validation row. Each replication
+/// runs `DELIVERIES / REPLICATIONS` deliveries after its own warmup on the
+/// deterministic worker pool, and the row reports the mean of the
+/// replication means (equal sample counts, so this is an unbiased
+/// estimator of the steady-state mean).
+const REPLICATIONS: u64 = 4;
+
+/// Runs `REPLICATIONS` independent copies of `config` with seeds derived
+/// from `(seed, replication index)` and returns the mean of the
+/// per-replication mean latencies, folded in replication order so the
+/// result is bit-identical at any thread count.
+fn simulate_mean_latency(config: &SimConfig, seed: u64) -> Result<f64, CoreError> {
+    let replica = config.with_window(DELIVERIES / REPLICATIONS, WARMUP);
+    let means = par_map((0..REPLICATIONS).collect(), |_, r| {
+        Simulator::new(replica.clone())
+            .run(&mut StdRng::seed_from_u64(derive_seed(seed, r)))
+            .mean_latency()
+    })
+    .map_err(CoreError::from)?;
+    Ok(means.iter().sum::<f64>() / means.len() as f64)
+}
 
 /// Validates a single M/M/1 instance with loss feedback: analytic
 /// `W = (1/P)/(μ − λ/P)` vs simulation.
@@ -85,11 +109,10 @@ pub fn validate_single_station(
         .map_err(|_| CoreError::Inconsistent {
             reason: "bad sim config",
         })?;
-    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
     Ok(ValidationRow {
         label: format!("M/M/1 λ={lambda} μ={mu} P={p}"),
         analytic,
-        simulated: report.mean_latency(),
+        simulated: simulate_mean_latency(&config, seed)?,
     })
 }
 
@@ -148,11 +171,10 @@ pub fn validate_scheduled_instances(
         .map_err(|_| CoreError::Inconsistent {
             reason: "bad sim config",
         })?;
-    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xBEEF));
     Ok(ValidationRow {
         label: format!("{requests} requests on {instances} instances, P={p}"),
         analytic,
-        simulated: report.mean_latency(),
+        simulated: simulate_mean_latency(&config, seed ^ 0xBEEF)?,
     })
 }
 
@@ -199,11 +221,10 @@ pub fn validate_chain(
         .map_err(|_| CoreError::Inconsistent {
             reason: "bad sim config",
         })?;
-    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed));
     Ok(ValidationRow {
         label: format!("chain of {} stations, λ={lambda}, P={p}", mus.len()),
         analytic,
-        simulated: report.mean_latency(),
+        simulated: simulate_mean_latency(&config, seed)?,
     })
 }
 
@@ -318,11 +339,10 @@ pub fn validate_joint_solution(
         .map_err(|_| CoreError::Inconsistent {
             reason: "bad sim config",
         })?;
-    let report = Simulator::new(config).run(&mut StdRng::seed_from_u64(seed ^ 0xFACE));
     Ok(ValidationRow {
         label: format!("joint pipeline: {vnfs} VNFs, {requests} requests"),
         analytic,
-        simulated: report.mean_latency(),
+        simulated: simulate_mean_latency(&config, seed ^ 0xFACE)?,
     })
 }
 

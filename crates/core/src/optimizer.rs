@@ -1,5 +1,7 @@
 //! The two-phase joint optimizer.
 
+use std::sync::Arc;
+
 use nfv_model::{ArrivalRate, Demand, RequestId, ServiceChain};
 use nfv_placement::{Bfdsu, PlacementProblem, Placer};
 use nfv_scheduling::{Rckk, Scheduler};
@@ -69,6 +71,14 @@ impl JointOptimizer {
 
     /// Runs both phases on a scenario over a topology.
     ///
+    /// Convenience wrapper over [`optimize_shared`](Self::optimize_shared)
+    /// that copies the inputs once so the returned solution can own
+    /// shared handles to them. Hot paths that solve many trials (or run
+    /// several pipelines over the same trial) should build
+    /// `Arc<Scenario>` / `Arc<Topology>` up front and call
+    /// `optimize_shared` directly — that path never deep-copies either
+    /// input.
+    ///
     /// # Errors
     ///
     /// Propagates validation, placement and scheduling failures as
@@ -77,6 +87,27 @@ impl JointOptimizer {
         &self,
         scenario: &Scenario,
         topology: &Topology,
+        rng: &mut dyn RngCore,
+    ) -> Result<JointSolution, CoreError> {
+        self.optimize_shared(
+            &Arc::new(scenario.clone()),
+            &Arc::new(topology.clone()),
+            rng,
+        )
+    }
+
+    /// Runs both phases on a shared scenario over a shared topology,
+    /// without deep-copying either: the returned [`JointSolution`] holds
+    /// clones of the `Arc` handles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, placement and scheduling failures as
+    /// [`CoreError`].
+    pub fn optimize_shared(
+        &self,
+        scenario: &Arc<Scenario>,
+        topology: &Arc<Topology>,
         rng: &mut dyn RngCore,
     ) -> Result<JointSolution, CoreError> {
         scenario.validate()?;
@@ -95,28 +126,32 @@ impl JointOptimizer {
         let outcome = self.placer.place(&problem, rng)?;
 
         // Phase two: schedule each VNF's requests over its instances.
-        let mut schedules = Vec::with_capacity(scenario.vnfs().len());
-        let mut users: Vec<Vec<RequestId>> = Vec::with_capacity(scenario.vnfs().len());
-        for vnf in scenario.vnfs() {
-            let vnf_users: Vec<RequestId> =
-                scenario.requests_using(vnf.id()).map(|r| r.id()).collect();
-            let rates: Vec<ArrivalRate> = vnf_users
-                .iter()
-                .map(|&id| {
-                    scenario
-                        .request(id)
-                        .expect("user ids are valid")
-                        .arrival_rate()
-                })
-                .collect();
-            let schedule = self.scheduler.schedule(&rates, vnf.instances() as usize)?;
-            schedules.push(schedule);
-            users.push(vnf_users);
+        // One pass over the requests builds every VNF's user and rate
+        // vectors at once — the old per-VNF `requests_using` scan was
+        // O(|F| · |R|) with a `scenario.request(id)` lookup per user.
+        // Chains reject duplicate VNFs, so pushing once per chain hop
+        // visits each (request, VNF) pair exactly once, in the same
+        // request order the filtering scan produced.
+        let vnf_count = scenario.vnfs().len();
+        let mut users: Vec<Vec<RequestId>> = vec![Vec::new(); vnf_count];
+        let mut rates: Vec<Vec<ArrivalRate>> = vec![Vec::new(); vnf_count];
+        for request in scenario.requests() {
+            for vnf in request.chain() {
+                users[vnf.as_usize()].push(request.id());
+                rates[vnf.as_usize()].push(request.arrival_rate());
+            }
+        }
+        let mut schedules = Vec::with_capacity(vnf_count);
+        for (vnf, vnf_rates) in scenario.vnfs().iter().zip(&rates) {
+            schedules.push(
+                self.scheduler
+                    .schedule(vnf_rates, vnf.instances() as usize)?,
+            );
         }
 
         JointSolution::new(
-            scenario.clone(),
-            topology.clone(),
+            Arc::clone(scenario),
+            Arc::clone(topology),
             outcome.placement().clone(),
             outcome.iterations(),
             schedules,

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use nfv_model::{NodeId, RequestId, VnfId};
 use nfv_placement::Placement;
@@ -16,14 +17,17 @@ use crate::{CoreError, JointObjective};
 /// VNF plus, per VNF, a [`Schedule`] of its requests onto its `M_f` service
 /// instances.
 ///
-/// The solution owns copies of the scenario and topology it was computed
-/// for, so it can evaluate the joint objective (Eq. (16)) and answer
-/// "where does request `r` go?" queries without the caller re-threading
-/// state.
+/// The solution keeps shared handles ([`Arc`]) to the scenario and
+/// topology it was computed for, so it can evaluate the joint objective
+/// (Eq. (16)) and answer "where does request `r` go?" queries without the
+/// caller re-threading state — and without deep-copying either input. The
+/// experiment runners exploit this: one `Arc<Scenario>` per trial is
+/// shared by every compared pipeline instead of being cloned per
+/// pipeline.
 #[derive(Debug, Clone)]
 pub struct JointSolution {
-    scenario: Scenario,
-    topology: Topology,
+    scenario: Arc<Scenario>,
+    topology: Arc<Topology>,
     placement: Placement,
     placement_iterations: u64,
     /// Per-VNF schedule, indexed by `VnfId`.
@@ -43,8 +47,8 @@ impl JointSolution {
     /// Returns [`CoreError::Inconsistent`] if the schedules do not cover
     /// exactly the scenario's VNFs and their users.
     pub fn new(
-        scenario: Scenario,
-        topology: Topology,
+        scenario: Arc<Scenario>,
+        topology: Arc<Topology>,
         placement: Placement,
         placement_iterations: u64,
         schedules: Vec<Schedule>,

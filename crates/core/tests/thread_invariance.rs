@@ -1,0 +1,90 @@
+//! Regression test for the deterministic parallel sweep engine: every
+//! experiment runner must produce bit-identical results at any thread
+//! count, because per-trial seeds are derived from `(base seed, trial
+//! index)` and per-trial results are folded back in input order.
+//!
+//! The test drives the process-wide default thread count through 1, 2 and
+//! 8 and pins byte-identical CSV/table renderings. It must run in its own
+//! test binary (this file) so no concurrently running test observes the
+//! temporary thread-count overrides.
+
+use std::sync::Mutex;
+
+use nfv_core::experiments::{churn, joint, placement, scheduling, validation};
+use nfv_parallel::set_default_threads;
+
+/// Serializes the tests in this binary: they all mutate the process-wide
+/// default thread count, so they must not interleave.
+static THREAD_COUNT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per thread count and asserts all renderings match the
+/// serial one byte for byte.
+fn assert_invariant<F: Fn() -> String>(what: &str, f: F) {
+    let _guard = THREAD_COUNT_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    set_default_threads(1);
+    let serial = f();
+    for threads in [2usize, 8] {
+        set_default_threads(threads);
+        let parallel = f();
+        assert_eq!(
+            serial, parallel,
+            "{what} differs between 1 and {threads} threads"
+        );
+    }
+    set_default_threads(0);
+}
+
+#[test]
+fn placement_sweep_is_thread_count_invariant() {
+    assert_invariant("placement fig5 sweep", || {
+        placement::fig5_utilization_vs_requests(3, 42)
+            .unwrap()
+            .to_csv()
+    });
+}
+
+#[test]
+fn scheduling_sweeps_are_thread_count_invariant() {
+    assert_invariant("scheduling fig11 sweep", || {
+        scheduling::fig11_12_response_vs_requests(0.98, 20, 42)
+            .unwrap()
+            .to_csv()
+    });
+    assert_invariant("scheduling fig15 sweep", || {
+        scheduling::fig15_16_rejection_vs_requests(0.98, 20, 42)
+            .unwrap()
+            .to_csv()
+    });
+}
+
+#[test]
+fn joint_comparison_is_thread_count_invariant() {
+    assert_invariant("joint comparison", || {
+        format!(
+            "{:?}",
+            joint::run_comparison(&joint::JointConfig::base(), 3, 42).unwrap()
+        )
+    });
+}
+
+#[test]
+fn validation_rows_are_thread_count_invariant() {
+    assert_invariant("single-station validation", || {
+        format!(
+            "{:?}",
+            validation::validate_single_station(50.0, 100.0, 1.0, 42).unwrap()
+        )
+    });
+}
+
+#[test]
+fn churn_comparison_is_thread_count_invariant() {
+    assert_invariant("churn comparison", || {
+        churn::run(&churn::ChurnPoint::base(), 42)
+            .unwrap()
+            .to_table()
+            .to_string()
+    });
+}

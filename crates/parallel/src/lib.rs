@@ -1,0 +1,312 @@
+//! Deterministic parallel sweep engine.
+//!
+//! The paper's evaluation is embarrassingly parallel — `repetitions ×
+//! x-points × algorithms` fully independent trials — but naive
+//! parallelization destroys the workspace's central guarantee: every
+//! experiment is *bit-identical for a fixed seed*, regardless of how it is
+//! executed. This crate supplies the two pieces that make parallelism and
+//! determinism compatible:
+//!
+//! 1. **Input-order results**: [`par_map_indexed`] runs tasks on a scoped
+//!    worker pool (hand-rolled over [`std::thread::scope`] + channels — no
+//!    external dependencies, matching the workspace's vendored-shim
+//!    constraint) and returns results in *input order*, no matter which
+//!    worker finished first.
+//! 2. **Per-task seed derivation**: [`derive_seed`] maps `(base_seed,
+//!    task_index)` to an independent seed through a SplitMix64-style hash,
+//!    so a task's randomness depends only on its index — never on which
+//!    thread ran it or what ran before it on the same thread.
+//!
+//! Together these make every caller's output **bit-identical at any thread
+//! count, including 1**. The experiment runners in `nfv-core` assert
+//! exactly that in their thread-count-invariance regression test.
+//!
+//! A task that panics does not deadlock the pool: the panic is caught,
+//! the remaining tasks still run, and the first panic (by task index) is
+//! reported as a [`TaskPanic`] error.
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_parallel::{derive_seed, par_map_indexed};
+//!
+//! let squares = par_map_indexed(4, (0u64..100).collect(), |i, x| {
+//!     let _seed = derive_seed(42, i as u64); // per-task RNG seed
+//!     x * x
+//! })
+//! .unwrap();
+//! assert_eq!(squares[7], 49); // input order, regardless of scheduling
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Error returned when one or more tasks panicked. The pool itself never
+/// deadlocks on a panic: every task still runs, and the panic with the
+/// smallest task index is reported (deterministically, so the error does
+/// not depend on scheduling either).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the first (lowest-index) panicking task.
+    pub index: usize,
+    /// The panic payload, if it was a string; `"<non-string panic>"`
+    /// otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// The golden-ratio increment of SplitMix64.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the seed of task `task_index` from `base_seed`: the
+/// `(task_index + 1)`-th output of a SplitMix64 stream seeded with
+/// `base_seed`.
+///
+/// Tasks seeded this way draw from independent, well-mixed streams — two
+/// adjacent indices share no low-bit structure, unlike the
+/// `base_seed + index` scheme it replaces (where `(base, i+1)` and
+/// `(base + 1, i)` collide). Experiment runners use it for per-trial RNGs
+/// so a trial's randomness is a pure function of `(base_seed, trial)`,
+/// independent of execution order.
+#[must_use]
+pub fn derive_seed(base_seed: u64, task_index: u64) -> u64 {
+    let mut z = base_seed.wrapping_add(task_index.wrapping_add(1).wrapping_mul(GOLDEN));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of hardware threads available to this process (at least 1).
+#[must_use]
+pub fn available_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Process-wide default thread count; `0` means "use
+/// [`available_threads`]".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide default worker count used by the experiment runners:
+/// [`available_threads`] unless overridden by [`set_default_threads`].
+#[must_use]
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => available_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the process-wide default worker count (the `figures` binary's
+/// `--threads` flag lands here). Passing `0` resets to
+/// [`available_threads`]. Because every consumer of the pool is
+/// thread-count invariant, changing this never changes any result — only
+/// wall-clock.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Maps `f` over `items` on a scoped pool of at most `threads` workers and
+/// returns the results **in input order**.
+///
+/// `f` receives `(input_index, item)`; derive any randomness from the
+/// index (see [`derive_seed`]), never from shared mutable state, and the
+/// output is bit-identical at any thread count. With `threads <= 1` (or a
+/// single item) no worker threads are spawned at all — the serial path and
+/// the parallel path produce identical results by construction.
+///
+/// Work is distributed dynamically (a shared queue, not static striping),
+/// so uneven task costs don't idle workers.
+///
+/// # Errors
+///
+/// Returns [`TaskPanic`] if any task panicked. All tasks run to completion
+/// regardless — a panic neither deadlocks the pool nor cancels the
+/// remaining tasks — and the lowest-index panic is the one reported.
+pub fn par_map_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Result<Vec<R>, TaskPanic>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        let mut results = Vec::with_capacity(n);
+        for (index, item) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    return Err(TaskPanic {
+                        index,
+                        message: panic_message(&*payload),
+                    })
+                }
+            }
+        }
+        return Ok(results);
+    }
+
+    let workers = threads.min(n);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (sender, receiver) = mpsc::channel::<(usize, Result<R, String>)>();
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<TaskPanic> = None;
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Never run user code while holding the queue lock: pop,
+                // release, compute.
+                let next = queue.lock().expect("task queue lock").pop_front();
+                let Some((index, item)) = next else { break };
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(index, item)))
+                    .map_err(|payload| panic_message(&*payload));
+                if sender.send((index, outcome)).is_err() {
+                    break; // receiver gone; nothing left to report to
+                }
+            });
+        }
+        drop(sender); // workers hold the remaining clones
+
+        // Exactly one message per task arrives; collecting until the
+        // channel closes (all workers done) cannot deadlock.
+        for (index, outcome) in receiver {
+            match outcome {
+                Ok(value) => slots[index] = Some(value),
+                Err(message) => {
+                    if first_panic.as_ref().is_none_or(|p| index < p.index) {
+                        first_panic = Some(TaskPanic { index, message });
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(panic) = first_panic {
+        return Err(panic);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every task sent exactly one result"))
+        .collect())
+}
+
+/// Maps `f` over `items` with the process-wide [`default_threads`] count.
+///
+/// # Errors
+///
+/// Returns [`TaskPanic`] exactly as [`par_map_indexed`] does.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>, TaskPanic>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_indexed(default_threads(), items, f)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_indexed(threads, items.clone(), |_, x| x * 3 + 1).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = par_map_indexed(4, vec!['a', 'b', 'c', 'd', 'e'], |i, c| (i, c)).unwrap();
+        assert_eq!(got, vec![(0, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (4, 'e')]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = par_map_indexed(8, Vec::<u32>::new(), |_, x| x).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn panic_is_reported_not_deadlocked() {
+        let err = par_map_indexed(4, (0..32).collect::<Vec<i32>>(), |_, x| {
+            assert!(x != 20, "boom at 20");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 20);
+        assert!(err.message.contains("boom at 20"), "{}", err.message);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_deterministically() {
+        for threads in [1, 2, 8] {
+            let err = par_map_indexed(threads, (0..64).collect::<Vec<i32>>(), |_, x| {
+                assert!(x % 10 != 3, "multiple panics");
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_between_tasks_and_bases() {
+        let a: Vec<u64> = (0..64).map(|i| derive_seed(1, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_seed(2, i)).collect();
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 128, "seed collision across tasks/bases");
+        // The old additive scheme collides: (base, i+1) == (base+1, i).
+        assert_ne!(derive_seed(1, 1), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one_and_overridable() {
+        assert!(default_threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_tasks() {
+        // Scoped workers may borrow from the caller — no 'static bound.
+        let base = [10u64, 20, 30];
+        let got = par_map_indexed(2, vec![0usize, 1, 2], |_, i| base[i] + 1).unwrap();
+        assert_eq!(got, vec![11, 21, 31]);
+    }
+}

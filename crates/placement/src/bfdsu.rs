@@ -83,38 +83,51 @@ impl Bfdsu {
 
     /// One full pass of Algorithm 1; `None` if some VNF could not be hosted
     /// (triggering a restart in [`Placer::place`]).
+    ///
+    /// The used and spare candidate lists are maintained incrementally in
+    /// ascending `(RST, id)` order across VNF steps — only the one node
+    /// whose capacity changed is repositioned per step — instead of
+    /// re-scanning and re-sorting every node for every VNF. Because `fits`
+    /// is monotone in the remaining capacity, the feasible candidates are
+    /// exactly a suffix of each sorted list, found by binary search. The
+    /// candidate order, the weight sums and the single RNG draw per step
+    /// are identical to the direct rescan formulation, so placements are
+    /// bit-for-bit unchanged (pinned by the `matches_rescan_reference`
+    /// test).
     fn attempt(&self, problem: &PlacementProblem, rng: &mut dyn RngCore) -> Option<Placement> {
         let order = vnfs_by_decreasing_demand(problem);
         let mut remaining = Remaining::new(problem);
-        let mut in_service = vec![false; problem.nodes().len()];
         let mut assignment = vec![NodeId::new(0); problem.vnfs().len()];
+
+        // Candidate pools sorted by ascending (RST, id) — Algorithm 1's
+        // `Prob_bound` order. Spare nodes keep their full capacity until
+        // first use, so `spare` only ever shrinks; `used` grows by one
+        // node per first use and has one node repositioned per step.
+        let mut used: Vec<NodeId> = Vec::with_capacity(problem.nodes().len());
+        let mut spare: Vec<NodeId> = problem.nodes().iter().map(|n| n.id()).collect();
+        spare.sort_by(|&a, &b| cmp_by_remaining(&remaining, a, b));
 
         for vnf in order {
             let demand = problem.demand_of(vnf).value();
             // Candidates: used nodes first; spare nodes only as a fallback.
-            let used: Vec<NodeId> = problem
-                .nodes()
-                .iter()
-                .map(|n| n.id())
-                .filter(|&n| in_service[n.as_usize()] && remaining.fits(n, demand))
-                .collect();
-            let candidates = if used.is_empty() {
-                problem
-                    .nodes()
-                    .iter()
-                    .map(|n| n.id())
-                    .filter(|&n| !in_service[n.as_usize()] && remaining.fits(n, demand))
-                    .collect()
+            let start_used = fitting_start(&used, &remaining, demand);
+            let (pool, start) = if start_used < used.len() {
+                (&mut used, start_used)
             } else {
-                used
+                let start_spare = fitting_start(&spare, &remaining, demand);
+                if start_spare >= spare.len() {
+                    return None; // go back to Begin
+                }
+                (&mut spare, start_spare)
             };
-            if candidates.is_empty() {
-                return None; // go back to Begin
-            }
-            let chosen = weighted_pick(&candidates, &remaining, demand, rng);
+            let picked = start + weighted_pick(&pool[start..], &remaining, demand, rng);
+            let chosen = pool.remove(picked);
             assignment[vnf.as_usize()] = chosen;
             remaining.consume(chosen, demand);
-            in_service[chosen.as_usize()] = true;
+            let pos = used
+                .binary_search_by(|&n| cmp_by_remaining(&remaining, n, chosen))
+                .expect_err("ids are unique, so the key cannot collide");
+            used.insert(pos, chosen);
         }
         Some(Placement::new(problem, assignment).expect("capacity tracked during construction"))
     }
@@ -140,39 +153,54 @@ impl Placer for Bfdsu {
     }
 }
 
+/// Total order on nodes by ascending `(RST, id)` — the key both candidate
+/// pools are kept sorted by.
+fn cmp_by_remaining(remaining: &Remaining, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+    remaining
+        .of(a)
+        .partial_cmp(&remaining.of(b))
+        .expect("capacities are finite")
+        .then(a.cmp(&b))
+}
+
+/// First index of `pool` (sorted ascending by `(RST, id)`) whose node can
+/// host `demand`. Because `Remaining::fits` is monotone in the remaining
+/// capacity, the feasible candidates are exactly `pool[start..]`.
+fn fitting_start(pool: &[NodeId], remaining: &Remaining, demand: f64) -> usize {
+    pool.partition_point(|&n| !remaining.fits(n, demand))
+}
+
 /// Samples a candidate with the paper's weights
 /// `P_rst(v) = 1/(1 + RST(v) − D_f^sum)`: the tighter the fit, the larger
-/// the weight. Candidates are sorted by ascending `RST` first, matching
-/// Algorithm 1's `Prob_bound` construction.
+/// the weight. `candidates` must already be sorted by ascending `(RST,
+/// id)`, matching Algorithm 1's `Prob_bound` construction; the index of
+/// the drawn candidate is returned. Exactly one uniform variate is
+/// consumed, and weights are accumulated in candidate order, so the draw
+/// is identical to the historical rescan-and-sort formulation.
 fn weighted_pick(
     candidates: &[NodeId],
     remaining: &Remaining,
     demand: f64,
     rng: &mut dyn RngCore,
-) -> NodeId {
+) -> usize {
     debug_assert!(!candidates.is_empty());
-    let mut sorted: Vec<NodeId> = candidates.to_vec();
-    sorted.sort_by(|&a, &b| {
-        remaining
-            .of(a)
-            .partial_cmp(&remaining.of(b))
-            .expect("capacities are finite")
-            .then(a.cmp(&b))
-    });
-    let weights: Vec<f64> = sorted
-        .iter()
-        .map(|&v| 1.0 / (1.0 + (remaining.of(v) - demand).max(0.0)))
-        .collect();
-    let prob_sum: f64 = weights.iter().sum();
+    debug_assert!(candidates
+        .windows(2)
+        .all(|w| cmp_by_remaining(remaining, w[0], w[1]).is_lt()));
+    let weight = |v: NodeId| 1.0 / (1.0 + (remaining.of(v) - demand).max(0.0));
+    // Two passes instead of a per-step weight buffer; both accumulate in
+    // candidate order, so the sums match the buffered formulation bit for
+    // bit.
+    let prob_sum: f64 = candidates.iter().map(|&v| weight(v)).sum();
     let xi = rng.gen_range(0.0..prob_sum);
     let mut bound = 0.0;
-    for (node, w) in sorted.iter().zip(&weights) {
-        bound += w;
+    for (index, &v) in candidates.iter().enumerate() {
+        bound += weight(v);
         if xi < bound {
-            return *node;
+            return index;
         }
     }
-    *sorted.last().expect("candidates are non-empty")
+    candidates.len() - 1
 }
 
 #[cfg(test)]
@@ -262,16 +290,102 @@ mod tests {
     fn weighted_pick_prefers_tight_fit() {
         let p = problem(&[100.0, 11.0], &[10.0]);
         let remaining = Remaining::new(&p);
-        let candidates = [NodeId::new(0), NodeId::new(1)];
+        // Sorted by ascending (RST, id): the tight node 1 comes first.
+        let candidates = [NodeId::new(1), NodeId::new(0)];
         let mut rng = StdRng::seed_from_u64(42);
         let picks_tight = (0..2000)
-            .filter(|_| weighted_pick(&candidates, &remaining, 10.0, &mut rng) == NodeId::new(1))
+            .filter(|_| weighted_pick(&candidates, &remaining, 10.0, &mut rng) == 0)
             .count();
         // Weight of node1 = 1/2, node0 = 1/91 -> node1 expected ~97.8%.
         assert!(
             picks_tight > 1800,
             "tight node picked only {picks_tight}/2000"
         );
+    }
+
+    /// The historical formulation of one Algorithm 1 pass: re-scan every
+    /// node and re-sort the candidates for every VNF. Kept verbatim as the
+    /// reference the incremental `attempt` must match draw for draw.
+    fn reference_attempt(problem: &PlacementProblem, rng: &mut StdRng) -> Option<Placement> {
+        let order = vnfs_by_decreasing_demand(problem);
+        let mut remaining = Remaining::new(problem);
+        let mut in_service = vec![false; problem.nodes().len()];
+        let mut assignment = vec![NodeId::new(0); problem.vnfs().len()];
+
+        for vnf in order {
+            let demand = problem.demand_of(vnf).value();
+            let used: Vec<NodeId> = problem
+                .nodes()
+                .iter()
+                .map(|n| n.id())
+                .filter(|&n| in_service[n.as_usize()] && remaining.fits(n, demand))
+                .collect();
+            let mut candidates = if used.is_empty() {
+                problem
+                    .nodes()
+                    .iter()
+                    .map(|n| n.id())
+                    .filter(|&n| !in_service[n.as_usize()] && remaining.fits(n, demand))
+                    .collect()
+            } else {
+                used
+            };
+            if candidates.is_empty() {
+                return None;
+            }
+            candidates.sort_by(|&a, &b| cmp_by_remaining(&remaining, a, b));
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&v| 1.0 / (1.0 + (remaining.of(v) - demand).max(0.0)))
+                .collect();
+            let prob_sum: f64 = weights.iter().sum();
+            let xi = rand::Rng::gen_range(rng, 0.0..prob_sum);
+            let mut bound = 0.0;
+            let mut chosen = *candidates.last().unwrap();
+            for (node, w) in candidates.iter().zip(&weights) {
+                bound += w;
+                if xi < bound {
+                    chosen = *node;
+                    break;
+                }
+            }
+            assignment[vnf.as_usize()] = chosen;
+            remaining.consume(chosen, demand);
+            in_service[chosen.as_usize()] = true;
+        }
+        Some(Placement::new(problem, assignment).expect("capacity tracked during construction"))
+    }
+
+    #[test]
+    fn matches_rescan_reference() {
+        // Random instances across fills and sizes: the incremental pools
+        // must reproduce the reference's placements (and restart counts)
+        // bit for bit, because both consume one uniform draw per VNF step
+        // over identically ordered and weighted candidates.
+        let mut gen = StdRng::seed_from_u64(0xB5D5);
+        for trial in 0..40 {
+            let nodes = 2 + (rand::Rng::gen_range(&mut gen, 0..8)) as usize;
+            let vnfs = 3 + (rand::Rng::gen_range(&mut gen, 0..10)) as usize;
+            let caps: Vec<f64> = (0..nodes)
+                .map(|_| rand::Rng::gen_range(&mut gen, 50.0..150.0))
+                .collect();
+            let demands: Vec<f64> = (0..vnfs)
+                .map(|_| rand::Rng::gen_range(&mut gen, 5.0..60.0))
+                .collect();
+            let p = problem(&caps, &demands);
+            for seed in 0..3 {
+                let incremental = Bfdsu::new()
+                    .with_max_attempts(50)
+                    .place(&p, &mut StdRng::seed_from_u64(seed));
+                let mut reference_rng = StdRng::seed_from_u64(seed);
+                let reference =
+                    run_with_restarts(&p, 50, || reference_attempt(&p, &mut reference_rng));
+                assert_eq!(
+                    incremental, reference,
+                    "trial {trial} seed {seed} diverged from the reference"
+                );
+            }
+        }
     }
 
     #[test]

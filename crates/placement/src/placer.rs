@@ -15,7 +15,12 @@ use crate::{Placement, PlacementError, PlacementProblem};
 /// paper's *iterations* metric (Fig. 10). Deterministic single-pass
 /// algorithms report 1 iteration; randomized algorithms restart on failure
 /// and report how many attempts the first feasible solution needed.
-pub trait Placer {
+///
+/// `Send + Sync` is a supertrait so boxed placers can be shared across
+/// the deterministic worker pool (`nfv-parallel`) that runs experiment
+/// trials in parallel; implementations are stateless value types, so this
+/// costs nothing.
+pub trait Placer: Send + Sync {
     /// A short stable name for reports ("bfdsu", "ffd", …).
     fn name(&self) -> &'static str;
 

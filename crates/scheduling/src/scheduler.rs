@@ -10,7 +10,11 @@ use crate::{Schedule, SchedulingError};
 /// Implementations are deterministic functions of their input — the paper's
 /// schedulers have no internal randomness — which keeps experiment sweeps
 /// reproducible without threading RNGs through this phase.
-pub trait Scheduler {
+///
+/// `Send + Sync` is a supertrait so boxed schedulers can be shared across
+/// the deterministic worker pool (`nfv-parallel`) that runs experiment
+/// trials in parallel.
+pub trait Scheduler: Send + Sync {
     /// A short stable name for reports ("rckk", "cga", …).
     fn name(&self) -> &'static str;
 

@@ -64,6 +64,19 @@ impl SimConfig {
     pub fn requests(&self) -> &[RequestSpec] {
         &self.requests
     }
+
+    /// Returns a copy of this configuration with a different measurement
+    /// window. Used to split one long run into independent replications
+    /// that execute concurrently; a zero `target_deliveries` is clamped to
+    /// one so the copy stays valid.
+    #[must_use]
+    pub fn with_window(&self, target_deliveries: u64, warmup_deliveries: u64) -> Self {
+        Self {
+            target_deliveries: target_deliveries.max(1),
+            warmup_deliveries,
+            ..self.clone()
+        }
+    }
 }
 
 /// Builder for [`SimConfig`].

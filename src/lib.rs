@@ -60,3 +60,8 @@ pub use nfv_sim as sim;
 /// Online control plane: churn-driven dispatch, admission control and
 /// bounded re-optimization.
 pub use nfv_controller as controller;
+
+/// Deterministic worker pool: order-preserving parallel map and
+/// `(base seed, task index)` seed derivation, so experiment sweeps are
+/// bit-identical at any thread count.
+pub use nfv_parallel as parallel;

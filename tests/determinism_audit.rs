@@ -8,9 +8,10 @@
 //! library source (`crates/*/src` and the facade's `src/`) and fails on
 //! any use of `std::time::Instant::now`, `SystemTime`, or `thread_rng`.
 //!
-//! Deliberately out of scope: `tests/` and `benches/` (timing *around* a
-//! deterministic computation is fine — `tests/scale.rs` and the criterion
-//! harness do exactly that) and the vendored shims under `vendor/`.
+//! Deliberately out of scope: `tests/`, `benches/` and `src/bin/` CLI
+//! entry points (timing *around* a deterministic computation is fine —
+//! `tests/scale.rs`, the criterion harness and `figures bench` do exactly
+//! that) and the vendored shims under `vendor/`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -22,6 +23,11 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in entries {
         let path = entry.expect("directory entry").path();
         if path.is_dir() {
+            // CLI entry points may time around deterministic computations
+            // (`figures bench`); everything they call is still audited.
+            if path.file_name().is_some_and(|name| name == "bin") {
+                continue;
+            }
             rust_sources(&path, out);
         } else if path.extension().is_some_and(|ext| ext == "rs") {
             out.push(path);
