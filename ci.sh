@@ -17,7 +17,13 @@ cargo test -q --workspace
 echo "== thread-count invariance (experiment results at 1/2/8 threads) =="
 cargo test -q -p nfv-core --test thread_invariance
 
+echo "== queueing formula guards (rho >= 1 stays an error, never a number) =="
+cargo test -q -p nfv-queueing rho_
+
 echo "== cargo build --release =="
 cargo build --release
+
+echo "== churn figure (joint re-placement must beat scheduling-only when saturated) =="
+cargo run -q --release -p nfv-bench --bin figures -- churn
 
 echo "ci: all green"

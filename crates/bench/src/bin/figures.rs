@@ -163,27 +163,44 @@ fn run(options: &Options) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Times every figure once at one thread and once at the configured
-/// count and writes `BENCH_pipeline.json` with the wall-clock per figure.
+/// Times every figure once at one thread and — when the host actually has
+/// more than one worker — once at the configured count, then writes
+/// `BENCH_pipeline.json` with the wall-clock per figure. On a single-core
+/// host the parallel pass is skipped and recorded as `null`: re-running
+/// the same serial workload and labelling it "parallel" would fabricate a
+/// speedup of exactly 1.0 from two identical runs.
 fn run_bench(options: &Options) -> Result<(), CoreError> {
     let threads = options.threads.unwrap_or_else(available_threads);
     let mut serial = Vec::with_capacity(ALL_COMMANDS.len());
-    let mut parallel = Vec::with_capacity(ALL_COMMANDS.len());
-    for (label, count, timings) in [
-        ("1 thread", 1usize, &mut serial),
-        ("threads", threads, &mut parallel),
-    ] {
-        set_default_threads(count);
+    set_default_threads(1);
+    for command in ALL_COMMANDS {
+        let started = Instant::now();
+        dispatch(command, options)?;
+        let seconds = started.elapsed().as_secs_f64();
+        println!("bench: {command} at 1 thread: {seconds:.3}s");
+        serial.push(seconds);
+    }
+    let parallel = if threads > 1 {
+        let mut timings = Vec::with_capacity(ALL_COMMANDS.len());
+        set_default_threads(threads);
         for command in ALL_COMMANDS {
             let started = Instant::now();
             dispatch(command, options)?;
             let seconds = started.elapsed().as_secs_f64();
-            println!("bench: {command} at {label}: {seconds:.3}s");
+            println!("bench: {command} at {threads} threads: {seconds:.3}s");
             timings.push(seconds);
         }
-    }
+        Some(timings)
+    } else {
+        println!(
+            "bench: only one worker available ({} host cores); skipping the parallel pass",
+            available_threads()
+        );
+        None
+    };
     set_default_threads(0);
 
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.6}"));
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"host_threads\": {},", available_threads());
@@ -196,24 +213,36 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         let comma = if i + 1 < ALL_COMMANDS.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{command}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}}}{comma}",
-            serial[i], parallel[i]
+            "    {{\"name\": \"{command}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {}}}{comma}",
+            serial[i],
+            fmt_opt(parallel.as_ref().map(|p| p[i])),
         );
     }
     let _ = writeln!(json, "  ],");
     let total_serial: f64 = serial.iter().sum();
-    let total_parallel: f64 = parallel.iter().sum();
+    let total_parallel = parallel.as_ref().map(|p| p.iter().sum::<f64>());
     let _ = writeln!(json, "  \"total_serial_seconds\": {total_serial:.6},");
-    let _ = writeln!(json, "  \"total_parallel_seconds\": {total_parallel:.6}");
+    let _ = writeln!(
+        json,
+        "  \"total_parallel_seconds\": {}",
+        fmt_opt(total_parallel)
+    );
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_pipeline.json", &json).map_err(|_| CoreError::Inconsistent {
         reason: "cannot write BENCH_pipeline.json",
     })?;
-    println!(
-        "bench: total {total_serial:.3}s at 1 thread, {total_parallel:.3}s at {threads} \
-         threads ({} host cores); written to BENCH_pipeline.json",
-        available_threads()
-    );
+    match total_parallel {
+        Some(total_parallel) => println!(
+            "bench: total {total_serial:.3}s at 1 thread, {total_parallel:.3}s at {threads} \
+             threads ({} host cores); written to BENCH_pipeline.json",
+            available_threads()
+        ),
+        None => println!(
+            "bench: total {total_serial:.3}s at 1 thread, parallel pass skipped \
+             ({} host cores); written to BENCH_pipeline.json",
+            available_threads()
+        ),
+    }
     Ok(())
 }
 
@@ -507,6 +536,40 @@ fn print_churn(out: &mut String, seed: u64) -> Result<(), CoreError> {
          with {:.1}% of the oracle's migrations",
         (online.mean_latency - reopt.mean_latency) / online.mean_latency * 100.0,
         reopt.migrated() as f64 / oracle.migrated() as f64 * 100.0,
+    );
+
+    // At ~3x the frozen fleet's capacity, request scheduling alone cannot
+    // help; only the joint policy (bounded BFDSU re-placement) can.
+    let point = churn::ChurnPoint::saturated();
+    let _ = writeln!(
+        out,
+        "== Churn (saturated) - offered load ~3x the frozen fleet \
+         ({:.1}/s churn arrivals, ticks every {:.0}s, fill {:.2}) ==",
+        point.arrival_rate, point.tick_period, point.fill
+    );
+    let comparison = churn::run(&point, seed)?;
+    let _ = write!(out, "{}", comparison.to_table());
+    let reopt = &comparison
+        .outcome("periodic-reopt")
+        .expect("policy ran")
+        .report;
+    let joint = &comparison
+        .outcome("joint-reopt")
+        .expect("policy ran")
+        .report;
+    let _ = writeln!(
+        out,
+        "shape check: joint-reopt cuts mean W by {:.1}% vs periodic-reopt \
+         and rejects {:.1}% vs {:.1}%, using {} instance ops \
+         ({} added, {} retired, {} relocated) over {} re-placements",
+        (reopt.mean_latency - joint.mean_latency) / reopt.mean_latency * 100.0,
+        joint.rejection_rate() * 100.0,
+        reopt.rejection_rate() * 100.0,
+        joint.instance_ops(),
+        joint.instances_added,
+        joint.instances_retired,
+        joint.relocations,
+        joint.replaces_applied,
     );
     Ok(())
 }

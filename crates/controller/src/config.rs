@@ -56,6 +56,53 @@ impl ReoptConfig {
     }
 }
 
+/// Bounds on the placement re-optimization (re-placement) phase: on each
+/// tick the controller may grow or shrink per-VNF instance counts toward a
+/// ρ-headroom target and relocate instances via the incremental BFDSU
+/// delta-placement, all under a per-tick operation budget `K`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplaceConfig {
+    /// High watermark: a VNF grows when its balanced per-instance
+    /// utilization `Λ_f / (m_f · μ_f)` exceeds this, targeting the
+    /// smallest count that brings it back under (`⌈Λ/(headroom·μ)⌉`).
+    pub headroom: f64,
+    /// Low watermark: a VNF shrinks only when its balanced per-instance
+    /// utilization falls below this *and* fewer instances would still keep
+    /// it under `headroom`. The gap between the watermarks is the
+    /// hysteresis band that prevents grow/shrink flapping.
+    pub shrink_headroom: f64,
+    /// Per-tick budget `K` on instance operations: every instance added,
+    /// every instance retired and every instance relocated to another node
+    /// costs one unit.
+    pub max_instance_ops: usize,
+    /// Hysteresis on plans that add instances or relocate them: the
+    /// balanced predicted-latency gain must be at least this relative
+    /// fraction, or the whole plan is aborted. Pure-shrink plans are
+    /// exempt (they trade latency for capacity by design, gated by the low
+    /// watermark instead).
+    pub min_gain: f64,
+    /// Seed for the per-tick delta-placement RNG. Each tick draws from
+    /// `StdRng::seed_from_u64(seed ^ tick_count)`, so runs are
+    /// bit-identical at any thread count.
+    pub seed: u64,
+}
+
+impl ReplaceConfig {
+    /// A bounded default: grow above 90% balanced utilization, shrink
+    /// below 50%, at most 6 instance operations per tick, 1% minimum
+    /// predicted gain.
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self {
+            headroom: 0.9,
+            shrink_headroom: 0.5,
+            max_instance_ops: 6,
+            min_gain: 0.01,
+            seed: 0xC1A0,
+        }
+    }
+}
+
 /// Complete controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ControllerConfig {
@@ -66,6 +113,11 @@ pub struct ControllerConfig {
     ///
     /// [`ReoptimizeTick`]: nfv_workload::churn::ChurnEvent::ReoptimizeTick
     pub reopt: Option<ReoptConfig>,
+    /// Placement re-optimization policy; `None` keeps the instance counts
+    /// and node mapping frozen at `t = 0` (scheduling-only ticks). Takes
+    /// effect only when the controller was built with a cluster
+    /// ([`Controller::with_cluster`](crate::Controller::with_cluster)).
+    pub replace: Option<ReplaceConfig>,
 }
 
 impl ControllerConfig {
@@ -76,6 +128,7 @@ impl ControllerConfig {
         Self {
             shed: ShedPolicy::RejectArrival,
             reopt: None,
+            replace: None,
         }
     }
 
@@ -86,6 +139,7 @@ impl ControllerConfig {
         Self {
             shed: ShedPolicy::RejectArrival,
             reopt: Some(ReoptConfig::bounded()),
+            replace: None,
         }
     }
 
@@ -96,6 +150,20 @@ impl ControllerConfig {
         Self {
             shed: ShedPolicy::RejectArrival,
             reopt: Some(ReoptConfig::oracle()),
+            replace: None,
+        }
+    }
+
+    /// Joint re-optimization: bounded RCKK scheduling *and* bounded BFDSU
+    /// re-placement on every tick ([`ReoptConfig::bounded`] +
+    /// [`ReplaceConfig::bounded`]) — the online analogue of the paper's
+    /// joint placement-and-scheduling pipeline.
+    #[must_use]
+    pub fn joint_reopt() -> Self {
+        Self {
+            shed: ShedPolicy::RejectArrival,
+            reopt: Some(ReoptConfig::bounded()),
+            replace: Some(ReplaceConfig::bounded()),
         }
     }
 }
@@ -137,6 +205,22 @@ mod tests {
         let oracle = ControllerConfig::offline_oracle().reopt.unwrap();
         assert_eq!(oracle.min_gain, 0.0);
         assert_eq!(oracle.max_migrations, usize::MAX);
+    }
+
+    #[test]
+    fn joint_preset_adds_replacement_on_top_of_periodic() {
+        let joint = ControllerConfig::joint_reopt();
+        assert_eq!(joint.reopt, ControllerConfig::periodic_reopt().reopt);
+        let replace = joint.replace.unwrap();
+        assert!(
+            replace.shrink_headroom < replace.headroom,
+            "hysteresis band"
+        );
+        assert!(replace.headroom < 1.0, "grow before saturation");
+        assert!(replace.max_instance_ops >= 1);
+        // The scheduling-only presets never re-place.
+        assert_eq!(ControllerConfig::periodic_reopt().replace, None);
+        assert_eq!(ControllerConfig::offline_oracle().replace, None);
     }
 
     #[test]

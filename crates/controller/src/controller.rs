@@ -3,12 +3,17 @@
 use std::collections::BTreeMap;
 
 use nfv_metrics::{Histogram, SampleSet};
-use nfv_model::{Request, RequestId, VnfId};
+use nfv_model::{ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
+use nfv_placement::{Bfdsu, Placement, PlacementProblem};
 use nfv_scheduling::{Rckk, Scheduler};
 use nfv_workload::churn::{ChurnEvent, ChurnTrace, TimedEvent};
 use nfv_workload::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use crate::{ControllerConfig, ControllerReport, ControllerState, RejectReason, ShedPolicy};
+use crate::{
+    ControllerConfig, ControllerError, ControllerReport, ControllerState, RejectReason, ShedPolicy,
+};
 
 /// What the controller did with one event.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,10 +40,19 @@ pub enum EventOutcome {
     },
     /// An instance came (back) up.
     InstanceUpHandled,
-    /// A re-optimization pass ran and applied its (bounded) plan.
+    /// A re-optimization pass ran and applied its (bounded) plan — request
+    /// migrations from the scheduling phase and, under
+    /// [`ReplaceConfig`](crate::ReplaceConfig), instance operations from
+    /// the re-placement phase.
     Reoptimized {
-        /// Requests actually moved.
+        /// Requests actually moved by the scheduling phase.
         migrations: u64,
+        /// Instances added by the re-placement phase.
+        instances_added: u64,
+        /// Instances retired by the re-placement phase.
+        instances_retired: u64,
+        /// Instances relocated to another node by the re-placement phase.
+        relocations: u64,
     },
     /// A tick was observed but hysteresis found too little predicted gain.
     TickSkipped,
@@ -54,9 +68,26 @@ struct Counters {
     shed: u64,
     migrated_failover: u64,
     migrated_reopt: u64,
+    migrated_replace: u64,
     ticks: u64,
     reopts_applied: u64,
     reopts_skipped: u64,
+    instances_added: u64,
+    instances_retired: u64,
+    relocations: u64,
+    replaces_applied: u64,
+    replaces_aborted: u64,
+}
+
+/// The physical substrate the controller re-places over: the node fleet,
+/// the scenario's VNF prototypes (per-instance demand and service rate,
+/// used to rebuild [`PlacementProblem`]s with live instance counts) and the
+/// current VNF→node assignment.
+#[derive(Debug, Clone, PartialEq)]
+struct Cluster {
+    nodes: Vec<ComputeNode>,
+    protos: Vec<Vnf>,
+    assignment: Vec<NodeId>,
 }
 
 /// An online NFV control plane over one scenario.
@@ -108,6 +139,7 @@ pub struct Controller {
     latency_samples: SampleSet,
     utilization_samples: SampleSet,
     snapshots: Vec<ControllerReport>,
+    cluster: Option<Cluster>,
 }
 
 impl Controller {
@@ -125,7 +157,55 @@ impl Controller {
             latency_samples: SampleSet::new(),
             utilization_samples: SampleSet::new(),
             snapshots: Vec::new(),
+            cluster: None,
         }
+    }
+
+    /// Creates a controller that also knows the physical cluster: the node
+    /// fleet and the initial VNF→node placement. Required for the
+    /// re-placement phase ([`ReplaceConfig`](crate::ReplaceConfig)); without
+    /// a cluster that phase is silently disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::ClusterMismatch`] when the placement does not
+    /// cover exactly the scenario's VNF set or does not fit the node fleet.
+    pub fn with_cluster(
+        scenario: &Scenario,
+        nodes: Vec<ComputeNode>,
+        placement: &Placement,
+        config: ControllerConfig,
+    ) -> Result<Self, ControllerError> {
+        let protos = scenario.vnfs().to_vec();
+        if placement.assignment().len() != protos.len() {
+            return Err(ControllerError::ClusterMismatch {
+                reason: "placement covers a different VNF set",
+            });
+        }
+        let problem = PlacementProblem::new(nodes.clone(), protos.clone()).map_err(|_| {
+            ControllerError::ClusterMismatch {
+                reason: "node fleet and VNF set do not form a valid problem",
+            }
+        })?;
+        Placement::new(&problem, placement.assignment().to_vec()).map_err(|_| {
+            ControllerError::ClusterMismatch {
+                reason: "placement does not fit the node fleet",
+            }
+        })?;
+        let mut controller = Self::new(scenario, config);
+        controller.cluster = Some(Cluster {
+            nodes,
+            protos,
+            assignment: placement.assignment().to_vec(),
+        });
+        Ok(controller)
+    }
+
+    /// The current VNF→node assignment, when the controller was built with
+    /// a cluster ([`Controller::with_cluster`]); indexed by `VnfId`.
+    #[must_use]
+    pub fn cluster_assignment(&self) -> Option<&[NodeId]> {
+        self.cluster.as_ref().map(|c| c.assignment.as_slice())
     }
 
     /// The live ledger.
@@ -220,9 +300,15 @@ impl Controller {
             shed: self.counters.shed,
             migrated_failover: self.counters.migrated_failover,
             migrated_reopt: self.counters.migrated_reopt,
+            migrated_replace: self.counters.migrated_replace,
             ticks: self.counters.ticks,
             reopts_applied: self.counters.reopts_applied,
             reopts_skipped: self.counters.reopts_skipped,
+            instances_added: self.counters.instances_added,
+            instances_retired: self.counters.instances_retired,
+            relocations: self.counters.relocations,
+            replaces_applied: self.counters.replaces_applied,
+            replaces_aborted: self.counters.replaces_aborted,
             active: self.active.len() as u64,
             mean_latency: if self.clock > 0.0 {
                 self.latency_integral / self.clock
@@ -434,10 +520,41 @@ impl Controller {
         (selected, current)
     }
 
+    /// A re-optimization tick. The re-placement phase (when configured and
+    /// a cluster is known) runs first, so freshly added instances are
+    /// available to the scheduling phase within the same tick; the
+    /// scheduling phase then re-balances the live request set over the
+    /// instances that now exist.
     fn tick(&mut self) -> EventOutcome {
         self.counters.ticks += 1;
-        let Some(reopt) = self.config.reopt else {
+        let replacing = self.config.replace.is_some() && self.cluster.is_some();
+        if self.config.reopt.is_none() && !replacing {
             return EventOutcome::TickIgnored;
+        }
+        let (instances_added, instances_retired, relocations) = if replacing {
+            self.replace_phase()
+        } else {
+            (0, 0, 0)
+        };
+        let migrations = self.reopt_phase();
+        if migrations + instances_added + instances_retired + relocations == 0 {
+            EventOutcome::TickSkipped
+        } else {
+            EventOutcome::Reoptimized {
+                migrations,
+                instances_added,
+                instances_retired,
+                relocations,
+            }
+        }
+    }
+
+    /// The scheduling phase of a tick: re-run RCKK on the live request set
+    /// and apply a bounded, hysteresis-gated slice of the plan. Returns the
+    /// number of requests moved.
+    fn reopt_phase(&mut self) -> u64 {
+        let Some(reopt) = self.config.reopt else {
+            return 0;
         };
 
         // Re-run RCKK per VNF on the live request set (raw external rates,
@@ -481,7 +598,7 @@ impl Controller {
         }
         if moves.is_empty() {
             self.counters.reopts_skipped += 1;
-            return EventOutcome::TickSkipped;
+            return 0;
         }
 
         // Bound the plan. When the budget covers the whole plan, adopt it
@@ -507,7 +624,7 @@ impl Controller {
         };
         if moves.is_empty() {
             self.counters.reopts_skipped += 1;
-            return EventOutcome::TickSkipped;
+            return 0;
         }
 
         // Hysteresis: the selected moves must promise a relative
@@ -516,7 +633,7 @@ impl Controller {
         let gain = if now > 0.0 { (now - after) / now } else { 0.0 };
         if gain < reopt.min_gain {
             self.counters.reopts_skipped += 1;
-            return EventOutcome::TickSkipped;
+            return 0;
         }
 
         // Apply the plan verbatim. The previewed end state is exactly what
@@ -534,8 +651,238 @@ impl Controller {
         let migrations = moves.len() as u64;
         self.counters.migrated_reopt += migrations;
         self.counters.reopts_applied += 1;
-        EventOutcome::Reoptimized { migrations }
+        migrations
     }
+
+    /// The re-placement phase of a tick: bounded BFDSU delta-placement over
+    /// live per-VNF rates. Computes ρ-headroom instance-count targets,
+    /// previews the plan (retirements with drains, additions, relocations)
+    /// on a cloned ledger under the per-tick op budget `K`, gates plans
+    /// that add or relocate instances on a balanced predicted-latency gain,
+    /// and commits the preview atomically. Returns
+    /// `(instances_added, instances_retired, relocations)`.
+    #[allow(clippy::too_many_lines)]
+    fn replace_phase(&mut self) -> (u64, u64, u64) {
+        let rc = self.config.replace.expect("caller checked replace config");
+        let mut cluster = self.cluster.clone().expect("caller checked cluster");
+
+        // Phase 1: ρ-headroom targets from live inflated rates, turned
+        // into unit grow/shrink candidates. Grows are ranked by overload
+        // ratio (descending, id ascending on ties); shrinks follow in id
+        // order. The combined list is truncated to the budget `K`.
+        let mut grow_candidates: Vec<(f64, VnfId)> = Vec::new();
+        let mut shrinks: Vec<VnfId> = Vec::new();
+        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+            let m = self.state.instances(vnf);
+            if m == 0 {
+                continue;
+            }
+            let mu = self.state.service_rate(vnf).expect("vnf exists").value();
+            let lambda = self.state.total_sum(vnf);
+            let needed = {
+                let raw = (lambda / (rc.headroom * mu)).ceil();
+                if raw.is_finite() && raw >= 1.0 {
+                    raw as usize
+                } else {
+                    1
+                }
+            };
+            let ratio = lambda / (m as f64 * mu);
+            if needed > m {
+                for _ in m..needed {
+                    grow_candidates.push((ratio, vnf));
+                }
+            } else if m > needed && ratio < rc.shrink_headroom {
+                for _ in needed..m {
+                    shrinks.push(vnf);
+                }
+            }
+        }
+        grow_candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut grows: Vec<VnfId> = grow_candidates.into_iter().map(|(_, v)| v).collect();
+        if grows.len() >= rc.max_instance_ops {
+            grows.truncate(rc.max_instance_ops);
+            shrinks.clear();
+        } else {
+            shrinks.truncate(rc.max_instance_ops - grows.len());
+        }
+        if grows.is_empty() && shrinks.is_empty() {
+            return (0, 0, 0);
+        }
+
+        // Phase 2: preview retirements. Each shrink drains the VNF's last
+        // instance onto the least-loaded accepting sibling; when any
+        // member fits nowhere the shrink is cancelled and the drained
+        // members are put back (the ledger recomputes sums from its member
+        // maps, so the restore is bit-for-bit).
+        let mut preview = self.state.clone();
+        let mut applied_shrinks: Vec<VnfId> = Vec::new();
+        let mut drained_total = 0u64;
+        for &vnf in &shrinks {
+            let retiring = preview.instances(vnf) - 1;
+            let mut drained: Vec<RequestId> = Vec::new();
+            let mut ok = true;
+            for id in preview.members_of(vnf, retiring) {
+                let request = self.active.get(&id).expect("ledger member is active");
+                let (rate, delivery) = (request.arrival_rate(), request.delivery());
+                preview.remove_request(vnf, id);
+                let target = (0..preview.instances(vnf))
+                    .filter(|&k| k != retiring && preview.is_up(vnf, k))
+                    .filter(|&k| preview.can_accept(vnf, k, rate, delivery))
+                    .min_by(|&a, &b| {
+                        preview
+                            .instance_sum(vnf, a)
+                            .total_cmp(&preview.instance_sum(vnf, b))
+                            .then(a.cmp(&b))
+                    });
+                match target {
+                    Some(k) => {
+                        preview
+                            .add_request(vnf, k, id, rate, delivery)
+                            .expect("sibling accepted the drain");
+                        drained.push(id);
+                    }
+                    None => {
+                        preview
+                            .add_request(vnf, retiring, id, rate, delivery)
+                            .expect("origin was just vacated");
+                        for &did in &drained {
+                            let r = self.active.get(&did).expect("ledger member is active");
+                            preview.remove_request(vnf, did);
+                            preview
+                                .add_request(vnf, retiring, did, r.arrival_rate(), r.delivery())
+                                .expect("origin held this request before the drain");
+                        }
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                drained_total += drained.len() as u64;
+                preview
+                    .retire_instance(vnf)
+                    .expect("retiring instance was drained and is not the last");
+                applied_shrinks.push(vnf);
+            }
+        }
+
+        // Phase 3: feasibility of the grown fleet on the physical cluster.
+        // If the desired counts fit on the current assignment, nothing
+        // relocates; otherwise the incremental BFDSU repacks, and the plan
+        // must still fit the op budget (each relocation costs one unit) —
+        // when it does not, the lowest-priority grow is dropped and the
+        // fit is retried. The per-tick RNG is derived from the tick count,
+        // so runs are bit-identical at any thread count.
+        let mut rng = StdRng::seed_from_u64(rc.seed ^ self.counters.ticks);
+        let build_vnfs = |protos: &[Vnf], count_of: &dyn Fn(VnfId) -> usize| -> Vec<Vnf> {
+            protos
+                .iter()
+                .map(|p| {
+                    Vnf::builder(p.id(), p.kind())
+                        .demand_per_instance(p.demand_per_instance())
+                        .instances(count_of(p.id()) as u32)
+                        .service_rate(p.service_rate())
+                        .build()
+                        .expect("instance counts stay >= 1")
+                })
+                .collect()
+        };
+        let (assignment, relocated) = loop {
+            let grown = build_vnfs(&cluster.protos, &|id| {
+                preview.instances(id) + grows.iter().filter(|&&g| g == id).count()
+            });
+            let Ok(problem) = PlacementProblem::new(cluster.nodes.clone(), grown) else {
+                if grows.pop().is_none() {
+                    break (cluster.assignment.clone(), Vec::new());
+                }
+                continue;
+            };
+            if fits_in_place(&problem, &cluster.assignment) {
+                break (cluster.assignment.clone(), Vec::new());
+            }
+            let current = build_vnfs(&cluster.protos, &|id| preview.instances(id));
+            let prior = PlacementProblem::new(cluster.nodes.clone(), current)
+                .ok()
+                .and_then(|p| Placement::new(&p, cluster.assignment.clone()).ok())
+                .expect("the live assignment is valid for the live counts");
+            match Bfdsu::new().place_delta(&problem, &prior, &mut rng) {
+                Ok(delta)
+                    if applied_shrinks.len() + grows.len() + delta.moved().len()
+                        <= rc.max_instance_ops =>
+                {
+                    let moved = delta.moved().to_vec();
+                    break (delta.into_placement().assignment().to_vec(), moved);
+                }
+                _ => {
+                    if grows.pop().is_none() {
+                        break (cluster.assignment.clone(), Vec::new());
+                    }
+                }
+            }
+        };
+        if grows.is_empty() && applied_shrinks.is_empty() && relocated.is_empty() {
+            return (0, 0, 0);
+        }
+
+        // Phase 4: hysteresis. Plans that add or relocate instances must
+        // promise a balanced predicted-latency gain of at least `min_gain`
+        // or the whole plan (retirements included) is aborted; pure-shrink
+        // plans are exempt — they trade latency for capacity by design,
+        // gated by the low watermark instead.
+        for &vnf in &grows {
+            preview.add_instance(vnf).expect("vnf exists");
+        }
+        if !grows.is_empty() || !relocated.is_empty() {
+            let now = self.state.balanced_latency();
+            let after = preview.balanced_latency();
+            let gain = if now.is_infinite() {
+                // Escaping a saturated configuration is always worth it.
+                if after.is_finite() {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if now > 0.0 {
+                (now - after) / now
+            } else {
+                0.0
+            };
+            if gain < rc.min_gain {
+                self.counters.replaces_aborted += 1;
+                return (0, 0, 0);
+            }
+        }
+
+        // Phase 5: commit — the previewed ledger becomes the live state
+        // and the cluster adopts the (possibly repacked) assignment.
+        let added = grows.len() as u64;
+        let retired = applied_shrinks.len() as u64;
+        let moved = relocated.len() as u64;
+        self.state = preview;
+        cluster.assignment = assignment;
+        self.cluster = Some(cluster);
+        self.counters.migrated_replace += drained_total;
+        self.counters.instances_added += added;
+        self.counters.instances_retired += retired;
+        self.counters.relocations += moved;
+        self.counters.replaces_applied += 1;
+        (added, retired, moved)
+    }
+}
+
+/// Whether every node's demand under `assignment` stays within capacity
+/// (same tolerance as the placement validator).
+fn fits_in_place(problem: &PlacementProblem, assignment: &[NodeId]) -> bool {
+    let mut load = vec![0.0f64; problem.nodes().len()];
+    for (vnf, &node) in problem.vnfs().iter().zip(assignment) {
+        load[node.as_usize()] += vnf.total_demand().value();
+    }
+    problem
+        .nodes()
+        .iter()
+        .zip(&load)
+        .all(|(node, &demand)| demand <= node.capacity().value() * (1.0 + 1e-9) + 1e-9)
 }
 
 #[cfg(test)]
@@ -690,6 +1037,7 @@ mod tests {
             ControllerConfig {
                 shed: ShedPolicy::EvictLargest,
                 reopt: None,
+                replace: None,
             },
         );
         let m = vnf.instances() as usize;
@@ -716,6 +1064,140 @@ mod tests {
         assert_eq!(report.shed, 1);
         assert_eq!(report.admitted, m as u64 + 1);
         assert!(controller.state().home_of(vnf.id(), small.id()).is_some());
+    }
+
+    /// A fleet where each node can hold everything twice over, so instance
+    /// growth never forces a repack in these tests.
+    fn big_cluster(s: &Scenario) -> (Vec<ComputeNode>, Placement) {
+        use nfv_model::Capacity;
+        use nfv_placement::Placer;
+        let total: f64 = s.vnfs().iter().map(|v| v.total_demand().value()).sum();
+        let nodes: Vec<ComputeNode> = (0..4)
+            .map(|i| ComputeNode::new(NodeId::new(i), Capacity::new(total * 2.0).unwrap()))
+            .collect();
+        let problem = PlacementProblem::new(nodes.clone(), s.vnfs().to_vec()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let placement = Bfdsu::new()
+            .place(&problem, &mut rng)
+            .unwrap()
+            .into_placement();
+        (nodes, placement)
+    }
+
+    #[test]
+    fn with_cluster_rejects_a_mismatched_placement() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        // A placement for a prefix of the VNF set must be refused.
+        let short = Placement::new(
+            &PlacementProblem::new(nodes.clone(), s.vnfs()[..2].to_vec()).unwrap(),
+            placement.assignment()[..2].to_vec(),
+        )
+        .unwrap();
+        let err = Controller::with_cluster(&s, nodes, &short, ControllerConfig::joint_reopt())
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::ClusterMismatch { .. }));
+    }
+
+    #[test]
+    fn replace_phase_grows_a_saturated_vnf() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let mut controller =
+            Controller::with_cluster(&s, nodes, &placement, ControllerConfig::joint_reopt())
+                .unwrap();
+        let vnf = &s.vnfs()[0];
+        let mu = vnf.service_rate().value();
+        // Load every instance of VNF 0 to rho = 0.93, above the 0.9 grow
+        // watermark.
+        for i in 0..vnf.instances() as usize {
+            let big = Request::new(
+                RequestId::new(70_000 + i as u32),
+                ServiceChain::single(vnf.id()),
+                ArrivalRate::new(mu * 0.93).unwrap(),
+                DeliveryProbability::PERFECT,
+            );
+            let outcome = controller.handle(&TimedEvent::new(0.0, ChurnEvent::Arrival(big)));
+            assert!(matches!(outcome, EventOutcome::Admitted { .. }));
+        }
+        let before = controller.state().instances(vnf.id());
+        let balanced_before = controller.state().balanced_latency();
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::ReoptimizeTick));
+        match outcome {
+            EventOutcome::Reoptimized {
+                instances_added, ..
+            } => {
+                assert!(instances_added >= 1, "the grow watermark was crossed");
+            }
+            other => panic!("expected a grow, got {other:?}"),
+        }
+        assert!(controller.state().instances(vnf.id()) > before);
+        assert!(controller.state().balanced_latency() < balanced_before);
+        let report = controller.report();
+        assert_eq!(report.replaces_applied, 1);
+        assert_eq!(report.replaces_aborted, 0);
+        assert!(report.instances_added >= 1);
+        assert!(
+            report.instances_added + report.instances_retired + report.relocations <= 6,
+            "per-tick ops stay within the budget"
+        );
+    }
+
+    #[test]
+    fn replace_phase_shrinks_an_idle_fleet_bounded_by_k() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let mut controller =
+            Controller::with_cluster(&s, nodes, &placement, ControllerConfig::joint_reopt())
+                .unwrap();
+        // No load at all: every multi-instance VNF is below the shrink
+        // watermark, targeting one instance each.
+        let shrinkable: u64 = s.vnfs().iter().map(|v| u64::from(v.instances()) - 1).sum();
+        assert!(shrinkable > 0, "scenario has multi-instance VNFs");
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::ReoptimizeTick));
+        match outcome {
+            EventOutcome::Reoptimized {
+                migrations,
+                instances_added,
+                instances_retired,
+                relocations,
+            } => {
+                assert_eq!(migrations, 0);
+                assert_eq!(instances_added, 0);
+                assert_eq!(relocations, 0);
+                assert_eq!(instances_retired, shrinkable.min(6), "truncated to K");
+            }
+            other => panic!("expected retirements, got {other:?}"),
+        }
+        let report = controller.report();
+        assert_eq!(report.replaces_applied, 1);
+        assert_eq!(report.migrated_replace, 0, "idle instances drain nothing");
+        // Pure-shrink plans are exempt from the latency gate.
+        assert_eq!(report.replaces_aborted, 0);
+    }
+
+    #[test]
+    fn joint_runs_are_deterministic() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(80.0)
+            .arrival_rate(0.5)
+            .mean_holding(30.0)
+            .tick_period(20.0)
+            .seed(9)
+            .build(&s)
+            .unwrap();
+        let run = |nodes: Vec<ComputeNode>| {
+            let mut c =
+                Controller::with_cluster(&s, nodes, &placement, ControllerConfig::joint_reopt())
+                    .unwrap();
+            c.run_trace(&trace);
+            c
+        };
+        let a = run(nodes.clone());
+        let b = run(nodes);
+        assert_eq!(a, b, "same seed, same trace => bit-identical controller");
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub enum ControllerError {
     /// The re-optimization scheduler failed (surfaced, never expected for
     /// non-empty live request sets).
     Scheduling(SchedulingError),
+    /// An instance retirement targeted an instance that still holds
+    /// requests; drain it first.
+    InstanceOccupied {
+        /// The VNF addressed.
+        vnf: VnfId,
+        /// The still-occupied instance index.
+        instance: usize,
+    },
+    /// An instance retirement would leave the VNF with zero instances.
+    LastInstance {
+        /// The VNF addressed.
+        vnf: VnfId,
+    },
+    /// A cluster handed to the controller is inconsistent with the
+    /// scenario (wrong VNF set, invalid placement, …).
+    ClusterMismatch {
+        /// Description of the inconsistency.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -45,6 +64,13 @@ impl fmt::Display for ControllerError {
                 write!(f, "{request} is already assigned on {vnf}")
             }
             Self::Scheduling(err) => write!(f, "re-optimization failed: {err}"),
+            Self::InstanceOccupied { vnf, instance } => {
+                write!(f, "{vnf} instance #{instance} still holds requests")
+            }
+            Self::LastInstance { vnf } => {
+                write!(f, "{vnf} cannot retire its last instance")
+            }
+            Self::ClusterMismatch { reason } => write!(f, "cluster mismatch: {reason}"),
         }
     }
 }

@@ -268,6 +268,115 @@ impl ControllerState {
         self.vnfs.keys().copied()
     }
 
+    /// Number of *up* instances of a VNF (0 for an unknown VNF).
+    #[must_use]
+    pub fn up_count(&self, vnf: VnfId) -> usize {
+        self.ledger(vnf)
+            .map_or(0, |l| l.up.iter().filter(|&&u| u).count())
+    }
+
+    /// Total Kleinrock-merged loss-inflated rate `Λ_f = Σ_k Λ_k^f` over
+    /// every instance of a VNF. Sums the cached per-instance sums in
+    /// index order, so the value is bit-stable across clones.
+    #[must_use]
+    pub fn total_sum(&self, vnf: VnfId) -> f64 {
+        self.ledger(vnf).map_or(0.0, |l| l.sums.iter().sum())
+    }
+
+    /// Appends a fresh, empty, up instance to a VNF (a scale-out step of
+    /// the re-placement phase) and returns its index. Followed by
+    /// [`retire_instance`](Self::retire_instance), the ledger is restored
+    /// `==` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::UnknownVnf`] if the VNF does not exist.
+    pub fn add_instance(&mut self, vnf: VnfId) -> Result<usize, ControllerError> {
+        let ledger = self.ledger_mut(vnf)?;
+        ledger.up.push(true);
+        ledger.members.push(BTreeMap::new());
+        ledger.sums.push(0.0);
+        Ok(ledger.sums.len() - 1)
+    }
+
+    /// Removes the *last* instance of a VNF (a scale-in step; only the
+    /// highest index may retire so surviving indices stay dense and stable)
+    /// and returns the removed index. The instance must be empty — drain
+    /// its members to siblings first.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::UnknownVnf`] for a bad id,
+    /// [`ControllerError::LastInstance`] when only one instance remains,
+    /// [`ControllerError::InstanceOccupied`] when requests still sit on the
+    /// last instance.
+    pub fn retire_instance(&mut self, vnf: VnfId) -> Result<usize, ControllerError> {
+        let ledger = self.ledger_mut(vnf)?;
+        if ledger.sums.len() <= 1 {
+            return Err(ControllerError::LastInstance { vnf });
+        }
+        let last = ledger.sums.len() - 1;
+        if !ledger.members[last].is_empty() {
+            return Err(ControllerError::InstanceOccupied {
+                vnf,
+                instance: last,
+            });
+        }
+        ledger.up.pop();
+        ledger.members.pop();
+        ledger.sums.pop();
+        Ok(last)
+    }
+
+    /// The predicted average delivery response time *if every VNF's live
+    /// load were split evenly across its up instances* — the metric the
+    /// re-placement hysteresis gates on. [`predicted_latency`] reflects the
+    /// current (possibly lopsided) assignment, under which a freshly added
+    /// empty instance changes nothing; the balanced projection credits the
+    /// scheduling pass that follows a scale-out within the same tick.
+    ///
+    /// Per VNF with `m` up instances, total inflated rate `Λ` and total
+    /// external rate `λ_ext`: each instance carries `Λ/m`, contributing
+    /// `m · ρ/(1−ρ)` expected packets with `ρ = Λ/(m·μ)`; the system-wide
+    /// mean is `Σ_f m_f·E[N_f] / Σ_f λ_ext_f` (Little's law over
+    /// Eq. (11)), the same aggregation as [`predicted_latency`]. Idle
+    /// systems report 0; a VNF with live load and no up instance (or
+    /// `ρ ≥ 1`, impossible under strict admission) reports infinity.
+    ///
+    /// [`predicted_latency`]: Self::predicted_latency
+    #[must_use]
+    pub fn balanced_latency(&self) -> f64 {
+        let mut packets = 0.0;
+        let mut total_external = 0.0;
+        for ledger in self.vnfs.values() {
+            let external: f64 = ledger
+                .members
+                .iter()
+                .flat_map(BTreeMap::values)
+                .map(|(rate, _)| rate.value())
+                .sum();
+            if external == 0.0 {
+                continue;
+            }
+            let m = ledger.up.iter().filter(|&&u| u).count();
+            if m == 0 {
+                return f64::INFINITY;
+            }
+            let inflated: f64 = ledger.sums.iter().sum();
+            let rho = inflated / (m as f64 * ledger.service.value());
+            if rho >= 1.0 {
+                return f64::INFINITY;
+            }
+            packets += m as f64 * rho / (1.0 - rho);
+            total_external += external;
+        }
+        if total_external == 0.0 {
+            0.0
+        } else {
+            packets / total_external
+        }
+    }
+
     /// The system-wide predicted average delivery response time: every
     /// instance's `W(f,k)` (Eq. (11)) weighted by its external arrival
     /// rate, divided by the total external rate — i.e. the expected
@@ -468,6 +577,110 @@ mod tests {
                 assert_eq!(load.request_count(), state.member_count(vnf.id(), k));
             }
         }
+    }
+
+    #[test]
+    fn add_then_retire_instance_restores_ledger_bit_for_bit() {
+        let (scenario, mut state) = state();
+        for request in &scenario.requests()[..6] {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(
+                        vnf,
+                        k,
+                        request.id(),
+                        request.arrival_rate(),
+                        request.delivery(),
+                    )
+                    .unwrap();
+            }
+        }
+        let snapshot = state.clone();
+        let vnf = scenario.vnfs()[0].id();
+        let m = state.instances(vnf);
+        let k = state.add_instance(vnf).unwrap();
+        assert_eq!(k, m);
+        assert!(state.is_up(vnf, k));
+        assert_eq!(state.instance_sum(vnf, k), 0.0);
+        assert_ne!(state, snapshot);
+        assert_eq!(state.retire_instance(vnf).unwrap(), m);
+        assert_eq!(state, snapshot);
+    }
+
+    #[test]
+    fn retire_refuses_occupied_and_last_instances() {
+        let (scenario, mut state) = state();
+        let vnf = scenario.vnfs()[0].id();
+        let request = scenario
+            .requests()
+            .iter()
+            .find(|r| r.uses(vnf))
+            .expect("some request uses vnf 0");
+        let last = state.instances(vnf) - 1;
+        state
+            .add_request(
+                vnf,
+                last,
+                request.id(),
+                request.arrival_rate(),
+                request.delivery(),
+            )
+            .unwrap();
+        assert!(matches!(
+            state.retire_instance(vnf),
+            Err(ControllerError::InstanceOccupied { .. })
+        ));
+        state.remove_request(vnf, request.id());
+        // Retire down to one instance, then refuse the last.
+        while state.instances(vnf) > 1 {
+            state.retire_instance(vnf).unwrap();
+        }
+        assert!(matches!(
+            state.retire_instance(vnf),
+            Err(ControllerError::LastInstance { .. })
+        ));
+        assert!(matches!(
+            state.retire_instance(VnfId::new(999)),
+            Err(ControllerError::UnknownVnf { .. })
+        ));
+    }
+
+    #[test]
+    fn balanced_latency_drops_when_an_instance_is_added() {
+        let (scenario, mut state) = state();
+        assert_eq!(state.balanced_latency(), 0.0);
+        for request in scenario.requests() {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(
+                        vnf,
+                        k,
+                        request.id(),
+                        request.arrival_rate(),
+                        request.delivery(),
+                    )
+                    .unwrap();
+            }
+        }
+        let before = state.balanced_latency();
+        assert!(before > 0.0 && before.is_finite());
+        // predicted_latency ignores an empty instance; the balanced
+        // projection must credit it.
+        let vnf = scenario.vnfs()[0].id();
+        let predicted_before = state.predicted_latency();
+        state.add_instance(vnf).unwrap();
+        assert_eq!(state.predicted_latency(), predicted_before);
+        assert!(
+            state.balanced_latency() < before,
+            "spreading load over one more instance must lower the balanced mean"
+        );
+        // A loaded VNF with no up instance projects unbounded latency.
+        for k in 0..state.instances(vnf) {
+            state.set_up(vnf, k, false);
+        }
+        assert_eq!(state.balanced_latency(), f64::INFINITY);
     }
 
     #[test]

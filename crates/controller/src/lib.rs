@@ -22,7 +22,14 @@
 //!   [`ReoptimizeTick`](nfv_workload::churn::ChurnEvent::ReoptimizeTick)
 //!   events re-run the paper's RCKK scheduler on the live request set and
 //!   apply a migration plan bounded by [`ReoptConfig`] (hysteresis on the
-//!   predicted latency gain, per-tick migration budget).
+//!   predicted latency gain, per-tick migration budget). When the
+//!   controller knows the physical cluster
+//!   ([`Controller::with_cluster`]), a [`ReplaceConfig`] additionally
+//!   enables a *re-placement* phase on each tick: per-VNF instance-count
+//!   targets are derived from the live rates by a ρ-headroom rule, and a
+//!   bounded incremental BFDSU pass may add, retire, or relocate at most
+//!   `K` instances per tick, gated by a migration-cost hysteresis on the
+//!   balanced predicted latency.
 //! - [`ControllerReport`] — counters and derived statistics snapshotted in
 //!   virtual time for observability.
 //!
@@ -39,7 +46,7 @@ mod error;
 mod ledger;
 mod report;
 
-pub use config::{ControllerConfig, RejectReason, ReoptConfig, ShedPolicy};
+pub use config::{ControllerConfig, RejectReason, ReoptConfig, ReplaceConfig, ShedPolicy};
 pub use controller::{Controller, EventOutcome};
 pub use error::ControllerError;
 pub use ledger::ControllerState;

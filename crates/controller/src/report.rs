@@ -22,12 +22,25 @@ pub struct ControllerReport {
     pub migrated_failover: u64,
     /// Requests moved between instances by re-optimization passes.
     pub migrated_reopt: u64,
+    /// Requests drained off retiring instances by re-placement passes.
+    pub migrated_replace: u64,
     /// Re-optimization ticks observed (whether or not acted upon).
     pub ticks: u64,
     /// Ticks whose migration plan was applied.
     pub reopts_applied: u64,
     /// Ticks skipped by the hysteresis threshold.
     pub reopts_skipped: u64,
+    /// Instances added by re-placement passes.
+    pub instances_added: u64,
+    /// Instances retired by re-placement passes.
+    pub instances_retired: u64,
+    /// Instances relocated to another node by re-placement passes.
+    pub relocations: u64,
+    /// Ticks whose re-placement plan was applied.
+    pub replaces_applied: u64,
+    /// Ticks whose re-placement plan was aborted by the migration-cost
+    /// hysteresis gate.
+    pub replaces_aborted: u64,
     /// Requests active at snapshot time.
     pub active: u64,
     /// Time-weighted mean of the predicted average delivery response time
@@ -40,10 +53,17 @@ pub struct ControllerReport {
 }
 
 impl ControllerReport {
-    /// Total migrations from both causes.
+    /// Total migrations from all causes.
     #[must_use]
     pub fn migrated(&self) -> u64 {
-        self.migrated_failover + self.migrated_reopt
+        self.migrated_failover + self.migrated_reopt + self.migrated_replace
+    }
+
+    /// Total re-placement instance operations (adds + retirements +
+    /// relocations).
+    #[must_use]
+    pub fn instance_ops(&self) -> u64 {
+        self.instances_added + self.instances_retired + self.relocations
     }
 
     /// Fraction of arrivals refused, in `[0, 1]`; 0 when nothing arrived.
@@ -62,7 +82,9 @@ impl ControllerReport {
     pub fn render(&self) -> String {
         format!(
             "t={:.3}s active={} admitted={} rejected={} ({:.2}%) departed={} shed={} \
-             migrated={}+{} ticks={} (applied {}, skipped {}) W={:.6}s mean W={:.6}s rho_max={:.4}",
+             migrated={}+{}+{} ticks={} (applied {}, skipped {}) \
+             inst(+{} -{} moved {}; applied {}, aborted {}) \
+             W={:.6}s mean W={:.6}s rho_max={:.4}",
             self.time,
             self.active,
             self.admitted,
@@ -72,9 +94,15 @@ impl ControllerReport {
             self.shed,
             self.migrated_failover,
             self.migrated_reopt,
+            self.migrated_replace,
             self.ticks,
             self.reopts_applied,
             self.reopts_skipped,
+            self.instances_added,
+            self.instances_retired,
+            self.relocations,
+            self.replaces_applied,
+            self.replaces_aborted,
             self.current_latency,
             self.mean_latency,
             self.peak_utilization,
@@ -95,9 +123,15 @@ mod tests {
             shed: 1,
             migrated_failover: 2,
             migrated_reopt: 3,
+            migrated_replace: 4,
             ticks: 4,
             reopts_applied: 2,
             reopts_skipped: 2,
+            instances_added: 2,
+            instances_retired: 1,
+            relocations: 1,
+            replaces_applied: 2,
+            replaces_aborted: 1,
             active: 24,
             mean_latency: 0.01,
             current_latency: 0.012,
@@ -109,7 +143,8 @@ mod tests {
     fn rejection_rate_and_migrations() {
         let r = report();
         assert!((r.rejection_rate() - 0.25).abs() < 1e-12);
-        assert_eq!(r.migrated(), 5);
+        assert_eq!(r.migrated(), 9);
+        assert_eq!(r.instance_ops(), 4);
         let empty = ControllerReport {
             admitted: 0,
             rejected: 0,

@@ -68,6 +68,7 @@ fn zero_churn_single_tick_matches_offline_rckk() {
                 min_gain: f64::NEG_INFINITY,
                 max_migrations: usize::MAX,
             }),
+            replace: None,
         };
         let mut controller = Controller::new(&s, config);
         let report = controller.run_trace(&trace);
@@ -160,6 +161,101 @@ proptest! {
             .unwrap();
         prop_assert_eq!(state.home_of(vnf, id), Some(k));
         prop_assert_eq!(state.remove_request(vnf, id), Some(k));
+        prop_assert_eq!(state, before);
+    }
+
+    /// The try-apply-measure-undo discipline of the re-placement phase
+    /// relies on every ledger mutation having an exact inverse: a random
+    /// interleaving of up/down toggles, request moves between instances,
+    /// and instance additions, undone in reverse order, restores the
+    /// ledger `==` bit-for-bit (cached f64 sums included).
+    #[test]
+    fn interleaved_mutations_undo_to_identity(
+        // Each op is packed into one word: kind in the low bits, then
+        // three 16-bit operand fields (the vendored proptest has no tuple
+        // strategy inside `vec`).
+        packed in prop::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let ops: Vec<(u8, usize, usize, usize)> = packed
+            .iter()
+            .map(|&w| {
+                (
+                    (w % 3) as u8,
+                    ((w >> 2) & 0xFFFF) as usize,
+                    ((w >> 18) & 0xFFFF) as usize,
+                    ((w >> 34) & 0xFFFF) as usize,
+                )
+            })
+            .collect();
+        let s = scenario(43);
+        let mut state = ControllerState::new(&s);
+        for request in s.requests() {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(vnf, k, request.id(), request.arrival_rate(), request.delivery())
+                    .unwrap();
+            }
+        }
+        let before = state.clone();
+
+        enum Undo {
+            SetUp(nfv_model::VnfId, usize, bool),
+            MoveBack(nfv_model::VnfId, RequestId, usize),
+            Retire(nfv_model::VnfId),
+        }
+        let mut undo: Vec<Undo> = Vec::new();
+        for &(kind, a, b, c) in &ops {
+            let vnf = s.vnfs()[a % s.vnfs().len()].id();
+            match kind {
+                0 => {
+                    // Toggle an instance's up flag.
+                    let k = b % state.instances(vnf);
+                    let was = state.is_up(vnf, k);
+                    state.set_up(vnf, k, !was);
+                    undo.push(Undo::SetUp(vnf, k, was));
+                }
+                1 => {
+                    // Move one request of the VNF to another instance
+                    // (exactly what re-placement drains do).
+                    let ids = state.active_ids(vnf);
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let id = ids[b % ids.len()];
+                    let origin = state.home_of(vnf, id).unwrap();
+                    let target = c % state.instances(vnf);
+                    if target == origin {
+                        continue;
+                    }
+                    let request = s.requests().iter().find(|r| r.id() == id).unwrap();
+                    state.remove_request(vnf, id);
+                    state
+                        .add_request(vnf, target, id, request.arrival_rate(), request.delivery())
+                        .unwrap();
+                    undo.push(Undo::MoveBack(vnf, id, origin));
+                }
+                _ => {
+                    state.add_instance(vnf).unwrap();
+                    undo.push(Undo::Retire(vnf));
+                }
+            }
+        }
+        for op in undo.into_iter().rev() {
+            match op {
+                Undo::SetUp(vnf, k, was) => state.set_up(vnf, k, was),
+                Undo::MoveBack(vnf, id, origin) => {
+                    let request = s.requests().iter().find(|r| r.id() == id).unwrap();
+                    state.remove_request(vnf, id);
+                    state
+                        .add_request(vnf, origin, id, request.arrival_rate(), request.delivery())
+                        .unwrap();
+                }
+                Undo::Retire(vnf) => {
+                    state.retire_instance(vnf).unwrap();
+                }
+            }
+        }
         prop_assert_eq!(state, before);
     }
 }

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use nfv_controller::ControllerError;
 use nfv_placement::PlacementError;
 use nfv_queueing::QueueingError;
 use nfv_scheduling::SchedulingError;
@@ -24,6 +25,8 @@ pub enum CoreError {
     Scheduling(SchedulingError),
     /// Objective evaluation hit an unstable instance.
     Queueing(QueueingError),
+    /// Online control-plane construction or ledger mutation failed.
+    Controller(ControllerError),
     /// The scenario and topology disagree (e.g. a request chain references
     /// a VNF with no schedule).
     Inconsistent {
@@ -57,6 +60,7 @@ impl fmt::Display for CoreError {
             Self::Placement(e) => write!(f, "placement: {e}"),
             Self::Scheduling(e) => write!(f, "scheduling: {e}"),
             Self::Queueing(e) => write!(f, "queueing: {e}"),
+            Self::Controller(e) => write!(f, "controller: {e}"),
             Self::Inconsistent { reason } => write!(f, "inconsistent inputs: {reason}"),
             Self::TrialPanicked { index, message } => {
                 write!(f, "trial {index} panicked: {message}")
@@ -73,6 +77,7 @@ impl Error for CoreError {
             Self::Placement(e) => Some(e),
             Self::Scheduling(e) => Some(e),
             Self::Queueing(e) => Some(e),
+            Self::Controller(e) => Some(e),
             Self::Inconsistent { .. } | Self::TrialPanicked { .. } => None,
         }
     }
@@ -105,6 +110,12 @@ impl From<SchedulingError> for CoreError {
 impl From<QueueingError> for CoreError {
     fn from(e: QueueingError) -> Self {
         Self::Queueing(e)
+    }
+}
+
+impl From<ControllerError> for CoreError {
+    fn from(e: ControllerError) -> Self {
+        Self::Controller(e)
     }
 }
 

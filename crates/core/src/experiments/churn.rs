@@ -4,7 +4,7 @@
 //! The offline experiments ask how good an assignment the pipeline finds
 //! for a frozen request set; this one asks how well it can be *kept* while
 //! the set churns. One scenario and one seeded [`ChurnTrace`] are replayed
-//! through three controller policies:
+//! through four controller policies:
 //!
 //! * **online-only** — least-loaded dispatch with strict admission
 //!   control, never migrating;
@@ -13,17 +13,34 @@
 //!   latency gain, a per-tick migration budget);
 //! * **offline-oracle** — adopts the full fresh RCKK assignment on every
 //!   tick, an upper bound on re-balancing aggressiveness (and migration
-//!   churn).
+//!   churn);
+//! * **joint-reopt** — periodic-reopt plus the bounded BFDSU re-placement
+//!   phase ([`ReplaceConfig::bounded`]): instance counts follow the live
+//!   load via a ρ-headroom rule and the physical placement is repacked
+//!   incrementally, at most `K` instance operations per tick. The only
+//!   policy that knows the physical cluster
+//!   ([`Controller::with_cluster`]); the scheduling-only policies keep the
+//!   `t = 0` instance counts frozen.
 //!
 //! The interesting ordering, which the `figures churn` subcommand asserts
-//! by printing it: periodic-reopt recovers most of the oracle's latency
-//! advantage over pure online dispatch while migrating far less.
+//! by printing it: at the moderate [`ChurnPoint::base`] load,
+//! periodic-reopt recovers most of the oracle's latency advantage over
+//! pure online dispatch while migrating far less; at the
+//! [`ChurnPoint::saturated`] load — offered load ~3x what the frozen
+//! fleet can serve — every scheduling-only policy pins near `ρ = 1` and
+//! joint-reopt beats them outright by growing instances, under its
+//! per-tick op budget, into the cluster's capacity headroom.
 
 use nfv_controller::{Controller, ControllerConfig, ControllerReport};
 use nfv_metrics::Table;
+use nfv_model::ComputeNode;
 use nfv_parallel::par_map;
+use nfv_placement::{Bfd, Bfdsu, Placement, PlacementProblem, Placer};
+use nfv_topology::builders;
 use nfv_workload::churn::{ChurnTrace, ChurnTraceBuilder};
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::CoreError;
@@ -49,11 +66,20 @@ pub struct ChurnPoint {
     pub outage_rate: f64,
     /// Mean exponential outage duration, seconds.
     pub mean_outage: f64,
+    /// Number of computing nodes in the physical cluster (joint-reopt
+    /// only; the scheduling-only policies never see the substrate).
+    pub nodes: usize,
+    /// Fraction of the total node capacity the `t = 0` fleet demands.
+    /// Kept well below 1 so the re-placement phase has headroom to grow
+    /// instances into.
+    pub fill: f64,
 }
 
 impl ChurnPoint {
     /// The default configuration: a moderately loaded fleet under heavy
-    /// request churn with occasional instance outages.
+    /// request churn with occasional instance outages. The frozen fleet
+    /// can absorb most of this load, so scheduling-only re-optimization is
+    /// the main lever.
     #[must_use]
     pub fn base() -> Self {
         Self {
@@ -66,6 +92,24 @@ impl ChurnPoint {
             tick_period: 25.0,
             outage_rate: 0.01,
             mean_outage: 10.0,
+            nodes: 10,
+            fill: 0.45,
+        }
+    }
+
+    /// A saturating configuration: the steady-state offered load is about
+    /// three times what the `t = 0` fleet can serve, so scheduling-only
+    /// policies pin every instance near `ρ = 1` and reject heavily while
+    /// joint-reopt grows instances into the cluster's capacity headroom
+    /// (`fill = 0.25` leaves ~4x room). This is the point where placement
+    /// re-optimization, not request scheduling, is the binding lever.
+    #[must_use]
+    pub fn saturated() -> Self {
+        Self {
+            arrival_rate: 4.0,
+            tick_period: 15.0,
+            fill: 0.25,
+            ..Self::base()
         }
     }
 }
@@ -73,13 +117,14 @@ impl ChurnPoint {
 /// One policy's end-of-run result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnOutcome {
-    /// Policy name (`online-only`, `periodic-reopt`, `offline-oracle`).
+    /// Policy name (`online-only`, `periodic-reopt`, `offline-oracle`,
+    /// `joint-reopt`).
     pub policy: String,
     /// The controller's final report at the horizon.
     pub report: ControllerReport,
 }
 
-/// The three policies' results over the same scenario and trace.
+/// The four policies' results over the same scenario and trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnComparison {
     /// The run parameters.
@@ -87,7 +132,7 @@ pub struct ChurnComparison {
     /// Base seed used for scenario and trace generation.
     pub seed: u64,
     /// One outcome per policy, in `[online-only, periodic-reopt,
-    /// offline-oracle]` order.
+    /// offline-oracle, joint-reopt]` order.
     pub outcomes: Vec<ChurnOutcome>,
 }
 
@@ -109,9 +154,12 @@ impl ChurnComparison {
             "migrations",
             "  failover",
             "  reopt",
+            "  replace",
             "rejected (%)",
             "shed",
             "reopts applied/skipped",
+            "inst +/-/moved",
+            "replaces applied/aborted",
         ]);
         for outcome in &self.outcomes {
             let r = &outcome.report;
@@ -121,9 +169,15 @@ impl ChurnComparison {
                 format!("{}", r.migrated()),
                 format!("{}", r.migrated_failover),
                 format!("{}", r.migrated_reopt),
+                format!("{}", r.migrated_replace),
                 format!("{:.2}", r.rejection_rate() * 100.0),
                 format!("{}", r.shed),
                 format!("{}/{}", r.reopts_applied, r.reopts_skipped),
+                format!(
+                    "{}/{}/{}",
+                    r.instances_added, r.instances_retired, r.relocations
+                ),
+                format!("{}/{}", r.replaces_applied, r.replaces_aborted),
             ]);
         }
         table
@@ -153,18 +207,76 @@ pub fn setup(point: &ChurnPoint, seed: u64) -> Result<(Scenario, ChurnTrace), Co
     Ok((scenario, trace))
 }
 
-/// Replays one seeded trace through the three policies.
+/// Materializes the physical cluster for the joint policy: a random
+/// connected topology with workload-scaled capacities (redrawn until the
+/// deterministic BFD probe certifies feasibility, exactly as the placement
+/// experiments do) plus an initial BFDSU placement of the `t = 0` fleet.
+pub fn setup_cluster(
+    point: &ChurnPoint,
+    seed: u64,
+    scenario: &Scenario,
+) -> Result<(Vec<ComputeNode>, Placement), CoreError> {
+    let total_demand = scenario.total_demand().value();
+    let max_demand = scenario
+        .vnfs()
+        .iter()
+        .map(|v| v.total_demand().value())
+        .fold(0.0f64, f64::max);
+    let (lo, hi) =
+        crate::experiments::capacity_bounds(total_demand, max_demand, point.nodes, point.fill);
+    let mut chosen = None;
+    let mut fallback = None;
+    for redraw in 0..20u64 {
+        let topology = builders::random_connected()
+            .nodes(point.nodes)
+            .seed(seed)
+            .capacity_range(lo, hi, seed ^ 0xC1D5 ^ (redraw << 48))
+            .build()?;
+        let problem =
+            PlacementProblem::new(topology.compute_nodes().to_vec(), scenario.vnfs().to_vec())?;
+        let mut probe_rng = StdRng::seed_from_u64(0);
+        if Bfd::new().place(&problem, &mut probe_rng).is_ok() {
+            chosen = Some(problem);
+            break;
+        }
+        fallback = Some(problem);
+    }
+    let problem = chosen.or(fallback).expect("at least one draw was made");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B1D);
+    let placement = Bfdsu::new().place(&problem, &mut rng)?.into_placement();
+    Ok((problem.nodes().to_vec(), placement))
+}
+
+/// Replays one seeded trace through the four policies.
 pub fn run(point: &ChurnPoint, seed: u64) -> Result<ChurnComparison, CoreError> {
     let (scenario, trace) = setup(point, seed)?;
-    let policies = vec![
-        ("online-only", ControllerConfig::online_only()),
-        ("periodic-reopt", ControllerConfig::periodic_reopt()),
-        ("offline-oracle", ControllerConfig::offline_oracle()),
+    let (nodes, placement) = setup_cluster(point, seed, &scenario)?;
+    let controllers: Vec<(&str, Controller)> = vec![
+        (
+            "online-only",
+            Controller::new(&scenario, ControllerConfig::online_only()),
+        ),
+        (
+            "periodic-reopt",
+            Controller::new(&scenario, ControllerConfig::periodic_reopt()),
+        ),
+        (
+            "offline-oracle",
+            Controller::new(&scenario, ControllerConfig::offline_oracle()),
+        ),
+        (
+            "joint-reopt",
+            Controller::with_cluster(
+                &scenario,
+                nodes,
+                &placement,
+                ControllerConfig::joint_reopt(),
+            )?,
+        ),
     ];
-    // The three policies replay the same borrowed trace independently, so
+    // The four policies replay the same borrowed trace independently, so
     // they fan out on the worker pool; results come back in policy order.
-    let outcomes = par_map(policies, |_, (name, config)| {
-        let mut controller = Controller::new(&scenario, config);
+    let outcomes = par_map(controllers, |_, (name, mut controller)| {
         let report = controller.run_trace(&trace);
         ChurnOutcome {
             policy: name.to_string(),
@@ -184,11 +296,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn three_policies_share_the_trace() {
+    fn four_policies_share_the_trace() {
         let comparison = run(&ChurnPoint::base(), 1).unwrap();
-        assert_eq!(comparison.outcomes.len(), 3);
+        assert_eq!(comparison.outcomes.len(), 4);
         let online = &comparison.outcome("online-only").unwrap().report;
         let oracle = &comparison.outcome("offline-oracle").unwrap().report;
+        let joint = &comparison.outcome("joint-reopt").unwrap().report;
         // Same trace: every policy sees the same offered load.
         for outcome in &comparison.outcomes {
             assert_eq!(
@@ -199,6 +312,58 @@ mod tests {
         }
         assert_eq!(online.migrated_reopt, 0);
         assert!(oracle.reopts_applied > 0);
+        // Only the joint policy touches instance counts.
+        for outcome in &comparison.outcomes {
+            if outcome.policy != "joint-reopt" {
+                assert_eq!(outcome.report.instance_ops(), 0);
+            }
+        }
+        assert!(
+            joint.replaces_applied > 0,
+            "churn must trigger re-placement"
+        );
+        assert!(joint.instances_added > 0, "the load doubles mid-run");
+    }
+
+    #[test]
+    fn joint_reopt_beats_scheduling_only_under_saturation() {
+        let comparison = run(&ChurnPoint::saturated(), 1).unwrap();
+        let reopt = &comparison.outcome("periodic-reopt").unwrap().report;
+        let joint = &comparison.outcome("joint-reopt").unwrap().report;
+        assert!(
+            joint.mean_latency < reopt.mean_latency,
+            "growing instances under load must beat a frozen fleet: {} vs {}",
+            joint.mean_latency,
+            reopt.mean_latency
+        );
+        assert!(
+            joint.rejection_rate() <= reopt.rejection_rate(),
+            "extra capacity must not reject more"
+        );
+    }
+
+    #[test]
+    fn joint_instance_ops_stay_within_budget_each_tick() {
+        let point = ChurnPoint::saturated();
+        let (scenario, trace) = setup(&point, 1).unwrap();
+        let (nodes, placement) = setup_cluster(&point, 1, &scenario).unwrap();
+        let config = ControllerConfig::joint_reopt();
+        let k = config.replace.unwrap().max_instance_ops as u64;
+        let mut controller =
+            Controller::with_cluster(&scenario, nodes, &placement, config).unwrap();
+        controller.run_trace(&trace);
+        assert!(!controller.snapshots().is_empty());
+        let mut prev = 0u64;
+        for snapshot in controller.snapshots() {
+            let ops = snapshot.instance_ops();
+            assert!(
+                ops - prev <= k,
+                "tick at t={} performed {} instance ops, budget is {k}",
+                snapshot.time,
+                ops - prev
+            );
+            prev = ops;
+        }
     }
 
     #[test]

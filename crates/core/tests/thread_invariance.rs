@@ -87,4 +87,12 @@ fn churn_comparison_is_thread_count_invariant() {
             .to_table()
             .to_string()
     });
+    // The saturated point exercises the bounded re-placement phase (grows,
+    // shrinks and relocations), so pin it too.
+    assert_invariant("saturated churn comparison", || {
+        churn::run(&churn::ChurnPoint::saturated(), 42)
+            .unwrap()
+            .to_table()
+            .to_string()
+    });
 }

@@ -29,8 +29,13 @@ macro_rules! forward_display {
 /// CPU-bounded resource capacity `A_v` of a computing node, in abstract
 /// resource units (the paper's unit: 64-byte packets at 10 kpps).
 ///
-/// A capacity is finite and non-negative; zero capacity models a node that is
-/// administratively offline.
+/// A capacity is finite and non-negative. **Zero capacity is deliberately
+/// constructible** and models a node that is administratively offline; the
+/// semantics are fully defined rather than rejected at construction:
+/// [`fits`](Self::fits) refuses every positive demand (so placers never
+/// select such a node), [`saturating_sub`](Self::saturating_sub) stays at
+/// zero, and [`utilization_of`](Self::utilization_of) reports
+/// [`Utilization::ZERO`] instead of dividing by zero.
 ///
 /// # Examples
 ///
@@ -387,6 +392,27 @@ mod tests {
             zero.utilization_of(Demand::new(5.0).unwrap()),
             Utilization::ZERO
         );
+    }
+
+    /// Pins the decision that `Capacity::new(0.0)` is *defined* (an
+    /// administratively offline node), not rejected: every operation has
+    /// total, division-free semantics.
+    #[test]
+    fn zero_capacity_is_an_offline_node_with_total_semantics() {
+        let zero = Capacity::new(0.0).unwrap();
+        // No positive demand fits, so placers can never select the node.
+        assert!(!zero.fits(Demand::new(1e-12).unwrap()));
+        assert!(!zero.fits(Demand::new(5.0).unwrap()));
+        // Degenerate zero demand trivially fits.
+        assert!(zero.fits(Demand::ZERO));
+        // Subtraction saturates instead of going negative.
+        assert_eq!(zero.saturating_sub(Demand::new(3.0).unwrap()), zero);
+        // 0/0 is defined as idle, not NaN.
+        assert_eq!(zero.utilization_of(Demand::ZERO), Utilization::ZERO);
+        assert!(!zero
+            .utilization_of(Demand::new(9.0).unwrap())
+            .value()
+            .is_nan());
     }
 
     #[test]

@@ -1,11 +1,49 @@
 //! BFDSU: the paper's priority-driven weighted placement algorithm.
 
-use nfv_model::NodeId;
+use nfv_model::{NodeId, VnfId};
 use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
 
 use crate::placer::run_with_restarts;
 use crate::support::{vnfs_by_decreasing_demand, Remaining};
 use crate::{Placement, PlacementError, PlacementOutcome, PlacementProblem, Placer};
+
+/// Result of an incremental re-placement ([`Bfdsu::place_delta`]): the new
+/// feasible placement, the VNFs whose node changed relative to the prior
+/// assignment, and the restart count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaPlacement {
+    placement: Placement,
+    moved: Vec<VnfId>,
+    iterations: u64,
+}
+
+impl DeltaPlacement {
+    /// The new feasible placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// VNFs assigned to a different node than in the prior placement, in
+    /// ascending id order. Every VNF *not* listed kept its node.
+    #[must_use]
+    pub fn moved(&self) -> &[VnfId] {
+        &self.moved
+    }
+
+    /// Number of full delta passes until the first feasible solution.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Consumes the outcome, returning the placement.
+    #[must_use]
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+}
 
 /// **B**est **F**it **D**ecreasing using **S**mallest **U**sed nodes with
 /// the largest probability — Algorithm 1 of the paper.
@@ -109,25 +147,138 @@ impl Bfdsu {
 
         for vnf in order {
             let demand = problem.demand_of(vnf).value();
-            // Candidates: used nodes first; spare nodes only as a fallback.
-            let start_used = fitting_start(&used, &remaining, demand);
-            let (pool, start) = if start_used < used.len() {
-                (&mut used, start_used)
+            if !place_one(
+                vnf,
+                demand,
+                &mut used,
+                &mut spare,
+                &mut remaining,
+                &mut assignment,
+                rng,
+            ) {
+                return None; // go back to Begin
+            }
+        }
+        Some(Placement::new(problem, assignment).expect("capacity tracked during construction"))
+    }
+
+    /// Incremental BFDSU: re-places `problem` starting from an existing
+    /// assignment instead of empty nodes. The problem may differ from the
+    /// one `prior` was built for — typically the per-VNF instance counts
+    /// (and hence total demands) have changed — but it must cover the same
+    /// VNF ids and node set.
+    ///
+    /// Each pass has two phases. **Keep**: VNFs are scanned in decreasing
+    /// new-demand order and keep their prior node whenever their new total
+    /// demand still fits alongside the other keepers. **Re-place**: the
+    /// misfits are placed by the ordinary Algorithm 1 rule (used-node
+    /// priority, tight-fit-weighted random pick), where nodes claimed by
+    /// keepers count as used. Only phase two consumes randomness, so a
+    /// restart re-draws the misfit placement while keepers stay put.
+    /// [`DeltaPlacement::moved`] lists exactly the VNFs whose node changed
+    /// — the instances a controller must migrate.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::InvalidProblem`] if `prior` covers a different
+    ///   VNF set than `problem`,
+    /// * [`PlacementError::UnknownNode`] if `prior` references a node the
+    ///   problem does not have,
+    /// * [`PlacementError::Infeasible`] / [`PlacementError::AttemptsExhausted`]
+    ///   exactly as [`Placer::place`].
+    pub fn place_delta(
+        &self,
+        problem: &PlacementProblem,
+        prior: &Placement,
+        rng: &mut dyn RngCore,
+    ) -> Result<DeltaPlacement, PlacementError> {
+        let prior_assignment = prior.assignment();
+        if prior_assignment.len() != problem.vnfs().len() {
+            return Err(PlacementError::InvalidProblem {
+                reason: "prior placement covers a different VNF set",
+            });
+        }
+        if let Some(&node) = prior_assignment
+            .iter()
+            .find(|n| n.as_usize() >= problem.nodes().len())
+        {
+            return Err(PlacementError::UnknownNode { node });
+        }
+        let outcome = run_with_restarts(problem, self.max_attempts, || {
+            self.delta_attempt(problem, prior_assignment, rng)
+        })?;
+        let iterations = outcome.iterations();
+        let placement = outcome.into_placement();
+        let moved: Vec<VnfId> = problem
+            .vnfs()
+            .iter()
+            .map(nfv_model::Vnf::id)
+            .filter(|&vnf| placement.node_of(vnf) != prior_assignment[vnf.as_usize()])
+            .collect();
+        Ok(DeltaPlacement {
+            placement,
+            moved,
+            iterations,
+        })
+    }
+
+    /// One keep-then-re-place pass of the incremental algorithm.
+    fn delta_attempt(
+        &self,
+        problem: &PlacementProblem,
+        prior_assignment: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Option<Placement> {
+        let order = vnfs_by_decreasing_demand(problem);
+        let mut remaining = Remaining::new(problem);
+        let mut assignment = vec![NodeId::new(0); problem.vnfs().len()];
+        let mut in_service = vec![false; problem.nodes().len()];
+
+        // Phase one: keepers claim their prior node in decreasing-demand
+        // order, so large (possibly grown) VNFs hold their slot before
+        // smaller co-tenants consume it.
+        let mut misfits: Vec<VnfId> = Vec::new();
+        for &vnf in &order {
+            let demand = problem.demand_of(vnf).value();
+            let node = prior_assignment[vnf.as_usize()];
+            if remaining.fits(node, demand) {
+                assignment[vnf.as_usize()] = node;
+                remaining.consume(node, demand);
+                in_service[node.as_usize()] = true;
             } else {
-                let start_spare = fitting_start(&spare, &remaining, demand);
-                if start_spare >= spare.len() {
-                    return None; // go back to Begin
-                }
-                (&mut spare, start_spare)
-            };
-            let picked = start + weighted_pick(&pool[start..], &remaining, demand, rng);
-            let chosen = pool.remove(picked);
-            assignment[vnf.as_usize()] = chosen;
-            remaining.consume(chosen, demand);
-            let pos = used
-                .binary_search_by(|&n| cmp_by_remaining(&remaining, n, chosen))
-                .expect_err("ids are unique, so the key cannot collide");
-            used.insert(pos, chosen);
+                misfits.push(vnf);
+            }
+        }
+
+        // Phase two: standard BFDSU over the misfits (already in
+        // decreasing-demand order), with the keepers' nodes as `Used_list`.
+        let mut used: Vec<NodeId> = problem
+            .nodes()
+            .iter()
+            .map(|n| n.id())
+            .filter(|&n| in_service[n.as_usize()])
+            .collect();
+        used.sort_by(|&a, &b| cmp_by_remaining(&remaining, a, b));
+        let mut spare: Vec<NodeId> = problem
+            .nodes()
+            .iter()
+            .map(|n| n.id())
+            .filter(|&n| !in_service[n.as_usize()])
+            .collect();
+        spare.sort_by(|&a, &b| cmp_by_remaining(&remaining, a, b));
+        for vnf in misfits {
+            let demand = problem.demand_of(vnf).value();
+            if !place_one(
+                vnf,
+                demand,
+                &mut used,
+                &mut spare,
+                &mut remaining,
+                &mut assignment,
+                rng,
+            ) {
+                return None; // go back to Begin (re-draws the misfits)
+            }
         }
         Some(Placement::new(problem, assignment).expect("capacity tracked during construction"))
     }
@@ -151,6 +302,42 @@ impl Placer for Bfdsu {
     ) -> Result<PlacementOutcome, PlacementError> {
         run_with_restarts(problem, self.max_attempts, || self.attempt(problem, rng))
     }
+}
+
+/// One BFDSU placement step: pick a node for `vnf` (used-node priority,
+/// tight-fit-weighted random draw), consume its capacity and reposition it
+/// in the used pool. Returns `false` when no node fits (restart). Exactly
+/// the loop body of Algorithm 1, shared by the from-scratch and the
+/// incremental pass; consumes at most one uniform variate.
+fn place_one(
+    vnf: VnfId,
+    demand: f64,
+    used: &mut Vec<NodeId>,
+    spare: &mut Vec<NodeId>,
+    remaining: &mut Remaining,
+    assignment: &mut [NodeId],
+    rng: &mut dyn RngCore,
+) -> bool {
+    // Candidates: used nodes first; spare nodes only as a fallback.
+    let start_used = fitting_start(used, remaining, demand);
+    let (pool, start) = if start_used < used.len() {
+        (used as &mut Vec<NodeId>, start_used)
+    } else {
+        let start_spare = fitting_start(spare, remaining, demand);
+        if start_spare >= spare.len() {
+            return false;
+        }
+        (spare as &mut Vec<NodeId>, start_spare)
+    };
+    let picked = start + weighted_pick(&pool[start..], remaining, demand, rng);
+    let chosen = pool.remove(picked);
+    assignment[vnf.as_usize()] = chosen;
+    remaining.consume(chosen, demand);
+    let pos = used
+        .binary_search_by(|&n| cmp_by_remaining(remaining, n, chosen))
+        .expect_err("ids are unique, so the key cannot collide");
+    used.insert(pos, chosen);
+    true
 }
 
 /// Total order on nodes by ascending `(RST, id)` — the key both candidate
@@ -386,6 +573,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A zero-capacity node (administratively offline) is never selected:
+    /// `Remaining::fits` rejects every positive demand on it.
+    #[test]
+    fn zero_capacity_node_is_never_used() {
+        let p = problem(&[0.0, 100.0, 100.0], &[30.0, 30.0, 30.0]);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = Bfdsu::new().place(&p, &mut rng).unwrap();
+            assert!(
+                outcome.placement().vnfs_on(NodeId::new(0)).count() == 0,
+                "seed {seed} placed a VNF on the offline node"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_keeps_everything_when_nothing_changed() {
+        let p = problem(&[100.0, 100.0, 50.0], &[40.0, 40.0, 30.0, 20.0]);
+        let prior = Bfdsu::new()
+            .place(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap()
+            .into_placement();
+        let delta = Bfdsu::new()
+            .place_delta(&p, &prior, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(delta.moved(), &[] as &[VnfId]);
+        assert_eq!(delta.placement(), &prior);
+        assert_eq!(delta.iterations(), 1);
+    }
+
+    #[test]
+    fn delta_moves_only_the_grown_misfit() {
+        // Prior: vnf0 (60) and vnf1 (30) packed on node 0 (cap 100).
+        // vnf1 grows to 50: it no longer fits beside vnf0 and must move to
+        // the spare node; vnf0 keeps its slot.
+        let before = problem(&[100.0, 100.0], &[60.0, 30.0]);
+        let prior = Placement::new(&before, vec![NodeId::new(0), NodeId::new(0)]).unwrap();
+        let after = problem(&[100.0, 100.0], &[60.0, 50.0]);
+        let delta = Bfdsu::new()
+            .place_delta(&after, &prior, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        assert_eq!(delta.moved(), &[VnfId::new(1)]);
+        assert_eq!(delta.placement().node_of(VnfId::new(0)), NodeId::new(0));
+        assert_eq!(delta.placement().node_of(VnfId::new(1)), NodeId::new(1));
+    }
+
+    #[test]
+    fn delta_restarts_reach_tight_repackings() {
+        // After growth the only feasible packing pairs each 60 with a 40;
+        // the prior packing (60+60 / 40+40 at smaller sizes) must be
+        // partially abandoned. The keep phase is deterministic, so
+        // feasibility comes from re-drawing the misfits across restarts.
+        let before = problem(&[100.0, 100.0], &[60.0, 60.0, 20.0, 20.0]);
+        let prior = Placement::new(
+            &before,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(0),
+                NodeId::new(1),
+            ],
+        )
+        .unwrap();
+        let after = problem(&[100.0, 100.0], &[60.0, 60.0, 40.0, 40.0]);
+        let delta = Bfdsu::new()
+            .place_delta(&after, &prior, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        // Feasible end state, and the keepers (the two 60s) stayed put.
+        assert_eq!(delta.placement().node_of(VnfId::new(0)), NodeId::new(0));
+        assert_eq!(delta.placement().node_of(VnfId::new(1)), NodeId::new(1));
+        assert!(delta.moved().len() <= 2);
+    }
+
+    #[test]
+    fn delta_rejects_mismatched_prior() {
+        let p = problem(&[100.0, 100.0], &[40.0, 40.0]);
+        let other = problem(&[100.0], &[40.0]);
+        let prior = Placement::new(&other, vec![NodeId::new(0)]).unwrap();
+        assert!(matches!(
+            Bfdsu::new()
+                .place_delta(&p, &prior, &mut StdRng::seed_from_u64(0))
+                .unwrap_err(),
+            PlacementError::InvalidProblem { .. }
+        ));
+    }
+
+    #[test]
+    fn delta_is_deterministic_given_seed() {
+        let before = problem(&[100.0, 100.0, 80.0], &[50.0, 40.0, 30.0, 20.0]);
+        let prior = Bfdsu::new()
+            .place(&before, &mut StdRng::seed_from_u64(2))
+            .unwrap()
+            .into_placement();
+        let after = problem(&[100.0, 100.0, 80.0], &[70.0, 40.0, 30.0, 20.0]);
+        let a = Bfdsu::new().place_delta(&after, &prior, &mut StdRng::seed_from_u64(8));
+        let b = Bfdsu::new().place_delta(&after, &prior, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod support;
 
 pub use affinity::ChainAffinity;
 pub use bfd::Bfd;
-pub use bfdsu::Bfdsu;
+pub use bfdsu::{Bfdsu, DeltaPlacement};
 pub use error::PlacementError;
 pub use ffd::{Ffd, ScanOrder};
 pub use nah::Nah;

@@ -14,7 +14,18 @@ use crate::QueueingError;
 /// independent M/M/1 station once merged flows are treated as Poisson
 /// (Kleinrock approximation), which is exactly how the paper models service
 /// instances (§III.B). Construction enforces strict stability `Λ < μ`, so
-/// all steady-state quantities below are finite.
+/// all steady-state quantities below are finite *for values built through
+/// [`Mm1Queue::new`]*.
+///
+/// The formulas are nevertheless **total**: the struct derives
+/// `Deserialize`, so a persisted artifact (or a future format backend) can
+/// materialize a queue without passing through `new`. Rather than silently
+/// returning negative garbage from `ρ/(1 − ρ)` and `1/(μ − Λ)` at `ρ ≥ 1`,
+/// every statistic is guarded: the means, waiting time and quantiles report
+/// the documented limit [`f64::INFINITY`] (an overloaded queue grows
+/// without bound) and [`prob_packets`](Self::prob_packets) reports `0.0`
+/// (no steady-state distribution exists, so every finite state has
+/// vanishing long-run probability).
 ///
 /// # Examples
 ///
@@ -72,39 +83,63 @@ impl Mm1Queue {
         Utilization::from_ratio(self.arrival / self.service.value())
     }
 
+    /// Whether the station is overloaded (`ρ ≥ 1`). Impossible for values
+    /// built through [`Mm1Queue::new`]; reachable only via deserialization.
+    fn is_overloaded(&self) -> bool {
+        self.arrival >= self.service.value()
+    }
+
     /// Steady-state probability of exactly `n` packets in the system,
-    /// `π(n) = (1 − ρ) ρⁿ` (Eq. (8)).
+    /// `π(n) = (1 − ρ) ρⁿ` (Eq. (8)). Returns `0.0` when `ρ ≥ 1`: an
+    /// overloaded queue has no steady state, so every finite occupancy has
+    /// vanishing long-run probability.
     #[must_use]
     pub fn prob_packets(&self, n: u32) -> f64 {
+        if self.is_overloaded() {
+            return 0.0;
+        }
         let rho = self.arrival / self.service.value();
         (1.0 - rho) * rho.powi(n as i32)
     }
 
     /// Mean number of packets in the system, `E[N] = ρ/(1 − ρ)` (Eq. (10)).
+    /// Returns [`f64::INFINITY`] when `ρ ≥ 1` (the queue grows without
+    /// bound).
     #[must_use]
     pub fn mean_packets_in_system(&self) -> f64 {
+        if self.is_overloaded() {
+            return f64::INFINITY;
+        }
         let rho = self.arrival / self.service.value();
         rho / (1.0 - rho)
     }
 
     /// Mean per-visit response time (queueing + service),
-    /// `E[T] = 1/(μ − Λ)` seconds.
+    /// `E[T] = 1/(μ − Λ)` seconds. Returns [`f64::INFINITY`] when `ρ ≥ 1`.
     #[must_use]
     pub fn mean_response_time(&self) -> f64 {
+        if self.is_overloaded() {
+            return f64::INFINITY;
+        }
         1.0 / (self.service.value() - self.arrival)
     }
 
     /// Mean waiting time in the buffer before service begins,
-    /// `E[W_q] = ρ/(μ − Λ)` seconds.
+    /// `E[W_q] = ρ/(μ − Λ)` seconds. Returns [`f64::INFINITY`] when
+    /// `ρ ≥ 1`.
     #[must_use]
     pub fn mean_waiting_time(&self) -> f64 {
+        if self.is_overloaded() {
+            return f64::INFINITY;
+        }
         let rho = self.arrival / self.service.value();
         rho / (self.service.value() - self.arrival)
     }
 
     /// The `p`-quantile of the response-time distribution. For a stable
     /// M/M/1 the sojourn time is exponential with rate `μ − Λ`, so the
-    /// quantile is `−ln(1 − p)/(μ − Λ)`.
+    /// quantile is `−ln(1 − p)/(μ − Λ)`. Returns [`f64::INFINITY`] when
+    /// `ρ ≥ 1` (except at `p = 0`, where the quantile is 0 for any queue).
     ///
     /// # Panics
     ///
@@ -115,6 +150,12 @@ impl Mm1Queue {
             (0.0..1.0).contains(&p),
             "quantile probability must lie in [0, 1)"
         );
+        if p == 0.0 {
+            return 0.0;
+        }
+        if self.is_overloaded() {
+            return f64::INFINITY;
+        }
         -(1.0 - p).ln() / (self.service.value() - self.arrival)
     }
 }
@@ -167,6 +208,42 @@ mod tests {
         assert!((q.mean_waiting_time() - 0.01).abs() < 1e-12);
         assert!((q.prob_packets(0) - 0.5).abs() < 1e-12);
         assert!((q.prob_packets(1) - 0.25).abs() < 1e-12);
+    }
+
+    /// Overloaded queues cannot be built through `new`, but `Deserialize`
+    /// (a field-level derive) can materialize one. The statistics must then
+    /// report their documented limits instead of negative garbage from
+    /// `ρ/(1 − ρ)` / `1/(μ − Λ)`.
+    #[test]
+    fn rho_at_one_reports_infinite_latency_not_garbage() {
+        // ρ = 1 exactly: bypass `new` the way deserialization would.
+        let q = Mm1Queue {
+            arrival: 100.0,
+            service: mu(100.0),
+        };
+        assert_eq!(q.mean_packets_in_system(), f64::INFINITY);
+        assert_eq!(q.mean_response_time(), f64::INFINITY);
+        assert_eq!(q.mean_waiting_time(), f64::INFINITY);
+        assert_eq!(q.response_time_quantile(0.5), f64::INFINITY);
+        assert_eq!(q.response_time_quantile(0.0), 0.0);
+        assert_eq!(q.prob_packets(0), 0.0);
+        assert_eq!(q.prob_packets(7), 0.0);
+    }
+
+    #[test]
+    fn rho_above_one_reports_infinite_latency_not_garbage() {
+        // ρ > 1: without the guards these would all be *negative*.
+        let q = Mm1Queue {
+            arrival: 150.0,
+            service: mu(100.0),
+        };
+        assert_eq!(q.mean_packets_in_system(), f64::INFINITY);
+        assert_eq!(q.mean_response_time(), f64::INFINITY);
+        assert_eq!(q.mean_waiting_time(), f64::INFINITY);
+        assert_eq!(q.response_time_quantile(0.99), f64::INFINITY);
+        assert_eq!(q.prob_packets(3), 0.0);
+        // Utilization still reports the overload honestly.
+        assert!(q.utilization().is_oversubscribed());
     }
 
     #[test]
