@@ -17,6 +17,10 @@ cargo test -q --workspace
 echo "== thread-count invariance (experiment results at 1/2/8 threads) =="
 cargo test -q -p nfv-core --test thread_invariance
 
+echo "== node-failure domains (total-loss, overlap, stale accounting, outage interleavings) =="
+cargo test -q -p nfv-controller --test node_failure
+cargo test -q -p nfv-controller --test properties outage_interleavings
+
 echo "== queueing formula guards (rho >= 1 stays an error, never a number) =="
 cargo test -q -p nfv-queueing rho_
 
@@ -25,5 +29,8 @@ cargo build --release
 
 echo "== churn figure (joint re-placement must beat scheduling-only when saturated) =="
 cargo run -q --release -p nfv-bench --bin figures -- churn
+
+echo "== resilience figure (emergency re-placement + retries must beat tick-only recovery) =="
+cargo run -q --release -p nfv-bench --bin figures -- resilience
 
 echo "ci: all green"

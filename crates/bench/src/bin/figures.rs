@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use nfv_core::experiments::{churn, joint, placement, scheduling, validation, Sweep};
+use nfv_core::experiments::{churn, joint, placement, resilience, scheduling, validation, Sweep};
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
 use nfv_parallel::{available_threads, default_threads, par_map_indexed, set_default_threads};
@@ -96,13 +96,32 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|resilience|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
 
 /// The `all` command list, in paper order.
-const ALL_COMMANDS: [&str; 20] = [
-    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tail",
-    "fig15", "fig16", "headline", "online", "quality", "joint", "churn", "validate", "ablation",
+const ALL_COMMANDS: [&str; 21] = [
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "tail",
+    "fig15",
+    "fig16",
+    "headline",
+    "online",
+    "quality",
+    "joint",
+    "churn",
+    "resilience",
+    "validate",
+    "ablation",
 ];
 
 /// Directory for CSV output, set once from the CLI before dispatch.
@@ -362,6 +381,7 @@ fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
             None,
         ),
         "churn" => print_churn(&mut out, seed)?,
+        "resilience" => print_resilience(&mut out, seed)?,
         "validate" => print_validation(&mut out, seed)?,
         "ablation" => print_ablation(&mut out, rp, rs, seed)?,
         other => {
@@ -570,6 +590,60 @@ fn print_churn(out: &mut String, seed: u64) -> Result<(), CoreError> {
         joint.instances_retired,
         joint.relocations,
         joint.replaces_applied,
+    );
+    Ok(())
+}
+
+fn print_resilience(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let point = resilience::ResiliencePoint::base();
+    let _ = writeln!(
+        out,
+        "== Resilience - node failure domains over a {:.0}s trace \
+         ({} nodes, MTBF {:.0}s, MTTR {:.0}s, ticks every {:.0}s) ==",
+        point.horizon, point.nodes, point.node_mtbf, point.node_mttr, point.tick_period
+    );
+    let comparison = resilience::run(&point, seed)?;
+    let _ = write!(out, "{}", comparison.to_table());
+    let worst = comparison
+        .outcome("tick-only/no-retry")
+        .expect("policy ran");
+    let best = comparison.outcome("emergency/retry").expect("policy ran");
+    let _ = writeln!(
+        out,
+        "shape check: emergency/retry holds {:.3}% availability vs {:.3}% \
+         tick-only, recovers in {:.2}s vs {:.2}s mean, and loses {} requests \
+         vs {} ({} re-admitted by retries)",
+        best.availability * 100.0,
+        worst.availability * 100.0,
+        best.mean_recovery,
+        worst.mean_recovery,
+        best.report.lost(),
+        worst.report.lost(),
+        best.report.retry_admitted,
+    );
+
+    // Correlated failures: racks of two nodes die together, doubling the
+    // blast radius of every outage event.
+    let point = resilience::ResiliencePoint::racked();
+    let _ = writeln!(
+        out,
+        "== Resilience (racked) - correlated failure domains of {} nodes ==",
+        point.rack_size
+    );
+    let comparison = resilience::run(&point, seed)?;
+    let _ = write!(out, "{}", comparison.to_table());
+    let worst = comparison
+        .outcome("tick-only/no-retry")
+        .expect("policy ran");
+    let best = comparison.outcome("emergency/retry").expect("policy ran");
+    let _ = writeln!(
+        out,
+        "shape check: under rack failures emergency/retry loses {} requests \
+         vs {} tick-only at {:.3}% vs {:.3}% availability",
+        best.report.lost(),
+        worst.report.lost(),
+        best.availability * 100.0,
+        worst.availability * 100.0,
     );
     Ok(())
 }

@@ -103,6 +103,93 @@ impl ReplaceConfig {
     }
 }
 
+/// Emergency re-placement on a node failure — the out-of-tick recovery
+/// path. When a [`NodeDown`] arrives, the controller immediately re-runs
+/// the incremental BFDSU over the *surviving* nodes (the dark node's
+/// capacity is treated as zero), relocating the stranded VNFs and growing
+/// replacement instances toward the ρ-headroom targets, all bounded by a
+/// per-event operation cap. Without this config, recovery waits for the
+/// next periodic tick.
+///
+/// [`NodeDown`]: nfv_workload::churn::ChurnEvent::NodeDown
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyConfig {
+    /// ρ-headroom for replacement instance targets: each VNF aims for the
+    /// smallest count keeping `Λ_f / (m_f · μ_f)` under this, where `Λ_f`
+    /// includes the retry backlog that will re-offer once capacity
+    /// returns.
+    pub headroom: f64,
+    /// Brownout admission: while *any* node is dark, arrivals (and
+    /// retries) are admitted only up to this fraction of `μ` per instance
+    /// instead of strict stability, keeping slack for failover traffic.
+    pub brownout_headroom: f64,
+    /// Per-event budget on emergency instance operations (adds +
+    /// relocations).
+    pub max_instance_ops: usize,
+    /// Seed for the per-event delta-placement RNG; each emergency pass
+    /// draws from `StdRng::seed_from_u64(seed ^ node_downs_so_far)`.
+    pub seed: u64,
+}
+
+impl EmergencyConfig {
+    /// A bounded default: 90% replacement headroom, 85% brownout
+    /// admission, at most 16 instance operations per node failure — a
+    /// deliberately larger budget than a routine tick's
+    /// ([`ReplaceConfig::bounded`](crate::ReplaceConfig::bounded)),
+    /// because a dark node strands every VNF it hosted at once.
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self {
+            headroom: 0.9,
+            brownout_headroom: 0.85,
+            max_instance_ops: 16,
+            seed: 0xE4E7,
+        }
+    }
+}
+
+/// Deterministic retry/backoff queue for shed and rejected arrivals — the
+/// graceful-degradation ladder for the capacity-lost regime. Refused
+/// traffic is re-offered with exponential backoff and seeded jitter
+/// (virtual time only, no wall clock) until it is admitted or its retry
+/// budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Delay before the first re-offer, seconds of virtual time.
+    pub base_backoff: f64,
+    /// Multiplier applied to the delay on each failed attempt.
+    pub factor: f64,
+    /// Upper bound on the un-jittered delay, seconds.
+    pub max_backoff: f64,
+    /// Retry budget: attempts beyond this are abandoned for good.
+    pub max_attempts: u32,
+    /// Queue capacity; a full queue abandons further entrants.
+    pub max_queue: usize,
+    /// Relative jitter amplitude in `[0, 1)`: each delay is scaled by a
+    /// deterministic factor in `[1 − jitter, 1 + jitter)` derived from
+    /// the seed, the request id and the attempt number.
+    pub jitter: f64,
+    /// Seed of the jitter hash.
+    pub seed: u64,
+}
+
+impl RetryConfig {
+    /// A bounded default: first re-offer after 2 s, doubling up to 30 s,
+    /// at most 6 attempts, 256 queued requests, ±20% jitter.
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self {
+            base_backoff: 2.0,
+            factor: 2.0,
+            max_backoff: 30.0,
+            max_attempts: 6,
+            max_queue: 256,
+            jitter: 0.2,
+            seed: 0xB0FF,
+        }
+    }
+}
+
 /// Complete controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ControllerConfig {
@@ -118,6 +205,12 @@ pub struct ControllerConfig {
     /// effect only when the controller was built with a cluster
     /// ([`Controller::with_cluster`](crate::Controller::with_cluster)).
     pub replace: Option<ReplaceConfig>,
+    /// Emergency re-placement on node failures; `None` leaves recovery to
+    /// the next periodic tick. Requires a cluster, like `replace`.
+    pub emergency: Option<EmergencyConfig>,
+    /// Retry/backoff queue for shed and rejected arrivals; `None` loses
+    /// refused traffic for good.
+    pub retry: Option<RetryConfig>,
 }
 
 impl ControllerConfig {
@@ -129,6 +222,8 @@ impl ControllerConfig {
             shed: ShedPolicy::RejectArrival,
             reopt: None,
             replace: None,
+            emergency: None,
+            retry: None,
         }
     }
 
@@ -137,9 +232,8 @@ impl ControllerConfig {
     #[must_use]
     pub fn periodic_reopt() -> Self {
         Self {
-            shed: ShedPolicy::RejectArrival,
             reopt: Some(ReoptConfig::bounded()),
-            replace: None,
+            ..Self::online_only()
         }
     }
 
@@ -148,9 +242,8 @@ impl ControllerConfig {
     #[must_use]
     pub fn offline_oracle() -> Self {
         Self {
-            shed: ShedPolicy::RejectArrival,
             reopt: Some(ReoptConfig::oracle()),
-            replace: None,
+            ..Self::online_only()
         }
     }
 
@@ -161,9 +254,22 @@ impl ControllerConfig {
     #[must_use]
     pub fn joint_reopt() -> Self {
         Self {
-            shed: ShedPolicy::RejectArrival,
             reopt: Some(ReoptConfig::bounded()),
             replace: Some(ReplaceConfig::bounded()),
+            ..Self::online_only()
+        }
+    }
+
+    /// The full robustness ladder: joint re-optimization plus emergency
+    /// re-placement on node failures ([`EmergencyConfig::bounded`]) and a
+    /// retry/backoff queue for refused arrivals
+    /// ([`RetryConfig::bounded`]).
+    #[must_use]
+    pub fn resilient() -> Self {
+        Self {
+            emergency: Some(EmergencyConfig::bounded()),
+            retry: Some(RetryConfig::bounded()),
+            ..Self::joint_reopt()
         }
     }
 }
@@ -221,6 +327,26 @@ mod tests {
         // The scheduling-only presets never re-place.
         assert_eq!(ControllerConfig::periodic_reopt().replace, None);
         assert_eq!(ControllerConfig::offline_oracle().replace, None);
+    }
+
+    #[test]
+    fn resilient_preset_layers_recovery_on_top_of_joint() {
+        let resilient = ControllerConfig::resilient();
+        assert_eq!(resilient.reopt, ControllerConfig::joint_reopt().reopt);
+        assert_eq!(resilient.replace, ControllerConfig::joint_reopt().replace);
+        let emergency = resilient.emergency.unwrap();
+        assert!(emergency.brownout_headroom <= emergency.headroom);
+        assert!(emergency.headroom < 1.0);
+        assert!(emergency.max_instance_ops >= 1);
+        let retry = resilient.retry.unwrap();
+        assert!(retry.base_backoff > 0.0);
+        assert!(retry.factor >= 1.0);
+        assert!(retry.base_backoff <= retry.max_backoff);
+        assert!(retry.max_attempts >= 1);
+        assert!((0.0..1.0).contains(&retry.jitter));
+        // Everything below the resilient tier stays recovery-free.
+        assert_eq!(ControllerConfig::joint_reopt().emergency, None);
+        assert_eq!(ControllerConfig::joint_reopt().retry, None);
     }
 
     #[test]

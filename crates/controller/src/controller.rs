@@ -1,9 +1,9 @@
 //! The event-driven control loop.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use nfv_metrics::{Histogram, SampleSet};
-use nfv_model::{ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
+use nfv_model::{Capacity, ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
 use nfv_placement::{Bfdsu, Placement, PlacementProblem};
 use nfv_scheduling::{Rckk, Scheduler};
 use nfv_workload::churn::{ChurnEvent, ChurnTrace, TimedEvent};
@@ -11,6 +11,7 @@ use nfv_workload::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::retry::RetryQueue;
 use crate::{
     ControllerConfig, ControllerError, ControllerReport, ControllerState, RejectReason, ShedPolicy,
 };
@@ -58,6 +59,35 @@ pub enum EventOutcome {
     TickSkipped,
     /// A tick was observed but re-optimization is disabled.
     TickIgnored,
+    /// A whole node went dark: every VNF it hosted lost all instances at
+    /// once, the affected requests were shed (and queued for retry when
+    /// configured), and — under
+    /// [`EmergencyConfig`](crate::EmergencyConfig) — an out-of-tick
+    /// re-placement ran over the surviving nodes.
+    NodeDownHandled {
+        /// VNFs whose hosting node failed.
+        vnfs_lost: u64,
+        /// Requests shed because their chain crossed a lost VNF (each
+        /// counted once, however many lost hops it had).
+        shed: u64,
+        /// Replacement instances added by the emergency re-placement.
+        instances_added: u64,
+        /// VNFs relocated onto surviving nodes by the emergency
+        /// re-placement.
+        relocations: u64,
+    },
+    /// A previously-dark node returned; VNFs still assigned to it are
+    /// dispatchable again (VNFs relocated away during the outage are
+    /// untouched).
+    NodeUpHandled {
+        /// VNFs whose instances became available again.
+        vnfs_restored: u64,
+    },
+    /// An outage event named a node or `(vnf, instance)` the controller
+    /// doesn't track — e.g. an instance retired by re-placement since the
+    /// trace was generated, a recovery without a matching outage, or a
+    /// node event without a cluster. Counted and otherwise ignored.
+    StaleOutage,
 }
 
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -77,6 +107,13 @@ struct Counters {
     relocations: u64,
     replaces_applied: u64,
     replaces_aborted: u64,
+    node_downs: u64,
+    node_ups: u64,
+    stale_outage_events: u64,
+    emergency_replaces: u64,
+    retries_attempted: u64,
+    retry_admitted: u64,
+    retry_abandoned: u64,
 }
 
 /// The physical substrate the controller re-places over: the node fleet,
@@ -88,6 +125,44 @@ struct Cluster {
     nodes: Vec<ComputeNode>,
     protos: Vec<Vnf>,
     assignment: Vec<NodeId>,
+    /// Outage depth per node (overlapping `NodeDown` windows stack, like
+    /// the ledger's per-instance depths); 0 means in service.
+    node_down: Vec<u32>,
+}
+
+impl Cluster {
+    fn any_node_down(&self) -> bool {
+        self.node_down.iter().any(|&d| d > 0)
+    }
+
+    /// The fleet with dark nodes' capacity zeroed, so placement treats
+    /// them as full and routes around them.
+    fn effective_nodes(&self) -> Vec<ComputeNode> {
+        if !self.any_node_down() {
+            return self.nodes.clone();
+        }
+        self.nodes
+            .iter()
+            .zip(&self.node_down)
+            .map(|(node, &depth)| {
+                if depth == 0 {
+                    *node
+                } else {
+                    ComputeNode::new(node.id(), Capacity::new(0.0).expect("zero is valid"))
+                }
+            })
+            .collect()
+    }
+
+    /// The VNFs assigned to one node, in id order.
+    fn hosted_by(&self, node: NodeId) -> Vec<VnfId> {
+        self.protos
+            .iter()
+            .zip(&self.assignment)
+            .filter(|&(_, &n)| n == node)
+            .map(|(p, _)| p.id())
+            .collect()
+    }
 }
 
 /// An online NFV control plane over one scenario.
@@ -140,6 +215,7 @@ pub struct Controller {
     utilization_samples: SampleSet,
     snapshots: Vec<ControllerReport>,
     cluster: Option<Cluster>,
+    retry: RetryQueue,
 }
 
 impl Controller {
@@ -158,6 +234,7 @@ impl Controller {
             utilization_samples: SampleSet::new(),
             snapshots: Vec::new(),
             cluster: None,
+            retry: RetryQueue::default(),
         }
     }
 
@@ -193,10 +270,12 @@ impl Controller {
             }
         })?;
         let mut controller = Self::new(scenario, config);
+        let node_down = vec![0; nodes.len()];
         controller.cluster = Some(Cluster {
             nodes,
             protos,
             assignment: placement.assignment().to_vec(),
+            node_down,
         });
         Ok(controller)
     }
@@ -226,8 +305,10 @@ impl Controller {
         self.clock
     }
 
-    /// Applies one timed event.
+    /// Applies one timed event. Retries that came due before the event's
+    /// time are re-offered first, at their own virtual times.
     pub fn handle(&mut self, event: &TimedEvent) -> EventOutcome {
+        self.offer_due_retries(event.time());
         // Accumulate the latency integral over the interval the system
         // spent in its previous configuration.
         let dt = event.time() - self.clock;
@@ -240,10 +321,9 @@ impl Controller {
             ChurnEvent::Arrival(request) => self.admit(request),
             ChurnEvent::Departure(id) => self.depart(*id),
             ChurnEvent::InstanceDown { vnf, instance } => self.instance_down(*vnf, *instance),
-            ChurnEvent::InstanceUp { vnf, instance } => {
-                self.state.set_up(*vnf, *instance, true);
-                EventOutcome::InstanceUpHandled
-            }
+            ChurnEvent::InstanceUp { vnf, instance } => self.instance_up(*vnf, *instance),
+            ChurnEvent::NodeDown { node } => self.node_down(*node),
+            ChurnEvent::NodeUp { node } => self.node_up(*node),
             ChurnEvent::ReoptimizeTick => self.tick(),
         };
 
@@ -262,13 +342,72 @@ impl Controller {
         for event in trace {
             self.handle(event);
         }
-        // Account for the quiet tail between the last event and the
-        // horizon, so the time-weighted mean covers the whole run.
-        if trace.horizon() > self.clock {
-            self.latency_integral += self.current_latency * (trace.horizon() - self.clock);
-            self.clock = trace.horizon();
-        }
+        self.finish(trace.horizon());
         self.report()
+    }
+
+    /// Closes a run at `horizon`: re-offers any retries still due before
+    /// it and accounts for the quiet tail between the last event and the
+    /// horizon, so the time-weighted mean covers the whole run. Callers
+    /// driving [`handle`](Self::handle) event by event should call this
+    /// once at the end; [`run_trace`](Self::run_trace) does it
+    /// automatically.
+    pub fn finish(&mut self, horizon: f64) {
+        self.offer_due_retries(horizon);
+        if horizon > self.clock {
+            self.latency_integral += self.current_latency * (horizon - self.clock);
+            self.clock = horizon;
+        }
+    }
+
+    /// Re-offers every queued retry due at or before `upto`, each at its
+    /// own virtual due time (advancing the clock and latency integral to
+    /// it). A failed re-offer goes back into the queue with one more
+    /// attempt on the counter, until the retry budget runs out.
+    fn offer_due_retries(&mut self, upto: f64) {
+        let Some(rc) = self.config.retry else { return };
+        while let Some((due, attempt, request)) = self.retry.pop_due(upto) {
+            if due > self.clock {
+                self.latency_integral += self.current_latency * (due - self.clock);
+                self.clock = due;
+            }
+            self.counters.retries_attempted += 1;
+            match self.placement_plan(&request) {
+                Some(placements) => {
+                    for &(vnf, k) in &placements {
+                        self.state
+                            .add_request(
+                                vnf,
+                                k,
+                                request.id(),
+                                request.arrival_rate(),
+                                request.delivery(),
+                            )
+                            .expect("placement was validated against the ledger");
+                    }
+                    self.active.insert(request.id(), request);
+                    self.counters.retry_admitted += 1;
+                }
+                None => {
+                    if !self.retry.schedule(&rc, request, attempt + 1, due) {
+                        self.counters.retry_abandoned += 1;
+                    }
+                }
+            }
+            self.current_latency = self.state.predicted_latency();
+            self.latency_samples.push(self.current_latency);
+            self.utilization_samples.push(self.peak_utilization());
+        }
+    }
+
+    /// Queues a refused request for a later re-offer (first attempt),
+    /// when retries are configured; abandoned entrants are counted.
+    fn enqueue_retry(&mut self, request: &Request) {
+        if let Some(rc) = self.config.retry {
+            if !self.retry.schedule(&rc, request.clone(), 0, self.clock) {
+                self.counters.retry_abandoned += 1;
+            }
+        }
     }
 
     /// The per-tick report snapshots collected so far.
@@ -309,6 +448,14 @@ impl Controller {
             relocations: self.counters.relocations,
             replaces_applied: self.counters.replaces_applied,
             replaces_aborted: self.counters.replaces_aborted,
+            node_downs: self.counters.node_downs,
+            node_ups: self.counters.node_ups,
+            stale_outage_events: self.counters.stale_outage_events,
+            emergency_replaces: self.counters.emergency_replaces,
+            retries_attempted: self.counters.retries_attempted,
+            retry_admitted: self.counters.retry_admitted,
+            retry_abandoned: self.counters.retry_abandoned,
+            retry_pending: self.retry.len() as u64,
             active: self.active.len() as u64,
             mean_latency: if self.clock > 0.0 {
                 self.latency_integral / self.clock
@@ -340,6 +487,7 @@ impl Controller {
             self.counters.rejected += 1;
             return EventOutcome::Rejected(RejectReason::DuplicateId);
         }
+        let headroom = self.admission_headroom();
         let mut placements = Vec::with_capacity(request.chain().len());
         for &vnf in request.chain() {
             if self.state.instances(vnf) == 0 {
@@ -348,12 +496,16 @@ impl Controller {
             }
             let Some(k) = self.state.least_loaded_up(vnf) else {
                 self.counters.rejected += 1;
+                self.enqueue_retry(request);
                 return EventOutcome::Rejected(RejectReason::NoInstanceUp { vnf });
             };
-            if self
-                .state
-                .can_accept(vnf, k, request.arrival_rate(), request.delivery())
-            {
+            if self.state.can_accept_within(
+                vnf,
+                k,
+                request.arrival_rate(),
+                request.delivery(),
+                headroom,
+            ) {
                 placements.push((vnf, k));
                 continue;
             }
@@ -364,6 +516,7 @@ impl Controller {
                 continue;
             }
             self.counters.rejected += 1;
+            self.enqueue_retry(request);
             return EventOutcome::Rejected(RejectReason::WouldOverload { vnf });
         }
         for &(vnf, k) in &placements {
@@ -380,6 +533,44 @@ impl Controller {
         self.active.insert(request.id(), request.clone());
         self.counters.admitted += 1;
         EventOutcome::Admitted { placements }
+    }
+
+    /// A non-mutating admission check for retries: the least-loaded up
+    /// instance per chain hop, under the current admission headroom, with
+    /// no eviction fallback. `None` when any hop refuses.
+    fn placement_plan(&self, request: &Request) -> Option<Vec<(VnfId, usize)>> {
+        if self.active.contains_key(&request.id()) {
+            return None;
+        }
+        let headroom = self.admission_headroom();
+        let mut placements = Vec::with_capacity(request.chain().len());
+        for &vnf in request.chain() {
+            let k = self.state.least_loaded_up(vnf)?;
+            if !self.state.can_accept_within(
+                vnf,
+                k,
+                request.arrival_rate(),
+                request.delivery(),
+                headroom,
+            ) {
+                return None;
+            }
+            placements.push((vnf, k));
+        }
+        Some(placements)
+    }
+
+    /// Brownout admission: while any node is dark (and emergency handling
+    /// is configured), arrivals and retries are admitted only up to the
+    /// brownout fraction of `μ` per instance, keeping slack on the
+    /// surviving capacity for failover traffic and returning retries.
+    fn admission_headroom(&self) -> f64 {
+        match (&self.cluster, self.config.emergency) {
+            (Some(cluster), Some(emergency)) if cluster.any_node_down() => {
+                emergency.brownout_headroom
+            }
+            _ => 1.0,
+        }
     }
 
     /// Tries to shed the largest-rate request of `(vnf, k)` to make room
@@ -437,9 +628,15 @@ impl Controller {
 
     /// Marks the instance down and re-dispatches its requests (id order)
     /// to surviving instances with headroom; requests that fit nowhere are
-    /// shed entirely.
+    /// shed entirely (and queued for retry when configured). An event
+    /// naming an instance the controller doesn't track — e.g. one retired
+    /// by re-placement since the trace was generated — is counted as
+    /// stale and ignored.
     fn instance_down(&mut self, vnf: VnfId, instance: usize) -> EventOutcome {
-        self.state.set_up(vnf, instance, false);
+        if !self.state.mark_down(vnf, instance) {
+            self.counters.stale_outage_events += 1;
+            return EventOutcome::StaleOutage;
+        }
         let displaced = self.state.members_of(vnf, instance);
         let (mut migrated, mut shed) = (0u64, 0u64);
         for id in displaced {
@@ -463,12 +660,226 @@ impl Controller {
                 None => {
                     self.drop_request(id);
                     shed += 1;
+                    self.enqueue_retry(&request);
                 }
             }
         }
         self.counters.migrated_failover += migrated;
         self.counters.shed += shed;
         EventOutcome::InstanceDownHandled { migrated, shed }
+    }
+
+    /// Closes one outage window on the instance. A recovery with no open
+    /// window (overlapping outages already closed, or an instance retired
+    /// and re-grown since) is stale: counted, never a resurrection.
+    fn instance_up(&mut self, vnf: VnfId, instance: usize) -> EventOutcome {
+        if self.state.mark_up(vnf, instance) {
+            EventOutcome::InstanceUpHandled
+        } else {
+            self.counters.stale_outage_events += 1;
+            EventOutcome::StaleOutage
+        }
+    }
+
+    /// A whole node went dark. Every VNF assigned to it loses all its
+    /// instances at once (whole-VNF-per-node placement): the ledger marks
+    /// them host-down atomically, mass failover displaces every request
+    /// whose chain crosses a lost VNF — deduplicated, so a chain crossing
+    /// two lost VNFs is shed exactly once — and, when configured, an
+    /// emergency re-placement immediately repacks onto the surviving
+    /// nodes instead of waiting for the next tick. Shed requests are
+    /// queued for retry when configured.
+    fn node_down(&mut self, node: NodeId) -> EventOutcome {
+        let hosted = {
+            let Some(cluster) = self.cluster.as_mut() else {
+                self.counters.stale_outage_events += 1;
+                return EventOutcome::StaleOutage;
+            };
+            let Some(depth) = cluster.node_down.get_mut(node.as_usize()) else {
+                self.counters.stale_outage_events += 1;
+                return EventOutcome::StaleOutage;
+            };
+            self.counters.node_downs += 1;
+            *depth += 1;
+            if *depth > 1 {
+                // Overlapping window: the node is already dark and its
+                // VNFs already failed over.
+                return EventOutcome::NodeDownHandled {
+                    vnfs_lost: 0,
+                    shed: 0,
+                    instances_added: 0,
+                    relocations: 0,
+                };
+            }
+            cluster.hosted_by(node)
+        };
+        let mut displaced: BTreeSet<RequestId> = BTreeSet::new();
+        for &vnf in &hosted {
+            self.state.set_host_down(vnf, true);
+            displaced.extend(self.state.active_ids(vnf));
+        }
+        // With every instance of the lost VNFs down at once, failover has
+        // no surviving target within the VNF: every displaced request is
+        // shed whole (the retry ladder is the recovery path).
+        let mut shed = 0u64;
+        for id in displaced {
+            let request = self
+                .active
+                .get(&id)
+                .expect("ledger member is active")
+                .clone();
+            self.drop_request(id);
+            shed += 1;
+            self.enqueue_retry(&request);
+        }
+        self.counters.shed += shed;
+        let (instances_added, relocations) = self.emergency_replace();
+        EventOutcome::NodeDownHandled {
+            vnfs_lost: hosted.len() as u64,
+            shed,
+            instances_added,
+            relocations,
+        }
+    }
+
+    /// A node returned. Once its last outage window closes, the VNFs
+    /// *still assigned* to it become dispatchable again; VNFs relocated
+    /// away during the outage are untouched. Reclaiming the node (moving
+    /// load back onto it) is left to the next tick's hysteresis-gated
+    /// re-placement phase.
+    fn node_up(&mut self, node: NodeId) -> EventOutcome {
+        let restored = {
+            let Some(cluster) = self.cluster.as_mut() else {
+                self.counters.stale_outage_events += 1;
+                return EventOutcome::StaleOutage;
+            };
+            let Some(depth) = cluster.node_down.get_mut(node.as_usize()) else {
+                self.counters.stale_outage_events += 1;
+                return EventOutcome::StaleOutage;
+            };
+            if *depth == 0 {
+                // A recovery without a matching outage.
+                self.counters.stale_outage_events += 1;
+                return EventOutcome::StaleOutage;
+            }
+            self.counters.node_ups += 1;
+            *depth -= 1;
+            if *depth > 0 {
+                return EventOutcome::NodeUpHandled { vnfs_restored: 0 };
+            }
+            cluster.hosted_by(node)
+        };
+        for &vnf in &restored {
+            self.state.set_host_down(vnf, false);
+        }
+        EventOutcome::NodeUpHandled {
+            vnfs_restored: restored.len() as u64,
+        }
+    }
+
+    /// Emergency re-placement, run outside the periodic tick right after
+    /// a node failure: incremental BFDSU over the *surviving* nodes (the
+    /// dark fleet contributes zero capacity), relocating stranded VNFs
+    /// and growing replacement instances toward the ρ-headroom targets —
+    /// which include the retry backlog, since that traffic re-offers as
+    /// soon as capacity returns. Bounded by the per-event op cap; no
+    /// latency hysteresis, because restoring availability is the point.
+    /// Returns `(instances_added, relocations)`.
+    fn emergency_replace(&mut self) -> (u64, u64) {
+        let Some(ec) = self.config.emergency else {
+            return (0, 0);
+        };
+        let Some(cluster) = self.cluster.clone() else {
+            return (0, 0);
+        };
+        let mut grow_candidates: Vec<(f64, VnfId)> = Vec::new();
+        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+            let m = self.state.instances(vnf);
+            if m == 0 {
+                continue;
+            }
+            let mu = self.state.service_rate(vnf).expect("vnf exists").value();
+            let lambda = self.state.total_sum(vnf) + self.retry.pending_rate(vnf);
+            let needed = {
+                let raw = (lambda / (ec.headroom * mu)).ceil();
+                if raw.is_finite() && raw >= 1.0 {
+                    raw as usize
+                } else {
+                    1
+                }
+            };
+            if needed > m {
+                let ratio = lambda / (m as f64 * mu);
+                for _ in m..needed {
+                    grow_candidates.push((ratio, vnf));
+                }
+            }
+        }
+        grow_candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut grows: Vec<VnfId> = grow_candidates.into_iter().map(|(_, v)| v).collect();
+        grows.truncate(ec.max_instance_ops);
+
+        let effective = cluster.effective_nodes();
+        let mut rng = StdRng::seed_from_u64(ec.seed ^ self.counters.node_downs);
+        let (assignment, relocated) = loop {
+            let grown = build_vnfs(&cluster.protos, &|id| {
+                self.state.instances(id) + grows.iter().filter(|&&g| g == id).count()
+            });
+            let Ok(problem) = PlacementProblem::new(effective.clone(), grown) else {
+                if grows.pop().is_none() {
+                    return (0, 0);
+                }
+                continue;
+            };
+            if fits_in_place(&problem, &cluster.assignment) {
+                break (cluster.assignment.clone(), Vec::new());
+            }
+            let current = build_vnfs(&cluster.protos, &|id| self.state.instances(id));
+            // The prior is validated against the *full-capacity* fleet:
+            // the live assignment still maps the stranded VNFs onto the
+            // dark node, which the zero-capacity problem would reject.
+            let prior = PlacementProblem::new(cluster.nodes.clone(), current)
+                .ok()
+                .and_then(|p| Placement::new(&p, cluster.assignment.clone()).ok())
+                .expect("the live assignment is valid for the live counts");
+            match Bfdsu::new().place_delta(&problem, &prior, &mut rng) {
+                Ok(delta) if grows.len() + delta.moved().len() <= ec.max_instance_ops => {
+                    let moved = delta.moved().to_vec();
+                    break (delta.into_placement().assignment().to_vec(), moved);
+                }
+                _ => {
+                    if grows.pop().is_none() {
+                        // Not even a pure relocation fits the surviving
+                        // fleet: degrade gracefully and let retries wait
+                        // for the node to return.
+                        return (0, 0);
+                    }
+                }
+            }
+        };
+        if grows.is_empty() && relocated.is_empty() {
+            return (0, 0);
+        }
+        for &vnf in &grows {
+            self.state.add_instance(vnf).expect("vnf exists");
+        }
+        self.commit_assignment(assignment);
+        self.counters.instances_added += grows.len() as u64;
+        self.counters.relocations += relocated.len() as u64;
+        self.counters.emergency_replaces += 1;
+        (grows.len() as u64, relocated.len() as u64)
+    }
+
+    /// Adopts a (possibly repacked) VNF→node assignment and recomputes
+    /// every VNF's host-availability from it — a VNF relocated off a dark
+    /// node becomes dispatchable again immediately.
+    fn commit_assignment(&mut self, assignment: Vec<NodeId>) {
+        let cluster = self.cluster.as_mut().expect("caller holds a cluster");
+        cluster.assignment = assignment;
+        for (proto, &node) in cluster.protos.iter().zip(&cluster.assignment) {
+            self.state
+                .set_host_down(proto.id(), cluster.node_down[node.as_usize()] > 0);
+        }
     }
 
     /// Bounded plan selection: repeatedly applies, out of the remaining
@@ -664,7 +1075,7 @@ impl Controller {
     #[allow(clippy::too_many_lines)]
     fn replace_phase(&mut self) -> (u64, u64, u64) {
         let rc = self.config.replace.expect("caller checked replace config");
-        let mut cluster = self.cluster.clone().expect("caller checked cluster");
+        let cluster = self.cluster.clone().expect("caller checked cluster");
 
         // Phase 1: ρ-headroom targets from live inflated rates, turned
         // into unit grow/shrink candidates. Grows are ranked by overload
@@ -678,7 +1089,10 @@ impl Controller {
                 continue;
             }
             let mu = self.state.service_rate(vnf).expect("vnf exists").value();
-            let lambda = self.state.total_sum(vnf);
+            // Targets provision for the retry backlog too: that traffic
+            // re-offers as soon as capacity returns (zero without a retry
+            // queue).
+            let lambda = self.state.total_sum(vnf) + self.retry.pending_rate(vnf);
             let needed = {
                 let raw = (lambda / (rc.headroom * mu)).ceil();
                 if raw.is_finite() && raw >= 1.0 {
@@ -692,7 +1106,9 @@ impl Controller {
                 for _ in m..needed {
                     grow_candidates.push((ratio, vnf));
                 }
-            } else if m > needed && ratio < rc.shrink_headroom {
+            } else if m > needed && ratio < rc.shrink_headroom && !self.state.host_down(vnf) {
+                // A host-down VNF always looks idle; don't retire the
+                // instances it will need back after relocation/recovery.
                 for _ in needed..m {
                     shrinks.push(vnf);
                 }
@@ -767,32 +1183,23 @@ impl Controller {
             }
         }
 
-        // Phase 3: feasibility of the grown fleet on the physical cluster.
-        // If the desired counts fit on the current assignment, nothing
-        // relocates; otherwise the incremental BFDSU repacks, and the plan
-        // must still fit the op budget (each relocation costs one unit) —
-        // when it does not, the lowest-priority grow is dropped and the
-        // fit is retried. The per-tick RNG is derived from the tick count,
-        // so runs are bit-identical at any thread count.
+        // Phase 3: feasibility of the grown fleet on the physical cluster
+        // — dark nodes contribute zero capacity, so VNFs stranded on them
+        // become misfits and relocate here even without emergency
+        // handling. If the desired counts fit on the current assignment,
+        // nothing relocates; otherwise the incremental BFDSU repacks, and
+        // the plan must still fit the op budget (each relocation costs
+        // one unit) — when it does not, the lowest-priority grow is
+        // dropped and the fit is retried. The per-tick RNG is derived
+        // from the tick count, so runs are bit-identical at any thread
+        // count.
         let mut rng = StdRng::seed_from_u64(rc.seed ^ self.counters.ticks);
-        let build_vnfs = |protos: &[Vnf], count_of: &dyn Fn(VnfId) -> usize| -> Vec<Vnf> {
-            protos
-                .iter()
-                .map(|p| {
-                    Vnf::builder(p.id(), p.kind())
-                        .demand_per_instance(p.demand_per_instance())
-                        .instances(count_of(p.id()) as u32)
-                        .service_rate(p.service_rate())
-                        .build()
-                        .expect("instance counts stay >= 1")
-                })
-                .collect()
-        };
+        let effective = cluster.effective_nodes();
         let (assignment, relocated) = loop {
             let grown = build_vnfs(&cluster.protos, &|id| {
                 preview.instances(id) + grows.iter().filter(|&&g| g == id).count()
             });
-            let Ok(problem) = PlacementProblem::new(cluster.nodes.clone(), grown) else {
+            let Ok(problem) = PlacementProblem::new(effective.clone(), grown) else {
                 if grows.pop().is_none() {
                     break (cluster.assignment.clone(), Vec::new());
                 }
@@ -802,6 +1209,9 @@ impl Controller {
                 break (cluster.assignment.clone(), Vec::new());
             }
             let current = build_vnfs(&cluster.protos, &|id| preview.instances(id));
+            // The prior is validated against the *full-capacity* fleet:
+            // the live assignment may still map VNFs onto a dark node,
+            // which the zero-capacity problem would reject.
             let prior = PlacementProblem::new(cluster.nodes.clone(), current)
                 .ok()
                 .and_then(|p| Placement::new(&p, cluster.assignment.clone()).ok())
@@ -834,6 +1244,11 @@ impl Controller {
             preview.add_instance(vnf).expect("vnf exists");
         }
         if !grows.is_empty() || !relocated.is_empty() {
+            // A plan that pulls a VNF off a dark node restores service and
+            // bypasses the gate: its balanced-latency gain previews as
+            // zero (the dead VNF carries no live load), yet skipping it
+            // would strand the VNF until the node returns.
+            let restores = relocated.iter().any(|&v| self.state.host_down(v));
             let now = self.state.balanced_latency();
             let after = preview.balanced_latency();
             let gain = if now.is_infinite() {
@@ -848,20 +1263,21 @@ impl Controller {
             } else {
                 0.0
             };
-            if gain < rc.min_gain {
+            if !restores && gain < rc.min_gain {
                 self.counters.replaces_aborted += 1;
                 return (0, 0, 0);
             }
         }
 
         // Phase 5: commit — the previewed ledger becomes the live state
-        // and the cluster adopts the (possibly repacked) assignment.
+        // and the cluster adopts the (possibly repacked) assignment, with
+        // host-availability recomputed from the new node mapping.
         let added = grows.len() as u64;
         let retired = applied_shrinks.len() as u64;
         let moved = relocated.len() as u64;
         self.state = preview;
-        cluster.assignment = assignment;
         self.cluster = Some(cluster);
+        self.commit_assignment(assignment);
         self.counters.migrated_replace += drained_total;
         self.counters.instances_added += added;
         self.counters.instances_retired += retired;
@@ -869,6 +1285,22 @@ impl Controller {
         self.counters.replaces_applied += 1;
         (added, retired, moved)
     }
+}
+
+/// Rebuilds the VNF prototypes with live instance counts, for assembling
+/// [`PlacementProblem`]s during (re-)placement.
+fn build_vnfs(protos: &[Vnf], count_of: &dyn Fn(VnfId) -> usize) -> Vec<Vnf> {
+    protos
+        .iter()
+        .map(|p| {
+            Vnf::builder(p.id(), p.kind())
+                .demand_per_instance(p.demand_per_instance())
+                .instances(count_of(p.id()) as u32)
+                .service_rate(p.service_rate())
+                .build()
+                .expect("instance counts stay >= 1")
+        })
+        .collect()
 }
 
 /// Whether every node's demand under `assignment` stays within capacity
@@ -1036,8 +1468,7 @@ mod tests {
             &s,
             ControllerConfig {
                 shed: ShedPolicy::EvictLargest,
-                reopt: None,
-                replace: None,
+                ..ControllerConfig::online_only()
             },
         );
         let m = vnf.instances() as usize;

@@ -12,8 +12,14 @@ use crate::ControllerError;
 #[derive(Debug, Clone, PartialEq)]
 struct VnfLedger {
     service: ServiceRate,
-    /// Availability flag per instance (`InstanceDown` clears it).
-    up: Vec<bool>,
+    /// Outage depth per instance: 0 means up. Overlapping outage windows
+    /// stack, so the first `InstanceUp` of two overlapping outages does
+    /// *not* resurrect the instance — only the last one does.
+    down: Vec<u32>,
+    /// Whole-VNF unavailability: the hosting compute node is dark. Every
+    /// instance of the VNF is unavailable regardless of its own
+    /// per-instance outage depth.
+    host_down: bool,
     /// Members of each instance, keyed by request id. The map (not a
     /// running sum) is the source of truth: sums are recomputed from it in
     /// id order on every mutation, so an `add` followed by a `remove`
@@ -28,6 +34,18 @@ struct VnfLedger {
 }
 
 impl VnfLedger {
+    fn instance_up(&self, k: usize) -> bool {
+        !self.host_down && self.down.get(k) == Some(&0)
+    }
+
+    fn up_instances(&self) -> usize {
+        if self.host_down {
+            0
+        } else {
+            self.down.iter().filter(|&&d| d == 0).count()
+        }
+    }
+
     fn recompute_sum(&mut self, k: usize) {
         self.sums[k] = self.members[k]
             .values()
@@ -75,7 +93,8 @@ impl ControllerState {
                     vnf.id(),
                     VnfLedger {
                         service: vnf.service_rate(),
-                        up: vec![true; m],
+                        down: vec![0; m],
+                        host_down: false,
                         members: vec![BTreeMap::new(); m],
                         sums: vec![0.0; m],
                         home: BTreeMap::new(),
@@ -108,23 +127,89 @@ impl ControllerState {
         self.ledger(vnf).map(|l| l.service)
     }
 
-    /// Whether an instance is currently up.
+    /// Whether an instance is currently up: its own outage depth is zero
+    /// *and* its hosting node (if the controller tracks one) is in
+    /// service.
     #[must_use]
     pub fn is_up(&self, vnf: VnfId, instance: usize) -> bool {
-        self.ledger(vnf)
-            .and_then(|l| l.up.get(instance))
-            .copied()
-            .unwrap_or(false)
+        self.ledger(vnf).is_some_and(|l| l.instance_up(instance))
     }
 
-    /// Marks an instance up or down. Idempotent; out-of-range indices are
+    /// Marks an instance up or down — a convenience wrapper over
+    /// [`mark_down`](Self::mark_down) / [`mark_up`](Self::mark_up) that
+    /// discards the staleness verdict. Out-of-range coordinates are
     /// ignored (a trace may name an instance the scenario doesn't have).
     pub fn set_up(&mut self, vnf: VnfId, instance: usize, up: bool) {
-        if let Some(ledger) = self.vnfs.get_mut(&vnf) {
-            if let Some(flag) = ledger.up.get_mut(instance) {
-                *flag = up;
-            }
+        if up {
+            self.mark_up(vnf, instance);
+        } else {
+            self.mark_down(vnf, instance);
         }
+    }
+
+    /// Opens one outage window on an instance (outage depth `+= 1`).
+    /// Returns `false` — and changes nothing — when the coordinates don't
+    /// name a live instance, so the caller can count the event as stale.
+    pub fn mark_down(&mut self, vnf: VnfId, instance: usize) -> bool {
+        let Some(depth) = self
+            .vnfs
+            .get_mut(&vnf)
+            .and_then(|l| l.down.get_mut(instance))
+        else {
+            return false;
+        };
+        *depth += 1;
+        true
+    }
+
+    /// Closes one outage window on an instance (outage depth `-= 1`).
+    /// Returns `false` — and changes nothing — when the coordinates don't
+    /// name a live instance *or* the instance has no open outage window
+    /// (a stale recovery for an instance that was re-placed away, or a
+    /// duplicate `InstanceUp`).
+    pub fn mark_up(&mut self, vnf: VnfId, instance: usize) -> bool {
+        let Some(depth) = self
+            .vnfs
+            .get_mut(&vnf)
+            .and_then(|l| l.down.get_mut(instance))
+        else {
+            return false;
+        };
+        if *depth == 0 {
+            return false;
+        }
+        *depth -= 1;
+        true
+    }
+
+    /// Current outage depth of an instance (0 when up or unknown).
+    #[must_use]
+    pub fn outage_depth(&self, vnf: VnfId, instance: usize) -> u32 {
+        self.ledger(vnf)
+            .and_then(|l| l.down.get(instance))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets or clears whole-VNF unavailability (the hosting node went dark
+    /// or returned). Unknown VNFs are ignored.
+    pub fn set_host_down(&mut self, vnf: VnfId, down: bool) {
+        if let Some(ledger) = self.vnfs.get_mut(&vnf) {
+            ledger.host_down = down;
+        }
+    }
+
+    /// Whether the VNF's hosting node is currently marked dark.
+    #[must_use]
+    pub fn host_down(&self, vnf: VnfId) -> bool {
+        self.ledger(vnf).is_some_and(|l| l.host_down)
+    }
+
+    /// Whether every VNF has at least one up instance — the availability
+    /// predicate the resilience experiments track over time.
+    #[must_use]
+    pub fn fully_available(&self) -> bool {
+        self.vnfs.values().all(|l| l.up_instances() > 0)
     }
 
     /// Merged loss-inflated rate `Λ_k^f` of one instance.
@@ -152,7 +237,7 @@ impl ControllerState {
             .sums
             .iter()
             .enumerate()
-            .filter(|&(k, _)| ledger.up[k])
+            .filter(|&(k, _)| ledger.instance_up(k))
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sums are finite"))
             .map(|(k, _)| k)
     }
@@ -167,13 +252,31 @@ impl ControllerState {
         rate: ArrivalRate,
         delivery: DeliveryProbability,
     ) -> bool {
+        self.can_accept_within(vnf, instance, rate, delivery, 1.0)
+    }
+
+    /// Like [`can_accept`](Self::can_accept), but against a tightened
+    /// utilization budget: the merged rate after admission must stay
+    /// strictly below `headroom · μ`. `headroom = 1.0` is plain strict
+    /// stability; the brownout admission mode passes a smaller fraction
+    /// while any node is down.
+    #[must_use]
+    pub fn can_accept_within(
+        &self,
+        vnf: VnfId,
+        instance: usize,
+        rate: ArrivalRate,
+        delivery: DeliveryProbability,
+        headroom: f64,
+    ) -> bool {
         let Some(ledger) = self.ledger(vnf) else {
             return false;
         };
-        if !ledger.up.get(instance).copied().unwrap_or(false) {
+        if !ledger.instance_up(instance) {
             return false;
         }
-        ledger.sums[instance] + rate.inflated_by_loss(delivery).value() < ledger.service.value()
+        ledger.sums[instance] + rate.inflated_by_loss(delivery).value()
+            < headroom * ledger.service.value()
     }
 
     /// Assigns a request to an instance.
@@ -268,11 +371,11 @@ impl ControllerState {
         self.vnfs.keys().copied()
     }
 
-    /// Number of *up* instances of a VNF (0 for an unknown VNF).
+    /// Number of *up* instances of a VNF (0 for an unknown VNF or one
+    /// whose hosting node is dark).
     #[must_use]
     pub fn up_count(&self, vnf: VnfId) -> usize {
-        self.ledger(vnf)
-            .map_or(0, |l| l.up.iter().filter(|&&u| u).count())
+        self.ledger(vnf).map_or(0, VnfLedger::up_instances)
     }
 
     /// Total Kleinrock-merged loss-inflated rate `Λ_f = Σ_k Λ_k^f` over
@@ -293,7 +396,7 @@ impl ControllerState {
     /// [`ControllerError::UnknownVnf`] if the VNF does not exist.
     pub fn add_instance(&mut self, vnf: VnfId) -> Result<usize, ControllerError> {
         let ledger = self.ledger_mut(vnf)?;
-        ledger.up.push(true);
+        ledger.down.push(0);
         ledger.members.push(BTreeMap::new());
         ledger.sums.push(0.0);
         Ok(ledger.sums.len() - 1)
@@ -322,7 +425,7 @@ impl ControllerState {
                 instance: last,
             });
         }
-        ledger.up.pop();
+        ledger.down.pop();
         ledger.members.pop();
         ledger.sums.pop();
         Ok(last)
@@ -358,7 +461,7 @@ impl ControllerState {
             if external == 0.0 {
                 continue;
             }
-            let m = ledger.up.iter().filter(|&&u| u).count();
+            let m = ledger.up_instances();
             if m == 0 {
                 return f64::INFINITY;
             }
@@ -487,6 +590,68 @@ mod tests {
             state.set_up(vnf, k, false);
         }
         assert_eq!(state.least_loaded_up(vnf), None);
+    }
+
+    #[test]
+    fn overlapping_outages_stack_instead_of_resurrecting() {
+        // Regression: two overlapping outage windows on the same instance.
+        // The first recovery must NOT bring the instance back; only the
+        // last one may.
+        let (scenario, mut state) = state();
+        let vnf = scenario.vnfs()[0].id();
+        assert!(state.mark_down(vnf, 0)); // first outage opens
+        assert!(state.mark_down(vnf, 0)); // second overlaps
+        assert_eq!(state.outage_depth(vnf, 0), 2);
+        assert!(state.mark_up(vnf, 0)); // first outage ends
+        assert!(!state.is_up(vnf, 0), "still inside the second outage");
+        assert!(state.mark_up(vnf, 0)); // second outage ends
+        assert!(state.is_up(vnf, 0));
+        // A further recovery is stale, not a resurrection.
+        assert!(!state.mark_up(vnf, 0));
+        assert!(state.is_up(vnf, 0));
+    }
+
+    #[test]
+    fn stale_coordinates_are_reported_not_applied() {
+        let (scenario, mut state) = state();
+        let vnf = scenario.vnfs()[0].id();
+        let snapshot = state.clone();
+        assert!(!state.mark_down(vnf, 999), "unknown instance");
+        assert!(!state.mark_down(VnfId::new(999), 0), "unknown VNF");
+        assert!(!state.mark_up(vnf, 0), "instance was never down");
+        assert_eq!(state, snapshot, "stale events change nothing");
+    }
+
+    #[test]
+    fn host_down_blanks_the_whole_vnf() {
+        let (scenario, mut state) = state();
+        let vnf = scenario.vnfs()[0].id();
+        assert!(state.fully_available());
+        state.set_host_down(vnf, true);
+        assert!(state.host_down(vnf));
+        assert_eq!(state.up_count(vnf), 0);
+        assert_eq!(state.least_loaded_up(vnf), None);
+        assert!(!state.is_up(vnf, 0));
+        assert!(!state.fully_available());
+        // Per-instance outage depth is preserved underneath.
+        state.mark_down(vnf, 0);
+        state.set_host_down(vnf, false);
+        assert!(!state.is_up(vnf, 0), "its own outage window is still open");
+        assert!(state.is_up(vnf, 1));
+        assert!(state.fully_available());
+    }
+
+    #[test]
+    fn can_accept_within_tightens_the_budget() {
+        let (scenario, state) = state();
+        let vnf = &scenario.vnfs()[0];
+        let mu = vnf.service_rate().value();
+        let id = vnf.id();
+        let near = ArrivalRate::new(mu * 0.9).unwrap();
+        assert!(state.can_accept(id, 0, near, DeliveryProbability::PERFECT));
+        assert!(!state.can_accept_within(id, 0, near, DeliveryProbability::PERFECT, 0.85));
+        let small = ArrivalRate::new(mu * 0.5).unwrap();
+        assert!(state.can_accept_within(id, 0, small, DeliveryProbability::PERFECT, 0.85));
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //!   bounded incremental BFDSU pass may add, retire, or relocate at most
 //!   `K` instances per tick, gated by a migration-cost hysteresis on the
 //!   balanced predicted latency.
+//! - Node-level failure domains — a
+//!   [`NodeDown`](nfv_workload::churn::ChurnEvent::NodeDown) takes down
+//!   every instance of every VNF the node hosts at once (the ledger tracks
+//!   per-instance outage *depth* plus a whole-VNF `host_down` flag, so
+//!   overlapping outages recover correctly). An [`EmergencyConfig`]
+//!   triggers immediate out-of-tick re-placement over the surviving nodes;
+//!   a [`RetryConfig`] re-offers shed and rejected arrivals with
+//!   deterministic exponential backoff + jitter; and while any node is
+//!   dark a brownout admission mode tightens the acceptance threshold.
 //! - [`ControllerReport`] — counters and derived statistics snapshotted in
 //!   virtual time for observability.
 //!
@@ -45,8 +54,12 @@ mod controller;
 mod error;
 mod ledger;
 mod report;
+mod retry;
 
-pub use config::{ControllerConfig, RejectReason, ReoptConfig, ReplaceConfig, ShedPolicy};
+pub use config::{
+    ControllerConfig, EmergencyConfig, RejectReason, ReoptConfig, ReplaceConfig, RetryConfig,
+    ShedPolicy,
+};
 pub use controller::{Controller, EventOutcome};
 pub use error::ControllerError;
 pub use ledger::ControllerState;

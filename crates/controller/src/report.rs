@@ -41,6 +41,26 @@ pub struct ControllerReport {
     /// Ticks whose re-placement plan was aborted by the migration-cost
     /// hysteresis gate.
     pub replaces_aborted: u64,
+    /// `NodeDown` events applied to the cluster (overlapping windows
+    /// included).
+    pub node_downs: u64,
+    /// `NodeUp` events applied to the cluster.
+    pub node_ups: u64,
+    /// Outage events naming a node or `(vnf, instance)` the controller
+    /// doesn't track; counted and ignored.
+    pub stale_outage_events: u64,
+    /// Emergency (out-of-tick) re-placement passes that changed the
+    /// cluster after a node failure.
+    pub emergency_replaces: u64,
+    /// Retry re-offers attempted from the backoff queue.
+    pub retries_attempted: u64,
+    /// Previously refused requests admitted by a retry.
+    pub retry_admitted: u64,
+    /// Requests abandoned for good after exhausting the retry budget (or
+    /// finding the queue full).
+    pub retry_abandoned: u64,
+    /// Requests still waiting in the retry queue at snapshot time.
+    pub retry_pending: u64,
     /// Requests active at snapshot time.
     pub active: u64,
     /// Time-weighted mean of the predicted average delivery response time
@@ -66,6 +86,14 @@ impl ControllerReport {
         self.instances_added + self.instances_retired + self.relocations
     }
 
+    /// Requests lost for good: refused or shed, minus those a retry later
+    /// re-admitted. (`admitted`/`rejected` count first offers only, so a
+    /// successful retry repairs an earlier rejection or shed.)
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        (self.rejected + self.shed).saturating_sub(self.retry_admitted)
+    }
+
     /// Fraction of arrivals refused, in `[0, 1]`; 0 when nothing arrived.
     #[must_use]
     pub fn rejection_rate(&self) -> f64 {
@@ -84,6 +112,8 @@ impl ControllerReport {
             "t={:.3}s active={} admitted={} rejected={} ({:.2}%) departed={} shed={} \
              migrated={}+{}+{} ticks={} (applied {}, skipped {}) \
              inst(+{} -{} moved {}; applied {}, aborted {}) \
+             nodes(down {}, up {}, stale {}, emergency {}) \
+             retry({} tried, {} ok, {} dropped, {} queued) lost={} \
              W={:.6}s mean W={:.6}s rho_max={:.4}",
             self.time,
             self.active,
@@ -103,6 +133,15 @@ impl ControllerReport {
             self.relocations,
             self.replaces_applied,
             self.replaces_aborted,
+            self.node_downs,
+            self.node_ups,
+            self.stale_outage_events,
+            self.emergency_replaces,
+            self.retries_attempted,
+            self.retry_admitted,
+            self.retry_abandoned,
+            self.retry_pending,
+            self.lost(),
             self.current_latency,
             self.mean_latency,
             self.peak_utilization,
@@ -132,6 +171,14 @@ mod tests {
             relocations: 1,
             replaces_applied: 2,
             replaces_aborted: 1,
+            node_downs: 2,
+            node_ups: 1,
+            stale_outage_events: 3,
+            emergency_replaces: 1,
+            retries_attempted: 5,
+            retry_admitted: 4,
+            retry_abandoned: 1,
+            retry_pending: 2,
             active: 24,
             mean_latency: 0.01,
             current_latency: 0.012,
@@ -157,5 +204,20 @@ mod tests {
     fn render_is_deterministic() {
         assert_eq!(report().render(), report().render());
         assert!(report().render().contains("rejected=10 (25.00%)"));
+        assert!(report().render().contains("nodes(down 2, up 1, stale 3"));
+        assert!(report().render().contains("lost=7"));
+    }
+
+    #[test]
+    fn lost_subtracts_retry_repairs_and_saturates() {
+        let r = report();
+        assert_eq!(r.lost(), 10 + 1 - 4);
+        let repaired = ControllerReport {
+            rejected: 1,
+            shed: 0,
+            retry_admitted: 5,
+            ..report()
+        };
+        assert_eq!(repaired.lost(), 0, "saturating, never negative");
     }
 }

@@ -1,11 +1,14 @@
 //! Cross-crate invariants tying the controller to the offline pipeline.
 
 use nfv_controller::{Controller, ControllerConfig, ControllerState, ReoptConfig, ShedPolicy};
-use nfv_model::{ArrivalRate, DeliveryProbability, RequestId};
+use nfv_model::{ArrivalRate, Capacity, ComputeNode, DeliveryProbability, NodeId, RequestId};
+use nfv_placement::{Bfdsu, Placement, PlacementProblem, Placer};
 use nfv_scheduling::{OnlineDispatcher, Rckk, Scheduler};
 use nfv_workload::churn::ChurnTraceBuilder;
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn scenario(seed: u64) -> Scenario {
     ScenarioBuilder::new()
@@ -68,7 +71,7 @@ fn zero_churn_single_tick_matches_offline_rckk() {
                 min_gain: f64::NEG_INFINITY,
                 max_migrations: usize::MAX,
             }),
-            replace: None,
+            ..ControllerConfig::online_only()
         };
         let mut controller = Controller::new(&s, config);
         let report = controller.run_trace(&trace);
@@ -124,7 +127,101 @@ fn same_seed_runs_are_identical() {
     assert_eq!(report_a.render(), report_b.render());
 }
 
+/// A node fleet roomy enough that placement never fails for capacity
+/// reasons, plus an initial BFDSU placement of the scenario's fleet.
+fn cluster_for(s: &Scenario, nodes: usize) -> (Vec<ComputeNode>, Placement) {
+    let total: f64 = s.vnfs().iter().map(|v| v.total_demand().value()).sum();
+    let fleet: Vec<ComputeNode> = (0..nodes)
+        .map(|i| ComputeNode::new(NodeId::new(i as u32), Capacity::new(total * 2.0).unwrap()))
+        .collect();
+    let problem = PlacementProblem::new(fleet.clone(), s.vnfs().to_vec()).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let placement = Bfdsu::new()
+        .place(&problem, &mut rng)
+        .unwrap()
+        .into_placement();
+    (fleet, placement)
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of arrivals, departures, instance outages, and
+    /// (possibly overlapping) node outages keeps every admitted request
+    /// homed on exactly one *up* instance per chain hop, and failover /
+    /// shedding never double-counts: admissions (first-offer + retry)
+    /// always balance active + departed + shed exactly.
+    #[test]
+    fn outage_interleavings_keep_requests_on_up_instances(seed in 0u64..512) {
+        let s = scenario(47);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(120.0)
+            .arrival_rate(0.8)
+            .mean_holding(20.0)
+            .tick_period(30.0)
+            .outage_rate(0.05)
+            .mean_outage(6.0)
+            .node_fleet(4)
+            .node_mtbf(60.0)
+            .node_mttr(15.0)
+            .seed(seed)
+            .build(&s)
+            .unwrap();
+        let (nodes, placement) = cluster_for(&s, 4);
+        let mut controller =
+            Controller::with_cluster(&s, nodes, &placement, ControllerConfig::resilient())
+                .unwrap();
+        // Chain of every request the run can ever hold: the base
+        // population plus the trace's churn arrivals.
+        let mut chains: std::collections::BTreeMap<RequestId, Vec<nfv_model::VnfId>> = s
+            .requests()
+            .iter()
+            .map(|r| (r.id(), r.chain().as_slice().to_vec()))
+            .collect();
+        for event in trace.events() {
+            if let nfv_workload::churn::ChurnEvent::Arrival(r) = event.event() {
+                chains.insert(r.id(), r.chain().as_slice().to_vec());
+            }
+        }
+        for event in trace.events() {
+            controller.handle(event);
+            let state = controller.state();
+            let mut active: std::collections::BTreeSet<RequestId> =
+                std::collections::BTreeSet::new();
+            let mut homed = 0u64;
+            for vnf in s.vnfs() {
+                for id in state.active_ids(vnf.id()) {
+                    let home = state.home_of(vnf.id(), id);
+                    prop_assert!(home.is_some(), "{id} on {} has a home", vnf.id());
+                    prop_assert!(
+                        state.is_up(vnf.id(), home.unwrap()),
+                        "{id} rides a down instance of {} after {event:?}",
+                        vnf.id(),
+                    );
+                    active.insert(id);
+                    homed += 1;
+                }
+            }
+            // Every active request occupies exactly one instance per hop
+            // of its chain — no hop dropped, none double-homed (homes are
+            // map entries, so two homes on one VNF are impossible; the
+            // count ties each id to *all* of its hops exactly once).
+            let hops: u64 = active
+                .iter()
+                .map(|id| chains.get(id).expect("trace request").len() as u64)
+                .sum();
+            prop_assert_eq!(homed, hops, "hop occupancy mismatch after {:?}", event);
+            let report = controller.report();
+            prop_assert_eq!(report.active, active.len() as u64);
+            prop_assert_eq!(
+                report.admitted + report.retry_admitted,
+                report.active + report.departed + report.shed,
+                "conservation broken after {:?}",
+                event,
+            );
+        }
+    }
+
     /// `add_request` followed by `remove_request` restores the ledger
     /// bit-for-bit, including the cached f64 sums, even on top of a
     /// populated state.

@@ -14,7 +14,10 @@
 //!   simulator;
 //! * [`churn`] — the online control plane under a streaming churn trace:
 //!   pure online dispatch vs bounded periodic re-optimization vs the
-//!   full-rebalance oracle.
+//!   full-rebalance oracle;
+//! * [`resilience`] — node-level failure domains: tick-bound vs emergency
+//!   re-placement crossed with the retry/backoff admission queue, scored
+//!   on availability, recovery time and requests lost.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
@@ -24,6 +27,7 @@
 pub mod churn;
 pub mod joint;
 pub mod placement;
+pub mod resilience;
 pub mod scheduling;
 pub mod validation;
 

@@ -10,7 +10,7 @@
 
 use std::sync::Mutex;
 
-use nfv_core::experiments::{churn, joint, placement, scheduling, validation};
+use nfv_core::experiments::{churn, joint, placement, resilience, scheduling, validation};
 use nfv_parallel::set_default_threads;
 
 /// Serializes the tests in this binary: they all mutate the process-wide
@@ -91,6 +91,26 @@ fn churn_comparison_is_thread_count_invariant() {
     // shrinks and relocations), so pin it too.
     assert_invariant("saturated churn comparison", || {
         churn::run(&churn::ChurnPoint::saturated(), 42)
+            .unwrap()
+            .to_table()
+            .to_string()
+    });
+}
+
+#[test]
+fn resilience_comparison_is_thread_count_invariant() {
+    // Node outages, emergency re-placement and the seeded retry queue are
+    // all virtual-time driven, so the four-policy comparison must render
+    // bit-identically at any thread count.
+    assert_invariant("resilience comparison", || {
+        resilience::run(&resilience::ResiliencePoint::base(), 42)
+            .unwrap()
+            .to_table()
+            .to_string()
+    });
+    // The racked point fails correlated pairs of nodes together.
+    assert_invariant("racked resilience comparison", || {
+        resilience::run(&resilience::ResiliencePoint::racked(), 42)
             .unwrap()
             .to_table()
             .to_string()

@@ -13,7 +13,7 @@
 //! at `t = 0` in id order, which lets a consumer warm up to exactly the
 //! offline problem before churn starts.
 
-use nfv_model::{Request, RequestId, VnfId};
+use nfv_model::{NodeId, Request, RequestId, VnfId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,6 +39,19 @@ pub enum ChurnEvent {
         vnf: VnfId,
         /// Index of the instance within the VNF (`0..M_f`).
         instance: usize,
+    },
+    /// A whole compute node fails, taking down every instance it hosts at
+    /// once. The trace is placement-agnostic: it names only the node, and
+    /// the consumer resolves which VNFs are hosted against its live
+    /// placement when the event fires.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// A previously-failed compute node returns to service.
+    NodeUp {
+        /// The recovered node.
+        node: NodeId,
     },
     /// A periodic signal asking the control plane to re-optimize.
     ReoptimizeTick,
@@ -162,6 +175,10 @@ pub struct ChurnTraceBuilder {
     tick_period: Option<f64>,
     outage_rate: f64,
     mean_outage: f64,
+    node_fleet: usize,
+    node_mtbf: Option<f64>,
+    node_mttr: f64,
+    rack_size: usize,
 }
 
 impl ChurnTraceBuilder {
@@ -177,6 +194,10 @@ impl ChurnTraceBuilder {
             tick_period: None,
             outage_rate: 0.0,
             mean_outage: 10.0,
+            node_fleet: 0,
+            node_mtbf: None,
+            node_mttr: 30.0,
+            rack_size: 1,
         }
     }
 
@@ -229,6 +250,40 @@ impl ChurnTraceBuilder {
     #[must_use]
     pub fn mean_outage(mut self, seconds: f64) -> Self {
         self.mean_outage = seconds;
+        self
+    }
+
+    /// Sets the number of compute nodes addressable by node-outage events.
+    /// Node outages need both a fleet size and an MTBF
+    /// ([`node_mtbf`](Self::node_mtbf)) to be generated.
+    #[must_use]
+    pub fn node_fleet(mut self, nodes: usize) -> Self {
+        self.node_fleet = nodes;
+        self
+    }
+
+    /// Enables node outages: each fault group (a node, or a rack of
+    /// [`rack_size`](Self::rack_size) nodes) alternates between service
+    /// and outage, with exponential up-times of this mean.
+    #[must_use]
+    pub fn node_mtbf(mut self, seconds: f64) -> Self {
+        self.node_mtbf = Some(seconds);
+        self
+    }
+
+    /// Sets the mean exponential repair time of a node outage in seconds.
+    #[must_use]
+    pub fn node_mttr(mut self, seconds: f64) -> Self {
+        self.node_mttr = seconds;
+        self
+    }
+
+    /// Groups consecutive nodes into correlated fault domains of this size:
+    /// all nodes of a "rack" fail and recover together (same timestamps,
+    /// consecutive events). The default of 1 keeps nodes independent.
+    #[must_use]
+    pub fn rack_size(mut self, nodes: usize) -> Self {
+        self.rack_size = nodes;
         self
     }
 
@@ -324,6 +379,37 @@ impl ChurnTraceBuilder {
             }
         }
 
+        // Node outages: an alternating-renewal process per fault group —
+        // single nodes, or consecutive "racks" that fail together. Groups
+        // are processed in index order and this stream is drawn *after*
+        // the instance-outage stream, so traces without node outages are
+        // bit-identical to those of earlier builders. The process is
+        // placement-agnostic: whichever VNFs sit on the node when the
+        // event fires are the ones affected.
+        if let Some(mtbf) = self.node_mtbf {
+            if self.node_fleet > 0 {
+                let rack = self.rack_size.max(1);
+                for first in (0..self.node_fleet).step_by(rack) {
+                    let members: Vec<NodeId> = (first..(first + rack).min(self.node_fleet))
+                        .map(|n| NodeId::new(n as u32))
+                        .collect();
+                    let mut t = sample_exp(&mut rng, 1.0 / mtbf);
+                    while t < self.horizon {
+                        for &node in &members {
+                            push(&mut events, t, ChurnEvent::NodeDown { node });
+                        }
+                        let back = t + sample_exp(&mut rng, 1.0 / self.node_mttr);
+                        if back < self.horizon {
+                            for &node in &members {
+                                push(&mut events, back, ChurnEvent::NodeUp { node });
+                            }
+                        }
+                        t = back + sample_exp(&mut rng, 1.0 / mtbf);
+                    }
+                }
+            }
+        }
+
         // Re-optimization ticks on a fixed period.
         if let Some(period) = self.tick_period {
             let mut t = period;
@@ -380,6 +466,23 @@ impl ChurnTraceBuilder {
         if !(self.mean_outage.is_finite() && self.mean_outage > 0.0) {
             return Err(WorkloadError::InvalidParameter {
                 reason: "mean outage duration must be finite and positive",
+            });
+        }
+        if let Some(mtbf) = self.node_mtbf {
+            if !(mtbf.is_finite() && mtbf > 0.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    reason: "node MTBF must be finite and positive",
+                });
+            }
+        }
+        if !(self.node_mttr.is_finite() && self.node_mttr > 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "node MTTR must be finite and positive",
+            });
+        }
+        if self.rack_size == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "rack size must be at least 1",
             });
         }
         Ok(())
@@ -530,6 +633,79 @@ mod tests {
     }
 
     #[test]
+    fn node_outages_are_bounded_and_alternate() {
+        let s = scenario();
+        let trace = ChurnTraceBuilder::new()
+            .horizon(400.0)
+            .node_fleet(6)
+            .node_mtbf(60.0)
+            .node_mttr(20.0)
+            .seed(17)
+            .build(&s)
+            .unwrap();
+        let mut down = [false; 6];
+        let mut saw_node_events = false;
+        for event in &trace {
+            match event.event() {
+                ChurnEvent::NodeDown { node } => {
+                    saw_node_events = true;
+                    let i = node.as_usize();
+                    assert!(i < 6, "node index within the fleet");
+                    assert!(!down[i], "a node fails only while in service");
+                    down[i] = true;
+                }
+                ChurnEvent::NodeUp { node } => {
+                    let i = node.as_usize();
+                    assert!(down[i], "a node recovers only while down");
+                    down[i] = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_node_events, "MTBF 60s over 400s yields outages");
+    }
+
+    #[test]
+    fn rack_members_fail_and_recover_together() {
+        let s = scenario();
+        let trace = ChurnTraceBuilder::new()
+            .horizon(400.0)
+            .node_fleet(6)
+            .node_mtbf(80.0)
+            .node_mttr(25.0)
+            .rack_size(3)
+            .seed(21)
+            .build(&s)
+            .unwrap();
+        // Collect per-node outage timestamps; rack peers (0-2, 3-5) must
+        // share exactly the same down and up times.
+        let mut downs: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        let mut ups: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        for event in &trace {
+            match event.event() {
+                ChurnEvent::NodeDown { node } => downs[node.as_usize()].push(event.time()),
+                ChurnEvent::NodeUp { node } => ups[node.as_usize()].push(event.time()),
+                _ => {}
+            }
+        }
+        assert!(downs.iter().any(|d| !d.is_empty()), "some rack failed");
+        for rack in [[0usize, 1, 2], [3, 4, 5]] {
+            for &peer in &rack[1..] {
+                assert_eq!(downs[rack[0]], downs[peer], "correlated failures");
+                assert_eq!(ups[rack[0]], ups[peer], "correlated repairs");
+            }
+        }
+    }
+
+    #[test]
+    fn node_fleet_without_mtbf_changes_nothing() {
+        let s = scenario();
+        let plain = full_builder().build(&s).unwrap();
+        let with_fleet = full_builder().node_fleet(8).build(&s).unwrap();
+        assert_eq!(plain, with_fleet, "node outages need an MTBF to enable");
+    }
+
+    #[test]
     fn invalid_parameters_are_rejected() {
         let s = scenario();
         assert!(ChurnTraceBuilder::new().horizon(0.0).build(&s).is_err());
@@ -554,5 +730,12 @@ mod tests {
             .build(&s)
             .is_err());
         assert!(ChurnTraceBuilder::new().mean_outage(0.0).build(&s).is_err());
+        assert!(ChurnTraceBuilder::new()
+            .node_fleet(4)
+            .node_mtbf(0.0)
+            .build(&s)
+            .is_err());
+        assert!(ChurnTraceBuilder::new().node_mttr(-1.0).build(&s).is_err());
+        assert!(ChurnTraceBuilder::new().rack_size(0).build(&s).is_err());
     }
 }
