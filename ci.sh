@@ -33,4 +33,25 @@ cargo run -q --release -p nfv-bench --bin figures -- churn
 echo "== resilience figure (emergency re-placement + retries must beat tick-only recovery) =="
 cargo run -q --release -p nfv-bench --bin figures -- resilience
 
+echo "== telemetry layer (strict observer, journal round-trip, merge order) =="
+cargo test -q -p nfv-telemetry
+cargo test -q -p nfv-controller telemetry
+cargo test -q -p nfv-core --test thread_invariance telemetry
+
+echo "== telemetry exposure (JSONL journal + outage episode + hot-phase profile) =="
+mkdir -p results
+cargo run -q --release -p nfv-bench --bin figures -- trace --csv results
+test -s results/trace_resilience.jsonl
+test -s results/trace_series.csv
+cargo run -q --release -p nfv-bench --bin figures -- profile
+
+echo "== telemetry overhead gate (disabled path within 2% of the plain replay) =="
+cargo run --release -p nfv-bench --bin figures -- bench --reps 2
+overhead=$(grep -o '"disabled_overhead_pct": *-\{0,1\}[0-9.]*' BENCH_pipeline.json | grep -o '\-\{0,1\}[0-9.]*$')
+echo "telemetry disabled-path overhead: ${overhead}%"
+awk -v o="$overhead" 'BEGIN { exit (o <= 2.0) ? 0 : 1 }' || {
+    echo "telemetry disabled-path overhead ${overhead}% exceeds the 2% budget"
+    exit 1
+}
+
 echo "ci: all green"

@@ -10,6 +10,14 @@
 //! comparison), plus a shape-check summary (who wins, by how much) for
 //! comparison with `EXPERIMENTS.md`.
 //!
+//! Two observability commands sit outside the `all` list because their
+//! output is wall-clock- or journal-shaped rather than a paper figure:
+//! `trace` replays the resilience scenario with an enabled telemetry
+//! session and reconstructs the outage episodes from the serialized
+//! JSONL journal (with `--csv DIR` it also writes the JSONL/CSV journal
+//! and the per-tick series there), and `profile` prints the controller's
+//! hot-phase timing spans.
+//!
 //! Every command runs on the deterministic worker pool of `nfv-parallel`:
 //! `--threads T` caps the pool (default: all available cores) and cannot
 //! change any number in the output, only how fast it appears. `all`
@@ -20,15 +28,18 @@
 
 use std::env;
 use std::fmt::Write as _;
+use std::io::BufWriter;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use nfv_controller::{Controller, ControllerConfig};
 use nfv_core::experiments::{churn, joint, placement, resilience, scheduling, validation, Sweep};
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
 use nfv_parallel::{available_threads, default_threads, par_map_indexed, set_default_threads};
 use nfv_placement::{Bfd, Bfdsu, Ffd, Placer};
 use nfv_scheduling::{Cga, KkForward, Rckk, RoundRobin, Scheduler};
+use nfv_telemetry::{CsvSink, EventKind, JsonlSink, Telemetry, TraceEvent};
 
 struct Options {
     command: String,
@@ -96,7 +107,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|resilience|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|resilience|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
 
 /// The `all` command list, in paper order.
@@ -219,6 +230,36 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
     };
     set_default_threads(0);
 
+    // Telemetry overhead: the same single-threaded churn replay through
+    // the plain entry point, the traced entry point with a disabled
+    // session, and an enabled session. Min-of-N, so the numbers are
+    // noise floors rather than averages; the disabled overhead is the
+    // price every un-instrumented caller pays for the telemetry layer
+    // existing at all, and ci.sh gates it.
+    let (scenario, trace) = churn::setup(&churn::ChurnPoint::base(), options.seed)?;
+    const OVERHEAD_RUNS: u32 = 7;
+    let replay_plain = min_seconds(OVERHEAD_RUNS, || {
+        let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
+        let _ = controller.run_trace(&trace);
+    });
+    let replay_disabled = min_seconds(OVERHEAD_RUNS, || {
+        let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
+        let _ = controller.run_trace_traced(&trace, &mut Telemetry::disabled());
+    });
+    let replay_enabled = min_seconds(OVERHEAD_RUNS, || {
+        let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
+        let mut tel = Telemetry::enabled();
+        let _ = controller.run_trace_traced(&trace, &mut tel);
+        let _ = tel.finish();
+    });
+    let overhead_pct = |with: f64| (with - replay_plain) / replay_plain * 100.0;
+    println!(
+        "bench: telemetry replay {replay_plain:.3}s plain, {replay_disabled:.3}s disabled \
+         ({:+.2}%), {replay_enabled:.3}s enabled ({:+.2}%), min of {OVERHEAD_RUNS}",
+        overhead_pct(replay_disabled),
+        overhead_pct(replay_enabled),
+    );
+
     let fmt_opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.6}"));
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -227,6 +268,24 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
     let _ = writeln!(json, "  \"reps_placement\": {},", options.reps_placement);
     let _ = writeln!(json, "  \"reps_scheduling\": {},", options.reps_scheduling);
     let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"telemetry\": {{");
+    let _ = writeln!(json, "    \"replay_plain_seconds\": {replay_plain:.6},");
+    let _ = writeln!(
+        json,
+        "    \"replay_disabled_seconds\": {replay_disabled:.6},"
+    );
+    let _ = writeln!(json, "    \"replay_enabled_seconds\": {replay_enabled:.6},");
+    let _ = writeln!(
+        json,
+        "    \"disabled_overhead_pct\": {:.3},",
+        overhead_pct(replay_disabled)
+    );
+    let _ = writeln!(
+        json,
+        "    \"enabled_overhead_pct\": {:.3}",
+        overhead_pct(replay_enabled)
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"figures\": [");
     for (i, command) in ALL_COMMANDS.iter().enumerate() {
         let comma = if i + 1 < ALL_COMMANDS.len() { "," } else { "" };
@@ -263,6 +322,18 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         ),
     }
     Ok(())
+}
+
+/// The fastest of `runs` executions of `f`, in seconds. Minima converge
+/// on the true cost of the code path; means smear scheduler noise in.
+fn min_seconds<F: FnMut()>(runs: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
@@ -382,6 +453,8 @@ fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
         ),
         "churn" => print_churn(&mut out, seed)?,
         "resilience" => print_resilience(&mut out, seed)?,
+        "trace" => print_trace(&mut out, seed)?,
+        "profile" => print_profile(&mut out, seed)?,
         "validate" => print_validation(&mut out, seed)?,
         "ablation" => print_ablation(&mut out, rp, rs, seed)?,
         other => {
@@ -644,6 +717,251 @@ fn print_resilience(out: &mut String, seed: u64) -> Result<(), CoreError> {
         worst.report.lost(),
         best.availability * 100.0,
         worst.availability * 100.0,
+    );
+    Ok(())
+}
+
+/// `figures trace`: one emergency/retry resilience run under an enabled
+/// telemetry session. The outage timeline below is reconstructed from
+/// the *serialized* JSONL journal — every line is parsed back through
+/// `TraceEvent::from_json` first — so the command also proves the
+/// journal round-trips with causality intact.
+fn print_trace(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let point = resilience::ResiliencePoint::base();
+    let _ = writeln!(
+        out,
+        "== Trace - emergency/retry journal over a {:.0}s outage trace \
+         ({} nodes, MTBF {:.0}s, MTTR {:.0}s, ticks every {:.0}s) ==",
+        point.horizon, point.nodes, point.node_mtbf, point.node_mttr, point.tick_period
+    );
+    let mut tel = Telemetry::enabled();
+    if let Some(dir) = CSV_DIR.get() {
+        match std::fs::File::create(dir.join("trace_resilience.jsonl")) {
+            Ok(file) => tel.add_sink(Box::new(JsonlSink::new(BufWriter::new(file)))),
+            Err(err) => eprintln!("jsonl sink failed: {err}"),
+        }
+        match std::fs::File::create(dir.join("trace_resilience.csv")) {
+            Ok(file) => tel.add_sink(Box::new(CsvSink::new(BufWriter::new(file)))),
+            Err(err) => eprintln!("csv sink failed: {err}"),
+        }
+    }
+    let outcome = resilience::trace_run(&point, seed, &mut tel)?;
+    let artifacts = tel.finish();
+
+    // Re-read the journal from its serialized form: a journal that
+    // cannot be parsed back is not a journal.
+    let mut events = Vec::with_capacity(artifacts.events.len());
+    for line in artifacts.journal_jsonl().lines() {
+        events.push(
+            TraceEvent::from_json(line).map_err(|_| CoreError::Inconsistent {
+                reason: "journal JSONL line failed to round-trip",
+            })?,
+        );
+    }
+
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    for event in &events {
+        let label = event.kind.label();
+        match counts.iter_mut().find(|(name, _)| *name == label) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((label, 1)),
+        }
+    }
+    let mut table = Table::new(vec!["event", "count"]);
+    for (label, n) in &counts {
+        table.row(vec![(*label).to_string(), n.to_string()]);
+    }
+    let _ = write!(out, "{table}");
+    let _ = writeln!(
+        out,
+        "{} events journaled ({} dropped by the ring), {} tick samples; \
+         availability {:.3}% over {} outage episodes, mean recovery {:.2}s",
+        events.len(),
+        artifacts.dropped_events,
+        artifacts.series.len(),
+        outcome.availability * 100.0,
+        outcome.episodes,
+        outcome.mean_recovery,
+    );
+
+    // One outage episode end to end: the NodeDown record, its
+    // consequences, and the NodeUp that closes it. Prefer an episode
+    // that actually shed requests so the full ladder
+    // (down -> shed -> retry -> emergency re-placement -> up) shows.
+    let Some(down_at) = events
+        .iter()
+        .position(|e| matches!(&e.kind, EventKind::NodeDown { shed, .. } if *shed > 0))
+        .or_else(|| {
+            events
+                .iter()
+                .position(|e| matches!(e.kind, EventKind::NodeDown { .. }))
+        })
+    else {
+        let _ = writeln!(out, "no node outage in this trace; try another --seed");
+        return Ok(());
+    };
+    let node = match &events[down_at].kind {
+        EventKind::NodeDown { node, .. } => *node,
+        _ => unreachable!("position() found a NodeDown"),
+    };
+    let up_at = events[down_at..]
+        .iter()
+        .position(|e| matches!(&e.kind, EventKind::NodeUp { node: n, .. } if *n == node))
+        .map(|offset| down_at + offset);
+    let _ = writeln!(
+        out,
+        "episode: node {node}, t={:.1}s to {}",
+        events[down_at].time,
+        up_at.map_or_else(
+            || "the horizon (no recovery before the trace ended)".to_owned(),
+            |i| format!("t={:.1}s", events[i].time)
+        ),
+    );
+    let end = up_at.unwrap_or(events.len() - 1);
+    const EPISODE_LINES: usize = 30;
+    let mut shown = 0usize;
+    let mut elided = 0usize;
+    for event in &events[down_at..=end] {
+        let Some(line) = timeline_line(event) else {
+            continue;
+        };
+        if shown < EPISODE_LINES {
+            let _ = writeln!(out, "  [{:>9.3}s] {line}", event.time);
+            shown += 1;
+        } else {
+            elided += 1;
+        }
+    }
+    if elided > 0 {
+        let _ = writeln!(
+            out,
+            "  ... {elided} more episode records (see the JSONL journal)"
+        );
+    }
+
+    // Causality check over the reconstructed slice: everything the
+    // outage caused sits between its NodeDown and NodeUp records.
+    let episode = &events[down_at..=end];
+    let sheds = episode
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Shed { .. }))
+        .count();
+    let retries = episode
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::RetryScheduled { .. }))
+        .count();
+    // Sheds are re-admitted by later retries, often only after the node
+    // returns; follow the shed ids through the rest of the journal.
+    let shed_ids: Vec<_> = episode
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Shed { request, .. } => Some(*request),
+            _ => None,
+        })
+        .collect();
+    let readmits = events[down_at..]
+        .iter()
+        .filter(
+            |e| matches!(&e.kind, EventKind::RetryAdmitted { request, .. } if shed_ids.contains(request)),
+        )
+        .count();
+    let replace = episode
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::EmergencyReplace { node: n, .. } if *n == node));
+    let _ = writeln!(
+        out,
+        "shape check: NodeDown -> {sheds} shed -> {retries} retries queued -> {} -> {} -> \
+         {readmits}/{sheds} shed requests re-admitted by retries",
+        replace.map_or_else(
+            || "no emergency re-placement".to_owned(),
+            |e| format!("emergency re-placement at t={:.1}s", e.time)
+        ),
+        if up_at.is_some() { "NodeUp" } else { "horizon" },
+    );
+
+    if let Some(dir) = CSV_DIR.get() {
+        let series_path = dir.join("trace_series.csv");
+        match std::fs::write(&series_path, artifacts.series.to_csv()) {
+            Ok(()) => {
+                let _ = writeln!(
+                    out,
+                    "journal written to {} (jsonl) and {} (csv), per-tick series to {}",
+                    dir.join("trace_resilience.jsonl").display(),
+                    dir.join("trace_resilience.csv").display(),
+                    series_path.display()
+                );
+            }
+            Err(err) => eprintln!("series csv write failed: {err}"),
+        }
+    }
+    Ok(())
+}
+
+/// A human-readable timeline line for the journal records that belong to
+/// an outage episode; `None` for background traffic (plain admits,
+/// rejects and tick records keep flowing during an outage).
+fn timeline_line(event: &TraceEvent) -> Option<String> {
+    Some(match &event.kind {
+        EventKind::NodeDown {
+            node,
+            vnfs_lost,
+            shed,
+        } => format!(
+            "node {node} went dark: {vnfs_lost} vnfs lost all instances, {shed} requests to shed"
+        ),
+        EventKind::Shed { request, cause } => format!("shed request {request} ({cause})"),
+        EventKind::RetryScheduled {
+            request,
+            attempt,
+            due,
+        } => format!("retry #{attempt} of request {request} queued, due t={due:.1}s"),
+        EventKind::RetryAdmitted { request, attempt } => {
+            format!("retry #{attempt} of request {request} re-admitted")
+        }
+        EventKind::RetryAbandoned { request, cause } => {
+            format!("request {request} abandoned ({cause})")
+        }
+        EventKind::EmergencyReplace {
+            node,
+            instances_added,
+            relocations,
+        } => format!(
+            "emergency re-placement after node {node}: {instances_added} instances added, \
+             {relocations} vnfs relocated"
+        ),
+        EventKind::InstanceDown {
+            vnf,
+            slot,
+            migrated,
+            shed,
+        } => format!("instance {vnf}/{slot} down: {migrated} migrated, {shed} shed"),
+        EventKind::InstanceUp { vnf, slot } => format!("instance {vnf}/{slot} back up"),
+        EventKind::NodeUp {
+            node,
+            vnfs_restored,
+        } => format!("node {node} restored: {vnfs_restored} vnfs dispatchable again"),
+        _ => return None,
+    })
+}
+
+/// `figures profile`: the controller's hot-phase wall-clock spans from
+/// one instrumented resilience comparison (all four policies, so every
+/// phase fires at least once).
+fn print_profile(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let point = resilience::ResiliencePoint::base();
+    let _ = writeln!(
+        out,
+        "== Profile - controller hot-phase timings over the resilience \
+         comparison (wall-clock; rows are stable, numbers are not) =="
+    );
+    let (_, artifacts) = resilience::run_instrumented(&point, seed)?;
+    let _ = write!(out, "{}", artifacts.profile.render());
+    let _ = writeln!(
+        out,
+        "{} spans across {} journaled events and {} tick samples",
+        artifacts.profile.total_spans(),
+        artifacts.events.len(),
+        artifacts.series.len(),
     );
     Ok(())
 }

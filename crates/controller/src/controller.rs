@@ -6,6 +6,7 @@ use nfv_metrics::{Histogram, SampleSet};
 use nfv_model::{Capacity, ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
 use nfv_placement::{Bfdsu, Placement, PlacementProblem};
 use nfv_scheduling::{Rckk, Scheduler};
+use nfv_telemetry::{EventKind, Phase, ReoptPhase, Telemetry, TickSample};
 use nfv_workload::churn::{ChurnEvent, ChurnTrace, TimedEvent};
 use nfv_workload::Scenario;
 use rand::rngs::StdRng;
@@ -308,7 +309,17 @@ impl Controller {
     /// Applies one timed event. Retries that came due before the event's
     /// time are re-offered first, at their own virtual times.
     pub fn handle(&mut self, event: &TimedEvent) -> EventOutcome {
-        self.offer_due_retries(event.time());
+        self.handle_traced(event, &mut Telemetry::disabled())
+    }
+
+    /// [`handle`](Self::handle) with a telemetry session observing the
+    /// event: journal records for every admit/reject/shed/retry/outage/
+    /// re-optimization decision, timing spans around the hot phases, and
+    /// one [`TickSample`] per re-optimization tick. Telemetry is a
+    /// strict observer — `handle_traced(e, &mut Telemetry::disabled())`
+    /// *is* `handle(e)`, and an enabled session changes no outcome.
+    pub fn handle_traced(&mut self, event: &TimedEvent, tel: &mut Telemetry) -> EventOutcome {
+        self.offer_due_retries(event.time(), tel);
         // Accumulate the latency integral over the interval the system
         // spent in its previous configuration.
         let dt = event.time() - self.clock;
@@ -318,13 +329,13 @@ impl Controller {
         }
 
         let outcome = match event.event() {
-            ChurnEvent::Arrival(request) => self.admit(request),
+            ChurnEvent::Arrival(request) => self.admit(request, tel),
             ChurnEvent::Departure(id) => self.depart(*id),
-            ChurnEvent::InstanceDown { vnf, instance } => self.instance_down(*vnf, *instance),
-            ChurnEvent::InstanceUp { vnf, instance } => self.instance_up(*vnf, *instance),
-            ChurnEvent::NodeDown { node } => self.node_down(*node),
-            ChurnEvent::NodeUp { node } => self.node_up(*node),
-            ChurnEvent::ReoptimizeTick => self.tick(),
+            ChurnEvent::InstanceDown { vnf, instance } => self.instance_down(*vnf, *instance, tel),
+            ChurnEvent::InstanceUp { vnf, instance } => self.instance_up(*vnf, *instance, tel),
+            ChurnEvent::NodeDown { node } => self.node_down(*node, tel),
+            ChurnEvent::NodeUp { node } => self.node_up(*node, tel),
+            ChurnEvent::ReoptimizeTick => self.tick(tel),
         };
 
         self.current_latency = self.state.predicted_latency();
@@ -333,16 +344,68 @@ impl Controller {
         if matches!(event.event(), ChurnEvent::ReoptimizeTick) {
             let snapshot = self.report();
             self.snapshots.push(snapshot);
+            tel.sample_tick(|| self.tick_sample());
         }
         outcome
     }
 
+    /// One row of the per-tick time-series: instance-utilization extrema,
+    /// the balanced predicted latency, the retry backlog, and how much of
+    /// the node fleet is in service.
+    fn tick_sample(&self) -> TickSample {
+        let mut instances = 0u64;
+        let mut max_rho = 0.0f64;
+        let mut rho_sum = 0.0f64;
+        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+            for k in 0..self.state.instances(vnf) {
+                let rho = self.state.utilization(vnf, k);
+                instances += 1;
+                rho_sum += rho;
+                max_rho = max_rho.max(rho);
+            }
+        }
+        let (nodes_in_service, nodes_total) = match &self.cluster {
+            Some(cluster) => (
+                cluster.node_down.iter().filter(|&&d| d == 0).count() as u64,
+                cluster.nodes.len() as u64,
+            ),
+            None => (0, 0),
+        };
+        TickSample {
+            tick: self.counters.ticks,
+            time: self.clock,
+            active: self.active.len() as u64,
+            instances,
+            max_rho,
+            mean_rho: if instances > 0 {
+                rho_sum / instances as f64
+            } else {
+                0.0
+            },
+            balanced_latency: self.state.balanced_latency(),
+            retry_backlog: self.retry.len() as u64,
+            nodes_in_service,
+            nodes_total,
+        }
+    }
+
     /// Runs a whole trace and returns the final report.
     pub fn run_trace(&mut self, trace: &ChurnTrace) -> ControllerReport {
+        self.run_trace_traced(trace, &mut Telemetry::disabled())
+    }
+
+    /// [`run_trace`](Self::run_trace) with a telemetry session observing
+    /// every event. The session is borrowed, not consumed: call
+    /// [`Telemetry::finish`] afterwards to collect the artifacts.
+    pub fn run_trace_traced(
+        &mut self,
+        trace: &ChurnTrace,
+        tel: &mut Telemetry,
+    ) -> ControllerReport {
         for event in trace {
-            self.handle(event);
+            self.handle_traced(event, tel);
         }
-        self.finish(trace.horizon());
+        self.finish_traced(trace.horizon(), tel);
         self.report()
     }
 
@@ -353,7 +416,13 @@ impl Controller {
     /// once at the end; [`run_trace`](Self::run_trace) does it
     /// automatically.
     pub fn finish(&mut self, horizon: f64) {
-        self.offer_due_retries(horizon);
+        self.finish_traced(horizon, &mut Telemetry::disabled());
+    }
+
+    /// [`finish`](Self::finish) with a telemetry session observing the
+    /// closing retry drain.
+    pub fn finish_traced(&mut self, horizon: f64, tel: &mut Telemetry) {
+        self.offer_due_retries(horizon, tel);
         if horizon > self.clock {
             self.latency_integral += self.current_latency * (horizon - self.clock);
             self.clock = horizon;
@@ -364,8 +433,12 @@ impl Controller {
     /// own virtual due time (advancing the clock and latency integral to
     /// it). A failed re-offer goes back into the queue with one more
     /// attempt on the counter, until the retry budget runs out.
-    fn offer_due_retries(&mut self, upto: f64) {
+    fn offer_due_retries(&mut self, upto: f64, tel: &mut Telemetry) {
         let Some(rc) = self.config.retry else { return };
+        if self.retry.len() == 0 {
+            return;
+        }
+        let token = tel.begin();
         while let Some((due, attempt, request)) = self.retry.pop_due(upto) {
             if due > self.clock {
                 self.latency_integral += self.current_latency * (due - self.clock);
@@ -385,12 +458,37 @@ impl Controller {
                             )
                             .expect("placement was validated against the ledger");
                     }
-                    self.active.insert(request.id(), request);
+                    let id = request.id();
+                    self.active.insert(id, request);
                     self.counters.retry_admitted += 1;
+                    tel.emit(self.clock, self.counters.ticks, || {
+                        EventKind::RetryAdmitted {
+                            request: id,
+                            attempt: u64::from(attempt),
+                        }
+                    });
                 }
                 None => {
-                    if !self.retry.schedule(&rc, request, attempt + 1, due) {
-                        self.counters.retry_abandoned += 1;
+                    let id = request.id();
+                    match self.retry.schedule(&rc, request, attempt + 1, due) {
+                        Ok(next_due) => {
+                            tel.emit(self.clock, self.counters.ticks, || {
+                                EventKind::RetryScheduled {
+                                    request: id,
+                                    attempt: u64::from(attempt + 1),
+                                    due: next_due,
+                                }
+                            });
+                        }
+                        Err(refusal) => {
+                            self.counters.retry_abandoned += 1;
+                            tel.emit(self.clock, self.counters.ticks, || {
+                                EventKind::RetryAbandoned {
+                                    request: id,
+                                    cause: refusal.slug().to_string(),
+                                }
+                            });
+                        }
                     }
                 }
             }
@@ -398,14 +496,33 @@ impl Controller {
             self.latency_samples.push(self.current_latency);
             self.utilization_samples.push(self.peak_utilization());
         }
+        tel.end(Phase::RetryDrain, token);
     }
 
     /// Queues a refused request for a later re-offer (first attempt),
     /// when retries are configured; abandoned entrants are counted.
-    fn enqueue_retry(&mut self, request: &Request) {
+    fn enqueue_retry(&mut self, request: &Request, tel: &mut Telemetry) {
         if let Some(rc) = self.config.retry {
-            if !self.retry.schedule(&rc, request.clone(), 0, self.clock) {
-                self.counters.retry_abandoned += 1;
+            let id = request.id();
+            match self.retry.schedule(&rc, request.clone(), 0, self.clock) {
+                Ok(due) => {
+                    tel.emit(self.clock, self.counters.ticks, || {
+                        EventKind::RetryScheduled {
+                            request: id,
+                            attempt: 0,
+                            due,
+                        }
+                    });
+                }
+                Err(refusal) => {
+                    self.counters.retry_abandoned += 1;
+                    tel.emit(self.clock, self.counters.ticks, || {
+                        EventKind::RetryAbandoned {
+                            request: id,
+                            cause: refusal.slug().to_string(),
+                        }
+                    });
+                }
             }
         }
     }
@@ -482,9 +599,13 @@ impl Controller {
     /// per hop) if any hop would be driven to `ρ ≥ 1`. Evictions are
     /// applied eagerly as hops are scanned and are *not* rolled back if a
     /// later hop still fails — the shed requests are gone either way.
-    fn admit(&mut self, request: &Request) -> EventOutcome {
+    fn admit(&mut self, request: &Request, tel: &mut Telemetry) -> EventOutcome {
         if self.active.contains_key(&request.id()) {
             self.counters.rejected += 1;
+            tel.emit(self.clock, self.counters.ticks, || EventKind::Reject {
+                request: request.id(),
+                cause: "duplicate-id".to_string(),
+            });
             return EventOutcome::Rejected(RejectReason::DuplicateId);
         }
         let headroom = self.admission_headroom();
@@ -492,11 +613,19 @@ impl Controller {
         for &vnf in request.chain() {
             if self.state.instances(vnf) == 0 {
                 self.counters.rejected += 1;
+                tel.emit(self.clock, self.counters.ticks, || EventKind::Reject {
+                    request: request.id(),
+                    cause: "unknown-vnf".to_string(),
+                });
                 return EventOutcome::Rejected(RejectReason::UnknownVnf { vnf });
             }
             let Some(k) = self.state.least_loaded_up(vnf) else {
                 self.counters.rejected += 1;
-                self.enqueue_retry(request);
+                tel.emit(self.clock, self.counters.ticks, || EventKind::Reject {
+                    request: request.id(),
+                    cause: "no-instance-up".to_string(),
+                });
+                self.enqueue_retry(request, tel);
                 return EventOutcome::Rejected(RejectReason::NoInstanceUp { vnf });
             };
             if self.state.can_accept_within(
@@ -510,13 +639,17 @@ impl Controller {
                 continue;
             }
             if self.config.shed == ShedPolicy::EvictLargest
-                && self.evict_largest_for(vnf, k, request)
+                && self.evict_largest_for(vnf, k, request, tel)
             {
                 placements.push((vnf, k));
                 continue;
             }
             self.counters.rejected += 1;
-            self.enqueue_retry(request);
+            tel.emit(self.clock, self.counters.ticks, || EventKind::Reject {
+                request: request.id(),
+                cause: "would-overload".to_string(),
+            });
+            self.enqueue_retry(request, tel);
             return EventOutcome::Rejected(RejectReason::WouldOverload { vnf });
         }
         for &(vnf, k) in &placements {
@@ -532,6 +665,10 @@ impl Controller {
         }
         self.active.insert(request.id(), request.clone());
         self.counters.admitted += 1;
+        tel.emit(self.clock, self.counters.ticks, || EventKind::Admit {
+            request: request.id(),
+            hops: placements.len() as u64,
+        });
         EventOutcome::Admitted { placements }
     }
 
@@ -578,7 +715,13 @@ impl Controller {
     /// strictly shrink the instance's merged rate (evicting a smaller
     /// request for a bigger one would be a net loss). Returns whether the
     /// instance can now accept the newcomer.
-    fn evict_largest_for(&mut self, vnf: VnfId, k: usize, incoming: &Request) -> bool {
+    fn evict_largest_for(
+        &mut self,
+        vnf: VnfId,
+        k: usize,
+        incoming: &Request,
+        tel: &mut Telemetry,
+    ) -> bool {
         let incoming_inflated = incoming.effective_rate().value();
         let victim = self
             .state
@@ -602,6 +745,10 @@ impl Controller {
         }
         self.drop_request(victim_id);
         self.counters.shed += 1;
+        tel.emit(self.clock, self.counters.ticks, || EventKind::Shed {
+            request: victim_id,
+            cause: "evicted-for-admission".to_string(),
+        });
         true
     }
 
@@ -632,7 +779,7 @@ impl Controller {
     /// naming an instance the controller doesn't track — e.g. one retired
     /// by re-placement since the trace was generated — is counted as
     /// stale and ignored.
-    fn instance_down(&mut self, vnf: VnfId, instance: usize) -> EventOutcome {
+    fn instance_down(&mut self, vnf: VnfId, instance: usize, tel: &mut Telemetry) -> EventOutcome {
         if !self.state.mark_down(vnf, instance) {
             self.counters.stale_outage_events += 1;
             return EventOutcome::StaleOutage;
@@ -660,20 +807,36 @@ impl Controller {
                 None => {
                     self.drop_request(id);
                     shed += 1;
-                    self.enqueue_retry(&request);
+                    tel.emit(self.clock, self.counters.ticks, || EventKind::Shed {
+                        request: id,
+                        cause: "instance-down".to_string(),
+                    });
+                    self.enqueue_retry(&request, tel);
                 }
             }
         }
         self.counters.migrated_failover += migrated;
         self.counters.shed += shed;
+        tel.emit(self.clock, self.counters.ticks, || {
+            EventKind::InstanceDown {
+                vnf,
+                slot: instance as u64,
+                migrated,
+                shed,
+            }
+        });
         EventOutcome::InstanceDownHandled { migrated, shed }
     }
 
     /// Closes one outage window on the instance. A recovery with no open
     /// window (overlapping outages already closed, or an instance retired
     /// and re-grown since) is stale: counted, never a resurrection.
-    fn instance_up(&mut self, vnf: VnfId, instance: usize) -> EventOutcome {
+    fn instance_up(&mut self, vnf: VnfId, instance: usize, tel: &mut Telemetry) -> EventOutcome {
         if self.state.mark_up(vnf, instance) {
+            tel.emit(self.clock, self.counters.ticks, || EventKind::InstanceUp {
+                vnf,
+                slot: instance as u64,
+            });
             EventOutcome::InstanceUpHandled
         } else {
             self.counters.stale_outage_events += 1;
@@ -689,7 +852,7 @@ impl Controller {
     /// emergency re-placement immediately repacks onto the surviving
     /// nodes instead of waiting for the next tick. Shed requests are
     /// queued for retry when configured.
-    fn node_down(&mut self, node: NodeId) -> EventOutcome {
+    fn node_down(&mut self, node: NodeId, tel: &mut Telemetry) -> EventOutcome {
         let hosted = {
             let Some(cluster) = self.cluster.as_mut() else {
                 self.counters.stale_outage_events += 1;
@@ -704,6 +867,11 @@ impl Controller {
             if *depth > 1 {
                 // Overlapping window: the node is already dark and its
                 // VNFs already failed over.
+                tel.emit(self.clock, self.counters.ticks, || EventKind::NodeDown {
+                    node,
+                    vnfs_lost: 0,
+                    shed: 0,
+                });
                 return EventOutcome::NodeDownHandled {
                     vnfs_lost: 0,
                     shed: 0,
@@ -718,6 +886,14 @@ impl Controller {
             self.state.set_host_down(vnf, true);
             displaced.extend(self.state.active_ids(vnf));
         }
+        // The NodeDown record precedes the per-request Shed records it
+        // causes, so the journal reads in causal order.
+        let (vnfs_lost, displaced_count) = (hosted.len() as u64, displaced.len() as u64);
+        tel.emit(self.clock, self.counters.ticks, || EventKind::NodeDown {
+            node,
+            vnfs_lost,
+            shed: displaced_count,
+        });
         // With every instance of the lost VNFs down at once, failover has
         // no surviving target within the VNF: every displaced request is
         // shed whole (the retry ladder is the recovery path).
@@ -730,10 +906,23 @@ impl Controller {
                 .clone();
             self.drop_request(id);
             shed += 1;
-            self.enqueue_retry(&request);
+            tel.emit(self.clock, self.counters.ticks, || EventKind::Shed {
+                request: id,
+                cause: "node-down".to_string(),
+            });
+            self.enqueue_retry(&request, tel);
         }
         self.counters.shed += shed;
-        let (instances_added, relocations) = self.emergency_replace();
+        let (instances_added, relocations) = self.emergency_replace(tel);
+        if self.config.emergency.is_some() {
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::EmergencyReplace {
+                    node,
+                    instances_added,
+                    relocations,
+                }
+            });
+        }
         EventOutcome::NodeDownHandled {
             vnfs_lost: hosted.len() as u64,
             shed,
@@ -747,7 +936,7 @@ impl Controller {
     /// away during the outage are untouched. Reclaiming the node (moving
     /// load back onto it) is left to the next tick's hysteresis-gated
     /// re-placement phase.
-    fn node_up(&mut self, node: NodeId) -> EventOutcome {
+    fn node_up(&mut self, node: NodeId, tel: &mut Telemetry) -> EventOutcome {
         let restored = {
             let Some(cluster) = self.cluster.as_mut() else {
                 self.counters.stale_outage_events += 1;
@@ -765,6 +954,10 @@ impl Controller {
             self.counters.node_ups += 1;
             *depth -= 1;
             if *depth > 0 {
+                tel.emit(self.clock, self.counters.ticks, || EventKind::NodeUp {
+                    node,
+                    vnfs_restored: 0,
+                });
                 return EventOutcome::NodeUpHandled { vnfs_restored: 0 };
             }
             cluster.hosted_by(node)
@@ -772,9 +965,12 @@ impl Controller {
         for &vnf in &restored {
             self.state.set_host_down(vnf, false);
         }
-        EventOutcome::NodeUpHandled {
-            vnfs_restored: restored.len() as u64,
-        }
+        let vnfs_restored = restored.len() as u64;
+        tel.emit(self.clock, self.counters.ticks, || EventKind::NodeUp {
+            node,
+            vnfs_restored,
+        });
+        EventOutcome::NodeUpHandled { vnfs_restored }
     }
 
     /// Emergency re-placement, run outside the periodic tick right after
@@ -785,7 +981,17 @@ impl Controller {
     /// soon as capacity returns. Bounded by the per-event op cap; no
     /// latency hysteresis, because restoring availability is the point.
     /// Returns `(instances_added, relocations)`.
-    fn emergency_replace(&mut self) -> (u64, u64) {
+    fn emergency_replace(&mut self, tel: &mut Telemetry) -> (u64, u64) {
+        if self.config.emergency.is_none() || self.cluster.is_none() {
+            return (0, 0);
+        }
+        let token = tel.begin();
+        let result = self.emergency_replace_inner();
+        tel.end(Phase::EmergencyReplace, token);
+        result
+    }
+
+    fn emergency_replace_inner(&mut self) -> (u64, u64) {
         let Some(ec) = self.config.emergency else {
             return (0, 0);
         };
@@ -936,18 +1142,18 @@ impl Controller {
     /// available to the scheduling phase within the same tick; the
     /// scheduling phase then re-balances the live request set over the
     /// instances that now exist.
-    fn tick(&mut self) -> EventOutcome {
+    fn tick(&mut self, tel: &mut Telemetry) -> EventOutcome {
         self.counters.ticks += 1;
         let replacing = self.config.replace.is_some() && self.cluster.is_some();
         if self.config.reopt.is_none() && !replacing {
             return EventOutcome::TickIgnored;
         }
         let (instances_added, instances_retired, relocations) = if replacing {
-            self.replace_phase()
+            self.replace_phase(tel)
         } else {
             (0, 0, 0)
         };
-        let migrations = self.reopt_phase();
+        let migrations = self.reopt_phase(tel);
         if migrations + instances_added + instances_retired + relocations == 0 {
             EventOutcome::TickSkipped
         } else {
@@ -963,7 +1169,7 @@ impl Controller {
     /// The scheduling phase of a tick: re-run RCKK on the live request set
     /// and apply a bounded, hysteresis-gated slice of the plan. Returns the
     /// number of requests moved.
-    fn reopt_phase(&mut self) -> u64 {
+    fn reopt_phase(&mut self, tel: &mut Telemetry) -> u64 {
         let Some(reopt) = self.config.reopt else {
             return 0;
         };
@@ -972,6 +1178,7 @@ impl Controller {
         // exactly as the offline pipeline feeds its scheduler) and collect
         // the requests whose current instance differs from the target, in
         // (VNF, id) order for determinism.
+        let plan_token = tel.begin();
         let mut moves: Vec<(RequestId, VnfId, usize)> = Vec::new();
         for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
             let ids = self.state.active_ids(vnf);
@@ -1007,8 +1214,17 @@ impl Controller {
                 }
             }
         }
+        tel.end(Phase::RckkPlan, plan_token);
         if moves.is_empty() {
             self.counters.reopts_skipped += 1;
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::ReoptRejected {
+                    phase: ReoptPhase::Scheduling,
+                    cause: "empty-plan".to_string(),
+                    predicted_gain: 0.0,
+                    required_gain: reopt.min_gain,
+                }
+            });
             return 0;
         }
 
@@ -1018,6 +1234,7 @@ impl Controller {
         // marginal predicted-latency gain — an arbitrary prefix of a full
         // rebalance is often infeasible or even harmful, because each
         // move's target only has room once *other* movers have left.
+        let probe_token = tel.begin();
         let now = self.state.predicted_latency();
         let (moves, after) = if moves.len() <= reopt.max_migrations {
             let mut preview = self.state.clone();
@@ -1033,8 +1250,17 @@ impl Controller {
         } else {
             self.select_moves_greedily(moves, reopt.max_migrations, now)
         };
+        tel.end(Phase::HysteresisProbe, probe_token);
         if moves.is_empty() {
             self.counters.reopts_skipped += 1;
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::ReoptRejected {
+                    phase: ReoptPhase::Scheduling,
+                    cause: "no-improvement".to_string(),
+                    predicted_gain: 0.0,
+                    required_gain: reopt.min_gain,
+                }
+            });
             return 0;
         }
 
@@ -1044,6 +1270,14 @@ impl Controller {
         let gain = if now > 0.0 { (now - after) / now } else { 0.0 };
         if gain < reopt.min_gain {
             self.counters.reopts_skipped += 1;
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::ReoptRejected {
+                    phase: ReoptPhase::Scheduling,
+                    cause: "hysteresis".to_string(),
+                    predicted_gain: gain,
+                    required_gain: reopt.min_gain,
+                }
+            });
             return 0;
         }
 
@@ -1062,6 +1296,25 @@ impl Controller {
         let migrations = moves.len() as u64;
         self.counters.migrated_reopt += migrations;
         self.counters.reopts_applied += 1;
+        tel.emit(self.clock, self.counters.ticks, || {
+            // The realized gain re-measures the live ledger after the
+            // commit; equal to the prediction here (the plan is applied
+            // verbatim), journaled so trace consumers can diff them.
+            let realized = self.state.predicted_latency();
+            EventKind::ReoptCommit {
+                phase: ReoptPhase::Scheduling,
+                migrations,
+                instances_added: 0,
+                instances_retired: 0,
+                relocations: 0,
+                predicted_gain: gain,
+                realized_gain: if now > 0.0 {
+                    (now - realized) / now
+                } else {
+                    0.0
+                },
+            }
+        });
         migrations
     }
 
@@ -1073,7 +1326,7 @@ impl Controller {
     /// and commits the preview atomically. Returns
     /// `(instances_added, instances_retired, relocations)`.
     #[allow(clippy::too_many_lines)]
-    fn replace_phase(&mut self) -> (u64, u64, u64) {
+    fn replace_phase(&mut self, tel: &mut Telemetry) -> (u64, u64, u64) {
         let rc = self.config.replace.expect("caller checked replace config");
         let cluster = self.cluster.clone().expect("caller checked cluster");
 
@@ -1195,6 +1448,7 @@ impl Controller {
         // count.
         let mut rng = StdRng::seed_from_u64(rc.seed ^ self.counters.ticks);
         let effective = cluster.effective_nodes();
+        let fit_token = tel.begin();
         let (assignment, relocated) = loop {
             let grown = build_vnfs(&cluster.protos, &|id| {
                 preview.instances(id) + grows.iter().filter(|&&g| g == id).count()
@@ -1231,6 +1485,7 @@ impl Controller {
                 }
             }
         };
+        tel.end(Phase::PlaceDelta, fit_token);
         if grows.is_empty() && applied_shrinks.is_empty() && relocated.is_empty() {
             return (0, 0, 0);
         }
@@ -1243,7 +1498,11 @@ impl Controller {
         for &vnf in &grows {
             preview.add_instance(vnf).expect("vnf exists");
         }
+        // `(now, gain)` of the gate when it ran, for the journal record;
+        // pure-shrink plans bypass it and journal zero gains.
+        let mut gate: Option<(f64, f64)> = None;
         if !grows.is_empty() || !relocated.is_empty() {
+            let probe_token = tel.begin();
             // A plan that pulls a VNF off a dark node restores service and
             // bypasses the gate: its balanced-latency gain previews as
             // zero (the dead VNF carries no live load), yet skipping it
@@ -1263,8 +1522,18 @@ impl Controller {
             } else {
                 0.0
             };
+            tel.end(Phase::HysteresisProbe, probe_token);
+            gate = Some((now, gain));
             if !restores && gain < rc.min_gain {
                 self.counters.replaces_aborted += 1;
+                tel.emit(self.clock, self.counters.ticks, || {
+                    EventKind::ReoptRejected {
+                        phase: ReoptPhase::Replacement,
+                        cause: "hysteresis".to_string(),
+                        predicted_gain: gain,
+                        required_gain: rc.min_gain,
+                    }
+                });
                 return (0, 0, 0);
             }
         }
@@ -1283,6 +1552,24 @@ impl Controller {
         self.counters.instances_retired += retired;
         self.counters.relocations += moved;
         self.counters.replaces_applied += 1;
+        tel.emit(self.clock, self.counters.ticks, || {
+            let (predicted_gain, realized_gain) = match gate {
+                Some((now, gain)) if now.is_finite() && now > 0.0 => {
+                    (gain, (now - self.state.balanced_latency()) / now)
+                }
+                Some((_, gain)) => (gain, gain),
+                None => (0.0, 0.0),
+            };
+            EventKind::ReoptCommit {
+                phase: ReoptPhase::Replacement,
+                migrations: drained_total,
+                instances_added: added,
+                instances_retired: retired,
+                relocations: moved,
+                predicted_gain,
+                realized_gain,
+            }
+        });
         (added, retired, moved)
     }
 }
@@ -1648,5 +1935,110 @@ mod tests {
         assert_eq!(latency.count() as usize, trace.len());
         assert!(controller.utilization_histogram(8).is_some());
         assert_eq!(controller.snapshots().len(), 3); // ticks at 20/40/60
+    }
+
+    #[test]
+    fn telemetry_is_a_strict_observer() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(400.0)
+            .arrival_rate(0.5)
+            .mean_holding(30.0)
+            .tick_period(20.0)
+            .node_fleet(4)
+            .node_mtbf(80.0)
+            .node_mttr(25.0)
+            .seed(9)
+            .build(&s)
+            .unwrap();
+        let run = |tel: &mut Telemetry| {
+            let mut c = Controller::with_cluster(
+                &s,
+                nodes.clone(),
+                &placement,
+                ControllerConfig::resilient(),
+            )
+            .unwrap();
+            let report = c.run_trace_traced(&trace, tel);
+            (c, report)
+        };
+        let (plain, plain_report) = run(&mut Telemetry::disabled());
+        let mut tel = Telemetry::enabled();
+        let (traced, traced_report) = run(&mut tel);
+        assert_eq!(plain, traced, "telemetry must not change any decision");
+        assert_eq!(plain_report, traced_report);
+
+        let artifacts = tel.finish();
+        assert!(!artifacts.events.is_empty());
+        assert!(artifacts
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Admit { .. })));
+        // Ticks happened, so the series sampled them.
+        assert_eq!(artifacts.series.len() as u64, traced_report.ticks);
+        // Seq numbers are dense journal positions.
+        for (i, event) in artifacts.events.iter().enumerate() {
+            assert_eq!(event.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn journal_orders_a_node_outage_causally() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(400.0)
+            .arrival_rate(0.5)
+            .mean_holding(60.0)
+            .tick_period(20.0)
+            .node_fleet(4)
+            .node_mtbf(80.0)
+            .node_mttr(25.0)
+            .seed(11)
+            .build(&s)
+            .unwrap();
+        let mut c =
+            Controller::with_cluster(&s, nodes, &placement, ControllerConfig::resilient()).unwrap();
+        let mut tel = Telemetry::enabled();
+        let report = c.run_trace_traced(&trace, &mut tel);
+        assert!(report.node_downs > 0, "the trace contains node outages");
+        let events = tel.finish().events;
+        let downs: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::NodeDown { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(downs.len() as u64, report.node_downs);
+        // Every first-window NodeDown is immediately followed (in journal
+        // order, before any later event time) by its sheds/retries and an
+        // EmergencyReplace record for the same node.
+        for &i in &downs {
+            let EventKind::NodeDown {
+                node, vnfs_lost, ..
+            } = events[i].kind
+            else {
+                unreachable!()
+            };
+            if vnfs_lost == 0 {
+                continue; // overlapping window, already handled
+            }
+            let replace = events[i..]
+                .iter()
+                .find(|e| matches!(e.kind, EventKind::EmergencyReplace { .. }))
+                .expect("an emergency re-placement follows a first-window NodeDown");
+            let EventKind::EmergencyReplace { node: rn, .. } = replace.kind else {
+                unreachable!()
+            };
+            assert_eq!(rn, node, "the re-placement names the failed node");
+            assert_eq!(replace.time, events[i].time, "same virtual instant");
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::NodeUp { .. })),
+            "recoveries are journaled too"
+        );
     }
 }

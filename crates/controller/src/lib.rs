@@ -45,6 +45,15 @@
 //! Everything is deterministic: the controller is driven purely by the
 //! trace's virtual clock and never consults wall-clock time or ambient
 //! randomness, so two same-seed runs produce identical reports.
+//!
+//! Observability: every event method has a `*_traced` variant threading
+//! an `nfv_telemetry::Telemetry` session through the loop
+//! ([`Controller::handle_traced`], [`Controller::run_trace_traced`]).
+//! Telemetry is a strict observer — the traced variants with
+//! `Telemetry::disabled()` are exactly the plain ones, and enabled
+//! telemetry never changes a decision, draws randomness, or advances
+//! virtual time, so results are bit-identical with telemetry on or off
+//! (pinned by the thread-invariance tests in `nfv-core`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,3 +73,4 @@ pub use controller::{Controller, EventOutcome};
 pub use error::ControllerError;
 pub use ledger::ControllerState;
 pub use report::ControllerReport;
+pub use retry::RetryRefusal;

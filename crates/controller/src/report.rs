@@ -1,5 +1,8 @@
 //! Observability: counters and periodic snapshots.
 
+use std::fmt;
+
+use nfv_telemetry::json::{self, JsonError, JsonObject};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the controller's counters and derived statistics, taken
@@ -147,6 +150,92 @@ impl ControllerReport {
             self.peak_utilization,
         )
     }
+
+    /// Encodes the snapshot as one flat JSON object (one journal line),
+    /// for diffing and archiving runs. Floats round-trip exactly
+    /// (shortest representation, non-finite values as strings).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_f64("time", self.time)
+            .field_u64("admitted", self.admitted)
+            .field_u64("rejected", self.rejected)
+            .field_u64("departed", self.departed)
+            .field_u64("shed", self.shed)
+            .field_u64("migrated_failover", self.migrated_failover)
+            .field_u64("migrated_reopt", self.migrated_reopt)
+            .field_u64("migrated_replace", self.migrated_replace)
+            .field_u64("ticks", self.ticks)
+            .field_u64("reopts_applied", self.reopts_applied)
+            .field_u64("reopts_skipped", self.reopts_skipped)
+            .field_u64("instances_added", self.instances_added)
+            .field_u64("instances_retired", self.instances_retired)
+            .field_u64("relocations", self.relocations)
+            .field_u64("replaces_applied", self.replaces_applied)
+            .field_u64("replaces_aborted", self.replaces_aborted)
+            .field_u64("node_downs", self.node_downs)
+            .field_u64("node_ups", self.node_ups)
+            .field_u64("stale_outage_events", self.stale_outage_events)
+            .field_u64("emergency_replaces", self.emergency_replaces)
+            .field_u64("retries_attempted", self.retries_attempted)
+            .field_u64("retry_admitted", self.retry_admitted)
+            .field_u64("retry_abandoned", self.retry_abandoned)
+            .field_u64("retry_pending", self.retry_pending)
+            .field_u64("active", self.active)
+            .field_f64("mean_latency", self.mean_latency)
+            .field_f64("current_latency", self.current_latency)
+            .field_f64("peak_utilization", self.peak_utilization);
+        obj.finish()
+    }
+
+    /// Decodes a snapshot encoded by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the line is malformed or a field is missing.
+    pub fn from_json(line: &str) -> Result<Self, JsonError> {
+        let fields = json::parse_object(line)?;
+        let missing = |message| JsonError { message, at: 0 };
+        let u64_of = |key| json::get_u64(&fields, key).ok_or(missing("missing integer field"));
+        let f64_of = |key| json::get_f64(&fields, key).ok_or(missing("missing float field"));
+        Ok(Self {
+            time: f64_of("time")?,
+            admitted: u64_of("admitted")?,
+            rejected: u64_of("rejected")?,
+            departed: u64_of("departed")?,
+            shed: u64_of("shed")?,
+            migrated_failover: u64_of("migrated_failover")?,
+            migrated_reopt: u64_of("migrated_reopt")?,
+            migrated_replace: u64_of("migrated_replace")?,
+            ticks: u64_of("ticks")?,
+            reopts_applied: u64_of("reopts_applied")?,
+            reopts_skipped: u64_of("reopts_skipped")?,
+            instances_added: u64_of("instances_added")?,
+            instances_retired: u64_of("instances_retired")?,
+            relocations: u64_of("relocations")?,
+            replaces_applied: u64_of("replaces_applied")?,
+            replaces_aborted: u64_of("replaces_aborted")?,
+            node_downs: u64_of("node_downs")?,
+            node_ups: u64_of("node_ups")?,
+            stale_outage_events: u64_of("stale_outage_events")?,
+            emergency_replaces: u64_of("emergency_replaces")?,
+            retries_attempted: u64_of("retries_attempted")?,
+            retry_admitted: u64_of("retry_admitted")?,
+            retry_abandoned: u64_of("retry_abandoned")?,
+            retry_pending: u64_of("retry_pending")?,
+            active: u64_of("active")?,
+            mean_latency: f64_of("mean_latency")?,
+            current_latency: f64_of("current_latency")?,
+            peak_utilization: f64_of("peak_utilization")?,
+        })
+    }
+}
+
+impl fmt::Display for ControllerReport {
+    /// The same stable one-liner as [`render`](Self::render).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +295,42 @@ mod tests {
         assert!(report().render().contains("rejected=10 (25.00%)"));
         assert!(report().render().contains("nodes(down 2, up 1, stale 3"));
         assert!(report().render().contains("lost=7"));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = report();
+        let line = r.to_json();
+        assert_eq!(ControllerReport::from_json(&line).unwrap(), r);
+        // Non-finite latencies (a saturated run) survive the journal.
+        let saturated = ControllerReport {
+            mean_latency: f64::INFINITY,
+            current_latency: f64::INFINITY,
+            ..report()
+        };
+        let back = ControllerReport::from_json(&saturated.to_json()).unwrap();
+        assert_eq!(back, saturated);
+        // Awkward floats round-trip bit-exactly.
+        let precise = ControllerReport {
+            time: 0.1 + 0.2,
+            mean_latency: f64::MIN_POSITIVE,
+            ..report()
+        };
+        let back = ControllerReport::from_json(&precise.to_json()).unwrap();
+        assert_eq!(back.time.to_bits(), precise.time.to_bits());
+        assert_eq!(back.mean_latency.to_bits(), precise.mean_latency.to_bits());
+    }
+
+    #[test]
+    fn json_rejects_missing_fields() {
+        assert!(ControllerReport::from_json(r#"{"time":1.0}"#).is_err());
+        assert!(ControllerReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let r = report();
+        assert_eq!(r.to_string(), r.render());
     }
 
     #[test]

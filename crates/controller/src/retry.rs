@@ -19,12 +19,70 @@ struct Entry {
     request: Request,
 }
 
+/// Why [`RetryQueue::schedule`] refused an entrant. The request is then
+/// abandoned for good.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RetryRefusal {
+    /// The request already burned through `max_attempts` re-offers.
+    BudgetExhausted,
+    /// The queue already holds `max_queue` pending re-offers.
+    QueueFull,
+    /// The computed due time was not a non-negative finite number, so it
+    /// cannot be ordered by the queue's `to_bits` key (see the module
+    /// docs). Only reachable through a pathological [`RetryConfig`]
+    /// (e.g. an infinite backoff or a `now` already at infinity) — but
+    /// refused with a typed error rather than silently mis-ordered.
+    InvalidDueTime {
+        /// The unorderable due time.
+        due: f64,
+    },
+}
+
+impl RetryRefusal {
+    /// A short stable slug for journals (`budget-exhausted`,
+    /// `queue-full`, `invalid-due-time`).
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::BudgetExhausted => "budget-exhausted",
+            Self::QueueFull => "queue-full",
+            Self::InvalidDueTime { .. } => "invalid-due-time",
+        }
+    }
+}
+
+impl std::fmt::Display for RetryRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BudgetExhausted => write!(f, "retry budget exhausted"),
+            Self::QueueFull => write!(f, "retry queue full"),
+            Self::InvalidDueTime { due } => write!(f, "unorderable retry due time {due}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryRefusal {}
+
 /// A virtual-time priority queue of pending re-offers, ordered by due
 /// time (enqueue order breaks exact ties).
 ///
-/// Keys are `(due_time.to_bits(), sequence)`: for non-negative finite
+/// Keys are `(due_time.to_bits(), sequence)`: for **non-negative finite**
 /// times the IEEE-754 bit pattern orders exactly like the number, which
-/// keeps the map's order total without any float comparator.
+/// keeps the map's order total without any float comparator. The edge
+/// cases of `to_bits` ordering are exactly the values outside that
+/// domain, and [`RetryQueue::schedule`] rejects them with
+/// [`RetryRefusal::InvalidDueTime`] instead of silently mis-ordering:
+///
+/// - negative values (including `-0.0`) have the sign bit set, so their
+///   bit patterns sort *above* every non-negative time — `-1.0` would
+///   pop after `1e300`;
+/// - `NaN` bit patterns sort above `+inf` and would never become due,
+///   leaking the entry (and its queue slot) forever.
+///
+/// `-0.0` on its own would merely order late, but normalizing it to
+/// `+0.0` would be a silent repair of a nonsensical backoff; it is
+/// refused with the other negatives.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub(crate) struct RetryQueue {
     entries: BTreeMap<(u64, u64), Entry>,
@@ -38,24 +96,36 @@ impl RetryQueue {
     }
 
     /// Enqueues a re-offer of `request` as attempt number `attempt`
-    /// (0-based), due one backoff delay after `now`. Returns `false` —
-    /// without enqueuing — when the retry budget is exhausted or the
-    /// queue is full; the request is then abandoned for good.
+    /// (0-based), due one backoff delay after `now`, and returns the due
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryRefusal`] — without enqueuing — when the retry budget is
+    /// exhausted, the queue is full, or the due time falls outside the
+    /// non-negative finite domain the `to_bits` ordering is valid for;
+    /// the request is then abandoned for good.
     pub(crate) fn schedule(
         &mut self,
         config: &RetryConfig,
         request: Request,
         attempt: u32,
         now: f64,
-    ) -> bool {
-        if attempt >= config.max_attempts || self.entries.len() >= config.max_queue {
-            return false;
+    ) -> Result<f64, RetryRefusal> {
+        if attempt >= config.max_attempts {
+            return Err(RetryRefusal::BudgetExhausted);
+        }
+        if self.entries.len() >= config.max_queue {
+            return Err(RetryRefusal::QueueFull);
         }
         let due = now + backoff_delay(config, request.id().as_usize() as u64, attempt);
+        if !due.is_finite() || due.is_sign_negative() {
+            return Err(RetryRefusal::InvalidDueTime { due });
+        }
         let key = (due.to_bits(), self.seq);
         self.seq += 1;
         self.entries.insert(key, Entry { attempt, request });
-        true
+        Ok(due)
     }
 
     /// Removes and returns the earliest entry due at or before `upto` as
@@ -169,8 +239,8 @@ mod tests {
         let mut q = RetryQueue::default();
         // Attempt 1 (4 s) scheduled before attempt 0 (2 s): the earlier
         // due time still pops first.
-        assert!(q.schedule(&c, request(1), 1, 0.0));
-        assert!(q.schedule(&c, request(2), 0, 0.0));
+        assert_eq!(q.schedule(&c, request(1), 1, 0.0), Ok(4.0));
+        assert_eq!(q.schedule(&c, request(2), 0, 0.0), Ok(2.0));
         assert_eq!(q.len(), 2);
         assert!(q.pop_due(1.0).is_none(), "nothing due yet");
         let (due, attempt, r) = q.pop_due(10.0).unwrap();
@@ -190,19 +260,77 @@ mod tests {
             ..config()
         };
         let mut q = RetryQueue::default();
-        assert!(!q.schedule(&c, request(1), 2, 0.0), "budget exhausted");
-        assert!(q.schedule(&c, request(1), 0, 0.0));
-        assert!(q.schedule(&c, request(2), 0, 0.0));
-        assert!(!q.schedule(&c, request(3), 0, 0.0), "queue full");
+        assert_eq!(
+            q.schedule(&c, request(1), 2, 0.0),
+            Err(RetryRefusal::BudgetExhausted)
+        );
+        assert!(q.schedule(&c, request(1), 0, 0.0).is_ok());
+        assert!(q.schedule(&c, request(2), 0, 0.0).is_ok());
+        assert_eq!(
+            q.schedule(&c, request(3), 0, 0.0),
+            Err(RetryRefusal::QueueFull)
+        );
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn non_finite_due_times_are_refused_not_mis_ordered() {
+        let c = config();
+        let mut q = RetryQueue::default();
+        // `now = +inf` drives the due time to +inf: to_bits would sort it
+        // above every finite time *and* below NaN, and the entry would
+        // never pop. The queue refuses it instead.
+        match q.schedule(&c, request(1), 0, f64::INFINITY) {
+            Err(RetryRefusal::InvalidDueTime { due }) => assert!(due.is_infinite()),
+            other => panic!("expected InvalidDueTime, got {other:?}"),
+        }
+        // A NaN clock poisons the due time the same way.
+        match q.schedule(&c, request(2), 0, f64::NAN) {
+            Err(RetryRefusal::InvalidDueTime { due }) => assert!(due.is_nan()),
+            other => panic!("expected InvalidDueTime, got {other:?}"),
+        }
+        // Negative due times (sign bit set) would sort *above* every
+        // non-negative time; -1e9 makes the sum strictly negative.
+        match q.schedule(&c, request(3), 0, -1e9) {
+            Err(RetryRefusal::InvalidDueTime { due }) => assert!(due < 0.0),
+            other => panic!("expected InvalidDueTime, got {other:?}"),
+        }
+        assert_eq!(q.len(), 0, "refused entrants never enqueue");
+        // The documented bit-pattern hazard itself: negative zero and NaN
+        // order above honest times under to_bits.
+        assert!((-0.0f64).to_bits() > 1e300f64.to_bits());
+        assert!(f64::NAN.to_bits() > f64::INFINITY.to_bits());
+    }
+
+    #[test]
+    fn negative_zero_due_time_is_refused() {
+        // now = -0.0 with a zero backoff sums to +0.0 (IEEE-754), which is
+        // fine; force a genuine -0.0 due via a negative now that cancels.
+        let c = RetryConfig {
+            jitter: 0.0,
+            ..config()
+        };
+        let mut q = RetryQueue::default();
+        let refused = q.schedule(&c, request(1), 0, -c.base_backoff);
+        // -base + base == +0.0 in IEEE-754, so this particular sum lands
+        // on ordinary zero and is accepted...
+        assert_eq!(refused, Ok(0.0));
+        // ...but a due time carrying the sign bit is refused outright:
+        // (-0.0).to_bits() = 0x8000_0000_0000_0000 sorts above all
+        // non-negative patterns, so accepting it would order the retry
+        // after every honest entry.
+        match q.schedule(&c, request(2), 0, -2.0 * c.base_backoff) {
+            Err(RetryRefusal::InvalidDueTime { due }) => assert!(due.is_sign_negative()),
+            other => panic!("expected InvalidDueTime, got {other:?}"),
+        }
     }
 
     #[test]
     fn pending_rate_sums_only_traversing_requests() {
         let c = config();
         let mut q = RetryQueue::default();
-        q.schedule(&c, request(1), 0, 0.0);
-        q.schedule(&c, request(2), 0, 0.0);
+        assert!(q.schedule(&c, request(1), 0, 0.0).is_ok());
+        assert!(q.schedule(&c, request(2), 0, 0.0).is_ok());
         assert!((q.pending_rate(VnfId::new(0)) - 2.0).abs() < 1e-12);
         assert_eq!(q.pending_rate(VnfId::new(1)), 0.0);
     }

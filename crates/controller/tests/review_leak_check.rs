@@ -57,10 +57,7 @@ fn departed_while_queued_request_is_resurrected_forever() {
     // Every request departs at t=5.5 — while queued for retry. The trace
     // says these requests are gone from the system for good.
     for request in s.requests() {
-        let out = controller.handle(&TimedEvent::new(
-            5.5,
-            ChurnEvent::Departure(request.id()),
-        ));
+        let out = controller.handle(&TimedEvent::new(5.5, ChurnEvent::Departure(request.id())));
         assert_eq!(out, EventOutcome::StaleDeparture);
     }
 

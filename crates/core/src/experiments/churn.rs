@@ -36,6 +36,7 @@ use nfv_metrics::Table;
 use nfv_model::ComputeNode;
 use nfv_parallel::par_map;
 use nfv_placement::{Bfd, Bfdsu, Placement, PlacementProblem, Placer};
+use nfv_telemetry::{Telemetry, TelemetryArtifacts};
 use nfv_topology::builders;
 use nfv_workload::churn::{ChurnTrace, ChurnTraceBuilder};
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
@@ -249,6 +250,24 @@ pub fn setup_cluster(
 
 /// Replays one seeded trace through the four policies.
 pub fn run(point: &ChurnPoint, seed: u64) -> Result<ChurnComparison, CoreError> {
+    run_inner(point, seed, false).map(|(comparison, _)| comparison)
+}
+
+/// [`run`] with telemetry: each policy replays under its own enabled
+/// session, and the artifacts are merged in policy order (so the merged
+/// journal is identical at any thread count).
+pub fn run_instrumented(
+    point: &ChurnPoint,
+    seed: u64,
+) -> Result<(ChurnComparison, TelemetryArtifacts), CoreError> {
+    run_inner(point, seed, true)
+}
+
+fn run_inner(
+    point: &ChurnPoint,
+    seed: u64,
+    instrument: bool,
+) -> Result<(ChurnComparison, TelemetryArtifacts), CoreError> {
     let (scenario, trace) = setup(point, seed)?;
     let (nodes, placement) = setup_cluster(point, seed, &scenario)?;
     let controllers: Vec<(&str, Controller)> = vec![
@@ -276,19 +295,36 @@ pub fn run(point: &ChurnPoint, seed: u64) -> Result<ChurnComparison, CoreError> 
     ];
     // The four policies replay the same borrowed trace independently, so
     // they fan out on the worker pool; results come back in policy order.
-    let outcomes = par_map(controllers, |_, (name, mut controller)| {
-        let report = controller.run_trace(&trace);
-        ChurnOutcome {
-            policy: name.to_string(),
-            report,
-        }
+    let results = par_map(controllers, |_, (name, mut controller)| {
+        let mut tel = if instrument {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let report = controller.run_trace_traced(&trace, &mut tel);
+        (
+            ChurnOutcome {
+                policy: name.to_string(),
+                report,
+            },
+            tel.finish(),
+        )
     })
     .map_err(CoreError::from)?;
-    Ok(ChurnComparison {
-        point: *point,
-        seed,
-        outcomes,
-    })
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut artifacts = TelemetryArtifacts::default();
+    for (outcome, worker_artifacts) in results {
+        outcomes.push(outcome);
+        artifacts.merge(worker_artifacts);
+    }
+    Ok((
+        ChurnComparison {
+            point: *point,
+            seed,
+            outcomes,
+        },
+        artifacts,
+    ))
 }
 
 #[cfg(test)]
@@ -392,5 +428,19 @@ mod tests {
         let b = run(&ChurnPoint::base(), 3).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.to_table().to_string(), b.to_table().to_string());
+    }
+
+    #[test]
+    fn instrumented_run_is_a_strict_observer() {
+        let plain = run(&ChurnPoint::base(), 3).unwrap();
+        let (instrumented, artifacts) = run_instrumented(&ChurnPoint::base(), 3).unwrap();
+        assert_eq!(plain, instrumented, "telemetry must not change results");
+        assert!(!artifacts.events.is_empty());
+        // Four policies each sample every tick.
+        let ticks: u64 = instrumented.outcomes.iter().map(|o| o.report.ticks).sum();
+        assert_eq!(artifacts.series.len() as u64, ticks);
+        for (i, event) in artifacts.events.iter().enumerate() {
+            assert_eq!(event.seq, i as u64, "merged journal seq stays dense");
+        }
     }
 }

@@ -32,6 +32,7 @@ use nfv_controller::{
 };
 use nfv_metrics::Table;
 use nfv_parallel::par_map;
+use nfv_telemetry::{Telemetry, TelemetryArtifacts};
 use nfv_workload::churn::{ChurnTrace, ChurnTraceBuilder};
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
 use serde::{Deserialize, Serialize};
@@ -226,12 +227,13 @@ fn replay(
     controller: &mut Controller,
     trace: &ChurnTrace,
     horizon: f64,
+    tel: &mut Telemetry,
 ) -> (f64, u64, f64, ControllerReport) {
     let mut down_since: Option<f64> = None;
     let mut downtime = 0.0;
     let mut episodes = 0u64;
     for event in trace.events() {
-        let outcome = controller.handle(event);
+        let outcome = controller.handle_traced(event, tel);
         let up = controller.state().fully_available();
         // A node failure the emergency pass repaired within the same
         // virtual instant still counts as a (zero-length) recovery
@@ -252,7 +254,7 @@ fn replay(
             _ => {}
         }
     }
-    controller.finish(horizon);
+    controller.finish_traced(horizon, tel);
     if let Some(since) = down_since {
         downtime += horizon - since;
         episodes += 1;
@@ -268,6 +270,24 @@ fn replay(
 
 /// Replays one seeded trace through the four recovery policies.
 pub fn run(point: &ResiliencePoint, seed: u64) -> Result<ResilienceComparison, CoreError> {
+    run_inner(point, seed, false).map(|(comparison, _)| comparison)
+}
+
+/// [`run`] with telemetry: each policy replays under its own enabled
+/// session, and the artifacts are merged in policy order (so the merged
+/// journal is identical at any thread count).
+pub fn run_instrumented(
+    point: &ResiliencePoint,
+    seed: u64,
+) -> Result<(ResilienceComparison, TelemetryArtifacts), CoreError> {
+    run_inner(point, seed, true)
+}
+
+fn run_inner(
+    point: &ResiliencePoint,
+    seed: u64,
+    instrument: bool,
+) -> Result<(ResilienceComparison, TelemetryArtifacts), CoreError> {
     let (scenario, trace) = setup(point, seed)?;
     let (nodes, placement) = setup_cluster(&point.as_churn_point(), seed, &scenario)?;
     let tick_only = ControllerConfig::joint_reopt();
@@ -299,22 +319,67 @@ pub fn run(point: &ResiliencePoint, seed: u64) -> Result<ResilienceComparison, C
     // The four policies replay the same borrowed trace independently, so
     // they fan out on the worker pool; results come back in policy order.
     let horizon = point.horizon;
-    let outcomes = par_map(controllers, |_, (name, mut controller)| {
+    let results = par_map(controllers, |_, (name, mut controller)| {
+        let mut tel = if instrument {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
         let (availability, episodes, mean_recovery, report) =
-            replay(&mut controller, &trace, horizon);
-        ResilienceOutcome {
-            policy: name.to_string(),
-            availability,
-            episodes,
-            mean_recovery,
-            report,
-        }
+            replay(&mut controller, &trace, horizon, &mut tel);
+        (
+            ResilienceOutcome {
+                policy: name.to_string(),
+                availability,
+                episodes,
+                mean_recovery,
+                report,
+            },
+            tel.finish(),
+        )
     })
     .map_err(CoreError::from)?;
-    Ok(ResilienceComparison {
-        point: *point,
-        seed,
-        outcomes,
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut artifacts = TelemetryArtifacts::default();
+    for (outcome, worker_artifacts) in results {
+        outcomes.push(outcome);
+        artifacts.merge(worker_artifacts);
+    }
+    Ok((
+        ResilienceComparison {
+            point: *point,
+            seed,
+            outcomes,
+        },
+        artifacts,
+    ))
+}
+
+/// Replays the full-ladder `emergency/retry` policy alone under the
+/// caller's telemetry session — the `figures trace` path, which attaches
+/// file sinks to the session before the run and reconstructs the outage
+/// episodes from the journal afterwards.
+///
+/// # Errors
+///
+/// Propagates scenario/trace/cluster construction failures.
+pub fn trace_run(
+    point: &ResiliencePoint,
+    seed: u64,
+    tel: &mut Telemetry,
+) -> Result<ResilienceOutcome, CoreError> {
+    let (scenario, trace) = setup(point, seed)?;
+    let (nodes, placement) = setup_cluster(&point.as_churn_point(), seed, &scenario)?;
+    let mut controller =
+        Controller::with_cluster(&scenario, nodes, &placement, ControllerConfig::resilient())?;
+    let (availability, episodes, mean_recovery, report) =
+        replay(&mut controller, &trace, point.horizon, tel);
+    Ok(ResilienceOutcome {
+        policy: "emergency/retry".to_string(),
+        availability,
+        episodes,
+        mean_recovery,
+        report,
     })
 }
 
@@ -357,6 +422,41 @@ mod tests {
         assert!(
             best.mean_recovery <= worst.mean_recovery,
             "out-of-tick re-placement shortens the outage episodes"
+        );
+    }
+
+    #[test]
+    fn instrumented_run_is_a_strict_observer() {
+        let plain = run(&ResiliencePoint::base(), 42).unwrap();
+        let (instrumented, artifacts) = run_instrumented(&ResiliencePoint::base(), 42).unwrap();
+        assert_eq!(plain, instrumented, "telemetry must not change results");
+        assert!(!artifacts.events.is_empty());
+        assert!(artifacts
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, nfv_telemetry::EventKind::NodeDown { .. })));
+    }
+
+    #[test]
+    fn trace_run_journals_the_full_outage_ladder() {
+        let mut tel = Telemetry::enabled();
+        let outcome = trace_run(&ResiliencePoint::base(), 42, &mut tel).unwrap();
+        assert_eq!(outcome.policy, "emergency/retry");
+        assert!(outcome.report.node_downs > 0);
+        let events = tel.finish().events;
+        let has =
+            |pred: fn(&nfv_telemetry::EventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+        use nfv_telemetry::EventKind as K;
+        assert!(has(|k| matches!(k, K::NodeDown { .. })));
+        assert!(has(|k| matches!(k, K::Shed { .. })));
+        assert!(has(|k| matches!(k, K::RetryScheduled { .. })));
+        assert!(has(|k| matches!(k, K::EmergencyReplace { .. })));
+        assert!(has(|k| matches!(k, K::NodeUp { .. })));
+        // The matching plain run produces the identical report.
+        let (comparison, _) = run_inner(&ResiliencePoint::base(), 42, false).unwrap();
+        assert_eq!(
+            comparison.outcome("emergency/retry").unwrap().report,
+            outcome.report
         );
     }
 

@@ -116,3 +116,36 @@ fn resilience_comparison_is_thread_count_invariant() {
             .to_string()
     });
 }
+
+#[test]
+fn telemetry_is_inert_and_invariant_across_thread_counts() {
+    // The instrumented runs must (a) return results byte-identical to the
+    // plain runs — telemetry is a strict observer — and (b) merge the
+    // per-policy journals into the same byte-identical JSONL at 1, 2 and
+    // 8 threads, because artifacts are folded in policy order regardless
+    // of which worker replayed which policy.
+    assert_invariant("instrumented churn comparison + journal", || {
+        let plain = churn::run(&churn::ChurnPoint::base(), 42).unwrap();
+        let (instrumented, artifacts) =
+            churn::run_instrumented(&churn::ChurnPoint::base(), 42).unwrap();
+        assert_eq!(plain, instrumented, "telemetry on vs off");
+        format!(
+            "{}\n{}\n{}",
+            instrumented.to_table(),
+            artifacts.journal_jsonl(),
+            artifacts.series.to_csv()
+        )
+    });
+    assert_invariant("instrumented resilience comparison + journal", || {
+        let plain = resilience::run(&resilience::ResiliencePoint::base(), 42).unwrap();
+        let (instrumented, artifacts) =
+            resilience::run_instrumented(&resilience::ResiliencePoint::base(), 42).unwrap();
+        assert_eq!(plain, instrumented, "telemetry on vs off");
+        format!(
+            "{}\n{}\n{}",
+            instrumented.to_table(),
+            artifacts.journal_jsonl(),
+            artifacts.series.to_csv()
+        )
+    });
+}

@@ -122,6 +122,29 @@ impl Histogram {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
+    /// Merges another histogram's counts into this one. Counter addition
+    /// is exact, so the merge is associative and commutative and a merged
+    /// histogram equals the single-pass histogram of the combined stream
+    /// (see the merge property tests).
+    ///
+    /// Returns `false` — leaving `self` untouched — when the ranges or
+    /// bin counts differ (merging differently-binned histograms would
+    /// silently misattribute counts).
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.bins.len() != other.bins.len()
+        {
+            return false;
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        true
+    }
+
     /// Renders an ASCII bar chart, one line per bin, bars scaled to
     /// `width` characters.
     #[must_use]

@@ -168,6 +168,18 @@ impl SampleSet {
         };
         Some((grand, t * (var / batches as f64).sqrt()))
     }
+
+    /// Appends another set's samples after this one, in their insertion
+    /// order — the cross-worker aggregation primitive: folding per-worker
+    /// sets in worker-index order yields the same stream a single-pass
+    /// collection would have produced.
+    pub fn merge(&mut self, other: &SampleSet) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = None;
+    }
 }
 
 impl PartialEq for SampleSet {

@@ -118,6 +118,14 @@ impl Summary {
     pub fn batch_means_ci(&self, batches: usize) -> Option<(f64, f64)> {
         self.samples.batch_means_ci(batches)
     }
+
+    /// Merges another summary into this one: streaming moments via the
+    /// parallel Welford combination ([`OnlineStats::merge`]), retained
+    /// samples by in-order append ([`SampleSet::merge`]).
+    pub fn merge(&mut self, other: &Summary) {
+        self.stats.merge(&other.stats);
+        self.samples.merge(&other.samples);
+    }
 }
 
 impl Extend<f64> for Summary {

@@ -1,0 +1,142 @@
+//! Merge laws required for cross-worker telemetry aggregation: histogram
+//! merge is associative and commutative (exact counter addition), and a
+//! merged summary equals — exactly for counts/samples/extrema, within
+//! floating-point tolerance for moments — the single-pass summary of the
+//! combined stream.
+
+use nfv_metrics::{Histogram, OnlineStats, SampleSet, Summary};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new(-1000.0, 1000.0, 16).expect("valid range");
+    h.extend(samples.iter().copied());
+    h
+}
+
+fn bins_of(h: &Histogram) -> Vec<u64> {
+    (0..h.bins())
+        .map(|i| h.bin_count(i))
+        .chain([h.underflow(), h.overflow()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in prop::collection::vec(-1500.0..1500.0f64, 0..60),
+        ys in prop::collection::vec(-1500.0..1500.0f64, 0..60),
+    ) {
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut ab = a.clone();
+        prop_assert!(ab.merge(&b));
+        let mut ba = b.clone();
+        prop_assert!(ba.merge(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in prop::collection::vec(-1500.0..1500.0f64, 0..40),
+        ys in prop::collection::vec(-1500.0..1500.0f64, 0..40),
+        zs in prop::collection::vec(-1500.0..1500.0f64, 0..40),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        // (a + b) + c
+        let mut left = a.clone();
+        prop_assert!(left.merge(&b));
+        prop_assert!(left.merge(&c));
+        // a + (b + c)
+        let mut bc = b.clone();
+        prop_assert!(bc.merge(&c));
+        let mut right = a.clone();
+        prop_assert!(right.merge(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass(
+        xs in prop::collection::vec(-1500.0..1500.0f64, 0..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(xs.len());
+        let mut merged = histogram_of(&xs[..split]);
+        prop_assert!(merged.merge(&histogram_of(&xs[split..])));
+        let single = histogram_of(&xs);
+        prop_assert_eq!(bins_of(&merged), bins_of(&single));
+        prop_assert_eq!(merged.count(), single.count());
+    }
+
+    #[test]
+    fn summary_merge_equals_single_pass(
+        xs in prop::collection::vec(-1e6..1e6f64, 0..80),
+        split in 0usize..80,
+    ) {
+        let split = split.min(xs.len());
+        let single: Summary = xs.iter().copied().collect();
+        let mut merged: Summary = xs[..split].iter().copied().collect();
+        let right: Summary = xs[split..].iter().copied().collect();
+        merged.merge(&right);
+        // Counts, retained samples (order included), and extrema are exact.
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.samples().as_slice(), single.samples().as_slice());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        // Moments combine via parallel Welford: equal up to rounding.
+        prop_assert!((merged.mean() - single.mean()).abs() <= 1e-6 * single.mean().abs().max(1.0));
+        prop_assert!(
+            (merged.std_dev() - single.std_dev()).abs() <= 1e-5 * single.std_dev().abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn summary_merge_quantiles_match_single_pass(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..60),
+        split in 0usize..60,
+        q in 0.0..=1.0f64,
+    ) {
+        let split = split.min(xs.len());
+        let mut single: Summary = xs.iter().copied().collect();
+        let mut merged: Summary = xs[..split].iter().copied().collect();
+        let right: Summary = xs[split..].iter().copied().collect();
+        merged.merge(&right);
+        // Quantiles sort the retained samples, so append order cannot leak.
+        prop_assert_eq!(merged.percentile(q), single.percentile(q));
+    }
+
+    #[test]
+    fn online_stats_merge_is_commutative_in_count_and_extrema(
+        xs in prop::collection::vec(-1e6..1e6f64, 0..50),
+        ys in prop::collection::vec(-1e6..1e6f64, 0..50),
+    ) {
+        let (a, b): (OnlineStats, OnlineStats) =
+            (xs.iter().copied().collect(), ys.iter().copied().collect());
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * ab.mean().abs().max(1.0));
+    }
+}
+
+#[test]
+fn histogram_merge_refuses_mismatched_shapes() {
+    let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+    let before = a.clone();
+    assert!(!a.merge(&Histogram::new(0.0, 2.0, 4).unwrap()), "range");
+    assert!(!a.merge(&Histogram::new(0.0, 1.0, 8).unwrap()), "bins");
+    assert_eq!(a, before, "refused merges leave the target untouched");
+    assert!(a.merge(&Histogram::new(0.0, 1.0, 4).unwrap()));
+}
+
+#[test]
+fn sample_set_merge_preserves_insertion_order() {
+    let mut left: SampleSet = [3.0, 1.0].into_iter().collect();
+    let right: SampleSet = [2.0].into_iter().collect();
+    left.merge(&right);
+    assert_eq!(left.as_slice(), &[3.0, 1.0, 2.0]);
+    // Quantile caches are invalidated by the merge.
+    assert_eq!(left.median(), 2.0);
+}

@@ -1,0 +1,341 @@
+//! Deterministic observability for the online NFV control plane.
+//!
+//! Three layers, all strict observers of the controller:
+//!
+//! - a structured **event journal** ([`TraceEvent`]/[`EventKind`]):
+//!   typed admit/reject/shed/retry/outage/re-optimization records
+//!   written to pluggable [`EventSink`]s — a bounded in-memory
+//!   [`RingSink`], a [`JsonlSink`] (one JSON object per line), and a
+//!   [`CsvSink`] in the fixed-column per-event trace shape;
+//! - **timing spans** ([`Phase`]/[`PhaseProfile`]): wall-clock durations
+//!   of the hot phases (BFDSU delta-placement, RCKK planning, the
+//!   hysteresis probe, retry drain, emergency re-placement) aggregated
+//!   into `nfv-metrics` summaries;
+//! - a **per-tick time-series** ([`TickSample`]/[`TickSeries`]): ρ,
+//!   balanced latency, retry backlog and nodes-in-service snapshots with
+//!   bounded memory and in-order cross-worker merging.
+//!
+//! # Determinism contract
+//!
+//! Telemetry must never change what the controller computes:
+//!
+//! - [`Telemetry::disabled`] is a `None` behind one branch — no
+//!   allocation, no clock reads, no RNG draws; the event/sample closures
+//!   passed to [`Telemetry::emit`]/[`Telemetry::sample_tick`] are not
+//!   even invoked;
+//! - enabled telemetry only *reads* controller state; span durations are
+//!   the only wall-clock values and they flow into [`PhaseProfile`]
+//!   summaries, never back into any decision;
+//! - journal and series content derive purely from the deterministic
+//!   virtual-time run, so same-seed runs emit bit-identical journals at
+//!   any thread count (wall-clock span durations are the one documented
+//!   exception, and they live outside the journal).
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_telemetry::{EventKind, Telemetry};
+//! use nfv_model::RequestId;
+//!
+//! let mut tel = Telemetry::enabled();
+//! tel.emit(1.5, 0, || EventKind::Admit { request: RequestId::new(7), hops: 2 });
+//! let artifacts = tel.finish();
+//! assert_eq!(artifacts.events.len(), 1);
+//!
+//! // The disabled path records nothing and never runs the closure.
+//! let mut off = Telemetry::disabled();
+//! off.emit(1.5, 0, || unreachable!("disabled telemetry must not build events"));
+//! assert!(off.finish().events.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod series;
+mod sink;
+mod span;
+
+pub use event::{EventKind, ReoptPhase, TraceEvent, CSV_HEADER};
+pub use series::{TickSample, TickSeries, SERIES_CSV_HEADER};
+pub use sink::{CsvSink, EventSink, JsonlSink, RingSink};
+pub use span::{Phase, PhaseProfile, SpanToken};
+
+/// Everything a telemetry session collected, returned by
+/// [`Telemetry::finish`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryArtifacts {
+    /// The journal retained by the in-memory ring, oldest first, with
+    /// dense re-assigned sequence numbers after merging.
+    pub events: Vec<TraceEvent>,
+    /// Journal records evicted from the ring to honor its bound.
+    pub dropped_events: u64,
+    /// Per-phase wall-clock timing summaries.
+    pub profile: PhaseProfile,
+    /// The per-tick time-series.
+    pub series: TickSeries,
+}
+
+impl TelemetryArtifacts {
+    /// Appends another worker's artifacts after this one. Callers fold
+    /// worker results in worker-index order (the order `par_map`
+    /// returns), so the merged artifacts are identical at any thread
+    /// count; sequence numbers are re-assigned densely over the merged
+    /// journal.
+    pub fn merge(&mut self, other: TelemetryArtifacts) {
+        self.dropped_events += other.dropped_events;
+        self.events.extend(other.events);
+        for (seq, event) in self.events.iter_mut().enumerate() {
+            event.seq = seq as u64;
+        }
+        self.profile.merge(&other.profile);
+        self.series.merge(&other.series);
+    }
+
+    /// The journal as JSONL (one event per line).
+    #[must_use]
+    pub fn journal_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct Inner {
+    seq: u64,
+    ring: RingSink,
+    extra: Vec<Box<dyn EventSink>>,
+    profile: PhaseProfile,
+    series: TickSeries,
+}
+
+/// A telemetry session handle, threaded by `&mut` through the
+/// controller's event loop. See the crate docs for the determinism
+/// contract.
+pub struct Telemetry {
+    inner: Option<Box<Inner>>,
+}
+
+impl Telemetry {
+    /// Default journal ring capacity (events retained in memory).
+    pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+    /// Default time-series capacity (tick samples retained).
+    pub const DEFAULT_SAMPLE_CAPACITY: usize = 4_096;
+
+    /// The no-op session: records nothing, costs one branch per call
+    /// site, and never invokes the event/sample closures.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled session with the default ring and series capacities.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::with_capacity(Self::DEFAULT_EVENT_CAPACITY, Self::DEFAULT_SAMPLE_CAPACITY)
+    }
+
+    /// An enabled session retaining at most `max_events` journal records
+    /// and `max_samples` tick samples in memory.
+    #[must_use]
+    pub fn with_capacity(max_events: usize, max_samples: usize) -> Self {
+        Self {
+            inner: Some(Box::new(Inner {
+                seq: 0,
+                ring: RingSink::new(max_events),
+                extra: Vec::new(),
+                profile: PhaseProfile::new(),
+                series: TickSeries::new(max_samples),
+            })),
+        }
+    }
+
+    /// Whether this session records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches an additional sink (JSONL/CSV writers); a no-op on a
+    /// disabled session.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.extra.push(sink);
+        }
+    }
+
+    /// Emits one journal record at virtual time `time` during tick
+    /// `tick`. The closure builds the payload only when the session is
+    /// enabled, so the disabled path does no formatting or allocation.
+    pub fn emit<F: FnOnce() -> EventKind>(&mut self, time: f64, tick: u64, kind: F) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let event = TraceEvent {
+            seq: inner.seq,
+            time,
+            tick,
+            kind: kind(),
+        };
+        inner.seq += 1;
+        for sink in &mut inner.extra {
+            sink.record(&event);
+        }
+        inner.ring.record(&event);
+    }
+
+    /// Opens a timing span (reads the clock only when enabled).
+    pub fn begin(&self) -> SpanToken {
+        SpanToken::start(self.is_enabled())
+    }
+
+    /// Closes a timing span into `phase`'s duration summary.
+    pub fn end(&mut self, phase: Phase, token: SpanToken) {
+        if let (Some(inner), Some(seconds)) = (self.inner.as_mut(), token.elapsed_seconds()) {
+            inner.profile.record(phase, seconds);
+        }
+    }
+
+    /// Records one per-tick sample; the closure runs only when the
+    /// session is enabled.
+    pub fn sample_tick<F: FnOnce() -> TickSample>(&mut self, sample: F) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.series.push(sample());
+        }
+    }
+
+    /// Closes the session: flushes the extra sinks and returns the
+    /// collected artifacts (empty for a disabled session).
+    #[must_use]
+    pub fn finish(self) -> TelemetryArtifacts {
+        let Some(mut inner) = self.inner else {
+            return TelemetryArtifacts::default();
+        };
+        for sink in &mut inner.extra {
+            sink.flush();
+        }
+        TelemetryArtifacts {
+            dropped_events: inner.ring.dropped(),
+            events: inner.ring.into_events(),
+            profile: inner.profile,
+            series: inner.series,
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Telemetry::disabled"),
+            Some(inner) => f
+                .debug_struct("Telemetry")
+                .field("events", &inner.ring.len())
+                .field("dropped", &inner.ring.dropped())
+                .field("extra_sinks", &inner.extra.len())
+                .field("spans", &inner.profile.total_spans())
+                .field("samples", &inner.series.len())
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{NodeId, RequestId};
+
+    #[test]
+    fn disabled_session_is_inert_and_lazy() {
+        let mut tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.emit(0.0, 0, || panic!("emit closure ran on the disabled path"));
+        tel.sample_tick(|| panic!("sample closure ran on the disabled path"));
+        let token = tel.begin();
+        tel.end(Phase::RckkPlan, token);
+        tel.add_sink(Box::new(RingSink::new(4)));
+        let artifacts = tel.finish();
+        assert_eq!(artifacts, TelemetryArtifacts::default());
+    }
+
+    #[test]
+    fn enabled_session_journals_in_emission_order() {
+        let mut tel = Telemetry::enabled();
+        tel.emit(1.0, 0, || EventKind::NodeDown {
+            node: NodeId::new(3),
+            vnfs_lost: 2,
+            shed: 5,
+        });
+        tel.emit(2.0, 0, || EventKind::NodeUp {
+            node: NodeId::new(3),
+            vnfs_restored: 2,
+        });
+        let token = tel.begin();
+        tel.end(Phase::EmergencyReplace, token);
+        let artifacts = tel.finish();
+        assert_eq!(artifacts.events.len(), 2);
+        assert_eq!(artifacts.events[0].seq, 0);
+        assert_eq!(artifacts.events[1].seq, 1);
+        assert_eq!(artifacts.events[0].kind.label(), "NodeDown");
+        assert_eq!(
+            artifacts.profile.summary(Phase::EmergencyReplace).count(),
+            1
+        );
+        let jsonl = artifacts.journal_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(
+            TraceEvent::from_json(jsonl.lines().next().unwrap()).unwrap(),
+            artifacts.events[0]
+        );
+    }
+
+    #[test]
+    fn extra_sinks_observe_every_event() {
+        let mut tel = Telemetry::enabled();
+        tel.add_sink(Box::new(JsonlSink::new(Vec::new())));
+        tel.emit(1.0, 0, || EventKind::Admit {
+            request: RequestId::new(1),
+            hops: 1,
+        });
+        let artifacts = tel.finish();
+        assert_eq!(artifacts.events.len(), 1);
+    }
+
+    #[test]
+    fn merge_renumbers_and_appends_in_order() {
+        let mut a = Telemetry::enabled();
+        a.emit(1.0, 0, || EventKind::Admit {
+            request: RequestId::new(1),
+            hops: 1,
+        });
+        let mut b = Telemetry::enabled();
+        b.emit(2.0, 0, || EventKind::Admit {
+            request: RequestId::new(2),
+            hops: 1,
+        });
+        let mut merged = a.finish();
+        merged.merge(b.finish());
+        assert_eq!(merged.events.len(), 2);
+        assert_eq!(merged.events[0].seq, 0);
+        assert_eq!(merged.events[1].seq, 1);
+        assert_eq!(merged.events[1].time, 2.0);
+    }
+
+    #[test]
+    fn ring_bound_counts_dropped_events() {
+        let mut tel = Telemetry::with_capacity(2, 2);
+        for i in 0..5u32 {
+            tel.emit(f64::from(i), 0, || EventKind::Admit {
+                request: RequestId::new(i),
+                hops: 1,
+            });
+        }
+        let artifacts = tel.finish();
+        assert_eq!(artifacts.events.len(), 2);
+        assert_eq!(artifacts.dropped_events, 3);
+        assert_eq!(artifacts.events[0].seq, 3, "most recent events survive");
+    }
+}

@@ -1,0 +1,280 @@
+//! Pluggable journal sinks.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::event::{TraceEvent, CSV_HEADER};
+
+/// Receives journal records as they are emitted.
+///
+/// Sinks are observers: they must not influence the controller (no
+/// panics on full buffers, no blocking on virtual time). I/O errors are
+/// swallowed after the first failure — a broken pipe must not abort a
+/// deterministic run.
+pub trait EventSink: Send {
+    /// Records one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flushes any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` events and
+/// counts the ones that fell off the front.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted to honor the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring into the retained events, oldest first.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line (`TraceEvent::to_json`).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    failed: bool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            failed: false,
+        }
+    }
+
+    /// Whether any write failed (output is then truncated, never torn
+    /// mid-line).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.failed {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        self.failed = self.writer.write_all(line.as_bytes()).is_err();
+    }
+
+    fn flush(&mut self) {
+        if !self.failed {
+            self.failed = self.writer.flush().is_err();
+        }
+    }
+}
+
+/// Writes the fixed-column CSV trace shape (`CSV_HEADER` once, then one
+/// row per event).
+#[derive(Debug)]
+pub struct CsvSink<W: Write + Send> {
+    writer: W,
+    wrote_header: bool,
+    failed: bool,
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps a writer; the header is emitted before the first row.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            wrote_header: false,
+            failed: false,
+        }
+    }
+
+    /// Whether any write failed.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> EventSink for CsvSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.failed {
+            return;
+        }
+        if !self.wrote_header {
+            self.wrote_header = true;
+            self.failed = self
+                .writer
+                .write_all(format!("{CSV_HEADER}\n").as_bytes())
+                .is_err();
+            if self.failed {
+                return;
+            }
+        }
+        let mut row = event.to_csv_row();
+        row.push('\n');
+        self.failed = self.writer.write_all(row.as_bytes()).is_err();
+    }
+
+    fn flush(&mut self) {
+        if !self.failed {
+            self.failed = self.writer.flush().is_err();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use nfv_model::RequestId;
+
+    fn event(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            time: seq as f64,
+            tick: 0,
+            kind: EventKind::Admit {
+                request: RequestId::new(seq as u32),
+                hops: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(&event(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.into_events().len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = RingSink::new(0);
+        ring.record(&event(0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&event(0));
+        sink.record(&event(1));
+        sink.flush();
+        assert!(!sink.failed());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(TraceEvent::from_json(lines[1]).unwrap(), event(1));
+    }
+
+    #[test]
+    fn csv_sink_writes_header_once() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.record(&event(0));
+        sink.record(&event(1));
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("Admit,"));
+    }
+
+    /// A writer that fails after `ok` bytes, to exercise the error latch.
+    struct Flaky {
+        ok: usize,
+    }
+    impl Write for Flaky {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok >= buf.len() {
+                self.ok -= buf.len();
+                Ok(buf.len())
+            } else {
+                Err(std::io::Error::other("full"))
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_latch_instead_of_panicking() {
+        let mut sink = JsonlSink::new(Flaky { ok: 80 });
+        for i in 0..10 {
+            sink.record(&event(i));
+        }
+        assert!(sink.failed());
+    }
+}

@@ -61,6 +61,11 @@ pub use nfv_sim as sim;
 /// bounded re-optimization.
 pub use nfv_controller as controller;
 
+/// Deterministic observability: structured event journal, hot-phase
+/// timing spans and per-tick time-series — all strict observers of the
+/// controller (bit-identical results with telemetry on or off).
+pub use nfv_telemetry as telemetry;
+
 /// Deterministic worker pool: order-preserving parallel map and
 /// `(base seed, task index)` seed derivation, so experiment sweeps are
 /// bit-identical at any thread count.

@@ -53,6 +53,17 @@ fn pipeline_artifact_types_implement_serde() {
 }
 
 #[test]
+fn telemetry_artifact_types_implement_serde() {
+    assert_serde::<nfv::telemetry::EventKind>();
+    assert_serde::<nfv::telemetry::ReoptPhase>();
+    assert_serde::<nfv::telemetry::TraceEvent>();
+    assert_serde::<nfv::telemetry::Phase>();
+    assert_serde::<nfv::telemetry::PhaseProfile>();
+    assert_serde::<nfv::telemetry::TickSample>();
+    assert_serde::<nfv::telemetry::TickSeries>();
+}
+
+#[test]
 fn scenario_clone_preserves_everything() {
     let scenario = ScenarioBuilder::new()
         .vnfs(7)
