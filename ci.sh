@@ -24,8 +24,17 @@ cargo test -q -p nfv-controller --test properties outage_interleavings
 echo "== queueing formula guards (rho >= 1 stays an error, never a number) =="
 cargo test -q -p nfv-queueing rho_
 
+echo "== anytime search (GA/PSO determinism, repair, refiner hand-off) =="
+cargo test -q -p nfv-search
+cargo test -q -p nfv-controller refiner
+cargo test -q -p nfv-core --lib anytime
+cargo test -q -p nfv-core --test thread_invariance search
+
 echo "== cargo build --release =="
 cargo build --release
+
+echo "== anytime figure (searchers must reach the greedy placers and the exact oracle) =="
+cargo run -q --release -p nfv-bench --bin figures -- anytime --reps 2
 
 echo "== churn figure (joint re-placement must beat scheduling-only when saturated) =="
 cargo run -q --release -p nfv-bench --bin figures -- churn

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the anytime metaheuristic search: the
+//! cost of one GA/PSO generation (one full population evaluation) and of
+//! a refiner-sized burst, on the instance shapes the controller's
+//! background refiner actually sees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_bench::placement_problem;
+use nfv_search::{SearchConfig, SearchRun};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    for &(nodes, vnfs, requests) in &[(10usize, 15usize, 200usize), (20, 30, 500)] {
+        let problem = placement_problem(nodes, vnfs, requests, 7);
+        for config in [SearchConfig::ga(42), SearchConfig::pso(42)] {
+            // One generation: a full population evaluation through
+            // selection/velocity, repair and the fitness function.
+            group.bench_with_input(
+                BenchmarkId::new(
+                    &format!("{}-generation", config.engine.name()),
+                    format!("{nodes}n-{vnfs}f-{requests}r"),
+                ),
+                &problem,
+                |b, problem| {
+                    let mut run = SearchRun::new(problem, &config).expect("valid fixture");
+                    b.iter(|| run.step());
+                },
+            );
+        }
+        // A refiner burst: what one quiet controller tick pays, seeding
+        // included (the refiner re-seeds from the live assignment each
+        // tick rather than stepping a long-lived run).
+        let config = SearchConfig::ga(42);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "ga-refiner-burst-12",
+                format!("{nodes}n-{vnfs}f-{requests}r"),
+            ),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    let mut run = SearchRun::new(problem, &config).expect("valid fixture");
+                    for _ in 0..12 {
+                        run.step();
+                    }
+                    run.best_fitness()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

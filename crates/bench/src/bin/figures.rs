@@ -4,8 +4,9 @@
 //! cargo run -p nfv-bench --bin figures --release -- <command> [--reps N] [--seed S] [--threads T]
 //! ```
 //!
-//! Commands: `fig5` … `fig16`, `tail`, `joint`, `churn`, `validate`,
-//! `ablation`, `all`, `bench`. Each prints the series the corresponding
+//! Commands: `fig5` … `fig16`, `tail`, `joint`, `churn`, `anytime`,
+//! `validate`, `ablation`, `all`, `bench`. Each prints the series the
+//! corresponding
 //! paper figure plots (`churn` prints the online control-plane
 //! comparison), plus a shape-check summary (who wins, by how much) for
 //! comparison with `EXPERIMENTS.md`.
@@ -33,13 +34,17 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nfv_controller::{Controller, ControllerConfig};
-use nfv_core::experiments::{churn, joint, placement, resilience, scheduling, validation, Sweep};
+use nfv_core::experiments::{
+    anytime, churn, joint, placement, resilience, scheduling, validation, Sweep,
+};
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
 use nfv_parallel::{available_threads, default_threads, par_map_indexed, set_default_threads};
 use nfv_placement::{Bfd, Bfdsu, Ffd, Placer};
 use nfv_scheduling::{Cga, KkForward, Rckk, RoundRobin, Scheduler};
+use nfv_search::SearchConfig;
 use nfv_telemetry::{CsvSink, EventKind, JsonlSink, Telemetry, TraceEvent};
+use rand::SeedableRng;
 
 struct Options {
     command: String,
@@ -107,11 +112,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|joint|churn|resilience|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|anytime|joint|churn|resilience|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
 
 /// The `all` command list, in paper order.
-const ALL_COMMANDS: [&str; 21] = [
+const ALL_COMMANDS: [&str; 22] = [
     "fig5",
     "fig6",
     "fig7",
@@ -128,6 +133,7 @@ const ALL_COMMANDS: [&str; 21] = [
     "headline",
     "online",
     "quality",
+    "anytime",
     "joint",
     "churn",
     "resilience",
@@ -260,6 +266,34 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         overhead_pct(replay_enabled),
     );
 
+    // Search throughput: GA generations/second on the anytime Pareto
+    // instance (single-threaded, min-of-N), plus the quality delta of the
+    // searched placement against BFDSU on the same problem.
+    set_default_threads(1);
+    let problem = anytime::bench_problem(options.seed)?;
+    let search_config = SearchConfig::ga(options.seed);
+    const SEARCH_GENERATIONS: usize = 20;
+    let search_seconds = min_seconds(OVERHEAD_RUNS, || {
+        let _ = nfv_search::search(&problem, &search_config, SEARCH_GENERATIONS);
+    });
+    let generations_per_second = SEARCH_GENERATIONS as f64 / search_seconds;
+    let outcome = nfv_search::search(&problem, &search_config, SEARCH_GENERATIONS)
+        .map_err(CoreError::from)?;
+    let mut bfdsu_rng = rand::rngs::StdRng::seed_from_u64(options.seed);
+    let bfdsu_objective = Bfdsu::new().place(&problem, &mut bfdsu_rng).ok().map(|o| {
+        nfv_search::objective(&problem, o.placement().assignment(), &search_config.weights)
+    });
+    set_default_threads(0);
+    let objective_delta = bfdsu_objective.map(|b| outcome.best_fitness() - b);
+    println!(
+        "bench: search (ga, pop {}) {generations_per_second:.1} generations/s at 1 thread, \
+         best objective {:.4} vs bfdsu {} (delta {})",
+        search_config.population,
+        outcome.best_fitness(),
+        fmt_or(bfdsu_objective, "n/a"),
+        fmt_or(objective_delta, "n/a"),
+    );
+
     let fmt_opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.6}"));
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -268,6 +302,30 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
     let _ = writeln!(json, "  \"reps_placement\": {},", options.reps_placement);
     let _ = writeln!(json, "  \"reps_scheduling\": {},", options.reps_scheduling);
     let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"search\": {{");
+    let _ = writeln!(json, "    \"engine\": \"ga\",");
+    let _ = writeln!(json, "    \"population\": {},", search_config.population);
+    let _ = writeln!(json, "    \"generations\": {SEARCH_GENERATIONS},");
+    let _ = writeln!(
+        json,
+        "    \"generations_per_second\": {generations_per_second:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"best_objective\": {:.6},",
+        outcome.best_fitness()
+    );
+    let _ = writeln!(
+        json,
+        "    \"bfdsu_objective\": {},",
+        bfdsu_objective.map_or_else(|| "null".to_owned(), |v| format!("{v:.6}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"objective_delta_vs_bfdsu\": {}",
+        objective_delta.map_or_else(|| "null".to_owned(), |v| format!("{v:.6}"))
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"telemetry\": {{");
     let _ = writeln!(json, "    \"replay_plain_seconds\": {replay_plain:.6},");
     let _ = writeln!(
@@ -322,6 +380,11 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         ),
     }
     Ok(())
+}
+
+/// `value` with four decimals, or `fallback` when absent.
+fn fmt_or(value: Option<f64>, fallback: &str) -> String {
+    value.map_or_else(|| fallback.to_owned(), |v| format!("{v:.4}"))
 }
 
 /// The fastest of `runs` executions of `f`, in seconds. Minima converge
@@ -451,6 +514,7 @@ fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
             6,
             None,
         ),
+        "anytime" => print_anytime(&mut out, rp, seed)?,
         "churn" => print_churn(&mut out, seed)?,
         "resilience" => print_resilience(&mut out, seed)?,
         "trace" => print_trace(&mut out, seed)?,
@@ -597,6 +661,78 @@ fn print_headline(out: &mut String, reps: u64, seed: u64) -> Result<(), CoreErro
         out,
         "overall mean: {:.1}% (paper: 19.9%)",
         overall / sweeps.len() as f64
+    );
+    Ok(())
+}
+
+/// `figures anytime`: the metaheuristic search evaluation — the
+/// quality-vs-generations Pareto front against the greedy placers, the
+/// exact-oracle match on small instances, and the background-refiner
+/// churn replay.
+fn print_anytime(out: &mut String, reps: u64, seed: u64) -> Result<(), CoreError> {
+    let front = anytime::quality_vs_generations(reps, seed)?;
+    print_sweep(
+        out,
+        "Anytime search - mean nodes in service vs GA/PSO generations (greedy placers constant)",
+        &front,
+        2,
+        None,
+    );
+    let best_greedy = ["bfdsu", "ffd", "nah"]
+        .iter()
+        .filter_map(|name| front.series_values(name))
+        .filter_map(|values| values.first().copied())
+        .fold(f64::INFINITY, f64::min);
+    if let Some(ga) = front.series_values("ga") {
+        let crossover = anytime::GENERATION_CHECKPOINTS
+            .iter()
+            .zip(&ga)
+            .find(|(_, &nodes)| nodes <= best_greedy + 1e-9);
+        let _ = match crossover {
+            Some((generation, _)) => writeln!(
+                out,
+                "shape check: GA matches the best greedy placer ({best_greedy:.2} nodes) \
+                 by generation {generation}, ending at {:.2}",
+                ga.last().copied().unwrap_or(f64::NAN)
+            ),
+            None => writeln!(
+                out,
+                "shape check: GA never reaches the best greedy placer ({best_greedy:.2} nodes) \
+                 within {} generations",
+                anytime::GENERATION_CHECKPOINTS.last().copied().unwrap_or(0)
+            ),
+        };
+    }
+    let _ = writeln!(out);
+    print_sweep(
+        out,
+        &format!(
+            "Anytime search - nodes used / optimal nodes after {} generations (exact oracle)",
+            anytime::ORACLE_GENERATIONS
+        ),
+        &anytime::oracle_ratio(reps, seed)?,
+        3,
+        None,
+    );
+
+    let point = churn::ChurnPoint::base();
+    let _ = writeln!(
+        out,
+        "== Refiner - churn replay with the background searcher \
+         ({:.0}s trace, ticks every {:.0}s) ==",
+        point.horizon, point.tick_period
+    );
+    let comparison = anytime::refiner_replay(seed)?;
+    let _ = write!(out, "{}", comparison.to_table());
+    let baseline = &comparison.outcome("resilient").expect("policy ran").report;
+    let refined = &comparison.outcome("refined").expect("policy ran").report;
+    let _ = writeln!(
+        out,
+        "shape check: the refiner commits {} searched plans ({} rejected by hysteresis) \
+         and changes mean W by {:+.2}% vs the refiner-free resilient policy",
+        refined.refines_applied,
+        refined.refines_rejected,
+        (refined.mean_latency - baseline.mean_latency) / baseline.mean_latency * 100.0,
     );
     Ok(())
 }

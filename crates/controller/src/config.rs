@@ -1,6 +1,7 @@
 //! Controller policies and tuning knobs.
 
 use nfv_model::VnfId;
+use nfv_search::{Engine, FitnessWeights};
 
 /// What to do when an arrival cannot be admitted without driving some
 /// instance of its chain to `ρ ≥ 1`.
@@ -190,6 +191,65 @@ impl RetryConfig {
     }
 }
 
+/// Background anytime refinement of the VNF→node placement. On *quiet*
+/// ticks — no node currently dark and no node outage or recovery since the
+/// last tick — the controller runs a bounded number of generations of the
+/// `nfv-search` metaheuristic (GA or PSO), warm-started from the live
+/// assignment, and adopts the searched placement through the usual
+/// hysteresis gate when it promises enough objective gain within the move
+/// budget. Requires a cluster, like [`ReplaceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinerConfig {
+    /// The search engine refining the placement.
+    pub engine: Engine,
+    /// Individuals (or particles) per generation.
+    pub population: usize,
+    /// Generations run per quiet tick. Each generation is wrapped in a
+    /// `search-generation` telemetry span.
+    pub generations: usize,
+    /// Hysteresis: the relative search-objective gain
+    /// `(f_now − f_best) / f_now` the bounded plan must promise before any
+    /// VNF is relocated; plans below it journal a `ReoptRejected`.
+    pub min_gain: f64,
+    /// Budget on VNF relocations per committed plan. When the searched
+    /// assignment differs in more genes, single moves are applied greedily
+    /// by marginal objective gain up to this budget.
+    pub max_moves: usize,
+    /// Base seed of the per-tick search; tick `t` searches with
+    /// `seed ^ t`, so runs are bit-identical at any thread count.
+    pub seed: u64,
+    /// Objective weights of the refiner's search. Unlike the offline
+    /// searcher, which reproduces the paper's pure consolidation objective
+    /// (zero [`FitnessWeights::spread`]), a live cluster pays for packed
+    /// nodes in admission headroom and queueing delay — so the bounded
+    /// default raises `spread` until evacuating a node only pays when it
+    /// does not create a hot spot.
+    pub weights: FitnessWeights,
+}
+
+impl RefinerConfig {
+    /// A bounded default: 24 individuals, 12 GA generations per quiet
+    /// tick, 1% minimum objective gain, at most 4 relocations per plan,
+    /// and a headroom-guarded objective (`spread` = 4: consolidation must
+    /// not raise the hottest node's utilization by more than 0.25 per node
+    /// freed).
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self {
+            engine: Engine::Ga,
+            population: 24,
+            generations: 12,
+            min_gain: 0.01,
+            max_moves: 4,
+            seed: 0x5EEC,
+            weights: FitnessWeights {
+                spread: 4.0,
+                ..FitnessWeights::default()
+            },
+        }
+    }
+}
+
 /// Complete controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ControllerConfig {
@@ -211,6 +271,10 @@ pub struct ControllerConfig {
     /// Retry/backoff queue for shed and rejected arrivals; `None` loses
     /// refused traffic for good.
     pub retry: Option<RetryConfig>,
+    /// Background placement refinement on quiet ticks; `None` leaves the
+    /// node mapping to the re-placement phase alone. Requires a cluster,
+    /// like `replace`.
+    pub refiner: Option<RefinerConfig>,
 }
 
 impl ControllerConfig {
@@ -224,6 +288,7 @@ impl ControllerConfig {
             replace: None,
             emergency: None,
             retry: None,
+            refiner: None,
         }
     }
 
@@ -270,6 +335,17 @@ impl ControllerConfig {
             emergency: Some(EmergencyConfig::bounded()),
             retry: Some(RetryConfig::bounded()),
             ..Self::joint_reopt()
+        }
+    }
+
+    /// The resilient ladder plus background placement refinement on quiet
+    /// ticks ([`RefinerConfig::bounded`]): the anytime GA keeps improving
+    /// the node mapping while the cluster is healthy.
+    #[must_use]
+    pub fn refined() -> Self {
+        Self {
+            refiner: Some(RefinerConfig::bounded()),
+            ..Self::resilient()
         }
     }
 }
@@ -347,6 +423,24 @@ mod tests {
         // Everything below the resilient tier stays recovery-free.
         assert_eq!(ControllerConfig::joint_reopt().emergency, None);
         assert_eq!(ControllerConfig::joint_reopt().retry, None);
+    }
+
+    #[test]
+    fn refined_preset_layers_search_on_top_of_resilient() {
+        let refined = ControllerConfig::refined();
+        assert_eq!(refined.reopt, ControllerConfig::resilient().reopt);
+        assert_eq!(refined.replace, ControllerConfig::resilient().replace);
+        assert_eq!(refined.emergency, ControllerConfig::resilient().emergency);
+        assert_eq!(refined.retry, ControllerConfig::resilient().retry);
+        let refiner = refined.refiner.unwrap();
+        assert_eq!(refiner.engine, Engine::Ga);
+        assert!(refiner.population >= 2);
+        assert!(refiner.generations >= 1);
+        assert!(refiner.min_gain > 0.0, "hysteresis stays armed");
+        assert!(refiner.max_moves >= 1);
+        // Every lower tier leaves the searcher off.
+        assert_eq!(ControllerConfig::resilient().refiner, None);
+        assert_eq!(ControllerConfig::joint_reopt().refiner, None);
     }
 
     #[test]

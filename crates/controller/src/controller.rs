@@ -6,6 +6,7 @@ use nfv_metrics::{Histogram, SampleSet};
 use nfv_model::{Capacity, ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
 use nfv_placement::{Bfdsu, Placement, PlacementProblem};
 use nfv_scheduling::{Rckk, Scheduler};
+use nfv_search::{objective, Engine, SearchConfig, SearchRun};
 use nfv_telemetry::{EventKind, Phase, ReoptPhase, Telemetry, TickSample};
 use nfv_workload::churn::{ChurnEvent, ChurnTrace, TimedEvent};
 use nfv_workload::Scenario;
@@ -53,7 +54,8 @@ pub enum EventOutcome {
         instances_added: u64,
         /// Instances retired by the re-placement phase.
         instances_retired: u64,
-        /// Instances relocated to another node by the re-placement phase.
+        /// Instances relocated to another node by the re-placement phase
+        /// or the background refiner.
         relocations: u64,
     },
     /// A tick was observed but hysteresis found too little predicted gain.
@@ -115,6 +117,11 @@ struct Counters {
     retries_attempted: u64,
     retry_admitted: u64,
     retry_abandoned: u64,
+    refines_applied: u64,
+    refines_rejected: u64,
+    /// `node_downs + node_ups` at the last refiner attempt, for the
+    /// quiet-tick gate (not reported).
+    outages_seen: u64,
 }
 
 /// The physical substrate the controller re-places over: the node fleet,
@@ -572,6 +579,8 @@ impl Controller {
             retries_attempted: self.counters.retries_attempted,
             retry_admitted: self.counters.retry_admitted,
             retry_abandoned: self.counters.retry_abandoned,
+            refines_applied: self.counters.refines_applied,
+            refines_rejected: self.counters.refines_rejected,
             retry_pending: self.retry.len() as u64,
             active: self.active.len() as u64,
             mean_latency: if self.clock > 0.0 {
@@ -1145,7 +1154,8 @@ impl Controller {
     fn tick(&mut self, tel: &mut Telemetry) -> EventOutcome {
         self.counters.ticks += 1;
         let replacing = self.config.replace.is_some() && self.cluster.is_some();
-        if self.config.reopt.is_none() && !replacing {
+        let refining = self.config.refiner.is_some() && self.cluster.is_some();
+        if self.config.reopt.is_none() && !replacing && !refining {
             return EventOutcome::TickIgnored;
         }
         let (instances_added, instances_retired, relocations) = if replacing {
@@ -1154,14 +1164,15 @@ impl Controller {
             (0, 0, 0)
         };
         let migrations = self.reopt_phase(tel);
-        if migrations + instances_added + instances_retired + relocations == 0 {
+        let refined = if refining { self.refine_phase(tel) } else { 0 };
+        if migrations + instances_added + instances_retired + relocations + refined == 0 {
             EventOutcome::TickSkipped
         } else {
             EventOutcome::Reoptimized {
                 migrations,
                 instances_added,
                 instances_retired,
-                relocations,
+                relocations: relocations + refined,
             }
         }
     }
@@ -1572,6 +1583,153 @@ impl Controller {
         });
         (added, retired, moved)
     }
+
+    /// The background-refinement phase of a tick: on a *quiet* tick (no
+    /// node currently dark, no node outage or recovery since the last
+    /// tick) run a bounded anytime metaheuristic search over the VNF→node
+    /// mapping, warm-started from the live assignment, and adopt the
+    /// searched plan when it clears the objective-gain hysteresis within
+    /// the relocation budget. Every generation is timed as a
+    /// `search-generation` span; the search itself derives per-individual
+    /// seeds from `(seed ^ tick, generation·population + i)`, so results
+    /// are bit-identical at any thread count. Returns the number of VNFs
+    /// relocated.
+    fn refine_phase(&mut self, tel: &mut Telemetry) -> u64 {
+        let Some(rc) = self.config.refiner else {
+            return 0;
+        };
+        let Some(cluster) = self.cluster.clone() else {
+            return 0;
+        };
+        // Quiet-tick gate: outage ticks belong to the recovery machinery,
+        // and a search over a degraded fleet would chase a transient
+        // topology.
+        let outages = self.counters.node_downs + self.counters.node_ups;
+        let quiet = !cluster.any_node_down() && outages == self.counters.outages_seen;
+        self.counters.outages_seen = outages;
+        if !quiet {
+            return 0;
+        }
+        let vnfs = build_vnfs(&cluster.protos, &|id| self.state.instances(id));
+        let Ok(problem) = PlacementProblem::new(cluster.nodes.clone(), vnfs) else {
+            return 0;
+        };
+        let mut config = match rc.engine {
+            Engine::Ga => SearchConfig::ga(rc.seed ^ self.counters.ticks),
+            Engine::Pso => SearchConfig::pso(rc.seed ^ self.counters.ticks),
+        };
+        config.population = rc.population.max(1);
+        config.weights = rc.weights;
+        let config = config.with_initial(cluster.assignment.clone());
+        let incumbent = objective(&problem, &cluster.assignment, &config.weights);
+        let Ok(mut run) = SearchRun::new(&problem, &config) else {
+            return 0;
+        };
+        for _ in 0..rc.generations {
+            let token = tel.begin();
+            run.step();
+            tel.end(Phase::SearchGeneration, token);
+        }
+        let gain_of = |fit: f64| {
+            if incumbent > 0.0 {
+                (incumbent - fit) / incumbent
+            } else {
+                0.0
+            }
+        };
+        let searched = run.best_assignment().to_vec();
+        let moves: Vec<usize> = (0..searched.len())
+            .filter(|&f| searched[f] != cluster.assignment[f])
+            .collect();
+        if moves.is_empty() {
+            self.counters.refines_rejected += 1;
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::ReoptRejected {
+                    phase: ReoptPhase::Refiner,
+                    cause: "no-improvement".to_string(),
+                    predicted_gain: 0.0,
+                    required_gain: rc.min_gain,
+                }
+            });
+            return 0;
+        }
+        // Bound the plan. Within the budget the searched assignment is
+        // adopted verbatim; over it, single reassignments are applied
+        // greedily by marginal objective gain. Each greedy pick requires a
+        // strict improvement over a feasible incumbent, and infeasible
+        // intermediates score above any feasible layout, so the bounded
+        // plan stays feasible move by move.
+        let (plan, predicted_fitness) = if moves.len() <= rc.max_moves {
+            (searched.clone(), run.best_fitness())
+        } else {
+            let probe_token = tel.begin();
+            let mut current = cluster.assignment.clone();
+            let mut fit = incumbent;
+            let mut remaining = moves.clone();
+            let mut applied = 0usize;
+            while applied < rc.max_moves && !remaining.is_empty() {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, &f) in remaining.iter().enumerate() {
+                    let prev = current[f];
+                    current[f] = searched[f];
+                    let after = objective(&problem, &current, &config.weights);
+                    current[f] = prev;
+                    if after < fit && best.is_none_or(|(_, b)| after < b) {
+                        best = Some((i, after));
+                    }
+                }
+                let Some((i, after)) = best else { break };
+                let f = remaining.remove(i);
+                current[f] = searched[f];
+                fit = after;
+                applied += 1;
+            }
+            tel.end(Phase::HysteresisProbe, probe_token);
+            (current, fit)
+        };
+        // Hysteresis: the bounded plan must promise a relative objective
+        // gain of at least `min_gain` over the live assignment.
+        let gain = gain_of(predicted_fitness);
+        if gain < rc.min_gain {
+            self.counters.refines_rejected += 1;
+            tel.emit(self.clock, self.counters.ticks, || {
+                EventKind::ReoptRejected {
+                    phase: ReoptPhase::Refiner,
+                    cause: if gain <= 0.0 {
+                        "no-improvement".to_string()
+                    } else {
+                        "hysteresis".to_string()
+                    },
+                    predicted_gain: gain,
+                    required_gain: rc.min_gain,
+                }
+            });
+            return 0;
+        }
+        debug_assert!(
+            Placement::validate(&problem, &plan).is_ok(),
+            "the refiner only commits feasible plans"
+        );
+        let relocated = plan
+            .iter()
+            .zip(&cluster.assignment)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        let realized = gain_of(objective(&problem, &plan, &config.weights));
+        self.commit_assignment(plan);
+        self.counters.refines_applied += 1;
+        self.counters.relocations += relocated;
+        tel.emit(self.clock, self.counters.ticks, || EventKind::ReoptCommit {
+            phase: ReoptPhase::Refiner,
+            migrations: 0,
+            instances_added: 0,
+            instances_retired: 0,
+            relocations: relocated,
+            predicted_gain: gain,
+            realized_gain: realized,
+        });
+        relocated
+    }
 }
 
 /// Rebuilds the VNF prototypes with live instance counts, for assembling
@@ -1590,18 +1748,11 @@ fn build_vnfs(protos: &[Vnf], count_of: &dyn Fn(VnfId) -> usize) -> Vec<Vnf> {
         .collect()
 }
 
-/// Whether every node's demand under `assignment` stays within capacity
-/// (same tolerance as the placement validator).
+/// Whether `assignment` stays within every node's capacity — delegates to
+/// the placement validator, so the tolerance is identical everywhere an
+/// assignment is checked.
 fn fits_in_place(problem: &PlacementProblem, assignment: &[NodeId]) -> bool {
-    let mut load = vec![0.0f64; problem.nodes().len()];
-    for (vnf, &node) in problem.vnfs().iter().zip(assignment) {
-        load[node.as_usize()] += vnf.total_demand().value();
-    }
-    problem
-        .nodes()
-        .iter()
-        .zip(&load)
-        .all(|(node, &demand)| demand <= node.capacity().value() * (1.0 + 1e-9) + 1e-9)
+    Placement::validate(problem, assignment).is_ok()
 }
 
 #[cfg(test)]
@@ -1892,6 +2043,103 @@ mod tests {
         assert_eq!(report.migrated_replace, 0, "idle instances drain nothing");
         // Pure-shrink plans are exempt from the latency gate.
         assert_eq!(report.replaces_aborted, 0);
+    }
+
+    #[test]
+    fn refiner_commits_a_searched_plan_on_a_quiet_tick() {
+        use crate::RefinerConfig;
+        let s = scenario();
+        let (nodes, _) = big_cluster(&s);
+        // A deliberately spread placement — one VNF per node round-robin —
+        // that the searcher can repack onto far fewer nodes.
+        let problem = PlacementProblem::new(nodes.clone(), s.vnfs().to_vec()).unwrap();
+        let spread: Vec<NodeId> = (0..s.vnfs().len())
+            .map(|i| NodeId::new((i % nodes.len()) as u32))
+            .collect();
+        let placement = Placement::new(&problem, spread).unwrap();
+        let config = ControllerConfig {
+            refiner: Some(RefinerConfig::bounded()),
+            ..ControllerConfig::online_only()
+        };
+        let mut controller = Controller::with_cluster(&s, nodes, &placement, config).unwrap();
+        controller.run_trace(&base_trace(&s));
+        let outcome = controller.handle(&TimedEvent::new(1.0, ChurnEvent::ReoptimizeTick));
+        match outcome {
+            EventOutcome::Reoptimized { relocations, .. } => {
+                assert!(relocations >= 1, "the spread layout must be repacked");
+                assert!(relocations <= RefinerConfig::bounded().max_moves as u64);
+            }
+            other => panic!("expected a refinement, got {other:?}"),
+        }
+        let report = controller.report();
+        assert_eq!(report.refines_applied, 1);
+        assert_eq!(report.refines_rejected, 0);
+        assert!(report.relocations >= 1);
+        // A second tick finds the incumbent already refined; whatever
+        // residual gain remains must stay within the move budget again.
+        controller.handle(&TimedEvent::new(2.0, ChurnEvent::ReoptimizeTick));
+        let report = controller.report();
+        assert_eq!(report.refines_applied + report.refines_rejected, 2);
+    }
+
+    #[test]
+    fn refiner_is_gated_by_outages_and_stays_a_strict_observer() {
+        let s = scenario();
+        let (nodes, placement) = big_cluster(&s);
+        let trace = ChurnTraceBuilder::new()
+            .horizon(400.0)
+            .arrival_rate(0.5)
+            .mean_holding(30.0)
+            .tick_period(20.0)
+            .node_fleet(4)
+            .node_mtbf(80.0)
+            .node_mttr(25.0)
+            .seed(9)
+            .build(&s)
+            .unwrap();
+        let run = |tel: &mut Telemetry| {
+            let mut c = Controller::with_cluster(
+                &s,
+                nodes.clone(),
+                &placement,
+                ControllerConfig::refined(),
+            )
+            .unwrap();
+            let report = c.run_trace_traced(&trace, tel);
+            (c, report)
+        };
+        let (plain, plain_report) = run(&mut Telemetry::disabled());
+        let mut tel = Telemetry::enabled();
+        let (traced, traced_report) = run(&mut tel);
+        assert_eq!(plain, traced, "telemetry must not change any decision");
+        assert_eq!(plain_report, traced_report);
+        assert!(
+            plain_report.refines_applied + plain_report.refines_rejected > 0,
+            "some quiet tick ran the refiner: {plain_report}"
+        );
+        assert!(
+            plain_report.refines_applied + plain_report.refines_rejected <= plain_report.ticks,
+            "at most one refinement attempt per tick"
+        );
+        let artifacts = tel.finish();
+        assert!(
+            artifacts.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::ReoptCommit {
+                    phase: ReoptPhase::Refiner,
+                    ..
+                } | EventKind::ReoptRejected {
+                    phase: ReoptPhase::Refiner,
+                    ..
+                }
+            )),
+            "refiner decisions are journaled with their own phase"
+        );
+        // Every refiner generation was timed.
+        assert!(
+            artifacts.profile.summary(Phase::SearchGeneration).count() > 0,
+            "search generations appear in the phase profile"
+        );
     }
 
     #[test]

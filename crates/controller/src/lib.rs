@@ -39,6 +39,13 @@
 //!   a [`RetryConfig`] re-offers shed and rejected arrivals with
 //!   deterministic exponential backoff + jitter; and while any node is
 //!   dark a brownout admission mode tightens the acceptance threshold.
+//! - Background refinement — a [`RefinerConfig`] runs a bounded anytime
+//!   metaheuristic search (`nfv-search`, GA or PSO) over the VNF→node
+//!   mapping on *quiet* ticks (no node dark, no outage since the last
+//!   tick), warm-started from the live assignment; a searched plan is
+//!   adopted through the same hysteresis discipline (minimum objective
+//!   gain, bounded relocation budget) and journaled as a
+//!   refiner-phase `ReoptCommit`/`ReoptRejected`.
 //! - [`ControllerReport`] — counters and derived statistics snapshotted in
 //!   virtual time for observability.
 //!
@@ -66,8 +73,8 @@ mod report;
 mod retry;
 
 pub use config::{
-    ControllerConfig, EmergencyConfig, RejectReason, ReoptConfig, ReplaceConfig, RetryConfig,
-    ShedPolicy,
+    ControllerConfig, EmergencyConfig, RefinerConfig, RejectReason, ReoptConfig, ReplaceConfig,
+    RetryConfig, ShedPolicy,
 };
 pub use controller::{Controller, EventOutcome};
 pub use error::ControllerError;

@@ -62,6 +62,11 @@ pub struct ControllerReport {
     /// Requests abandoned for good after exhausting the retry budget (or
     /// finding the queue full).
     pub retry_abandoned: u64,
+    /// Quiet-tick refiner plans committed (searched placements adopted).
+    pub refines_applied: u64,
+    /// Quiet-tick refiner plans rejected by the objective-gain hysteresis
+    /// (or searches that found no improvement).
+    pub refines_rejected: u64,
     /// Requests still waiting in the retry queue at snapshot time.
     pub retry_pending: u64,
     /// Requests active at snapshot time.
@@ -116,6 +121,7 @@ impl ControllerReport {
              migrated={}+{}+{} ticks={} (applied {}, skipped {}) \
              inst(+{} -{} moved {}; applied {}, aborted {}) \
              nodes(down {}, up {}, stale {}, emergency {}) \
+             refine(applied {}, rejected {}) \
              retry({} tried, {} ok, {} dropped, {} queued) lost={} \
              W={:.6}s mean W={:.6}s rho_max={:.4}",
             self.time,
@@ -140,6 +146,8 @@ impl ControllerReport {
             self.node_ups,
             self.stale_outage_events,
             self.emergency_replaces,
+            self.refines_applied,
+            self.refines_rejected,
             self.retries_attempted,
             self.retry_admitted,
             self.retry_abandoned,
@@ -180,6 +188,8 @@ impl ControllerReport {
             .field_u64("retries_attempted", self.retries_attempted)
             .field_u64("retry_admitted", self.retry_admitted)
             .field_u64("retry_abandoned", self.retry_abandoned)
+            .field_u64("refines_applied", self.refines_applied)
+            .field_u64("refines_rejected", self.refines_rejected)
             .field_u64("retry_pending", self.retry_pending)
             .field_u64("active", self.active)
             .field_f64("mean_latency", self.mean_latency)
@@ -222,6 +232,8 @@ impl ControllerReport {
             retries_attempted: u64_of("retries_attempted")?,
             retry_admitted: u64_of("retry_admitted")?,
             retry_abandoned: u64_of("retry_abandoned")?,
+            refines_applied: u64_of("refines_applied")?,
+            refines_rejected: u64_of("refines_rejected")?,
             retry_pending: u64_of("retry_pending")?,
             active: u64_of("active")?,
             mean_latency: f64_of("mean_latency")?,
@@ -267,6 +279,8 @@ mod tests {
             retries_attempted: 5,
             retry_admitted: 4,
             retry_abandoned: 1,
+            refines_applied: 2,
+            refines_rejected: 1,
             retry_pending: 2,
             active: 24,
             mean_latency: 0.01,

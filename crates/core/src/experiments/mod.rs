@@ -17,13 +17,18 @@
 //!   full-rebalance oracle;
 //! * [`resilience`] — node-level failure domains: tick-bound vs emergency
 //!   re-placement crossed with the retry/backoff admission queue, scored
-//!   on availability, recovery time and requests lost.
+//!   on availability, recovery time and requests lost;
+//! * [`anytime`] — the metaheuristic placement searchers (`nfv-search`,
+//!   GA + PSO): solution quality as a function of generations spent
+//!   against the greedy placers and the exact oracle, plus the
+//!   controller's background-refiner replay.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
 //! plots. All runners take a base seed and a repetition count; results are
 //! deterministic for fixed inputs.
 
+pub mod anytime;
 pub mod churn;
 pub mod joint;
 pub mod placement;

@@ -171,8 +171,13 @@ pub fn run_point(
 
 /// Materializes one point into a concrete [`PlacementProblem`]: a random
 /// connected topology with capacities from the point's range and a scenario
-/// generated per §V.A.
-fn build_problem(point: &PlacementPoint, seed: u64) -> Result<PlacementProblem, CoreError> {
+/// generated per §V.A. Shared with the anytime-search experiments so the
+/// metaheuristics are measured on exactly the instances the greedy placers
+/// see.
+pub(crate) fn build_problem(
+    point: &PlacementPoint,
+    seed: u64,
+) -> Result<PlacementProblem, CoreError> {
     let scenario = ScenarioBuilder::new()
         .vnfs(point.vnfs)
         .requests(point.requests)

@@ -10,8 +10,9 @@
 
 use std::sync::Mutex;
 
-use nfv_core::experiments::{churn, joint, placement, resilience, scheduling, validation};
+use nfv_core::experiments::{anytime, churn, joint, placement, resilience, scheduling, validation};
 use nfv_parallel::set_default_threads;
+use nfv_search::{search, SearchConfig};
 
 /// Serializes the tests in this binary: they all mutate the process-wide
 /// default thread count, so they must not interleave.
@@ -114,6 +115,39 @@ fn resilience_comparison_is_thread_count_invariant() {
             .unwrap()
             .to_table()
             .to_string()
+    });
+}
+
+#[test]
+fn search_engines_are_thread_count_invariant() {
+    // The population evaluation fans out over the worker pool with
+    // per-individual RNG streams derived from `(seed, generation·pop +
+    // i)`, so the full trajectory — best assignment, fitness history and
+    // evaluation count — must render bit-identically at 1, 2 and 8
+    // threads.
+    for (name, config) in [("ga", SearchConfig::ga(42)), ("pso", SearchConfig::pso(42))] {
+        assert_invariant(&format!("{name} search on the Pareto instance"), || {
+            let problem = anytime::bench_problem(42).unwrap();
+            let outcome = search(&problem, &config, 15).unwrap();
+            format!(
+                "{:?}\n{:?}\n{}",
+                outcome.best_assignment(),
+                outcome.history(),
+                outcome.evaluations()
+            )
+        });
+    }
+}
+
+#[test]
+fn anytime_experiments_are_thread_count_invariant() {
+    assert_invariant("anytime quality-vs-generations sweep", || {
+        anytime::quality_vs_generations(2, 42).unwrap().to_csv()
+    });
+    // The refiner replay runs searches *inside* the controller tick loop
+    // while the two policies themselves replay on the worker pool.
+    assert_invariant("refiner churn replay", || {
+        anytime::refiner_replay(42).unwrap().to_table().to_string()
     });
 }
 

@@ -57,6 +57,44 @@ impl Placement {
         problem: &PlacementProblem,
         assignment: Vec<NodeId>,
     ) -> Result<Self, PlacementError> {
+        let node_demand = Self::checked_demands(problem, &assignment)?;
+        let node_capacity: Vec<f64> = problem
+            .nodes()
+            .iter()
+            .map(|n| n.capacity().value())
+            .collect();
+        Ok(Self {
+            assignment,
+            node_demand,
+            node_capacity,
+        })
+    }
+
+    /// Checks an assignment against a problem without constructing a
+    /// [`Placement`]: every VNF assigned exactly once (Eq. (2)), no
+    /// dangling node ids, and every node's capacity respected (Eq. (6)).
+    /// Search repair loops and tests use this as the single feasibility
+    /// oracle; [`Placement::new`] applies exactly the same checks.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::MissingVnf`] if the assignment length differs
+    ///   from the VNF count,
+    /// * [`PlacementError::UnknownNode`] for an out-of-range node,
+    /// * [`PlacementError::CapacityExceeded`] for an overloaded node.
+    pub fn validate(
+        problem: &PlacementProblem,
+        assignment: &[NodeId],
+    ) -> Result<(), PlacementError> {
+        Self::checked_demands(problem, assignment).map(|_| ())
+    }
+
+    /// The shared validation core: the per-node demand table of a checked
+    /// assignment, or the first violation found.
+    fn checked_demands(
+        problem: &PlacementProblem,
+        assignment: &[NodeId],
+    ) -> Result<Vec<f64>, PlacementError> {
         if assignment.len() != problem.vnfs().len() {
             let missing = assignment.len().min(problem.vnfs().len());
             return Err(PlacementError::MissingVnf {
@@ -70,12 +108,8 @@ impl Placement {
             }
             node_demand[node.as_usize()] += problem.demand_of(VnfId::new(f as u32)).value();
         }
-        let node_capacity: Vec<f64> = problem
-            .nodes()
-            .iter()
-            .map(|n| n.capacity().value())
-            .collect();
-        for (i, (&demand, &capacity)) in node_demand.iter().zip(&node_capacity).enumerate() {
+        for (i, (&demand, node)) in node_demand.iter().zip(problem.nodes()).enumerate() {
+            let capacity = node.capacity().value();
             // Tolerate floating-point round-off from repeated accumulation.
             if demand > capacity * (1.0 + 1e-9) + 1e-9 {
                 return Err(PlacementError::CapacityExceeded {
@@ -85,11 +119,7 @@ impl Placement {
                 });
             }
         }
-        Ok(Self {
-            assignment,
-            node_demand,
-            node_capacity,
-        })
+        Ok(node_demand)
     }
 
     /// The node hosting `vnf`.
@@ -249,6 +279,26 @@ mod tests {
             Placement::new(&p, vec![nid(0), nid(7)]).unwrap_err(),
             PlacementError::UnknownNode { .. }
         ));
+    }
+
+    #[test]
+    fn validate_agrees_with_new() {
+        let p = problem(&[100.0], &[60.0, 50.0]);
+        assert!(matches!(
+            Placement::validate(&p, &[nid(0), nid(0)]).unwrap_err(),
+            PlacementError::CapacityExceeded { .. }
+        ));
+        assert!(matches!(
+            Placement::validate(&p, &[nid(0)]).unwrap_err(),
+            PlacementError::MissingVnf { .. }
+        ));
+        assert!(matches!(
+            Placement::validate(&p, &[nid(0), nid(3)]).unwrap_err(),
+            PlacementError::UnknownNode { .. }
+        ));
+        let fits = problem(&[100.0], &[60.0, 40.0]);
+        Placement::validate(&fits, &[nid(0), nid(0)]).unwrap();
+        Placement::new(&fits, vec![nid(0), nid(0)]).unwrap();
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Engine selection and search knobs.
+
+use nfv_model::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::FitnessWeights;
+
+/// Which population-based engine drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Genetic algorithm: tournament selection, uniform crossover,
+    /// per-gene mutation, capacity repair, elitism.
+    Ga,
+    /// Discrete particle swarm: per-gene reassignment probabilities
+    /// toward the global best, the personal best, or a random node.
+    Pso,
+}
+
+impl Engine {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Ga => "ga",
+            Engine::Pso => "pso",
+        }
+    }
+}
+
+/// Configuration of one search run. The defaults ([`SearchConfig::ga`],
+/// [`SearchConfig::pso`]) are tuned for the paper-scale instances
+/// (4–20 nodes, 5–30 VNFs); generation counts are passed separately so
+/// the same configuration serves both the offline anytime runner and the
+/// controller's bounded background refiner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// The engine to run.
+    pub engine: Engine,
+    /// Individuals (or particles) per generation.
+    pub population: usize,
+    /// Base seed; offspring `i` of generation `g` derives its private
+    /// stream from `derive_seed(seed, g·population + i)`.
+    pub seed: u64,
+    /// GA: tournament size of each parent selection.
+    pub tournament: usize,
+    /// GA: probability that a child is a uniform crossover of two
+    /// parents (otherwise it clones the first parent before mutation).
+    pub crossover_rate: f64,
+    /// GA: per-gene probability of mutating to a random node.
+    pub mutation_rate: f64,
+    /// PSO: per-gene probability of snapping to the global best.
+    pub social: f64,
+    /// PSO: per-gene probability of snapping to the personal best.
+    pub cognitive: f64,
+    /// PSO: per-gene probability of re-drawing a random node (the
+    /// exploration residue of the velocity; the rest is inertia).
+    pub wander: f64,
+    /// Weights of the balanced packing/latency objective.
+    pub weights: FitnessWeights,
+    /// Optional warm start: individual 0 of generation 0 starts from this
+    /// assignment (the refiner seeds it with the live placement).
+    pub initial: Option<Vec<NodeId>>,
+}
+
+impl SearchConfig {
+    /// Default genetic-algorithm configuration.
+    #[must_use]
+    pub fn ga(seed: u64) -> Self {
+        Self {
+            engine: Engine::Ga,
+            population: 32,
+            seed,
+            tournament: 3,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            social: 0.0,
+            cognitive: 0.0,
+            wander: 0.0,
+            weights: FitnessWeights::default(),
+            initial: None,
+        }
+    }
+
+    /// Default particle-swarm configuration.
+    #[must_use]
+    pub fn pso(seed: u64) -> Self {
+        Self {
+            engine: Engine::Pso,
+            population: 32,
+            seed,
+            tournament: 0,
+            crossover_rate: 0.0,
+            mutation_rate: 0.0,
+            social: 0.3,
+            cognitive: 0.3,
+            wander: 0.05,
+            weights: FitnessWeights::default(),
+            initial: None,
+        }
+    }
+
+    /// The same configuration warm-started from `assignment`.
+    #[must_use]
+    pub fn with_initial(mut self, assignment: Vec<NodeId>) -> Self {
+        self.initial = Some(assignment);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(Engine::Ga.name(), "ga");
+        assert_eq!(Engine::Pso.name(), "pso");
+    }
+
+    #[test]
+    fn presets_pick_their_engine() {
+        assert_eq!(SearchConfig::ga(1).engine, Engine::Ga);
+        assert_eq!(SearchConfig::pso(1).engine, Engine::Pso);
+        let warm = SearchConfig::ga(1).with_initial(vec![NodeId::new(0)]);
+        assert_eq!(warm.initial.as_deref(), Some(&[NodeId::new(0)][..]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Deterministic anytime metaheuristic placement search.
+//!
+//! The paper's BFDSU/FFD/NAH heuristics are one-shot constructions: they
+//! emit a single placement and stop. This crate adds an *anytime*
+//! population-based searcher over the same problem — give it more
+//! generations and the best-so-far placement only improves — with two
+//! interchangeable engines behind one [`SearchConfig`]:
+//!
+//! * [`Engine::Ga`] — a genetic algorithm: tournament selection, uniform
+//!   capacity-repairing crossover and per-gene mutation over the dense
+//!   VNF→node genome (`genome[f]` = node hosting VNF `f`, the paper's
+//!   `x_v^f` table in dense form);
+//! * [`Engine::Pso`] — discrete particle swarm optimization: the
+//!   per-particle velocity is a triple of per-gene reassignment
+//!   probabilities (toward the swarm's global best, toward the particle's
+//!   personal best, or to a uniformly random node), the discrete analogue
+//!   of the classic social/cognitive/inertia update.
+//!
+//! Both engines minimize the same balanced packing-and-latency objective
+//! ([`objective`]): the number of nodes in service (Eq. (14)) plus a
+//! utilization-balance term (1 − Eq. (13)) and the chain link-latency
+//! term of Eq. (16) (inter-node transitions along each service chain).
+//! Node count dominates the scalarization, so on chain-free instances the
+//! searcher optimizes exactly what the exact branch-and-bound oracle
+//! ([`nfv_placement::exact`]) minimizes.
+//!
+//! # Determinism
+//!
+//! Every generation is embarrassingly parallel: offspring `i` of
+//! generation `g` draws all its randomness from a private
+//! `StdRng::seed_from_u64(derive_seed(seed, (g·pop + i)))`, and the
+//! population is evaluated with [`nfv_parallel::par_map`] which returns
+//! results in input order. Selection pressure, crossover, mutation,
+//! repair and the best-so-far fold therefore never observe thread
+//! scheduling, and results are bit-identical at any thread count
+//! (pinned by `crates/core/tests/thread_invariance.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+//! use nfv_placement::PlacementProblem;
+//! use nfv_search::{search, SearchConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nodes = (0..4)
+//!     .map(|i| ComputeNode::new(NodeId::new(i), Capacity::new(100.0).unwrap()))
+//!     .collect();
+//! let vnfs = (0..6)
+//!     .map(|i| {
+//!         Vnf::builder(VnfId::new(i), VnfKind::Custom(i as u16))
+//!             .demand_per_instance(Demand::new(30.0).unwrap())
+//!             .service_rate(ServiceRate::new(100.0).unwrap())
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let problem = PlacementProblem::new(nodes, vnfs)?;
+//! let outcome = search(&problem, &SearchConfig::ga(42), 10)?;
+//! assert_eq!(outcome.best_placement(&problem)?.nodes_in_service(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fitness;
+mod run;
+
+pub use config::{Engine, SearchConfig};
+pub use fitness::{objective, FitnessWeights};
+pub use run::{search, SearchOutcome, SearchRun};

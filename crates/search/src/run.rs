@@ -1,0 +1,619 @@
+//! The anytime search loop: population state, one-generation steps and
+//! the finished outcome.
+
+use nfv_model::NodeId;
+use nfv_parallel::{derive_seed, par_map};
+use nfv_placement::{Placement, PlacementError, PlacementProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fitness::objective;
+use crate::{Engine, SearchConfig};
+
+/// A genome: the node hosting each VNF, indexed by `VnfId`.
+type Genome = Vec<NodeId>;
+
+/// An in-progress search. [`SearchRun::step`] advances one generation;
+/// the best-so-far assignment is available at any point, which is what
+/// makes the search *anytime* — the controller's background refiner runs
+/// a bounded number of steps per quiet tick and reads off the incumbent.
+#[derive(Debug)]
+pub struct SearchRun<'a> {
+    problem: &'a PlacementProblem,
+    config: SearchConfig,
+    /// Current population (GA: survivors; PSO: particle positions).
+    genomes: Vec<Genome>,
+    /// Fitness of each genome, same order.
+    fitness: Vec<f64>,
+    /// PSO personal bests, one per particle (empty under GA).
+    personal_best: Vec<(Genome, f64)>,
+    /// Best genome and fitness seen so far (monotone non-increasing).
+    best: (Genome, f64),
+    generation: usize,
+    /// Best-so-far fitness after each completed generation; index 0 is
+    /// the seeded generation 0.
+    history: Vec<f64>,
+    evaluations: u64,
+}
+
+impl<'a> SearchRun<'a> {
+    /// Seeds and evaluates generation 0. Individual 0 is the warm start:
+    /// `config.initial` when given (repaired if needed), otherwise a
+    /// deterministic first-fit-decreasing construction; the rest of the
+    /// population is uniformly random, repaired.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::MissingVnf`] if `config.initial` has the wrong
+    /// length, [`PlacementError::UnknownNode`] if it references a node
+    /// outside the problem, and [`PlacementError::InvalidProblem`] for an
+    /// empty population.
+    pub fn new(
+        problem: &'a PlacementProblem,
+        config: &SearchConfig,
+    ) -> Result<Self, PlacementError> {
+        if config.population == 0 {
+            return Err(PlacementError::InvalidProblem {
+                reason: "search population must be at least 1",
+            });
+        }
+        let vnf_count = problem.vnfs().len();
+        let node_count = problem.nodes().len();
+        let warm = match &config.initial {
+            Some(assignment) => {
+                if assignment.len() != vnf_count {
+                    return Err(PlacementError::MissingVnf {
+                        vnf: nfv_model::VnfId::new(assignment.len().min(vnf_count) as u32),
+                    });
+                }
+                if let Some(node) = assignment.iter().find(|n| n.as_usize() >= node_count) {
+                    return Err(PlacementError::UnknownNode { node: *node });
+                }
+                let mut genome = assignment.clone();
+                repair(problem, &mut genome);
+                genome
+            }
+            None => ffd_seed(problem),
+        };
+        let config = config.clone();
+        let seeds: Vec<usize> = (0..config.population).collect();
+        let evaluated = par_map(seeds, |_, i| {
+            let genome = if i == 0 {
+                warm.clone()
+            } else {
+                let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, i as u64));
+                let mut genome: Genome = (0..vnf_count)
+                    .map(|_| NodeId::new(rng.gen_range(0..node_count as u32)))
+                    .collect();
+                repair(problem, &mut genome);
+                genome
+            };
+            let fit = objective(problem, &genome, &config.weights);
+            (genome, fit)
+        })
+        .expect("search workers do not panic");
+        let mut run = Self {
+            problem,
+            config,
+            genomes: Vec::new(),
+            fitness: Vec::new(),
+            personal_best: Vec::new(),
+            best: (warm, f64::INFINITY),
+            generation: 0,
+            history: Vec::new(),
+            evaluations: 0,
+        };
+        run.fold_generation(evaluated);
+        if run.config.engine == Engine::Pso {
+            run.personal_best = run
+                .genomes
+                .iter()
+                .cloned()
+                .zip(run.fitness.iter().copied())
+                .collect();
+        }
+        Ok(run)
+    }
+
+    /// Runs one generation and returns the best-so-far fitness.
+    pub fn step(&mut self) -> f64 {
+        self.generation += 1;
+        match self.config.engine {
+            Engine::Ga => self.step_ga(),
+            Engine::Pso => self.step_pso(),
+        }
+        self.best.1
+    }
+
+    fn step_ga(&mut self) {
+        let cfg = &self.config;
+        let pop = cfg.population;
+        let node_count = self.problem.nodes().len() as u32;
+        let base = (self.generation * pop) as u64;
+        let parents = &self.genomes;
+        let fitness = &self.fitness;
+        let elite = &self.best.0;
+        let problem = self.problem;
+        let evaluated = par_map((0..pop).collect(), |_, i| {
+            // Elitism: child 0 re-emits the best-so-far untouched, so the
+            // incumbent can never be lost to selection noise.
+            let genome = if i == 0 {
+                elite.clone()
+            } else {
+                let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, base + i as u64));
+                let a = tournament(fitness, cfg.tournament, &mut rng);
+                let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
+                    let b = tournament(fitness, cfg.tournament, &mut rng);
+                    crossover(&parents[a], &parents[b], &mut rng)
+                } else {
+                    parents[a].clone()
+                };
+                for gene in &mut child {
+                    if rng.gen::<f64>() < cfg.mutation_rate {
+                        *gene = NodeId::new(rng.gen_range(0..node_count));
+                    }
+                }
+                if rng.gen::<f64>() < DRAIN_RATE {
+                    drain_random_node(problem, &mut child, &mut rng);
+                }
+                repair(problem, &mut child);
+                child
+            };
+            let fit = objective(problem, &genome, &cfg.weights);
+            (genome, fit)
+        })
+        .expect("search workers do not panic");
+        self.fold_generation(evaluated);
+    }
+
+    fn step_pso(&mut self) {
+        let cfg = &self.config;
+        let pop = cfg.population;
+        let node_count = self.problem.nodes().len() as u32;
+        let base = (self.generation * pop) as u64;
+        let positions = &self.genomes;
+        let personal = &self.personal_best;
+        let global = &self.best.0;
+        let problem = self.problem;
+        let moved = par_map((0..pop).collect(), |_, i| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, base + i as u64));
+            let mut position = positions[i].clone();
+            for (gene, slot) in position.iter_mut().enumerate() {
+                // Discrete velocity: each gene independently snaps to the
+                // swarm best, the personal best, or a random node; the
+                // residual probability is inertia (keep the gene).
+                let draw: f64 = rng.gen();
+                if draw < cfg.social {
+                    *slot = global[gene];
+                } else if draw < cfg.social + cfg.cognitive {
+                    *slot = personal[i].0[gene];
+                } else if draw < cfg.social + cfg.cognitive + cfg.wander {
+                    *slot = NodeId::new(rng.gen_range(0..node_count));
+                }
+            }
+            if rng.gen::<f64>() < DRAIN_RATE {
+                drain_random_node(problem, &mut position, &mut rng);
+            }
+            repair(problem, &mut position);
+            let fit = objective(problem, &position, &cfg.weights);
+            (position, fit)
+        })
+        .expect("search workers do not panic");
+        for (i, (position, fit)) in moved.iter().enumerate() {
+            if *fit < self.personal_best[i].1 {
+                self.personal_best[i] = (position.clone(), *fit);
+            }
+        }
+        self.fold_generation(moved);
+    }
+
+    /// Installs an evaluated generation and updates best-so-far with a
+    /// strictly-less, first-index-wins fold (deterministic tie-break).
+    fn fold_generation(&mut self, evaluated: Vec<(Genome, f64)>) {
+        self.evaluations += evaluated.len() as u64;
+        let (genomes, fitness): (Vec<_>, Vec<_>) = evaluated.into_iter().unzip();
+        for (genome, &fit) in genomes.iter().zip(&fitness) {
+            if fit < self.best.1 {
+                self.best = (genome.clone(), fit);
+            }
+        }
+        self.genomes = genomes;
+        self.fitness = fitness;
+        self.history.push(self.best.1);
+    }
+
+    /// Completed generations (0 right after [`SearchRun::new`]).
+    #[must_use]
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// The best objective value seen so far.
+    #[must_use]
+    pub fn best_fitness(&self) -> f64 {
+        self.best.1
+    }
+
+    /// The best assignment seen so far.
+    #[must_use]
+    pub fn best_assignment(&self) -> &[NodeId] {
+        &self.best.0
+    }
+
+    /// Finishes the run.
+    #[must_use]
+    pub fn into_outcome(self) -> SearchOutcome {
+        SearchOutcome {
+            best_assignment: self.best.0,
+            best_fitness: self.best.1,
+            history: self.history,
+            evaluations: self.evaluations,
+        }
+    }
+}
+
+/// The result of a finished search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    best_assignment: Genome,
+    best_fitness: f64,
+    history: Vec<f64>,
+    evaluations: u64,
+}
+
+impl SearchOutcome {
+    /// The best assignment found.
+    #[must_use]
+    pub fn best_assignment(&self) -> &[NodeId] {
+        &self.best_assignment
+    }
+
+    /// The best objective value found (see [`crate::objective`]).
+    #[must_use]
+    pub fn best_fitness(&self) -> f64 {
+        self.best_fitness
+    }
+
+    /// Best-so-far fitness after each generation (index 0 = the seeded
+    /// generation). Monotone non-increasing by construction.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Total objective evaluations spent.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// The best placement, re-validated against the problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`Placement::new`] validation error if the best
+    /// genome is infeasible (possible only when the instance itself
+    /// admits no feasible assignment the repair could reach).
+    pub fn best_placement(&self, problem: &PlacementProblem) -> Result<Placement, PlacementError> {
+        Placement::new(problem, self.best_assignment.clone())
+    }
+}
+
+/// Runs `generations` generations and returns the outcome.
+///
+/// # Errors
+///
+/// Propagates [`SearchRun::new`] errors (bad warm start, empty
+/// population).
+pub fn search(
+    problem: &PlacementProblem,
+    config: &SearchConfig,
+    generations: usize,
+) -> Result<SearchOutcome, PlacementError> {
+    let mut run = SearchRun::new(problem, config)?;
+    for _ in 0..generations {
+        run.step();
+    }
+    Ok(run.into_outcome())
+}
+
+/// Tournament selection: the fittest of `size` uniform draws (first-best
+/// on ties). Returns a population index.
+fn tournament(fitness: &[f64], size: usize, rng: &mut StdRng) -> usize {
+    let mut winner = rng.gen_range(0..fitness.len());
+    for _ in 1..size.max(1) {
+        let challenger = rng.gen_range(0..fitness.len());
+        if fitness[challenger] < fitness[winner] {
+            winner = challenger;
+        }
+    }
+    winner
+}
+
+/// Uniform crossover: each gene comes from either parent with equal
+/// probability.
+fn crossover(a: &[NodeId], b: &[NodeId], rng: &mut StdRng) -> Genome {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| if rng.gen::<bool>() { x } else { y })
+        .collect()
+}
+
+/// Per-individual probability of the consolidation move. The node-count
+/// term of the objective only drops when a node empties *completely*, a
+/// coordinated multi-gene move that per-gene mutation and gene-wise
+/// velocity updates almost never produce — both engines plateau one node
+/// above the optimum without it.
+const DRAIN_RATE: f64 = 0.25;
+
+/// Consolidation move: evacuate one in-service node, chosen uniformly,
+/// by re-placing its VNFs best-fit-decreasing into the *other* in-service
+/// nodes — each VNF onto the fitting node with the least leftover
+/// headroom, first-best on ties. A VNF no other node can hold goes to the
+/// node with the most headroom instead (the overload is repaired or
+/// penalized downstream). When the evacuated load genuinely fits
+/// elsewhere, the genome comes out feasible with one node fewer — the
+/// coordinated move the plain operators cannot compose. No-op with fewer
+/// than two nodes in service.
+fn drain_random_node(problem: &PlacementProblem, genome: &mut [NodeId], rng: &mut StdRng) {
+    let mut load = vec![0.0f64; problem.nodes().len()];
+    for (f, node) in genome.iter().enumerate() {
+        load[node.as_usize()] += problem.vnfs()[f].total_demand().value();
+    }
+    let in_service: Vec<usize> = (0..load.len()).filter(|&v| load[v] > 0.0).collect();
+    if in_service.len() < 2 {
+        return;
+    }
+    let drained = in_service[rng.gen_range(0..in_service.len())];
+    let mut evacuees: Vec<usize> = (0..genome.len())
+        .filter(|&f| genome[f].as_usize() == drained)
+        .collect();
+    evacuees.sort_by(|&a, &b| {
+        let da = problem.vnfs()[a].total_demand().value();
+        let db = problem.vnfs()[b].total_demand().value();
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+    for f in evacuees {
+        let demand = problem.vnfs()[f].total_demand().value();
+        let mut best_fit: Option<(usize, f64)> = None;
+        let mut roomiest: Option<(usize, f64)> = None;
+        for &v in &in_service {
+            if v == drained {
+                continue;
+            }
+            let headroom = problem.nodes()[v].capacity().value() - load[v];
+            if headroom >= demand && best_fit.is_none_or(|(_, h)| headroom < h) {
+                best_fit = Some((v, headroom));
+            }
+            if roomiest.is_none_or(|(_, h)| headroom > h) {
+                roomiest = Some((v, headroom));
+            }
+        }
+        let Some((to, _)) = best_fit.or(roomiest) else {
+            return;
+        };
+        load[drained] -= demand;
+        load[to] += demand;
+        genome[f] = NodeId::new(to as u32);
+    }
+}
+
+/// Deterministic capacity repair: while some node is overloaded, move one
+/// VNF off the most-overloaded node onto the node with the most headroom
+/// that fits it. Prefers the smallest VNF that clears the overflow in one
+/// move (falling back to the largest VNF hosted), so repairs stay local.
+/// Bounded at `2·|F|` moves; instances whose overflow survives that
+/// budget score through the infeasibility penalty instead.
+fn repair(problem: &PlacementProblem, genome: &mut [NodeId]) {
+    let caps: Vec<f64> = problem
+        .nodes()
+        .iter()
+        .map(|n| n.capacity().value())
+        .collect();
+    let demands: Vec<f64> = problem
+        .vnfs()
+        .iter()
+        .map(|v| v.total_demand().value())
+        .collect();
+    let mut load = vec![0.0f64; caps.len()];
+    for (f, node) in genome.iter().enumerate() {
+        load[node.as_usize()] += demands[f];
+    }
+    let over = |demand: f64, cap: f64| demand > cap * (1.0 + 1e-9) + 1e-9;
+    for _ in 0..genome.len().saturating_mul(2) {
+        // Most-overloaded node, first-best on ties.
+        let mut worst: Option<(usize, f64)> = None;
+        for (v, (&demand, &cap)) in load.iter().zip(&caps).enumerate() {
+            if over(demand, cap) {
+                let overflow = demand - cap;
+                if worst.is_none_or(|(_, w)| overflow > w) {
+                    worst = Some((v, overflow));
+                }
+            }
+        }
+        let Some((node, overflow)) = worst else {
+            return;
+        };
+        // Smallest hosted VNF that clears the overflow in one move;
+        // otherwise the largest hosted VNF (chips away at the overflow).
+        let hosted: Vec<usize> = (0..genome.len())
+            .filter(|&f| genome[f].as_usize() == node)
+            .collect();
+        let mover = hosted
+            .iter()
+            .copied()
+            .filter(|&f| demands[f] >= overflow)
+            .min_by(|&a, &b| demands[a].total_cmp(&demands[b]).then(a.cmp(&b)))
+            .or_else(|| {
+                hosted
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| demands[a].total_cmp(&demands[b]).then(b.cmp(&a)))
+            });
+        let Some(mover) = mover else { return };
+        // Target: the node with the most headroom that fits the mover,
+        // first-best on ties; with no fitting target, the most-headroom
+        // node overall (still reduces the maximum overflow).
+        let mut target: Option<(usize, f64)> = None;
+        let mut fallback: Option<(usize, f64)> = None;
+        for (v, (&demand, &cap)) in load.iter().zip(&caps).enumerate() {
+            if v == node {
+                continue;
+            }
+            let headroom = cap - demand;
+            if fallback.is_none_or(|(_, h)| headroom > h) {
+                fallback = Some((v, headroom));
+            }
+            if !over(demand + demands[mover], cap) && target.is_none_or(|(_, h)| headroom > h) {
+                target = Some((v, headroom));
+            }
+        }
+        let Some((to, _)) = target.or(fallback) else {
+            return;
+        };
+        load[node] -= demands[mover];
+        load[to] += demands[mover];
+        genome[mover] = NodeId::new(to as u32);
+    }
+}
+
+/// Deterministic first-fit-decreasing warm start: VNFs by decreasing
+/// demand onto nodes by decreasing capacity. May leave overloads on
+/// infeasible instances; the caller's scoring handles that.
+fn ffd_seed(problem: &PlacementProblem) -> Genome {
+    let mut vnf_order: Vec<usize> = (0..problem.vnfs().len()).collect();
+    vnf_order.sort_by(|&a, &b| {
+        problem.vnfs()[b]
+            .total_demand()
+            .value()
+            .total_cmp(&problem.vnfs()[a].total_demand().value())
+            .then(a.cmp(&b))
+    });
+    let mut node_order: Vec<usize> = (0..problem.nodes().len()).collect();
+    node_order.sort_by(|&a, &b| {
+        problem.nodes()[b]
+            .capacity()
+            .value()
+            .total_cmp(&problem.nodes()[a].capacity().value())
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; problem.nodes().len()];
+    let mut genome = vec![NodeId::new(0); problem.vnfs().len()];
+    for &f in &vnf_order {
+        let demand = problem.vnfs()[f].total_demand().value();
+        let slot = node_order
+            .iter()
+            .copied()
+            .find(|&v| {
+                let cap = problem.nodes()[v].capacity().value();
+                load[v] + demand <= cap * (1.0 + 1e-9) + 1e-9
+            })
+            .unwrap_or(node_order[0]);
+        load[slot] += demand;
+        genome[f] = NodeId::new(slot as u32);
+    }
+    genome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{Capacity, ComputeNode, Demand, ServiceRate, Vnf, VnfId, VnfKind};
+
+    fn problem(caps: &[f64], demands: &[f64]) -> PlacementProblem {
+        let nodes = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ComputeNode::new(NodeId::new(i as u32), Capacity::new(c).unwrap()))
+            .collect();
+        let vnfs = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                    .demand_per_instance(Demand::new(d).unwrap())
+                    .service_rate(ServiceRate::new(100.0).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(nodes, vnfs).unwrap()
+    }
+
+    #[test]
+    fn ga_finds_the_two_node_packing() {
+        let p = problem(&[100.0; 4], &[60.0, 40.0, 55.0, 45.0]);
+        let outcome = search(&p, &SearchConfig::ga(42), 20).unwrap();
+        assert_eq!(outcome.best_placement(&p).unwrap().nodes_in_service(), 2);
+    }
+
+    #[test]
+    fn pso_finds_the_two_node_packing() {
+        let p = problem(&[100.0; 4], &[60.0, 40.0, 55.0, 45.0]);
+        let outcome = search(&p, &SearchConfig::pso(42), 20).unwrap();
+        assert_eq!(outcome.best_placement(&p).unwrap().nodes_in_service(), 2);
+    }
+
+    #[test]
+    fn history_is_monotone_and_anytime() {
+        let p = problem(&[100.0; 5], &[60.0, 40.0, 55.0, 45.0, 30.0]);
+        for config in [SearchConfig::ga(7), SearchConfig::pso(7)] {
+            let outcome = search(&p, &config, 15).unwrap();
+            assert_eq!(outcome.history().len(), 16, "{}", config.engine.name());
+            for pair in outcome.history().windows(2) {
+                assert!(pair[1] <= pair[0], "{}", config.engine.name());
+            }
+            assert_eq!(outcome.evaluations(), 16 * config.population as u64);
+        }
+    }
+
+    #[test]
+    fn warm_start_is_never_lost() {
+        let p = problem(&[100.0; 4], &[60.0, 40.0, 55.0, 45.0]);
+        // Feasible two-node warm start: the searcher must never return
+        // anything worse.
+        let warm = vec![
+            NodeId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(1),
+        ];
+        let warm_fitness = objective(&p, &warm, &FitnessWeights::default());
+        let config = SearchConfig::ga(3).with_initial(warm);
+        let outcome = search(&p, &config, 5).unwrap();
+        assert!(outcome.best_fitness() <= warm_fitness);
+    }
+
+    use crate::FitnessWeights;
+
+    #[test]
+    fn warm_start_validates_shape() {
+        let p = problem(&[100.0; 2], &[10.0, 10.0]);
+        let short = SearchConfig::ga(1).with_initial(vec![NodeId::new(0)]);
+        assert!(matches!(
+            SearchRun::new(&p, &short),
+            Err(PlacementError::MissingVnf { .. })
+        ));
+        let dangling = SearchConfig::ga(1).with_initial(vec![NodeId::new(0), NodeId::new(9)]);
+        assert!(matches!(
+            SearchRun::new(&p, &dangling),
+            Err(PlacementError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_restores_feasibility() {
+        let p = problem(&[100.0, 100.0, 100.0], &[60.0, 60.0, 60.0]);
+        let mut genome = vec![NodeId::new(0), NodeId::new(0), NodeId::new(0)];
+        repair(&p, &mut genome);
+        Placement::validate(&p, &genome).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_outcome_and_different_seeds_may_differ() {
+        let p = problem(&[100.0; 4], &[60.0, 40.0, 55.0, 45.0]);
+        let a = search(&p, &SearchConfig::ga(11), 8).unwrap();
+        let b = search(&p, &SearchConfig::ga(11), 8).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests of the anytime searcher: feasibility of everything it
+//! emits and monotonicity of the best-so-far objective.
+
+use nfv_model::{Capacity, ComputeNode, Demand, NodeId, ServiceRate, Vnf, VnfId, VnfKind};
+use nfv_placement::{Placement, PlacementProblem};
+use nfv_search::{search, SearchConfig, SearchRun};
+use proptest::prelude::*;
+
+/// A feasibility-guaranteed instance: node capacities cover the total
+/// demand with slack and every VNF fits alone on the largest node.
+fn instance(nodes: usize, demands: &[f64]) -> PlacementProblem {
+    let total: f64 = demands.iter().sum();
+    let cap = (total / nodes as f64) * 2.5 + demands.iter().fold(0.0f64, |a, &b| a.max(b));
+    let nodes = (0..nodes)
+        .map(|i| ComputeNode::new(NodeId::new(i as u32), Capacity::new(cap).unwrap()))
+        .collect();
+    let vnfs = demands
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            Vnf::builder(VnfId::new(i as u32), VnfKind::Custom(i as u16))
+                .demand_per_instance(Demand::new(d).unwrap())
+                .service_rate(ServiceRate::new(100.0).unwrap())
+                .build()
+                .unwrap()
+        })
+        .collect();
+    PlacementProblem::new(nodes, vnfs).unwrap()
+}
+
+proptest! {
+    /// Every placement the searcher hands back — GA or PSO, any seed —
+    /// passes the placement validator.
+    #[test]
+    fn emitted_placements_always_validate(
+        seed in 0u64..5_000,
+        nodes in 2usize..6,
+        demands in proptest::collection::vec(5.0f64..80.0, 2..9),
+        engine in 0usize..2,
+    ) {
+        let problem = instance(nodes, &demands);
+        let mut config = if engine == 0 { SearchConfig::ga(seed) } else { SearchConfig::pso(seed) };
+        config.population = 8;
+        let outcome = search(&problem, &config, 4).unwrap();
+        Placement::validate(&problem, outcome.best_assignment()).unwrap();
+        outcome.best_placement(&problem).unwrap();
+    }
+
+    /// The best-so-far objective never worsens from one generation to the
+    /// next, both in the live run and in the recorded history.
+    #[test]
+    fn best_so_far_is_monotone_non_increasing(
+        seed in 0u64..5_000,
+        nodes in 2usize..6,
+        demands in proptest::collection::vec(5.0f64..80.0, 2..9),
+        engine in 0usize..2,
+    ) {
+        let problem = instance(nodes, &demands);
+        let mut config = if engine == 0 { SearchConfig::ga(seed) } else { SearchConfig::pso(seed) };
+        config.population = 8;
+        let mut run = SearchRun::new(&problem, &config).unwrap();
+        let mut last = run.best_fitness();
+        for _ in 0..6 {
+            let best = run.step();
+            prop_assert!(best <= last, "{best} after {last}");
+            last = best;
+        }
+        let outcome = run.into_outcome();
+        for pair in outcome.history().windows(2) {
+            prop_assert!(pair[1] <= pair[0]);
+        }
+    }
+}

@@ -14,6 +14,9 @@ pub enum ReoptPhase {
     Replacement,
     /// The scheduling phase (request migrations via RCKK).
     Scheduling,
+    /// The background refiner phase (searcher-found relocations applied
+    /// during quiet ticks).
+    Refiner,
 }
 
 impl ReoptPhase {
@@ -23,6 +26,7 @@ impl ReoptPhase {
         match self {
             Self::Replacement => "replacement",
             Self::Scheduling => "scheduling",
+            Self::Refiner => "refiner",
         }
     }
 
@@ -30,6 +34,7 @@ impl ReoptPhase {
         match name {
             "replacement" => Some(Self::Replacement),
             "scheduling" => Some(Self::Scheduling),
+            "refiner" => Some(Self::Refiner),
             _ => None,
         }
     }
@@ -612,6 +617,21 @@ mod tests {
                 phase: ReoptPhase::Replacement,
                 cause: "hysteresis".into(),
                 predicted_gain: -0.5,
+                required_gain: 0.01,
+            },
+            EventKind::ReoptCommit {
+                phase: ReoptPhase::Refiner,
+                migrations: 0,
+                instances_added: 0,
+                instances_retired: 0,
+                relocations: 3,
+                predicted_gain: 0.04,
+                realized_gain: 0.04,
+            },
+            EventKind::ReoptRejected {
+                phase: ReoptPhase::Refiner,
+                cause: "min-gain".into(),
+                predicted_gain: 0.002,
                 required_gain: 0.01,
             },
         ];

@@ -28,16 +28,19 @@ pub enum Phase {
     RetryDrain,
     /// Out-of-tick emergency re-placement after a node failure.
     EmergencyReplace,
+    /// One generation of the background refiner's placement search.
+    SearchGeneration,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::PlaceDelta,
         Phase::RckkPlan,
         Phase::HysteresisProbe,
         Phase::RetryDrain,
         Phase::EmergencyReplace,
+        Phase::SearchGeneration,
     ];
 
     /// Stable display name.
@@ -49,6 +52,7 @@ impl Phase {
             Phase::HysteresisProbe => "hysteresis-probe",
             Phase::RetryDrain => "retry-drain",
             Phase::EmergencyReplace => "emergency-replace",
+            Phase::SearchGeneration => "search-generation",
         }
     }
 
@@ -59,6 +63,7 @@ impl Phase {
             Phase::HysteresisProbe => 2,
             Phase::RetryDrain => 3,
             Phase::EmergencyReplace => 4,
+            Phase::SearchGeneration => 5,
         }
     }
 }

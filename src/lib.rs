@@ -51,6 +51,10 @@ pub use nfv_workload as workload;
 /// VNF chain placement algorithms (BFDSU, FFD, BFD, NAH, exact oracle).
 pub use nfv_placement as placement;
 
+/// Anytime metaheuristic placement search (GA + PSO engines) with
+/// deterministic, thread-invariant population evaluation.
+pub use nfv_search as search;
+
 /// Request scheduling algorithms (RCKK, CGA, CKK, LPT-by-CGA, round-robin).
 pub use nfv_scheduling as scheduling;
 
