@@ -24,6 +24,14 @@ cargo test -q -p nfv-controller --test properties outage_interleavings
 echo "== queueing formula guards (rho >= 1 stays an error, never a number) =="
 cargo test -q -p nfv-queueing rho_
 
+echo "== ledger equivalence (incremental balanced-W bit-identical to the from-scratch oracle) =="
+cargo test -q -p nfv-controller --test properties interleaved_mutations_undo_to_identity
+cargo test -q -p nfv-controller cached_balanced_latency
+
+echo "== replay engine (streamed == materialized trace, batched path preserves decisions) =="
+cargo test -q -p nfv-workload stream
+cargo test -q -p nfv-core --lib replay
+
 echo "== anytime search (GA/PSO determinism, repair, refiner hand-off) =="
 cargo test -q -p nfv-search
 cargo test -q -p nfv-controller refiner
@@ -55,6 +63,9 @@ test -s results/trace_series.csv
 cargo run -q --release -p nfv-bench --bin figures -- profile
 
 echo "== telemetry overhead gate (disabled path within 2% of the plain replay) =="
+# Capture the committed replay throughput before the bench overwrites it.
+committed_eps=$(git show HEAD:BENCH_pipeline.json 2>/dev/null \
+    | grep -o '"events_per_second": *[0-9.]*' | grep -o '[0-9.]*$' || true)
 cargo run --release -p nfv-bench --bin figures -- bench --reps 2
 overhead=$(grep -o '"disabled_overhead_pct": *-\{0,1\}[0-9.]*' BENCH_pipeline.json | grep -o '\-\{0,1\}[0-9.]*$')
 echo "telemetry disabled-path overhead: ${overhead}%"
@@ -62,5 +73,22 @@ awk -v o="$overhead" 'BEGIN { exit (o <= 2.0) ? 0 : 1 }' || {
     echo "telemetry disabled-path overhead ${overhead}% exceeds the 2% budget"
     exit 1
 }
+
+echo "== replay throughput gate (>= 1M streamed events, >= 80% of the committed events/s) =="
+events=$(grep -o '"events": *[0-9]*' BENCH_pipeline.json | grep -o '[0-9]*$')
+eps=$(grep -o '"events_per_second": *[0-9.]*' BENCH_pipeline.json | grep -o '[0-9.]*$')
+echo "replay: ${events} events at ${eps} events/s (committed: ${committed_eps:-none})"
+awk -v n="$events" 'BEGIN { exit (n >= 1000000) ? 0 : 1 }' || {
+    echo "replay trace streamed ${events} events, below the 1M floor"
+    exit 1
+}
+if [ -n "${committed_eps}" ]; then
+    awk -v e="$eps" -v c="$committed_eps" 'BEGIN { exit (e >= 0.8 * c) ? 0 : 1 }' || {
+        echo "replay throughput ${eps} events/s regressed below 80% of the committed ${committed_eps}"
+        exit 1
+    }
+else
+    echo "no committed replay figure yet; regression gate skipped"
+fi
 
 echo "ci: all green"

@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the replay engine: streamed trace generation
+//! alone, then the exact per-event ingestion path against the batched
+//! path over the same streamed trace.
+//!
+//! The smoke point (~8k events) keeps criterion iterations fast; the
+//! headline million-event figure lives in `figures bench` /
+//! `BENCH_pipeline.json`, where one replay per measurement is enough.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfv_controller::{Controller, ControllerConfig};
+use nfv_core::experiments::replay::{setup, ReplayPoint};
+
+fn bench_replay(c: &mut Criterion) {
+    let point = ReplayPoint::smoke();
+    let (scenario, builder) = setup(&point, 42).expect("valid fixture");
+
+    let mut group = c.benchmark_group("replay");
+    group.bench_function("generate-stream", |b| {
+        b.iter(|| black_box(builder.stream(&scenario).expect("valid fixture").count()));
+    });
+    group.bench_function("ingest-per-event", |b| {
+        b.iter(|| {
+            let mut controller = Controller::new(&scenario, ControllerConfig::online_only());
+            let stream = builder.stream(&scenario).expect("valid fixture");
+            black_box(controller.run_stream(stream, point.horizon))
+        });
+    });
+    group.bench_function("ingest-batched-ticks", |b| {
+        b.iter(|| {
+            let mut controller = Controller::new(&scenario, ControllerConfig::online_only());
+            let stream = builder.stream(&scenario).expect("valid fixture");
+            black_box(controller.run_stream_batched(stream, point.horizon))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

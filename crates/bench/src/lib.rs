@@ -3,6 +3,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod report;
+
+pub use report::{
+    BenchReport, FigureTiming, ReplayReport, ReportError, SearchReport, TelemetryReport,
+};
+
 use nfv_model::{ArrivalRate, ServiceChain};
 use nfv_placement::PlacementProblem;
 use nfv_topology::builders;

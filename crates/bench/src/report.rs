@@ -1,0 +1,775 @@
+//! The `BENCH_pipeline.json` report: a typed schema with hand-rolled JSON
+//! serialization and parsing.
+//!
+//! The workspace deliberately vendors no JSON crate, but the bench
+//! pipeline's output is consumed by `ci.sh` (the overhead and throughput
+//! gates) and by humans diffing committed runs — so the shape is a
+//! contract worth round-tripping. [`BenchReport::to_json`] writes the
+//! exact layout the `figures bench` command commits, and
+//! [`BenchReport::from_json`] parses it back (tolerating arbitrary field
+//! order and whitespace) through a minimal recursive-descent JSON parser.
+
+use std::fmt;
+
+/// Everything `figures bench` measures, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Worker threads the host offers.
+    pub host_threads: u64,
+    /// Threads the parallel pass ran with.
+    pub bench_threads: u64,
+    /// Repetitions per placement experiment.
+    pub reps_placement: u64,
+    /// Repetitions per scheduling experiment.
+    pub reps_scheduling: u64,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Metaheuristic search throughput and quality.
+    pub search: SearchReport,
+    /// Telemetry overhead of the instrumented replay.
+    pub telemetry: TelemetryReport,
+    /// Replay-engine throughput on the streamed million-event trace.
+    pub replay: ReplayReport,
+    /// Wall-clock per figure, serial and parallel.
+    pub figures: Vec<FigureTiming>,
+    /// Sum of the serial figure timings, seconds.
+    pub total_serial_seconds: f64,
+    /// Sum of the parallel figure timings; `None` when the parallel pass
+    /// was skipped on a single-core host.
+    pub total_parallel_seconds: Option<f64>,
+}
+
+/// GA search throughput and quality vs the greedy placer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Search engine name (`ga`).
+    pub engine: String,
+    /// Population size.
+    pub population: u64,
+    /// Generations run per measurement.
+    pub generations: u64,
+    /// Generations per wall-clock second at one thread.
+    pub generations_per_second: f64,
+    /// Best objective the search reached.
+    pub best_objective: f64,
+    /// BFDSU's objective on the same problem; `None` if BFDSU failed.
+    pub bfdsu_objective: Option<f64>,
+    /// `best_objective - bfdsu_objective`; `None` if BFDSU failed.
+    pub objective_delta_vs_bfdsu: Option<f64>,
+}
+
+/// Telemetry-layer overhead on the churn replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// How many back-to-back replays constitute one timed measurement —
+    /// scaled until the plain measurement clears the floor below.
+    pub replay_reps: u64,
+    /// Minimum seconds a timed measurement must span to be trusted; the
+    /// workload is repeated until the plain path reaches it.
+    pub measurement_floor_seconds: f64,
+    /// Fastest plain (untraced) measurement, seconds.
+    pub replay_plain_seconds: f64,
+    /// Fastest measurement through the traced path with a disabled
+    /// session, seconds.
+    pub replay_disabled_seconds: f64,
+    /// Fastest measurement with an enabled session, seconds.
+    pub replay_enabled_seconds: f64,
+    /// `(disabled - plain) / plain`, percent — the price of the
+    /// telemetry layer existing; gated by `ci.sh`.
+    pub disabled_overhead_pct: f64,
+    /// `(enabled - plain) / plain`, percent.
+    pub enabled_overhead_pct: f64,
+}
+
+/// Replay-engine throughput on the streamed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Total events in the streamed trace.
+    pub events: u64,
+    /// Virtual-time horizon of the trace, seconds.
+    pub horizon_seconds: f64,
+    /// Fastest exact per-event replay, wall-clock seconds.
+    pub streamed_seconds: f64,
+    /// Fastest batched replay, wall-clock seconds.
+    pub batched_seconds: f64,
+    /// Events per second through the exact per-event path.
+    pub streamed_events_per_second: f64,
+    /// Events per second through the batched path — the headline figure,
+    /// gated by `ci.sh` against regression.
+    pub events_per_second: f64,
+    /// Requests the batched replay admitted.
+    pub admitted: u64,
+    /// Requests the batched replay rejected.
+    pub rejected: u64,
+}
+
+/// One figure's wall-clock timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTiming {
+    /// Figure command name (`fig5` … `ablation`).
+    pub name: String,
+    /// Seconds at one thread.
+    pub serial_seconds: f64,
+    /// Seconds at the configured thread count; `None` when the parallel
+    /// pass was skipped.
+    pub parallel_seconds: Option<f64>,
+}
+
+/// Why a report failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportError {
+    /// What went wrong, with enough context to find the spot.
+    pub reason: String,
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench report parse error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+fn err<T>(reason: impl Into<String>) -> Result<T, ReportError> {
+    Err(ReportError {
+        reason: reason.into(),
+    })
+}
+
+impl BenchReport {
+    /// Renders the report as the committed `BENCH_pipeline.json` layout.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.6}"));
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"host_threads\": {},", self.host_threads);
+        let _ = writeln!(json, "  \"bench_threads\": {},", self.bench_threads);
+        let _ = writeln!(json, "  \"reps_placement\": {},", self.reps_placement);
+        let _ = writeln!(json, "  \"reps_scheduling\": {},", self.reps_scheduling);
+        let _ = writeln!(json, "  \"seed\": {},", self.seed);
+        let s = &self.search;
+        let _ = writeln!(json, "  \"search\": {{");
+        let _ = writeln!(json, "    \"engine\": \"{}\",", s.engine);
+        let _ = writeln!(json, "    \"population\": {},", s.population);
+        let _ = writeln!(json, "    \"generations\": {},", s.generations);
+        let _ = writeln!(
+            json,
+            "    \"generations_per_second\": {:.3},",
+            s.generations_per_second
+        );
+        let _ = writeln!(json, "    \"best_objective\": {:.6},", s.best_objective);
+        let _ = writeln!(json, "    \"bfdsu_objective\": {},", opt(s.bfdsu_objective));
+        let _ = writeln!(
+            json,
+            "    \"objective_delta_vs_bfdsu\": {}",
+            opt(s.objective_delta_vs_bfdsu)
+        );
+        let _ = writeln!(json, "  }},");
+        let t = &self.telemetry;
+        let _ = writeln!(json, "  \"telemetry\": {{");
+        let _ = writeln!(json, "    \"replay_reps\": {},", t.replay_reps);
+        let _ = writeln!(
+            json,
+            "    \"measurement_floor_seconds\": {:.6},",
+            t.measurement_floor_seconds
+        );
+        let _ = writeln!(
+            json,
+            "    \"replay_plain_seconds\": {:.6},",
+            t.replay_plain_seconds
+        );
+        let _ = writeln!(
+            json,
+            "    \"replay_disabled_seconds\": {:.6},",
+            t.replay_disabled_seconds
+        );
+        let _ = writeln!(
+            json,
+            "    \"replay_enabled_seconds\": {:.6},",
+            t.replay_enabled_seconds
+        );
+        let _ = writeln!(
+            json,
+            "    \"disabled_overhead_pct\": {:.3},",
+            t.disabled_overhead_pct
+        );
+        let _ = writeln!(
+            json,
+            "    \"enabled_overhead_pct\": {:.3}",
+            t.enabled_overhead_pct
+        );
+        let _ = writeln!(json, "  }},");
+        let r = &self.replay;
+        let _ = writeln!(json, "  \"replay\": {{");
+        let _ = writeln!(json, "    \"events\": {},", r.events);
+        let _ = writeln!(json, "    \"horizon_seconds\": {:.6},", r.horizon_seconds);
+        let _ = writeln!(json, "    \"streamed_seconds\": {:.6},", r.streamed_seconds);
+        let _ = writeln!(json, "    \"batched_seconds\": {:.6},", r.batched_seconds);
+        let _ = writeln!(
+            json,
+            "    \"streamed_events_per_second\": {:.3},",
+            r.streamed_events_per_second
+        );
+        let _ = writeln!(
+            json,
+            "    \"events_per_second\": {:.3},",
+            r.events_per_second
+        );
+        let _ = writeln!(json, "    \"admitted\": {},", r.admitted);
+        let _ = writeln!(json, "    \"rejected\": {}", r.rejected);
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"figures\": [");
+        for (i, figure) in self.figures.iter().enumerate() {
+            let comma = if i + 1 < self.figures.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {}}}{comma}",
+                figure.name,
+                figure.serial_seconds,
+                opt(figure.parallel_seconds),
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(
+            json,
+            "  \"total_serial_seconds\": {:.6},",
+            self.total_serial_seconds
+        );
+        let _ = writeln!(
+            json,
+            "  \"total_parallel_seconds\": {}",
+            opt(self.total_parallel_seconds)
+        );
+        let _ = writeln!(json, "}}");
+        json
+    }
+
+    /// Parses a report back from its JSON form. Field order and
+    /// whitespace are free; unknown fields are rejected so schema drift
+    /// fails loudly instead of silently dropping data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReportError`] naming the malformed or missing field.
+    pub fn from_json(text: &str) -> Result<Self, ReportError> {
+        let value = Json::parse(text)?;
+        let root = value.object("report")?;
+        let search = root.child("search")?;
+        let telemetry = root.child("telemetry")?;
+        let replay = root.child("replay")?;
+        let mut figures = Vec::new();
+        for (i, entry) in root.array("figures")?.iter().enumerate() {
+            let figure = entry.object(&format!("figures[{i}]"))?;
+            figures.push(FigureTiming {
+                name: figure.string("name")?,
+                serial_seconds: figure.number("serial_seconds")?,
+                parallel_seconds: figure.nullable_number("parallel_seconds")?,
+            });
+            figure.deny_unknown(&["name", "serial_seconds", "parallel_seconds"])?;
+        }
+        let report = Self {
+            host_threads: root.integer("host_threads")?,
+            bench_threads: root.integer("bench_threads")?,
+            reps_placement: root.integer("reps_placement")?,
+            reps_scheduling: root.integer("reps_scheduling")?,
+            seed: root.integer("seed")?,
+            search: SearchReport {
+                engine: search.string("engine")?,
+                population: search.integer("population")?,
+                generations: search.integer("generations")?,
+                generations_per_second: search.number("generations_per_second")?,
+                best_objective: search.number("best_objective")?,
+                bfdsu_objective: search.nullable_number("bfdsu_objective")?,
+                objective_delta_vs_bfdsu: search.nullable_number("objective_delta_vs_bfdsu")?,
+            },
+            telemetry: TelemetryReport {
+                replay_reps: telemetry.integer("replay_reps")?,
+                measurement_floor_seconds: telemetry.number("measurement_floor_seconds")?,
+                replay_plain_seconds: telemetry.number("replay_plain_seconds")?,
+                replay_disabled_seconds: telemetry.number("replay_disabled_seconds")?,
+                replay_enabled_seconds: telemetry.number("replay_enabled_seconds")?,
+                disabled_overhead_pct: telemetry.number("disabled_overhead_pct")?,
+                enabled_overhead_pct: telemetry.number("enabled_overhead_pct")?,
+            },
+            replay: ReplayReport {
+                events: replay.integer("events")?,
+                horizon_seconds: replay.number("horizon_seconds")?,
+                streamed_seconds: replay.number("streamed_seconds")?,
+                batched_seconds: replay.number("batched_seconds")?,
+                streamed_events_per_second: replay.number("streamed_events_per_second")?,
+                events_per_second: replay.number("events_per_second")?,
+                admitted: replay.integer("admitted")?,
+                rejected: replay.integer("rejected")?,
+            },
+            figures,
+            total_serial_seconds: root.number("total_serial_seconds")?,
+            total_parallel_seconds: root.nullable_number("total_parallel_seconds")?,
+        };
+        search.deny_unknown(&[
+            "engine",
+            "population",
+            "generations",
+            "generations_per_second",
+            "best_objective",
+            "bfdsu_objective",
+            "objective_delta_vs_bfdsu",
+        ])?;
+        telemetry.deny_unknown(&[
+            "replay_reps",
+            "measurement_floor_seconds",
+            "replay_plain_seconds",
+            "replay_disabled_seconds",
+            "replay_enabled_seconds",
+            "disabled_overhead_pct",
+            "enabled_overhead_pct",
+        ])?;
+        replay.deny_unknown(&[
+            "events",
+            "horizon_seconds",
+            "streamed_seconds",
+            "batched_seconds",
+            "streamed_events_per_second",
+            "events_per_second",
+            "admitted",
+            "rejected",
+        ])?;
+        root.deny_unknown(&[
+            "host_threads",
+            "bench_threads",
+            "reps_placement",
+            "reps_scheduling",
+            "seed",
+            "search",
+            "telemetry",
+            "replay",
+            "figures",
+            "total_serial_seconds",
+            "total_parallel_seconds",
+        ])?;
+        Ok(report)
+    }
+}
+
+/// A parsed JSON value — just enough of the grammar for the report.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+/// An object plus the path it sits at, for error messages.
+struct ObjectAt<'a> {
+    path: String,
+    fields: &'a [(String, Json)],
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    fn parse(text: &str) -> Result<Self, ReportError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn object(&self, path: &str) -> Result<ObjectAt<'_>, ReportError> {
+        match self {
+            Self::Object(fields) => Ok(ObjectAt {
+                path: path.to_owned(),
+                fields,
+            }),
+            other => err(format!("`{path}` is not an object: {other:?}")),
+        }
+    }
+}
+
+impl ObjectAt<'_> {
+    fn get(&self, key: &str) -> Result<&Json, ReportError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ReportError {
+                reason: format!("`{}` is missing field `{key}`", self.path),
+            })
+    }
+
+    fn child(&self, key: &str) -> Result<ObjectAt<'_>, ReportError> {
+        self.get(key)?.object(&format!("{}.{key}", self.path))
+    }
+
+    fn array(&self, key: &str) -> Result<&[Json], ReportError> {
+        match self.get(key)? {
+            Json::Array(items) => Ok(items),
+            other => err(format!("`{}.{key}` is not an array: {other:?}", self.path)),
+        }
+    }
+
+    fn number(&self, key: &str) -> Result<f64, ReportError> {
+        match self.get(key)? {
+            Json::Number(n) => Ok(*n),
+            other => err(format!("`{}.{key}` is not a number: {other:?}", self.path)),
+        }
+    }
+
+    fn nullable_number(&self, key: &str) -> Result<Option<f64>, ReportError> {
+        match self.get(key)? {
+            Json::Number(n) => Ok(Some(*n)),
+            Json::Null => Ok(None),
+            other => err(format!(
+                "`{}.{key}` is not a number or null: {other:?}",
+                self.path
+            )),
+        }
+    }
+
+    fn integer(&self, key: &str) -> Result<u64, ReportError> {
+        let n = self.number(key)?;
+        if n.fract() != 0.0 || !(0.0..=u64::MAX as f64).contains(&n) {
+            return err(format!(
+                "`{}.{key}` is not a non-negative integer: {n}",
+                self.path
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    fn string(&self, key: &str) -> Result<String, ReportError> {
+        match self.get(key)? {
+            Json::String(s) => Ok(s.clone()),
+            other => err(format!("`{}.{key}` is not a string: {other:?}", self.path)),
+        }
+    }
+
+    fn deny_unknown(&self, known: &[&str]) -> Result<(), ReportError> {
+        for (key, _) in self.fields {
+            if !known.contains(&key.as_str()) {
+                return err(format!("`{}` has unknown field `{key}`", self.path));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), ReportError> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(format!(
+            "expected `{}` at byte {}, found {:?}",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ReportError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        other => err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&b| b as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, ReportError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        err(format!("expected `{literal}` at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ReportError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = bytes.get(*pos) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| ReportError {
+            reason: format!("invalid number `{text}` at byte {start}"),
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ReportError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).copied();
+                *pos += 1;
+                match escaped {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| ReportError {
+                                reason: "truncated \\u escape".to_owned(),
+                            })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| ReportError {
+                            reason: format!("invalid \\u escape `{hex}`"),
+                        })?;
+                        // Surrogate pairs don't appear in this report's
+                        // strings; reject rather than mis-decode.
+                        let c = char::from_u32(code).ok_or_else(|| ReportError {
+                            reason: format!("unsupported \\u escape `{hex}`"),
+                        })?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    other => {
+                        return err(format!("invalid escape {:?}", other.map(|b| b as char)));
+                    }
+                }
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the full scalar.
+                let text = std::str::from_utf8(&bytes[*pos..]).map_err(|_| ReportError {
+                    reason: "invalid UTF-8 in string".to_owned(),
+                })?;
+                let c = text.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ReportError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => {
+                return err(format!(
+                    "expected `,` or `]` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ReportError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            other => {
+                return err(format!(
+                    "expected `,` or `}}` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report whose floats are exactly representable at the printed
+    /// precision, so serialization loses nothing.
+    fn sample(parallel: bool) -> BenchReport {
+        BenchReport {
+            host_threads: 8,
+            bench_threads: 8,
+            reps_placement: 10,
+            reps_scheduling: 200,
+            seed: 42,
+            search: SearchReport {
+                engine: "ga".to_owned(),
+                population: 32,
+                generations: 20,
+                generations_per_second: 123.5,
+                best_objective: -4.25,
+                bfdsu_objective: parallel.then_some(-4.5),
+                objective_delta_vs_bfdsu: parallel.then_some(0.25),
+            },
+            telemetry: TelemetryReport {
+                replay_reps: 16,
+                measurement_floor_seconds: 0.25,
+                replay_plain_seconds: 0.5,
+                replay_disabled_seconds: 0.5,
+                replay_enabled_seconds: 0.75,
+                disabled_overhead_pct: 0.0,
+                enabled_overhead_pct: 50.0,
+            },
+            replay: ReplayReport {
+                events: 1_040_273,
+                horizon_seconds: 200.0,
+                streamed_seconds: 0.5,
+                batched_seconds: 0.375,
+                streamed_events_per_second: 2_000_000.0,
+                events_per_second: 2_750_000.0,
+                admitted: 520_063,
+                rejected: 0,
+            },
+            figures: vec![
+                FigureTiming {
+                    name: "fig5".to_owned(),
+                    serial_seconds: 1.5,
+                    parallel_seconds: parallel.then_some(0.5),
+                },
+                FigureTiming {
+                    name: "churn".to_owned(),
+                    serial_seconds: 2.25,
+                    parallel_seconds: parallel.then_some(0.75),
+                },
+            ],
+            total_serial_seconds: 3.75,
+            total_parallel_seconds: parallel.then_some(1.25),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_with_parallel_pass() {
+        let report = sample(true);
+        assert_eq!(BenchReport::from_json(&report.to_json()), Ok(report));
+    }
+
+    #[test]
+    fn report_round_trips_with_null_parallel_fields() {
+        let report = sample(false);
+        let json = report.to_json();
+        assert!(json.contains("\"parallel_seconds\": null"));
+        assert!(json.contains("\"total_parallel_seconds\": null"));
+        assert_eq!(BenchReport::from_json(&json), Ok(report));
+    }
+
+    #[test]
+    fn parser_tolerates_field_reordering_and_whitespace() {
+        let report = sample(true);
+        let json = report.to_json();
+        // Move `seed` to the end of the root object (field order is not
+        // part of the contract) and strip pretty-printing.
+        let reordered = json
+            .replace("  \"seed\": 42,\n", "")
+            .replace(
+                "\"total_parallel_seconds\": 1.250000",
+                "\"total_parallel_seconds\": 1.250000, \"seed\": 42",
+            )
+            .replace('\n', "");
+        assert_eq!(BenchReport::from_json(&reordered), Ok(report));
+    }
+
+    #[test]
+    fn unknown_and_missing_fields_are_rejected() {
+        let report = sample(true);
+        let json = report.to_json();
+        let extra = json.replace("\"seed\": 42", "\"seed\": 42, \"surprise\": 1");
+        assert!(BenchReport::from_json(&extra)
+            .unwrap_err()
+            .reason
+            .contains("surprise"));
+        let missing = json.replace("  \"seed\": 42,\n", "");
+        assert!(BenchReport::from_json(&missing)
+            .unwrap_err()
+            .reason
+            .contains("seed"));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1} trailing",
+            "{\"a\": \"unterminated",
+            "[1, 2",
+            "{\"a\": 01x}",
+        ] {
+            assert!(BenchReport::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The active-request slot table.
+//!
+//! A dense replacement for the `BTreeMap<RequestId, Request>` the
+//! controller's hot path used to walk: requests live in a free-listed slot
+//! arena and a `u32` id→slot table makes every lookup a single array
+//! index. The controller never iterates the active set in id order, so no
+//! ordered structure is needed.
+
+use nfv_model::{Request, RequestId};
+
+/// Sentinel in the id→slot table for an id with no live request.
+const NO_SLOT: u32 = u32::MAX;
+
+/// The set of currently active requests, keyed by request id.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ActiveSet {
+    /// Raw request-id index → slot (`NO_SLOT` when absent). Grows to the
+    /// largest id ever seen; ids are dense in every workload generator.
+    index: Vec<u32>,
+    /// Slot arena; `None` slots are on the free list.
+    slots: Vec<Option<Request>>,
+    /// Indices of vacant slots, reused LIFO.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl ActiveSet {
+    /// Number of live requests.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether `id` is live.
+    pub(crate) fn contains_key(&self, id: RequestId) -> bool {
+        self.slot(id).is_some()
+    }
+
+    /// The live request with this id, if any.
+    pub(crate) fn get(&self, id: RequestId) -> Option<&Request> {
+        self.slot(id).and_then(|s| self.slots[s].as_ref())
+    }
+
+    /// Inserts a request under its own id. The controller checks for
+    /// duplicates before admission, so the id must be vacant.
+    pub(crate) fn insert(&mut self, request: Request) {
+        let id = request.id().as_usize();
+        if id >= self.index.len() {
+            self.index.resize(id + 1, NO_SLOT);
+        }
+        debug_assert_eq!(self.index[id], NO_SLOT, "duplicate active id");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(request);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot arena fits in u32");
+                self.slots.push(Some(request));
+                slot
+            }
+        };
+        self.index[id] = slot;
+        self.len += 1;
+    }
+
+    /// Removes and returns the request with this id, if live.
+    pub(crate) fn remove(&mut self, id: RequestId) -> Option<Request> {
+        let slot = self.slot(id)?;
+        let request = self.slots[slot].take()?;
+        self.index[id.as_usize()] = NO_SLOT;
+        self.free
+            .push(u32::try_from(slot).expect("slot fits in u32"));
+        self.len -= 1;
+        Some(request)
+    }
+
+    fn slot(&self, id: RequestId) -> Option<usize> {
+        match self.index.get(id.as_usize()).copied() {
+            Some(slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+/// Logical equality: the same id→request mapping, regardless of how the
+/// slots and free list happen to be laid out after different mutation
+/// histories.
+impl PartialEq for ActiveSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|r| other.get(r.id()) == Some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_model::{ArrivalRate, DeliveryProbability, ServiceChain, VnfId};
+
+    fn request(id: u32) -> Request {
+        Request::new(
+            RequestId::new(id),
+            ServiceChain::new(vec![VnfId::new(0)]).unwrap(),
+            ArrivalRate::new(1.0 + f64::from(id)).unwrap(),
+            DeliveryProbability::PERFECT,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut set = ActiveSet::default();
+        assert_eq!(set.len(), 0);
+        set.insert(request(5));
+        set.insert(request(2));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains_key(RequestId::new(5)));
+        assert!(!set.contains_key(RequestId::new(3)));
+        assert_eq!(set.get(RequestId::new(2)), Some(&request(2)));
+        assert_eq!(set.remove(RequestId::new(5)), Some(request(5)));
+        assert_eq!(set.remove(RequestId::new(5)), None);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_and_equality_is_logical() {
+        let mut set_a = ActiveSet::default();
+        for id in 0..8 {
+            set_a.insert(request(id));
+        }
+        for id in [1, 3, 5] {
+            set_a.remove(RequestId::new(id));
+        }
+        // Freed slots are recycled before the arena grows.
+        let slots_before = set_a.slots.len();
+        set_a.insert(request(9));
+        set_a.insert(request(10));
+        assert_eq!(set_a.slots.len(), slots_before);
+
+        // A set with the same contents but a different mutation history
+        // (hence different slot layout) compares equal.
+        let mut set_b = ActiveSet::default();
+        for id in [10, 9, 7, 6, 4, 2, 0] {
+            set_b.insert(request(id));
+        }
+        assert_eq!(set_a, set_b);
+        set_b.remove(RequestId::new(0));
+        assert_ne!(set_a, set_b);
+    }
+}

@@ -1,6 +1,6 @@
 //! The event-driven control loop.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use nfv_metrics::{Histogram, SampleSet};
 use nfv_model::{Capacity, ComputeNode, NodeId, Request, RequestId, Vnf, VnfId};
@@ -13,6 +13,7 @@ use nfv_workload::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::active::ActiveSet;
 use crate::retry::RetryQueue;
 use crate::{
     ControllerConfig, ControllerError, ControllerReport, ControllerState, RejectReason, ShedPolicy,
@@ -211,7 +212,7 @@ impl Cluster {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Controller {
     state: ControllerState,
-    active: BTreeMap<RequestId, Request>,
+    active: ActiveSet,
     config: ControllerConfig,
     counters: Counters,
     clock: f64,
@@ -232,7 +233,7 @@ impl Controller {
     pub fn new(scenario: &Scenario, config: ControllerConfig) -> Self {
         Self {
             state: ControllerState::new(scenario),
-            active: BTreeMap::new(),
+            active: ActiveSet::default(),
             config,
             counters: Counters::default(),
             clock: 0.0,
@@ -326,16 +327,42 @@ impl Controller {
     /// strict observer — `handle_traced(e, &mut Telemetry::disabled())`
     /// *is* `handle(e)`, and an enabled session changes no outcome.
     pub fn handle_traced(&mut self, event: &TimedEvent, tel: &mut Telemetry) -> EventOutcome {
-        self.offer_due_retries(event.time(), tel);
-        // Accumulate the latency integral over the interval the system
-        // spent in its previous configuration.
-        let dt = event.time() - self.clock;
+        self.advance_clock(event.time(), tel);
+        let outcome = self.dispatch(event.event(), tel);
+        self.post_event(matches!(event.event(), ChurnEvent::ReoptimizeTick), tel);
+        outcome
+    }
+
+    /// Like [`handle_traced`](Self::handle_traced), but consuming the
+    /// event: an arrival's [`Request`] is moved into the active set instead
+    /// of cloned, which matters when replaying millions of streamed events.
+    /// Outcome-identical to the borrowing path.
+    pub fn handle_owned_traced(&mut self, event: TimedEvent, tel: &mut Telemetry) -> EventOutcome {
+        let (time, event) = event.into_parts();
+        self.advance_clock(time, tel);
+        let tick = matches!(event, ChurnEvent::ReoptimizeTick);
+        let outcome = match event {
+            ChurnEvent::Arrival(request) => self.admit_owned(request, tel),
+            other => self.dispatch(&other, tel),
+        };
+        self.post_event(tick, tel);
+        outcome
+    }
+
+    /// Re-offers retries due before `time` and accumulates the latency
+    /// integral over the interval the system spent in its previous
+    /// configuration.
+    fn advance_clock(&mut self, time: f64, tel: &mut Telemetry) {
+        self.offer_due_retries(time, tel);
+        let dt = time - self.clock;
         if dt > 0.0 {
             self.latency_integral += self.current_latency * dt;
-            self.clock = event.time();
+            self.clock = time;
         }
+    }
 
-        let outcome = match event.event() {
+    fn dispatch(&mut self, event: &ChurnEvent, tel: &mut Telemetry) -> EventOutcome {
+        match event {
             ChurnEvent::Arrival(request) => self.admit(request, tel),
             ChurnEvent::Departure(id) => self.depart(*id),
             ChurnEvent::InstanceDown { vnf, instance } => self.instance_down(*vnf, *instance, tel),
@@ -343,17 +370,20 @@ impl Controller {
             ChurnEvent::NodeDown { node } => self.node_down(*node, tel),
             ChurnEvent::NodeUp { node } => self.node_up(*node, tel),
             ChurnEvent::ReoptimizeTick => self.tick(tel),
-        };
+        }
+    }
 
+    /// Refreshes the predicted latency, pushes the per-event samples, and
+    /// — on a tick — records the periodic snapshot.
+    fn post_event(&mut self, tick: bool, tel: &mut Telemetry) {
         self.current_latency = self.state.predicted_latency();
         self.latency_samples.push(self.current_latency);
         self.utilization_samples.push(self.peak_utilization());
-        if matches!(event.event(), ChurnEvent::ReoptimizeTick) {
+        if tick {
             let snapshot = self.report();
             self.snapshots.push(snapshot);
             tel.sample_tick(|| self.tick_sample());
         }
-        outcome
     }
 
     /// One row of the per-tick time-series: instance-utilization extrema,
@@ -363,7 +393,7 @@ impl Controller {
         let mut instances = 0u64;
         let mut max_rho = 0.0f64;
         let mut rho_sum = 0.0f64;
-        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
+        for vnf in self.state.vnf_ids() {
             for k in 0..self.state.instances(vnf) {
                 let rho = self.state.utilization(vnf, k);
                 instances += 1;
@@ -416,6 +446,148 @@ impl Controller {
         self.report()
     }
 
+    /// Runs a stream of owned events (e.g. a lazily generated
+    /// [`ChurnStream`](nfv_workload::churn::ChurnStream)) through the exact
+    /// per-event path and closes the run at `horizon`. Given the same
+    /// event sequence this is bit-identical to
+    /// [`run_trace`](Self::run_trace), but the trace never has to exist as
+    /// a `Vec` — million-event replays stay at constant memory.
+    pub fn run_stream<I>(&mut self, events: I, horizon: f64) -> ControllerReport
+    where
+        I: IntoIterator<Item = TimedEvent>,
+    {
+        self.run_stream_traced(events, horizon, &mut Telemetry::disabled())
+    }
+
+    /// [`run_stream`](Self::run_stream) with a telemetry session observing
+    /// every event.
+    pub fn run_stream_traced<I>(
+        &mut self,
+        events: I,
+        horizon: f64,
+        tel: &mut Telemetry,
+    ) -> ControllerReport
+    where
+        I: IntoIterator<Item = TimedEvent>,
+    {
+        for event in events {
+            self.handle_owned_traced(event, tel);
+        }
+        self.finish_traced(horizon, tel);
+        self.report()
+    }
+
+    /// Runs a stream of owned events through the *batched* ingestion path:
+    /// events are drained into a buffer up to and including each
+    /// [`ReoptimizeTick`](ChurnEvent::ReoptimizeTick) and applied in one
+    /// pass over the ledger arenas.
+    ///
+    /// Two deliberate deviations from the exact per-event path, both
+    /// batch-granular (see DESIGN.md "Replay engine"):
+    ///
+    /// - **Coalescing** — an arrival immediately followed by the departure
+    ///   of the same request (a flash request that would be admitted on
+    ///   the plain path and touches nothing in between) is counted as
+    ///   admitted + departed without ever touching the ledger. This is
+    ///   outcome-exact: the ledger's `add` followed by `remove` restores
+    ///   its state bit for bit, so skipping both leaves the identical
+    ///   state. Coalesced pairs emit no per-request journal records.
+    /// - **Batch-granular latency sampling** — the predicted latency is
+    ///   refreshed at batch boundaries (every tick) instead of after every
+    ///   event, so the latency integral holds `L(t)` piecewise-constant
+    ///   per batch and the per-event sample sets collect one sample per
+    ///   batch. Counters, admission decisions and the final ledger state
+    ///   are unaffected.
+    ///
+    /// Returns the final report, exactly like
+    /// [`run_stream`](Self::run_stream).
+    pub fn run_stream_batched<I>(&mut self, events: I, horizon: f64) -> ControllerReport
+    where
+        I: IntoIterator<Item = TimedEvent>,
+    {
+        self.run_stream_batched_traced(events, horizon, &mut Telemetry::disabled())
+    }
+
+    /// [`run_stream_batched`](Self::run_stream_batched) with a telemetry
+    /// session observing the batched replay (tick samples and phase spans;
+    /// coalesced pairs emit no journal records).
+    pub fn run_stream_batched_traced<I>(
+        &mut self,
+        events: I,
+        horizon: f64,
+        tel: &mut Telemetry,
+    ) -> ControllerReport
+    where
+        I: IntoIterator<Item = TimedEvent>,
+    {
+        let mut batch: Vec<TimedEvent> = Vec::new();
+        for event in events {
+            let tick = matches!(event.event(), ChurnEvent::ReoptimizeTick);
+            batch.push(event);
+            if tick {
+                self.apply_batch(&mut batch, tel);
+            }
+        }
+        // Trailing partial batch after the last tick.
+        self.apply_batch(&mut batch, tel);
+        self.finish_traced(horizon, tel);
+        self.report()
+    }
+
+    /// Applies one tick's worth of buffered events in a single pass,
+    /// coalescing adjacent same-request arrival/departure pairs, then
+    /// refreshes the latency at the batch boundary. Leaves the buffer
+    /// empty (capacity retained).
+    fn apply_batch(&mut self, batch: &mut Vec<TimedEvent>, tel: &mut Telemetry) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut events = batch.drain(..).peekable();
+        let mut ended_on_tick = false;
+        while let Some(event) = events.next() {
+            // A flash request: admitted and gone again with no event in
+            // between. Decide admission exactly as the plain path would
+            // (same least-loaded scan, same headroom), but skip the
+            // ledger round-trip — `add` then `remove` is a bit-exact
+            // identity, so not doing either leaves the same state.
+            if let ChurnEvent::Arrival(request) = event.event() {
+                let flash = matches!(
+                    events.peek().map(TimedEvent::event),
+                    Some(ChurnEvent::Departure(id)) if *id == request.id()
+                ) && !self.active.contains_key(request.id())
+                    && self.placement_plan(request).is_some();
+                if flash {
+                    let departure = events.next().expect("peeked");
+                    self.advance_clock(event.time(), tel);
+                    self.advance_clock(departure.time(), tel);
+                    self.counters.admitted += 1;
+                    self.counters.departed += 1;
+                    continue;
+                }
+            }
+            let tick = matches!(event.event(), ChurnEvent::ReoptimizeTick);
+            let (time, event) = event.into_parts();
+            self.advance_clock(time, tel);
+            match event {
+                ChurnEvent::Arrival(request) => {
+                    self.admit_owned(request, tel);
+                }
+                other => {
+                    self.dispatch(&other, tel);
+                }
+            }
+            if tick {
+                ended_on_tick = true;
+                self.post_event(true, tel);
+            }
+        }
+        if !ended_on_tick {
+            // Keep the integral honest across the boundary even when the
+            // batch is the trailing tail without a tick.
+            self.current_latency = self.state.predicted_latency();
+        }
+    }
+
     /// Closes a run at `horizon`: re-offers any retries still due before
     /// it and accounts for the quiet tail between the last event and the
     /// horizon, so the time-weighted mean covers the whole run. Callers
@@ -466,7 +638,7 @@ impl Controller {
                             .expect("placement was validated against the ledger");
                     }
                     let id = request.id();
-                    self.active.insert(id, request);
+                    self.active.insert(request);
                     self.counters.retry_admitted += 1;
                     tel.emit(self.clock, self.counters.ticks, || {
                         EventKind::RetryAdmitted {
@@ -594,13 +766,10 @@ impl Controller {
     }
 
     fn peak_utilization(&self) -> f64 {
-        let mut peak = 0.0f64;
-        for vnf in self.state.vnf_ids().collect::<Vec<_>>() {
-            for k in 0..self.state.instances(vnf) {
-                peak = peak.max(self.state.utilization(vnf, k));
-            }
-        }
-        peak
+        // Delegated to the ledger's alloc-free fleet sweep; `max` over the
+        // per-instance ratios is order-independent, so the value is
+        // unchanged from the old per-VNF loop.
+        self.state.peak_utilization()
     }
 
     /// Admission: pick the least-loaded up instance per chain hop; refuse
@@ -609,13 +778,36 @@ impl Controller {
     /// applied eagerly as hops are scanned and are *not* rolled back if a
     /// later hop still fails — the shed requests are gone either way.
     fn admit(&mut self, request: &Request, tel: &mut Telemetry) -> EventOutcome {
-        if self.active.contains_key(&request.id()) {
+        match self.plan_admission(request, tel) {
+            Ok(placements) => self.commit_admission(request.clone(), placements, tel),
+            Err(outcome) => outcome,
+        }
+    }
+
+    /// [`admit`](Self::admit) without the final clone: the request is moved
+    /// into the active set. Outcome-identical to the borrowing path.
+    fn admit_owned(&mut self, request: Request, tel: &mut Telemetry) -> EventOutcome {
+        match self.plan_admission(&request, tel) {
+            Ok(placements) => self.commit_admission(request, placements, tel),
+            Err(outcome) => outcome,
+        }
+    }
+
+    /// The checking half of admission: one `(vnf, instance)` per chain hop
+    /// on success, the rejection outcome (with its counters, journal
+    /// records, evictions and retry enqueues already applied) on refusal.
+    fn plan_admission(
+        &mut self,
+        request: &Request,
+        tel: &mut Telemetry,
+    ) -> Result<Vec<(VnfId, usize)>, EventOutcome> {
+        if self.active.contains_key(request.id()) {
             self.counters.rejected += 1;
             tel.emit(self.clock, self.counters.ticks, || EventKind::Reject {
                 request: request.id(),
                 cause: "duplicate-id".to_string(),
             });
-            return EventOutcome::Rejected(RejectReason::DuplicateId);
+            return Err(EventOutcome::Rejected(RejectReason::DuplicateId));
         }
         let headroom = self.admission_headroom();
         let mut placements = Vec::with_capacity(request.chain().len());
@@ -626,7 +818,7 @@ impl Controller {
                     request: request.id(),
                     cause: "unknown-vnf".to_string(),
                 });
-                return EventOutcome::Rejected(RejectReason::UnknownVnf { vnf });
+                return Err(EventOutcome::Rejected(RejectReason::UnknownVnf { vnf }));
             }
             let Some(k) = self.state.least_loaded_up(vnf) else {
                 self.counters.rejected += 1;
@@ -635,7 +827,7 @@ impl Controller {
                     cause: "no-instance-up".to_string(),
                 });
                 self.enqueue_retry(request, tel);
-                return EventOutcome::Rejected(RejectReason::NoInstanceUp { vnf });
+                return Err(EventOutcome::Rejected(RejectReason::NoInstanceUp { vnf }));
             };
             if self.state.can_accept_within(
                 vnf,
@@ -659,8 +851,19 @@ impl Controller {
                 cause: "would-overload".to_string(),
             });
             self.enqueue_retry(request, tel);
-            return EventOutcome::Rejected(RejectReason::WouldOverload { vnf });
+            return Err(EventOutcome::Rejected(RejectReason::WouldOverload { vnf }));
         }
+        Ok(placements)
+    }
+
+    /// The mutating half of admission: writes the validated placements
+    /// into the ledger and moves the request into the active set.
+    fn commit_admission(
+        &mut self,
+        request: Request,
+        placements: Vec<(VnfId, usize)>,
+        tel: &mut Telemetry,
+    ) -> EventOutcome {
         for &(vnf, k) in &placements {
             self.state
                 .add_request(
@@ -672,10 +875,11 @@ impl Controller {
                 )
                 .expect("placement was validated against the ledger");
         }
-        self.active.insert(request.id(), request.clone());
+        let id = request.id();
+        self.active.insert(request);
         self.counters.admitted += 1;
         tel.emit(self.clock, self.counters.ticks, || EventKind::Admit {
-            request: request.id(),
+            request: id,
             hops: placements.len() as u64,
         });
         EventOutcome::Admitted { placements }
@@ -685,7 +889,7 @@ impl Controller {
     /// instance per chain hop, under the current admission headroom, with
     /// no eviction fallback. `None` when any hop refuses.
     fn placement_plan(&self, request: &Request) -> Option<Vec<(VnfId, usize)>> {
-        if self.active.contains_key(&request.id()) {
+        if self.active.contains_key(request.id()) {
             return None;
         }
         let headroom = self.admission_headroom();
@@ -736,7 +940,7 @@ impl Controller {
             .state
             .members_of(vnf, k)
             .into_iter()
-            .filter_map(|id| self.active.get(&id))
+            .filter_map(|id| self.active.get(id))
             .map(|r| (r.effective_rate().value(), r.id()))
             // Largest inflated rate wins; id order breaks exact ties
             // deterministically (first max kept).
@@ -764,7 +968,7 @@ impl Controller {
     /// Removes a request from every hop it occupies and from the active
     /// set (an eviction or a failed failover, not a normal departure).
     fn drop_request(&mut self, id: RequestId) {
-        if let Some(request) = self.active.remove(&id) {
+        if let Some(request) = self.active.remove(id) {
             for &vnf in request.chain() {
                 self.state.remove_request(vnf, id);
             }
@@ -772,7 +976,7 @@ impl Controller {
     }
 
     fn depart(&mut self, id: RequestId) -> EventOutcome {
-        let Some(request) = self.active.remove(&id) else {
+        let Some(request) = self.active.remove(id) else {
             return EventOutcome::StaleDeparture;
         };
         for &vnf in request.chain() {
@@ -798,7 +1002,7 @@ impl Controller {
         for id in displaced {
             let request = self
                 .active
-                .get(&id)
+                .get(id)
                 .expect("ledger member is active")
                 .clone();
             self.state.remove_request(vnf, id);
@@ -910,7 +1114,7 @@ impl Controller {
         for id in displaced {
             let request = self
                 .active
-                .get(&id)
+                .get(id)
                 .expect("ledger member is active")
                 .clone();
             self.drop_request(id);
@@ -1116,7 +1320,7 @@ impl Controller {
         while selected.len() < budget && !remaining.is_empty() {
             let mut best: Option<(usize, f64)> = None;
             for (i, &(id, vnf, target)) in remaining.iter().enumerate() {
-                let request = self.active.get(&id).expect("ledger member is active");
+                let request = self.active.get(id).expect("ledger member is active");
                 let (rate, delivery) = (request.arrival_rate(), request.delivery());
                 let origin = preview.remove_request(vnf, id).expect("mover is assigned");
                 preview
@@ -1135,7 +1339,7 @@ impl Controller {
             }
             let Some((i, after)) = best else { break };
             let (id, vnf, target) = remaining.remove(i);
-            let request = self.active.get(&id).expect("ledger member is active");
+            let request = self.active.get(id).expect("ledger member is active");
             preview.remove_request(vnf, id);
             preview
                 .add_request(vnf, target, id, request.arrival_rate(), request.delivery())
@@ -1198,7 +1402,7 @@ impl Controller {
             }
             let rates: Vec<_> = ids
                 .iter()
-                .map(|id| {
+                .map(|&id| {
                     self.active
                         .get(id)
                         .expect("ledger member is active")
@@ -1250,7 +1454,7 @@ impl Controller {
         let (moves, after) = if moves.len() <= reopt.max_migrations {
             let mut preview = self.state.clone();
             for &(id, vnf, target) in &moves {
-                let request = self.active.get(&id).expect("ledger member is active");
+                let request = self.active.get(id).expect("ledger member is active");
                 preview.remove_request(vnf, id);
                 preview
                     .add_request(vnf, target, id, request.arrival_rate(), request.delivery())
@@ -1297,7 +1501,7 @@ impl Controller {
         // no per-move capacity fallback is needed — and none is taken,
         // keeping the live state equal to the preview bit-for-bit.
         for &(id, vnf, target) in &moves {
-            let request = self.active.get(&id).expect("ledger member is active");
+            let request = self.active.get(id).expect("ledger member is active");
             let (rate, delivery) = (request.arrival_rate(), request.delivery());
             self.state.remove_request(vnf, id);
             self.state
@@ -1403,7 +1607,7 @@ impl Controller {
             let mut drained: Vec<RequestId> = Vec::new();
             let mut ok = true;
             for id in preview.members_of(vnf, retiring) {
-                let request = self.active.get(&id).expect("ledger member is active");
+                let request = self.active.get(id).expect("ledger member is active");
                 let (rate, delivery) = (request.arrival_rate(), request.delivery());
                 preview.remove_request(vnf, id);
                 let target = (0..preview.instances(vnf))
@@ -1427,7 +1631,7 @@ impl Controller {
                             .add_request(vnf, retiring, id, rate, delivery)
                             .expect("origin was just vacated");
                         for &did in &drained {
-                            let r = self.active.get(&did).expect("ledger member is active");
+                            let r = self.active.get(did).expect("ledger member is active");
                             preview.remove_request(vnf, did);
                             preview
                                 .add_request(vnf, retiring, did, r.arrival_rate(), r.delivery())

@@ -1,6 +1,12 @@
 //! The live load ledger: who is assigned where, at what rate.
+//!
+//! Storage is struct-of-arrays: VNFs live in a dense slab vector addressed
+//! through a `u32` id→slot table, and each instance's members are a flat
+//! run sorted by request id. The replay hot path (millions of churn events)
+//! never touches a tree node; every lookup is an array index or a binary
+//! search over a contiguous run.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use nfv_model::{ArrivalRate, DeliveryProbability, RequestId, ServiceRate, VnfId};
 use nfv_queueing::InstanceLoad;
@@ -8,9 +14,25 @@ use nfv_workload::Scenario;
 
 use crate::ControllerError;
 
+/// Sentinel in the id→slab table for a VNF the scenario doesn't have.
+const NO_VNF: u32 = u32::MAX;
+
+/// One request's share of an instance: the id-sorted member runs are the
+/// source of truth for the cached sums.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Member {
+    id: RequestId,
+    rate: ArrivalRate,
+    delivery: DeliveryProbability,
+    /// Loss-inflated rate `λ_r/P_r`, precomputed once at insertion so every
+    /// id-order recomputation adds the exact same addends and an add
+    /// followed by a remove restores the sums bit for bit.
+    inflated: f64,
+}
+
 /// Per-VNF slice of the ledger.
-#[derive(Debug, Clone, PartialEq)]
-struct VnfLedger {
+#[derive(Debug, Clone)]
+struct VnfSlab {
     service: ServiceRate,
     /// Outage depth per instance: 0 means up. Overlapping outage windows
     /// stack, so the first `InstanceUp` of two overlapping outages does
@@ -20,20 +42,45 @@ struct VnfLedger {
     /// instance of the VNF is unavailable regardless of its own
     /// per-instance outage depth.
     host_down: bool,
-    /// Members of each instance, keyed by request id. The map (not a
-    /// running sum) is the source of truth: sums are recomputed from it in
-    /// id order on every mutation, so an `add` followed by a `remove`
-    /// restores the previous sums *bit for bit* — a running `+= / -=`
-    /// would not, because float subtraction does not undo addition.
-    members: Vec<BTreeMap<RequestId, (ArrivalRate, DeliveryProbability)>>,
+    /// Members of each instance as a run sorted by request id. The runs
+    /// (not running sums) are the source of truth: sums are recomputed
+    /// from them in id order on every mutation, so an `add` followed by a
+    /// `remove` restores the previous sums *bit for bit* — a running
+    /// `+= / -=` would not, because float subtraction does not undo
+    /// addition.
+    members: Vec<Vec<Member>>,
     /// Cached Kleinrock-merged loss-inflated rate `Λ_k = Σ λ_r/P_r` per
     /// instance, recomputed from `members` after each mutation.
     sums: Vec<f64>,
-    /// Which instance each active request of this VNF sits on.
-    home: BTreeMap<RequestId, usize>,
+    /// Cached external rate `Σ λ_r` per instance, recomputed in the same
+    /// id-order pass as `sums` — exactly the accumulation order of
+    /// [`InstanceLoad::add_request`], so `predicted_latency` can skip the
+    /// per-member walk without perturbing a single bit.
+    ext: Vec<f64>,
+    /// Lazily cached `(flat external, inflated total)` pair for
+    /// [`ControllerState::balanced_latency`]. `None` means dirty; member
+    /// and instance-set mutations invalidate it, up/down transitions do
+    /// not (the up-instance count is always read fresh). The refresh walks
+    /// the runs in canonical `(instance, id)` order, so the cached value is
+    /// always bit-identical to a from-scratch recompute.
+    agg: Cell<Option<(f64, f64)>>,
 }
 
-impl VnfLedger {
+impl PartialEq for VnfSlab {
+    fn eq(&self, other: &Self) -> bool {
+        // The lazy balanced-W aggregate is deliberately excluded: it is a
+        // pure function of the fields below, and whether it is currently
+        // materialized is not part of the ledger's logical state.
+        self.service == other.service
+            && self.down == other.down
+            && self.host_down == other.host_down
+            && self.members == other.members
+            && self.sums == other.sums
+            && self.ext == other.ext
+    }
+}
+
+impl VnfSlab {
     fn instance_up(&self, k: usize) -> bool {
         !self.host_down && self.down.get(k) == Some(&0)
     }
@@ -46,11 +93,48 @@ impl VnfLedger {
         }
     }
 
-    fn recompute_sum(&mut self, k: usize) {
-        self.sums[k] = self.members[k]
-            .values()
-            .map(|(rate, delivery)| rate.inflated_by_loss(*delivery).value())
-            .sum();
+    /// Recomputes the cached per-instance sums from the member run in id
+    /// order — one pass, two independent accumulators, the same addend
+    /// sequence as the `BTreeMap`-era ledger.
+    fn recompute(&mut self, k: usize) {
+        let mut inflated = 0.0;
+        let mut external = 0.0;
+        for member in &self.members[k] {
+            inflated += member.inflated;
+            external += member.rate.value();
+        }
+        self.sums[k] = inflated;
+        self.ext[k] = external;
+        self.agg.set(None);
+    }
+
+    /// Locates a request across this VNF's instances: `(instance, run
+    /// position)`. One binary search per run — the slab keeps no separate
+    /// home map.
+    fn find(&self, id: RequestId) -> Option<(usize, usize)> {
+        self.members.iter().enumerate().find_map(|(k, run)| {
+            run.binary_search_by_key(&id, |m| m.id)
+                .ok()
+                .map(|pos| (k, pos))
+        })
+    }
+
+    /// The balanced-W aggregate `(Σ λ_r, Σ Λ_k)`, refreshed from the runs
+    /// in canonical `(instance, id)` order when dirty.
+    fn balanced_agg(&self) -> (f64, f64) {
+        if let Some(agg) = self.agg.get() {
+            return agg;
+        }
+        let agg = self.balanced_agg_uncached();
+        self.agg.set(Some(agg));
+        agg
+    }
+
+    /// From-scratch balanced-W aggregate, never touching the cache.
+    fn balanced_agg_uncached(&self) -> (f64, f64) {
+        let external: f64 = self.members.iter().flatten().map(|m| m.rate.value()).sum();
+        let inflated: f64 = self.sums.iter().sum();
+        (external, inflated)
     }
 }
 
@@ -75,56 +159,90 @@ impl VnfLedger {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ControllerState {
-    vnfs: BTreeMap<VnfId, VnfLedger>,
+    /// Raw `VnfId` index → dense slab slot (`NO_VNF` for unknown ids).
+    index: Vec<u32>,
+    /// VNF ids in ascending order, parallel to `slabs`.
+    ids: Vec<VnfId>,
+    /// Dense per-VNF slabs, in `ids` order.
+    slabs: Vec<VnfSlab>,
+}
+
+impl PartialEq for ControllerState {
+    fn eq(&self, other: &Self) -> bool {
+        // `index` is derived from `ids`; comparing it again would be
+        // redundant.
+        self.ids == other.ids && self.slabs == other.slabs
+    }
 }
 
 impl ControllerState {
     /// Creates an all-idle, all-up ledger matching a scenario's VNF fleet.
     #[must_use]
     pub fn new(scenario: &Scenario) -> Self {
-        let vnfs = scenario
+        let mut entries: Vec<(VnfId, VnfSlab)> = scenario
             .vnfs()
             .iter()
             .map(|vnf| {
                 let m = vnf.instances() as usize;
                 (
                     vnf.id(),
-                    VnfLedger {
+                    VnfSlab {
                         service: vnf.service_rate(),
                         down: vec![0; m],
                         host_down: false,
-                        members: vec![BTreeMap::new(); m],
+                        members: vec![Vec::new(); m],
                         sums: vec![0.0; m],
-                        home: BTreeMap::new(),
+                        ext: vec![0.0; m],
+                        agg: Cell::new(None),
                     },
                 )
             })
             .collect();
-        Self { vnfs }
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        let table = entries.last().map_or(0, |(id, _)| id.as_usize() + 1);
+        let mut index = vec![NO_VNF; table];
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut slabs = Vec::with_capacity(entries.len());
+        for (id, slab) in entries {
+            index[id.as_usize()] = u32::try_from(ids.len()).expect("fleet fits in u32");
+            ids.push(id);
+            slabs.push(slab);
+        }
+        Self { index, ids, slabs }
     }
 
-    fn ledger(&self, vnf: VnfId) -> Option<&VnfLedger> {
-        self.vnfs.get(&vnf)
+    fn slot(&self, vnf: VnfId) -> Option<usize> {
+        match self.index.get(vnf.as_usize()).copied() {
+            Some(slot) if slot != NO_VNF => Some(slot as usize),
+            _ => None,
+        }
     }
 
-    fn ledger_mut(&mut self, vnf: VnfId) -> Result<&mut VnfLedger, ControllerError> {
-        self.vnfs
-            .get_mut(&vnf)
+    fn slab(&self, vnf: VnfId) -> Option<&VnfSlab> {
+        self.slot(vnf).map(|s| &self.slabs[s])
+    }
+
+    fn slab_mut(&mut self, vnf: VnfId) -> Option<&mut VnfSlab> {
+        self.slot(vnf).map(|s| &mut self.slabs[s])
+    }
+
+    fn slab_or_err(&mut self, vnf: VnfId) -> Result<&mut VnfSlab, ControllerError> {
+        self.slab_mut(vnf)
             .ok_or(ControllerError::UnknownVnf { vnf })
     }
 
     /// Number of instances of a VNF (0 for an unknown VNF).
     #[must_use]
     pub fn instances(&self, vnf: VnfId) -> usize {
-        self.ledger(vnf).map_or(0, |l| l.sums.len())
+        self.slab(vnf).map_or(0, |l| l.sums.len())
     }
 
     /// The VNF's service rate `μ_f`, if the VNF exists.
     #[must_use]
     pub fn service_rate(&self, vnf: VnfId) -> Option<ServiceRate> {
-        self.ledger(vnf).map(|l| l.service)
+        self.slab(vnf).map(|l| l.service)
     }
 
     /// Whether an instance is currently up: its own outage depth is zero
@@ -132,7 +250,7 @@ impl ControllerState {
     /// service.
     #[must_use]
     pub fn is_up(&self, vnf: VnfId, instance: usize) -> bool {
-        self.ledger(vnf).is_some_and(|l| l.instance_up(instance))
+        self.slab(vnf).is_some_and(|l| l.instance_up(instance))
     }
 
     /// Marks an instance up or down — a convenience wrapper over
@@ -151,11 +269,7 @@ impl ControllerState {
     /// Returns `false` — and changes nothing — when the coordinates don't
     /// name a live instance, so the caller can count the event as stale.
     pub fn mark_down(&mut self, vnf: VnfId, instance: usize) -> bool {
-        let Some(depth) = self
-            .vnfs
-            .get_mut(&vnf)
-            .and_then(|l| l.down.get_mut(instance))
-        else {
+        let Some(depth) = self.slab_mut(vnf).and_then(|l| l.down.get_mut(instance)) else {
             return false;
         };
         *depth += 1;
@@ -168,11 +282,7 @@ impl ControllerState {
     /// (a stale recovery for an instance that was re-placed away, or a
     /// duplicate `InstanceUp`).
     pub fn mark_up(&mut self, vnf: VnfId, instance: usize) -> bool {
-        let Some(depth) = self
-            .vnfs
-            .get_mut(&vnf)
-            .and_then(|l| l.down.get_mut(instance))
-        else {
+        let Some(depth) = self.slab_mut(vnf).and_then(|l| l.down.get_mut(instance)) else {
             return false;
         };
         if *depth == 0 {
@@ -185,7 +295,7 @@ impl ControllerState {
     /// Current outage depth of an instance (0 when up or unknown).
     #[must_use]
     pub fn outage_depth(&self, vnf: VnfId, instance: usize) -> u32 {
-        self.ledger(vnf)
+        self.slab(vnf)
             .and_then(|l| l.down.get(instance))
             .copied()
             .unwrap_or(0)
@@ -194,28 +304,28 @@ impl ControllerState {
     /// Sets or clears whole-VNF unavailability (the hosting node went dark
     /// or returned). Unknown VNFs are ignored.
     pub fn set_host_down(&mut self, vnf: VnfId, down: bool) {
-        if let Some(ledger) = self.vnfs.get_mut(&vnf) {
-            ledger.host_down = down;
+        if let Some(slab) = self.slab_mut(vnf) {
+            slab.host_down = down;
         }
     }
 
     /// Whether the VNF's hosting node is currently marked dark.
     #[must_use]
     pub fn host_down(&self, vnf: VnfId) -> bool {
-        self.ledger(vnf).is_some_and(|l| l.host_down)
+        self.slab(vnf).is_some_and(|l| l.host_down)
     }
 
     /// Whether every VNF has at least one up instance — the availability
     /// predicate the resilience experiments track over time.
     #[must_use]
     pub fn fully_available(&self) -> bool {
-        self.vnfs.values().all(|l| l.up_instances() > 0)
+        self.slabs.iter().all(|l| l.up_instances() > 0)
     }
 
     /// Merged loss-inflated rate `Λ_k^f` of one instance.
     #[must_use]
     pub fn instance_sum(&self, vnf: VnfId, instance: usize) -> f64 {
-        self.ledger(vnf)
+        self.slab(vnf)
             .and_then(|l| l.sums.get(instance))
             .copied()
             .unwrap_or(0.0)
@@ -224,7 +334,7 @@ impl ControllerState {
     /// All per-instance merged rates of one VNF.
     #[must_use]
     pub fn sums(&self, vnf: VnfId) -> &[f64] {
-        self.ledger(vnf).map_or(&[], |l| &l.sums)
+        self.slab(vnf).map_or(&[], |l| &l.sums)
     }
 
     /// The *up* instance with the smallest merged rate (lowest index on
@@ -232,12 +342,11 @@ impl ControllerState {
     /// `None` if every instance is down or the VNF is unknown.
     #[must_use]
     pub fn least_loaded_up(&self, vnf: VnfId) -> Option<usize> {
-        let ledger = self.ledger(vnf)?;
-        ledger
-            .sums
+        let slab = self.slab(vnf)?;
+        slab.sums
             .iter()
             .enumerate()
-            .filter(|&(k, _)| ledger.instance_up(k))
+            .filter(|&(k, _)| slab.instance_up(k))
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sums are finite"))
             .map(|(k, _)| k)
     }
@@ -269,14 +378,14 @@ impl ControllerState {
         delivery: DeliveryProbability,
         headroom: f64,
     ) -> bool {
-        let Some(ledger) = self.ledger(vnf) else {
+        let Some(slab) = self.slab(vnf) else {
             return false;
         };
-        if !ledger.instance_up(instance) {
+        if !slab.instance_up(instance) {
             return false;
         }
-        ledger.sums[instance] + rate.inflated_by_loss(delivery).value()
-            < headroom * ledger.service.value()
+        slab.sums[instance] + rate.inflated_by_loss(delivery).value()
+            < headroom * slab.service.value()
     }
 
     /// Assigns a request to an instance.
@@ -294,67 +403,81 @@ impl ControllerState {
         rate: ArrivalRate,
         delivery: DeliveryProbability,
     ) -> Result<(), ControllerError> {
-        let ledger = self.ledger_mut(vnf)?;
-        if instance >= ledger.members.len() {
+        let slab = self.slab_or_err(vnf)?;
+        if instance >= slab.members.len() {
             return Err(ControllerError::NoSuchInstance { vnf, instance });
         }
-        if ledger.home.contains_key(&id) {
+        if slab.find(id).is_some() {
             return Err(ControllerError::DuplicateAssignment { vnf, request: id });
         }
-        ledger.members[instance].insert(id, (rate, delivery));
-        ledger.home.insert(id, instance);
-        ledger.recompute_sum(instance);
+        let pos = slab.members[instance]
+            .binary_search_by_key(&id, |m| m.id)
+            .expect_err("not a duplicate");
+        slab.members[instance].insert(
+            pos,
+            Member {
+                id,
+                rate,
+                delivery,
+                inflated: rate.inflated_by_loss(delivery).value(),
+            },
+        );
+        slab.recompute(instance);
         Ok(())
     }
 
     /// Removes a request from whatever instance of `vnf` holds it,
     /// returning that instance, or `None` if the request is not assigned.
     pub fn remove_request(&mut self, vnf: VnfId, id: RequestId) -> Option<usize> {
-        let ledger = self.vnfs.get_mut(&vnf)?;
-        let instance = ledger.home.remove(&id)?;
-        ledger.members[instance].remove(&id);
-        ledger.recompute_sum(instance);
+        let slab = self.slab_mut(vnf)?;
+        let (instance, pos) = slab.find(id)?;
+        slab.members[instance].remove(pos);
+        slab.recompute(instance);
         Some(instance)
     }
 
     /// The instance of `vnf` currently serving `id`.
     #[must_use]
     pub fn home_of(&self, vnf: VnfId, id: RequestId) -> Option<usize> {
-        self.ledger(vnf).and_then(|l| l.home.get(&id)).copied()
+        self.slab(vnf).and_then(|l| l.find(id)).map(|(k, _)| k)
     }
 
     /// Ids of every request assigned to any instance of `vnf`, ascending.
     #[must_use]
     pub fn active_ids(&self, vnf: VnfId) -> Vec<RequestId> {
-        self.ledger(vnf)
-            .map_or_else(Vec::new, |l| l.home.keys().copied().collect())
+        let Some(slab) = self.slab(vnf) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<RequestId> = slab.members.iter().flatten().map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Ids of the requests on one instance, ascending.
     #[must_use]
     pub fn members_of(&self, vnf: VnfId, instance: usize) -> Vec<RequestId> {
-        self.ledger(vnf)
+        self.slab(vnf)
             .and_then(|l| l.members.get(instance))
-            .map_or_else(Vec::new, |m| m.keys().copied().collect())
+            .map_or_else(Vec::new, |run| run.iter().map(|m| m.id).collect())
     }
 
     /// Number of requests on one instance.
     #[must_use]
     pub fn member_count(&self, vnf: VnfId, instance: usize) -> usize {
-        self.ledger(vnf)
+        self.slab(vnf)
             .and_then(|l| l.members.get(instance))
-            .map_or(0, BTreeMap::len)
+            .map_or(0, Vec::len)
     }
 
     /// Reconstructs the queueing-theoretic [`InstanceLoad`] of an instance
     /// by merging its members in id order.
     #[must_use]
     pub fn instance_load(&self, vnf: VnfId, instance: usize) -> Option<InstanceLoad> {
-        let ledger = self.ledger(vnf)?;
-        let members = ledger.members.get(instance)?;
-        let mut load = InstanceLoad::new(ledger.service);
-        for (rate, delivery) in members.values() {
-            load.add_request(*rate, *delivery);
+        let slab = self.slab(vnf)?;
+        let run = slab.members.get(instance)?;
+        let mut load = InstanceLoad::new(slab.service);
+        for member in run {
+            load.add_request(member.rate, member.delivery);
         }
         Some(load)
     }
@@ -362,20 +485,35 @@ impl ControllerState {
     /// Utilization `ρ = Λ/μ` of one instance.
     #[must_use]
     pub fn utilization(&self, vnf: VnfId, instance: usize) -> f64 {
-        self.ledger(vnf)
+        self.slab(vnf)
             .map_or(0.0, |l| l.sums[instance] / l.service.value())
+    }
+
+    /// The highest per-instance utilization `ρ = Λ_k/μ_f` across the whole
+    /// fleet — alloc-free, and order-independent because `max` over
+    /// non-negative finite ratios does not depend on visit order.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        let mut peak = 0.0_f64;
+        for slab in &self.slabs {
+            let mu = slab.service.value();
+            for &sum in &slab.sums {
+                peak = peak.max(sum / mu);
+            }
+        }
+        peak
     }
 
     /// Iterates over the VNF ids in ascending order.
     pub fn vnf_ids(&self) -> impl Iterator<Item = VnfId> + '_ {
-        self.vnfs.keys().copied()
+        self.ids.iter().copied()
     }
 
     /// Number of *up* instances of a VNF (0 for an unknown VNF or one
     /// whose hosting node is dark).
     #[must_use]
     pub fn up_count(&self, vnf: VnfId) -> usize {
-        self.ledger(vnf).map_or(0, VnfLedger::up_instances)
+        self.slab(vnf).map_or(0, VnfSlab::up_instances)
     }
 
     /// Total Kleinrock-merged loss-inflated rate `Λ_f = Σ_k Λ_k^f` over
@@ -383,7 +521,7 @@ impl ControllerState {
     /// index order, so the value is bit-stable across clones.
     #[must_use]
     pub fn total_sum(&self, vnf: VnfId) -> f64 {
-        self.ledger(vnf).map_or(0.0, |l| l.sums.iter().sum())
+        self.slab(vnf).map_or(0.0, |l| l.sums.iter().sum())
     }
 
     /// Appends a fresh, empty, up instance to a VNF (a scale-out step of
@@ -395,11 +533,13 @@ impl ControllerState {
     ///
     /// [`ControllerError::UnknownVnf`] if the VNF does not exist.
     pub fn add_instance(&mut self, vnf: VnfId) -> Result<usize, ControllerError> {
-        let ledger = self.ledger_mut(vnf)?;
-        ledger.down.push(0);
-        ledger.members.push(BTreeMap::new());
-        ledger.sums.push(0.0);
-        Ok(ledger.sums.len() - 1)
+        let slab = self.slab_or_err(vnf)?;
+        slab.down.push(0);
+        slab.members.push(Vec::new());
+        slab.sums.push(0.0);
+        slab.ext.push(0.0);
+        slab.agg.set(None);
+        Ok(slab.sums.len() - 1)
     }
 
     /// Removes the *last* instance of a VNF (a scale-in step; only the
@@ -414,20 +554,22 @@ impl ControllerState {
     /// [`ControllerError::InstanceOccupied`] when requests still sit on the
     /// last instance.
     pub fn retire_instance(&mut self, vnf: VnfId) -> Result<usize, ControllerError> {
-        let ledger = self.ledger_mut(vnf)?;
-        if ledger.sums.len() <= 1 {
+        let slab = self.slab_or_err(vnf)?;
+        if slab.sums.len() <= 1 {
             return Err(ControllerError::LastInstance { vnf });
         }
-        let last = ledger.sums.len() - 1;
-        if !ledger.members[last].is_empty() {
+        let last = slab.sums.len() - 1;
+        if !slab.members[last].is_empty() {
             return Err(ControllerError::InstanceOccupied {
                 vnf,
                 instance: last,
             });
         }
-        ledger.down.pop();
-        ledger.members.pop();
-        ledger.sums.pop();
+        slab.down.pop();
+        slab.members.pop();
+        slab.sums.pop();
+        slab.ext.pop();
+        slab.agg.set(None);
         Ok(last)
     }
 
@@ -446,27 +588,41 @@ impl ControllerState {
     /// systems report 0; a VNF with live load and no up instance (or
     /// `ρ ≥ 1`, impossible under strict admission) reports infinity.
     ///
+    /// The per-VNF `(λ_ext, Λ)` pair is maintained incrementally: member
+    /// mutations mark the owning VNF dirty and the next probe refreshes
+    /// only dirty VNFs, in the same canonical `(instance, id)` order as a
+    /// full recompute — so repeated hysteresis probes inside a tick cost
+    /// `O(changed VNFs)` yet stay bit-identical to
+    /// [`balanced_latency_from_scratch`](Self::balanced_latency_from_scratch).
+    ///
     /// [`predicted_latency`]: Self::predicted_latency
     #[must_use]
     pub fn balanced_latency(&self) -> f64 {
+        self.balanced_latency_with(VnfSlab::balanced_agg)
+    }
+
+    /// [`balanced_latency`](Self::balanced_latency) recomputed from the
+    /// member runs alone, bypassing the incremental per-VNF aggregate —
+    /// the reference oracle the equivalence property tests compare
+    /// against.
+    #[must_use]
+    pub fn balanced_latency_from_scratch(&self) -> f64 {
+        self.balanced_latency_with(VnfSlab::balanced_agg_uncached)
+    }
+
+    fn balanced_latency_with(&self, agg: impl Fn(&VnfSlab) -> (f64, f64)) -> f64 {
         let mut packets = 0.0;
         let mut total_external = 0.0;
-        for ledger in self.vnfs.values() {
-            let external: f64 = ledger
-                .members
-                .iter()
-                .flat_map(BTreeMap::values)
-                .map(|(rate, _)| rate.value())
-                .sum();
+        for slab in &self.slabs {
+            let (external, inflated) = agg(slab);
             if external == 0.0 {
                 continue;
             }
-            let m = ledger.up_instances();
+            let m = slab.up_instances();
             if m == 0 {
                 return f64::INFINITY;
             }
-            let inflated: f64 = ledger.sums.iter().sum();
-            let rho = inflated / (m as f64 * ledger.service.value());
+            let rho = inflated / (m as f64 * slab.service.value());
             if rho >= 1.0 {
                 return f64::INFINITY;
             }
@@ -486,23 +642,39 @@ impl ControllerState {
     /// per-hop-summed latency of a random in-flight packet. Idle systems
     /// report 0; an unstable instance (impossible under strict admission)
     /// reports infinity.
+    ///
+    /// Runs in `O(instances)` off the cached `(Λ_k, λ_ext_k)` pairs; the
+    /// arithmetic below replays [`InstanceLoad::mean_delivery_response_time`]
+    /// (stability domain check, idle-instance service time, `ρ/(1−ρ)`
+    /// divided by the external rate) operation for operation, so the value
+    /// is bit-identical to rebuilding every instance's load from its
+    /// members.
     #[must_use]
     pub fn predicted_latency(&self) -> f64 {
         let mut weighted = 0.0;
         let mut total_external = 0.0;
-        for (&vnf, ledger) in &self.vnfs {
-            for k in 0..ledger.sums.len() {
-                let load = self.instance_load(vnf, k).expect("instance exists");
-                if load.request_count() == 0 {
+        for slab in &self.slabs {
+            let mu = slab.service.value();
+            for k in 0..slab.sums.len() {
+                if slab.members[k].is_empty() {
                     continue;
                 }
-                match load.mean_delivery_response_time() {
-                    Ok(w) => {
-                        weighted += load.external_arrival_rate() * w;
-                        total_external += load.external_arrival_rate();
-                    }
-                    Err(_) => return f64::INFINITY,
+                let lambda = slab.sums[k];
+                // Mm1Queue::new's stability domain: a merged rate outside it
+                // makes mean_delivery_response_time error, which the old
+                // per-member walk mapped to infinity.
+                if !(lambda.is_finite() && lambda >= 0.0 && lambda < mu) {
+                    return f64::INFINITY;
                 }
+                let ext = slab.ext[k];
+                let w = if ext == 0.0 {
+                    slab.service.mean_service_time()
+                } else {
+                    let rho = lambda / mu;
+                    (rho / (1.0 - rho)) / ext
+                };
+                weighted += ext * w;
+                total_external += ext;
             }
         }
         if total_external == 0.0 {
@@ -865,5 +1037,48 @@ mod tests {
                 .unwrap();
         }
         assert!(state.predicted_latency() > 0.0);
+    }
+
+    #[test]
+    fn cached_balanced_latency_matches_from_scratch_recompute() {
+        let (scenario, mut state) = state();
+        for request in &scenario.requests()[..12] {
+            for &vnf in request.chain() {
+                let k = state.least_loaded_up(vnf).unwrap();
+                state
+                    .add_request(
+                        vnf,
+                        k,
+                        request.id(),
+                        request.arrival_rate(),
+                        request.delivery(),
+                    )
+                    .unwrap();
+            }
+        }
+        let vnf = scenario.vnfs()[0].id();
+        // Warm the cache, mutate, probe again: the incremental aggregate
+        // must track the oracle bit for bit through every step.
+        assert_eq!(
+            state.balanced_latency().to_bits(),
+            state.balanced_latency_from_scratch().to_bits()
+        );
+        state.mark_down(vnf, 0);
+        assert_eq!(
+            state.balanced_latency().to_bits(),
+            state.balanced_latency_from_scratch().to_bits()
+        );
+        state.mark_up(vnf, 0);
+        let extra = &scenario.requests()[20];
+        for &v in extra.chain() {
+            let k = state.least_loaded_up(v).unwrap();
+            state
+                .add_request(v, k, extra.id(), extra.arrival_rate(), extra.delivery())
+                .unwrap();
+            assert_eq!(
+                state.balanced_latency().to_bits(),
+                state.balanced_latency_from_scratch().to_bits()
+            );
+        }
     }
 }

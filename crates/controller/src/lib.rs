@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 mod config;
 mod controller;
 mod error;

@@ -337,6 +337,14 @@ proptest! {
                     undo.push(Undo::Retire(vnf));
                 }
             }
+            // The incrementally maintained balanced-latency aggregate must
+            // track every mutation bit for bit against the from-scratch
+            // oracle (the hysteresis probes compare raw floats, so "close"
+            // is not good enough).
+            prop_assert_eq!(
+                state.balanced_latency().to_bits(),
+                state.balanced_latency_from_scratch().to_bits()
+            );
         }
         for op in undo.into_iter().rev() {
             match op {
@@ -353,6 +361,10 @@ proptest! {
                 }
             }
         }
+        prop_assert_eq!(
+            state.balanced_latency().to_bits(),
+            state.balanced_latency_from_scratch().to_bits()
+        );
         prop_assert_eq!(state, before);
     }
 }

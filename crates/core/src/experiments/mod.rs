@@ -21,7 +21,10 @@
 //! * [`anytime`] — the metaheuristic placement searchers (`nfv-search`,
 //!   GA + PSO): solution quality as a function of generations spent
 //!   against the greedy placers and the exact oracle, plus the
-//!   controller's background-refiner replay.
+//!   controller's background-refiner replay;
+//! * [`replay`] — ingestion throughput: a streamed million-event churn
+//!   trace through the controller's exact and batched replay paths,
+//!   scored in events per wall-clock second.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
@@ -32,6 +35,7 @@ pub mod anytime;
 pub mod churn;
 pub mod joint;
 pub mod placement;
+pub mod replay;
 pub mod resilience;
 pub mod scheduling;
 pub mod validation;

@@ -1,0 +1,254 @@
+//! Replay-throughput experiment: how many trace events per second the
+//! online control plane can ingest.
+//!
+//! The other experiments ask what the controller *decides*; this one asks
+//! how fast it can decide it. A high-rate churn trace — a million-plus
+//! events at the [`ReplayPoint::million`] configuration — is generated as
+//! a [`ChurnStream`](nfv_workload::churn::ChurnStream) (never materialized
+//! as a `Vec`) and pushed through two ingestion paths:
+//!
+//! * **streamed** — [`Controller::run_stream`], the exact per-event path:
+//!   bit-identical decisions and samples to a materialized
+//!   [`run_trace`](Controller::run_trace) replay;
+//! * **batched** — [`Controller::run_stream_batched`], which drains one
+//!   tick's worth of events at a time, coalesces flash
+//!   arrival/departure pairs without touching the ledger, and samples the
+//!   predicted latency at batch granularity. Admission decisions and the
+//!   final ledger state are identical to the streamed path; only the
+//!   latency *sampling* is coarser.
+//!
+//! Timings include stream generation: the replay engine's unit of work is
+//! "trace in, report out", and the trace is generated on the fly.
+
+use std::time::Instant;
+
+use nfv_controller::{Controller, ControllerConfig, ControllerReport};
+use nfv_workload::churn::ChurnTraceBuilder;
+use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Parameters of one replay-throughput run.
+///
+/// The churn dynamics are deliberately fast-twitch: a high arrival rate
+/// with a short mean holding time keeps the *concurrent* population (and
+/// so the per-instance member runs the ledger walks on every mutation)
+/// moderate while the event count scales with `arrival_rate × horizon`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayPoint {
+    /// Number of VNF types in the scenario.
+    pub vnfs: usize,
+    /// Base request population present at `t = 0`.
+    pub base_requests: usize,
+    /// Utilization the base population alone would induce; kept low so
+    /// the churn load on top still admits.
+    pub target_utilization: f64,
+    /// Virtual-time horizon of the trace, seconds.
+    pub horizon: f64,
+    /// Poisson rate of churn arrivals, requests per second.
+    pub arrival_rate: f64,
+    /// Mean exponential holding time of every request, seconds.
+    pub mean_holding: f64,
+    /// Re-optimization tick period — the batched path's batch boundary.
+    pub tick_period: f64,
+}
+
+impl ReplayPoint {
+    /// The headline configuration: ~1.04 million events (520k arrivals,
+    /// their departures, the base population and 200 ticks) over 200
+    /// virtual seconds, with a mean concurrent churn population of
+    /// `arrival_rate × mean_holding ≈ 52` requests on top of the 60 base
+    /// requests.
+    #[must_use]
+    pub fn million() -> Self {
+        Self {
+            vnfs: 6,
+            base_requests: 60,
+            target_utilization: 0.4,
+            horizon: 200.0,
+            arrival_rate: 2600.0,
+            mean_holding: 0.02,
+            tick_period: 1.0,
+        }
+    }
+
+    /// A scaled-down point (~8k events) for tests and smoke benches: same
+    /// dynamics, two hundredths the horizon-rate product.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            horizon: 20.0,
+            arrival_rate: 200.0,
+            mean_holding: 0.1,
+            ..Self::million()
+        }
+    }
+}
+
+/// Builds the scenario and the (lazy) trace builder for a point. The
+/// builder is returned rather than a trace so callers choose between
+/// [`ChurnTraceBuilder::stream`] and [`ChurnTraceBuilder::build`].
+pub fn setup(point: &ReplayPoint, seed: u64) -> Result<(Scenario, ChurnTraceBuilder), CoreError> {
+    let scenario = ScenarioBuilder::new()
+        .vnfs(point.vnfs)
+        .requests(point.base_requests)
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: point.target_utilization,
+        })
+        .seed(seed)
+        .build()?;
+    let builder = ChurnTraceBuilder::new()
+        .horizon(point.horizon)
+        .arrival_rate(point.arrival_rate)
+        .mean_holding(point.mean_holding)
+        .tick_period(point.tick_period)
+        .seed(seed.wrapping_add(1));
+    Ok((scenario, builder))
+}
+
+/// Measured throughput of both ingestion paths over one point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayThroughput {
+    /// Total events in the streamed trace.
+    pub events: u64,
+    /// Virtual-time horizon of the trace, seconds.
+    pub horizon: f64,
+    /// Fastest wall-clock replay through the exact per-event path
+    /// (stream generation included), seconds.
+    pub streamed_seconds: f64,
+    /// Fastest wall-clock replay through the batched path, seconds.
+    pub batched_seconds: f64,
+    /// Requests admitted by the batched replay — evidence the replay is
+    /// doing admission work, not just draining a rejected stream.
+    pub admitted: u64,
+    /// Requests rejected by the batched replay.
+    pub rejected: u64,
+}
+
+impl ReplayThroughput {
+    /// Events per wall-clock second through the exact per-event path.
+    #[must_use]
+    pub fn streamed_events_per_second(&self) -> f64 {
+        self.events as f64 / self.streamed_seconds
+    }
+
+    /// Events per wall-clock second through the batched path — the
+    /// headline replay-engine figure.
+    #[must_use]
+    pub fn events_per_second(&self) -> f64 {
+        self.events as f64 / self.batched_seconds
+    }
+}
+
+/// Replays the point's streamed trace `runs` times through each ingestion
+/// path (single-threaded; minima, not means) and returns the throughput.
+///
+/// # Errors
+///
+/// Propagates scenario/trace construction errors.
+pub fn measure(point: &ReplayPoint, seed: u64, runs: u32) -> Result<ReplayThroughput, CoreError> {
+    let (scenario, builder) = setup(point, seed)?;
+    let events = builder.stream(&scenario)?.count() as u64;
+    let mut streamed_seconds = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let mut controller = Controller::new(&scenario, ControllerConfig::online_only());
+        let started = Instant::now();
+        let stream = builder.stream(&scenario)?;
+        let _ = controller.run_stream(stream, point.horizon);
+        streamed_seconds = streamed_seconds.min(started.elapsed().as_secs_f64());
+    }
+    let mut batched_seconds = f64::INFINITY;
+    let mut batched_report = None;
+    for _ in 0..runs.max(1) {
+        let mut controller = Controller::new(&scenario, ControllerConfig::online_only());
+        let started = Instant::now();
+        let stream = builder.stream(&scenario)?;
+        let report = controller.run_stream_batched(stream, point.horizon);
+        batched_seconds = batched_seconds.min(started.elapsed().as_secs_f64());
+        batched_report = Some(report);
+    }
+    let report = batched_report.expect("at least one batched run");
+    Ok(ReplayThroughput {
+        events,
+        horizon: point.horizon,
+        streamed_seconds,
+        batched_seconds,
+        admitted: report.admitted,
+        rejected: report.rejected,
+    })
+}
+
+/// Replays the point's trace through both paths once and returns
+/// `(streamed, batched)` reports — the equivalence surface the tests and
+/// the CI gate check.
+///
+/// # Errors
+///
+/// Propagates scenario/trace construction errors.
+pub fn replay_reports(
+    point: &ReplayPoint,
+    seed: u64,
+) -> Result<(ControllerReport, ControllerReport), CoreError> {
+    let (scenario, builder) = setup(point, seed)?;
+    let mut streamed = Controller::new(&scenario, ControllerConfig::online_only());
+    let streamed_report = streamed.run_stream(builder.stream(&scenario)?, point.horizon);
+    let mut batched = Controller::new(&scenario, ControllerConfig::online_only());
+    let batched_report = batched.run_stream_batched(builder.stream(&scenario)?, point.horizon);
+    Ok((streamed_report, batched_report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_replay_is_bit_identical_to_materialized_replay() {
+        let point = ReplayPoint::smoke();
+        let (scenario, builder) = setup(&point, 7).unwrap();
+        let trace = builder.build(&scenario).unwrap();
+        let mut materialized = Controller::new(&scenario, ControllerConfig::online_only());
+        let from_trace = materialized.run_trace(&trace);
+        let mut streamed = Controller::new(&scenario, ControllerConfig::online_only());
+        let from_stream = streamed.run_stream(builder.stream(&scenario).unwrap(), point.horizon);
+        assert_eq!(from_trace, from_stream);
+    }
+
+    #[test]
+    fn batched_replay_preserves_every_decision() {
+        let (streamed, batched) = replay_reports(&ReplayPoint::smoke(), 7).unwrap();
+        // Decisions and ledger-state outcomes are exact; only latency
+        // sampling is batch-granular.
+        assert_eq!(streamed.admitted, batched.admitted);
+        assert_eq!(streamed.rejected, batched.rejected);
+        assert_eq!(streamed.departed, batched.departed);
+        assert_eq!(streamed.shed, batched.shed);
+        assert_eq!(streamed.ticks, batched.ticks);
+        assert_eq!(streamed.active, batched.active);
+        assert_eq!(streamed.current_latency, batched.current_latency);
+        assert!(streamed.admitted > 1_000, "the smoke point must admit");
+    }
+
+    #[test]
+    fn measure_reports_consistent_throughput() {
+        let point = ReplayPoint::smoke();
+        let throughput = measure(&point, 7, 1).unwrap();
+        assert!(throughput.events > 5_000, "smoke point is ~8k events");
+        assert!(throughput.streamed_seconds > 0.0);
+        assert!(throughput.batched_seconds > 0.0);
+        assert!(throughput.events_per_second() > 0.0);
+        assert!(throughput.admitted > 0);
+    }
+
+    #[test]
+    fn million_point_streams_at_least_a_million_events() {
+        // Count only — no replay — so the tier-1 suite stays fast. The
+        // stream never materializes, so this is cheap in memory too.
+        let (scenario, builder) = setup(&ReplayPoint::million(), 42).unwrap();
+        let events = builder.stream(&scenario).unwrap().count();
+        assert!(
+            events >= 1_000_000,
+            "headline point must stream ≥1M events, got {events}"
+        );
+    }
+}

@@ -13,6 +13,9 @@
 //! at `t = 0` in id order, which lets a consumer warm up to exactly the
 //! offline problem before churn starts.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use nfv_model::{NodeId, Request, RequestId, VnfId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,6 +85,14 @@ impl TimedEvent {
     #[must_use]
     pub fn event(&self) -> &ChurnEvent {
         &self.event
+    }
+
+    /// Decomposes into `(time, event)`, consuming the wrapper — the owned
+    /// path replay engines use to move an arrival's request into the
+    /// controller without cloning it.
+    #[must_use]
+    pub fn into_parts(self) -> (f64, ChurnEvent) {
+        (self.time, self.event)
     }
 }
 
@@ -433,6 +444,165 @@ impl ChurnTraceBuilder {
         })
     }
 
+    /// Generates the trace as a lazy stream instead of a materialized
+    /// `Vec`: the event sequence is *identical* to
+    /// [`build`](Self::build)'s — bit for bit, including every RNG draw —
+    /// but only the sparse streams (base population, instance and node
+    /// outages, ticks) are held in memory up front. Churn arrivals are
+    /// re-derived on demand from a second same-seed RNG and their
+    /// departures wait in a small heap of in-flight requests, so a
+    /// million-event trace streams at `O(base + sparse + in-flight)`
+    /// memory rather than `O(events)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] exactly as
+    /// [`build`](Self::build) would.
+    pub fn stream<'a>(&self, scenario: &'a Scenario) -> Result<ChurnStream<'a>, WorkloadError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut fixed: Vec<(f64, usize, ChurnEvent)> = Vec::new();
+        let mut seq = 0usize;
+
+        // Base population, materialized (O(scenario requests), tiny next
+        // to the churn stream): same draws, same seqs as `build`.
+        for request in scenario.requests() {
+            fixed.push((0.0, seq, ChurnEvent::Arrival(request.clone())));
+            seq += 1;
+            if let Some(mean) = self.mean_holding {
+                let holding = sample_exp(&mut rng, 1.0 / mean);
+                if holding < self.horizon {
+                    fixed.push((holding, seq, ChurnEvent::Departure(request.id())));
+                    seq += 1;
+                }
+            }
+        }
+
+        // Snapshot the RNG at the head of the churn phase, then advance
+        // the primary RNG through the phase drawing exactly what `build`
+        // draws — counting sequence numbers without materializing events,
+        // so the streams drawn *after* churn land on their exact seqs.
+        // Note a horizon-clipped departure consumes a draw but no seq.
+        let mut churn_rng = rng.clone();
+        let churn_seq = seq;
+        if self.arrival_rate > 0.0 {
+            let mut t = sample_exp(&mut rng, self.arrival_rate);
+            while t < self.horizon {
+                let _ = rng.gen_range(0..scenario.requests().len());
+                seq += 1;
+                if let Some(mean) = self.mean_holding {
+                    let departs = t + sample_exp(&mut rng, 1.0 / mean);
+                    if departs < self.horizon {
+                        seq += 1;
+                    }
+                }
+                t += sample_exp(&mut rng, self.arrival_rate);
+            }
+        }
+        // Re-draw the first inter-arrival gap on the lazy RNG so it sits
+        // exactly where `build`'s loop would be after its own first draw.
+        let pending_arrival = if self.arrival_rate > 0.0 {
+            let t = sample_exp(&mut churn_rng, self.arrival_rate);
+            (t < self.horizon).then_some(t)
+        } else {
+            None
+        };
+
+        // Instance outages, materialized (sparse).
+        if self.outage_rate > 0.0 {
+            let mut t = sample_exp(&mut rng, self.outage_rate);
+            while t < self.horizon {
+                let vnf = &scenario.vnfs()[rng.gen_range(0..scenario.vnfs().len())];
+                let instance = rng.gen_range(0..vnf.instances() as usize);
+                fixed.push((
+                    t,
+                    seq,
+                    ChurnEvent::InstanceDown {
+                        vnf: vnf.id(),
+                        instance,
+                    },
+                ));
+                seq += 1;
+                let back = t + sample_exp(&mut rng, 1.0 / self.mean_outage);
+                if back < self.horizon {
+                    fixed.push((
+                        back,
+                        seq,
+                        ChurnEvent::InstanceUp {
+                            vnf: vnf.id(),
+                            instance,
+                        },
+                    ));
+                    seq += 1;
+                }
+                t += sample_exp(&mut rng, self.outage_rate);
+            }
+        }
+
+        // Node outages per fault group, materialized (sparse).
+        if let Some(mtbf) = self.node_mtbf {
+            if self.node_fleet > 0 {
+                let rack = self.rack_size.max(1);
+                for first in (0..self.node_fleet).step_by(rack) {
+                    let members: Vec<NodeId> = (first..(first + rack).min(self.node_fleet))
+                        .map(|n| NodeId::new(n as u32))
+                        .collect();
+                    let mut t = sample_exp(&mut rng, 1.0 / mtbf);
+                    while t < self.horizon {
+                        for &node in &members {
+                            fixed.push((t, seq, ChurnEvent::NodeDown { node }));
+                            seq += 1;
+                        }
+                        let back = t + sample_exp(&mut rng, 1.0 / self.node_mttr);
+                        if back < self.horizon {
+                            for &node in &members {
+                                fixed.push((back, seq, ChurnEvent::NodeUp { node }));
+                                seq += 1;
+                            }
+                        }
+                        t = back + sample_exp(&mut rng, 1.0 / mtbf);
+                    }
+                }
+            }
+        }
+
+        // Ticks, materialized (sparse).
+        if let Some(period) = self.tick_period {
+            let mut t = period;
+            while t < self.horizon {
+                fixed.push((t, seq, ChurnEvent::ReoptimizeTick));
+                seq += 1;
+                t += period;
+            }
+        }
+
+        fixed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("times are finite")
+                .then(a.1.cmp(&b.1))
+        });
+
+        let next_id = scenario
+            .requests()
+            .iter()
+            .map(|r| r.id().as_usize())
+            .max()
+            .map_or(0, |m| m + 1) as u32;
+
+        Ok(ChurnStream {
+            scenario,
+            horizon: self.horizon,
+            arrival_rate: self.arrival_rate,
+            mean_holding: self.mean_holding,
+            fixed: fixed.into_iter().peekable(),
+            rng: churn_rng,
+            churn_seq,
+            pending_arrival,
+            next_id,
+            departures: BinaryHeap::new(),
+        })
+    }
+
     fn validate(&self) -> Result<(), WorkloadError> {
         if !(self.horizon.is_finite() && self.horizon > 0.0) {
             return Err(WorkloadError::InvalidParameter {
@@ -492,6 +662,162 @@ impl ChurnTraceBuilder {
 impl Default for ChurnTraceBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A churn departure whose arrival has been emitted but whose departure
+/// time lies in the future: the stream's in-flight set. Min-ordered by
+/// `(time, seq)` via [`Reverse`] in the heap.
+#[derive(Debug, Clone)]
+struct PendingDeparture {
+    time: f64,
+    seq: usize,
+    id: RequestId,
+}
+
+impl PartialEq for PendingDeparture {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for PendingDeparture {}
+
+impl PartialOrd for PendingDeparture {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingDeparture {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Departure times are strictly positive and finite, so total_cmp
+        // agrees with the numeric order build() sorts by; unique seqs
+        // break ties exactly like the trace sort does.
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A lazily generated churn trace: yields exactly the [`TimedEvent`]
+/// sequence [`ChurnTraceBuilder::build`] would materialize, in the same
+/// order, without ever holding the churn arrivals in memory.
+///
+/// Produced by [`ChurnTraceBuilder::stream`]. Internally a three-way
+/// `(time, seq)` merge between the pre-sorted sparse streams, the next
+/// not-yet-emitted Poisson arrival, and a min-heap of in-flight
+/// departures.
+#[derive(Debug, Clone)]
+pub struct ChurnStream<'a> {
+    scenario: &'a Scenario,
+    horizon: f64,
+    arrival_rate: f64,
+    mean_holding: Option<f64>,
+    /// Base population, outages, and ticks — pre-sorted by `(time, seq)`.
+    fixed: std::iter::Peekable<std::vec::IntoIter<(f64, usize, ChurnEvent)>>,
+    /// Second same-seed RNG, positioned mid-churn-phase: its next draw is
+    /// the template index of `pending_arrival`.
+    rng: StdRng,
+    /// Sequence number the next churn-phase push would receive.
+    churn_seq: usize,
+    /// Time of the next churn arrival, already known to precede the
+    /// horizon; `None` once the Poisson process has run past it.
+    pending_arrival: Option<f64>,
+    next_id: u32,
+    departures: BinaryHeap<Reverse<PendingDeparture>>,
+}
+
+impl ChurnStream<'_> {
+    /// The virtual-time horizon the stream was generated for.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Emits the pending churn arrival, drawing its template, departure,
+    /// and successor exactly as `build`'s churn loop body does.
+    fn emit_churn_arrival(&mut self) -> TimedEvent {
+        let t = self.pending_arrival.take().expect("a pending arrival");
+        let template =
+            &self.scenario.requests()[self.rng.gen_range(0..self.scenario.requests().len())];
+        let request = Request::new(
+            RequestId::new(self.next_id),
+            template.chain().clone(),
+            template.arrival_rate(),
+            template.delivery(),
+        );
+        self.next_id += 1;
+        self.churn_seq += 1; // this arrival's seq
+        if let Some(mean) = self.mean_holding {
+            let departs = t + sample_exp(&mut self.rng, 1.0 / mean);
+            if departs < self.horizon {
+                self.departures.push(Reverse(PendingDeparture {
+                    time: departs,
+                    seq: self.churn_seq,
+                    id: request.id(),
+                }));
+                self.churn_seq += 1;
+            }
+        }
+        let next = t + sample_exp(&mut self.rng, self.arrival_rate);
+        if next < self.horizon {
+            self.pending_arrival = Some(next);
+        }
+        TimedEvent::new(t, ChurnEvent::Arrival(request))
+    }
+}
+
+/// Which of the three merge sources currently holds the minimal event.
+#[derive(Clone, Copy)]
+enum StreamSource {
+    Fixed,
+    Arrival,
+    Departure,
+}
+
+impl Iterator for ChurnStream<'_> {
+    type Item = TimedEvent;
+
+    fn next(&mut self) -> Option<TimedEvent> {
+        // Every event not yet generated (future churn arrivals and their
+        // departures) has a time >= the pending arrival's and a larger
+        // seq, so the minimum over these three candidates is the global
+        // next event. The comparator mirrors the trace sort: numeric
+        // time order, seq as tie-break.
+        let lt = |a: (f64, usize), b: (f64, usize)| {
+            a.0.partial_cmp(&b.0)
+                .expect("times are finite")
+                .then(a.1.cmp(&b.1))
+                .is_lt()
+        };
+        let mut best: Option<((f64, usize), StreamSource)> = self
+            .fixed
+            .peek()
+            .map(|&(t, s, _)| ((t, s), StreamSource::Fixed));
+        if let Some(t) = self.pending_arrival {
+            let key = (t, self.churn_seq);
+            if best.is_none_or(|(k, _)| lt(key, k)) {
+                best = Some((key, StreamSource::Arrival));
+            }
+        }
+        if let Some(Reverse(d)) = self.departures.peek() {
+            let key = (d.time, d.seq);
+            if best.is_none_or(|(k, _)| lt(key, k)) {
+                best = Some((key, StreamSource::Departure));
+            }
+        }
+        match best?.1 {
+            StreamSource::Fixed => {
+                let (t, _, e) = self.fixed.next().expect("peeked");
+                Some(TimedEvent::new(t, e))
+            }
+            StreamSource::Arrival => Some(self.emit_churn_arrival()),
+            StreamSource::Departure => {
+                let Reverse(d) = self.departures.pop().expect("peeked");
+                Some(TimedEvent::new(d.time, ChurnEvent::Departure(d.id)))
+            }
+        }
     }
 }
 
@@ -703,6 +1029,36 @@ mod tests {
         let plain = full_builder().build(&s).unwrap();
         let with_fleet = full_builder().node_fleet(8).build(&s).unwrap();
         assert_eq!(plain, with_fleet, "node outages need an MTBF to enable");
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_built_trace() {
+        let s = scenario();
+        for builder in [
+            ChurnTraceBuilder::new(),                           // base arrivals only
+            ChurnTraceBuilder::new().arrival_rate(1.5).seed(5), // churn, no departures
+            full_builder(),                                     // churn + holding + outages + ticks
+            full_builder()
+                .node_fleet(6)
+                .node_mtbf(45.0)
+                .node_mttr(12.0)
+                .rack_size(2), // plus correlated node outages
+        ] {
+            let trace = builder.build(&s).unwrap();
+            let streamed: Vec<TimedEvent> = builder.stream(&s).unwrap().collect();
+            assert_eq!(streamed.as_slice(), trace.events());
+            assert_eq!(builder.stream(&s).unwrap().horizon(), trace.horizon());
+        }
+    }
+
+    #[test]
+    fn stream_validates_like_build() {
+        let s = scenario();
+        assert!(ChurnTraceBuilder::new().horizon(0.0).stream(&s).is_err());
+        assert!(ChurnTraceBuilder::new()
+            .arrival_rate(-1.0)
+            .stream(&s)
+            .is_err());
     }
 
     #[test]
