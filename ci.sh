@@ -38,6 +38,14 @@ cargo test -q -p nfv-controller refiner
 cargo test -q -p nfv-core --lib anytime
 cargo test -q -p nfv-core --test thread_invariance search
 
+echo "== retry timer wheel (pop order bit-identical to the BTreeMap oracle) =="
+cargo test -q -p nfv-controller wheel
+
+echo "== fleet (sharded tenants: conservation, two-phase handoff, merged journals) =="
+cargo test -q -p nfv-fleet
+cargo test -q -p nfv-core --lib fleet
+cargo test -q -p nfv-core --test thread_invariance fleet
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -62,33 +70,81 @@ test -s results/trace_resilience.jsonl
 test -s results/trace_series.csv
 cargo run -q --release -p nfv-bench --bin figures -- profile
 
+# Extracts one scalar field from one top-level object ("replay", "telemetry")
+# of a BENCH_pipeline.json document fed on stdin. The fleet section repeats
+# field names like "events", so the grep must be scoped to the object.
+bench_field() { # <object> <field>
+    sed -n "/\"$1\": {/,/}/p" | grep -o "\"$2\": *-\{0,1\}[0-9.]*" | grep -o '\-\{0,1\}[0-9.]*$'
+}
+# Extracts one scalar field from the largest fleet point (256 tenants).
+fleet_field() { # <field>
+    grep -o '{"tenants": 256,[^}]*}' | grep -o "\"$1\": *[0-9.]*" | grep -o '[0-9.]*$'
+}
+
 echo "== telemetry overhead gate (disabled path within 2% of the plain replay) =="
-# Capture the committed replay throughput before the bench overwrites it.
-committed_eps=$(git show HEAD:BENCH_pipeline.json 2>/dev/null \
-    | grep -o '"events_per_second": *[0-9.]*' | grep -o '[0-9.]*$' || true)
+# Capture the committed throughput figures before the bench overwrites them.
+committed=$(git show HEAD:BENCH_pipeline.json 2>/dev/null || true)
+committed_eps=$(printf '%s' "$committed" | bench_field replay events_per_second || true)
+committed_fleet_eps=$(printf '%s' "$committed" | fleet_field events_per_second || true)
 cargo run --release -p nfv-bench --bin figures -- bench --reps 2
-overhead=$(grep -o '"disabled_overhead_pct": *-\{0,1\}[0-9.]*' BENCH_pipeline.json | grep -o '\-\{0,1\}[0-9.]*$')
+overhead=$(bench_field telemetry disabled_overhead_pct < BENCH_pipeline.json)
 echo "telemetry disabled-path overhead: ${overhead}%"
 awk -v o="$overhead" 'BEGIN { exit (o <= 2.0) ? 0 : 1 }' || {
     echo "telemetry disabled-path overhead ${overhead}% exceeds the 2% budget"
     exit 1
 }
 
-echo "== replay throughput gate (>= 1M streamed events, >= 80% of the committed events/s) =="
-events=$(grep -o '"events": *[0-9]*' BENCH_pipeline.json | grep -o '[0-9]*$')
-eps=$(grep -o '"events_per_second": *[0-9.]*' BENCH_pipeline.json | grep -o '[0-9.]*$')
-echo "replay: ${events} events at ${eps} events/s (committed: ${committed_eps:-none})"
-awk -v n="$events" 'BEGIN { exit (n >= 1000000) ? 0 : 1 }' || {
-    echo "replay trace streamed ${events} events, below the 1M floor"
+echo "== replay throughput gate (1M-event floor, >= 80% of the committed events/s) =="
+# The wall-clock measurement gets one retry: a loaded CI host can produce a
+# single bad sample, and failing the gate on it is noise, not signal.
+for attempt in 1 2; do
+    events=$(bench_field replay events < BENCH_pipeline.json)
+    eps=$(bench_field replay events_per_second < BENCH_pipeline.json)
+    echo "replay: ${events} events at ${eps} events/s (committed: ${committed_eps:-none})"
+    # Hard: the streamed trace itself is deterministic, so a short event
+    # count is a workload regression, not host noise.
+    awk -v n="$events" 'BEGIN { exit (n >= 1000000) ? 0 : 1 }' || {
+        echo "replay trace streamed ${events} events, below the 1M floor"
+        exit 1
+    }
+    # Advisory: absolute throughput depends on the host, so a miss only
+    # warns (slow/loaded CI machines false-failed this as a hard gate).
+    awk -v e="$eps" 'BEGIN { exit (e >= 1000000) ? 0 : 1 }' \
+        || echo "warning: replay throughput ${eps} events/s is below the 1M ev/s reference (host-dependent; not failing)"
+    # Hard (with one retry): relative regression against the committed run.
+    if [ -z "${committed_eps}" ]; then
+        echo "no committed replay figure yet; regression gate skipped"
+        break
+    fi
+    if awk -v e="$eps" -v c="$committed_eps" 'BEGIN { exit (e >= 0.8 * c) ? 0 : 1 }'; then
+        break
+    fi
+    if [ "$attempt" = 2 ]; then
+        echo "replay throughput ${eps} events/s regressed below 80% of the committed ${committed_eps}"
+        exit 1
+    fi
+    echo "replay throughput ${eps} events/s below 80% of committed ${committed_eps}; retrying the measurement once"
+    cargo run --release -p nfv-bench --bin figures -- bench --reps 2
+done
+
+echo "== fleet throughput gate (256-tenant point: migrations recorded, >= 80% of committed ev/s) =="
+fleet_eps=$(fleet_field events_per_second < BENCH_pipeline.json)
+fleet_migrations=$(fleet_field migrations < BENCH_pipeline.json)
+fleet_latency=$(fleet_field mean_rebalance_latency_seconds < BENCH_pipeline.json)
+echo "fleet: 256 tenants at ${fleet_eps} events/s, ${fleet_migrations} migrations, ${fleet_latency}s mean rebalance latency (committed: ${committed_fleet_eps:-none})"
+# Hard: migration count and rebalance latency are virtual-clock values —
+# deterministic per seed, so zeros mean the handoff path stopped running.
+awk -v m="$fleet_migrations" -v l="$fleet_latency" 'BEGIN { exit (m >= 1 && l > 0) ? 0 : 1 }' || {
+    echo "fleet bench recorded no cross-shard migrations (or zero rebalance latency); the handoff path is dead"
     exit 1
 }
-if [ -n "${committed_eps}" ]; then
-    awk -v e="$eps" -v c="$committed_eps" 'BEGIN { exit (e >= 0.8 * c) ? 0 : 1 }' || {
-        echo "replay throughput ${eps} events/s regressed below 80% of the committed ${committed_eps}"
+if [ -n "${committed_fleet_eps}" ]; then
+    awk -v e="$fleet_eps" -v c="$committed_fleet_eps" 'BEGIN { exit (e >= 0.8 * c) ? 0 : 1 }' || {
+        echo "fleet throughput ${fleet_eps} events/s regressed below 80% of the committed ${committed_fleet_eps}"
         exit 1
     }
 else
-    echo "no committed replay figure yet; regression gate skipped"
+    echo "no committed fleet figure yet; regression gate skipped"
 fi
 
 echo "ci: all green"

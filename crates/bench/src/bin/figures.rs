@@ -33,10 +33,13 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use nfv_bench::{BenchReport, FigureTiming, ReplayReport, SearchReport, TelemetryReport};
+use nfv_bench::{
+    scaled_reps, BenchReport, FigureTiming, FleetPointBench, ReplayReport, SearchReport,
+    TelemetryReport,
+};
 use nfv_controller::{Controller, ControllerConfig};
 use nfv_core::experiments::{
-    anytime, churn, joint, placement, replay, resilience, scheduling, validation, Sweep,
+    anytime, churn, fleet, joint, placement, replay, resilience, scheduling, validation, Sweep,
 };
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
@@ -113,11 +116,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|anytime|joint|churn|resilience|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|anytime|joint|churn|resilience|fleet|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
 
 /// The `all` command list, in paper order.
-const ALL_COMMANDS: [&str; 22] = [
+const ALL_COMMANDS: [&str; 23] = [
     "fig5",
     "fig6",
     "fig7",
@@ -138,6 +141,7 @@ const ALL_COMMANDS: [&str; 22] = [
     "joint",
     "churn",
     "resilience",
+    "fleet",
     "validate",
     "ablation",
 ];
@@ -258,7 +262,11 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
         let _ = controller.run_trace(&trace);
     });
-    let replay_reps = ((MEASUREMENT_FLOOR / one_replay.max(1e-9)).ceil() as u64).max(1);
+    // Cap the auto-scaling: a spuriously ~0s probe must not schedule
+    // hundreds of millions of repetitions (`scaled_reps` also clamps
+    // the probe itself at 100 µs).
+    const MAX_REPLAY_REPS: u64 = 100_000;
+    let replay_reps = scaled_reps(MEASUREMENT_FLOOR, one_replay, MAX_REPLAY_REPS);
     let replay_plain = min_seconds(OVERHEAD_RUNS, || {
         for _ in 0..replay_reps {
             let mut controller = Controller::new(&scenario, ControllerConfig::periodic_reopt());
@@ -304,6 +312,44 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
         replay_throughput.admitted,
         replay_throughput.rejected,
     );
+
+    // Fleet throughput: the sharded multi-tenant loop at 8/64/256
+    // tenants, timed at the configured thread count — the parallel drain
+    // phase is the whole point of the fleet. Events, migrations and
+    // rebalance latency are virtual-clock counters (identical at any
+    // thread count); only the wall-clock varies. ci.sh gates the largest
+    // point's events/sec against the committed figure.
+    set_default_threads(threads);
+    let mut fleet_points = Vec::new();
+    for (tenants, shards) in fleet::fleet_sizes() {
+        let outcome = fleet::run_fleet_point(tenants, shards, options.seed).map_err(|_| {
+            CoreError::Inconsistent {
+                reason: "fleet bench point failed",
+            }
+        })?;
+        let seconds = min_seconds(3, || {
+            let _ = fleet::run_fleet_point(tenants, shards, options.seed);
+        });
+        let report = &outcome.report;
+        let events_per_second = report.events as f64 / seconds.max(1e-9);
+        println!(
+            "bench: fleet {tenants} tenants / {shards} shards at {threads} threads: \
+             {} events in {seconds:.3}s ({events_per_second:.0} ev/s), \
+             {} migrations carrying {} requests, {:.1}s mean rebalance latency",
+            report.events, report.migrations, report.migration_cost, report.mean_rebalance_latency,
+        );
+        fleet_points.push(FleetPointBench {
+            tenants: tenants as u64,
+            shards: shards as u64,
+            events: report.events,
+            seconds,
+            events_per_second,
+            migrations: report.migrations,
+            migration_cost: report.migration_cost,
+            mean_rebalance_latency_seconds: report.mean_rebalance_latency,
+        });
+    }
+    set_default_threads(0);
 
     // Search throughput: GA generations/second on the anytime Pareto
     // instance (single-threaded, min-of-N), plus the quality delta of the
@@ -369,6 +415,7 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
             admitted: replay_throughput.admitted,
             rejected: replay_throughput.rejected,
         },
+        fleet: fleet_points,
         figures: ALL_COMMANDS
             .iter()
             .enumerate()
@@ -536,6 +583,7 @@ fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
         "anytime" => print_anytime(&mut out, rp, seed)?,
         "churn" => print_churn(&mut out, seed)?,
         "resilience" => print_resilience(&mut out, seed)?,
+        "fleet" => print_fleet(&mut out, seed)?,
         "trace" => print_trace(&mut out, seed)?,
         "profile" => print_profile(&mut out, seed)?,
         "validate" => print_validation(&mut out, seed)?,
@@ -1117,6 +1165,34 @@ fn print_profile(out: &mut String, seed: u64) -> Result<(), CoreError> {
         artifacts.profile.total_spans(),
         artifacts.events.len(),
         artifacts.series.len(),
+    );
+    Ok(())
+}
+
+/// `figures fleet`: the deterministic side of the multi-tenant fleet —
+/// per-size event totals, migration cost and rebalance latency. All
+/// virtual-clock counters, so the table is bit-identical at any thread
+/// count; the wall-clock throughput lives in `figures bench`.
+fn print_fleet(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let sweep = fleet::fleet_sweep(seed).map_err(|_| CoreError::Inconsistent {
+        reason: "fleet sweep failed",
+    })?;
+    print_sweep(
+        out,
+        "Fleet - sharded tenant controllers under one virtual clock (8/64/256 tenants)",
+        &sweep,
+        2,
+        None,
+    );
+    let migrations = sweep.series_values("migrations").unwrap_or_default();
+    let latency = sweep
+        .series_values("rebalance latency (s)")
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "shape check: every fleet size completes cross-shard migrations \
+         (per size: {:?}) at a one-epoch rebalance latency ({:?}s)",
+        migrations, latency,
     );
     Ok(())
 }

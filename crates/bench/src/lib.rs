@@ -6,7 +6,8 @@
 mod report;
 
 pub use report::{
-    BenchReport, FigureTiming, ReplayReport, ReportError, SearchReport, TelemetryReport,
+    BenchReport, FigureTiming, FleetPointBench, ReplayReport, ReportError, SearchReport,
+    TelemetryReport,
 };
 
 use nfv_model::{ArrivalRate, ServiceChain};
@@ -58,6 +59,37 @@ pub fn placement_problem(
     .expect("valid fixture problem")
 }
 
+/// How many back-to-back repetitions a timed measurement needs so it
+/// spans at least `floor_seconds`, given one probed repetition took
+/// `measured_seconds`.
+///
+/// The probe is clamped below at 100 µs before dividing: timers can
+/// report a near-zero (or exactly zero) duration for a fast workload,
+/// and dividing the floor by ~0 would schedule hundreds of millions of
+/// repetitions — a bench run that never finishes. The result is further
+/// capped at `max_reps` and never below 1, so any probe value — zero,
+/// negative, infinite or NaN — yields a sane repetition count.
+#[must_use]
+pub fn scaled_reps(floor_seconds: f64, measured_seconds: f64, max_reps: u64) -> u64 {
+    const MIN_MEASURED_SECONDS: f64 = 1e-4;
+    let per_rep = if measured_seconds.is_finite() {
+        measured_seconds.max(MIN_MEASURED_SECONDS)
+    } else {
+        MIN_MEASURED_SECONDS
+    };
+    let reps = (floor_seconds / per_rep).ceil();
+    if reps.is_nan() || reps < 1.0 {
+        // Non-positive floors and NaN land here.
+        return 1;
+    }
+    let capped = max_reps.max(1) as f64;
+    if reps >= capped {
+        max_reps.max(1)
+    } else {
+        reps as u64
+    }
+}
+
 /// Draws `n` arrival rates uniformly from the paper's `[1, 100]` pps range.
 #[must_use]
 pub fn arrival_rates(n: usize, seed: u64) -> Vec<ArrivalRate> {
@@ -78,6 +110,27 @@ mod tests {
             placement_problem(8, 10, 50, 1)
         );
         assert_eq!(arrival_rates(10, 2), arrival_rates(10, 2));
+    }
+
+    #[test]
+    fn scaled_reps_survives_a_zero_second_probe() {
+        // The regression this pins: a 0.25s floor divided by a ~0s probe
+        // used to schedule ~250 million repetitions. The 100 µs clamp
+        // bounds a zero (or negative, or NaN) probe at 2500 reps, and
+        // the cap bounds it further.
+        assert_eq!(scaled_reps(0.25, 0.0, 1_000_000), 2_500);
+        assert_eq!(scaled_reps(0.25, -1.0, 1_000_000), 2_500);
+        assert_eq!(scaled_reps(0.25, f64::NAN, 1_000_000), 2_500);
+        assert_eq!(scaled_reps(0.25, 1e-12, 1_000), 1_000);
+        // Ordinary probes divide as before.
+        assert_eq!(scaled_reps(0.25, 0.05, 1_000_000), 5);
+        assert_eq!(scaled_reps(0.25, 0.06, 1_000_000), 5);
+        // A probe already past the floor needs exactly one rep, and the
+        // result never drops below one whatever the floor.
+        assert_eq!(scaled_reps(0.25, 1.0, 1_000_000), 1);
+        assert_eq!(scaled_reps(0.0, 0.5, 1_000_000), 1);
+        assert_eq!(scaled_reps(-1.0, 0.5, 1_000_000), 1);
+        assert_eq!(scaled_reps(0.25, 0.1, 0), 1);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub struct BenchReport {
     pub telemetry: TelemetryReport,
     /// Replay-engine throughput on the streamed million-event trace.
     pub replay: ReplayReport,
+    /// Sharded multi-tenant fleet throughput, one entry per fleet size.
+    pub fleet: Vec<FleetPointBench>,
     /// Wall-clock per figure, serial and parallel.
     pub figures: Vec<FigureTiming>,
     /// Sum of the serial figure timings, seconds.
@@ -101,6 +103,33 @@ pub struct ReplayReport {
     pub admitted: u64,
     /// Requests the batched replay rejected.
     pub rejected: u64,
+}
+
+/// One fleet size's sharded-loop throughput and rebalance accounting.
+///
+/// Events, migrations and latency are virtual-clock counters (identical
+/// at any thread count); only `seconds` and `events_per_second` are
+/// wall-clock measurements. The largest point's `events_per_second` is
+/// gated by `ci.sh` against the committed figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPointBench {
+    /// Tenant controllers in the fleet.
+    pub tenants: u64,
+    /// Shards the tenants were split over.
+    pub shards: u64,
+    /// Trace events the fleet processed across all shards.
+    pub events: u64,
+    /// Fastest wall-clock run of the whole fleet loop, seconds.
+    pub seconds: f64,
+    /// `events / seconds` — the fleet's throughput headline.
+    pub events_per_second: f64,
+    /// Completed cross-shard migrations.
+    pub migrations: u64,
+    /// Requests + queued retries carried across shards, summed over all
+    /// migrations.
+    pub migration_cost: u64,
+    /// Mean virtual seconds a migrating tenant spent in transit.
+    pub mean_rebalance_latency_seconds: f64,
 }
 
 /// One figure's wall-clock timings.
@@ -220,6 +249,25 @@ impl BenchReport {
         let _ = writeln!(json, "    \"admitted\": {},", r.admitted);
         let _ = writeln!(json, "    \"rejected\": {}", r.rejected);
         let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"fleet\": [");
+        for (i, point) in self.fleet.iter().enumerate() {
+            let comma = if i + 1 < self.fleet.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"tenants\": {}, \"shards\": {}, \"events\": {}, \"seconds\": {:.6}, \
+                 \"events_per_second\": {:.3}, \"migrations\": {}, \"migration_cost\": {}, \
+                 \"mean_rebalance_latency_seconds\": {:.6}}}{comma}",
+                point.tenants,
+                point.shards,
+                point.events,
+                point.seconds,
+                point.events_per_second,
+                point.migrations,
+                point.migration_cost,
+                point.mean_rebalance_latency_seconds,
+            );
+        }
+        let _ = writeln!(json, "  ],");
         let _ = writeln!(json, "  \"figures\": [");
         for (i, figure) in self.figures.iter().enumerate() {
             let comma = if i + 1 < self.figures.len() { "," } else { "" };
@@ -259,6 +307,30 @@ impl BenchReport {
         let search = root.child("search")?;
         let telemetry = root.child("telemetry")?;
         let replay = root.child("replay")?;
+        let mut fleet = Vec::new();
+        for (i, entry) in root.array("fleet")?.iter().enumerate() {
+            let point = entry.object(&format!("fleet[{i}]"))?;
+            fleet.push(FleetPointBench {
+                tenants: point.integer("tenants")?,
+                shards: point.integer("shards")?,
+                events: point.integer("events")?,
+                seconds: point.number("seconds")?,
+                events_per_second: point.number("events_per_second")?,
+                migrations: point.integer("migrations")?,
+                migration_cost: point.integer("migration_cost")?,
+                mean_rebalance_latency_seconds: point.number("mean_rebalance_latency_seconds")?,
+            });
+            point.deny_unknown(&[
+                "tenants",
+                "shards",
+                "events",
+                "seconds",
+                "events_per_second",
+                "migrations",
+                "migration_cost",
+                "mean_rebalance_latency_seconds",
+            ])?;
+        }
         let mut figures = Vec::new();
         for (i, entry) in root.array("figures")?.iter().enumerate() {
             let figure = entry.object(&format!("figures[{i}]"))?;
@@ -303,6 +375,7 @@ impl BenchReport {
                 admitted: replay.integer("admitted")?,
                 rejected: replay.integer("rejected")?,
             },
+            fleet,
             figures,
             total_serial_seconds: root.number("total_serial_seconds")?,
             total_parallel_seconds: root.nullable_number("total_parallel_seconds")?,
@@ -344,6 +417,7 @@ impl BenchReport {
             "search",
             "telemetry",
             "replay",
+            "fleet",
             "figures",
             "total_serial_seconds",
             "total_parallel_seconds",
@@ -694,6 +768,28 @@ mod tests {
                 admitted: 520_063,
                 rejected: 0,
             },
+            fleet: vec![
+                FleetPointBench {
+                    tenants: 8,
+                    shards: 2,
+                    events: 1_024,
+                    seconds: 0.125,
+                    events_per_second: 8_192.0,
+                    migrations: 3,
+                    migration_cost: 12,
+                    mean_rebalance_latency_seconds: 6.0,
+                },
+                FleetPointBench {
+                    tenants: 256,
+                    shards: 16,
+                    events: 32_768,
+                    seconds: 0.5,
+                    events_per_second: 65_536.0,
+                    migrations: 4,
+                    migration_cost: 18,
+                    mean_rebalance_latency_seconds: 6.0,
+                },
+            ],
             figures: vec![
                 FigureTiming {
                     name: "fig5".to_owned(),
@@ -756,6 +852,29 @@ mod tests {
             .unwrap_err()
             .reason
             .contains("seed"));
+    }
+
+    #[test]
+    fn fleet_section_round_trips_and_rejects_drift() {
+        let report = sample(true);
+        let json = report.to_json();
+        assert!(json.contains("\"fleet\": ["));
+        assert_eq!(BenchReport::from_json(&json).unwrap().fleet, report.fleet);
+        // An empty fleet array is valid (old-style runs), but a fleet
+        // entry with an unknown field is schema drift.
+        let empty = {
+            let mut r = report.clone();
+            r.fleet.clear();
+            r
+        };
+        assert_eq!(BenchReport::from_json(&empty.to_json()), Ok(empty));
+        let drifted = json.replace("\"tenants\": 8,", "\"tenants\": 8, \"oops\": 1,");
+        assert!(BenchReport::from_json(&drifted)
+            .unwrap_err()
+            .reason
+            .contains("oops"));
+        let missing = json.replace("  \"fleet\": [\n", "  \"fleet_\": [\n");
+        assert!(BenchReport::from_json(&missing).is_err());
     }
 
     #[test]

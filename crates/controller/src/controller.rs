@@ -952,7 +952,12 @@ impl Controller {
             return false;
         };
         let sum = self.state.instance_sum(vnf, k);
-        let mu = self.state.service_rate(vnf).expect("vnf exists").value();
+        // An unknown VNF has no instances and therefore no victim, so
+        // this is unreachable from admission — but an eviction helper
+        // that panics instead of declining is a trap for future callers.
+        let Some(mu) = self.state.service_rate(vnf).map(|s| s.value()) else {
+            return false;
+        };
         if victim_rate <= incoming_inflated || sum - victim_rate + incoming_inflated >= mu {
             return false;
         }

@@ -482,11 +482,31 @@ impl ControllerState {
         Some(load)
     }
 
-    /// Utilization `ρ = Λ/μ` of one instance.
+    /// Utilization `ρ = Λ/μ` of one instance, or `0.0` for coordinates
+    /// the ledger does not track — an unknown VNF *or* an out-of-range
+    /// instance index (callers replaying foreign traces can name either).
+    /// Use [`try_utilization`](Self::try_utilization) to distinguish bad
+    /// coordinates from a genuinely idle instance.
     #[must_use]
     pub fn utilization(&self, vnf: VnfId, instance: usize) -> f64 {
-        self.slab(vnf)
-            .map_or(0.0, |l| l.sums[instance] / l.service.value())
+        self.try_utilization(vnf, instance).unwrap_or(0.0)
+    }
+
+    /// Checked utilization `ρ = Λ/μ` of one instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::UnknownVnf`] /
+    /// [`ControllerError::NoSuchInstance`] for coordinates the ledger
+    /// does not track (formerly an index panic on an out-of-range
+    /// instance).
+    pub fn try_utilization(&self, vnf: VnfId, instance: usize) -> Result<f64, ControllerError> {
+        let slab = self.slab(vnf).ok_or(ControllerError::UnknownVnf { vnf })?;
+        let sum = slab
+            .sums
+            .get(instance)
+            .ok_or(ControllerError::NoSuchInstance { vnf, instance })?;
+        Ok(sum / slab.service.value())
     }
 
     /// The highest per-instance utilization `ρ = Λ_k/μ_f` across the whole
@@ -745,6 +765,40 @@ mod tests {
             assert!(state.remove_request(vnf, extra.id()).is_some());
         }
         assert_eq!(state, snapshot); // PartialEq compares f64 sums exactly
+    }
+
+    #[test]
+    fn utilization_of_bad_coordinates_is_typed_not_a_panic() {
+        let (scenario, mut state) = state();
+        let vnf = scenario.vnfs()[0].id();
+        let request = &scenario.requests()[0];
+        state
+            .add_request(
+                vnf,
+                0,
+                request.id(),
+                request.arrival_rate(),
+                request.delivery(),
+            )
+            .unwrap();
+        assert!(state.utilization(vnf, 0) > 0.0);
+        assert_eq!(state.try_utilization(vnf, 0), Ok(state.utilization(vnf, 0)));
+        // Out-of-range instance: formerly `sums[instance]` panicked here.
+        let beyond = state.instances(vnf);
+        assert_eq!(state.utilization(vnf, beyond), 0.0);
+        assert_eq!(
+            state.try_utilization(vnf, beyond),
+            Err(ControllerError::NoSuchInstance {
+                vnf,
+                instance: beyond
+            })
+        );
+        let ghost = VnfId::new(9_999);
+        assert_eq!(state.utilization(ghost, 0), 0.0);
+        assert_eq!(
+            state.try_utilization(ghost, 0),
+            Err(ControllerError::UnknownVnf { vnf: ghost })
+        );
     }
 
     #[test]

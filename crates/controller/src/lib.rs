@@ -72,6 +72,7 @@ mod error;
 mod ledger;
 mod report;
 mod retry;
+mod wheel;
 
 pub use config::{
     ControllerConfig, EmergencyConfig, RefinerConfig, RejectReason, ReoptConfig, ReplaceConfig,

@@ -7,10 +7,9 @@
 //! ambient randomness, so same-seed runs re-offer at bit-identical times
 //! regardless of thread count.
 
-use std::collections::BTreeMap;
-
 use nfv_model::{Request, VnfId};
 
+use crate::wheel::TimerWheel;
 use crate::RetryConfig;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -69,9 +68,9 @@ impl std::error::Error for RetryRefusal {}
 ///
 /// Keys are `(due_time.to_bits(), sequence)`: for **non-negative finite**
 /// times the IEEE-754 bit pattern orders exactly like the number, which
-/// keeps the map's order total without any float comparator. The edge
-/// cases of `to_bits` ordering are exactly the values outside that
-/// domain, and [`RetryQueue::schedule`] rejects them with
+/// keeps the order total without any float comparator. The edge cases of
+/// `to_bits` ordering are exactly the values outside that domain, and
+/// [`RetryQueue::schedule`] rejects them with
 /// [`RetryRefusal::InvalidDueTime`] instead of silently mis-ordering:
 ///
 /// - negative values (including `-0.0`) have the sign bit set, so their
@@ -83,16 +82,23 @@ impl std::error::Error for RetryRefusal {}
 /// `-0.0` on its own would merely order late, but normalizing it to
 /// `+0.0` would be a silent repair of a nonsensical backoff; it is
 /// refused with the other negatives.
+///
+/// The keyed entries live in a hierarchical [`TimerWheel`] rather than
+/// the original flat `BTreeMap`, so the per-event "anything due yet?"
+/// probe no longer descends the whole pending set. The pop order is
+/// bit-identical to the map's — see the wheel's ordering contract and
+/// the `wheel_matches_btree_oracle` property below, which keeps the old
+/// `BTreeMap` implementation around as the equivalence oracle.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub(crate) struct RetryQueue {
-    entries: BTreeMap<(u64, u64), Entry>,
+    wheel: TimerWheel<Entry>,
     seq: u64,
 }
 
 impl RetryQueue {
     /// Number of requests waiting for a re-offer.
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.wheel.len()
     }
 
     /// Enqueues a re-offer of `request` as attempt number `attempt`
@@ -115,7 +121,7 @@ impl RetryQueue {
         if attempt >= config.max_attempts {
             return Err(RetryRefusal::BudgetExhausted);
         }
-        if self.entries.len() >= config.max_queue {
+        if self.wheel.len() >= config.max_queue {
             return Err(RetryRefusal::QueueFull);
         }
         let due = now + backoff_delay(config, request.id().as_usize() as u64, attempt);
@@ -124,31 +130,25 @@ impl RetryQueue {
         }
         let key = (due.to_bits(), self.seq);
         self.seq += 1;
-        self.entries.insert(key, Entry { attempt, request });
+        self.wheel.insert(key, Entry { attempt, request });
         Ok(due)
     }
 
     /// Removes and returns the earliest entry due at or before `upto` as
     /// `(due_time, attempt, request)`, or `None` when nothing is due yet.
     pub(crate) fn pop_due(&mut self, upto: f64) -> Option<(f64, u32, Request)> {
-        let (&(bits, seq), _) = self.entries.first_key_value()?;
-        let due = f64::from_bits(bits);
-        if due > upto {
-            return None;
-        }
-        let entry = self
-            .entries
-            .remove(&(bits, seq))
-            .expect("first key was just observed");
-        Some((due, entry.attempt, entry.request))
+        let ((bits, _), entry) = self.wheel.pop_due(upto)?;
+        Some((f64::from_bits(bits), entry.attempt, entry.request))
     }
 
     /// Total loss-inflated rate of the queued requests whose chain
     /// traverses `vnf` — backlog the re-placement targets provision for,
-    /// since this traffic re-offers as soon as capacity returns.
+    /// since this traffic re-offers as soon as capacity returns. Summed
+    /// in key order so the f64 fold is bit-identical to the flat map's.
     pub(crate) fn pending_rate(&self, vnf: VnfId) -> f64 {
-        self.entries
-            .values()
+        self.wheel
+            .values_sorted()
+            .into_iter()
             .filter(|e| e.request.uses(vnf))
             .map(|e| e.request.effective_rate().value())
             .sum()
@@ -333,5 +333,153 @@ mod tests {
         assert!(q.schedule(&c, request(2), 0, 0.0).is_ok());
         assert!((q.pending_rate(VnfId::new(0)) - 2.0).abs() < 1e-12);
         assert_eq!(q.pending_rate(VnfId::new(1)), 0.0);
+    }
+
+    /// The original flat-map implementation of the queue, kept verbatim
+    /// as the equivalence oracle for the timer wheel: a `BTreeMap` keyed
+    /// `(due.to_bits(), seq)` whose `first_key_value` *is* the pop order
+    /// the wheel must reproduce bit for bit.
+    #[derive(Debug, Default)]
+    struct BTreeOracle {
+        entries: std::collections::BTreeMap<(u64, u64), Entry>,
+        seq: u64,
+    }
+
+    impl BTreeOracle {
+        fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        fn schedule(
+            &mut self,
+            config: &RetryConfig,
+            request: Request,
+            attempt: u32,
+            now: f64,
+        ) -> Result<f64, RetryRefusal> {
+            if attempt >= config.max_attempts {
+                return Err(RetryRefusal::BudgetExhausted);
+            }
+            if self.entries.len() >= config.max_queue {
+                return Err(RetryRefusal::QueueFull);
+            }
+            let due = now + backoff_delay(config, request.id().as_usize() as u64, attempt);
+            if !due.is_finite() || due.is_sign_negative() {
+                return Err(RetryRefusal::InvalidDueTime { due });
+            }
+            self.entries
+                .insert((due.to_bits(), self.seq), Entry { attempt, request });
+            self.seq += 1;
+            Ok(due)
+        }
+
+        fn pop_due(&mut self, upto: f64) -> Option<(f64, u32, Request)> {
+            let (&(bits, seq), _) = self.entries.first_key_value()?;
+            if f64::from_bits(bits) > upto {
+                return None;
+            }
+            let entry = self.entries.remove(&(bits, seq)).unwrap();
+            Some((f64::from_bits(bits), entry.attempt, entry.request))
+        }
+
+        fn pending_rate(&self, vnf: VnfId) -> f64 {
+            self.entries
+                .values()
+                .filter(|e| e.request.uses(vnf))
+                .map(|e| e.request.effective_rate().value())
+                .sum()
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random interleavings of `schedule` and `pop_due` — spanning
+        /// wheel levels, the overflow map, and (with `jitter: 0.0`) exact
+        /// `(due.to_bits(), seq)` ties — drive the wheel-backed queue and
+        /// the flat `BTreeMap` oracle in lockstep: identical schedule
+        /// verdicts, identical pop sequences bit for bit, identical
+        /// lengths and pending-rate folds at every step.
+        #[test]
+        fn wheel_matches_btree_oracle(
+            // One op per word: kind in the low bits, then request id,
+            // attempt, a time quantum, and a time-scale selector (the
+            // vendored proptest has no tuple strategy inside `vec`).
+            packed in prop::collection::vec(0u64..u64::MAX, 1..200),
+        ) {
+            for jitter in [0.0, 0.5] {
+                let c = RetryConfig {
+                    jitter,
+                    max_queue: 24,
+                    ..config()
+                };
+                let mut wheel_q = RetryQueue::default();
+                let mut oracle = BTreeOracle::default();
+                for &w in &packed {
+                    let kind = w & 0x3;
+                    let id = ((w >> 8) & 0x7) as u32;
+                    let attempt = ((w >> 16) & 0x3) as u32;
+                    let quantum = ((w >> 24) & 0xFF) as f64;
+                    // Scales chosen to land dues on wheel level 0, the
+                    // coarser levels, and past the wheel span into the
+                    // overflow map.
+                    let scale = match (w >> 34) & 0x3 {
+                        0 => 0.25,
+                        1 => 7.0,
+                        2 => 411.0,
+                        _ => 100_000.0,
+                    };
+                    let t = quantum * scale;
+                    if kind < 3 {
+                        prop_assert_eq!(
+                            wheel_q.schedule(&c, request(id), attempt, t),
+                            oracle.schedule(&c, request(id), attempt, t),
+                        );
+                    } else {
+                        let got = wheel_q.pop_due(t);
+                        let want = oracle.pop_due(t);
+                        match (&got, &want) {
+                            (None, None) => {}
+                            (Some((gd, ga, gr)), Some((wd, wa, wr))) => {
+                                prop_assert_eq!(gd.to_bits(), wd.to_bits());
+                                prop_assert_eq!((ga, gr.id()), (wa, wr.id()));
+                            }
+                            _ => prop_assert!(
+                                false,
+                                "pop mismatch: wheel {:?} oracle {:?}",
+                                got,
+                                want
+                            ),
+                        }
+                    }
+                    prop_assert_eq!(wheel_q.len(), oracle.len());
+                    prop_assert_eq!(
+                        wheel_q.pending_rate(VnfId::new(0)).to_bits(),
+                        oracle.pending_rate(VnfId::new(0)).to_bits(),
+                    );
+                }
+                // Drain both queues dry: the residual pop order must
+                // match entry for entry.
+                loop {
+                    let got = wheel_q.pop_due(f64::MAX);
+                    let want = oracle.pop_due(f64::MAX);
+                    match (&got, &want) {
+                        (None, None) => break,
+                        (Some((gd, ga, gr)), Some((wd, wa, wr))) => {
+                            prop_assert_eq!(gd.to_bits(), wd.to_bits());
+                            prop_assert_eq!((ga, gr.id()), (wa, wr.id()));
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "drain mismatch: wheel {:?} oracle {:?}",
+                            got,
+                            want
+                        ),
+                    }
+                }
+            }
+        }
     }
 }

@@ -127,6 +127,53 @@ fn same_seed_runs_are_identical() {
     assert_eq!(report_a.render(), report_b.render());
 }
 
+/// Replaying a *foreign* trace — one generated for a bigger scenario
+/// with more VNFs, more instances per VNF, and node-level outages the
+/// cluster-free controller has never heard of — must never panic: the
+/// unknown coordinates surface as typed rejections and stale-event
+/// counts, and admission conservation still balances.
+#[test]
+fn foreign_trace_replay_is_rejected_typed_not_a_panic() {
+    let small = scenario(61);
+    let big = ScenarioBuilder::new()
+        .vnfs(12)
+        .requests(120)
+        .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+            target_utilization: 0.6,
+        })
+        .seed(62)
+        .build()
+        .unwrap();
+    let trace = ChurnTraceBuilder::new()
+        .horizon(80.0)
+        .arrival_rate(1.0)
+        .mean_holding(15.0)
+        .tick_period(20.0)
+        .outage_rate(0.08)
+        .mean_outage(5.0)
+        .node_fleet(4)
+        .node_mtbf(40.0)
+        .node_mttr(10.0)
+        .seed(63)
+        .build(&big)
+        .unwrap();
+    let mut controller = Controller::new(&small, ControllerConfig::periodic_reopt());
+    for event in trace.events() {
+        controller.handle(event);
+    }
+    let report = controller.report();
+    // Chains crossing VNFs the small scenario does not deploy are
+    // refused with `RejectReason::UnknownVnf`, not an index panic.
+    assert!(report.rejected > 0, "foreign chains must be refused");
+    // Outages naming unknown instances/nodes are counted stale.
+    assert!(report.stale_outage_events > 0, "foreign outages are stale");
+    assert_eq!(
+        report.admitted + report.retry_admitted,
+        report.active + report.departed + report.shed,
+        "conservation must survive a foreign trace"
+    );
+}
+
 /// A node fleet roomy enough that placement never fails for capacity
 /// reasons, plus an initial BFDSU placement of the scenario's fleet.
 fn cluster_for(s: &Scenario, nodes: usize) -> (Vec<ComputeNode>, Placement) {

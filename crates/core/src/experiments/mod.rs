@@ -24,7 +24,10 @@
 //!   controller's background-refiner replay;
 //! * [`replay`] — ingestion throughput: a streamed million-event churn
 //!   trace through the controller's exact and batched replay paths,
-//!   scored in events per wall-clock second.
+//!   scored in events per wall-clock second;
+//! * [`fleet`] — multi-tenant scale: 8/64/256 independent tenant
+//!   controllers sharded over the thread pool under one virtual clock,
+//!   scored on cross-shard migration cost and rebalance latency.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
@@ -33,6 +36,7 @@
 
 pub mod anytime;
 pub mod churn;
+pub mod fleet;
 pub mod joint;
 pub mod placement;
 pub mod replay;

@@ -10,7 +10,9 @@
 
 use std::sync::Mutex;
 
-use nfv_core::experiments::{anytime, churn, joint, placement, resilience, scheduling, validation};
+use nfv_core::experiments::{
+    anytime, churn, fleet, joint, placement, resilience, scheduling, validation,
+};
 use nfv_parallel::set_default_threads;
 use nfv_search::{search, SearchConfig};
 
@@ -148,6 +150,41 @@ fn anytime_experiments_are_thread_count_invariant() {
     // while the two policies themselves replay on the worker pool.
     assert_invariant("refiner churn replay", || {
         anytime::refiner_replay(42).unwrap().to_table().to_string()
+    });
+}
+
+#[test]
+fn fleet_experiment_is_thread_count_invariant() {
+    // The fleet loop alternates a serial pump phase with a parallel drain
+    // phase over the worker pool; shards fold back in shard-id order and
+    // journals merge in shard order, so every report, every epoch record,
+    // every migration and the merged journal must be byte-identical at 1,
+    // 2 and 8 threads. The spec leaves `threads: 0` so the loop picks up
+    // the process-wide default this harness drives.
+    assert_invariant("fleet point (8 tenants / 2 shards) + journal", || {
+        let outcome = fleet::run_fleet_point(8, 2, 42).unwrap();
+        format!(
+            "{:?}\n{:?}\n{:?}\n{:?}\n{}",
+            outcome.report,
+            outcome.epoch_records,
+            outcome.migrations,
+            outcome.tenant_reports,
+            outcome.artifacts.journal_jsonl()
+        )
+    });
+    // The acceptance-scale point: 256 tenants in one process.
+    assert_invariant("fleet point (256 tenants / 16 shards) + journal", || {
+        let outcome = fleet::run_fleet_point(256, 16, 42).unwrap();
+        format!(
+            "{:?}\n{:?}\n{}",
+            outcome.report,
+            outcome.migrations,
+            outcome.artifacts.journal_jsonl()
+        )
+    });
+    // And the figure table the sweep renders.
+    assert_invariant("fleet sweep table", || {
+        fleet::fleet_sweep(42).unwrap().to_table(2).to_string()
     });
 }
 

@@ -1,0 +1,568 @@
+//! A deterministic multi-tenant fleet loop: N independent tenant
+//! controllers, sharded over the shared `nfv-parallel` pool, driven by
+//! one virtual clock.
+//!
+//! The paper optimizes a single cluster; a fleet serving many users runs
+//! *hundreds* of such optimizations concurrently in one process. This
+//! crate multiplexes them without surrendering the repo's core contract:
+//! same seed, same results, **bit for bit, at any thread count**.
+//!
+//! The moving parts:
+//!
+//! - **Tenants** — each an isolated world: its own scenario, its own
+//!   lazy churn stream (seeded via
+//!   [`tenant_seed`](nfv_workload::tenancy::tenant_seed)), its own
+//!   [`Controller`](nfv_controller::Controller).
+//! - **Channels** ([`EventChannel`]) — bounded SPSC-style buffers between
+//!   the trace streams and the shards. The serial *pump* phase fills
+//!   them (shard order, tenant order, stalling on a full channel); the
+//!   parallel *drain* phase empties them. Backpressure is part of the
+//!   deterministic schedule, not an accident of timing.
+//! - **Shards** ([`Shard`]) — disjoint tenant sets drained concurrently
+//!   via `par_map_indexed`, results folded in shard-id order, so thread
+//!   count never changes an outcome.
+//! - **Epochs** — the virtual clock advances in fixed steps; every event
+//!   with `time ≤ boundary` is pumped and drained (possibly over several
+//!   backpressure rounds) before the fleet crosses the boundary.
+//! - **Handoff** ([`HandoffLayer`]) — every `rebalance_every` epochs the
+//!   busiest tenant of the most-loaded shard migrates to the
+//!   least-loaded shard as a two-phase retire/add with conservation
+//!   accounting (see the `handoff` module docs).
+//!
+//! Journals merge per shard in shard-id order
+//! ([`TelemetryArtifacts::merged`]), so the fleet journal is one
+//! byte-identical artifact at 1, 2, or 8 threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod handoff;
+mod shard;
+
+use nfv_controller::{Controller, ControllerConfig, ControllerReport};
+use nfv_parallel::{default_threads, derive_seed, par_map_indexed, TaskPanic};
+use nfv_telemetry::{Telemetry, TelemetryArtifacts};
+use nfv_workload::churn::{ChurnStream, ChurnTraceBuilder, TimedEvent};
+use nfv_workload::tenancy::tenant_seed;
+use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy, TenantId, WorkloadError};
+
+pub use channel::EventChannel;
+pub use handoff::{HandoffLayer, MigrationRecord};
+pub use shard::{Shard, TenantSlot};
+
+/// Why a fleet run refused to start or aborted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The spec fails a sanity bound.
+    InvalidSpec(&'static str),
+    /// Building a tenant scenario or trace failed.
+    Workload(WorkloadError),
+    /// A shard task panicked on the pool.
+    Pool(TaskPanic),
+    /// A tenant's counters failed the conservation check during handoff
+    /// (`phase` is `retire`, `transit`, or `install`).
+    ConservationViolated {
+        /// The tenant whose accounting broke.
+        tenant: TenantId,
+        /// Which handoff phase detected it.
+        phase: &'static str,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidSpec(reason) => write!(f, "invalid fleet spec: {reason}"),
+            Self::Workload(err) => write!(f, "tenant workload: {err}"),
+            Self::Pool(err) => write!(f, "shard pool: {err}"),
+            Self::ConservationViolated { tenant, phase } => {
+                write!(f, "conservation violated for {tenant} at {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Workload(err) => Some(err),
+            Self::Pool(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that defines one fleet run. A spec is a pure value: two
+/// runs of the same spec produce byte-identical outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSpec {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Number of shards the tenants are partitioned over.
+    pub shards: usize,
+    /// VNFs per tenant scenario.
+    pub vnfs: usize,
+    /// Base requests per tenant scenario.
+    pub requests: usize,
+    /// Per-instance utilization target of the scenario generator.
+    pub target_utilization: f64,
+    /// Virtual-time horizon of every tenant's trace, seconds.
+    pub horizon: f64,
+    /// Poisson churn arrival rate per tenant, events/second.
+    pub arrival_rate: f64,
+    /// Mean exponential holding time, seconds.
+    pub mean_holding: f64,
+    /// Re-optimization tick period per tenant, seconds.
+    pub tick_period: f64,
+    /// Virtual seconds per fleet epoch.
+    pub epoch: f64,
+    /// Bound of each tenant's event channel.
+    pub channel_capacity: usize,
+    /// Initiate a handoff every this many epochs (`0` disables).
+    pub rebalance_every: u64,
+    /// Fleet seed; every tenant seed derives from it.
+    pub seed: u64,
+    /// Whether tenants record telemetry journals.
+    pub telemetry: bool,
+    /// The controller configuration every tenant runs.
+    pub controller: ControllerConfig,
+    /// Worker threads for the drain phase (`0` = process default).
+    pub threads: usize,
+}
+
+impl FleetSpec {
+    /// A small smoke-test fleet: 4 tenants on 2 shards, rebalancing
+    /// aggressively so the handoff path is exercised even in tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            tenants: 4,
+            shards: 2,
+            vnfs: 3,
+            requests: 12,
+            target_utilization: 0.6,
+            horizon: 40.0,
+            arrival_rate: 0.5,
+            mean_holding: 10.0,
+            tick_period: 20.0,
+            epoch: 10.0,
+            channel_capacity: 16,
+            rebalance_every: 1,
+            seed: 11,
+            telemetry: true,
+            controller: ControllerConfig::periodic_reopt(),
+            threads: 0,
+        }
+    }
+
+    /// The smoke spec scaled to `tenants` tenants on `shards` shards.
+    #[must_use]
+    pub fn sized(tenants: usize, shards: usize) -> Self {
+        Self {
+            tenants,
+            shards,
+            ..Self::smoke()
+        }
+    }
+
+    fn validate(&self) -> Result<(), FleetError> {
+        if self.tenants == 0 {
+            return Err(FleetError::InvalidSpec("tenants must be >= 1"));
+        }
+        if self.shards == 0 {
+            return Err(FleetError::InvalidSpec("shards must be >= 1"));
+        }
+        if self.vnfs == 0 || self.requests == 0 {
+            return Err(FleetError::InvalidSpec(
+                "tenant scenarios must be non-empty",
+            ));
+        }
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(FleetError::InvalidSpec(
+                "horizon must be positive and finite",
+            ));
+        }
+        if !(self.epoch.is_finite() && self.epoch > 0.0) {
+            return Err(FleetError::InvalidSpec("epoch must be positive and finite"));
+        }
+        if self.channel_capacity == 0 {
+            return Err(FleetError::InvalidSpec("channel capacity must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Number of epochs the run spans.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        (self.horizon / self.epoch).ceil().max(1.0) as u64
+    }
+}
+
+/// Fleet-wide counter totals at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochRecord {
+    /// The epoch index (0-based).
+    pub epoch: u64,
+    /// Virtual time of the epoch's end.
+    pub end_time: f64,
+    /// Events processed during this epoch (all shards).
+    pub events: u64,
+    /// Cumulative fleet admissions at the boundary.
+    pub admitted: u64,
+    /// Cumulative fleet retry admissions at the boundary.
+    pub retry_admitted: u64,
+    /// Active requests across the fleet at the boundary.
+    pub active: u64,
+    /// Cumulative departures at the boundary.
+    pub departed: u64,
+    /// Cumulative sheds at the boundary.
+    pub shed: u64,
+}
+
+impl EpochRecord {
+    /// Whether the fleet-wide conservation law holds at this boundary.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.admitted + self.retry_admitted == self.active + self.departed + self.shed
+    }
+}
+
+/// Aggregated results of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Tenants in the fleet.
+    pub tenants: usize,
+    /// Shards the fleet ran on.
+    pub shards: usize,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Total admissions across all tenants.
+    pub admitted: u64,
+    /// Total rejections across all tenants.
+    pub rejected: u64,
+    /// Total departures across all tenants.
+    pub departed: u64,
+    /// Total sheds across all tenants.
+    pub shed: u64,
+    /// Total retry admissions across all tenants.
+    pub retry_admitted: u64,
+    /// Requests still active at the horizon.
+    pub active: u64,
+    /// Completed cross-shard migrations.
+    pub migrations: u64,
+    /// Total state carried across shard boundaries (active requests +
+    /// pending retries at retire time, summed over migrations).
+    pub migration_cost: u64,
+    /// Mean virtual-time latency of a handoff (retire → install),
+    /// seconds; `0.0` when no migration happened.
+    pub mean_rebalance_latency: f64,
+    /// Events processed per shard, shard-id order.
+    pub shard_events: Vec<u64>,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The aggregated counters.
+    pub report: FleetReport,
+    /// Per-epoch fleet totals, epoch order.
+    pub epoch_records: Vec<EpochRecord>,
+    /// Completed migrations, oldest first.
+    pub migrations: Vec<MigrationRecord>,
+    /// Final per-tenant reports, tenant-id order.
+    pub tenant_reports: Vec<(TenantId, ControllerReport)>,
+    /// The merged fleet journal (per-shard, shard-id order).
+    pub artifacts: TelemetryArtifacts,
+}
+
+/// Pulls events with `time ≤ boundary` from each installed tenant's
+/// stream into its channel: shard order, tenant order, stopping per
+/// tenant at a full channel (the head event parks in `pending`). Parked
+/// tenants have no slot and are skipped — their streams stall until
+/// re-install. Returns the number of events pumped.
+fn pump(
+    streams: &mut [ChurnStream<'_>],
+    pending: &mut [Option<TimedEvent>],
+    shards: &mut [Shard],
+    boundary: f64,
+) -> u64 {
+    let mut pumped = 0;
+    for shard in shards.iter_mut() {
+        for slot in shard.slots_mut() {
+            let t = slot.tenant().as_usize();
+            while !slot.channel_full() {
+                let event = match pending[t].take() {
+                    Some(event) => event,
+                    None => match streams[t].next() {
+                        Some(event) => event,
+                        None => break,
+                    },
+                };
+                if event.time() > boundary {
+                    pending[t] = Some(event);
+                    break;
+                }
+                slot.push(event);
+                pumped += 1;
+            }
+        }
+    }
+    pumped
+}
+
+/// Sums the fleet-wide counters: every installed tenant plus the parked
+/// one, shard order then tenant order (all-integer, so order only
+/// matters for determinism of iteration, which is fixed anyway).
+fn fleet_totals(
+    shards: &[Shard],
+    handoff: &HandoffLayer,
+    epoch: u64,
+    end_time: f64,
+) -> EpochRecord {
+    let mut record = EpochRecord {
+        epoch,
+        end_time,
+        ..EpochRecord::default()
+    };
+    let mut add = |r: &ControllerReport| {
+        record.admitted += r.admitted;
+        record.retry_admitted += r.retry_admitted;
+        record.active += r.active;
+        record.departed += r.departed;
+        record.shed += r.shed;
+    };
+    for shard in shards {
+        for slot in shard.slots() {
+            add(&slot.report());
+        }
+    }
+    if let Some(parked) = handoff.parked_report() {
+        add(parked);
+    }
+    record
+}
+
+/// Runs a fleet to its horizon.
+///
+/// # Errors
+///
+/// [`FleetError`] for an invalid spec, a workload-generation failure, a
+/// shard panic on the pool, or a conservation violation during handoff.
+pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
+    spec.validate()?;
+    let threads = if spec.threads == 0 {
+        default_threads()
+    } else {
+        spec.threads
+    };
+    let scenarios: Vec<Scenario> = (0..spec.tenants)
+        .map(|t| {
+            ScenarioBuilder::new()
+                .vnfs(spec.vnfs)
+                .requests(spec.requests)
+                .service_rate_policy(ServiceRatePolicy::ScaledToLoad {
+                    target_utilization: spec.target_utilization,
+                })
+                .seed(tenant_seed(spec.seed, TenantId::new(t as u32)))
+                .build()
+                .map_err(FleetError::Workload)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut streams: Vec<ChurnStream<'_>> = Vec::with_capacity(spec.tenants);
+    for (t, scenario) in scenarios.iter().enumerate() {
+        streams.push(
+            ChurnTraceBuilder::new()
+                .horizon(spec.horizon)
+                .arrival_rate(spec.arrival_rate)
+                .mean_holding(spec.mean_holding)
+                .tick_period(spec.tick_period)
+                .seed(derive_seed(spec.seed, t as u64))
+                .stream(scenario)
+                .map_err(FleetError::Workload)?,
+        );
+    }
+    let mut pending: Vec<Option<TimedEvent>> = (0..spec.tenants).map(|_| None).collect();
+    let mut shards: Vec<Shard> = (0..spec.shards).map(Shard::new).collect();
+    for (t, scenario) in scenarios.iter().enumerate() {
+        let telemetry = if spec.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        shards[t % spec.shards].install(TenantSlot::new(
+            TenantId::new(t as u32),
+            Controller::new(scenario, spec.controller),
+            EventChannel::new(spec.channel_capacity),
+            telemetry,
+        ));
+    }
+    let epochs = spec.epochs();
+    let mut handoff = HandoffLayer::default();
+    let mut epoch_records = Vec::with_capacity(epochs as usize);
+    let mut processed_before = 0u64;
+    for epoch in 0..epochs {
+        handoff.install_due(&mut shards, epoch)?;
+        // The final epoch flushes everything, horizon-clamped streams
+        // included, so no event is left behind a fractional boundary.
+        let boundary = if epoch + 1 == epochs {
+            f64::MAX
+        } else {
+            (epoch + 1) as f64 * spec.epoch
+        };
+        loop {
+            let pumped = pump(&mut streams, &mut pending, &mut shards, boundary);
+            let buffered: usize = shards.iter().map(Shard::buffered).sum();
+            if pumped == 0 && buffered == 0 {
+                break;
+            }
+            shards = par_map_indexed(threads, shards, |_, mut shard| {
+                shard.drain_round();
+                shard
+            })
+            .map_err(FleetError::Pool)?;
+        }
+        let processed_now: u64 = shards.iter().map(Shard::processed).sum();
+        let mut record = fleet_totals(
+            &shards,
+            &handoff,
+            epoch,
+            spec.horizon.min((epoch + 1) as f64 * spec.epoch),
+        );
+        record.events = processed_now - processed_before;
+        processed_before = processed_now;
+        epoch_records.push(record);
+        // Initiate a handoff only when its install epoch still exists.
+        if spec.rebalance_every > 0 && (epoch + 1) % spec.rebalance_every == 0 && epoch + 2 < epochs
+        {
+            handoff.initiate(&mut shards, epoch, spec.epoch)?;
+        }
+    }
+    debug_assert!(handoff.idle(), "every handoff installs before the run ends");
+    let migrations = handoff.records().to_vec();
+    // Close every tenant at the horizon and merge journals per shard in
+    // shard-id order (tenant order within each shard).
+    let shard_events: Vec<u64> = shards.iter().map(Shard::processed).collect();
+    let mut tenant_reports: Vec<(TenantId, ControllerReport)> = Vec::with_capacity(spec.tenants);
+    let mut parts: Vec<TelemetryArtifacts> = Vec::with_capacity(spec.tenants);
+    for shard in shards {
+        for (tenant, report, artifacts) in shard.finish(spec.horizon) {
+            tenant_reports.push((tenant, report));
+            parts.push(artifacts);
+        }
+    }
+    let artifacts = TelemetryArtifacts::merged(parts);
+    tenant_reports.sort_by_key(|(tenant, _)| *tenant);
+    let mut report = FleetReport {
+        tenants: spec.tenants,
+        shards: spec.shards,
+        epochs,
+        events: shard_events.iter().sum(),
+        admitted: 0,
+        rejected: 0,
+        departed: 0,
+        shed: 0,
+        retry_admitted: 0,
+        active: 0,
+        migrations: migrations.len() as u64,
+        migration_cost: migrations
+            .iter()
+            .map(|m| m.carried_active + m.carried_retry)
+            .sum(),
+        mean_rebalance_latency: if migrations.is_empty() {
+            0.0
+        } else {
+            migrations.iter().map(|m| m.latency).sum::<f64>() / migrations.len() as f64
+        },
+        shard_events,
+    };
+    for (_, r) in &tenant_reports {
+        report.admitted += r.admitted;
+        report.rejected += r.rejected;
+        report.departed += r.departed;
+        report.shed += r.shed;
+        report.retry_admitted += r.retry_admitted;
+        report.active += r.active;
+    }
+    Ok(FleetOutcome {
+        report,
+        epoch_records,
+        migrations,
+        tenant_reports,
+        artifacts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fleet_conserves_and_migrates() {
+        let outcome = run(&FleetSpec::smoke()).unwrap();
+        let report = &outcome.report;
+        assert!(report.events > 0);
+        assert!(report.admitted > 0);
+        assert_eq!(
+            report.admitted + report.retry_admitted,
+            report.active + report.departed + report.shed,
+            "fleet-wide conservation"
+        );
+        for record in &outcome.epoch_records {
+            assert!(record.conserved(), "epoch {} conserves", record.epoch);
+        }
+        assert_eq!(report.epochs as usize, outcome.epoch_records.len());
+        assert_eq!(report.events, report.shard_events.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn same_spec_runs_are_byte_identical() {
+        let spec = FleetSpec::smoke();
+        let a = run(&spec).unwrap();
+        let b = run(&spec).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.epoch_records, b.epoch_records);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.tenant_reports, b.tenant_reports);
+        assert_eq!(
+            a.artifacts.journal_jsonl(),
+            b.artifacts.journal_jsonl(),
+            "merged journals byte-identical"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_refused() {
+        let mut spec = FleetSpec::smoke();
+        spec.tenants = 0;
+        assert!(matches!(run(&spec), Err(FleetError::InvalidSpec(_))));
+        let mut spec = FleetSpec::smoke();
+        spec.epoch = 0.0;
+        assert!(matches!(run(&spec), Err(FleetError::InvalidSpec(_))));
+        let mut spec = FleetSpec::smoke();
+        spec.channel_capacity = 0;
+        assert!(matches!(run(&spec), Err(FleetError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn rebalancing_moves_tenants_without_changing_tenant_outcomes() {
+        // The same fleet with handoff disabled: tenants are independent,
+        // so per-tenant reports must be identical — migration moves
+        // *where* a tenant runs, never *what* it computes.
+        let with = run(&FleetSpec::smoke()).unwrap();
+        let without = run(&FleetSpec {
+            rebalance_every: 0,
+            ..FleetSpec::smoke()
+        })
+        .unwrap();
+        assert!(
+            with.report.migrations > 0,
+            "smoke spec must exercise handoff"
+        );
+        assert_eq!(without.report.migrations, 0);
+        assert_eq!(with.tenant_reports, without.tenant_reports);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-shard handoff conservation: whatever the fleet shape, whatever
+//! the rebalance cadence, admission accounting balances across all
+//! shards at every epoch boundary.
+
+use nfv_fleet::{run, FleetSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fleet shapes — tenant/shard counts, epoch lengths, channel
+    /// bounds, rebalance cadences, seeds — all hold the conservation law
+    /// `admitted + retry_admitted == active + departed + shed` summed
+    /// across all shards (parked tenant included) at every epoch
+    /// boundary, and the handoff layer's own retire/transit/install
+    /// checks never trip.
+    #[test]
+    fn cross_shard_conservation_holds_for_any_fleet_shape(word in 0u64..u64::MAX) {
+        let tenants = 1 + (word & 0x7) as usize;            // 1..=8
+        let shards = 1 + ((word >> 3) & 0x3) as usize;      // 1..=4
+        let epoch = [5.0, 8.0, 13.0][((word >> 5) % 3) as usize];
+        let channel_capacity = 1 + ((word >> 8) & 0xF) as usize; // 1..=16
+        let rebalance_every = (word >> 12) & 0x3; // 0..=3 (0 = off)
+        let seed = word >> 16;
+        let spec = FleetSpec {
+            tenants,
+            shards,
+            epoch,
+            channel_capacity,
+            rebalance_every,
+            seed,
+            horizon: 35.0,
+            ..FleetSpec::smoke()
+        };
+        // `run` itself errors with `ConservationViolated` if any handoff
+        // phase sees unbalanced counters, so `Ok` is already a verdict.
+        let outcome = run(&spec).unwrap();
+        for record in &outcome.epoch_records {
+            prop_assert!(
+                record.conserved(),
+                "epoch {} of spec {:?}: {} + {} != {} + {} + {}",
+                record.epoch,
+                (tenants, shards, epoch, channel_capacity, rebalance_every, seed),
+                record.admitted,
+                record.retry_admitted,
+                record.active,
+                record.departed,
+                record.shed,
+            );
+        }
+        let report = &outcome.report;
+        prop_assert_eq!(
+            report.admitted + report.retry_admitted,
+            report.active + report.departed + report.shed
+        );
+        // Every event generated is processed exactly once, wherever the
+        // tenant ended up living.
+        prop_assert_eq!(report.events, report.shard_events.iter().sum::<u64>());
+        // Migrations carry exactly the state the records claim.
+        for migration in &outcome.migrations {
+            prop_assert!(migration.from != migration.to);
+            prop_assert_eq!(migration.installed_epoch, migration.retired_epoch + 2);
+            prop_assert!((migration.latency - epoch).abs() < 1e-12);
+        }
+    }
+
+    /// The merged journal and every report are independent of the drain
+    /// phase's thread count.
+    #[test]
+    fn fleet_outcome_is_thread_count_invariant(seed in 0u64..64) {
+        let base = FleetSpec {
+            seed,
+            ..FleetSpec::smoke()
+        };
+        let one = run(&FleetSpec { threads: 1, ..base }).unwrap();
+        let eight = run(&FleetSpec { threads: 8, ..base }).unwrap();
+        prop_assert_eq!(&one.report, &eight.report);
+        prop_assert_eq!(&one.epoch_records, &eight.epoch_records);
+        prop_assert_eq!(&one.migrations, &eight.migrations);
+        prop_assert_eq!(&one.tenant_reports, &eight.tenant_reports);
+        prop_assert_eq!(one.artifacts.journal_jsonl(), eight.artifacts.journal_jsonl());
+    }
+}

@@ -93,6 +93,28 @@ impl TelemetryArtifacts {
         self.series.merge(&other.series);
     }
 
+    /// Merges many sessions' artifacts in iteration order — the fleet
+    /// path, which folds per-tenant journals shard by shard in shard-id
+    /// order (tenants in owned order within each shard). Because that
+    /// order is a pure function of the seed and never of the thread
+    /// count, the merged journal is byte-identical at any parallelism;
+    /// the merge quadratic (`merge` re-seqs per part) is avoided by
+    /// re-assigning dense sequence numbers once at the end.
+    #[must_use]
+    pub fn merged<I: IntoIterator<Item = TelemetryArtifacts>>(parts: I) -> Self {
+        let mut all = TelemetryArtifacts::default();
+        for part in parts {
+            all.dropped_events += part.dropped_events;
+            all.events.extend(part.events);
+            all.profile.merge(&part.profile);
+            all.series.merge(&part.series);
+        }
+        for (seq, event) in all.events.iter_mut().enumerate() {
+            event.seq = seq as u64;
+        }
+        all
+    }
+
     /// The journal as JSONL (one event per line).
     #[must_use]
     pub fn journal_jsonl(&self) -> String {

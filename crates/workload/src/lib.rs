@@ -45,6 +45,7 @@ pub mod replicate;
 mod requests;
 mod scenario;
 mod templates;
+pub mod tenancy;
 
 pub use catalog::{VnfCatalog, VnfProfile};
 pub use chains::ChainGenerator;
@@ -52,3 +53,4 @@ pub use error::WorkloadError;
 pub use requests::RequestGenerator;
 pub use scenario::{InstancePolicy, Scenario, ScenarioBuilder, ServiceRatePolicy};
 pub use templates::ChainTemplate;
+pub use tenancy::{TenantEvent, TenantId, TenantInterleave};
