@@ -10,6 +10,22 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== panic-site gate (non-test unwrap/expect in controller + fleet vs ci/panic_allowlist.txt) =="
+panic_gate_failed=0
+for f in $(find crates/controller/src crates/fleet/src -name '*.rs' | sort); do
+    count=$(awk '/^#\[cfg\(test\)\]/{exit} { line=$0; sub(/\/\/.*/, "", line); if (line ~ /\.unwrap\(\)|\.expect\(/) c++ } END{print c+0}' "$f")
+    allowed=$(awk -v f="$f" '$1 == f {print $2}' ci/panic_allowlist.txt)
+    allowed=${allowed:-0}
+    if [ "$count" -ne "$allowed" ]; then
+        echo "$f has $count non-test unwrap/expect sites; the allowlist budgets $allowed"
+        panic_gate_failed=1
+    fi
+done
+if [ "$panic_gate_failed" != 0 ]; then
+    echo "panic-site budget mismatch: audit the sites and update ci/panic_allowlist.txt in the same commit"
+    exit 1
+fi
+
 echo "== cargo test (facade + workspace) =="
 cargo test -q
 cargo test -q --workspace
@@ -46,6 +62,13 @@ cargo test -q -p nfv-fleet
 cargo test -q -p nfv-core --lib fleet
 cargo test -q -p nfv-core --test thread_invariance fleet
 
+echo "== chaos harness (seeded fault plans, checkpoint/restore, byte-identical recovery) =="
+cargo test -q -p nfv-chaos
+cargo test -q -p nfv-controller --test snapshot_roundtrip
+cargo test -q -p nfv-fleet --test chaos_recovery
+cargo test -q -p nfv-core --lib chaos
+cargo test -q -p nfv-core --test thread_invariance chaos
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -57,6 +80,9 @@ cargo run -q --release -p nfv-bench --bin figures -- churn
 
 echo "== resilience figure (emergency re-placement + retries must beat tick-only recovery) =="
 cargo run -q --release -p nfv-bench --bin figures -- resilience
+
+echo "== chaos figure (every recovered run byte-identical to the undisturbed baseline) =="
+cargo run -q --release -p nfv-bench --bin figures -- chaos
 
 echo "== telemetry layer (strict observer, journal round-trip, merge order) =="
 cargo test -q -p nfv-telemetry
@@ -86,6 +112,7 @@ echo "== telemetry overhead gate (disabled path within 2% of the plain replay) =
 committed=$(git show HEAD:BENCH_pipeline.json 2>/dev/null || true)
 committed_eps=$(printf '%s' "$committed" | bench_field replay events_per_second || true)
 committed_fleet_eps=$(printf '%s' "$committed" | fleet_field events_per_second || true)
+committed_recovery_eps=$(printf '%s' "$committed" | bench_field recovery faulted_events_per_second || true)
 cargo run --release -p nfv-bench --bin figures -- bench --reps 2
 overhead=$(bench_field telemetry disabled_overhead_pct < BENCH_pipeline.json)
 echo "telemetry disabled-path overhead: ${overhead}%"
@@ -146,5 +173,41 @@ if [ -n "${committed_fleet_eps}" ]; then
 else
     echo "no committed fleet figure yet; regression gate skipped"
 fi
+
+echo "== recovery gate (faulted bench run byte-identical; >= 80% of committed faulted ev/s) =="
+# Hard: byte-identity of the recovered run is deterministic per seed, so
+# a divergence is a recovery bug, never host noise.
+sed -n '/"recovery": {/,/}/p' BENCH_pipeline.json | grep -q '"byte_identical": true' || {
+    echo "recovery bench: the faulted run diverged from the undisturbed baseline"
+    exit 1
+}
+# Hard (with one retry, like the replay gate): relative throughput of the
+# faulted run — checkpoints, restores and replay ride the hot path, so a
+# collapse here means recovery overhead regressed.
+for attempt in 1 2; do
+    recovery_eps=$(bench_field recovery faulted_events_per_second < BENCH_pipeline.json)
+    recovery_replayed=$(bench_field recovery events_replayed < BENCH_pipeline.json)
+    recovery_faults=$(bench_field recovery faults_injected < BENCH_pipeline.json)
+    echo "recovery: ${recovery_faults} faults, ${recovery_replayed} events replayed, faulted run at ${recovery_eps} events/s (committed: ${committed_recovery_eps:-none})"
+    # Hard: the seeded plan must actually disturb the run and the
+    # replay-to-catch-up path must actually replay events.
+    awk -v f="$recovery_faults" -v r="$recovery_replayed" 'BEGIN { exit (f >= 1 && r >= 1) ? 0 : 1 }' || {
+        echo "recovery bench injected no faults (or replayed no events); the chaos path is dead"
+        exit 1
+    }
+    if [ -z "${committed_recovery_eps}" ]; then
+        echo "no committed recovery figure yet; regression gate skipped"
+        break
+    fi
+    if awk -v e="$recovery_eps" -v c="$committed_recovery_eps" 'BEGIN { exit (e >= 0.8 * c) ? 0 : 1 }'; then
+        break
+    fi
+    if [ "$attempt" = 2 ]; then
+        echo "recovery throughput ${recovery_eps} events/s regressed below 80% of the committed ${committed_recovery_eps}"
+        exit 1
+    fi
+    echo "recovery throughput ${recovery_eps} events/s below 80% of committed ${committed_recovery_eps}; retrying the measurement once"
+    cargo run --release -p nfv-bench --bin figures -- bench --reps 2
+done
 
 echo "ci: all green"

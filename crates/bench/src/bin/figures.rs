@@ -34,12 +34,13 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nfv_bench::{
-    scaled_reps, BenchReport, FigureTiming, FleetPointBench, ReplayReport, SearchReport,
-    TelemetryReport,
+    scaled_reps, BenchReport, FigureTiming, FleetPointBench, RecoveryBench, ReplayReport,
+    SearchReport, TelemetryReport,
 };
 use nfv_controller::{Controller, ControllerConfig};
 use nfv_core::experiments::{
-    anytime, churn, fleet, joint, placement, replay, resilience, scheduling, validation, Sweep,
+    anytime, chaos, churn, fleet, joint, placement, replay, resilience, scheduling, validation,
+    Sweep,
 };
 use nfv_core::CoreError;
 use nfv_metrics::{enhancement_ratio, Table};
@@ -116,11 +117,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|anytime|joint|churn|resilience|fleet|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
+    "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|tail|fig15|fig16|headline|online|quality|anytime|joint|churn|resilience|fleet|chaos|trace|profile|validate|ablation|all|bench> [--reps N] [--seed S] [--csv DIR] [--threads T]".to_owned()
 }
 
 /// The `all` command list, in paper order.
-const ALL_COMMANDS: [&str; 23] = [
+const ALL_COMMANDS: [&str; 24] = [
     "fig5",
     "fig6",
     "fig7",
@@ -142,6 +143,7 @@ const ALL_COMMANDS: [&str; 23] = [
     "churn",
     "resilience",
     "fleet",
+    "chaos",
     "validate",
     "ablation",
 ];
@@ -160,6 +162,20 @@ fn main() -> ExitCode {
     if let Some(threads) = options.threads {
         set_default_threads(threads);
     }
+    // The chaos figure and the recovery bench inject shard-worker panics
+    // that the supervised drain catches and repairs; the default hook
+    // would still print a backtrace per injection. Silence exactly those
+    // and delegate everything else untouched.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected shard-worker panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
     if let Some(dir) = &options.csv_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create csv directory {}: {err}", dir.display());
@@ -349,6 +365,71 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
             mean_rebalance_latency_seconds: report.mean_rebalance_latency,
         });
     }
+
+    // Recovery throughput: the chaos fleet point undisturbed vs disturbed
+    // by a seeded plan of recoverable faults with checkpoint/restore +
+    // replay repairing the damage. The counters and the byte-identity
+    // verdict are deterministic; the wall-clock pair prices the recovery
+    // machinery. ci.sh gates the faulted throughput relative to the
+    // undisturbed run.
+    const RECOVERY_FAULT_RATE: f64 = 0.3;
+    let recovery_spec = chaos::chaos_spec(options.seed);
+    let recovery_plan = nfv_fleet::FaultPlan::seeded(
+        options.seed,
+        recovery_spec.epochs() as usize,
+        recovery_spec.shards,
+        recovery_spec.tenants as u32,
+        &nfv_fleet::FaultRates::recoverable(RECOVERY_FAULT_RATE),
+    );
+    let undisturbed = nfv_fleet::run(&recovery_spec).map_err(|_| CoreError::Inconsistent {
+        reason: "recovery bench baseline failed",
+    })?;
+    let faulted = nfv_fleet::run_with_faults(&recovery_spec, &recovery_plan).map_err(|_| {
+        CoreError::Inconsistent {
+            reason: "recovery bench faulted run failed",
+        }
+    })?;
+    let byte_identical = faulted.report == undisturbed.report
+        && faulted.epoch_records == undisturbed.epoch_records
+        && faulted.tenant_reports == undisturbed.tenant_reports
+        && faulted.artifacts.journal_jsonl() == undisturbed.artifacts.journal_jsonl();
+    let undisturbed_seconds = min_seconds(3, || {
+        let _ = nfv_fleet::run(&recovery_spec);
+    });
+    let faulted_seconds = min_seconds(3, || {
+        let _ = nfv_fleet::run_with_faults(&recovery_spec, &recovery_plan);
+    });
+    let recovery = &faulted.recovery;
+    let tenant_epochs = (faulted.report.tenants as u64 * faulted.report.epochs).max(1);
+    let disturbed =
+        (recovery.shard_restores + recovery.tenant_restores + recovery.tenants_quarantined)
+            .min(tenant_epochs);
+    let recovery_bench = RecoveryBench {
+        fault_rate: RECOVERY_FAULT_RATE,
+        faults_injected: recovery.faults_injected,
+        checkpoints: recovery.checkpoints,
+        restores: recovery.shard_restores + recovery.tenant_restores,
+        events_replayed: recovery.events_replayed,
+        availability: 1.0 - disturbed as f64 / tenant_epochs as f64,
+        byte_identical,
+        undisturbed_seconds,
+        faulted_seconds,
+        faulted_events_per_second: faulted.report.events as f64 / faulted_seconds.max(1e-9),
+        recovery_overhead_pct: (faulted_seconds - undisturbed_seconds)
+            / undisturbed_seconds.max(1e-9)
+            * 100.0,
+    };
+    println!(
+        "bench: recovery at fault rate {RECOVERY_FAULT_RATE}: {} faults fired, {} restores, \
+         {} events replayed, byte-identical: {}; {undisturbed_seconds:.3}s undisturbed vs \
+         {faulted_seconds:.3}s faulted ({:.0} ev/s, {:+.1}% overhead)",
+        recovery_bench.faults_injected,
+        recovery_bench.restores,
+        recovery_bench.events_replayed,
+        byte_identical,
+        recovery_bench.faulted_events_per_second,
+        recovery_bench.recovery_overhead_pct,
+    );
     set_default_threads(0);
 
     // Search throughput: GA generations/second on the anytime Pareto
@@ -416,6 +497,7 @@ fn run_bench(options: &Options) -> Result<(), CoreError> {
             rejected: replay_throughput.rejected,
         },
         fleet: fleet_points,
+        recovery: recovery_bench,
         figures: ALL_COMMANDS
             .iter()
             .enumerate()
@@ -584,6 +666,7 @@ fn dispatch(command: &str, options: &Options) -> Result<String, CoreError> {
         "churn" => print_churn(&mut out, seed)?,
         "resilience" => print_resilience(&mut out, seed)?,
         "fleet" => print_fleet(&mut out, seed)?,
+        "chaos" => print_chaos(&mut out, seed)?,
         "trace" => print_trace(&mut out, seed)?,
         "profile" => print_profile(&mut out, seed)?,
         "validate" => print_validation(&mut out, seed)?,
@@ -1194,6 +1277,42 @@ fn print_fleet(out: &mut String, seed: u64) -> Result<(), CoreError> {
          (per size: {:?}) at a one-epoch rebalance latency ({:?}s)",
         migrations, latency,
     );
+    Ok(())
+}
+
+/// `figures chaos`: crash recovery under seeded fault injection — the
+/// fleet disturbed at increasing per-epoch fault rates, recovered
+/// through epoch checkpoints + event replay, scored on replay overhead
+/// and availability. The `identical` column verifies inline that every
+/// recovered run matches the fault-free baseline byte for byte; all
+/// columns are deterministic counters, so the table is bit-identical at
+/// any thread count.
+fn print_chaos(out: &mut String, seed: u64) -> Result<(), CoreError> {
+    let sweep = chaos::chaos_sweep(seed).map_err(|_| CoreError::Inconsistent {
+        reason: "chaos sweep failed",
+    })?;
+    print_sweep(
+        out,
+        "Chaos - checkpoint/restore recovery under seeded control-plane faults",
+        &sweep,
+        3,
+        None,
+    );
+    let identical = sweep.series_values("identical").unwrap_or_default();
+    let availability = sweep.series_values("availability").unwrap_or_default();
+    let all_identical = identical.iter().all(|&v| v == 1.0);
+    let _ = writeln!(
+        out,
+        "shape check: every recovered run byte-identical to the undisturbed baseline \
+         ({}), availability falling with the fault rate ({:?})",
+        if all_identical { "yes" } else { "NO" },
+        availability,
+    );
+    if !all_identical {
+        return Err(CoreError::Inconsistent {
+            reason: "a recovered chaos run diverged from the undisturbed baseline",
+        });
+    }
     Ok(())
 }
 

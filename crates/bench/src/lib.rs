@@ -6,8 +6,8 @@
 mod report;
 
 pub use report::{
-    BenchReport, FigureTiming, FleetPointBench, ReplayReport, ReportError, SearchReport,
-    TelemetryReport,
+    BenchReport, FigureTiming, FleetPointBench, RecoveryBench, ReplayReport, ReportError,
+    SearchReport, TelemetryReport,
 };
 
 use nfv_model::{ArrivalRate, ServiceChain};

@@ -32,6 +32,8 @@ pub struct BenchReport {
     pub replay: ReplayReport,
     /// Sharded multi-tenant fleet throughput, one entry per fleet size.
     pub fleet: Vec<FleetPointBench>,
+    /// Crash-recovery throughput under the seeded chaos plan.
+    pub recovery: RecoveryBench,
     /// Wall-clock per figure, serial and parallel.
     pub figures: Vec<FigureTiming>,
     /// Sum of the serial figure timings, seconds.
@@ -130,6 +132,45 @@ pub struct FleetPointBench {
     pub migration_cost: u64,
     /// Mean virtual seconds a migrating tenant spent in transit.
     pub mean_rebalance_latency_seconds: f64,
+}
+
+/// Crash recovery measured on the chaos fleet point: the same fleet run
+/// undisturbed and disturbed by a seeded plan of recoverable faults
+/// (worker panics, tenant crashes, channel drops/dups, state
+/// corruption), repaired through epoch checkpoints + event replay.
+///
+/// Counters and `byte_identical` are deterministic; only the wall-clock
+/// fields vary. `faulted_events_per_second` — throughput *with* the
+/// checkpoint/recovery machinery doing real work — is gated by `ci.sh`
+/// relative to the undisturbed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBench {
+    /// Per-epoch fault rate of the seeded plan.
+    pub fault_rate: f64,
+    /// Faults that actually fired during the run.
+    pub faults_injected: u64,
+    /// Tenant checkpoints taken at faulted epoch starts.
+    pub checkpoints: u64,
+    /// Restores performed (whole-shard + per-tenant).
+    pub restores: u64,
+    /// Events replayed from logs to catch restored tenants up.
+    pub events_replayed: u64,
+    /// Fraction of tenant-epochs that ran without needing recovery.
+    pub availability: f64,
+    /// Whether the recovered run matched the undisturbed run byte for
+    /// byte (report, epoch records, tenant reports, merged journal).
+    pub byte_identical: bool,
+    /// Fastest undisturbed wall-clock run, seconds.
+    pub undisturbed_seconds: f64,
+    /// Fastest faulted-and-recovered wall-clock run, seconds.
+    pub faulted_seconds: f64,
+    /// Events per second of the faulted run (replays excluded from the
+    /// event count: the numerator is the same work the undisturbed run
+    /// does, so the two throughputs compare like for like).
+    pub faulted_events_per_second: f64,
+    /// `(faulted - undisturbed) / undisturbed`, percent — the wall-clock
+    /// price of checkpoints, supervised drains, and replay.
+    pub recovery_overhead_pct: f64,
 }
 
 /// One figure's wall-clock timings.
@@ -268,6 +309,32 @@ impl BenchReport {
             );
         }
         let _ = writeln!(json, "  ],");
+        let rec = &self.recovery;
+        let _ = writeln!(json, "  \"recovery\": {{");
+        let _ = writeln!(json, "    \"fault_rate\": {:.3},", rec.fault_rate);
+        let _ = writeln!(json, "    \"faults_injected\": {},", rec.faults_injected);
+        let _ = writeln!(json, "    \"checkpoints\": {},", rec.checkpoints);
+        let _ = writeln!(json, "    \"restores\": {},", rec.restores);
+        let _ = writeln!(json, "    \"events_replayed\": {},", rec.events_replayed);
+        let _ = writeln!(json, "    \"availability\": {:.6},", rec.availability);
+        let _ = writeln!(json, "    \"byte_identical\": {},", rec.byte_identical);
+        let _ = writeln!(
+            json,
+            "    \"undisturbed_seconds\": {:.6},",
+            rec.undisturbed_seconds
+        );
+        let _ = writeln!(json, "    \"faulted_seconds\": {:.6},", rec.faulted_seconds);
+        let _ = writeln!(
+            json,
+            "    \"faulted_events_per_second\": {:.3},",
+            rec.faulted_events_per_second
+        );
+        let _ = writeln!(
+            json,
+            "    \"recovery_overhead_pct\": {:.3}",
+            rec.recovery_overhead_pct
+        );
+        let _ = writeln!(json, "  }},");
         let _ = writeln!(json, "  \"figures\": [");
         for (i, figure) in self.figures.iter().enumerate() {
             let comma = if i + 1 < self.figures.len() { "," } else { "" };
@@ -307,6 +374,7 @@ impl BenchReport {
         let search = root.child("search")?;
         let telemetry = root.child("telemetry")?;
         let replay = root.child("replay")?;
+        let recovery = root.child("recovery")?;
         let mut fleet = Vec::new();
         for (i, entry) in root.array("fleet")?.iter().enumerate() {
             let point = entry.object(&format!("fleet[{i}]"))?;
@@ -376,10 +444,36 @@ impl BenchReport {
                 rejected: replay.integer("rejected")?,
             },
             fleet,
+            recovery: RecoveryBench {
+                fault_rate: recovery.number("fault_rate")?,
+                faults_injected: recovery.integer("faults_injected")?,
+                checkpoints: recovery.integer("checkpoints")?,
+                restores: recovery.integer("restores")?,
+                events_replayed: recovery.integer("events_replayed")?,
+                availability: recovery.number("availability")?,
+                byte_identical: recovery.boolean("byte_identical")?,
+                undisturbed_seconds: recovery.number("undisturbed_seconds")?,
+                faulted_seconds: recovery.number("faulted_seconds")?,
+                faulted_events_per_second: recovery.number("faulted_events_per_second")?,
+                recovery_overhead_pct: recovery.number("recovery_overhead_pct")?,
+            },
             figures,
             total_serial_seconds: root.number("total_serial_seconds")?,
             total_parallel_seconds: root.nullable_number("total_parallel_seconds")?,
         };
+        recovery.deny_unknown(&[
+            "fault_rate",
+            "faults_injected",
+            "checkpoints",
+            "restores",
+            "events_replayed",
+            "availability",
+            "byte_identical",
+            "undisturbed_seconds",
+            "faulted_seconds",
+            "faulted_events_per_second",
+            "recovery_overhead_pct",
+        ])?;
         search.deny_unknown(&[
             "engine",
             "population",
@@ -418,6 +512,7 @@ impl BenchReport {
             "telemetry",
             "replay",
             "fleet",
+            "recovery",
             "figures",
             "total_serial_seconds",
             "total_parallel_seconds",
@@ -522,6 +617,13 @@ impl ObjectAt<'_> {
         match self.get(key)? {
             Json::String(s) => Ok(s.clone()),
             other => err(format!("`{}.{key}` is not a string: {other:?}", self.path)),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, ReportError> {
+        match self.get(key)? {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("`{}.{key}` is not a boolean: {other:?}", self.path)),
         }
     }
 
@@ -790,6 +892,19 @@ mod tests {
                     mean_rebalance_latency_seconds: 6.0,
                 },
             ],
+            recovery: RecoveryBench {
+                fault_rate: 0.25,
+                faults_injected: 9,
+                checkpoints: 24,
+                restores: 7,
+                events_replayed: 96,
+                availability: 0.875,
+                byte_identical: true,
+                undisturbed_seconds: 0.125,
+                faulted_seconds: 0.25,
+                faulted_events_per_second: 4_096.0,
+                recovery_overhead_pct: 100.0,
+            },
             figures: vec![
                 FigureTiming {
                     name: "fig5".to_owned(),
@@ -875,6 +990,38 @@ mod tests {
             .contains("oops"));
         let missing = json.replace("  \"fleet\": [\n", "  \"fleet_\": [\n");
         assert!(BenchReport::from_json(&missing).is_err());
+    }
+
+    #[test]
+    fn recovery_section_round_trips_and_rejects_drift() {
+        let report = sample(true);
+        let json = report.to_json();
+        assert!(json.contains("\"recovery\": {"));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert_eq!(
+            BenchReport::from_json(&json).unwrap().recovery,
+            report.recovery
+        );
+        let flipped = json.replace("\"byte_identical\": true", "\"byte_identical\": false");
+        assert!(
+            !BenchReport::from_json(&flipped)
+                .unwrap()
+                .recovery
+                .byte_identical
+        );
+        let drifted = json.replace(
+            "\"fault_rate\": 0.250,",
+            "\"fault_rate\": 0.250, \"extra\": 1,",
+        );
+        assert!(BenchReport::from_json(&drifted)
+            .unwrap_err()
+            .reason
+            .contains("extra"));
+        let not_bool = json.replace("\"byte_identical\": true", "\"byte_identical\": 1");
+        assert!(BenchReport::from_json(&not_bool)
+            .unwrap_err()
+            .reason
+            .contains("byte_identical"));
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl ActiveSet {
     fn iter(&self) -> impl Iterator<Item = &Request> {
         self.slots.iter().filter_map(Option::as_ref)
     }
+
+    /// The live requests in ascending id order — the canonical checkpoint
+    /// shape. Rebuilding a set by [`insert`](Self::insert)ing these is
+    /// logically equal to the original (slot layout is not part of the
+    /// set's logical state; every read goes through the id table).
+    pub(crate) fn export(&self) -> Vec<Request> {
+        let mut requests: Vec<Request> = self.iter().cloned().collect();
+        requests.sort_unstable_by_key(Request::id);
+        requests
+    }
 }
 
 /// Logical equality: the same id→request mapping, regardless of how the
@@ -122,6 +132,23 @@ mod tests {
         assert_eq!(set.remove(RequestId::new(5)), Some(request(5)));
         assert_eq!(set.remove(RequestId::new(5)), None);
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn export_is_id_sorted_and_rebuilds_logically_equal() {
+        let mut set = ActiveSet::default();
+        for id in [7, 1, 9, 3] {
+            set.insert(request(id));
+        }
+        set.remove(RequestId::new(9));
+        let exported = set.export();
+        let ids: Vec<u32> = exported.iter().map(|r| r.id().index()).collect();
+        assert_eq!(ids, vec![1, 3, 7]);
+        let mut rebuilt = ActiveSet::default();
+        for request in exported {
+            rebuilt.insert(request);
+        }
+        assert_eq!(rebuilt, set);
     }
 
     #[test]

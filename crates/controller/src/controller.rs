@@ -15,6 +15,7 @@ use rand::SeedableRng;
 
 use crate::active::ActiveSet;
 use crate::retry::RetryQueue;
+use crate::snapshot::{ControllerSnapshot, SnapshotError};
 use crate::{
     ControllerConfig, ControllerError, ControllerReport, ControllerState, RejectReason, ShedPolicy,
 };
@@ -123,6 +124,118 @@ struct Counters {
     /// `node_downs + node_ups` at the last refiner attempt, for the
     /// quiet-tick gate (not reported).
     outages_seen: u64,
+}
+
+impl Counters {
+    /// Counter names in declaration order — the snapshot's counter
+    /// schema. A snapshot whose pairs do not match this list exactly was
+    /// written by a different build and is refused on restore.
+    const NAMES: [&'static str; 25] = [
+        "admitted",
+        "rejected",
+        "departed",
+        "shed",
+        "migrated_failover",
+        "migrated_reopt",
+        "migrated_replace",
+        "ticks",
+        "reopts_applied",
+        "reopts_skipped",
+        "instances_added",
+        "instances_retired",
+        "relocations",
+        "replaces_applied",
+        "replaces_aborted",
+        "node_downs",
+        "node_ups",
+        "stale_outage_events",
+        "emergency_replaces",
+        "retries_attempted",
+        "retry_admitted",
+        "retry_abandoned",
+        "refines_applied",
+        "refines_rejected",
+        "outages_seen",
+    ];
+
+    fn values(&self) -> [u64; 25] {
+        [
+            self.admitted,
+            self.rejected,
+            self.departed,
+            self.shed,
+            self.migrated_failover,
+            self.migrated_reopt,
+            self.migrated_replace,
+            self.ticks,
+            self.reopts_applied,
+            self.reopts_skipped,
+            self.instances_added,
+            self.instances_retired,
+            self.relocations,
+            self.replaces_applied,
+            self.replaces_aborted,
+            self.node_downs,
+            self.node_ups,
+            self.stale_outage_events,
+            self.emergency_replaces,
+            self.retries_attempted,
+            self.retry_admitted,
+            self.retry_abandoned,
+            self.refines_applied,
+            self.refines_rejected,
+            self.outages_seen,
+        ]
+    }
+
+    fn to_pairs(&self) -> Vec<(String, u64)> {
+        Self::NAMES
+            .iter()
+            .zip(self.values())
+            .map(|(name, value)| ((*name).to_string(), value))
+            .collect()
+    }
+
+    /// Rebuilds the counter block from snapshot pairs; `None` when the
+    /// names do not match this build's schema exactly (order included).
+    fn from_pairs(pairs: &[(String, u64)]) -> Option<Self> {
+        if pairs.len() != Self::NAMES.len()
+            || pairs
+                .iter()
+                .zip(Self::NAMES)
+                .any(|((name, _), expected)| name != expected)
+        {
+            return None;
+        }
+        let v: Vec<u64> = pairs.iter().map(|(_, value)| *value).collect();
+        Some(Self {
+            admitted: v[0],
+            rejected: v[1],
+            departed: v[2],
+            shed: v[3],
+            migrated_failover: v[4],
+            migrated_reopt: v[5],
+            migrated_replace: v[6],
+            ticks: v[7],
+            reopts_applied: v[8],
+            reopts_skipped: v[9],
+            instances_added: v[10],
+            instances_retired: v[11],
+            relocations: v[12],
+            replaces_applied: v[13],
+            replaces_aborted: v[14],
+            node_downs: v[15],
+            node_ups: v[16],
+            stale_outage_events: v[17],
+            emergency_replaces: v[18],
+            retries_attempted: v[19],
+            retry_admitted: v[20],
+            retry_abandoned: v[21],
+            refines_applied: v[22],
+            refines_rejected: v[23],
+            outages_seen: v[24],
+        })
+    }
 }
 
 /// The physical substrate the controller re-places over: the node fleet,
@@ -312,6 +425,99 @@ impl Controller {
     #[must_use]
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// Captures the controller's full dynamic state as a
+    /// [`ControllerSnapshot`]. Applied back with
+    /// [`restore`](Self::restore) — onto this controller or any other
+    /// built from the same scenario and config — the controller is
+    /// rewound bit-for-bit: every subsequent event produces the same
+    /// outcome, journal record and report the original would have.
+    #[must_use]
+    pub fn checkpoint(&self) -> ControllerSnapshot {
+        let (retry_seq, retry_entries) = self.retry.export();
+        ControllerSnapshot {
+            clock: self.clock,
+            latency_integral: self.latency_integral,
+            current_latency: self.current_latency,
+            counters: self.counters.to_pairs(),
+            latency_samples: self.latency_samples.as_slice().to_vec(),
+            utilization_samples: self.utilization_samples.as_slice().to_vec(),
+            reports: self.snapshots.clone(),
+            slabs: self.state.export(),
+            active: self.active.export(),
+            retry_seq,
+            retry_entries,
+            cluster: self.cluster.as_ref().map(|cluster| {
+                (
+                    cluster.assignment.iter().map(|node| node.index()).collect(),
+                    cluster.node_down.clone(),
+                )
+            }),
+        }
+    }
+
+    /// Overwrites this controller's dynamic state from a snapshot taken
+    /// against the same scenario and config (crash recovery: build a
+    /// fresh controller, restore the last checkpoint, replay the events
+    /// since).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] when the snapshot does not fit this
+    /// controller — different VNF shape, cluster presence or size, a
+    /// counter schema from another build, or out-of-domain member data.
+    /// The controller may be partially overwritten on error and must be
+    /// discarded (restore into a freshly built controller to make the
+    /// operation all-or-nothing).
+    pub fn restore(&mut self, snapshot: &ControllerSnapshot) -> Result<(), SnapshotError> {
+        let mismatch = |reason| SnapshotError::Mismatch { reason };
+        let counters = Counters::from_pairs(&snapshot.counters)
+            .ok_or(mismatch("counter schema differs from this build"))?;
+        match (self.cluster.as_mut(), snapshot.cluster.as_ref()) {
+            (None, None) => {}
+            (Some(cluster), Some((assignment, node_down))) => {
+                if assignment.len() != cluster.assignment.len() {
+                    return Err(mismatch("cluster assignment length differs"));
+                }
+                if node_down.len() != cluster.node_down.len() {
+                    return Err(mismatch("cluster node count differs"));
+                }
+                cluster.assignment = assignment.iter().map(|&raw| NodeId::new(raw)).collect();
+                cluster.node_down.clone_from(node_down);
+            }
+            _ => return Err(mismatch("cluster presence differs")),
+        }
+        self.state.import(&snapshot.slabs).map_err(mismatch)?;
+        let mut active = ActiveSet::default();
+        let mut prev: Option<RequestId> = None;
+        for request in &snapshot.active {
+            if prev.is_some_and(|p| p >= request.id()) {
+                return Err(mismatch("active requests are not strictly id-sorted"));
+            }
+            prev = Some(request.id());
+            active.insert(request.clone());
+        }
+        self.active = active;
+        self.counters = counters;
+        self.clock = snapshot.clock;
+        self.latency_integral = snapshot.latency_integral;
+        self.current_latency = snapshot.current_latency;
+        self.latency_samples = snapshot.latency_samples.iter().copied().collect();
+        self.utilization_samples = snapshot.utilization_samples.iter().copied().collect();
+        self.snapshots.clone_from(&snapshot.reports);
+        self.retry = RetryQueue::import(snapshot.retry_seq, snapshot.retry_entries.clone());
+        Ok(())
+    }
+
+    /// Fault-injection hook for the chaos harness: skews the admission
+    /// counter so the conservation identity `admitted + retry_admitted ==
+    /// active + departed + shed` no longer holds, emulating silent state
+    /// corruption. The fleet's epoch-end conservation sweep must detect
+    /// the violation and recover the tenant from its last checkpoint.
+    #[doc(hidden)]
+    pub fn chaos_corrupt_conservation(&mut self) {
+        self.counters.admitted = self.counters.admitted.wrapping_add(1);
     }
 
     /// Applies one timed event. Retries that came due before the event's

@@ -72,6 +72,7 @@ mod error;
 mod ledger;
 mod report;
 mod retry;
+mod snapshot;
 mod wheel;
 
 pub use config::{
@@ -83,3 +84,4 @@ pub use error::ControllerError;
 pub use ledger::ControllerState;
 pub use report::ControllerReport;
 pub use retry::RetryRefusal;
+pub use snapshot::{ControllerSnapshot, SnapshotError, SNAPSHOT_VERSION};

@@ -236,6 +236,17 @@ impl<T> TimerWheel<T> {
     /// exact order the `BTreeMap` scan did, keeping the folded values
     /// bit-identical.
     pub(crate) fn values_sorted(&self) -> Vec<&T> {
+        self.entries_sorted()
+            .into_iter()
+            .map(|(_, value)| value)
+            .collect()
+    }
+
+    /// Every pending `(key, payload)` pair in oracle key order — the
+    /// wheel's canonical export shape. Re-inserting the pairs in this
+    /// order into a fresh wheel reproduces the pop order bit-exactly
+    /// (the snapshot/restore path relies on this).
+    pub(crate) fn entries_sorted(&self) -> Vec<(&(u64, u64), &T)> {
         let mut all: Vec<(&(u64, u64), &T)> = Vec::with_capacity(self.len);
         all.extend(self.ready.iter());
         all.extend(self.overflow.iter());
@@ -247,7 +258,7 @@ impl<T> TimerWheel<T> {
             }
         }
         all.sort_unstable_by_key(|(key, _)| **key);
-        all.into_iter().map(|(_, value)| value).collect()
+        all
     }
 }
 
@@ -325,5 +336,35 @@ mod tests {
         }
         let seen: Vec<f64> = wheel.values_sorted().into_iter().copied().collect();
         assert_eq!(seen, vec![1.0, 5.0, 9.0, 100.0, 40_000.0]);
+    }
+
+    #[test]
+    fn reinserting_sorted_entries_reproduces_pop_order() {
+        let mut wheel = TimerWheel::default();
+        for (i, due) in [9.0, 1.0, 5.0, 100.0, 40_000.0, 1.0]
+            .into_iter()
+            .enumerate()
+        {
+            wheel.insert(key(due, i as u64), i);
+        }
+        // Advance partway so some entries sit in `ready`.
+        assert!(wheel.pop_due(2.0).is_some());
+        let mut rebuilt = TimerWheel::default();
+        for (k, v) in wheel.entries_sorted() {
+            rebuilt.insert(*k, *v);
+        }
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        loop {
+            match (rebuilt.pop_due(1e9), wheel.pop_due(1e9)) {
+                (Some(a), Some(b)) => {
+                    popped.push(a);
+                    expected.push(b);
+                }
+                (None, None) => break,
+                _ => panic!("rebuilt wheel diverged in length"),
+            }
+        }
+        assert_eq!(popped, expected);
     }
 }

@@ -1,0 +1,191 @@
+//! The chaos experiment: recovery under seeded control-plane faults.
+//!
+//! The fleet's crash-recovery contract is that a run disturbed by
+//! *recoverable* faults — shard-worker panics, tenant crashes, channel
+//! drops/duplicates, live-state corruption — repaired through epoch
+//! checkpoints and event replay, is **byte-identical** to the
+//! undisturbed run. This experiment sweeps the per-epoch fault rate and
+//! scores what that contract costs: checkpoints taken, restores
+//! performed, events replayed to catch restored tenants up (the replay
+//! overhead), the mean catch-up replay per restore (the virtual-time
+//! analogue of recovery time), and the fraction of tenant-epochs that
+//! ran undisturbed (availability). The `identical` column *verifies*
+//! the contract inline: 1 when the faulted run's report, epoch records,
+//! and merged journal match the fault-free baseline byte for byte.
+//!
+//! Everything here is counter data from deterministic runs, so the
+//! sweep is reproducible at any thread count.
+
+use nfv_fleet::{run_with_faults, FaultPlan, FaultRates, FleetError, FleetOutcome, FleetSpec};
+
+use super::fleet::fleet_spec;
+use super::Sweep;
+
+/// The per-epoch fault rates the sweep walks, from fault-free to a rate
+/// where most epochs disturb several tenants.
+#[must_use]
+pub fn chaos_rates() -> Vec<f64> {
+    vec![0.0, 0.05, 0.15, 0.3, 0.6]
+}
+
+/// The fleet spec the chaos sweep disturbs: the smallest fleet point (8
+/// tenants on 2 shards) so the sweep stays cheap while still exercising
+/// multi-shard recovery and the handoff path.
+#[must_use]
+pub fn chaos_spec(seed: u64) -> FleetSpec {
+    fleet_spec(8, 2, seed)
+}
+
+/// One scored point of the chaos sweep.
+#[derive(Debug)]
+pub struct ChaosPoint {
+    /// The per-epoch fault rate of the plan.
+    pub rate: f64,
+    /// The faulted (recovered) outcome.
+    pub outcome: FleetOutcome,
+    /// Whether the recovered run matches the fault-free baseline byte
+    /// for byte (report, epoch records, tenant reports, merged journal).
+    pub identical: bool,
+    /// Fraction of tenant-epochs that ran without needing recovery.
+    pub availability: f64,
+    /// Events replayed per restore (shard or tenant); `0.0` when nothing
+    /// was restored.
+    pub replay_per_restore: f64,
+}
+
+impl ChaosPoint {
+    fn score(rate: f64, outcome: FleetOutcome, baseline: &FleetOutcome) -> Self {
+        let identical = outcome.report == baseline.report
+            && outcome.epoch_records == baseline.epoch_records
+            && outcome.tenant_reports == baseline.tenant_reports
+            && outcome.artifacts.journal_jsonl() == baseline.artifacts.journal_jsonl();
+        let recovery = &outcome.recovery;
+        let tenant_epochs = (outcome.report.tenants as u64 * outcome.report.epochs).max(1);
+        let disturbed =
+            (recovery.shard_restores + recovery.tenant_restores + recovery.tenants_quarantined)
+                .min(tenant_epochs);
+        let availability = 1.0 - disturbed as f64 / tenant_epochs as f64;
+        let restores = recovery.shard_restores + recovery.tenant_restores;
+        let replay_per_restore = if restores == 0 {
+            0.0
+        } else {
+            recovery.events_replayed as f64 / restores as f64
+        };
+        Self {
+            rate,
+            outcome,
+            identical,
+            availability,
+            replay_per_restore,
+        }
+    }
+}
+
+/// Runs one chaos point: a seeded recoverable fault plan at `rate`
+/// against the chaos spec, scored against the given fault-free baseline.
+///
+/// # Errors
+///
+/// Propagates any [`FleetError`] from the faulted run.
+pub fn run_chaos_point(
+    rate: f64,
+    seed: u64,
+    baseline: &FleetOutcome,
+) -> Result<ChaosPoint, FleetError> {
+    let spec = chaos_spec(seed);
+    let plan = FaultPlan::seeded(
+        seed,
+        spec.epochs() as usize,
+        spec.shards,
+        spec.tenants as u32,
+        &FaultRates::recoverable(rate),
+    );
+    let outcome = run_with_faults(&spec, &plan)?;
+    Ok(ChaosPoint::score(rate, outcome, baseline))
+}
+
+/// Sweeps the fault rates and tabulates the recovery columns: faults
+/// fired, checkpoints taken, restores performed (shard + tenant),
+/// events replayed, mean replay per restore, availability, and the
+/// inline byte-identity verdict.
+///
+/// # Errors
+///
+/// Propagates the first failing point's [`FleetError`].
+pub fn chaos_sweep(seed: u64) -> Result<Sweep, FleetError> {
+    let baseline = nfv_fleet::run(&chaos_spec(seed))?;
+    let mut sweep = Sweep::new(
+        "fault rate",
+        vec![
+            "faults fired".into(),
+            "checkpoints".into(),
+            "restores".into(),
+            "events replayed".into(),
+            "replay/restore".into(),
+            "availability".into(),
+            "identical".into(),
+        ],
+    );
+    for rate in chaos_rates() {
+        let point = run_chaos_point(rate, seed, &baseline)?;
+        let recovery = &point.outcome.recovery;
+        sweep.push(
+            rate,
+            vec![
+                recovery.faults_injected as f64,
+                recovery.checkpoints as f64,
+                (recovery.shard_restores + recovery.tenant_restores) as f64,
+                recovery.events_replayed as f64,
+                point.replay_per_restore,
+                point.availability,
+                f64::from(u8::from(point.identical)),
+            ],
+        );
+    }
+    Ok(sweep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulted_points_recover_byte_identically() {
+        let baseline = nfv_fleet::run(&chaos_spec(42)).unwrap();
+        let point = run_chaos_point(0.3, 42, &baseline).unwrap();
+        assert!(
+            point.outcome.recovery.faults_injected > 0,
+            "rate 0.3 must fire: {:?}",
+            point.outcome.recovery
+        );
+        assert!(point.identical, "recovery must be transparent");
+        assert!(
+            point.availability < 1.0,
+            "fired faults disturb tenant-epochs"
+        );
+        assert!(point.availability > 0.0);
+    }
+
+    #[test]
+    fn zero_rate_point_is_the_baseline() {
+        let baseline = nfv_fleet::run(&chaos_spec(9)).unwrap();
+        let point = run_chaos_point(0.0, 9, &baseline).unwrap();
+        assert!(point.identical);
+        assert_eq!(point.outcome.recovery, Default::default());
+        assert_eq!(point.availability, 1.0);
+        assert_eq!(point.replay_per_restore, 0.0);
+    }
+
+    #[test]
+    fn sweep_has_one_row_per_rate_and_all_rows_identical() {
+        let sweep = chaos_sweep(42).unwrap();
+        assert_eq!(sweep.rows().len(), chaos_rates().len());
+        let identical = sweep.series_values("identical").unwrap();
+        assert!(
+            identical.iter().all(|&v| v == 1.0),
+            "every recoverable point must match the baseline: {identical:?}"
+        );
+        let faults = sweep.series_values("faults fired").unwrap();
+        assert!(faults.last().copied().unwrap_or(0.0) > 0.0);
+    }
+}

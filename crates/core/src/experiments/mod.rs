@@ -27,7 +27,11 @@
 //!   scored in events per wall-clock second;
 //! * [`fleet`] — multi-tenant scale: 8/64/256 independent tenant
 //!   controllers sharded over the thread pool under one virtual clock,
-//!   scored on cross-shard migration cost and rebalance latency.
+//!   scored on cross-shard migration cost and rebalance latency;
+//! * [`chaos`] — crash recovery under seeded fault injection: the fleet
+//!   disturbed by worker panics, tenant crashes, and channel faults,
+//!   recovered through epoch checkpoints + event replay, scored on
+//!   replay overhead, availability, and inline byte-identity.
 //!
 //! Runners return a [`Sweep`]: the x-axis points and one y-series per
 //! algorithm, convertible to a plain-text table — the same rows the paper
@@ -35,6 +39,7 @@
 //! deterministic for fixed inputs.
 
 pub mod anytime;
+pub mod chaos;
 pub mod churn;
 pub mod fleet;
 pub mod joint;

@@ -11,7 +11,7 @@
 use std::sync::Mutex;
 
 use nfv_core::experiments::{
-    anytime, churn, fleet, joint, placement, resilience, scheduling, validation,
+    anytime, chaos, churn, fleet, joint, placement, resilience, scheduling, validation,
 };
 use nfv_parallel::set_default_threads;
 use nfv_search::{search, SearchConfig};
@@ -185,6 +185,62 @@ fn fleet_experiment_is_thread_count_invariant() {
     // And the figure table the sweep renders.
     assert_invariant("fleet sweep table", || {
         fleet::fleet_sweep(42).unwrap().to_table(2).to_string()
+    });
+}
+
+#[test]
+fn chaos_recovery_is_thread_count_invariant_and_byte_identical() {
+    // The acceptance pin for crash recovery: a fleet run disturbed by a
+    // seeded plan of recoverable faults — shard-worker panics mid-drain,
+    // tenant crashes at epoch boundaries, channel drops/duplicates, and
+    // injected conservation corruption — repaired through epoch
+    // checkpoints + event replay, must (a) be bit-identical at 1, 2 and
+    // 8 threads, chaos journal included, and (b) produce a byte-identical
+    // merged journal, fleet report, and epoch records to the undisturbed
+    // run at every thread count.
+    use nfv_fleet::{run, run_with_faults, FaultPlan, FaultRates};
+    let spec = chaos::chaos_spec(42);
+    let plan = FaultPlan::seeded(
+        42,
+        spec.epochs() as usize,
+        spec.shards,
+        spec.tenants as u32,
+        &FaultRates::recoverable(0.3),
+    );
+    assert_invariant("faulted fleet run at seed 42 + recovery", || {
+        let baseline = run(&spec).unwrap();
+        let faulted = run_with_faults(&spec, &plan).unwrap();
+        assert!(
+            faulted.recovery.faults_injected > 0,
+            "the seeded plan must actually disturb the run: {:?}",
+            faulted.recovery
+        );
+        assert_eq!(faulted.report, baseline.report, "fleet report");
+        assert_eq!(
+            faulted.epoch_records, baseline.epoch_records,
+            "epoch records"
+        );
+        assert_eq!(
+            faulted.tenant_reports, baseline.tenant_reports,
+            "tenant reports"
+        );
+        assert_eq!(
+            faulted.artifacts.journal_jsonl(),
+            baseline.artifacts.journal_jsonl(),
+            "merged journal byte-identical under recovery"
+        );
+        format!(
+            "{:?}\n{:?}\n{:?}\n{}\n{}",
+            faulted.report,
+            faulted.epoch_records,
+            faulted.recovery,
+            faulted.artifacts.journal_jsonl(),
+            faulted.chaos_artifacts.journal_jsonl()
+        )
+    });
+    // And the figure table the chaos sweep renders.
+    assert_invariant("chaos sweep table", || {
+        chaos::chaos_sweep(42).unwrap().to_table(3).to_string()
     });
 }
 

@@ -149,9 +149,15 @@ impl HandoffLayer {
             }
             best
         };
-        let slot = shards[from]
-            .retire(tenant)
-            .expect("the busiest tenant is owned by the source shard");
+        let Some(slot) = shards[from].retire(tenant) else {
+            // The busiest tenant was just read off the source shard's
+            // slots, so a miss means the ownership view desynced (a fault
+            // path retired it underneath us). Typed error, never a panic.
+            return Err(FleetError::HandoffDesynced {
+                tenant,
+                shard: from,
+            });
+        };
         let snapshot = slot.report();
         check_conservation(tenant, "retire", &snapshot)?;
         let record = MigrationRecord {
@@ -185,14 +191,9 @@ impl HandoffLayer {
         shards: &mut [Shard],
         epoch: u64,
     ) -> Result<Option<TenantId>, FleetError> {
-        let due = self
-            .parked
-            .as_ref()
-            .is_some_and(|p| p.record.installed_epoch == epoch);
-        if !due {
+        let Some(parked) = self.parked.take_if(|p| p.record.installed_epoch == epoch) else {
             return Ok(None);
-        }
-        let parked = self.parked.take().expect("checked above");
+        };
         let tenant = parked.record.tenant;
         let now = parked.slot.report();
         if now != parked.snapshot {

@@ -32,6 +32,28 @@
 //! Journals merge per shard in shard-id order
 //! ([`TelemetryArtifacts::merged`]), so the fleet journal is one
 //! byte-identical artifact at 1, 2, or 8 threads.
+//!
+//! # Chaos & recovery
+//!
+//! [`run_with_faults`] drives the same loop under an [`FaultPlan`] of
+//! injected control-plane faults. At the start of every faulted epoch
+//! each installed tenant is checkpointed ([`TenantSlot`] →
+//! [`SlotCheckpoint`]: controller snapshot + telemetry cursor +
+//! processed count) and every event pumped during the epoch is recorded
+//! in a per-tenant replay log. A worker panic mid-drain is contained by
+//! a supervised drain ([`nfv_parallel::catch_task`]); the poisoned shard
+//! is restored from its checkpoints and caught up by replaying its logs.
+//! Channel drops/duplicates, tenant crashes, and injected conservation
+//! corruption are repaired at the epoch boundary the same way — restore
+//! plus full-epoch replay — so a recoverable faulted run produces a
+//! **byte-identical** merged journal, fleet report, and epoch records to
+//! the undisturbed run. A tenant whose checkpoint is itself corrupt is
+//! retired through the quarantine path (its checkpoint-time counters
+//! frozen into the totals, [`FleetError`]-free); a wedged drain
+//! surfaces as a typed [`FleetError::PumpStalled`]. Recovery telemetry
+//! (`CheckpointTaken`/`FaultInjected`/`ShardRestored`/
+//! `TenantQuarantined`) goes to a separate chaos journal so the tenant
+//! journal keeps its byte-identity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,15 +63,19 @@ mod handoff;
 mod shard;
 
 use nfv_controller::{Controller, ControllerConfig, ControllerReport};
-use nfv_parallel::{default_threads, derive_seed, par_map_indexed, TaskPanic};
-use nfv_telemetry::{Telemetry, TelemetryArtifacts};
+use nfv_parallel::{catch_task, default_threads, derive_seed, par_map_indexed, TaskPanic};
+use nfv_telemetry::{EventKind, Telemetry, TelemetryArtifacts, TelemetrySnapshot};
 use nfv_workload::churn::{ChurnStream, ChurnTraceBuilder, TimedEvent};
 use nfv_workload::tenancy::tenant_seed;
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy, TenantId, WorkloadError};
 
 pub use channel::EventChannel;
 pub use handoff::{HandoffLayer, MigrationRecord};
-pub use shard::{Shard, TenantSlot};
+pub use shard::{Shard, SlotCheckpoint, TenantSlot};
+
+// Re-exported so fleet callers can build fault plans without a separate
+// `nfv-chaos` dependency.
+pub use nfv_chaos::{FaultKind, FaultPlan, FaultRates};
 
 /// Why a fleet run refused to start or aborted.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +95,32 @@ pub enum FleetError {
         /// Which handoff phase detected it.
         phase: &'static str,
     },
+    /// A tenant's channel stopped making progress for an entire epoch
+    /// round — nothing pumped, nothing drained, events still buffered —
+    /// so the epoch loop would spin forever.
+    PumpStalled {
+        /// The first tenant (shard order, tenant order) holding
+        /// undrained events.
+        tenant: TenantId,
+        /// The epoch that stalled.
+        epoch: u64,
+    },
+    /// A checkpoint restore failed during crash recovery.
+    RestoreFailed {
+        /// The tenant whose snapshot did not restore.
+        tenant: TenantId,
+        /// The epoch the recovery ran in.
+        epoch: u64,
+    },
+    /// The handoff layer chose a tenant the source shard no longer owns —
+    /// the ownership view desynced from the shard (e.g. a concurrent
+    /// quarantine retired it between selection and retire).
+    HandoffDesynced {
+        /// The tenant the handoff tried to retire.
+        tenant: TenantId,
+        /// The shard that was expected to own it.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -79,6 +131,15 @@ impl std::fmt::Display for FleetError {
             Self::Pool(err) => write!(f, "shard pool: {err}"),
             Self::ConservationViolated { tenant, phase } => {
                 write!(f, "conservation violated for {tenant} at {phase}")
+            }
+            Self::PumpStalled { tenant, epoch } => {
+                write!(f, "pump stalled on {tenant} in epoch {epoch}")
+            }
+            Self::RestoreFailed { tenant, epoch } => {
+                write!(f, "checkpoint restore failed for {tenant} in epoch {epoch}")
+            }
+            Self::HandoffDesynced { tenant, shard } => {
+                write!(f, "handoff desynced: shard {shard} does not own {tenant}")
             }
         }
     }
@@ -264,6 +325,42 @@ pub struct FleetReport {
     pub shard_events: Vec<u64>,
 }
 
+/// Counters of the chaos/recovery machinery for one run. All zeros for
+/// an undisturbed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Tenant checkpoints taken at faulted epoch starts.
+    pub checkpoints: u64,
+    /// Faults that actually fired (a scheduled channel fault whose event
+    /// index was never pumped, or a fault on a parked tenant, does not).
+    pub faults_injected: u64,
+    /// Whole-shard restores after contained worker panics.
+    pub shard_restores: u64,
+    /// Per-tenant epoch-boundary restores (crashes, channel faults,
+    /// detected corruption).
+    pub tenant_restores: u64,
+    /// Tenants retired through the quarantine path.
+    pub tenants_quarantined: u64,
+    /// Events replayed from logs to catch restored tenants up.
+    pub events_replayed: u64,
+}
+
+/// A tenant retired from the fleet because its state could not be
+/// recovered (its checkpoint was corrupt). Its last valid checkpoint
+/// counters stay frozen in the fleet totals, keeping the fleet-wide
+/// conservation law intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The retired tenant.
+    pub tenant: TenantId,
+    /// The epoch whose boundary sweep quarantined it.
+    pub epoch: u64,
+    /// The fault-kind slug that made recovery impossible.
+    pub cause: &'static str,
+    /// The checkpoint-time counter report frozen into the totals.
+    pub report: ControllerReport,
+}
+
 /// Everything a fleet run produces.
 #[derive(Debug)]
 pub struct FleetOutcome {
@@ -273,10 +370,31 @@ pub struct FleetOutcome {
     pub epoch_records: Vec<EpochRecord>,
     /// Completed migrations, oldest first.
     pub migrations: Vec<MigrationRecord>,
-    /// Final per-tenant reports, tenant-id order.
+    /// Final per-tenant reports, tenant-id order (quarantined tenants
+    /// report their frozen checkpoint counters).
     pub tenant_reports: Vec<(TenantId, ControllerReport)>,
     /// The merged fleet journal (per-shard, shard-id order).
     pub artifacts: TelemetryArtifacts,
+    /// Chaos/recovery counters (all zeros without faults).
+    pub recovery: RecoveryReport,
+    /// Tenants retired through the quarantine path, oldest first.
+    pub quarantines: Vec<QuarantineRecord>,
+    /// The separate chaos journal (checkpoints, injections, restores,
+    /// quarantines) — kept out of [`artifacts`](Self::artifacts) so the
+    /// tenant journal stays byte-identical under recoverable faults.
+    pub chaos_artifacts: TelemetryArtifacts,
+}
+
+/// Per-epoch chaos bookkeeping threaded through the pump: the epoch's
+/// channel-fault targets, per-tenant pump counters (the `nth` a drop or
+/// duplicate keys on), and the replay logs of the *true* pumped events —
+/// what the controller would have seen with a perfect channel, and what
+/// recovery replays.
+struct PumpChaos<'a> {
+    drop_at: &'a [Option<u64>],
+    dup_at: &'a [Option<u64>],
+    pumped: &'a mut [u64],
+    logs: &'a mut [Vec<TimedEvent>],
 }
 
 /// Pulls events with `time ≤ boundary` from each installed tenant's
@@ -284,11 +402,17 @@ pub struct FleetOutcome {
 /// tenant at a full channel (the head event parks in `pending`). Parked
 /// tenants have no slot and are skipped — their streams stall until
 /// re-install. Returns the number of events pumped.
+///
+/// With a chaos context, every pumped event is logged first; a targeted
+/// event is then dropped before the channel or pushed twice (the
+/// duplicate is lost if the channel has no room — deterministic either
+/// way). A dropped event still counts as pumped: the stream advanced.
 fn pump(
     streams: &mut [ChurnStream<'_>],
     pending: &mut [Option<TimedEvent>],
     shards: &mut [Shard],
     boundary: f64,
+    mut chaos: Option<&mut PumpChaos<'_>>,
 ) -> u64 {
     let mut pumped = 0;
     for shard in shards.iter_mut() {
@@ -306,20 +430,39 @@ fn pump(
                     pending[t] = Some(event);
                     break;
                 }
-                slot.push(event);
                 pumped += 1;
+                match chaos.as_deref_mut() {
+                    None => slot.push(event),
+                    Some(chaos) => {
+                        let nth = chaos.pumped[t];
+                        chaos.pumped[t] += 1;
+                        chaos.logs[t].push(event.clone());
+                        if chaos.drop_at[t] == Some(nth) {
+                            continue;
+                        }
+                        let duplicate = (chaos.dup_at[t] == Some(nth)).then(|| event.clone());
+                        slot.push(event);
+                        if let Some(duplicate) = duplicate {
+                            if !slot.channel_full() {
+                                slot.push(duplicate);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
     pumped
 }
 
-/// Sums the fleet-wide counters: every installed tenant plus the parked
-/// one, shard order then tenant order (all-integer, so order only
-/// matters for determinism of iteration, which is fixed anyway).
+/// Sums the fleet-wide counters: every installed tenant, the parked
+/// one, and the frozen reports of quarantined tenants — shard order then
+/// tenant order (all-integer, so order only matters for determinism of
+/// iteration, which is fixed anyway).
 fn fleet_totals(
     shards: &[Shard],
     handoff: &HandoffLayer,
+    quarantines: &[QuarantineRecord],
     epoch: u64,
     end_time: f64,
 ) -> EpochRecord {
@@ -343,6 +486,9 @@ fn fleet_totals(
     if let Some(parked) = handoff.parked_report() {
         add(parked);
     }
+    for quarantine in quarantines {
+        add(&quarantine.report);
+    }
     record
 }
 
@@ -353,12 +499,33 @@ fn fleet_totals(
 /// [`FleetError`] for an invalid spec, a workload-generation failure, a
 /// shard panic on the pool, or a conservation violation during handoff.
 pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
+    run_with_faults(spec, &FaultPlan::none())
+}
+
+/// Runs a fleet to its horizon under an injected [`FaultPlan`].
+///
+/// With the empty plan this is exactly [`run`]. With a plan of
+/// *recoverable* faults (see [`FaultRates::recoverable`]) the run
+/// produces a byte-identical merged journal, fleet report, and epoch
+/// records to the undisturbed run — crash recovery via epoch
+/// checkpoints and event replay is transparent. Unrecoverable faults
+/// degrade gracefully and typed: a corrupt checkpoint quarantines its
+/// tenant (frozen counters, no panic), a wedged drain surfaces as
+/// [`FleetError::PumpStalled`].
+///
+/// # Errors
+///
+/// Everything [`run`] can return, plus [`FleetError::PumpStalled`] for
+/// a wedged channel and [`FleetError::RestoreFailed`] if a checkpoint
+/// snapshot does not restore.
+pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcome, FleetError> {
     spec.validate()?;
     let threads = if spec.threads == 0 {
         default_threads()
     } else {
         spec.threads
     };
+    let chaos_on = !plan.is_empty();
     let scenarios: Vec<Scenario> = (0..spec.tenants)
         .map(|t| {
             ScenarioBuilder::new()
@@ -404,8 +571,106 @@ pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
     let mut handoff = HandoffLayer::default();
     let mut epoch_records = Vec::with_capacity(epochs as usize);
     let mut processed_before = 0u64;
+    // Chaos state. The chaos journal is separate from the tenant
+    // journals so recoverable faults leave the merged fleet journal
+    // byte-identical.
+    let mut chaos_tel = if spec.telemetry && chaos_on {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut recovery = RecoveryReport::default();
+    let mut quarantines: Vec<QuarantineRecord> = Vec::new();
+    let mut quarantined_telemetry: Vec<TelemetrySnapshot> = Vec::new();
+    let mut checkpoints: Vec<Option<SlotCheckpoint>> = (0..spec.tenants).map(|_| None).collect();
+    let mut logs: Vec<Vec<TimedEvent>> = (0..spec.tenants).map(|_| Vec::new()).collect();
+    let mut epoch_pumped: Vec<u64> = vec![0; spec.tenants];
     for epoch in 0..epochs {
         handoff.install_due(&mut shards, epoch)?;
+        let faults = plan.for_epoch(epoch as usize);
+        let epoch_faulted = !faults.is_empty();
+        let epoch_start = epoch as f64 * spec.epoch;
+        let epoch_end = spec.horizon.min((epoch + 1) as f64 * spec.epoch);
+
+        // Decode this epoch's faults into per-tenant/per-shard targets.
+        // Faults naming tenants that are parked (in transit) or already
+        // quarantined never fire: a parked tenant pumps and drains
+        // nothing, and a quarantined one has no slot.
+        let mut drop_at: Vec<Option<u64>> = vec![None; spec.tenants];
+        let mut dup_at: Vec<Option<u64>> = vec![None; spec.tenants];
+        let mut crash: Vec<bool> = vec![false; spec.tenants];
+        let mut corrupt_live: Vec<bool> = vec![false; spec.tenants];
+        let mut corrupt_cp: Vec<bool> = vec![false; spec.tenants];
+        let mut wedge: Vec<bool> = vec![false; spec.tenants];
+        let mut panic_pending: Vec<usize> = Vec::new();
+        for fault in faults {
+            match *fault {
+                FaultKind::ShardPanic { shard } if shard < shards.len() => {
+                    panic_pending.push(shard);
+                }
+                FaultKind::TenantCrash { tenant } if (tenant as usize) < spec.tenants => {
+                    crash[tenant as usize] = true;
+                }
+                FaultKind::ChannelDrop { tenant, nth } if (tenant as usize) < spec.tenants => {
+                    drop_at[tenant as usize] = Some(nth);
+                }
+                FaultKind::ChannelDup { tenant, nth } if (tenant as usize) < spec.tenants => {
+                    dup_at[tenant as usize] = Some(nth);
+                }
+                FaultKind::CorruptState { tenant } if (tenant as usize) < spec.tenants => {
+                    corrupt_live[tenant as usize] = true;
+                }
+                FaultKind::CorruptCheckpoint { tenant } if (tenant as usize) < spec.tenants => {
+                    corrupt_cp[tenant as usize] = true;
+                }
+                FaultKind::WedgeDrain { tenant } if (tenant as usize) < spec.tenants => {
+                    wedge[tenant as usize] = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Checkpoint every installed tenant at the faulted epoch's start
+        // (after install_due, so a freshly installed tenant is covered)
+        // and reset the epoch's replay logs and pump counters.
+        if epoch_faulted {
+            for (t, log) in logs.iter_mut().enumerate() {
+                log.clear();
+                epoch_pumped[t] = 0;
+            }
+            for shard in &mut shards {
+                let shard_id = shard.id() as u64;
+                let tenants = shard.tenants() as u64;
+                for slot in shard.slots_mut() {
+                    let t = slot.tenant().as_usize();
+                    checkpoints[t] = Some(slot.checkpoint());
+                    recovery.checkpoints += 1;
+                    if wedge[t] {
+                        slot.set_wedged(true);
+                        recovery.faults_injected += 1;
+                    }
+                }
+                chaos_tel.emit(epoch_start, epoch, || EventKind::CheckpointTaken {
+                    shard: shard_id,
+                    tenants,
+                });
+            }
+            for (t, wedged) in wedge.iter().enumerate() {
+                if *wedged {
+                    let shard = shards
+                        .iter()
+                        .position(|s| s.slots().iter().any(|x| x.tenant().as_usize() == t));
+                    if let Some(shard) = shard {
+                        chaos_tel.emit(epoch_start, epoch, || EventKind::FaultInjected {
+                            cause: "wedge_drain".into(),
+                            shard: shard as u64,
+                            tenant: t as u64,
+                        });
+                    }
+                }
+            }
+        }
+
         // The final epoch flushes everything, horizon-clamped streams
         // included, so no event is left behind a fractional boundary.
         let boundary = if epoch + 1 == epochs {
@@ -414,24 +679,248 @@ pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
             (epoch + 1) as f64 * spec.epoch
         };
         loop {
-            let pumped = pump(&mut streams, &mut pending, &mut shards, boundary);
+            let pumped = {
+                let mut ctx = PumpChaos {
+                    drop_at: &drop_at,
+                    dup_at: &dup_at,
+                    pumped: &mut epoch_pumped,
+                    logs: &mut logs,
+                };
+                pump(
+                    &mut streams,
+                    &mut pending,
+                    &mut shards,
+                    boundary,
+                    epoch_faulted.then_some(&mut ctx),
+                )
+            };
             let buffered: usize = shards.iter().map(Shard::buffered).sum();
             if pumped == 0 && buffered == 0 {
                 break;
             }
-            shards = par_map_indexed(threads, shards, |_, mut shard| {
-                shard.drain_round();
-                shard
-            })
-            .map_err(FleetError::Pool)?;
+            let drained = if chaos_on {
+                // Supervised drain: each worker's panic is contained by
+                // `catch_task`, so the shards (borrowed mutably through
+                // the pool) survive the unwind mid-drain.
+                let inject: Vec<Option<u64>> = shards
+                    .iter()
+                    .map(|s| {
+                        (panic_pending.contains(&s.id()) && s.buffered() > 0)
+                            .then(|| (s.buffered() as u64).div_ceil(2))
+                    })
+                    .collect();
+                let results = par_map_indexed(
+                    threads,
+                    shards.iter_mut().collect::<Vec<&mut Shard>>(),
+                    |i, shard: &mut Shard| {
+                        catch_task(i, || {
+                            if let Some(limit) = inject[i] {
+                                shard.drain_upto(limit);
+                                panic!("injected shard-worker panic");
+                            }
+                            shard.drain_round()
+                        })
+                    },
+                )
+                .map_err(FleetError::Pool)?;
+                let mut drained = 0;
+                for (i, result) in results.into_iter().enumerate() {
+                    match result {
+                        Ok(n) => drained += n,
+                        Err(_panic) => {
+                            // The worker died mid-drain: restore every
+                            // tenant of the poisoned shard from its
+                            // epoch checkpoint, clear its channels, and
+                            // replay the epoch's pumped events so far.
+                            panic_pending.retain(|&s| s != i);
+                            recovery.faults_injected += 1;
+                            let shard = &mut shards[i];
+                            let first_tenant = shard
+                                .slots()
+                                .first()
+                                .map_or(u64::MAX, |s| u64::from(s.tenant().as_u32()));
+                            chaos_tel.emit(epoch_end, epoch, || EventKind::FaultInjected {
+                                cause: "shard_panic".into(),
+                                shard: i as u64,
+                                tenant: first_tenant,
+                            });
+                            let mut replayed = 0;
+                            let mut delta = 0i64;
+                            for slot in shard.slots_mut() {
+                                let t = slot.tenant().as_usize();
+                                let Some(checkpoint) = checkpoints[t].as_ref() else {
+                                    continue;
+                                };
+                                let before = slot.processed();
+                                slot.restore(checkpoint).map_err(|_| {
+                                    FleetError::RestoreFailed {
+                                        tenant: slot.tenant(),
+                                        epoch,
+                                    }
+                                })?;
+                                replayed += slot.replay(&logs[t]);
+                                delta += slot.processed() as i64 - before as i64;
+                            }
+                            shard.adjust_processed(delta);
+                            recovery.shard_restores += 1;
+                            recovery.events_replayed += replayed;
+                            chaos_tel.emit(epoch_end, epoch, || EventKind::ShardRestored {
+                                shard: i as u64,
+                                replayed,
+                            });
+                            // Replay is forward progress for the stall
+                            // guard: the shard's channels are empty now.
+                            drained += replayed;
+                        }
+                    }
+                }
+                drained
+            } else {
+                let results = par_map_indexed(threads, shards, |_, mut shard| {
+                    let drained = shard.drain_round();
+                    (shard, drained)
+                })
+                .map_err(FleetError::Pool)?;
+                let mut drained = 0;
+                shards = results
+                    .into_iter()
+                    .map(|(shard, n)| {
+                        drained += n;
+                        shard
+                    })
+                    .collect();
+                drained
+            };
+            if pumped == 0 && drained == 0 {
+                // Nothing moved this round but events are still
+                // buffered: the epoch loop would spin forever. Surface
+                // the first stuck tenant instead.
+                let tenant = shards
+                    .iter()
+                    .flat_map(Shard::slots)
+                    .find(|slot| slot.buffered() > 0)
+                    .map_or(TenantId::new(0), TenantSlot::tenant);
+                return Err(FleetError::PumpStalled { tenant, epoch });
+            }
         }
+
+        // Epoch-boundary fault application + recovery sweep: inject the
+        // boundary faults, then restore every tenant that crashed, saw a
+        // channel fault fire, or fails the conservation invariant —
+        // quarantining those whose checkpoint is corrupt.
+        if epoch_faulted {
+            let drop_fired = |t: usize| drop_at[t].is_some_and(|nth| epoch_pumped[t] > nth);
+            let dup_fired = |t: usize| dup_at[t].is_some_and(|nth| epoch_pumped[t] > nth);
+            for (si, shard) in shards.iter_mut().enumerate() {
+                let mut delta = 0i64;
+                let mut replayed = 0u64;
+                let mut restored_any = false;
+                let mut to_quarantine: Vec<(TenantId, &'static str)> = Vec::new();
+                for slot in shard.slots_mut() {
+                    let t = slot.tenant().as_usize();
+                    slot.set_wedged(false);
+                    if corrupt_live[t] || corrupt_cp[t] {
+                        slot.corrupt_conservation();
+                        recovery.faults_injected += 1;
+                        let cause = if corrupt_cp[t] {
+                            "corrupt_checkpoint"
+                        } else {
+                            "corrupt_state"
+                        };
+                        chaos_tel.emit(epoch_end, epoch, || EventKind::FaultInjected {
+                            cause: cause.into(),
+                            shard: si as u64,
+                            tenant: t as u64,
+                        });
+                        if corrupt_cp[t] {
+                            if let Some(checkpoint) = checkpoints[t].as_mut() {
+                                checkpoint.valid = false;
+                            }
+                        }
+                    }
+                    if crash[t] {
+                        recovery.faults_injected += 1;
+                        chaos_tel.emit(epoch_end, epoch, || EventKind::FaultInjected {
+                            cause: "tenant_crash".into(),
+                            shard: si as u64,
+                            tenant: t as u64,
+                        });
+                    }
+                    if drop_fired(t) {
+                        recovery.faults_injected += 1;
+                        chaos_tel.emit(epoch_end, epoch, || EventKind::FaultInjected {
+                            cause: "channel_drop".into(),
+                            shard: si as u64,
+                            tenant: t as u64,
+                        });
+                    }
+                    if dup_fired(t) {
+                        recovery.faults_injected += 1;
+                        chaos_tel.emit(epoch_end, epoch, || EventKind::FaultInjected {
+                            cause: "channel_dup".into(),
+                            shard: si as u64,
+                            tenant: t as u64,
+                        });
+                    }
+                    let report = slot.report();
+                    let conserved = report.admitted + report.retry_admitted
+                        == report.active + report.departed + report.shed;
+                    let needs_recovery = crash[t] || drop_fired(t) || dup_fired(t) || !conserved;
+                    if !needs_recovery {
+                        continue;
+                    }
+                    let Some(checkpoint) = checkpoints[t].as_ref() else {
+                        continue;
+                    };
+                    if !checkpoint.valid {
+                        to_quarantine.push((slot.tenant(), "corrupt_checkpoint"));
+                        continue;
+                    }
+                    let before = slot.processed();
+                    slot.restore(checkpoint)
+                        .map_err(|_| FleetError::RestoreFailed {
+                            tenant: slot.tenant(),
+                            epoch,
+                        })?;
+                    replayed += slot.replay(&logs[t]);
+                    delta += slot.processed() as i64 - before as i64;
+                    restored_any = true;
+                    recovery.tenant_restores += 1;
+                }
+                shard.adjust_processed(delta);
+                if restored_any {
+                    recovery.events_replayed += replayed;
+                    chaos_tel.emit(epoch_end, epoch, || EventKind::ShardRestored {
+                        shard: si as u64,
+                        replayed,
+                    });
+                }
+                for (tenant, cause) in to_quarantine {
+                    let slot = shard.retire(tenant);
+                    debug_assert!(slot.is_some(), "quarantined tenant was installed");
+                    drop(slot);
+                    let t = tenant.as_usize();
+                    let Some(checkpoint) = checkpoints[t].take() else {
+                        continue;
+                    };
+                    recovery.tenants_quarantined += 1;
+                    chaos_tel.emit(epoch_end, epoch, || EventKind::TenantQuarantined {
+                        tenant: u64::from(tenant.as_u32()),
+                        cause: cause.into(),
+                    });
+                    quarantined_telemetry.push(checkpoint.telemetry);
+                    quarantines.push(QuarantineRecord {
+                        tenant,
+                        epoch,
+                        cause,
+                        report: checkpoint.report,
+                    });
+                }
+            }
+        }
+
         let processed_now: u64 = shards.iter().map(Shard::processed).sum();
-        let mut record = fleet_totals(
-            &shards,
-            &handoff,
-            epoch,
-            spec.horizon.min((epoch + 1) as f64 * spec.epoch),
-        );
+        let mut record = fleet_totals(&shards, &handoff, &quarantines, epoch, epoch_end);
         record.events = processed_now - processed_before;
         processed_before = processed_now;
         epoch_records.push(record);
@@ -453,6 +942,15 @@ pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
             tenant_reports.push((tenant, report));
             parts.push(artifacts);
         }
+    }
+    // Quarantined tenants contribute their frozen checkpoint state:
+    // counters into the totals, checkpoint-time journal after the live
+    // shards' parts (quarantine order, which is deterministic).
+    for (quarantine, telemetry) in quarantines.iter().zip(quarantined_telemetry) {
+        tenant_reports.push((quarantine.tenant, quarantine.report.clone()));
+        let mut session = Telemetry::disabled();
+        session.restore(&telemetry);
+        parts.push(session.finish());
     }
     let artifacts = TelemetryArtifacts::merged(parts);
     tenant_reports.sort_by_key(|(tenant, _)| *tenant);
@@ -493,6 +991,9 @@ pub fn run(spec: &FleetSpec) -> Result<FleetOutcome, FleetError> {
         migrations,
         tenant_reports,
         artifacts,
+        recovery,
+        quarantines,
+        chaos_artifacts: chaos_tel.finish(),
     })
 }
 

@@ -7,12 +7,29 @@
 //! `nfv-parallel` pool (results folded in shard-id order) is bit-identical
 //! to running them serially.
 
-use nfv_controller::{Controller, ControllerReport};
-use nfv_telemetry::{Telemetry, TelemetryArtifacts};
+use nfv_controller::{Controller, ControllerReport, ControllerSnapshot, SnapshotError};
+use nfv_telemetry::{Telemetry, TelemetryArtifacts, TelemetrySnapshot};
 use nfv_workload::churn::TimedEvent;
 use nfv_workload::TenantId;
 
 use crate::channel::EventChannel;
+
+/// An epoch-boundary checkpoint of one tenant slot: the controller
+/// snapshot, the telemetry cursor, the counter report at capture time,
+/// and the processed-event count. Restoring a slot from its checkpoint
+/// and replaying the epoch's pumped events reproduces the undisturbed
+/// slot bit for bit.
+#[derive(Debug, Clone)]
+pub struct SlotCheckpoint {
+    pub(crate) tenant: TenantId,
+    pub(crate) controller: ControllerSnapshot,
+    pub(crate) telemetry: TelemetrySnapshot,
+    pub(crate) report: ControllerReport,
+    pub(crate) processed: u64,
+    /// Cleared by an injected checkpoint corruption: an invalid
+    /// checkpoint cannot restore, forcing the quarantine path.
+    pub(crate) valid: bool,
+}
 
 /// One tenant living inside a shard: its controller, its event channel,
 /// its telemetry session, and its cumulative processed-event count.
@@ -23,6 +40,9 @@ pub struct TenantSlot {
     channel: EventChannel,
     telemetry: Telemetry,
     processed: u64,
+    /// Chaos wedge: while set, drains skip this slot (its channel stops
+    /// making progress), exercising the fleet's pump-stall detection.
+    wedged: bool,
 }
 
 impl TenantSlot {
@@ -40,6 +60,7 @@ impl TenantSlot {
             channel,
             telemetry,
             processed: 0,
+            wedged: false,
         }
     }
 
@@ -79,16 +100,84 @@ impl TenantSlot {
         self.controller.report()
     }
 
+    /// Drains one event from the channel into the controller; `false`
+    /// when the channel is empty or the slot is wedged.
+    fn drain_one(&mut self) -> bool {
+        if self.wedged {
+            return false;
+        }
+        let Some(event) = self.channel.pop() else {
+            return false;
+        };
+        self.controller
+            .handle_owned_traced(event, &mut self.telemetry);
+        self.processed += 1;
+        true
+    }
+
     /// Drains the channel into the controller, oldest first.
     fn drain(&mut self) -> u64 {
         let mut drained = 0;
-        while let Some(event) = self.channel.pop() {
-            self.controller
-                .handle_owned_traced(event, &mut self.telemetry);
+        while self.drain_one() {
             drained += 1;
         }
-        self.processed += drained;
         drained
+    }
+
+    /// Sets or clears the chaos wedge (see [`TenantSlot::wedged`]).
+    pub(crate) fn set_wedged(&mut self, wedged: bool) {
+        self.wedged = wedged;
+    }
+
+    /// Captures the slot's full recoverable state.
+    pub(crate) fn checkpoint(&self) -> SlotCheckpoint {
+        SlotCheckpoint {
+            tenant: self.tenant,
+            controller: self.controller.checkpoint(),
+            telemetry: self.telemetry.snapshot(),
+            report: self.controller.report(),
+            processed: self.processed,
+            valid: true,
+        }
+    }
+
+    /// Rewinds the slot to a checkpoint: controller, telemetry, and
+    /// processed count restored; the channel cleared (its events are in
+    /// the epoch's replay log); the wedge lifted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if the controller snapshot does not fit this
+    /// controller (it always fits a checkpoint taken from the same slot).
+    pub(crate) fn restore(&mut self, checkpoint: &SlotCheckpoint) -> Result<(), SnapshotError> {
+        debug_assert_eq!(
+            checkpoint.tenant, self.tenant,
+            "checkpoints restore into the slot they were taken from"
+        );
+        self.controller.restore(&checkpoint.controller)?;
+        self.telemetry.restore(&checkpoint.telemetry);
+        self.processed = checkpoint.processed;
+        self.wedged = false;
+        while self.channel.pop().is_some() {}
+        Ok(())
+    }
+
+    /// Replays logged events straight into the controller (bypassing the
+    /// channel) — the catch-up phase after a checkpoint restore. Returns
+    /// the number of events replayed.
+    pub(crate) fn replay(&mut self, events: &[TimedEvent]) -> u64 {
+        for event in events {
+            self.controller
+                .handle_owned_traced(event.clone(), &mut self.telemetry);
+        }
+        self.processed += events.len() as u64;
+        events.len() as u64
+    }
+
+    /// Chaos hook: breaks the controller's admission conservation law so
+    /// the fleet's epoch-end invariant sweep has something to detect.
+    pub(crate) fn corrupt_conservation(&mut self) {
+        self.controller.chaos_corrupt_conservation();
     }
 
     /// Closes the run at `horizon` and returns the final report plus the
@@ -180,6 +269,33 @@ impl Shard {
         }
         self.processed += drained;
         drained
+    }
+
+    /// Drains at most `limit` events (tenant-id order, oldest first) and
+    /// stops — the half-finished round an injected worker panic leaves
+    /// behind. Returns the number of events processed.
+    pub(crate) fn drain_upto(&mut self, limit: u64) -> u64 {
+        let mut drained = 0;
+        for slot in &mut self.slots {
+            while drained < limit && slot.drain_one() {
+                drained += 1;
+            }
+            if drained >= limit {
+                break;
+            }
+        }
+        self.processed += drained;
+        drained
+    }
+
+    /// Re-aligns the shard's cumulative processed counter after a
+    /// checkpoint restore + replay changed its slots' counts (the
+    /// rebalancer compares shards by this, so recovery must leave it
+    /// exactly where the undisturbed run would).
+    pub(crate) fn adjust_processed(&mut self, delta: i64) {
+        let adjusted = self.processed.checked_add_signed(delta);
+        debug_assert!(adjusted.is_some(), "processed adjustment underflows");
+        self.processed = adjusted.unwrap_or(self.processed);
     }
 
     /// Closes every tenant at `horizon`; returns `(tenant, report,

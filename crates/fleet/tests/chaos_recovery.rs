@@ -1,0 +1,196 @@
+//! The chaos invariant: a fleet run with injected *recoverable* faults,
+//! repaired through epoch checkpoints and event replay, is
+//! byte-identical to the undisturbed run — report, epoch records,
+//! migrations, per-tenant reports, and the merged journal. Unrecoverable
+//! faults degrade gracefully and typed: quarantine for a corrupt
+//! checkpoint, `PumpStalled` for a wedged drain.
+
+use nfv_fleet::{
+    run, run_with_faults, FaultKind, FaultPlan, FaultRates, FleetError, FleetOutcome, FleetSpec,
+};
+use nfv_workload::TenantId;
+
+fn spec() -> FleetSpec {
+    FleetSpec {
+        seed: 42,
+        ..FleetSpec::smoke()
+    }
+}
+
+/// Asserts the full byte-identity contract between a faulted-but-
+/// recovered outcome and the undisturbed baseline.
+fn assert_byte_identical(faulted: &FleetOutcome, baseline: &FleetOutcome) {
+    assert_eq!(faulted.report, baseline.report, "fleet report diverged");
+    assert_eq!(
+        faulted.epoch_records, baseline.epoch_records,
+        "epoch records diverged"
+    );
+    assert_eq!(faulted.migrations, baseline.migrations, "handoffs diverged");
+    assert_eq!(
+        faulted.tenant_reports, baseline.tenant_reports,
+        "tenant reports diverged"
+    );
+    assert_eq!(
+        faulted.artifacts.journal_jsonl(),
+        baseline.artifacts.journal_jsonl(),
+        "merged journal not byte-identical"
+    );
+}
+
+#[test]
+fn empty_plan_is_exactly_the_undisturbed_run() {
+    let spec = spec();
+    let a = run(&spec).unwrap();
+    let b = run_with_faults(&spec, &FaultPlan::none()).unwrap();
+    assert_byte_identical(&b, &a);
+    assert_eq!(b.recovery, Default::default(), "no recovery machinery ran");
+    assert!(b.quarantines.is_empty());
+    assert!(
+        b.chaos_artifacts.journal_jsonl().is_empty(),
+        "no chaos journal without faults"
+    );
+}
+
+#[test]
+fn seeded_recoverable_faults_recover_byte_identically() {
+    let spec = spec();
+    let plan = FaultPlan::seeded(
+        42,
+        spec.epochs() as usize,
+        spec.shards,
+        spec.tenants as u32,
+        &FaultRates::recoverable(0.4),
+    );
+    assert!(plan.fault_count() > 0, "rate 0.4 must schedule faults");
+    let baseline = run(&spec).unwrap();
+    let faulted = run_with_faults(&spec, &plan).unwrap();
+    assert!(
+        faulted.recovery.faults_injected > 0,
+        "scheduled faults must actually fire: {:?}",
+        faulted.recovery
+    );
+    assert!(faulted.recovery.checkpoints > 0);
+    assert!(
+        faulted.recovery.shard_restores + faulted.recovery.tenant_restores > 0,
+        "recovery must have repaired something: {:?}",
+        faulted.recovery
+    );
+    assert!(
+        faulted.quarantines.is_empty(),
+        "recoverable plans never quarantine"
+    );
+    assert!(
+        !faulted.chaos_artifacts.journal_jsonl().is_empty(),
+        "recovery emits chaos telemetry"
+    );
+    assert_byte_identical(&faulted, &baseline);
+}
+
+#[test]
+fn shard_panic_mid_drain_restores_and_replays_byte_identically() {
+    let spec = spec();
+    let plan = FaultPlan::none().with_fault(1, FaultKind::ShardPanic { shard: 0 });
+    let baseline = run(&spec).unwrap();
+    let faulted = run_with_faults(&spec, &plan).unwrap();
+    assert_eq!(faulted.recovery.shard_restores, 1, "the panic must fire");
+    assert!(
+        faulted.recovery.events_replayed > 0,
+        "replay caught the shard up"
+    );
+    assert_byte_identical(&faulted, &baseline);
+}
+
+#[test]
+fn boundary_faults_restore_and_replay_byte_identically() {
+    let spec = spec();
+    // One of each epoch-boundary fault kind, on distinct tenants and
+    // epochs; `nth: 0` so the channel faults fire on the first pumped
+    // event of their epoch.
+    let plan = FaultPlan::none()
+        .with_fault(0, FaultKind::TenantCrash { tenant: 0 })
+        .with_fault(1, FaultKind::ChannelDrop { tenant: 1, nth: 0 })
+        .with_fault(1, FaultKind::ChannelDup { tenant: 2, nth: 0 })
+        .with_fault(2, FaultKind::CorruptState { tenant: 3 });
+    let baseline = run(&spec).unwrap();
+    let faulted = run_with_faults(&spec, &plan).unwrap();
+    assert!(
+        faulted.recovery.tenant_restores >= 3,
+        "crash + channel faults + corruption all recover: {:?}",
+        faulted.recovery
+    );
+    assert_byte_identical(&faulted, &baseline);
+}
+
+#[test]
+fn corrupt_checkpoint_quarantines_the_tenant_and_conserves() {
+    let spec = spec();
+    let plan = FaultPlan::none().with_fault(1, FaultKind::CorruptCheckpoint { tenant: 1 });
+    let outcome = run_with_faults(&spec, &plan).unwrap();
+    assert_eq!(outcome.recovery.tenants_quarantined, 1);
+    assert_eq!(outcome.quarantines.len(), 1);
+    let quarantine = &outcome.quarantines[0];
+    assert_eq!(quarantine.tenant, TenantId::new(1));
+    assert_eq!(quarantine.epoch, 1);
+    assert_eq!(quarantine.cause, "corrupt_checkpoint");
+    // The frozen checkpoint report keeps the fleet-wide books balanced.
+    let report = &outcome.report;
+    assert_eq!(
+        report.admitted + report.retry_admitted,
+        report.active + report.departed + report.shed,
+        "fleet-wide conservation with a quarantined tenant"
+    );
+    for record in &outcome.epoch_records {
+        assert!(record.conserved(), "epoch {} conserves", record.epoch);
+    }
+    // Every tenant still reports — the quarantined one with its frozen
+    // checkpoint counters.
+    assert_eq!(outcome.tenant_reports.len(), spec.tenants);
+    assert!(outcome
+        .tenant_reports
+        .iter()
+        .any(|(t, r)| *t == TenantId::new(1) && *r == quarantine.report));
+    assert!(!outcome.chaos_artifacts.journal_jsonl().is_empty());
+}
+
+#[test]
+fn wedged_drain_with_a_one_slot_channel_stalls_typed() {
+    // Satellite regression: a tenant whose channel stays full across an
+    // entire epoch surfaces a typed error instead of spinning.
+    let spec = FleetSpec {
+        channel_capacity: 1,
+        ..spec()
+    };
+    // Wedge tenant 0 across the first two epochs: epoch 1 always pumps
+    // at least the re-optimization tick, so the stall is guaranteed.
+    let plan = FaultPlan::none()
+        .with_fault(0, FaultKind::WedgeDrain { tenant: 0 })
+        .with_fault(1, FaultKind::WedgeDrain { tenant: 0 });
+    match run_with_faults(&spec, &plan) {
+        Err(FleetError::PumpStalled { tenant, epoch }) => {
+            assert_eq!(tenant, TenantId::new(0));
+            assert!(epoch <= 1, "stall detected in a wedged epoch, got {epoch}");
+        }
+        other => panic!("expected PumpStalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    let base = spec();
+    let plan = FaultPlan::seeded(
+        7,
+        base.epochs() as usize,
+        base.shards,
+        base.tenants as u32,
+        &FaultRates::recoverable(0.5),
+    );
+    let one = run_with_faults(&FleetSpec { threads: 1, ..base }, &plan).unwrap();
+    let two = run_with_faults(&FleetSpec { threads: 2, ..base }, &plan).unwrap();
+    assert_byte_identical(&two, &one);
+    assert_eq!(one.recovery, two.recovery);
+    assert_eq!(
+        one.chaos_artifacts.journal_jsonl(),
+        two.chaos_artifacts.journal_jsonl(),
+        "chaos journal thread-invariant"
+    );
+}

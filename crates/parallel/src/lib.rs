@@ -225,6 +225,27 @@ where
     par_map_indexed(default_threads(), items, f)
 }
 
+/// Runs `f` with panic containment and reports a panic as a [`TaskPanic`]
+/// carrying `index`, exactly like a pool task would.
+///
+/// This is the supervision primitive for callers that must keep ownership
+/// of their data across a panic: [`par_map_indexed`] consumes items by
+/// value, so a panicking task's item is lost with the unwound stack.
+/// Supervised callers (the fleet's chaos-hardened drain phase) instead
+/// pass *borrows* through the pool and wrap the fallible body in
+/// `catch_task` inside the task closure — the borrowed state survives the
+/// unwind and can be restored from a checkpoint.
+///
+/// # Errors
+///
+/// Returns [`TaskPanic`] with the given `index` if `f` panicked.
+pub fn catch_task<R>(index: usize, f: impl FnOnce() -> R) -> Result<R, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| TaskPanic {
+        index,
+        message: panic_message(&*payload),
+    })
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -282,6 +303,29 @@ mod tests {
             .unwrap_err();
             assert_eq!(err.index, 3, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn catch_task_contains_panics_and_keeps_borrowed_state() {
+        let mut counters = vec![0u64; 3];
+        let results: Vec<Result<u64, TaskPanic>> = counters
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                catch_task(i, || {
+                    *c += 1;
+                    assert!(i != 1, "boom at 1");
+                    *c
+                })
+            })
+            .collect();
+        assert_eq!(results[0], Ok(1));
+        let err = results[1].clone().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.message.contains("boom at 1"), "{}", err.message);
+        assert_eq!(results[2], Ok(1));
+        // The borrowed state survived the contained panic.
+        assert_eq!(counters, vec![1, 1, 1]);
     }
 
     #[test]

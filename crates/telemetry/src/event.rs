@@ -163,6 +163,39 @@ pub enum EventKind {
         /// The hysteresis threshold the gain failed to clear.
         required_gain: f64,
     },
+    /// A fleet supervisor checkpointed one shard at an epoch boundary.
+    CheckpointTaken {
+        /// The checkpointed shard.
+        shard: u64,
+        /// Tenants captured in the checkpoint.
+        tenants: u64,
+    },
+    /// The chaos harness injected one control-plane fault.
+    FaultInjected {
+        /// The fault-kind slug (e.g. `"shard-panic"`, `"channel-drop"`).
+        cause: String,
+        /// The shard the fault landed on.
+        shard: u64,
+        /// The tenant the fault targeted (the shard's first tenant for
+        /// shard-wide faults).
+        tenant: u64,
+    },
+    /// A faulted shard was restored from its epoch checkpoint and caught
+    /// up by replaying the epoch's pumped events.
+    ShardRestored {
+        /// The restored shard.
+        shard: u64,
+        /// Events replayed to catch the shard up.
+        replayed: u64,
+    },
+    /// A tenant whose state could not be recovered was retired from the
+    /// fleet with its last checkpointed counters frozen into the totals.
+    TenantQuarantined {
+        /// The retired tenant.
+        tenant: u64,
+        /// Why recovery was impossible (e.g. `"corrupt-checkpoint"`).
+        cause: String,
+    },
 }
 
 impl EventKind {
@@ -183,6 +216,10 @@ impl EventKind {
             Self::EmergencyReplace { .. } => "EmergencyReplace",
             Self::ReoptCommit { .. } => "ReoptCommit",
             Self::ReoptRejected { .. } => "ReoptRejected",
+            Self::CheckpointTaken { .. } => "CheckpointTaken",
+            Self::FaultInjected { .. } => "FaultInjected",
+            Self::ShardRestored { .. } => "ShardRestored",
+            Self::TenantQuarantined { .. } => "TenantQuarantined",
         }
     }
 }
@@ -309,6 +346,26 @@ impl TraceEvent {
                     .field_f64("predicted_gain", *predicted_gain)
                     .field_f64("required_gain", *required_gain);
             }
+            EventKind::CheckpointTaken { shard, tenants } => {
+                obj.field_u64("shard", *shard)
+                    .field_u64("tenants", *tenants);
+            }
+            EventKind::FaultInjected {
+                cause,
+                shard,
+                tenant,
+            } => {
+                obj.field_str("cause", cause)
+                    .field_u64("shard", *shard)
+                    .field_u64("tenant", *tenant);
+            }
+            EventKind::ShardRestored { shard, replayed } => {
+                obj.field_u64("shard", *shard)
+                    .field_u64("replayed", *replayed);
+            }
+            EventKind::TenantQuarantined { tenant, cause } => {
+                obj.field_u64("tenant", *tenant).field_str("cause", cause);
+            }
         }
         obj.finish()
     }
@@ -403,6 +460,23 @@ impl TraceEvent {
                 cause: str_of("cause")?,
                 predicted_gain: f64_of("predicted_gain")?,
                 required_gain: f64_of("required_gain")?,
+            },
+            "CheckpointTaken" => EventKind::CheckpointTaken {
+                shard: u64_of("shard")?,
+                tenants: u64_of("tenants")?,
+            },
+            "FaultInjected" => EventKind::FaultInjected {
+                cause: str_of("cause")?,
+                shard: u64_of("shard")?,
+                tenant: u64_of("tenant")?,
+            },
+            "ShardRestored" => EventKind::ShardRestored {
+                shard: u64_of("shard")?,
+                replayed: u64_of("replayed")?,
+            },
+            "TenantQuarantined" => EventKind::TenantQuarantined {
+                tenant: u64_of("tenant")?,
+                cause: str_of("cause")?,
             },
             _ => return Err(missing("unknown event label")),
         };
@@ -524,6 +598,24 @@ impl TraceEvent {
                 cause = format!("{}:{c}", phase.name());
                 detail = format!("predicted={predicted_gain:.6} required={required_gain:.6}");
             }
+            EventKind::CheckpointTaken { shard, tenants } => {
+                detail = format!("shard={shard} tenants={tenants}");
+            }
+            EventKind::FaultInjected {
+                cause: c,
+                shard,
+                tenant,
+            } => {
+                cause.clone_from(c);
+                detail = format!("shard={shard} tenant={tenant}");
+            }
+            EventKind::ShardRestored { shard, replayed } => {
+                detail = format!("shard={shard} replayed={replayed}");
+            }
+            EventKind::TenantQuarantined { tenant, cause: c } => {
+                cause.clone_from(c);
+                detail = format!("tenant={tenant}");
+            }
         }
         format!(
             "{},{:.6},{},{},{},{},{},{},{}",
@@ -633,6 +725,23 @@ mod tests {
                 cause: "min-gain".into(),
                 predicted_gain: 0.002,
                 required_gain: 0.01,
+            },
+            EventKind::CheckpointTaken {
+                shard: 1,
+                tenants: 4,
+            },
+            EventKind::FaultInjected {
+                cause: "shard-panic".into(),
+                shard: 1,
+                tenant: 3,
+            },
+            EventKind::ShardRestored {
+                shard: 1,
+                replayed: 17,
+            },
+            EventKind::TenantQuarantined {
+                tenant: 3,
+                cause: "corrupt-checkpoint".into(),
             },
         ];
         kinds

@@ -135,9 +135,24 @@ struct Inner {
     series: TickSeries,
 }
 
+/// A point-in-time copy of a telemetry session's collected state,
+/// produced by [`Telemetry::snapshot`] and reapplied by
+/// [`Telemetry::restore`].
+///
+/// The snapshot captures the journal ring (events plus drop counter),
+/// the sequence counter, the timing profile, and the tick series — the
+/// full determinism-relevant state. Extra sinks ([`Telemetry::add_sink`])
+/// are streaming side-channels and are *not* captured; restoring a
+/// session drops any sinks attached after the snapshot was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    inner: Option<(u64, RingSink, PhaseProfile, TickSeries)>,
+}
+
 /// A telemetry session handle, threaded by `&mut` through the
-/// controller's event loop. See the crate docs for the determinism
-/// contract.
+/// controller's event loop; [`Telemetry::snapshot`]/[`Telemetry::restore`]
+/// rewind a session for checkpoint-based crash recovery. See the crate
+/// docs for the determinism contract.
 pub struct Telemetry {
     inner: Option<Box<Inner>>,
 }
@@ -228,6 +243,41 @@ impl Telemetry {
         if let Some(inner) = self.inner.as_mut() {
             inner.series.push(sample());
         }
+    }
+
+    /// Captures the session's collected state for later [`restore`].
+    /// Disabled sessions snapshot to (and restore from) the disabled
+    /// state. Extra sinks are not captured — see [`TelemetrySnapshot`].
+    ///
+    /// [`restore`]: Telemetry::restore
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            inner: self.inner.as_ref().map(|inner| {
+                (
+                    inner.seq,
+                    inner.ring.clone(),
+                    inner.profile.clone(),
+                    inner.series.clone(),
+                )
+            }),
+        }
+    }
+
+    /// Rewinds the session to a previously captured [`snapshot`],
+    /// discarding everything recorded since (and any extra sinks).
+    ///
+    /// [`snapshot`]: Telemetry::snapshot
+    pub fn restore(&mut self, snapshot: &TelemetrySnapshot) {
+        self.inner = snapshot.inner.as_ref().map(|(seq, ring, profile, series)| {
+            Box::new(Inner {
+                seq: *seq,
+                ring: ring.clone(),
+                extra: Vec::new(),
+                profile: profile.clone(),
+                series: series.clone(),
+            })
+        });
     }
 
     /// Closes the session: flushes the extra sinks and returns the
@@ -344,6 +394,40 @@ mod tests {
         assert_eq!(merged.events[0].seq, 0);
         assert_eq!(merged.events[1].seq, 1);
         assert_eq!(merged.events[1].time, 2.0);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_to_bit_identical_artifacts() {
+        let mut tel = Telemetry::enabled();
+        tel.emit(1.0, 0, || EventKind::Admit {
+            request: RequestId::new(1),
+            hops: 1,
+        });
+        let snap = tel.snapshot();
+        let mut reference = Telemetry::enabled();
+        reference.restore(&snap);
+        // Diverge, then rewind and replay the same tail on both.
+        tel.emit(9.0, 1, || EventKind::Admit {
+            request: RequestId::new(9),
+            hops: 3,
+        });
+        tel.restore(&snap);
+        for session in [&mut tel, &mut reference] {
+            session.emit(2.0, 1, || EventKind::Admit {
+                request: RequestId::new(2),
+                hops: 2,
+            });
+        }
+        assert_eq!(tel.finish(), reference.finish());
+    }
+
+    #[test]
+    fn disabled_snapshot_restores_to_disabled() {
+        let tel = Telemetry::disabled();
+        let snap = tel.snapshot();
+        let mut target = Telemetry::enabled();
+        target.restore(&snap);
+        assert!(!target.is_enabled());
     }
 
     #[test]

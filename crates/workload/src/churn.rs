@@ -594,7 +594,8 @@ impl ChurnTraceBuilder {
             horizon: self.horizon,
             arrival_rate: self.arrival_rate,
             mean_holding: self.mean_holding,
-            fixed: fixed.into_iter().peekable(),
+            fixed,
+            fixed_pos: 0,
             rng: churn_rng,
             churn_seq,
             pending_arrival,
@@ -715,7 +716,9 @@ pub struct ChurnStream<'a> {
     arrival_rate: f64,
     mean_holding: Option<f64>,
     /// Base population, outages, and ticks — pre-sorted by `(time, seq)`.
-    fixed: std::iter::Peekable<std::vec::IntoIter<(f64, usize, ChurnEvent)>>,
+    fixed: Vec<(f64, usize, ChurnEvent)>,
+    /// Cursor into `fixed`: the next not-yet-emitted sparse event.
+    fixed_pos: usize,
     /// Second same-seed RNG, positioned mid-churn-phase: its next draw is
     /// the template index of `pending_arrival`.
     rng: StdRng,
@@ -728,11 +731,57 @@ pub struct ChurnStream<'a> {
     departures: BinaryHeap<Reverse<PendingDeparture>>,
 }
 
+/// An owned snapshot of a [`ChurnStream`]'s cursor: the RNG state, the
+/// sparse-event position, the next pending Poisson arrival, and the
+/// in-flight departure heap. [`ChurnStream::restore`] rewinds a stream
+/// built from the *same* builder and scenario to this exact point, after
+/// which it yields a bit-identical event suffix — the crash-recovery
+/// primitive that lets a replayed tenant resume its trace mid-run without
+/// double-pumping events.
+#[derive(Debug, Clone)]
+pub struct ChurnCursor {
+    rng: StdRng,
+    fixed_pos: usize,
+    churn_seq: usize,
+    pending_arrival: Option<f64>,
+    next_id: u32,
+    departures: BinaryHeap<Reverse<PendingDeparture>>,
+}
+
 impl ChurnStream<'_> {
     /// The virtual-time horizon the stream was generated for.
     #[must_use]
     pub fn horizon(&self) -> f64 {
         self.horizon
+    }
+
+    /// Captures the stream's full cursor state. Replaying the remaining
+    /// events after a [`restore`](Self::restore) from this cursor yields
+    /// the identical suffix bit for bit.
+    #[must_use]
+    pub fn checkpoint(&self) -> ChurnCursor {
+        ChurnCursor {
+            rng: self.rng.clone(),
+            fixed_pos: self.fixed_pos,
+            churn_seq: self.churn_seq,
+            pending_arrival: self.pending_arrival,
+            next_id: self.next_id,
+            departures: self.departures.clone(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the stream to a cursor previously taken
+    /// from a stream built by the same builder over the same scenario.
+    /// The sparse event table is immutable and shared, so only the cursor
+    /// state moves; a cursor from a differently-configured stream yields
+    /// a well-formed but meaningless suffix.
+    pub fn restore(&mut self, cursor: &ChurnCursor) {
+        self.rng = cursor.rng.clone();
+        self.fixed_pos = cursor.fixed_pos.min(self.fixed.len());
+        self.churn_seq = cursor.churn_seq;
+        self.pending_arrival = cursor.pending_arrival;
+        self.next_id = cursor.next_id;
+        self.departures = cursor.departures.clone();
     }
 
     /// Emits the pending churn arrival, drawing its template, departure,
@@ -793,7 +842,7 @@ impl Iterator for ChurnStream<'_> {
         };
         let mut best: Option<((f64, usize), StreamSource)> = self
             .fixed
-            .peek()
+            .get(self.fixed_pos)
             .map(|&(t, s, _)| ((t, s), StreamSource::Fixed));
         if let Some(t) = self.pending_arrival {
             let key = (t, self.churn_seq);
@@ -809,8 +858,9 @@ impl Iterator for ChurnStream<'_> {
         }
         match best?.1 {
             StreamSource::Fixed => {
-                let (t, _, e) = self.fixed.next().expect("peeked");
-                Some(TimedEvent::new(t, e))
+                let (t, _, ref e) = self.fixed[self.fixed_pos];
+                self.fixed_pos += 1;
+                Some(TimedEvent::new(t, e.clone()))
             }
             StreamSource::Arrival => Some(self.emit_churn_arrival()),
             StreamSource::Departure => {
@@ -1048,6 +1098,39 @@ mod tests {
             let streamed: Vec<TimedEvent> = builder.stream(&s).unwrap().collect();
             assert_eq!(streamed.as_slice(), trace.events());
             assert_eq!(builder.stream(&s).unwrap().horizon(), trace.horizon());
+        }
+    }
+
+    #[test]
+    fn cursor_checkpoint_restore_replays_the_identical_suffix() {
+        let s = scenario();
+        let builder = full_builder()
+            .node_fleet(6)
+            .node_mtbf(45.0)
+            .node_mttr(12.0)
+            .rack_size(2);
+        let total = builder.build(&s).unwrap().len();
+        for taken in [0, 1, total / 3, total / 2, total - 1] {
+            let mut stream = builder.stream(&s).unwrap();
+            for _ in 0..taken {
+                stream.next().unwrap();
+            }
+            let cursor = stream.checkpoint();
+            let suffix: Vec<TimedEvent> = stream.collect();
+
+            // A fresh stream fast-forwarded through the cursor resumes
+            // mid-trace with the bit-identical suffix...
+            let mut replayed = builder.stream(&s).unwrap();
+            replayed.restore(&cursor);
+            let replayed: Vec<TimedEvent> = replayed.collect();
+            assert_eq!(replayed, suffix, "restore after {taken} events");
+
+            // ...and a drained stream rewinds to the same point.
+            let mut rewound = builder.stream(&s).unwrap();
+            rewound.by_ref().for_each(drop);
+            rewound.restore(&cursor);
+            let rewound: Vec<TimedEvent> = rewound.collect();
+            assert_eq!(rewound, suffix, "rewind after {taken} events");
         }
     }
 
