@@ -10,9 +10,36 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== panic-site gate (non-test unwrap/expect in controller + fleet vs ci/panic_allowlist.txt) =="
+echo "== figures command list (every ALL_COMMANDS entry must reach a dispatch arm) =="
+figures_src=crates/bench/src/bin/figures.rs
+command_gate_failed=0
+commands=$(sed -n '/ALL_COMMANDS:/,/^];$/p' "$figures_src" | grep -o '"[a-z0-9]*"' | tr -d '"' | tr '\n' ' ')
+[ -n "$commands" ] || { echo "could not extract ALL_COMMANDS from $figures_src"; exit 1; }
+for cmd in $commands; do
+    grep -q "\"$cmd\" =>" "$figures_src" || {
+        echo "command \"$cmd\" is listed in ALL_COMMANDS but has no dispatch arm in $figures_src"
+        command_gate_failed=1
+    }
+done
+# And the reverse: every dispatch arm (other than the synthetic all/bench
+# drivers and the catch-all) must be listed, so `all` really runs everything.
+for cmd in $(grep -o '^        "[a-z0-9]*" =>' "$figures_src" | grep -o '"[a-z0-9]*"' | tr -d '"'); do
+    case " all bench $commands " in
+        *" $cmd "*) ;;
+        *)
+            echo "dispatch arm \"$cmd\" in $figures_src is missing from ALL_COMMANDS"
+            command_gate_failed=1
+            ;;
+    esac
+done
+if [ "$command_gate_failed" != 0 ]; then
+    echo "figures command list and dispatch table drifted apart; update ALL_COMMANDS and usage() together"
+    exit 1
+fi
+
+echo "== panic-site gate (non-test unwrap/expect in controller + fleet + telemetry vs ci/panic_allowlist.txt) =="
 panic_gate_failed=0
-for f in $(find crates/controller/src crates/fleet/src -name '*.rs' | sort); do
+for f in $(find crates/controller/src crates/fleet/src crates/telemetry/src -name '*.rs' | sort); do
     count=$(awk '/^#\[cfg\(test\)\]/{exit} { line=$0; sub(/\/\/.*/, "", line); if (line ~ /\.unwrap\(\)|\.expect\(/) c++ } END{print c+0}' "$f")
     allowed=$(awk -v f="$f" '$1 == f {print $2}' ci/panic_allowlist.txt)
     allowed=${allowed:-0}
@@ -69,6 +96,10 @@ cargo test -q -p nfv-fleet --test chaos_recovery
 cargo test -q -p nfv-core --lib chaos
 cargo test -q -p nfv-core --test thread_invariance chaos
 
+echo "== observability plane (span trees, registry byte-identity, flight recorder) =="
+cargo test -q -p nfv-fleet --test observability
+cargo test -q -p nfv-core --test thread_invariance observability
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -95,6 +126,10 @@ cargo run -q --release -p nfv-bench --bin figures -- trace --csv results
 test -s results/trace_resilience.jsonl
 test -s results/trace_series.csv
 cargo run -q --release -p nfv-bench --bin figures -- profile
+cargo run -q --release -p nfv-bench --bin figures -- obs --csv results
+test -s results/registry.txt
+test -s results/registry.prom
+test -s results/registry.json
 
 # Extracts one scalar field from one top-level object ("replay", "telemetry")
 # of a BENCH_pipeline.json document fed on stdin. The fleet section repeats
@@ -207,6 +242,33 @@ for attempt in 1 2; do
         exit 1
     fi
     echo "recovery throughput ${recovery_eps} events/s below 80% of committed ${committed_recovery_eps}; retrying the measurement once"
+    cargo run --release -p nfv-bench --bin figures -- bench --reps 2
+done
+
+echo "== observability overhead gate (obs-enabled fleet within 5% ev/s of the plain run) =="
+# Hard (with one retry, like the replay gate): the observability plane is
+# counters, fixed-shape histograms and a bounded span tree on the epoch
+# loop, so its price must stay inside the 5% budget. A single bad sample
+# on a loaded host gets one re-measurement before failing.
+for attempt in 1 2; do
+    obs_overhead=$(bench_field obs enabled_overhead_pct < BENCH_pipeline.json)
+    obs_metrics=$(bench_field obs registry_metrics < BENCH_pipeline.json)
+    echo "observability: enabled-path overhead ${obs_overhead}% on the 256-tenant fleet point, ${obs_metrics} registry metrics"
+    # Hard: the registry must actually fill — an empty registry means the
+    # enabled run silently stopped recording, which would also make the
+    # overhead figure meaningless.
+    awk -v m="$obs_metrics" 'BEGIN { exit (m >= 1) ? 0 : 1 }' || {
+        echo "observability bench recorded an empty registry; the metrics plane is dead"
+        exit 1
+    }
+    if awk -v o="$obs_overhead" 'BEGIN { exit (o <= 5.0) ? 0 : 1 }'; then
+        break
+    fi
+    if [ "$attempt" = 2 ]; then
+        echo "observability enabled-path overhead ${obs_overhead}% exceeds the 5% budget"
+        exit 1
+    fi
+    echo "observability overhead ${obs_overhead}% above the 5% budget; retrying the measurement once"
     cargo run --release -p nfv-bench --bin figures -- bench --reps 2
 done
 

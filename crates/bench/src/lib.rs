@@ -6,7 +6,7 @@
 mod report;
 
 pub use report::{
-    BenchReport, FigureTiming, FleetPointBench, RecoveryBench, ReplayReport, ReportError,
+    BenchReport, FigureTiming, FleetPointBench, ObsBench, RecoveryBench, ReplayReport, ReportError,
     SearchReport, TelemetryReport,
 };
 

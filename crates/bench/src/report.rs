@@ -34,6 +34,8 @@ pub struct BenchReport {
     pub fleet: Vec<FleetPointBench>,
     /// Crash-recovery throughput under the seeded chaos plan.
     pub recovery: RecoveryBench,
+    /// Observability-plane overhead on the fleet loop.
+    pub obs: ObsBench,
     /// Wall-clock per figure, serial and parallel.
     pub figures: Vec<FigureTiming>,
     /// Sum of the serial figure timings, seconds.
@@ -171,6 +173,42 @@ pub struct RecoveryBench {
     /// `(faulted - undisturbed) / undisturbed`, percent — the wall-clock
     /// price of checkpoints, supervised drains, and replay.
     pub recovery_overhead_pct: f64,
+}
+
+/// Observability-plane overhead: the same fleet point run with the
+/// plane disabled (`plain`) and enabled — spans, registry, percentiles,
+/// flight recorder all on. `registry_metrics` and `slo_violations` are
+/// deterministic anchors; the wall-clock pair prices the plane, and
+/// `ci.sh` gates `enabled_overhead_pct` at ≤ 5%. The section is flat on
+/// purpose: `ci.sh` extracts fields with a line-oriented `sed` range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsBench {
+    /// Tenant controllers in the measured fleet point.
+    pub tenants: u64,
+    /// Shards the tenants were split over.
+    pub shards: u64,
+    /// Back-to-back fleet runs per timed measurement — scaled until the
+    /// plain measurement clears the telemetry section's floor.
+    pub reps: u64,
+    /// Trace events one fleet run processes.
+    pub events: u64,
+    /// Fastest measurement with the plane disabled, seconds.
+    pub plain_seconds: f64,
+    /// Fastest measurement with the plane enabled, seconds.
+    pub enabled_seconds: f64,
+    /// Events per second with the plane disabled (one run's events over
+    /// the per-run wall-clock).
+    pub plain_events_per_second: f64,
+    /// Events per second with the plane enabled.
+    pub enabled_events_per_second: f64,
+    /// Median of the per-round `enabled / plain` batch-time ratios
+    /// (batches alternate, so both sides of each ratio see the same host
+    /// load), minus one, in percent — gated by `ci.sh`.
+    pub enabled_overhead_pct: f64,
+    /// Metrics in the enabled run's merged registry.
+    pub registry_metrics: u64,
+    /// Tenant-tick SLO breaches the enabled run counted.
+    pub slo_violations: u64,
 }
 
 /// One figure's wall-clock timings.
@@ -335,6 +373,32 @@ impl BenchReport {
             rec.recovery_overhead_pct
         );
         let _ = writeln!(json, "  }},");
+        let o = &self.obs;
+        let _ = writeln!(json, "  \"obs\": {{");
+        let _ = writeln!(json, "    \"tenants\": {},", o.tenants);
+        let _ = writeln!(json, "    \"shards\": {},", o.shards);
+        let _ = writeln!(json, "    \"reps\": {},", o.reps);
+        let _ = writeln!(json, "    \"events\": {},", o.events);
+        let _ = writeln!(json, "    \"plain_seconds\": {:.6},", o.plain_seconds);
+        let _ = writeln!(json, "    \"enabled_seconds\": {:.6},", o.enabled_seconds);
+        let _ = writeln!(
+            json,
+            "    \"plain_events_per_second\": {:.3},",
+            o.plain_events_per_second
+        );
+        let _ = writeln!(
+            json,
+            "    \"enabled_events_per_second\": {:.3},",
+            o.enabled_events_per_second
+        );
+        let _ = writeln!(
+            json,
+            "    \"enabled_overhead_pct\": {:.3},",
+            o.enabled_overhead_pct
+        );
+        let _ = writeln!(json, "    \"registry_metrics\": {},", o.registry_metrics);
+        let _ = writeln!(json, "    \"slo_violations\": {}", o.slo_violations);
+        let _ = writeln!(json, "  }},");
         let _ = writeln!(json, "  \"figures\": [");
         for (i, figure) in self.figures.iter().enumerate() {
             let comma = if i + 1 < self.figures.len() { "," } else { "" };
@@ -375,6 +439,7 @@ impl BenchReport {
         let telemetry = root.child("telemetry")?;
         let replay = root.child("replay")?;
         let recovery = root.child("recovery")?;
+        let obs = root.child("obs")?;
         let mut fleet = Vec::new();
         for (i, entry) in root.array("fleet")?.iter().enumerate() {
             let point = entry.object(&format!("fleet[{i}]"))?;
@@ -457,6 +522,19 @@ impl BenchReport {
                 faulted_events_per_second: recovery.number("faulted_events_per_second")?,
                 recovery_overhead_pct: recovery.number("recovery_overhead_pct")?,
             },
+            obs: ObsBench {
+                tenants: obs.integer("tenants")?,
+                shards: obs.integer("shards")?,
+                reps: obs.integer("reps")?,
+                events: obs.integer("events")?,
+                plain_seconds: obs.number("plain_seconds")?,
+                enabled_seconds: obs.number("enabled_seconds")?,
+                plain_events_per_second: obs.number("plain_events_per_second")?,
+                enabled_events_per_second: obs.number("enabled_events_per_second")?,
+                enabled_overhead_pct: obs.number("enabled_overhead_pct")?,
+                registry_metrics: obs.integer("registry_metrics")?,
+                slo_violations: obs.integer("slo_violations")?,
+            },
             figures,
             total_serial_seconds: root.number("total_serial_seconds")?,
             total_parallel_seconds: root.nullable_number("total_parallel_seconds")?,
@@ -473,6 +551,19 @@ impl BenchReport {
             "faulted_seconds",
             "faulted_events_per_second",
             "recovery_overhead_pct",
+        ])?;
+        obs.deny_unknown(&[
+            "tenants",
+            "shards",
+            "reps",
+            "events",
+            "plain_seconds",
+            "enabled_seconds",
+            "plain_events_per_second",
+            "enabled_events_per_second",
+            "enabled_overhead_pct",
+            "registry_metrics",
+            "slo_violations",
         ])?;
         search.deny_unknown(&[
             "engine",
@@ -513,6 +604,7 @@ impl BenchReport {
             "replay",
             "fleet",
             "recovery",
+            "obs",
             "figures",
             "total_serial_seconds",
             "total_parallel_seconds",
@@ -905,6 +997,19 @@ mod tests {
                 faulted_events_per_second: 4_096.0,
                 recovery_overhead_pct: 100.0,
             },
+            obs: ObsBench {
+                tenants: 256,
+                shards: 16,
+                reps: 32,
+                events: 32_768,
+                plain_seconds: 0.25,
+                enabled_seconds: 0.375,
+                plain_events_per_second: 131_072.0,
+                enabled_events_per_second: 87_381.25,
+                enabled_overhead_pct: 50.0,
+                registry_metrics: 300,
+                slo_violations: 12,
+            },
             figures: vec![
                 FigureTiming {
                     name: "fig5".to_owned(),
@@ -1022,6 +1127,32 @@ mod tests {
             .unwrap_err()
             .reason
             .contains("byte_identical"));
+    }
+
+    #[test]
+    fn obs_section_round_trips_and_rejects_drift() {
+        let report = sample(true);
+        let json = report.to_json();
+        assert!(json.contains("\"obs\": {"));
+        assert_eq!(BenchReport::from_json(&json).unwrap().obs, report.obs);
+        // The section is flat: no nested objects, so the ci.sh sed-range
+        // extraction sees one `"key": value` pair per line.
+        let section = json
+            .split("\"obs\": {")
+            .nth(1)
+            .and_then(|rest| rest.split('}').next())
+            .unwrap();
+        assert!(!section.contains('{'), "obs section must stay flat");
+        let drifted = json.replace(
+            "\"enabled_overhead_pct\": 50.000,",
+            "\"enabled_overhead_pct\": 50.000, \"bonus\": 1,",
+        );
+        assert!(BenchReport::from_json(&drifted)
+            .unwrap_err()
+            .reason
+            .contains("bonus"));
+        let missing = json.replace("  \"obs\": {", "  \"obs_\": {");
+        assert!(BenchReport::from_json(&missing).is_err());
     }
 
     #[test]

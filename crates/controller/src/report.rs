@@ -113,6 +113,41 @@ impl ControllerReport {
         }
     }
 
+    /// Every integer counter as `(name, value)` pairs in declaration
+    /// order — the feed for the fleet's metrics registry and the flight
+    /// recorder's post-mortem dumps. Names are stable snake_case slugs.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("admitted", self.admitted),
+            ("rejected", self.rejected),
+            ("departed", self.departed),
+            ("shed", self.shed),
+            ("migrated_failover", self.migrated_failover),
+            ("migrated_reopt", self.migrated_reopt),
+            ("migrated_replace", self.migrated_replace),
+            ("ticks", self.ticks),
+            ("reopts_applied", self.reopts_applied),
+            ("reopts_skipped", self.reopts_skipped),
+            ("instances_added", self.instances_added),
+            ("instances_retired", self.instances_retired),
+            ("relocations", self.relocations),
+            ("replaces_applied", self.replaces_applied),
+            ("replaces_aborted", self.replaces_aborted),
+            ("node_downs", self.node_downs),
+            ("node_ups", self.node_ups),
+            ("stale_outage_events", self.stale_outage_events),
+            ("emergency_replaces", self.emergency_replaces),
+            ("retries_attempted", self.retries_attempted),
+            ("retry_admitted", self.retry_admitted),
+            ("retry_abandoned", self.retry_abandoned),
+            ("refines_applied", self.refines_applied),
+            ("refines_rejected", self.refines_rejected),
+            ("retry_pending", self.retry_pending),
+            ("active", self.active),
+        ]
+    }
+
     /// A fixed-precision one-line rendering, stable across runs.
     #[must_use]
     pub fn render(&self) -> String {

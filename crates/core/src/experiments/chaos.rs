@@ -16,7 +16,10 @@
 //! Everything here is counter data from deterministic runs, so the
 //! sweep is reproducible at any thread count.
 
-use nfv_fleet::{run_with_faults, FaultPlan, FaultRates, FleetError, FleetOutcome, FleetSpec};
+use nfv_fleet::{
+    run_with_faults, FaultKind, FaultPlan, FaultRates, FleetError, FleetOutcome, FleetSpec,
+};
+use nfv_telemetry::Postmortem;
 
 use super::fleet::fleet_spec;
 use super::Sweep;
@@ -124,11 +127,18 @@ pub fn chaos_sweep(seed: u64) -> Result<Sweep, FleetError> {
             "replay/restore".into(),
             "availability".into(),
             "identical".into(),
+            "postmortem_events".into(),
         ],
     );
     for rate in chaos_rates() {
         let point = run_chaos_point(rate, seed, &baseline)?;
         let recovery = &point.outcome.recovery;
+        let postmortem_events: usize = point
+            .outcome
+            .postmortems
+            .iter()
+            .map(Postmortem::event_count)
+            .sum();
         sweep.push(
             rate,
             vec![
@@ -139,10 +149,37 @@ pub fn chaos_sweep(seed: u64) -> Result<Sweep, FleetError> {
                 point.replay_per_restore,
                 point.availability,
                 f64::from(u8::from(point.identical)),
+                postmortem_events as f64,
             ],
         );
     }
     Ok(sweep)
+}
+
+/// Forces unrecoverable faults (corrupt checkpoints) and returns the
+/// flight-recorder postmortems the resulting quarantines dumped.
+/// Recoverable sweep plans can never quarantine — their corrupt-
+/// checkpoint and wedge rates are pinned to zero — so this is the
+/// experiment that exercises the flight-recorder path end to end. A
+/// fault naming a tenant that is parked (in transit) at its epoch never
+/// fires, so the number of postmortems equals the number of quarantines,
+/// not the number of planned faults.
+///
+/// # Errors
+///
+/// Propagates any [`FleetError`] from the faulted run.
+pub fn quarantine_postmortems(seed: u64) -> Result<Vec<Postmortem>, FleetError> {
+    let spec = chaos_spec(seed);
+    let plan = FaultPlan::none()
+        .with_fault(1, FaultKind::CorruptCheckpoint { tenant: 1 })
+        .with_fault(2, FaultKind::CorruptCheckpoint { tenant: 3 });
+    let outcome = run_with_faults(&spec, &plan)?;
+    debug_assert_eq!(
+        outcome.postmortems.len() as u64,
+        outcome.recovery.tenants_quarantined,
+        "one flight-recorder dump per quarantine"
+    );
+    Ok(outcome.postmortems)
 }
 
 #[cfg(test)]
@@ -187,5 +224,25 @@ mod tests {
         );
         let faults = sweep.series_values("faults fired").unwrap();
         assert!(faults.last().copied().unwrap_or(0.0) > 0.0);
+        // Recoverable plans never quarantine, so the flight recorder
+        // stays empty across the whole sweep.
+        let postmortems = sweep.series_values("postmortem_events").unwrap();
+        assert!(postmortems.iter().all(|&v| v == 0.0), "{postmortems:?}");
+    }
+
+    #[test]
+    fn quarantines_dump_nonempty_deterministic_postmortems() {
+        let a = quarantine_postmortems(42).unwrap();
+        let b = quarantine_postmortems(42).unwrap();
+        assert!(!a.is_empty(), "at least one fault fires and quarantines");
+        for postmortem in &a {
+            assert_eq!(postmortem.cause, "corrupt_checkpoint");
+            assert!(!postmortem.render().is_empty());
+        }
+        assert_eq!(
+            a.iter().map(Postmortem::render).collect::<Vec<_>>(),
+            b.iter().map(Postmortem::render).collect::<Vec<_>>(),
+            "flight-recorder dumps are deterministic"
+        );
     }
 }

@@ -42,8 +42,23 @@ pub fn fleet_spec(tenants: usize, shards: usize, seed: u64) -> FleetSpec {
         rebalance_every: 1,
         seed,
         telemetry: true,
+        // Tighter than the smoke default (0.05s): the fleet points run
+        // per-tenant balanced latencies of ~2–14ms, so a 10ms SLO keeps
+        // the violation counter live in the experiment tables.
+        slo_latency: 0.01,
         ..FleetSpec::smoke()
     }
+}
+
+/// The shard count paired with `tenants` in [`fleet_sizes`], or the
+/// same 16-tenants-per-shard proportion (minimum 2 shards) for sizes
+/// outside the standard sweep.
+#[must_use]
+pub fn shards_for(tenants: usize) -> usize {
+    fleet_sizes()
+        .into_iter()
+        .find_map(|(t, s)| (t == tenants).then_some(s))
+        .unwrap_or_else(|| (tenants / 16).max(2))
 }
 
 /// Runs one fleet point.
@@ -58,6 +73,25 @@ pub fn run_fleet_point(
     seed: u64,
 ) -> Result<FleetOutcome, FleetError> {
     nfv_fleet::run(&fleet_spec(tenants, shards, seed))
+}
+
+/// Runs one fleet point with the observability plane toggled — the
+/// `false` side is the "plain" baseline the bench harness prices the
+/// plane against.
+///
+/// # Errors
+///
+/// Propagates any [`FleetError`] from the loop.
+pub fn run_fleet_point_observed(
+    tenants: usize,
+    shards: usize,
+    seed: u64,
+    observability: bool,
+) -> Result<FleetOutcome, FleetError> {
+    nfv_fleet::run(&FleetSpec {
+        observability,
+        ..fleet_spec(tenants, shards, seed)
+    })
 }
 
 /// Sweeps the fleet sizes and tabulates the deterministic columns:

@@ -245,6 +245,45 @@ fn chaos_recovery_is_thread_count_invariant_and_byte_identical() {
 }
 
 #[test]
+fn observability_registry_dumps_are_thread_count_invariant() {
+    // The acceptance pin for the observability plane: per-shard
+    // registries merge in shard-id order, so the fleet registry's text,
+    // Prometheus and JSON dumps — and the per-tenant latency
+    // percentiles and SLO counter derived alongside them — must be
+    // byte-identical at 1, 2 and 8 threads.
+    assert_invariant("fleet registry dump (8 tenants / 2 shards)", || {
+        let outcome = fleet::run_fleet_point(8, 2, 42).unwrap();
+        format!(
+            "{}\n{}\n{}\n{:?}\n{}",
+            outcome.registry.to_text(),
+            outcome.registry.to_prometheus(),
+            outcome.registry.to_json(),
+            outcome.report.tenant_latency,
+            outcome.report.slo_violations
+        )
+    });
+    assert_invariant("fleet registry dump (256 tenants / 16 shards)", || {
+        let outcome = fleet::run_fleet_point(256, 16, 42).unwrap();
+        format!(
+            "{}\n{:?}\n{}",
+            outcome.registry.to_text(),
+            outcome.report.tenant_latency,
+            outcome.report.slo_violations
+        )
+    });
+    // The chaos point adds the flight recorder: quarantine postmortems
+    // must dump byte-identically too.
+    assert_invariant("quarantine postmortem dumps", || {
+        chaos::quarantine_postmortems(42)
+            .unwrap()
+            .iter()
+            .map(nfv_telemetry::Postmortem::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+}
+
+#[test]
 fn telemetry_is_inert_and_invariant_across_thread_counts() {
     // The instrumented runs must (a) return results byte-identical to the
     // plain runs — telemetry is a strict observer — and (b) merge the

@@ -63,8 +63,12 @@ mod handoff;
 mod shard;
 
 use nfv_controller::{Controller, ControllerConfig, ControllerReport};
+use nfv_metrics::Histogram;
 use nfv_parallel::{catch_task, default_threads, derive_seed, par_map_indexed, TaskPanic};
-use nfv_telemetry::{EventKind, Telemetry, TelemetryArtifacts, TelemetrySnapshot};
+use nfv_telemetry::{
+    EventKind, Phase, PhaseProfile, Postmortem, Registry, SpanTree, Stopwatch, Telemetry,
+    TelemetryArtifacts, TelemetrySnapshot, TickSeries, FLIGHT_RECORDER_WINDOW,
+};
 use nfv_workload::churn::{ChurnStream, ChurnTraceBuilder, TimedEvent};
 use nfv_workload::tenancy::tenant_seed;
 use nfv_workload::{Scenario, ScenarioBuilder, ServiceRatePolicy, TenantId, WorkloadError};
@@ -187,6 +191,15 @@ pub struct FleetSpec {
     pub seed: u64,
     /// Whether tenants record telemetry journals.
     pub telemetry: bool,
+    /// Whether the run records the observability plane: the causal span
+    /// tree, the metrics registry, per-tenant latency percentiles, the
+    /// SLO-violation counter, and flight-recorder post-mortems. Purely
+    /// observational — results are bit-identical with it on or off.
+    pub observability: bool,
+    /// Per-tenant latency SLO threshold, seconds: tick samples whose
+    /// balanced latency exceeds it count into
+    /// [`FleetReport::slo_violations`].
+    pub slo_latency: f64,
     /// The controller configuration every tenant runs.
     pub controller: ControllerConfig,
     /// Worker threads for the drain phase (`0` = process default).
@@ -213,6 +226,8 @@ impl FleetSpec {
             rebalance_every: 1,
             seed: 11,
             telemetry: true,
+            observability: true,
+            slo_latency: 0.05,
             controller: ControllerConfig::periodic_reopt(),
             threads: 0,
         }
@@ -250,6 +265,11 @@ impl FleetSpec {
         }
         if self.channel_capacity == 0 {
             return Err(FleetError::InvalidSpec("channel capacity must be >= 1"));
+        }
+        if !(self.slo_latency.is_finite() && self.slo_latency > 0.0) {
+            return Err(FleetError::InvalidSpec(
+                "slo latency must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -323,6 +343,30 @@ pub struct FleetReport {
     pub mean_rebalance_latency: f64,
     /// Events processed per shard, shard-id order.
     pub shard_events: Vec<u64>,
+    /// Tick samples whose balanced latency exceeded
+    /// [`FleetSpec::slo_latency`], fleet-wide (0 with observability
+    /// disabled).
+    pub slo_violations: u64,
+    /// Per-tenant latency percentiles, tenant-id order (empty with
+    /// observability disabled).
+    pub tenant_latency: Vec<TenantLatencyStats>,
+}
+
+/// Per-tenant latency percentiles over the run's tick series, seconds.
+/// Derived purely from the deterministic virtual-time series, so the
+/// values are bit-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLatencyStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Tick samples the percentiles were computed over.
+    pub samples: u64,
+    /// Median balanced latency, seconds (0 with no samples).
+    pub p50: f64,
+    /// 95th-percentile balanced latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile balanced latency, seconds.
+    pub p99: f64,
 }
 
 /// Counters of the chaos/recovery machinery for one run. All zeros for
@@ -383,6 +427,133 @@ pub struct FleetOutcome {
     /// quarantines) — kept out of [`artifacts`](Self::artifacts) so the
     /// tenant journal stays byte-identical under recoverable faults.
     pub chaos_artifacts: TelemetryArtifacts,
+    /// The causal span tree of the run's wall-clock: fleet run → epoch →
+    /// {pump, drain(shard), handoff, checkpoint, restore, quarantine},
+    /// plus per-shard controller phase attribution. Structure is
+    /// deterministic; durations are wall-clock. Empty with observability
+    /// disabled.
+    pub spans: SpanTree,
+    /// The deterministic metrics registry, merged in shard-id order
+    /// (quarantined tenants last). Byte-identical dumps at any thread
+    /// count. Empty with observability disabled.
+    pub registry: Registry,
+    /// Flight-recorder post-mortem windows, one per quarantined tenant
+    /// in quarantine order (empty with observability disabled).
+    pub postmortems: Vec<Postmortem>,
+}
+
+/// Fixed shape of the per-tenant latency histograms (`lo`, `hi`, bins).
+const LATENCY_HISTOGRAM: (f64, f64, usize) = (0.0, 0.1, 20);
+/// Fixed shape of the per-shard retry-backlog histograms.
+const BACKLOG_HISTOGRAM: (f64, f64, usize) = (0.0, 32.0, 16);
+
+/// Accumulates one tenant's controller counters into a positional
+/// aggregate, so the registry sees one `controller_*_total` write per
+/// counter per *shard* instead of per tenant (the per-tenant version
+/// cost 26 map lookups + string allocations per tenant, which dominated
+/// the plane's overhead at 256 tenants). The counter list has a fixed
+/// order, so positions line up across reports.
+fn accumulate_counters(totals: &mut Vec<(&'static str, u64)>, report: &ControllerReport) {
+    if totals.is_empty() {
+        *totals = report.counters();
+        return;
+    }
+    for (slot, (name, value)) in totals.iter_mut().zip(report.counters()) {
+        debug_assert_eq!(slot.0, name, "counter order is fixed");
+        slot.1 += value;
+    }
+}
+
+/// Flushes a [`accumulate_counters`] aggregate into a registry slice.
+fn flush_counters(registry: &mut Registry, totals: &[(&'static str, u64)]) {
+    for (name, value) in totals {
+        registry.counter_add(format!("controller_{name}_total"), *value);
+    }
+}
+
+/// An empty histogram of one of the fixed shapes above. The shapes are
+/// valid compile-time constants, so this never returns `None` in
+/// practice; the `Option` just keeps the crate's zero panic-site budget.
+fn fixed_histogram((lo, hi, bins): (f64, f64, usize)) -> Option<Histogram> {
+    Histogram::new(lo, hi, bins)
+}
+
+/// The `q`-quantile of an ascending slice, matching
+/// [`nfv_metrics::SampleSet::percentile`] (Hyndman–Fan type 7): rank
+/// `q·(n−1)`, linear interpolation between neighbors, 0 when empty.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let rank = q * (sorted.len() - 1) as f64;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let lo = rank.floor() as usize;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let hi = rank.ceil() as usize;
+    #[allow(clippy::cast_precision_loss)]
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Folds one tenant's final state into the fleet registry and returns
+/// its latency percentiles: balanced-latency samples into the tenant's
+/// latency histogram (built locally and inserted once — per-sample
+/// `histogram_record` re-validation dominated the plane's overhead at
+/// 256 tenants), retry-backlog samples into the caller's per-shard
+/// backlog histogram, SLO breaches into `slo_violations`. Controller
+/// counters ride separately through [`accumulate_counters`].
+///
+/// `scratch` is a caller-owned buffer reused across tenants so the
+/// percentile pass allocates nothing per tenant (a
+/// [`Summary`](nfv_metrics::Summary) here
+/// costs two allocations and a sorted copy per call, which adds up at
+/// 256 tenants). It holds the tenant's finite latencies, sorted
+/// ascending, on return.
+fn observe_tenant(
+    registry: &mut Registry,
+    backlog: &mut Option<Histogram>,
+    scratch: &mut Vec<f64>,
+    tenant: TenantId,
+    series: &TickSeries,
+    slo_latency: f64,
+    slo_violations: &mut u64,
+) -> TenantLatencyStats {
+    let mut latency_hist = fixed_histogram(LATENCY_HISTOGRAM);
+    scratch.clear();
+    for sample in series.samples() {
+        if let Some(hist) = latency_hist.as_mut() {
+            hist.push(sample.balanced_latency);
+        }
+        if let Some(hist) = backlog.as_mut() {
+            #[allow(clippy::cast_precision_loss)]
+            hist.push(sample.retry_backlog as f64);
+        }
+        if sample.balanced_latency.is_finite() {
+            scratch.push(sample.balanced_latency);
+        }
+        if sample.balanced_latency > slo_latency {
+            *slo_violations += 1;
+        }
+    }
+    if let Some(hist) = latency_hist {
+        if hist.count() > 0 {
+            // Tenant ids are digits, which never need label escaping, so
+            // the key skips `Registry::labeled`'s escape pass.
+            registry.histogram_insert(
+                format!("tenant_latency_seconds{{tenant=\"{}\"}}", tenant.as_u32()),
+                hist,
+            );
+        }
+    }
+    scratch.sort_unstable_by(f64::total_cmp);
+    TenantLatencyStats {
+        tenant,
+        samples: scratch.len() as u64,
+        p50: percentile_sorted(scratch, 0.5),
+        p95: percentile_sorted(scratch, 0.95),
+        p99: percentile_sorted(scratch, 0.99),
+    }
 }
 
 /// Per-epoch chaos bookkeeping threaded through the pump: the epoch's
@@ -526,6 +697,15 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         spec.threads
     };
     let chaos_on = !plan.is_empty();
+    // Observability plane. Span durations are the only wall-clock values
+    // and never flow back into a decision; the tree's structure, the
+    // registry, the percentiles, and the postmortems all derive from the
+    // deterministic virtual-time run.
+    let obs = spec.observability;
+    let run_watch = obs.then(Stopwatch::start);
+    let mut spans = SpanTree::new();
+    let root_span = obs.then(|| spans.root("fleet run", 0.0));
+    let mut postmortems: Vec<Postmortem> = Vec::new();
     let scenarios: Vec<Scenario> = (0..spec.tenants)
         .map(|t| {
             ScenarioBuilder::new()
@@ -586,7 +766,13 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
     let mut logs: Vec<Vec<TimedEvent>> = (0..spec.tenants).map(|_| Vec::new()).collect();
     let mut epoch_pumped: Vec<u64> = vec![0; spec.tenants];
     for epoch in 0..epochs {
+        let epoch_watch = obs.then(Stopwatch::start);
+        let epoch_span = root_span.map(|root| spans.child(root, format!("epoch {epoch}"), 0.0));
+        let handoff_watch = obs.then(Stopwatch::start);
         handoff.install_due(&mut shards, epoch)?;
+        if let (Some(watch), Some(span)) = (handoff_watch, epoch_span) {
+            spans.accumulate(span, "handoff", watch.elapsed_seconds());
+        }
         let faults = plan.for_epoch(epoch as usize);
         let epoch_faulted = !faults.is_empty();
         let epoch_start = epoch as f64 * spec.epoch;
@@ -634,6 +820,7 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         // (after install_due, so a freshly installed tenant is covered)
         // and reset the epoch's replay logs and pump counters.
         if epoch_faulted {
+            let checkpoint_watch = obs.then(Stopwatch::start);
             for (t, log) in logs.iter_mut().enumerate() {
                 log.clear();
                 epoch_pumped[t] = 0;
@@ -669,6 +856,9 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                     }
                 }
             }
+            if let (Some(watch), Some(span)) = (checkpoint_watch, epoch_span) {
+                spans.accumulate(span, "checkpoint", watch.elapsed_seconds());
+            }
         }
 
         // The final epoch flushes everything, horizon-clamped streams
@@ -678,7 +868,15 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         } else {
             (epoch + 1) as f64 * spec.epoch
         };
+        // Round-grained phase timings batch into these locals and flush
+        // into the epoch span once the epoch settles: `accumulate` scans
+        // the span's children by label (and the drain labels are
+        // formatted strings), so per-round calls were a measurable slice
+        // of the plane's overhead at fleet scale.
+        let mut pump_seconds = 0.0;
+        let mut drain_seconds = vec![0.0; shards.len()];
         loop {
+            let pump_watch = obs.then(Stopwatch::start);
             let pumped = {
                 let mut ctx = PumpChaos {
                     drop_at: &drop_at,
@@ -694,6 +892,9 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                     epoch_faulted.then_some(&mut ctx),
                 )
             };
+            if let Some(watch) = pump_watch {
+                pump_seconds += watch.elapsed_seconds();
+            }
             let buffered: usize = shards.iter().map(Shard::buffered).sum();
             if pumped == 0 && buffered == 0 {
                 break;
@@ -718,7 +919,9 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                                 shard.drain_upto(limit);
                                 panic!("injected shard-worker panic");
                             }
-                            shard.drain_round()
+                            let watch = obs.then(Stopwatch::start);
+                            let drained = shard.drain_round();
+                            (drained, watch.map_or(0.0, |w| w.elapsed_seconds()))
                         })
                     },
                 )
@@ -726,12 +929,16 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                 let mut drained = 0;
                 for (i, result) in results.into_iter().enumerate() {
                     match result {
-                        Ok(n) => drained += n,
+                        Ok((n, seconds)) => {
+                            drained += n;
+                            drain_seconds[i] += seconds;
+                        }
                         Err(_panic) => {
                             // The worker died mid-drain: restore every
                             // tenant of the poisoned shard from its
                             // epoch checkpoint, clear its channels, and
                             // replay the epoch's pumped events so far.
+                            let restore_watch = obs.then(Stopwatch::start);
                             panic_pending.retain(|&s| s != i);
                             recovery.faults_injected += 1;
                             let shard = &mut shards[i];
@@ -771,21 +978,27 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                             // Replay is forward progress for the stall
                             // guard: the shard's channels are empty now.
                             drained += replayed;
+                            if let (Some(watch), Some(span)) = (restore_watch, epoch_span) {
+                                spans.accumulate(span, "restore", watch.elapsed_seconds());
+                            }
                         }
                     }
                 }
                 drained
             } else {
                 let results = par_map_indexed(threads, shards, |_, mut shard| {
+                    let watch = obs.then(Stopwatch::start);
                     let drained = shard.drain_round();
-                    (shard, drained)
+                    let seconds = watch.map_or(0.0, |w| w.elapsed_seconds());
+                    (shard, drained, seconds)
                 })
                 .map_err(FleetError::Pool)?;
                 let mut drained = 0;
                 shards = results
                     .into_iter()
-                    .map(|(shard, n)| {
+                    .map(|(shard, n, seconds)| {
                         drained += n;
+                        drain_seconds[shard.id()] += seconds;
                         shard
                     })
                     .collect();
@@ -803,12 +1016,20 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                 return Err(FleetError::PumpStalled { tenant, epoch });
             }
         }
+        if let Some(span) = epoch_span {
+            spans.accumulate(span, "pump", pump_seconds);
+            for (i, seconds) in drain_seconds.iter().enumerate() {
+                spans.accumulate(span, &format!("drain shard {i}"), *seconds);
+            }
+        }
 
         // Epoch-boundary fault application + recovery sweep: inject the
         // boundary faults, then restore every tenant that crashed, saw a
         // channel fault fire, or fails the conservation invariant —
         // quarantining those whose checkpoint is corrupt.
         if epoch_faulted {
+            let sweep_watch = obs.then(Stopwatch::start);
+            let mut quarantine_seconds = 0.0;
             let drop_fired = |t: usize| drop_at[t].is_some_and(|nth| epoch_pumped[t] > nth);
             let dup_fired = |t: usize| dup_at[t].is_some_and(|nth| epoch_pumped[t] > nth);
             for (si, shard) in shards.iter_mut().enumerate() {
@@ -895,6 +1116,7 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                         replayed,
                     });
                 }
+                let quarantine_watch = obs.then(Stopwatch::start);
                 for (tenant, cause) in to_quarantine {
                     let slot = shard.retire(tenant);
                     debug_assert!(slot.is_some(), "quarantined tenant was installed");
@@ -908,6 +1130,17 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                         tenant: u64::from(tenant.as_u32()),
                         cause: cause.into(),
                     });
+                    // Flight-recorder dump: the checkpoint's journal tail
+                    // and counters, frozen at the moment of quarantine.
+                    if obs {
+                        postmortems.push(Postmortem::new(
+                            u64::from(tenant.as_u32()),
+                            epoch,
+                            cause,
+                            checkpoint.telemetry.recent_events(FLIGHT_RECORDER_WINDOW),
+                            checkpoint.report.counters(),
+                        ));
+                    }
                     quarantined_telemetry.push(checkpoint.telemetry);
                     quarantines.push(QuarantineRecord {
                         tenant,
@@ -916,6 +1149,14 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
                         report: checkpoint.report,
                     });
                 }
+                if let Some(watch) = quarantine_watch {
+                    quarantine_seconds += watch.elapsed_seconds();
+                }
+            }
+            if let (Some(watch), Some(span)) = (sweep_watch, epoch_span) {
+                let total = watch.elapsed_seconds();
+                spans.accumulate(span, "restore", (total - quarantine_seconds).max(0.0));
+                spans.accumulate(span, "quarantine", quarantine_seconds);
             }
         }
 
@@ -927,30 +1168,132 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         // Initiate a handoff only when its install epoch still exists.
         if spec.rebalance_every > 0 && (epoch + 1) % spec.rebalance_every == 0 && epoch + 2 < epochs
         {
+            let initiate_watch = obs.then(Stopwatch::start);
             handoff.initiate(&mut shards, epoch, spec.epoch)?;
+            if let (Some(watch), Some(span)) = (initiate_watch, epoch_span) {
+                spans.accumulate(span, "handoff", watch.elapsed_seconds());
+            }
+        }
+        // Set LAST so the epoch span covers every phase child and the
+        // `(other)` residual sums exactly to the measured epoch time.
+        if let (Some(watch), Some(span)) = (epoch_watch, epoch_span) {
+            spans.set_seconds(span, watch.elapsed_seconds());
         }
     }
     debug_assert!(handoff.idle(), "every handoff installs before the run ends");
     let migrations = handoff.records().to_vec();
     // Close every tenant at the horizon and merge journals per shard in
     // shard-id order (tenant order within each shard).
+    let finish_watch = obs.then(Stopwatch::start);
     let shard_events: Vec<u64> = shards.iter().map(Shard::processed).collect();
     let mut tenant_reports: Vec<(TenantId, ControllerReport)> = Vec::with_capacity(spec.tenants);
     let mut parts: Vec<TelemetryArtifacts> = Vec::with_capacity(spec.tenants);
+    let mut registry = Registry::new();
+    let mut slo_violations = 0u64;
+    let mut tenant_latency: Vec<TenantLatencyStats> = Vec::new();
+    let mut latency_scratch: Vec<f64> = Vec::new();
     for shard in shards {
+        let shard_label = shard.id().to_string();
+        let mut shard_profile = obs.then(PhaseProfile::new);
+        let mut shard_counters: Vec<(&'static str, u64)> = Vec::new();
+        let mut shard_backlog = if obs {
+            fixed_histogram(BACKLOG_HISTOGRAM)
+        } else {
+            None
+        };
+        if obs {
+            registry.counter_add(
+                Registry::labeled("fleet_shard_events_total", "shard", &shard_label),
+                shard.processed(),
+            );
+        }
         for (tenant, report, artifacts) in shard.finish(spec.horizon) {
+            if obs {
+                accumulate_counters(&mut shard_counters, &report);
+                tenant_latency.push(observe_tenant(
+                    &mut registry,
+                    &mut shard_backlog,
+                    &mut latency_scratch,
+                    tenant,
+                    &artifacts.series,
+                    spec.slo_latency,
+                    &mut slo_violations,
+                ));
+            }
+            if let Some(profile) = shard_profile.as_mut() {
+                profile.merge(&artifacts.profile);
+            }
             tenant_reports.push((tenant, report));
             parts.push(artifacts);
+        }
+        // This fold is serial and walks the shards in shard-id order, so
+        // the registry fills in a deterministic order regardless of how
+        // many workers drained the epochs — the dump is byte-identical
+        // at any thread count. (`Registry::merge` composes slices built
+        // elsewhere; the fleet writes directly to skip the merge copy.)
+        if obs {
+            flush_counters(&mut registry, &shard_counters);
+            if let Some(hist) = shard_backlog {
+                if hist.count() > 0 {
+                    registry.histogram_insert(
+                        Registry::labeled("shard_retry_backlog", "shard", &shard_label),
+                        hist,
+                    );
+                }
+            }
+        }
+        if let (Some(root), Some(profile)) = (root_span, shard_profile.as_ref()) {
+            let total: f64 = Phase::ALL
+                .iter()
+                .map(|p| profile.summary(*p).samples().as_slice().iter().sum::<f64>())
+                .sum();
+            let node = spans.child(
+                root,
+                format!("controller phases shard {shard_label}"),
+                total,
+            );
+            spans.graft_profile(node, profile);
         }
     }
     // Quarantined tenants contribute their frozen checkpoint state:
     // counters into the totals, checkpoint-time journal after the live
-    // shards' parts (quarantine order, which is deterministic).
+    // shards' parts (quarantine order, which is deterministic), latency
+    // stats into the registry under the "quarantined" shard label.
+    let mut quarantine_counters: Vec<(&'static str, u64)> = Vec::new();
+    let mut quarantine_backlog = if obs {
+        fixed_histogram(BACKLOG_HISTOGRAM)
+    } else {
+        None
+    };
     for (quarantine, telemetry) in quarantines.iter().zip(quarantined_telemetry) {
         tenant_reports.push((quarantine.tenant, quarantine.report.clone()));
         let mut session = Telemetry::disabled();
         session.restore(&telemetry);
-        parts.push(session.finish());
+        let artifacts = session.finish();
+        if obs {
+            accumulate_counters(&mut quarantine_counters, &quarantine.report);
+            tenant_latency.push(observe_tenant(
+                &mut registry,
+                &mut quarantine_backlog,
+                &mut latency_scratch,
+                quarantine.tenant,
+                &artifacts.series,
+                spec.slo_latency,
+                &mut slo_violations,
+            ));
+        }
+        parts.push(artifacts);
+    }
+    if obs {
+        flush_counters(&mut registry, &quarantine_counters);
+        if let Some(hist) = quarantine_backlog {
+            if hist.count() > 0 {
+                registry.histogram_insert(
+                    Registry::labeled("shard_retry_backlog", "shard", "quarantined"),
+                    hist,
+                );
+            }
+        }
     }
     let artifacts = TelemetryArtifacts::merged(parts);
     tenant_reports.sort_by_key(|(tenant, _)| *tenant);
@@ -976,6 +1319,11 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
             migrations.iter().map(|m| m.latency).sum::<f64>() / migrations.len() as f64
         },
         shard_events,
+        slo_violations,
+        tenant_latency: {
+            tenant_latency.sort_by_key(|stats| stats.tenant);
+            tenant_latency
+        },
     };
     for (_, r) in &tenant_reports {
         report.admitted += r.admitted;
@@ -984,6 +1332,23 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         report.shed += r.shed;
         report.retry_admitted += r.retry_admitted;
         report.active += r.active;
+    }
+    if obs {
+        registry.counter_add("fleet_slo_violations_total", slo_violations);
+        registry.counter_add("fleet_migrations_total", report.migrations);
+        registry.gauge_set("fleet_active", report.active as f64);
+        registry.gauge_set("fleet_tenants", spec.tenants as f64);
+        registry.gauge_set("fleet_shards", spec.shards as f64);
+        registry.gauge_set(
+            "fleet_mean_rebalance_latency_seconds",
+            report.mean_rebalance_latency,
+        );
+    }
+    if let (Some(watch), Some(root)) = (finish_watch, root_span) {
+        spans.accumulate(root, "finish", watch.elapsed_seconds());
+    }
+    if let (Some(watch), Some(root)) = (run_watch, root_span) {
+        spans.set_seconds(root, watch.elapsed_seconds());
     }
     Ok(FleetOutcome {
         report,
@@ -994,6 +1359,9 @@ pub fn run_with_faults(spec: &FleetSpec, plan: &FaultPlan) -> Result<FleetOutcom
         recovery,
         quarantines,
         chaos_artifacts: chaos_tel.finish(),
+        spans,
+        registry,
+        postmortems,
     })
 }
 

@@ -89,7 +89,7 @@ impl JsonObject {
     }
 }
 
-fn escape_into(buf: &mut String, s: &str) {
+pub(crate) fn escape_into(buf: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => buf.push_str("\\\""),

@@ -13,7 +13,12 @@
 //!   into `nfv-metrics` summaries;
 //! - a **per-tick time-series** ([`TickSample`]/[`TickSeries`]): ρ,
 //!   balanced latency, retry backlog and nodes-in-service snapshots with
-//!   bounded memory and in-order cross-worker merging.
+//!   bounded memory and in-order cross-worker merging;
+//! - a fleet-facing **observability plane**: causal [`SpanTree`]s for
+//!   flame-style wall-clock attribution, a deterministic metrics
+//!   [`Registry`] with Prometheus text and hand-rolled JSON exporters,
+//!   and a bounded flight-recorder [`Postmortem`] window captured for
+//!   quarantined tenants.
 //!
 //! # Determinism contract
 //!
@@ -52,15 +57,26 @@
 #![warn(missing_docs)]
 
 mod event;
+mod export;
 pub mod json;
+mod recorder;
+mod registry;
 mod series;
 mod sink;
 mod span;
+mod trace;
 
 pub use event::{EventKind, ReoptPhase, TraceEvent, CSV_HEADER};
+pub use export::{escape_label, unescape_label};
+pub use recorder::{Postmortem, FLIGHT_RECORDER_WINDOW};
+pub use registry::{Registry, RegistryError};
 pub use series::{TickSample, TickSeries, SERIES_CSV_HEADER};
-pub use sink::{CsvSink, EventSink, JsonlSink, RingSink};
-pub use span::{Phase, PhaseProfile, SpanToken};
+pub use sink::{
+    csv_journal_rows, parse_jsonl_journal, CsvSink, EventSink, JournalError, JsonlSink, RingSink,
+    JOURNAL_SCHEMA_VERSION,
+};
+pub use span::{Phase, PhaseProfile, SpanToken, Stopwatch};
+pub use trace::{SpanId, SpanTree};
 
 /// Everything a telemetry session collected, returned by
 /// [`Telemetry::finish`].
@@ -147,6 +163,28 @@ struct Inner {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetrySnapshot {
     inner: Option<(u64, RingSink, PhaseProfile, TickSeries)>,
+}
+
+impl TelemetrySnapshot {
+    /// The most recent `limit` journal events captured in the snapshot,
+    /// oldest first — the flight recorder reads its post-mortem window
+    /// through this. Empty for a disabled session's snapshot.
+    #[must_use]
+    pub fn recent_events(&self, limit: usize) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |(_, ring, _, _)| {
+                let skip = ring.len().saturating_sub(limit);
+                ring.events().skip(skip).cloned().collect()
+            })
+    }
+
+    /// The tick series captured in the snapshot, if the session was
+    /// enabled.
+    #[must_use]
+    pub fn series(&self) -> Option<&TickSeries> {
+        self.inner.as_ref().map(|(_, _, _, series)| series)
+    }
 }
 
 /// A telemetry session handle, threaded by `&mut` through the

@@ -1,0 +1,156 @@
+//! The flight recorder: bounded post-mortem windows for chaos failures.
+//!
+//! When the fleet quarantines a tenant, the operator's first question is
+//! "what happened right before?". The journal ring already retains the
+//! most recent events per tenant; a [`Postmortem`] freezes the tail of
+//! that ring (at most [`FLIGHT_RECORDER_WINDOW`] events) together with
+//! the tenant's counter registry deltas at checkpoint time, and renders
+//! them as one deterministic text dump. Because every input derives from
+//! the deterministic virtual-time run, two runs of the same seeded fault
+//! plan produce byte-identical dumps at any thread count.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+
+/// Maximum journal events a [`Postmortem`] retains (the tail of the
+/// tenant's journal ring at capture time).
+pub const FLIGHT_RECORDER_WINDOW: usize = 32;
+
+/// A frozen post-mortem window for one failed tenant (see the module
+/// docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// The tenant the window belongs to.
+    pub tenant: u64,
+    /// The epoch whose boundary sweep captured the window.
+    pub epoch: u64,
+    /// The failure cause slug (e.g. `corrupt_checkpoint`).
+    pub cause: String,
+    /// The last journal events before capture, oldest first, at most
+    /// [`FLIGHT_RECORDER_WINDOW`].
+    pub events: Vec<TraceEvent>,
+    /// The tenant's counter values at capture time, declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl Postmortem {
+    /// Builds a window, truncating `events` to the most recent
+    /// [`FLIGHT_RECORDER_WINDOW`] entries.
+    #[must_use]
+    pub fn new(
+        tenant: u64,
+        epoch: u64,
+        cause: impl Into<String>,
+        mut events: Vec<TraceEvent>,
+        counters: Vec<(&'static str, u64)>,
+    ) -> Self {
+        let excess = events.len().saturating_sub(FLIGHT_RECORDER_WINDOW);
+        events.drain(..excess);
+        Self {
+            tenant,
+            epoch,
+            cause: cause.into(),
+            events,
+            counters,
+        }
+    }
+
+    /// Journal events retained in the window.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The deterministic text dump: a header line, one `counter` line
+    /// per non-zero counter, then one JSON journal line per retained
+    /// event. Never empty — the header and counters are present even
+    /// for a tenant that journalled nothing.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "postmortem tenant={} epoch={} cause={} events={}",
+            self.tenant,
+            self.epoch,
+            self.cause,
+            self.events.len()
+        );
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                let _ = writeln!(out, "counter {name} {value}");
+            }
+        }
+        for event in &self.events {
+            let _ = writeln!(out, "event {}", event.to_json());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use nfv_model::RequestId;
+
+    fn admit(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            time: seq as f64,
+            tick: 0,
+            kind: EventKind::Admit {
+                request: RequestId::new(seq as u32),
+                hops: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn window_keeps_the_most_recent_events() {
+        let events: Vec<TraceEvent> = (0..(FLIGHT_RECORDER_WINDOW as u64 + 10))
+            .map(admit)
+            .collect();
+        let pm = Postmortem::new(3, 2, "corrupt_checkpoint", events, vec![("admitted", 42)]);
+        assert_eq!(pm.event_count(), FLIGHT_RECORDER_WINDOW);
+        assert_eq!(pm.events.first().unwrap().seq, 10, "oldest surviving");
+        assert_eq!(
+            pm.events.last().unwrap().seq,
+            FLIGHT_RECORDER_WINDOW as u64 + 9
+        );
+    }
+
+    #[test]
+    fn render_is_never_empty_and_deterministic() {
+        let quiet = Postmortem::new(
+            7,
+            1,
+            "corrupt_checkpoint",
+            Vec::new(),
+            vec![("admitted", 0)],
+        );
+        let dump = quiet.render();
+        assert!(!dump.is_empty());
+        assert!(dump.starts_with("postmortem tenant=7 epoch=1 cause=corrupt_checkpoint events=0"));
+        assert!(!dump.contains("counter admitted"), "zero counters elided");
+        assert_eq!(dump, quiet.render());
+    }
+
+    #[test]
+    fn render_lists_counters_then_events() {
+        let pm = Postmortem::new(
+            1,
+            0,
+            "corrupt_checkpoint",
+            vec![admit(5)],
+            vec![("admitted", 3), ("shed", 0)],
+        );
+        let dump = pm.render();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "counter admitted 3");
+        assert!(lines[2].starts_with("event {"));
+        assert!(lines[2].contains("\"event\":\"Admit\""));
+    }
+}

@@ -1,0 +1,320 @@
+//! A deterministic metrics registry: named counters, gauges, and
+//! histograms with a byte-stable dump.
+//!
+//! Everything is keyed by a fully rendered metric name (optionally with
+//! Prometheus-style labels, see [`Registry::labeled`]) and stored in
+//! `BTreeMap`s, so iteration — and therefore [`Registry::to_text`],
+//! [`Registry::to_prometheus`](crate::Registry) and
+//! [`Registry::to_json`](crate::Registry) — is sorted by key and
+//! byte-identical for identical contents. The fleet fills one registry
+//! directly during its serial shard-id-order finish fold (worker slices
+//! built elsewhere compose via [`Registry::merge`]); since every input
+//! (counter values, histogram samples) derives from the deterministic
+//! virtual-time run, the dump is byte-identical at 1, 2, or 8 worker
+//! threads.
+
+use std::collections::BTreeMap;
+
+use nfv_metrics::Histogram;
+
+use crate::export::escape_label;
+
+/// Why a registry merge was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Two histograms under the same key have different bounds or bin
+    /// counts; the target registry is left untouched.
+    HistogramShapeMismatch {
+        /// The conflicting metric key.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::HistogramShapeMismatch { key } => {
+                write!(f, "histogram shape mismatch under key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A deterministic metrics registry (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders `name{label="value"}` with the value escaped for the
+    /// Prometheus exposition format (`\\`, `\"`, `\n`).
+    #[must_use]
+    pub fn labeled(name: &str, label: &str, value: &str) -> String {
+        format!("{name}{{{label}=\"{}\"}}", escape_label(value))
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, key: impl Into<String>, delta: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&mut self, key: impl Into<String>, value: f64) {
+        self.gauges.insert(key.into(), value);
+    }
+
+    /// Records `value` into a histogram, creating it with the given
+    /// shape first. Returns `false` (recording nothing) when the shape
+    /// is invalid or conflicts with the existing histogram's shape.
+    pub fn histogram_record(
+        &mut self,
+        key: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        value: f64,
+    ) -> bool {
+        let key = key.into();
+        if let Some(existing) = self.histograms.get_mut(&key) {
+            let Some(probe) = Histogram::new(lo, hi, bins) else {
+                return false;
+            };
+            if !shape_matches(existing, &probe) {
+                return false;
+            }
+            existing.push(value);
+            return true;
+        }
+        let Some(mut fresh) = Histogram::new(lo, hi, bins) else {
+            return false;
+        };
+        fresh.push(value);
+        self.histograms.insert(key, fresh);
+        true
+    }
+
+    /// Inserts (or replaces) a pre-built histogram under `key`.
+    pub fn histogram_insert(&mut self, key: impl Into<String>, histogram: Histogram) {
+        self.histograms.insert(key.into(), histogram);
+    }
+
+    /// A counter's current value.
+    #[must_use]
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).copied()
+    }
+
+    /// A gauge's current value.
+    #[must_use]
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// A histogram by key.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// The counter entries, key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The gauge entries, key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The histogram entries, key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the other registry's value (last writer wins — the fleet merges
+    /// in shard-id order, so "last" is deterministic), histograms merge
+    /// bin-wise.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::HistogramShapeMismatch`] when a shared histogram
+    /// key has conflicting bounds or bin counts. The conflicting
+    /// histogram is left untouched; entries merged before the conflict
+    /// remain merged.
+    pub fn merge(&mut self, other: &Registry) -> Result<(), RegistryError> {
+        for (key, delta) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += delta;
+        }
+        for (key, value) in &other.gauges {
+            self.gauges.insert(key.clone(), *value);
+        }
+        for (key, histogram) in &other.histograms {
+            match self.histograms.get_mut(key) {
+                None => {
+                    self.histograms.insert(key.clone(), histogram.clone());
+                }
+                Some(existing) => {
+                    if !existing.merge(histogram) {
+                        return Err(RegistryError::HistogramShapeMismatch { key: key.clone() });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A byte-stable plain-text dump: one line per metric, key order
+    /// within each section, floats in shortest-round-trip formatting.
+    /// Pinned byte-identical across thread counts by the invariance
+    /// tests.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# registry: {} counters, {} gauges, {} histograms",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len()
+        );
+        for (key, value) in &self.counters {
+            let _ = writeln!(out, "counter {key} {value}");
+        }
+        for (key, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {key} {value}");
+        }
+        for (key, histogram) in &self.histograms {
+            let (lo, _) = histogram.bin_range(0);
+            let (_, hi) = histogram.bin_range(histogram.bins() - 1);
+            let bins: Vec<String> = (0..histogram.bins())
+                .map(|i| histogram.bin_count(i).to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "histogram {key} lo={lo} hi={hi} underflow={} overflow={} bins=[{}]",
+                histogram.underflow(),
+                histogram.overflow(),
+                bins.join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Whether two histograms have the same bounds and bin count (the
+/// precondition of [`Histogram::merge`]).
+fn shape_matches(a: &Histogram, b: &Histogram) -> bool {
+    let mut probe = a.clone();
+    probe.merge(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.counter_add("admitted_total", 3);
+        reg.counter_add("admitted_total", 4);
+        reg.gauge_set("active", 5.0);
+        reg.gauge_set("active", 2.5);
+        assert_eq!(reg.counter("admitted_total"), Some(7));
+        assert_eq!(reg.gauge("active"), Some(2.5));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn labeled_escapes_values() {
+        assert_eq!(
+            Registry::labeled("latency", "tenant", "a\"b\\c"),
+            "latency{tenant=\"a\\\"b\\\\c\"}"
+        );
+    }
+
+    #[test]
+    fn histogram_record_creates_then_guards_shape() {
+        let mut reg = Registry::new();
+        assert!(reg.histogram_record("lat", 0.0, 1.0, 4, 0.3));
+        assert!(reg.histogram_record("lat", 0.0, 1.0, 4, 0.8));
+        assert!(!reg.histogram_record("lat", 0.0, 2.0, 4, 0.3), "shape");
+        assert!(!reg.histogram_record("bad", 1.0, 0.0, 4, 0.3), "invalid");
+        assert_eq!(reg.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.histogram_record("h", 0.0, 1.0, 2, 0.1);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 5);
+        b.histogram_record("h", 0.0, 1.0, 2, 0.9);
+        b.gauge_set("g", 1.5);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.counter("only_b"), Some(5));
+        assert_eq!(a.gauge("g"), Some(1.5));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_refuses_shape_mismatches() {
+        let mut a = Registry::new();
+        a.histogram_record("h", 0.0, 1.0, 2, 0.1);
+        let mut b = Registry::new();
+        b.histogram_record("h", 0.0, 1.0, 4, 0.1);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::HistogramShapeMismatch { key: "h".into() }
+        );
+        assert_eq!(a.histogram("h").unwrap().bins(), 2, "untouched");
+    }
+
+    #[test]
+    fn to_text_is_sorted_and_stable() {
+        let build = |order_flip: bool| {
+            let mut reg = Registry::new();
+            let keys = if order_flip { ["b", "a"] } else { ["a", "b"] };
+            for key in keys {
+                reg.counter_add(key, 1);
+            }
+            reg.gauge_set("g", 0.25);
+            reg.histogram_record("h", 0.0, 1.0, 2, 0.75);
+            reg.to_text()
+        };
+        let text = build(false);
+        assert_eq!(text, build(true), "insertion order must not matter");
+        assert!(text.starts_with("# registry: 2 counters, 1 gauges, 1 histograms\n"));
+        assert!(text.contains("counter a 1\ncounter b 1\n"));
+        assert!(text.contains("gauge g 0.25"));
+        assert!(text.contains("histogram h lo=0 hi=1 underflow=0 overflow=0 bins=[0,1]"));
+    }
+}

@@ -4,6 +4,112 @@ use std::collections::VecDeque;
 use std::io::Write;
 
 use crate::event::{TraceEvent, CSV_HEADER};
+use crate::json::{get_u64, parse_object, JsonObject};
+
+/// Schema version stamped at the top of every JSONL/CSV journal file.
+/// Bump it when the journal shape changes; the parse helpers reject
+/// mismatched files with a typed [`JournalError`] instead of silently
+/// misreading drifted schemas.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// Why a journal file was refused at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file does not start with a schema-version header.
+    MissingHeader,
+    /// The file's schema version differs from this build's.
+    SchemaMismatch {
+        /// The version found in the file.
+        found: u32,
+        /// The version this build writes ([`JOURNAL_SCHEMA_VERSION`]).
+        expected: u32,
+    },
+    /// A data line failed to parse (1-based line number in the file).
+    Malformed {
+        /// The offending line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "journal is missing its schema-version header"),
+            Self::SchemaMismatch { found, expected } => {
+                write!(f, "journal schema version {found} (expected {expected})")
+            }
+            Self::Malformed { line } => write!(f, "malformed journal line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Renders the JSONL header line (`{"schema_version":N}`).
+fn jsonl_header() -> String {
+    let mut obj = JsonObject::new();
+    obj.field_u64("schema_version", u64::from(JOURNAL_SCHEMA_VERSION));
+    obj.finish()
+}
+
+/// The CSV header comment line (`# schema_version=N`).
+fn csv_version_line() -> String {
+    format!("# schema_version={JOURNAL_SCHEMA_VERSION}")
+}
+
+/// Parses a [`JsonlSink`]-written journal back into its events,
+/// verifying the schema-version header first.
+///
+/// # Errors
+///
+/// [`JournalError`] for a missing header, a version mismatch, or an
+/// unparseable event line.
+pub fn parse_jsonl_journal(text: &str) -> Result<Vec<TraceEvent>, JournalError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(JournalError::MissingHeader)?;
+    let fields = parse_object(header).map_err(|_| JournalError::MissingHeader)?;
+    let found = get_u64(&fields, "schema_version").ok_or(JournalError::MissingHeader)?;
+    let found = u32::try_from(found).map_err(|_| JournalError::MissingHeader)?;
+    if found != JOURNAL_SCHEMA_VERSION {
+        return Err(JournalError::SchemaMismatch {
+            found,
+            expected: JOURNAL_SCHEMA_VERSION,
+        });
+    }
+    lines
+        .enumerate()
+        .map(|(i, line)| {
+            TraceEvent::from_json(line).map_err(|_| JournalError::Malformed { line: i + 2 })
+        })
+        .collect()
+}
+
+/// Validates a [`CsvSink`]-written journal's schema-version line and
+/// column header, returning the data rows.
+///
+/// # Errors
+///
+/// [`JournalError`] for a missing/mismatched version line or a wrong
+/// column header (reported as `Malformed` on line 2).
+pub fn csv_journal_rows(text: &str) -> Result<Vec<&str>, JournalError> {
+    let mut lines = text.lines();
+    let version = lines.next().ok_or(JournalError::MissingHeader)?;
+    let found: u32 = version
+        .strip_prefix("# schema_version=")
+        .and_then(|v| v.parse().ok())
+        .ok_or(JournalError::MissingHeader)?;
+    if found != JOURNAL_SCHEMA_VERSION {
+        return Err(JournalError::SchemaMismatch {
+            found,
+            expected: JOURNAL_SCHEMA_VERSION,
+        });
+    }
+    match lines.next() {
+        None => Ok(Vec::new()),
+        Some(header) if header == CSV_HEADER => Ok(lines.collect()),
+        Some(_) => Err(JournalError::Malformed { line: 2 }),
+    }
+}
 
 /// Receives journal records as they are emitted.
 ///
@@ -82,18 +188,22 @@ impl EventSink for RingSink {
     }
 }
 
-/// Writes each event as one JSON line (`TraceEvent::to_json`).
+/// Writes a `{"schema_version":N}` header line, then each event as one
+/// JSON line (`TraceEvent::to_json`).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     writer: W,
+    wrote_header: bool,
     failed: bool,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer.
+    /// Wraps a writer; the schema-version header is emitted before the
+    /// first event.
     pub fn new(writer: W) -> Self {
         Self {
             writer,
+            wrote_header: false,
             failed: false,
         }
     }
@@ -116,6 +226,14 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
         if self.failed {
             return;
         }
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let header = format!("{}\n", jsonl_header());
+            self.failed = self.writer.write_all(header.as_bytes()).is_err();
+            if self.failed {
+                return;
+            }
+        }
         let mut line = event.to_json();
         line.push('\n');
         self.failed = self.writer.write_all(line.as_bytes()).is_err();
@@ -128,8 +246,8 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     }
 }
 
-/// Writes the fixed-column CSV trace shape (`CSV_HEADER` once, then one
-/// row per event).
+/// Writes the fixed-column CSV trace shape: a `# schema_version=N`
+/// comment line and `CSV_HEADER` once, then one row per event.
 #[derive(Debug)]
 pub struct CsvSink<W: Write + Send> {
     writer: W,
@@ -166,10 +284,8 @@ impl<W: Write + Send> EventSink for CsvSink<W> {
         }
         if !self.wrote_header {
             self.wrote_header = true;
-            self.failed = self
-                .writer
-                .write_all(format!("{CSV_HEADER}\n").as_bytes())
-                .is_err();
+            let header = format!("{}\n{CSV_HEADER}\n", csv_version_line());
+            self.failed = self.writer.write_all(header.as_bytes()).is_err();
             if self.failed {
                 return;
             }
@@ -226,7 +342,7 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_writes_parseable_lines() {
+    fn jsonl_sink_writes_version_header_then_parseable_lines() {
         let mut sink = JsonlSink::new(Vec::new());
         sink.record(&event(0));
         sink.record(&event(1));
@@ -234,21 +350,84 @@ mod tests {
         assert!(!sink.failed());
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert_eq!(TraceEvent::from_json(lines[1]).unwrap(), event(1));
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"schema_version\":1}");
+        assert_eq!(TraceEvent::from_json(lines[2]).unwrap(), event(1));
     }
 
     #[test]
-    fn csv_sink_writes_header_once() {
+    fn csv_sink_writes_version_and_header_once() {
         let mut sink = CsvSink::new(Vec::new());
         sink.record(&event(0));
         sink.record(&event(1));
         sink.flush();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], CSV_HEADER);
-        assert!(lines[1].starts_with("Admit,"));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "# schema_version=1");
+        assert_eq!(lines[1], CSV_HEADER);
+        assert!(lines[2].starts_with("Admit,"));
+    }
+
+    #[test]
+    fn jsonl_journal_round_trips_through_the_parser() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for i in 0..4 {
+            sink.record(&event(i));
+        }
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events = parse_jsonl_journal(&text).unwrap();
+        assert_eq!(events, (0..4).map(event).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parsers_reject_bumped_schema_versions() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&event(0));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let bumped = text.replace(
+            "{\"schema_version\":1}",
+            &format!("{{\"schema_version\":{}}}", JOURNAL_SCHEMA_VERSION + 1),
+        );
+        assert_eq!(
+            parse_jsonl_journal(&bumped),
+            Err(JournalError::SchemaMismatch {
+                found: JOURNAL_SCHEMA_VERSION + 1,
+                expected: JOURNAL_SCHEMA_VERSION,
+            })
+        );
+        let mut sink = CsvSink::new(Vec::new());
+        sink.record(&event(0));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let rows = csv_journal_rows(&text).unwrap();
+        assert_eq!(rows.len(), 1);
+        let bumped = text.replace("# schema_version=1", "# schema_version=2");
+        assert_eq!(
+            csv_journal_rows(&bumped),
+            Err(JournalError::SchemaMismatch {
+                found: 2,
+                expected: JOURNAL_SCHEMA_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn parsers_reject_missing_headers_and_malformed_lines() {
+        assert_eq!(parse_jsonl_journal(""), Err(JournalError::MissingHeader));
+        assert_eq!(
+            parse_jsonl_journal("{\"other\":1}\n"),
+            Err(JournalError::MissingHeader)
+        );
+        assert_eq!(
+            parse_jsonl_journal("{\"schema_version\":1}\nnot json\n"),
+            Err(JournalError::Malformed { line: 2 })
+        );
+        assert_eq!(csv_journal_rows(""), Err(JournalError::MissingHeader));
+        assert_eq!(
+            csv_journal_rows("# schema_version=1\nWrong,Header\n"),
+            Err(JournalError::Malformed { line: 2 })
+        );
     }
 
     /// A writer that fails after `ok` bytes, to exercise the error latch.

@@ -86,6 +86,28 @@ impl SpanToken {
     }
 }
 
+/// A plain wall-clock stopwatch for observers outside the controller's
+/// span machinery (the fleet loop times its epoch phases with this).
+/// It lives here because this module is the workspace's only licensed
+/// clock reader; like [`SpanToken`], its measurements are strictly
+/// observational and must never flow back into a decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Seconds elapsed since [`start`](Self::start).
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 /// Per-phase duration summaries (seconds), aggregated with the
 /// `nfv-metrics` accumulators so cross-worker merging reuses the tested
 /// [`Summary::merge`] path.
